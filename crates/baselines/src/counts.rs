@@ -1,0 +1,60 @@
+//! Theoretical step counts for the baseline comparison (experiment E14).
+
+/// Shearsort's worst-case step count on a `side × side` mesh:
+/// `(2·(⌈log₂ side⌉ + 1) − 1) · side` odd-even steps.
+pub fn shearsort_worst_case_steps(side: usize) -> u64 {
+    let rounds = crate::shearsort::phase_count(side) as u64;
+    (2 * rounds - 1) * side as u64
+}
+
+/// The paper's average-case step floor for the five bubble sorts:
+/// roughly `cN` with `c ∈ {1/2, 3/8}` — returned here as the weakest of
+/// the five constants (`3N/8`) for a conservative comparison line.
+pub fn bubble_average_floor(side: usize) -> f64 {
+    3.0 * (side * side) as f64 / 8.0
+}
+
+/// The mesh diameter bound `2√N − 2` every algorithm is subject to.
+pub fn diameter_bound(side: usize) -> u64 {
+    meshsort_mesh::pos::mesh_diameter(side) as u64
+}
+
+/// The smallest side at which the bubble sorts' average-case floor
+/// exceeds Shearsort's *worst case* — i.e. where the asymptotic ordering
+/// has definitively kicked in.
+pub fn crossover_side() -> usize {
+    (2..).find(|&s| bubble_average_floor(s) > shearsort_worst_case_steps(s) as f64).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shearsort_counts() {
+        assert_eq!(shearsort_worst_case_steps(4), 5 * 4);
+        assert_eq!(shearsort_worst_case_steps(8), 7 * 8);
+        assert_eq!(shearsort_worst_case_steps(16), 9 * 16);
+    }
+
+    #[test]
+    fn bubble_floor() {
+        assert_eq!(bubble_average_floor(4), 6.0);
+        assert_eq!(bubble_average_floor(8), 24.0);
+    }
+
+    #[test]
+    fn diameter() {
+        assert_eq!(diameter_bound(8), 14);
+    }
+
+    #[test]
+    fn crossover_exists_and_is_small() {
+        let s = crossover_side();
+        assert!(s >= 2 && s <= 32, "crossover at side {s}");
+        // Past the crossover the gap only widens.
+        for side in [s, 2 * s, 4 * s] {
+            assert!(bubble_average_floor(side) > shearsort_worst_case_steps(side) as f64);
+        }
+    }
+}

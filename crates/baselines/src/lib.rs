@@ -1,0 +1,21 @@
+//! # meshsort-baselines — context for the paper's headline
+//!
+//! The paper's point is that the natural bubble-sort generalizations need
+//! `Θ(N)` steps *on average*, far above the `Ω(√N)` diameter bound. The
+//! canonical mesh algorithm sitting near that bound is **Shearsort**
+//! (Scherson–Sen–Shamir 1986; also [Leighton 1992], the paper's
+//! reference [1]): alternately snake-sort all rows and sort all columns;
+//! after `⌈log₂ √N⌉ + 1` row phases the mesh is in snakelike order, for
+//! `O(√N log N)` comparison-exchange steps — worst case *and* average.
+//!
+//! Shearsort here is compiled to the very same [`meshsort_mesh`] step
+//! plans as the five bubble sorts, so step counts are directly
+//! comparable (experiment E14).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counts;
+pub mod shearsort;
+
+pub use shearsort::{shearsort_schedule, shearsort_until_sorted};

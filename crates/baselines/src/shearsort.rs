@@ -1,0 +1,188 @@
+//! Shearsort compiled to mesh step plans.
+
+use meshsort_linear::array::{phase_pairs, Phase};
+use meshsort_mesh::plan::{Comparator, StepPlan};
+use meshsort_mesh::{CycleSchedule, Grid, MeshError, TargetOrder};
+use serde::{Deserialize, Serialize};
+
+/// One odd-even step over all rows in snake directions: 0-indexed even
+/// rows keep the smaller value left (ascending), odd rows keep it right
+/// (descending).
+fn snake_row_step(side: usize, phase: Phase) -> StepPlan {
+    let mut comparators = Vec::new();
+    for row in 0..side {
+        for (a, b) in phase_pairs(side, phase) {
+            let left = (row * side + a) as u32;
+            let right = (row * side + b) as u32;
+            if row % 2 == 0 {
+                comparators.push(Comparator::new(left, right));
+            } else {
+                comparators.push(Comparator::new(right, left));
+            }
+        }
+    }
+    StepPlan::new(comparators).expect("pairs within rows are disjoint")
+}
+
+/// One odd-even step over all columns, smaller value on top.
+fn col_step(side: usize, phase: Phase) -> StepPlan {
+    let mut comparators = Vec::new();
+    for col in 0..side {
+        for (a, b) in phase_pairs(side, phase) {
+            comparators.push(Comparator::new((a * side + col) as u32, (b * side + col) as u32));
+        }
+    }
+    StepPlan::new(comparators).expect("pairs within columns are disjoint")
+}
+
+/// Number of row phases Shearsort needs: `⌈log₂ side⌉ + 1`.
+pub fn phase_count(side: usize) -> usize {
+    (usize::BITS - side.next_power_of_two().leading_zeros() - 1) as usize + 1
+}
+
+/// The full Shearsort step sequence for one pass: `⌈log₂ side⌉ + 1`
+/// alternating (row phase, column phase) rounds, each phase being `side`
+/// odd-even steps, with the final column phase omitted (the last row
+/// phase completes the snake order). Wrapped in a [`CycleSchedule`] so
+/// the same engine and measurement drivers apply; one cycle always
+/// suffices (verified by tests), and step counts are comparable one-for-
+/// one with the bubble-sort algorithms.
+///
+/// # Errors
+///
+/// [`MeshError::ZeroSide`] for `side == 0`.
+pub fn shearsort_schedule(side: usize) -> Result<CycleSchedule, MeshError> {
+    if side == 0 {
+        return Err(MeshError::ZeroSide);
+    }
+    let rounds = phase_count(side);
+    let mut plans = Vec::with_capacity(2 * rounds * side);
+    for round in 0..rounds {
+        for s in 0..side.max(1) {
+            let phase = if s % 2 == 0 { Phase::Odd } else { Phase::Even };
+            plans.push(snake_row_step(side, phase));
+        }
+        if round + 1 < rounds {
+            for s in 0..side.max(1) {
+                let phase = if s % 2 == 0 { Phase::Odd } else { Phase::Even };
+                plans.push(col_step(side, phase));
+            }
+        }
+    }
+    if plans.is_empty() {
+        plans.push(StepPlan::empty());
+    }
+    CycleSchedule::new(plans, side * side)
+}
+
+/// Measurement of one Shearsort run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShearsortRun {
+    /// Steps until the grid first read snake-sorted.
+    pub steps: u64,
+    /// Total exchanges.
+    pub swaps: u64,
+    /// Whether sorting completed within one pass (always true; a false
+    /// here would be an implementation bug).
+    pub sorted: bool,
+}
+
+/// Runs Shearsort to completion, counting steps until the grid is in
+/// snakelike order (checked after every step — the same measurement
+/// semantics as the bubble-sort runners).
+pub fn shearsort_until_sorted<T: Ord>(grid: &mut Grid<T>) -> ShearsortRun {
+    let side = grid.side();
+    let schedule = shearsort_schedule(side).expect("side >= 1");
+    let cap = schedule.cycle_len() as u64 + 4;
+    let out = schedule.run_until_sorted(grid, TargetOrder::Snake, cap);
+    ShearsortRun { steps: out.steps, swaps: out.swaps, sorted: out.sorted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+
+    #[test]
+    fn phase_counts() {
+        assert_eq!(phase_count(1), 1);
+        assert_eq!(phase_count(2), 2);
+        assert_eq!(phase_count(4), 3);
+        assert_eq!(phase_count(8), 4);
+        assert_eq!(phase_count(16), 5);
+        // Non-powers of two round up.
+        assert_eq!(phase_count(6), 4);
+        assert_eq!(phase_count(5), 4);
+    }
+
+    #[test]
+    fn sorts_reverse_inputs() {
+        for side in [2usize, 3, 4, 5, 6, 8, 9, 16] {
+            let n = side * side;
+            let mut g = Grid::from_rows(side, (0..n as u32).rev().collect()).unwrap();
+            let run = shearsort_until_sorted(&mut g);
+            assert!(run.sorted, "side {side}");
+            assert!(g.is_sorted(TargetOrder::Snake));
+        }
+    }
+
+    #[test]
+    fn exhaustive_zero_one_4x4() {
+        // 0-1 principle: Shearsort is oblivious too.
+        for mask in 0u32..(1 << 16) {
+            let data: Vec<u8> = (0..16).map(|i| ((mask >> i) & 1) as u8).collect();
+            let mut g = Grid::from_rows(4, data).unwrap();
+            let run = shearsort_until_sorted(&mut g);
+            assert!(run.sorted, "mask {mask:#x}");
+        }
+    }
+
+    #[test]
+    fn random_permutations_sort() {
+        let mut rng = StdRng::seed_from_u64(0x5EAE);
+        for side in [4usize, 7, 8, 12] {
+            for _ in 0..10 {
+                let n = side * side;
+                let mut data: Vec<u32> = (0..n as u32).collect();
+                data.shuffle(&mut rng);
+                let mut g = Grid::from_rows(side, data).unwrap();
+                let run = shearsort_until_sorted(&mut g);
+                assert!(run.sorted, "side {side}");
+            }
+        }
+    }
+
+    #[test]
+    fn step_count_is_sqrt_n_log_n() {
+        // One pass is at most (2·rounds − 1)·side steps.
+        for side in [4usize, 8, 16] {
+            let schedule = shearsort_schedule(side).unwrap();
+            let rounds = phase_count(side);
+            assert_eq!(schedule.cycle_len(), (2 * rounds - 1) * side);
+        }
+    }
+
+    #[test]
+    fn asymptotically_beats_theta_n() {
+        // For side 32: shearsort cap = 11·32 = 352 steps, while the
+        // paper's algorithms average ≥ N/2 = 512. The gap grows with N.
+        let side = 32;
+        let schedule = shearsort_schedule(side).unwrap();
+        assert!(schedule.cycle_len() < (side * side) / 2);
+    }
+
+    #[test]
+    fn sorted_input_zero_steps() {
+        let mut g = meshsort_mesh::grid::sorted_permutation_grid(6, TargetOrder::Snake);
+        let run = shearsort_until_sorted(&mut g);
+        assert_eq!(run.steps, 0);
+        assert!(run.sorted);
+    }
+
+    #[test]
+    fn side_one() {
+        let mut g = Grid::from_rows(1, vec![5u32]).unwrap();
+        let run = shearsort_until_sorted(&mut g);
+        assert!(run.sorted);
+    }
+}

@@ -1,0 +1,129 @@
+//! Ablation benches for the design choices in DESIGN.md §6:
+//!
+//! * **A — plan-as-data**: compiled `CycleSchedule` replay vs rebuilding
+//!   each step's comparator list on the fly;
+//! * **B — sortedness strategy**: per-step early-exit check vs
+//!   cycle-granularity check with backtracking;
+//! * **C — parallel Monte Carlo**: trial throughput vs worker count
+//!   (deterministic results by construction; see `meshsort-stats`);
+//! * **D — exact vs f64 combinatorics**: the cost of exact rationals for
+//!   the paper formulas against the f64 shortcut (the exact path is what
+//!   makes the `o(1)` terms testable).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meshsort_bench::{bench_grid, q_ones_f64, r1_coarse_check, r1_rebuild_per_step};
+use meshsort_core::{runner, AlgorithmId};
+use meshsort_stats::{run_trials, RunningStats, SeedSequence};
+use std::hint::black_box;
+
+fn ablation_plan_as_data(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_plan_as_data");
+    g.sample_size(15);
+    let side = 24usize;
+    g.bench_function("compiled_schedule", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut grid = bench_grid(side, seed);
+            black_box(
+                runner::sort_to_completion(AlgorithmId::RowMajorRowFirst, &mut grid)
+                    .unwrap()
+                    .outcome
+                    .steps,
+            )
+        });
+    });
+    g.bench_function("rebuild_per_step", |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut grid = bench_grid(side, seed);
+            black_box(r1_rebuild_per_step(&mut grid, runner::default_step_cap(side)))
+        });
+    });
+    g.finish();
+}
+
+fn ablation_sortedness_strategy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_sortedness_check");
+    g.sample_size(15);
+    let side = 24usize;
+    g.bench_function("per_step_check", |b| {
+        let mut seed = 100u64;
+        b.iter(|| {
+            seed += 1;
+            let mut grid = bench_grid(side, seed);
+            black_box(
+                runner::sort_to_completion(AlgorithmId::RowMajorRowFirst, &mut grid)
+                    .unwrap()
+                    .outcome
+                    .steps,
+            )
+        });
+    });
+    g.bench_function("per_cycle_with_backtrack", |b| {
+        let mut seed = 100u64;
+        b.iter(|| {
+            seed += 1;
+            let mut grid = bench_grid(side, seed);
+            black_box(r1_coarse_check(&mut grid, runner::default_step_cap(side)))
+        });
+    });
+    g.finish();
+}
+
+fn ablation_parallel_mc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_parallel_mc");
+    g.sample_size(10);
+    let side = 12usize;
+    let trials = 64u64;
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &threads| {
+            b.iter(|| {
+                let stats = run_trials(
+                    SeedSequence::new(7),
+                    trials,
+                    threads,
+                    RunningStats::new,
+                    move |_i, rng, acc: &mut RunningStats| {
+                        let mut grid =
+                            meshsort_workloads::permutation::random_permutation_grid(side, rng);
+                        let run =
+                            runner::sort_to_completion(AlgorithmId::SnakeAlternating, &mut grid)
+                                .unwrap();
+                        acc.push(run.outcome.steps as f64);
+                    },
+                    |a, b| a.merge(&b),
+                );
+                black_box(stats.mean())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn ablation_exact_vs_f64(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_exact_vs_f64");
+    for n in [8u64, 32] {
+        g.bench_with_input(BenchmarkId::new("exact_e_z1", n), &n, |b, &n| {
+            b.iter(|| black_box(meshsort_exact::paper::r1_expected_z1(n)))
+        });
+        g.bench_with_input(BenchmarkId::new("f64_e_z1", n), &n, |b, &n| {
+            b.iter(|| {
+                let total = 4 * n * n;
+                let zeros = 2 * n * n;
+                black_box(2.0 * n as f64 * (1.0 - q_ones_f64(total, zeros, 2)))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_plan_as_data,
+    ablation_sortedness_strategy,
+    ablation_parallel_mc,
+    ablation_exact_vs_f64
+);
+criterion_main!(benches);

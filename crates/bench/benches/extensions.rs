@@ -1,0 +1,83 @@
+//! Benches for the extension experiments (E16–E20) and the analytical
+//! extras (exact Z₁ distribution, N₀ witnesses).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meshsort_bench::bench_grid;
+use meshsort_core::variants::{chain_only_schedule, probe_convergence, row_first_no_wrap_schedule};
+use meshsort_exact::distribution::r1_z1_distribution;
+use meshsort_exact::thresholds::ConcentrationTheorem;
+use meshsort_mesh::TargetOrder;
+use std::hint::black_box;
+
+/// E16 kernel: probing the no-wrap variant to its fixed point.
+fn bench_e16(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e16_no_wrap_probe");
+    g.sample_size(20);
+    for side in [16usize, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &side| {
+            let schedule = row_first_no_wrap_schedule(side).unwrap();
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut grid = bench_grid(side, seed);
+                black_box(probe_convergence(
+                    &schedule,
+                    &mut grid,
+                    TargetOrder::RowMajor,
+                    8 * (side * side) as u64,
+                ))
+            });
+        });
+    }
+    g.finish();
+}
+
+/// E20 kernel: the chain-only schedule.
+fn bench_e20(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e20_chain_only_sort");
+    g.sample_size(20);
+    for side in [16usize, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &side| {
+            let schedule = chain_only_schedule(side).unwrap();
+            let mut seed = 100u64;
+            b.iter(|| {
+                seed += 1;
+                let mut grid = bench_grid(side, seed);
+                let out = schedule.run_until_sorted(
+                    &mut grid,
+                    TargetOrder::RowMajor,
+                    4 * (side * side) as u64 + 16,
+                );
+                black_box(out.steps)
+            });
+        });
+    }
+    g.finish();
+}
+
+/// Exact Z₁ law via inclusion–exclusion (distribution module).
+fn bench_z1_distribution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("exact_z1_distribution");
+    g.sample_size(10);
+    for n in [4u64, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| black_box(r1_z1_distribution(n)))
+        });
+    }
+    g.finish();
+}
+
+/// N₀ witness search (thresholds module) — the f64 fast path.
+fn bench_witness_search(c: &mut Criterion) {
+    let mut g = c.benchmark_group("n0_witness_search");
+    g.bench_function("thm3_gamma0.4_delta0.01", |b| {
+        b.iter(|| black_box(ConcentrationTheorem::Theorem3.witness_n0(0.4, 0.01, 10_000_000)))
+    });
+    g.bench_function("thm8_gamma0.4_delta0.01", |b| {
+        b.iter(|| black_box(ConcentrationTheorem::Theorem8.witness_n0(0.4, 0.01, 10_000_000)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_e16, bench_e20, bench_z1_distribution, bench_witness_search);
+criterion_main!(benches);

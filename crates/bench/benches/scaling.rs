@@ -1,0 +1,80 @@
+//! Scaling behaviour: wall time of one full sort vs mesh side, for all
+//! five algorithms and the Shearsort baseline. The step counts themselves
+//! scale as Θ(N) for the bubble sorts and O(√N log √N) for Shearsort
+//! (experiment E14 prints the tables); with an O(N) engine cost per step
+//! the simulated wall time scales as ~N² vs ~N^1.5 log N.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use meshsort_bench::bench_grid;
+use meshsort_core::{runner, AlgorithmId};
+use std::hint::black_box;
+
+fn bench_sort_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sort_scaling");
+    g.sample_size(10);
+    for side in [8usize, 16, 32, 48] {
+        let cells = (side * side) as u64;
+        g.throughput(Throughput::Elements(cells));
+        for alg in AlgorithmId::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(alg.name().replace('/', "_"), side),
+                &side,
+                |b, &side| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        let mut grid = bench_grid(side, seed);
+                        black_box(
+                            runner::sort_to_completion(alg, &mut grid).unwrap().outcome.steps,
+                        )
+                    });
+                },
+            );
+        }
+        g.bench_with_input(BenchmarkId::new("shearsort", side), &side, |b, &side| {
+            let mut seed = 1000u64;
+            b.iter(|| {
+                seed += 1;
+                let mut grid = bench_grid(side, seed);
+                black_box(meshsort_baselines::shearsort_until_sorted(&mut grid).steps)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_engine_step(c: &mut Criterion) {
+    // The raw engine: one full 4-step cycle, no sortedness check.
+    let mut g = c.benchmark_group("engine_cycle");
+    for side in [16usize, 64, 128] {
+        let cells = (side * side) as u64;
+        g.throughput(Throughput::Elements(4 * cells));
+        g.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &side| {
+            let schedule = AlgorithmId::RowMajorRowFirst.schedule(side).unwrap();
+            let mut grid = bench_grid(side, 1);
+            let mut t = 0u64;
+            b.iter(|| {
+                let out = schedule.run_steps(&mut grid, t, 4);
+                t += 4;
+                black_box(out.swaps)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_sortedness_check(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sortedness_check");
+    for side in [16usize, 64, 128] {
+        let cells = (side * side) as u64;
+        g.throughput(Throughput::Elements(cells));
+        g.bench_with_input(BenchmarkId::from_parameter(side), &side, |b, &side| {
+            let grid = bench_grid(side, 2);
+            b.iter(|| black_box(grid.is_sorted(meshsort_mesh::TargetOrder::Snake)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sort_scaling, bench_engine_step, bench_sortedness_check);
+criterion_main!(benches);

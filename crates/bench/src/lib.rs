@@ -1,0 +1,157 @@
+//! # meshsort-bench — shared helpers for the Criterion benchmark suites
+//!
+//! The benches live in `benches/`:
+//!
+//! * `paper_experiments` — one group per experiment id E01–E15 (the
+//!   measurement kernel each experiment is built on);
+//! * `scaling` — steps and wall time vs mesh side for all five
+//!   algorithms and the Shearsort baseline;
+//! * `ablations` — the design choices called out in DESIGN.md §6.
+//!
+//! This library hosts the alternative implementations the ablations
+//! compare against, plus small input builders, so they are unit-testable.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use meshsort_core::phases::{cols_plan, rows_plan, rows_with_wrap, Phase, SortDirection};
+use meshsort_core::AlgorithmId;
+use meshsort_mesh::{apply_plan, Grid, StepPlan, TargetOrder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A deterministic random permutation grid for benches.
+pub fn bench_grid(side: usize, seed: u64) -> Grid<u32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    meshsort_workloads::permutation::random_permutation_grid(side, &mut rng)
+}
+
+/// Ablation A (DESIGN.md §6): the *rebuild-per-step* engine — instead of
+/// compiling the 4-step cycle once, rebuild the step's plan every time it
+/// is executed. Runs R1 until sorted; returns the step count (identical
+/// to the compiled engine, which the tests assert).
+pub fn r1_rebuild_per_step(grid: &mut Grid<u32>, cap: u64) -> u64 {
+    let side = grid.side();
+    let build = |t: u64| -> StepPlan {
+        match t % 4 {
+            0 => rows_plan(side, |_| Some((Phase::Odd, SortDirection::Forward))),
+            1 => cols_plan(side, |_| Some(Phase::Odd)),
+            2 => rows_with_wrap(side, |_| Some((Phase::Even, SortDirection::Forward)))
+                .expect("disjoint"),
+            _ => cols_plan(side, |_| Some(Phase::Even)),
+        }
+    };
+    let mut t = 0u64;
+    while !grid.is_sorted(TargetOrder::RowMajor) && t < cap {
+        let plan = build(t);
+        apply_plan(grid, &plan);
+        t += 1;
+    }
+    t
+}
+
+/// Ablation B (DESIGN.md §6): coarse sortedness checking — run whole
+/// 4-step cycles and only check sortedness at cycle boundaries, then
+/// backtrack by replaying the last cycle step-by-step on a snapshot to
+/// recover the exact first-sorted step.
+pub fn r1_coarse_check(grid: &mut Grid<u32>, cap: u64) -> u64 {
+    let side = grid.side();
+    let schedule = AlgorithmId::RowMajorRowFirst.schedule(side).expect("even side");
+    if grid.is_sorted(TargetOrder::RowMajor) {
+        return 0;
+    }
+    let mut t = 0u64;
+    loop {
+        let snapshot = grid.clone();
+        for k in 0..4 {
+            apply_plan(grid, schedule.plan_at(t + k));
+        }
+        if grid.is_sorted(TargetOrder::RowMajor) {
+            // Backtrack: find the first sorted step within this cycle.
+            let mut probe = snapshot;
+            for k in 0..4 {
+                apply_plan(&mut probe, schedule.plan_at(t + k));
+                if probe.is_sorted(TargetOrder::RowMajor) {
+                    return t + k + 1;
+                }
+            }
+            unreachable!("cycle end was sorted");
+        }
+        t += 4;
+        if t >= cap {
+            return t;
+        }
+    }
+}
+
+/// Floating-point (non-exact) evaluation of the probability that `c`
+/// specific cells are all ones under the balanced model — the f64
+/// comparator for ablation D: `∏_{i<c} (N − α − i)/(N − i)`.
+pub fn q_ones_f64(total: u64, zeros: u64, c: u64) -> f64 {
+    let mut p = 1.0f64;
+    for i in 0..c {
+        p *= (total - zeros - i) as f64 / (total - i) as f64;
+    }
+    p
+}
+
+/// f64 version of Lemma 4's `E[Z₁]` for ablation D.
+pub fn r1_expected_z1_f64(n: u64) -> f64 {
+    let total = 4 * n * n;
+    let zeros = 2 * n * n;
+    2.0 * n as f64 * (1.0 - q_ones_f64(total, zeros, 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshsort_core::runner;
+
+    #[test]
+    fn rebuild_engine_matches_compiled() {
+        for seed in 0..5u64 {
+            let side = 8;
+            let mut a = bench_grid(side, seed);
+            let mut b = a.clone();
+            let cap = runner::default_step_cap(side);
+            let steps_rebuild = r1_rebuild_per_step(&mut a, cap);
+            let run = runner::sort_to_completion(AlgorithmId::RowMajorRowFirst, &mut b).unwrap();
+            assert_eq!(steps_rebuild, run.outcome.steps, "seed {seed}");
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn coarse_check_matches_exact() {
+        for seed in 0..5u64 {
+            let side = 8;
+            let mut a = bench_grid(side, seed);
+            let mut b = a.clone();
+            let cap = runner::default_step_cap(side);
+            let coarse = r1_coarse_check(&mut a, cap);
+            let run = runner::sort_to_completion(AlgorithmId::RowMajorRowFirst, &mut b).unwrap();
+            assert_eq!(coarse, run.outcome.steps, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn coarse_check_sorted_input() {
+        let mut g = meshsort_mesh::grid::sorted_permutation_grid(4, TargetOrder::RowMajor);
+        assert_eq!(r1_coarse_check(&mut g, 100), 0);
+    }
+
+    #[test]
+    fn f64_matches_exact_to_tolerance() {
+        for n in [2u64, 8, 32] {
+            let exact = meshsort_exact::paper::r1_expected_z1(n).to_f64();
+            let float = r1_expected_z1_f64(n);
+            assert!((exact - float).abs() < 1e-9, "n={n}: {exact} vs {float}");
+        }
+    }
+
+    #[test]
+    fn bench_grid_deterministic() {
+        assert_eq!(bench_grid(8, 1), bench_grid(8, 1));
+        assert_ne!(bench_grid(8, 1), bench_grid(8, 2));
+    }
+}

@@ -1,0 +1,214 @@
+//! The catalogue of the paper's five algorithms.
+
+use crate::{row_major, snake};
+use meshsort_mesh::{CycleSchedule, MeshError, TargetOrder};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of one of the five 2D bubble sorting algorithms analysed in
+/// the paper, in the order the paper introduces them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AlgorithmId {
+    /// Row-major algorithm that begins with a row sorting step (paper §1,
+    /// first listed algorithm; analysed in Theorems 2 and 3).
+    RowMajorRowFirst,
+    /// Row-major algorithm that begins with a column sorting step —
+    /// adjacent steps of the first algorithm swapped pairwise (Theorems 4
+    /// and 5).
+    RowMajorColFirst,
+    /// First snakelike algorithm: row phases alternate the pair phase
+    /// between odd rows (bubble) and even rows (reverse bubble); uniform
+    /// column sorts (Theorems 7 and 8).
+    SnakeAlternating,
+    /// Second snakelike algorithm: same row steps as the first, but the
+    /// column steps are phase-staggered between odd and even columns
+    /// (Theorems 10 and 11).
+    SnakeStaggeredCols,
+    /// Third snakelike algorithm: staggered column steps of the second, and
+    /// row steps whose pair phase is *aligned* between odd (bubble) and
+    /// even (reverse bubble) rows (Theorem 12 — analysed through the path
+    /// of the smallest element).
+    SnakePhaseAligned,
+}
+
+impl AlgorithmId {
+    /// All five algorithms in paper order.
+    pub const ALL: [AlgorithmId; 5] = [
+        AlgorithmId::RowMajorRowFirst,
+        AlgorithmId::RowMajorColFirst,
+        AlgorithmId::SnakeAlternating,
+        AlgorithmId::SnakeStaggeredCols,
+        AlgorithmId::SnakePhaseAligned,
+    ];
+
+    /// The two row-major algorithms (paper §2).
+    pub const ROW_MAJOR: [AlgorithmId; 2] =
+        [AlgorithmId::RowMajorRowFirst, AlgorithmId::RowMajorColFirst];
+
+    /// The three snakelike algorithms (paper §3).
+    pub const SNAKE: [AlgorithmId; 3] = [
+        AlgorithmId::SnakeAlternating,
+        AlgorithmId::SnakeStaggeredCols,
+        AlgorithmId::SnakePhaseAligned,
+    ];
+
+    /// Human-readable name used in reports and benches.
+    pub fn name(self) -> &'static str {
+        match self {
+            AlgorithmId::RowMajorRowFirst => "row-major/row-first",
+            AlgorithmId::RowMajorColFirst => "row-major/col-first",
+            AlgorithmId::SnakeAlternating => "snake/alternating",
+            AlgorithmId::SnakeStaggeredCols => "snake/staggered-cols",
+            AlgorithmId::SnakePhaseAligned => "snake/phase-aligned",
+        }
+    }
+
+    /// The order the algorithm sorts into.
+    pub fn order(self) -> TargetOrder {
+        match self {
+            AlgorithmId::RowMajorRowFirst | AlgorithmId::RowMajorColFirst => TargetOrder::RowMajor,
+            _ => TargetOrder::Snake,
+        }
+    }
+
+    /// Whether the algorithm is defined on a mesh of the given side.
+    ///
+    /// The row-major algorithms assume `√N = 2n` (paper §1); the snakelike
+    /// algorithms are analysed for `√N = 2n` in §3 and for `√N = 2n + 1`
+    /// in the appendix, so they accept any side ≥ 1.
+    pub fn supports_side(self, side: usize) -> bool {
+        match self {
+            AlgorithmId::RowMajorRowFirst | AlgorithmId::RowMajorColFirst => {
+                side >= 2 && side % 2 == 0
+            }
+            _ => side >= 1,
+        }
+    }
+
+    /// Compiles the algorithm's 4-step cycle for a mesh of the given side.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::UnsupportedSide`] when [`AlgorithmId::supports_side`]
+    /// is false.
+    pub fn schedule(self, side: usize) -> Result<CycleSchedule, MeshError> {
+        if !self.supports_side(side) {
+            return Err(MeshError::UnsupportedSide {
+                side,
+                requirement: match self {
+                    AlgorithmId::RowMajorRowFirst | AlgorithmId::RowMajorColFirst => {
+                        "even side >= 2 (paper assumes sqrt(N) = 2n)"
+                    }
+                    _ => "side >= 1",
+                },
+            });
+        }
+        match self {
+            AlgorithmId::RowMajorRowFirst => row_major::row_first_schedule(side),
+            AlgorithmId::RowMajorColFirst => row_major::col_first_schedule(side),
+            AlgorithmId::SnakeAlternating => snake::alternating_schedule(side),
+            AlgorithmId::SnakeStaggeredCols => snake::staggered_cols_schedule(side),
+            AlgorithmId::SnakePhaseAligned => snake::phase_aligned_schedule(side),
+        }
+    }
+
+    /// `true` for the algorithms that use wrap-around wires.
+    pub fn uses_wraparound(self) -> bool {
+        matches!(self, AlgorithmId::RowMajorRowFirst | AlgorithmId::RowMajorColFirst)
+    }
+
+    /// Index of the first *row* sorting step within the cycle (0-indexed),
+    /// i.e. the step after which the paper's `Z₁`/`M` statistics are read.
+    ///
+    /// For [`AlgorithmId::RowMajorRowFirst`] and all snakelike algorithms
+    /// this is step 0; for [`AlgorithmId::RowMajorColFirst`] the first row
+    /// sort is the second step of the cycle.
+    pub fn first_row_sort_step(self) -> u64 {
+        match self {
+            AlgorithmId::RowMajorColFirst => 1,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for AlgorithmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_algorithms() {
+        assert_eq!(AlgorithmId::ALL.len(), 5);
+        assert_eq!(AlgorithmId::ROW_MAJOR.len() + AlgorithmId::SNAKE.len(), 5);
+    }
+
+    #[test]
+    fn orders() {
+        assert_eq!(AlgorithmId::RowMajorRowFirst.order(), TargetOrder::RowMajor);
+        assert_eq!(AlgorithmId::RowMajorColFirst.order(), TargetOrder::RowMajor);
+        for a in AlgorithmId::SNAKE {
+            assert_eq!(a.order(), TargetOrder::Snake);
+        }
+    }
+
+    #[test]
+    fn side_support() {
+        for a in AlgorithmId::ROW_MAJOR {
+            assert!(!a.supports_side(0));
+            assert!(!a.supports_side(3));
+            assert!(!a.supports_side(7));
+            assert!(a.supports_side(2));
+            assert!(a.supports_side(8));
+        }
+        for a in AlgorithmId::SNAKE {
+            assert!(a.supports_side(2));
+            assert!(a.supports_side(3), "appendix covers odd sides");
+            assert!(a.supports_side(7));
+            assert!(!a.supports_side(0));
+        }
+    }
+
+    #[test]
+    fn unsupported_side_errors() {
+        let err = AlgorithmId::RowMajorRowFirst.schedule(5).unwrap_err();
+        assert!(matches!(err, MeshError::UnsupportedSide { side: 5, .. }));
+    }
+
+    #[test]
+    fn all_schedules_have_four_steps() {
+        for a in AlgorithmId::ALL {
+            let side = 6;
+            let s = a.schedule(side).unwrap();
+            assert_eq!(s.cycle_len(), 4, "{a}");
+        }
+    }
+
+    #[test]
+    fn wraparound_flag() {
+        assert!(AlgorithmId::RowMajorRowFirst.uses_wraparound());
+        assert!(AlgorithmId::RowMajorColFirst.uses_wraparound());
+        for a in AlgorithmId::SNAKE {
+            assert!(!a.uses_wraparound());
+        }
+    }
+
+    #[test]
+    fn first_row_sort_step() {
+        assert_eq!(AlgorithmId::RowMajorRowFirst.first_row_sort_step(), 0);
+        assert_eq!(AlgorithmId::RowMajorColFirst.first_row_sort_step(), 1);
+        assert_eq!(AlgorithmId::SnakeAlternating.first_row_sort_step(), 0);
+    }
+
+    #[test]
+    fn display_names_unique() {
+        let mut names: Vec<&str> = AlgorithmId::ALL.iter().map(|a| a.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -1,0 +1,170 @@
+//! Instrumented runs: per-step time series of disorder metrics.
+//!
+//! The theorems say *how long* sorting takes; these observables show
+//! *why*: the displacement budget drains at a bounded rate (each step
+//! moves each value at most one hop), inversions fall monotonically for
+//! the embedded-chain steps, and the dirty region contracts.
+
+use crate::algorithm::AlgorithmId;
+use meshsort_mesh::metrics::{dirty_rows, inversions, total_displacement};
+use meshsort_mesh::{apply_plan, Grid, MeshError};
+use serde::{Deserialize, Serialize};
+
+/// One sampled point of an instrumented run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Step index the sample was taken after (0 = initial state).
+    pub step: u64,
+    /// Inversion count along the target reading order.
+    pub inversions: u64,
+    /// Total Manhattan displacement from the target arrangement.
+    pub displacement: u64,
+    /// Number of rows not yet in final form.
+    pub dirty_rows: usize,
+    /// Swaps performed by the step (0 for the initial sample).
+    pub swaps: u64,
+}
+
+/// The full time series of one instrumented run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunTimeline {
+    /// Which algorithm ran.
+    pub algorithm: AlgorithmId,
+    /// Mesh side.
+    pub side: usize,
+    /// Samples, every `stride` steps (plus the initial and final states).
+    pub samples: Vec<Sample>,
+    /// Total steps until sorted.
+    pub steps: u64,
+    /// Whether the run sorted within the cap.
+    pub sorted: bool,
+}
+
+impl RunTimeline {
+    /// `true` when displacement never increases between samples — the
+    /// sanity property the drivers assert in tests. (Individual steps
+    /// can only move values one hop, and never away from a sorted
+    /// configuration in aggregate for these algorithms.)
+    pub fn displacement_non_increasing(&self) -> bool {
+        self.samples.windows(2).all(|w| w[1].displacement <= w[0].displacement)
+    }
+
+    /// The displacement drained per step, averaged over the run — at
+    /// most 2·(swap hops)/step; a proxy for how much parallelism the
+    /// algorithm actually extracts.
+    pub fn mean_drain_rate(&self) -> f64 {
+        if self.steps == 0 {
+            return 0.0;
+        }
+        let first = self.samples.first().map(|s| s.displacement).unwrap_or(0);
+        first as f64 / self.steps as f64
+    }
+}
+
+/// Runs `algorithm` on `grid`, sampling metrics every `stride` steps.
+///
+/// # Errors
+///
+/// [`MeshError::UnsupportedSide`] when the algorithm rejects the side.
+pub fn run_instrumented(
+    algorithm: AlgorithmId,
+    grid: &mut Grid<u32>,
+    stride: u64,
+    cap: u64,
+) -> Result<RunTimeline, MeshError> {
+    let side = grid.side();
+    let order = algorithm.order();
+    let schedule = algorithm.schedule(side)?;
+    let stride = stride.max(1);
+
+    let sample_of = |grid: &Grid<u32>, step: u64, swaps: u64| Sample {
+        step,
+        inversions: inversions(grid, order),
+        displacement: total_displacement(grid, order),
+        dirty_rows: dirty_rows(grid, order),
+        swaps,
+    };
+
+    let mut samples = vec![sample_of(grid, 0, 0)];
+    let mut sorted = grid.is_sorted(order);
+    let mut t = 0u64;
+    while !sorted && t < cap {
+        let out = apply_plan(grid, schedule.plan_at(t));
+        t += 1;
+        sorted = grid.is_sorted(order);
+        if sorted || t % stride == 0 {
+            samples.push(sample_of(grid, t, out.swaps));
+        }
+    }
+    Ok(RunTimeline { algorithm, side, samples, steps: t, sorted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reversed(side: usize) -> Grid<u32> {
+        Grid::from_rows(side, (0..(side * side) as u32).rev().collect()).unwrap()
+    }
+
+    #[test]
+    fn timeline_ends_sorted_with_zero_metrics() {
+        for alg in AlgorithmId::ALL {
+            let side = 6;
+            let mut g = reversed(side);
+            let tl = run_instrumented(alg, &mut g, 4, 16 * 36 + 64).unwrap();
+            assert!(tl.sorted, "{alg}");
+            let last = tl.samples.last().unwrap();
+            assert_eq!(last.inversions, 0, "{alg}");
+            assert_eq!(last.displacement, 0, "{alg}");
+            assert_eq!(last.dirty_rows, 0, "{alg}");
+            assert_eq!(last.step, tl.steps);
+        }
+    }
+
+    #[test]
+    fn initial_sample_is_step_zero() {
+        let mut g = reversed(4);
+        let tl = run_instrumented(AlgorithmId::SnakeAlternating, &mut g, 2, 1000).unwrap();
+        assert_eq!(tl.samples[0].step, 0);
+        assert!(tl.samples[0].displacement > 0);
+    }
+
+    #[test]
+    fn drain_rate_bounded_by_parallelism() {
+        // Each step moves at most N/2 comparator pairs, each shifting two
+        // values one hop: displacement can fall by at most N per step.
+        let side = 8;
+        let n = (side * side) as f64;
+        let mut g = reversed(side);
+        let tl = run_instrumented(AlgorithmId::RowMajorRowFirst, &mut g, 1, 4096).unwrap();
+        assert!(tl.sorted);
+        assert!(tl.mean_drain_rate() <= n, "{}", tl.mean_drain_rate());
+        assert!(tl.mean_drain_rate() > 0.0);
+    }
+
+    #[test]
+    fn sorted_input_yields_single_sample() {
+        let mut g = meshsort_mesh::grid::sorted_permutation_grid(4, meshsort_mesh::TargetOrder::Snake);
+        let tl = run_instrumented(AlgorithmId::SnakeStaggeredCols, &mut g, 1, 100).unwrap();
+        assert_eq!(tl.steps, 0);
+        assert_eq!(tl.samples.len(), 1);
+        assert!(tl.displacement_non_increasing());
+    }
+
+    #[test]
+    fn stride_controls_sampling_density() {
+        let mut a = reversed(6);
+        let dense = run_instrumented(AlgorithmId::SnakeAlternating, &mut a, 1, 10_000).unwrap();
+        let mut b = reversed(6);
+        let sparse = run_instrumented(AlgorithmId::SnakeAlternating, &mut b, 16, 10_000).unwrap();
+        assert_eq!(dense.steps, sparse.steps);
+        assert!(dense.samples.len() > sparse.samples.len());
+    }
+
+    #[test]
+    fn unsupported_side_propagates() {
+        let mut g = reversed(3);
+        assert!(run_instrumented(AlgorithmId::RowMajorRowFirst, &mut g, 1, 10).is_err());
+    }
+}

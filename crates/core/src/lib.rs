@@ -1,0 +1,48 @@
+//! # meshsort-core — the five two-dimensional bubble sorting algorithms
+//!
+//! This crate is the reproduction of the primary contribution of
+//! Savari, *Average Case Analysis of Five Two-Dimensional Bubble Sorting
+//! Algorithms* (SPAA 1993): five generalizations of the odd-even
+//! transposition sort to a `√N × √N` mesh of processors.
+//!
+//! Two algorithms finish in **row-major** order and require wrap-around
+//! wires between the leftmost and rightmost columns
+//! ([`AlgorithmId::RowMajorRowFirst`], [`AlgorithmId::RowMajorColFirst`]);
+//! three finish in **snakelike** order
+//! ([`AlgorithmId::SnakeAlternating`], [`AlgorithmId::SnakeStaggeredCols`],
+//! [`AlgorithmId::SnakePhaseAligned`]). Each repeats a fixed 4-step cycle
+//! of synchronous comparison-exchange steps; the cycles are compiled once
+//! into [`meshsort_mesh::CycleSchedule`]s and replayed by the engine.
+//!
+//! The paper proves all five need `Θ(N)` steps on a random permutation
+//! both on average and with high probability — far worse than the
+//! `Ω(√N)` diameter bound. The experiment harness in
+//! `meshsort-experiments` validates every one of those statements
+//! empirically against this implementation.
+//!
+//! ```
+//! use meshsort_core::{AlgorithmId, runner};
+//! use meshsort_mesh::Grid;
+//!
+//! // Sort a 4×4 permutation with the first row-major algorithm.
+//! let data: Vec<u32> = (0..16).rev().collect();
+//! let mut grid = Grid::from_rows(4, data).unwrap();
+//! let run = runner::sort_to_completion(AlgorithmId::RowMajorRowFirst, &mut grid).unwrap();
+//! assert!(run.outcome.sorted);
+//! assert!(grid.is_sorted(meshsort_mesh::TargetOrder::RowMajor));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod instrument;
+pub mod min_tracker;
+pub mod phases;
+pub mod row_major;
+pub mod variants;
+pub mod runner;
+pub mod snake;
+
+pub use algorithm::AlgorithmId;
+pub use runner::{sort_to_completion, SortRun};

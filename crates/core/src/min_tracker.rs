@@ -1,0 +1,270 @@
+//! Tracking the smallest element — the observable behind Theorem 12.
+//!
+//! The paper analyses the third snakelike algorithm through the path of
+//! the smallest entry: since the minimum wins every comparison it takes
+//! part in, its trajectory is a deterministic function of its position and
+//! the step plans. Lemmas 12–13 (even side) and 15–16 (odd side) show that
+//! under S3 the minimum's *final snake rank* decreases by at most one per
+//! two steps, hence at least `2m − 3` steps are needed when the minimum
+//! starts in the cell of final rank `m` — giving the Θ(N) "high
+//! probability" bound of Theorem 12.
+
+use crate::algorithm::AlgorithmId;
+use meshsort_mesh::{apply_plan, Grid, MeshError, Pos, TargetOrder};
+use serde::{Deserialize, Serialize};
+
+/// The recorded trajectory of the minimum value over one run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MinPath {
+    /// Mesh side.
+    pub side: usize,
+    /// `positions[t]` is the cell holding the minimum immediately after
+    /// step `t`; `positions[0]` is the initial cell.
+    pub positions: Vec<Pos>,
+    /// Whether the grid was sorted when tracking stopped.
+    pub sorted: bool,
+}
+
+impl MinPath {
+    /// The paper's 1-indexed final snake rank `m` of the cell at `pos`:
+    /// the minimum is "home" when `m = 1` (the top-left cell).
+    pub fn snake_rank(pos: Pos, side: usize) -> usize {
+        TargetOrder::Snake.rank_of(pos, side) + 1
+    }
+
+    /// Snake rank of the initial cell — the `m` of Theorem 12's bound.
+    pub fn initial_rank(&self) -> usize {
+        Self::snake_rank(self.positions[0], self.side)
+    }
+
+    /// First step index after which the minimum occupies the top-left
+    /// cell, or `None` if it never arrived within the recorded window.
+    pub fn steps_until_home(&self) -> Option<u64> {
+        self.positions.iter().position(|p| *p == Pos::new(0, 0)).map(|i| i as u64)
+    }
+
+    /// The snake-rank sequence sampled at the paper's `(j(i), k(i))`
+    /// instants: entry `i` is the rank immediately after step `2i`.
+    pub fn rank_walk(&self) -> Vec<usize> {
+        self.positions
+            .iter()
+            .enumerate()
+            .filter(|(t, _)| t % 2 == 0)
+            .map(|(_, p)| Self::snake_rank(*p, self.side))
+            .collect()
+    }
+
+    /// Verifies Lemmas 12 and 13 (and their odd-side analogues 15 and 16)
+    /// on this trajectory:
+    ///
+    /// * Lemma 12/15: from `(j(2i), k(2i))` to `(j(2i+1), k(2i+1))` the
+    ///   final rank stays or decreases by exactly one;
+    /// * Lemma 13/16: from `(j(2i+1), k(2i+1))` to `(j(2i+2), k(2i+2))`
+    ///   the final rank decreases by exactly one — while the minimum is
+    ///   not yet home.
+    ///
+    /// Returns the first violated transition as
+    /// `Err((walk_index, from_rank, to_rank))`.
+    pub fn verify_rank_lemmas(&self) -> Result<(), (usize, usize, usize)> {
+        let walk = self.rank_walk();
+        for (i, w) in walk.windows(2).enumerate() {
+            let (from, to) = (w[0], w[1]);
+            if from == 1 {
+                if to != 1 {
+                    return Err((i, from, to));
+                }
+                continue;
+            }
+            let ok = if i % 2 == 0 {
+                // (j(2i),k(2i)) → (j(2i+1),k(2i+1)): m or m−1.
+                to == from || to == from - 1
+            } else {
+                // (j(2i+1),k(2i+1)) → (j(2i+2),k(2i+2)): exactly m−1.
+                to == from - 1
+            };
+            if !ok {
+                return Err((i, from, to));
+            }
+        }
+        Ok(())
+    }
+}
+
+fn min_position<T: Ord>(grid: &Grid<T>) -> Pos {
+    grid.enumerate()
+        .min_by(|a, b| a.1.cmp(b.1))
+        .map(|(p, _)| p)
+        .expect("grid has at least one cell")
+}
+
+/// Runs `algorithm` on `grid`, recording the position of the smallest
+/// value after every step, until the grid is sorted in the algorithm's
+/// target order or `cap` steps elapse.
+///
+/// # Errors
+///
+/// [`MeshError::UnsupportedSide`] when the algorithm rejects the side.
+pub fn track_min<T: Ord>(
+    algorithm: AlgorithmId,
+    grid: &mut Grid<T>,
+    cap: u64,
+) -> Result<MinPath, MeshError> {
+    let side = grid.side();
+    let schedule = algorithm.schedule(side)?;
+    let order = algorithm.order();
+    let mut positions = vec![min_position(grid)];
+    let mut sorted = grid.is_sorted(order);
+    let mut t = 0u64;
+    while !sorted && t < cap {
+        apply_plan(grid, schedule.plan_at(t));
+        positions.push(min_position(grid));
+        t += 1;
+        sorted = grid.is_sorted(order);
+    }
+    Ok(MinPath { side, positions, sorted })
+}
+
+/// Theorem 12's per-input lower bound: when the minimum starts in the
+/// cell of final snake rank `m`, at least `2m − 3` steps are needed
+/// (trivially 0 for `m ≤ 1`).
+#[inline]
+pub fn theorem12_lower_bound(initial_rank: usize) -> u64 {
+    (2 * initial_rank).saturating_sub(3) as u64
+}
+
+/// Theorem 12's tail bound: the probability that the third snakelike
+/// algorithm needs fewer than `δN` steps is at most `δ/2 + δ/(2N)`.
+#[inline]
+pub fn theorem12_tail_bound(delta: f64, n_cells: usize) -> f64 {
+    delta / 2.0 + delta / (2.0 * n_cells as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_with_min_at(side: usize, pos: Pos) -> Grid<u32> {
+        // Minimum 0 at `pos`; everything else large and ascending so the
+        // rest of the grid does not interfere quickly.
+        let mut next = 1u32;
+        Grid::from_fn(side, |p| {
+            if p == pos {
+                0
+            } else {
+                let v = next;
+                next += 1;
+                v
+            }
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn snake_rank_examples() {
+        // 4×4: cell (1,3) holds the 5th smallest (m=5) in snake order.
+        assert_eq!(MinPath::snake_rank(Pos::new(0, 0), 4), 1);
+        assert_eq!(MinPath::snake_rank(Pos::new(1, 3), 4), 5);
+        assert_eq!(MinPath::snake_rank(Pos::new(1, 0), 4), 8);
+    }
+
+    #[test]
+    fn s3_rank_lemmas_hold_from_every_start_even_side() {
+        let side = 6;
+        for r in 0..side {
+            for c in 0..side {
+                let mut g = grid_with_min_at(side, Pos::new(r, c));
+                let path =
+                    track_min(AlgorithmId::SnakePhaseAligned, &mut g, 8 * (side * side) as u64)
+                        .unwrap();
+                assert!(path.sorted, "start ({r},{c}) did not sort");
+                path.verify_rank_lemmas().unwrap_or_else(|(i, from, to)| {
+                    panic!("start ({r},{c}): walk step {i} went {from} -> {to}")
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn s3_rank_lemmas_hold_from_every_start_odd_side() {
+        // Appendix regime (Lemmas 15–16).
+        let side = 5;
+        for r in 0..side {
+            for c in 0..side {
+                let mut g = grid_with_min_at(side, Pos::new(r, c));
+                let path =
+                    track_min(AlgorithmId::SnakePhaseAligned, &mut g, 8 * (side * side) as u64)
+                        .unwrap();
+                assert!(path.sorted);
+                path.verify_rank_lemmas().unwrap_or_else(|(i, from, to)| {
+                    panic!("odd side start ({r},{c}): walk step {i} went {from} -> {to}")
+                });
+            }
+        }
+    }
+
+    #[test]
+    fn s3_min_needs_at_least_2m_minus_3_steps() {
+        for side in [4usize, 5, 6] {
+            for r in 0..side {
+                for c in 0..side {
+                    let start = Pos::new(r, c);
+                    let mut g = grid_with_min_at(side, start);
+                    let m = MinPath::snake_rank(start, side);
+                    let path =
+                        track_min(AlgorithmId::SnakePhaseAligned, &mut g, 8 * (side * side) as u64)
+                            .unwrap();
+                    let home = path.steps_until_home().expect("min reaches (0,0) once sorted");
+                    assert!(
+                        home >= theorem12_lower_bound(m),
+                        "side {side} start {start}: home after {home} < 2·{m}−3"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn s1_min_can_move_faster_than_s3() {
+        // Contrast claim from the paper's §3 conclusion: for the *other*
+        // algorithms the minimum reaches home in Θ(√N) average steps,
+        // while S3 forces Θ(N). Spot-check one far-away start.
+        let side = 8;
+        let start = Pos::new(side - 1, 0); // snake rank 8*8 = 64 on even side
+        let m = MinPath::snake_rank(start, side);
+        assert_eq!(m, side * side);
+
+        let mut g1 = grid_with_min_at(side, start);
+        let p1 = track_min(AlgorithmId::SnakeAlternating, &mut g1, 8 * 64).unwrap();
+        let mut g3 = grid_with_min_at(side, start);
+        let p3 = track_min(AlgorithmId::SnakePhaseAligned, &mut g3, 8 * 64).unwrap();
+
+        let h1 = p1.steps_until_home().unwrap();
+        let h3 = p3.steps_until_home().unwrap();
+        assert!(h3 >= theorem12_lower_bound(m));
+        assert!(h1 < h3, "S1 home {h1} should beat S3 home {h3}");
+    }
+
+    #[test]
+    fn min_at_home_stays_home() {
+        let side = 4;
+        let mut g = grid_with_min_at(side, Pos::new(0, 0));
+        let path = track_min(AlgorithmId::SnakePhaseAligned, &mut g, 8 * 16).unwrap();
+        assert_eq!(path.steps_until_home(), Some(0));
+        assert!(path.positions.iter().all(|p| *p == Pos::new(0, 0)));
+    }
+
+    #[test]
+    fn tail_bound_formula() {
+        // δ/2 + δ/(2N)
+        let b = theorem12_tail_bound(0.5, 100);
+        assert!((b - (0.25 + 0.0025)).abs() < 1e-12);
+        assert_eq!(theorem12_tail_bound(0.0, 64), 0.0);
+    }
+
+    #[test]
+    fn lower_bound_formula() {
+        assert_eq!(theorem12_lower_bound(1), 0);
+        assert_eq!(theorem12_lower_bound(2), 1);
+        assert_eq!(theorem12_lower_bound(10), 17);
+    }
+}

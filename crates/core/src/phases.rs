@@ -1,0 +1,230 @@
+//! Plan builders: compiling the paper's step descriptions into
+//! [`StepPlan`]s.
+//!
+//! All five algorithms are assembled from four ingredients:
+//!
+//! * a **row phase** where each row acts as a linear array (possibly with
+//!   different phase/direction per row parity),
+//! * a **column phase** where each column acts as a linear array with the
+//!   smaller value always output in the *top-most* cell (possibly
+//!   phase-staggered by column parity),
+//! * the **wrap-around comparisons** of the row-major algorithms
+//!   (paper §1, step 4i+3), and
+//! * [`StepPlan::merge`] to run the wrap simultaneously with a row phase.
+//!
+//! Pair patterns come from `meshsort-linear`'s [`phase_pairs`] so the 1D
+//! and 2D semantics cannot drift apart.
+
+use meshsort_mesh::plan::{Comparator, StepPlan};
+use meshsort_mesh::MeshError;
+
+/// Odd/even phase of a linear-array step — re-exported from the 1D crate.
+pub use meshsort_linear::array::Phase;
+/// Forward (ascending) vs paper Definition 1 reverse (descending) —
+/// re-exported from the 1D crate.
+pub use meshsort_linear::array::SortDirection;
+
+use meshsort_linear::array::phase_pairs;
+
+/// Per-row instruction for a row phase: which pair phase and direction the
+/// row executes, or `None` for an idle row.
+pub type RowSpec = Option<(Phase, SortDirection)>;
+
+/// Per-column instruction for a column phase: which pair phase the column
+/// executes (columns always keep the smaller value on top), or `None` for
+/// an idle column.
+pub type ColSpec = Option<Phase>;
+
+/// Builds the plan of one row phase. `spec` receives the 0-indexed row and
+/// returns what that row does. (Remember the paper's "odd rows" are the
+/// 0-indexed rows 0, 2, 4, … — see [`meshsort_mesh::Pos::paper_row_is_odd`].)
+pub fn rows_plan(side: usize, spec: impl Fn(usize) -> RowSpec) -> StepPlan {
+    let mut comparators = Vec::new();
+    for row in 0..side {
+        if let Some((phase, direction)) = spec(row) {
+            for (a, b) in phase_pairs(side, phase) {
+                let left = (row * side + a) as u32;
+                let right = (row * side + b) as u32;
+                comparators.push(match direction {
+                    SortDirection::Forward => Comparator::new(left, right),
+                    SortDirection::Reverse => Comparator::new(right, left),
+                });
+            }
+        }
+    }
+    StepPlan::new(comparators).expect("rows are disjoint; pairs within a row are disjoint")
+}
+
+/// Builds the plan of one column phase. `spec` receives the 0-indexed
+/// column. The smaller value always goes to the top cell of the pair
+/// (every column sort in the paper is in the ordinary direction).
+pub fn cols_plan(side: usize, spec: impl Fn(usize) -> ColSpec) -> StepPlan {
+    let mut comparators = Vec::new();
+    for col in 0..side {
+        if let Some(phase) = spec(col) {
+            for (a, b) in phase_pairs(side, phase) {
+                let top = (a * side + col) as u32;
+                let bottom = (b * side + col) as u32;
+                comparators.push(Comparator::new(top, bottom));
+            }
+        }
+    }
+    StepPlan::new(comparators).expect("columns are disjoint; pairs within a column are disjoint")
+}
+
+/// The wrap-around comparisons of the row-major algorithms (paper §1,
+/// step 4i+3): for paper rows `h = 1 .. √N−1`, compare the `h`-th row of
+/// the last column with the `h+1`-st row of the first column; the smaller
+/// value is placed in the `h`-th row of the last column.
+///
+/// In 0-indexed terms: for `r in 0..side−1`, `keep_min = (r, side−1)`,
+/// `keep_max = (r+1, 0)`. Cells `(0, 0)` and `(side−1, side−1)` are idle.
+/// These are exactly the adjacent pairs of the row-major linear chain that
+/// the row phases do not cover, which is why an `N`-cell linear array is
+/// "essentially embedded" in the mesh (paper §1).
+pub fn wrap_plan(side: usize) -> StepPlan {
+    let mut comparators = Vec::with_capacity(side.saturating_sub(1));
+    for r in 0..side.saturating_sub(1) {
+        let last_col = (r * side + side - 1) as u32;
+        let first_col_next_row = ((r + 1) * side) as u32;
+        comparators.push(Comparator::new(last_col, first_col_next_row));
+    }
+    StepPlan::new(comparators).expect("wrap cells are pairwise distinct")
+}
+
+/// Merges a row phase with the wrap plan into one simultaneous step,
+/// verifying cell-disjointness (the row *even* phase leaves the first and
+/// last column untouched, so the merge is legal exactly as the paper
+/// requires).
+pub fn rows_with_wrap(side: usize, spec: impl Fn(usize) -> RowSpec) -> Result<StepPlan, MeshError> {
+    rows_plan(side, spec).merge(&wrap_plan(side))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshsort_mesh::{apply_plan, Grid};
+
+    #[test]
+    fn rows_plan_all_forward_odd() {
+        let p = rows_plan(4, |_| Some((Phase::Odd, SortDirection::Forward)));
+        // 4 rows × 2 pairs.
+        assert_eq!(p.len(), 8);
+        let mut g = Grid::from_rows(4, (0..16u32).rev().collect()).unwrap();
+        apply_plan(&mut g, &p);
+        // Row 0 was 15 14 13 12 → 14 15 12 13.
+        assert_eq!(g.row(0).copied().collect::<Vec<_>>(), vec![14, 15, 12, 13]);
+    }
+
+    #[test]
+    fn rows_plan_reverse_direction() {
+        let p = rows_plan(2, |_| Some((Phase::Odd, SortDirection::Reverse)));
+        let mut g = Grid::from_rows(2, vec![1u32, 2, 3, 4]).unwrap();
+        apply_plan(&mut g, &p);
+        // Each row pair keeps the smaller value on the right.
+        assert_eq!(g.as_slice(), &[2, 1, 4, 3]);
+    }
+
+    #[test]
+    fn rows_plan_idle_rows() {
+        let p = rows_plan(4, |r| {
+            if r % 2 == 0 {
+                Some((Phase::Odd, SortDirection::Forward))
+            } else {
+                None
+            }
+        });
+        assert_eq!(p.len(), 4); // only rows 0 and 2
+    }
+
+    #[test]
+    fn even_phase_skips_row_ends() {
+        let p = rows_plan(4, |_| Some((Phase::Even, SortDirection::Forward)));
+        // Pairs (1,2) per row only → 4 comparators; columns 0 and 3 idle.
+        assert_eq!(p.len(), 4);
+        for c in p.comparators() {
+            assert_ne!(c.keep_min % 4, 0);
+            assert_ne!(c.keep_max % 4, 3);
+        }
+    }
+
+    #[test]
+    fn cols_plan_smaller_on_top() {
+        let p = cols_plan(2, |_| Some(Phase::Odd));
+        let mut g = Grid::from_rows(2, vec![3u32, 4, 1, 2]).unwrap();
+        apply_plan(&mut g, &p);
+        assert_eq!(g.as_slice(), &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn cols_plan_staggered() {
+        let p = cols_plan(4, |c| if c % 2 == 0 { Some(Phase::Odd) } else { Some(Phase::Even) });
+        // Odd (paper) columns: pairs (0,1),(2,3) → 2 each for cols 0,2.
+        // Even (paper) columns: pair (1,2) → 1 each for cols 1,3.
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn wrap_plan_matches_paper_definition() {
+        let side = 4;
+        let p = wrap_plan(side);
+        assert_eq!(p.len(), side - 1);
+        // h-th row of column 2n keeps the min vs h+1-st row of column 1.
+        for (h, c) in p.comparators().iter().enumerate() {
+            assert_eq!(c.keep_min as usize, h * side + side - 1);
+            assert_eq!(c.keep_max as usize, (h + 1) * side);
+        }
+    }
+
+    #[test]
+    fn wrap_plan_moves_value_around_the_edge() {
+        let side = 2;
+        // Grid: [[5, 9], [1, 7]] — wrap compares (0,1)=9 with (1,0)=1.
+        let mut g = Grid::from_rows(side, vec![5u32, 9, 1, 7]).unwrap();
+        apply_plan(&mut g, &wrap_plan(side));
+        assert_eq!(g.as_slice(), &[5, 1, 9, 7]);
+    }
+
+    #[test]
+    fn rows_with_wrap_is_disjoint_for_even_phase() {
+        // Paper step 4i+3: row even phase + wrap must not collide.
+        for side in [2usize, 4, 6, 8] {
+            let p = rows_with_wrap(side, |_| Some((Phase::Even, SortDirection::Forward)));
+            assert!(p.is_ok(), "side {side}");
+        }
+    }
+
+    #[test]
+    fn rows_with_wrap_collides_for_odd_phase() {
+        // Sanity: the odd row phase *does* touch the first column, so
+        // merging with the wrap must fail — guards against mis-assembling
+        // the cycle.
+        let res = rows_with_wrap(4, |_| Some((Phase::Odd, SortDirection::Forward)));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn wrap_chain_is_row_major_linear_array() {
+        // The row phases + wrap cover exactly the adjacent pairs of the
+        // row-major chain: (k, k+1) for all flat k. Verify the union.
+        let side = 4;
+        let odd = rows_plan(side, |_| Some((Phase::Odd, SortDirection::Forward)));
+        let even_wrap = rows_with_wrap(side, |_| Some((Phase::Even, SortDirection::Forward))).unwrap();
+        let mut pairs: Vec<(u32, u32)> = odd
+            .comparators()
+            .iter()
+            .chain(even_wrap.comparators())
+            .map(|c| (c.keep_min, c.keep_max))
+            .collect();
+        pairs.sort_unstable();
+        let expected: Vec<(u32, u32)> = (0..(side * side - 1) as u32).map(|k| (k, k + 1)).collect();
+        assert_eq!(pairs, expected);
+    }
+
+    #[test]
+    fn side_one_plans_are_empty() {
+        assert!(rows_plan(1, |_| Some((Phase::Odd, SortDirection::Forward))).is_empty());
+        assert!(cols_plan(1, |_| Some(Phase::Odd)).is_empty());
+        assert!(wrap_plan(1).is_empty());
+    }
+}

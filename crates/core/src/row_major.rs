@@ -1,0 +1,189 @@
+//! The two row-major algorithms (paper §1, analysed in §2).
+//!
+//! Both assume `√N = 2n` and use wrap-around wires between column `2n` and
+//! column `1`. The first begins with a row sort:
+//!
+//! 1. step 4i+1 — each row performs an **odd** step of the bubble sort;
+//! 2. step 4i+2 — each column performs an **odd** step (smaller on top);
+//! 3. step 4i+3 — each row performs an **even** step, *simultaneously*
+//!    with the wrap-around comparisons;
+//! 4. step 4i+4 — each column performs an **even** step.
+//!
+//! The second algorithm swaps adjacent steps: "steps 2i+1 and 2i+2 of this
+//! algorithm are steps 2i+2 and 2i+1 of the first algorithm, respectively",
+//! i.e. its cycle is column-odd, row-odd, column-even, row-even + wrap.
+
+use crate::phases::{cols_plan, rows_plan, rows_with_wrap, Phase, SortDirection};
+use meshsort_mesh::{CycleSchedule, MeshError};
+
+fn row_odd(side: usize) -> meshsort_mesh::StepPlan {
+    rows_plan(side, |_| Some((Phase::Odd, SortDirection::Forward)))
+}
+
+fn col_odd(side: usize) -> meshsort_mesh::StepPlan {
+    cols_plan(side, |_| Some(Phase::Odd))
+}
+
+fn row_even_with_wrap(side: usize) -> Result<meshsort_mesh::StepPlan, MeshError> {
+    rows_with_wrap(side, |_| Some((Phase::Even, SortDirection::Forward)))
+}
+
+fn col_even(side: usize) -> meshsort_mesh::StepPlan {
+    cols_plan(side, |_| Some(Phase::Even))
+}
+
+/// Cycle of the algorithm that begins with a row sorting step.
+pub fn row_first_schedule(side: usize) -> Result<CycleSchedule, MeshError> {
+    CycleSchedule::new(
+        vec![row_odd(side), col_odd(side), row_even_with_wrap(side)?, col_even(side)],
+        side * side,
+    )
+}
+
+/// Cycle of the algorithm that begins with a column sorting step.
+pub fn col_first_schedule(side: usize) -> Result<CycleSchedule, MeshError> {
+    CycleSchedule::new(
+        vec![col_odd(side), row_odd(side), col_even(side), row_even_with_wrap(side)?],
+        side * side,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshsort_mesh::{Grid, TargetOrder};
+
+    fn run(side: usize, data: Vec<u32>, schedule: &CycleSchedule) -> (u64, bool) {
+        let mut g = Grid::from_rows(side, data).unwrap();
+        let cap = 16 * (side * side) as u64 + 64;
+        let out = schedule.run_until_sorted(&mut g, TargetOrder::RowMajor, cap);
+        assert!(g.is_sorted(TargetOrder::RowMajor) == out.sorted);
+        (out.steps, out.sorted)
+    }
+
+    #[test]
+    fn row_first_sorts_reverse_4x4() {
+        let s = row_first_schedule(4).unwrap();
+        let (steps, sorted) = run(4, (0..16).rev().collect(), &s);
+        assert!(sorted, "did not sort");
+        assert!(steps > 0);
+    }
+
+    #[test]
+    fn col_first_sorts_reverse_4x4() {
+        let s = col_first_schedule(4).unwrap();
+        let (_, sorted) = run(4, (0..16).rev().collect(), &s);
+        assert!(sorted);
+    }
+
+    #[test]
+    fn steps_swapped_pairwise_between_the_two() {
+        // R2's steps (2i+1, 2i+2) are R1's (2i+2, 2i+1).
+        let side = 6;
+        let r1 = row_first_schedule(side).unwrap();
+        let r2 = col_first_schedule(side).unwrap();
+        assert_eq!(r2.plans()[0], r1.plans()[1]);
+        assert_eq!(r2.plans()[1], r1.plans()[0]);
+        assert_eq!(r2.plans()[2], r1.plans()[3]);
+        assert_eq!(r2.plans()[3], r1.plans()[2]);
+    }
+
+    #[test]
+    fn sorted_state_is_fixed_point() {
+        for side in [2usize, 4, 6] {
+            for schedule in [row_first_schedule(side).unwrap(), col_first_schedule(side).unwrap()]
+            {
+                let mut g = meshsort_mesh::grid::sorted_permutation_grid(side, TargetOrder::RowMajor);
+                let out = schedule.run_steps(&mut g, 0, 8);
+                assert_eq!(out.swaps, 0, "side {side}: sorted state moved");
+                assert!(g.is_sorted(TargetOrder::RowMajor));
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_column_of_smallest_eventually_sorts() {
+        // Paper: the worst case is attained when the smallest 2n entries
+        // begin in the same column. Without wrap-around wires this input
+        // would never sort; with them it must.
+        let side = 4;
+        let mut data = vec![0u32; side * side];
+        let mut next = side as u32; // values side.. for the rest
+        for r in 0..side {
+            for c in 0..side {
+                data[r * side + c] = if c == 0 {
+                    r as u32 // smallest `side` values down column 1
+                } else {
+                    let v = next;
+                    next += 1;
+                    v
+                };
+            }
+        }
+        let s = row_first_schedule(side).unwrap();
+        let (steps, sorted) = run(side, data.clone(), &s);
+        assert!(sorted, "wrap-around must rescue the pathological column");
+        // Theorem 1 / Corollary 1 regime: this input is expensive —
+        // it must cost more than a small multiple of the side.
+        assert!(steps as usize > 2 * side, "steps={steps}");
+        let s2 = col_first_schedule(side).unwrap();
+        let (_, sorted2) = run(side, data, &s2);
+        assert!(sorted2);
+    }
+
+    #[test]
+    fn exhaustive_zero_one_4x4_row_first() {
+        // 0-1 principle: an oblivious comparison-exchange algorithm sorts
+        // all inputs iff it sorts all 0-1 inputs. Exhaustively check every
+        // 0-1 matrix on the 4×4 mesh (2^16 inputs).
+        let side = 4;
+        let s = row_first_schedule(side).unwrap();
+        let cap = 16 * (side * side) as u64 + 64;
+        let mut max_steps = 0u64;
+        for mask in 0u32..(1 << 16) {
+            let data: Vec<u8> = (0..16).map(|i| ((mask >> i) & 1) as u8).collect();
+            let mut g = Grid::from_rows(side, data).unwrap();
+            let out = s.run_until_sorted(&mut g, TargetOrder::RowMajor, cap);
+            assert!(out.sorted, "mask {mask:#x} failed to sort");
+            max_steps = max_steps.max(out.steps);
+        }
+        // Worst case is Θ(N); record the constant in range for 4×4.
+        assert!(max_steps >= 16, "worst 0-1 case should cost >= N steps, got {max_steps}");
+        assert!(max_steps <= 64, "worst 0-1 case unexpectedly large: {max_steps}");
+    }
+
+    #[test]
+    fn exhaustive_zero_one_2x2_both() {
+        for schedule in [row_first_schedule(2).unwrap(), col_first_schedule(2).unwrap()] {
+            for mask in 0u32..16 {
+                let data: Vec<u8> = (0..4).map(|i| ((mask >> i) & 1) as u8).collect();
+                let mut g = Grid::from_rows(2, data).unwrap();
+                let out = schedule.run_until_sorted(&mut g, TargetOrder::RowMajor, 200);
+                assert!(out.sorted, "mask {mask:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_permutations_sort_on_even_sides() {
+        use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0x5eed);
+        for side in [2usize, 4, 6, 8] {
+            for schedule in [row_first_schedule(side).unwrap(), col_first_schedule(side).unwrap()]
+            {
+                for _ in 0..10 {
+                    let mut data: Vec<u32> = (0..(side * side) as u32).collect();
+                    data.shuffle(&mut rng);
+                    let mut g = Grid::from_rows(side, data).unwrap();
+                    let cap = 16 * (side * side) as u64 + 64;
+                    let out = schedule.run_until_sorted(&mut g, TargetOrder::RowMajor, cap);
+                    assert!(out.sorted, "side {side}");
+                    assert_eq!(
+                        g.as_slice(),
+                        (0..(side * side) as u32).collect::<Vec<_>>().as_slice()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! High-level sorting drivers with paper-appropriate step caps.
+
+use crate::algorithm::AlgorithmId;
+use meshsort_mesh::{Grid, MeshError};
+use serde::{Deserialize, Serialize};
+
+/// Generous step cap for a run of any of the five algorithms.
+///
+/// The paper shows the worst case of each algorithm is `Θ(N)`; exhaustive
+/// small-mesh 0-1 sweeps in this workspace put the observed constant well
+/// under 4, so `8N + 8√N + 64` leaves a wide margin while still bounding
+/// runaway loops if an implementation bug breaks convergence.
+#[inline]
+pub fn default_step_cap(side: usize) -> u64 {
+    let n = (side * side) as u64;
+    8 * n + 8 * side as u64 + 64
+}
+
+/// Measurement of one sorting run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SortRun {
+    /// Which algorithm ran.
+    pub algorithm: AlgorithmId,
+    /// Mesh side.
+    pub side: usize,
+    /// The engine-level outcome.
+    pub outcome: RunStats,
+}
+
+/// Flattened, serializable mirror of [`meshsort_mesh::schedule::RunOutcome`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Steps executed before the grid first read sorted.
+    pub steps: u64,
+    /// Total exchanges performed.
+    pub swaps: u64,
+    /// Total comparator evaluations.
+    pub comparisons: u64,
+    /// Whether the run finished sorted (always true unless the cap was
+    /// hit, which indicates a bug).
+    pub sorted: bool,
+}
+
+impl From<meshsort_mesh::schedule::RunOutcome> for RunStats {
+    fn from(o: meshsort_mesh::schedule::RunOutcome) -> Self {
+        RunStats { steps: o.steps, swaps: o.swaps, comparisons: o.comparisons, sorted: o.sorted }
+    }
+}
+
+/// Sorts `grid` in place with `algorithm`, running until the grid reaches
+/// the algorithm's target order (or the default cap).
+///
+/// # Errors
+///
+/// [`MeshError::UnsupportedSide`] when the algorithm is not defined for
+/// the grid's side (row-major algorithms on odd sides).
+pub fn sort_to_completion<T: Ord>(
+    algorithm: AlgorithmId,
+    grid: &mut Grid<T>,
+) -> Result<SortRun, MeshError> {
+    sort_with_cap(algorithm, grid, default_step_cap(grid.side()))
+}
+
+/// Like [`sort_to_completion`] with an explicit step cap.
+///
+/// # Errors
+///
+/// [`MeshError::UnsupportedSide`] as for [`sort_to_completion`].
+pub fn sort_with_cap<T: Ord>(
+    algorithm: AlgorithmId,
+    grid: &mut Grid<T>,
+    cap: u64,
+) -> Result<SortRun, MeshError> {
+    let side = grid.side();
+    let schedule = algorithm.schedule(side)?;
+    let outcome = schedule.run_until_sorted(grid, algorithm.order(), cap);
+    Ok(SortRun { algorithm, side, outcome: outcome.into() })
+}
+
+/// Runs `algorithm` for exactly `steps` steps from the cycle start,
+/// returning the engine totals — used by the 0–1 observers that need the
+/// state "immediately after step t".
+///
+/// # Errors
+///
+/// [`MeshError::UnsupportedSide`] as for [`sort_to_completion`].
+pub fn run_exact_steps<T: Ord>(
+    algorithm: AlgorithmId,
+    grid: &mut Grid<T>,
+    steps: u64,
+) -> Result<RunStats, MeshError> {
+    let schedule = algorithm.schedule(grid.side())?;
+    let out = schedule.run_steps(grid, 0, steps);
+    Ok(RunStats { steps, swaps: out.swaps, comparisons: out.comparisons, sorted: false })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshsort_mesh::TargetOrder;
+
+    #[test]
+    fn cap_is_theta_n() {
+        assert!(default_step_cap(4) >= 8 * 16);
+        assert!(default_step_cap(32) >= 8 * 1024);
+    }
+
+    #[test]
+    fn sort_to_completion_all_five_8x8() {
+        let side = 8;
+        let n = side * side;
+        for a in AlgorithmId::ALL {
+            let mut g = Grid::from_rows(side, (0..n as u32).rev().collect()).unwrap();
+            let run = sort_to_completion(a, &mut g).unwrap();
+            assert!(run.outcome.sorted, "{a}");
+            assert!(g.is_sorted(a.order()), "{a}");
+            assert_eq!(run.side, side);
+            assert_eq!(run.algorithm, a);
+            // Θ(N) regime: a reversed input is expensive.
+            assert!(run.outcome.steps >= side as u64, "{a}: {}", run.outcome.steps);
+            assert!(run.outcome.steps <= default_step_cap(side), "{a}");
+        }
+    }
+
+    #[test]
+    fn unsupported_side_propagates() {
+        let mut g = Grid::from_rows(3, (0..9u32).collect()).unwrap();
+        assert!(sort_to_completion(AlgorithmId::RowMajorRowFirst, &mut g).is_err());
+        assert!(sort_to_completion(AlgorithmId::SnakeAlternating, &mut g).is_ok());
+    }
+
+    #[test]
+    fn run_exact_steps_counts() {
+        let side = 4;
+        let mut g = Grid::from_rows(side, (0..16u32).rev().collect()).unwrap();
+        let stats = run_exact_steps(AlgorithmId::RowMajorRowFirst, &mut g, 1).unwrap();
+        assert_eq!(stats.steps, 1);
+        // One odd row step on a reversed grid swaps every pair.
+        assert_eq!(stats.swaps, 8);
+        assert_eq!(stats.comparisons, 8);
+    }
+
+    #[test]
+    fn sort_with_tight_cap_reports_unsorted() {
+        let side = 8;
+        let mut g = Grid::from_rows(side, (0..64u32).rev().collect()).unwrap();
+        let run = sort_with_cap(AlgorithmId::SnakeAlternating, &mut g, 2).unwrap();
+        assert!(!run.outcome.sorted);
+        assert_eq!(run.outcome.steps, 2);
+        assert!(!g.is_sorted(TargetOrder::Snake));
+    }
+
+    #[test]
+    fn already_sorted_costs_zero() {
+        for a in AlgorithmId::ALL {
+            let side = 4;
+            let mut g = meshsort_mesh::grid::sorted_permutation_grid(side, a.order());
+            let run = sort_to_completion(a, &mut g).unwrap();
+            assert_eq!(run.outcome.steps, 0, "{a}");
+            assert!(run.outcome.sorted);
+        }
+    }
+}

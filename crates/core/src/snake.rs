@@ -1,0 +1,213 @@
+//! The three snakelike algorithms (paper §1, analysed in §3 and the
+//! appendix).
+//!
+//! All three finish with the input in snakelike order: paper-odd rows
+//! ascend left→right, paper-even rows ascend right→left. Paper-even rows
+//! therefore run the *reverse bubble sort* of Definition 1 (smaller value
+//! to the rightmost cell). No wrap-around wires are used.
+//!
+//! * **S1 (alternating)** — step 4i+1: odd rows bubble-odd, even rows
+//!   reverse-**even**; step 4i+2: all columns odd; step 4i+3: odd rows
+//!   bubble-even, even rows reverse-**odd**; step 4i+4: all columns even.
+//! * **S2 (staggered columns)** — S1's row steps; column steps staggered:
+//!   step 4i+2: odd columns odd-phase, even columns even-phase;
+//!   step 4i+4: odd columns even-phase, even columns odd-phase.
+//! * **S3 (phase-aligned rows)** — S2's column steps; row steps aligned:
+//!   step 4i+1: odd rows bubble-odd, even rows reverse-**odd**;
+//!   step 4i+3: odd rows bubble-even, even rows reverse-**even**.
+//!
+//! "Odd rows/columns" use the paper's 1-indexed numbering: 0-indexed rows
+//! 0, 2, 4, … are the paper's odd rows.
+//!
+//! The paper analyses even sides `√N = 2n` in §3 and odd sides
+//! `√N = 2n + 1` in the appendix; the step definitions are identical, so
+//! these builders accept any side ≥ 1.
+
+use crate::phases::{cols_plan, rows_plan, Phase, SortDirection};
+use meshsort_mesh::{CycleSchedule, MeshError, StepPlan};
+
+fn is_paper_odd(index0: usize) -> bool {
+    index0 % 2 == 0
+}
+
+/// Row step: paper-odd rows bubble with `odd_phase`, paper-even rows
+/// reverse with `even_phase`.
+fn snake_rows(side: usize, odd_phase: Phase, even_phase: Phase) -> StepPlan {
+    rows_plan(side, |r| {
+        if is_paper_odd(r) {
+            Some((odd_phase, SortDirection::Forward))
+        } else {
+            Some((even_phase, SortDirection::Reverse))
+        }
+    })
+}
+
+/// Column step where every column runs the same phase.
+fn uniform_cols(side: usize, phase: Phase) -> StepPlan {
+    cols_plan(side, |_| Some(phase))
+}
+
+/// Column step where paper-odd columns run `odd_phase` and paper-even
+/// columns run the flipped phase.
+fn staggered_cols(side: usize, odd_phase: Phase) -> StepPlan {
+    cols_plan(side, |c| Some(if is_paper_odd(c) { odd_phase } else { odd_phase.flip() }))
+}
+
+/// Cycle of the first snakelike algorithm.
+pub fn alternating_schedule(side: usize) -> Result<CycleSchedule, MeshError> {
+    CycleSchedule::new(
+        vec![
+            snake_rows(side, Phase::Odd, Phase::Even),
+            uniform_cols(side, Phase::Odd),
+            snake_rows(side, Phase::Even, Phase::Odd),
+            uniform_cols(side, Phase::Even),
+        ],
+        side * side,
+    )
+}
+
+/// Cycle of the second snakelike algorithm.
+pub fn staggered_cols_schedule(side: usize) -> Result<CycleSchedule, MeshError> {
+    CycleSchedule::new(
+        vec![
+            snake_rows(side, Phase::Odd, Phase::Even),
+            staggered_cols(side, Phase::Odd),
+            snake_rows(side, Phase::Even, Phase::Odd),
+            staggered_cols(side, Phase::Even),
+        ],
+        side * side,
+    )
+}
+
+/// Cycle of the third snakelike algorithm.
+pub fn phase_aligned_schedule(side: usize) -> Result<CycleSchedule, MeshError> {
+    CycleSchedule::new(
+        vec![
+            snake_rows(side, Phase::Odd, Phase::Odd),
+            staggered_cols(side, Phase::Odd),
+            snake_rows(side, Phase::Even, Phase::Even),
+            staggered_cols(side, Phase::Even),
+        ],
+        side * side,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshsort_mesh::{Grid, TargetOrder};
+
+    fn schedules(side: usize) -> Vec<(&'static str, CycleSchedule)> {
+        vec![
+            ("S1", alternating_schedule(side).unwrap()),
+            ("S2", staggered_cols_schedule(side).unwrap()),
+            ("S3", phase_aligned_schedule(side).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn s2_shares_s1_row_steps() {
+        let side = 6;
+        let s1 = alternating_schedule(side).unwrap();
+        let s2 = staggered_cols_schedule(side).unwrap();
+        assert_eq!(s1.plans()[0], s2.plans()[0]);
+        assert_eq!(s1.plans()[2], s2.plans()[2]);
+        assert_ne!(s1.plans()[1], s2.plans()[1]);
+        assert_ne!(s1.plans()[3], s2.plans()[3]);
+    }
+
+    #[test]
+    fn s3_shares_s2_col_steps() {
+        let side = 6;
+        let s2 = staggered_cols_schedule(side).unwrap();
+        let s3 = phase_aligned_schedule(side).unwrap();
+        assert_eq!(s2.plans()[1], s3.plans()[1]);
+        assert_eq!(s2.plans()[3], s3.plans()[3]);
+        assert_ne!(s2.plans()[0], s3.plans()[0]);
+        assert_ne!(s2.plans()[2], s3.plans()[2]);
+    }
+
+    #[test]
+    fn sorted_snake_state_is_fixed_point() {
+        for side in [2usize, 3, 4, 5, 6, 7] {
+            for (name, s) in schedules(side) {
+                let mut g = meshsort_mesh::grid::sorted_permutation_grid(side, TargetOrder::Snake);
+                let out = s.run_steps(&mut g, 0, 8);
+                assert_eq!(out.swaps, 0, "{name} side {side}: sorted state moved");
+            }
+        }
+    }
+
+    #[test]
+    fn sorts_reverse_inputs_even_and_odd_sides() {
+        for side in [2usize, 3, 4, 5, 6, 7, 8, 9] {
+            for (name, s) in schedules(side) {
+                let n = side * side;
+                let mut g = Grid::from_rows(side, (0..n as u32).rev().collect()).unwrap();
+                let out = s.run_until_sorted(&mut g, TargetOrder::Snake, 16 * n as u64 + 64);
+                assert!(out.sorted, "{name} side {side} failed");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_zero_one_4x4_all_three() {
+        // 0-1 principle over all 2^16 matrices for each snake algorithm.
+        let side = 4;
+        for (name, s) in schedules(side) {
+            let cap = 16 * (side * side) as u64 + 64;
+            let mut max_steps = 0u64;
+            for mask in 0u32..(1 << 16) {
+                let data: Vec<u8> = (0..16).map(|i| ((mask >> i) & 1) as u8).collect();
+                let mut g = Grid::from_rows(side, data).unwrap();
+                let out = s.run_until_sorted(&mut g, TargetOrder::Snake, cap);
+                assert!(out.sorted, "{name}: mask {mask:#x} failed to sort");
+                max_steps = max_steps.max(out.steps);
+            }
+            assert!(max_steps <= 4 * 16 + 16, "{name}: worst case {max_steps} out of Θ(N) range");
+        }
+    }
+
+    #[test]
+    fn exhaustive_zero_one_3x3_all_three() {
+        // Odd side (appendix regime), exhaustive over 2^9 matrices.
+        let side = 3;
+        for (name, s) in schedules(side) {
+            for mask in 0u32..(1 << 9) {
+                let data: Vec<u8> = (0..9).map(|i| ((mask >> i) & 1) as u8).collect();
+                let mut g = Grid::from_rows(side, data).unwrap();
+                let out = s.run_until_sorted(&mut g, TargetOrder::Snake, 400);
+                assert!(out.sorted, "{name}: mask {mask:#x} failed to sort on odd side");
+            }
+        }
+    }
+
+    #[test]
+    fn random_permutations_sort() {
+        use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xfeed);
+        for side in [3usize, 4, 5, 6, 7, 8] {
+            for (name, s) in schedules(side) {
+                for _ in 0..8 {
+                    let n = side * side;
+                    let mut data: Vec<u32> = (0..n as u32).collect();
+                    data.shuffle(&mut rng);
+                    let mut g = Grid::from_rows(side, data).unwrap();
+                    let out = s.run_until_sorted(&mut g, TargetOrder::Snake, 16 * n as u64 + 64);
+                    assert!(out.sorted, "{name} side {side}");
+                    assert!(g.is_sorted(TargetOrder::Snake));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn side_one_trivial() {
+        for (name, s) in schedules(1) {
+            let mut g = Grid::from_rows(1, vec![42u32]).unwrap();
+            let out = s.run_until_sorted(&mut g, TargetOrder::Snake, 4);
+            assert!(out.sorted, "{name}");
+            assert_eq!(out.steps, 0);
+        }
+    }
+}

@@ -1,0 +1,361 @@
+//! Algorithm variants that *illuminate* the paper's design choices.
+//!
+//! * [`row_first_no_wrap_schedule`] — R1 with the wrap-around
+//!   comparisons removed. The paper (§1): *"Suppose that we did not have
+//!   them and the smallest 2n numbers were initially stored by the cells
+//!   in column 1. Then the smallest 2n numbers will be forced to stay in
+//!   the same column at each step and we would never get the desired
+//!   ordering."* The variant exists so that claim is executable
+//!   ([`wrap_is_necessary_witness`] returns the stuck input).
+//!
+//! * [`chain_only_schedule`] — only the row phases plus the wrap, i.e.
+//!   the pure `N`-cell linear-array odd-even transposition sort embedded
+//!   in the mesh (the chain that gives R1 its `O(N)` worst-case proof).
+//!   Comparing it against full R1 shows what the column phases buy
+//!   (constant factors) and what they do not (the Θ(N) asymptotics).
+
+use crate::phases::{cols_plan, rows_plan, rows_with_wrap, Phase, SortDirection};
+use meshsort_mesh::{CycleSchedule, Grid, MeshError, TargetOrder};
+
+/// R1 without the wrap-around comparisons: the row-even phase runs
+/// alone at step 4i+3.
+///
+/// # Errors
+///
+/// [`MeshError::UnsupportedSide`] for odd or zero sides (same constraint
+/// as R1).
+pub fn row_first_no_wrap_schedule(side: usize) -> Result<CycleSchedule, MeshError> {
+    if side == 0 || side % 2 != 0 {
+        return Err(MeshError::UnsupportedSide { side, requirement: "even side >= 2" });
+    }
+    CycleSchedule::new(
+        vec![
+            rows_plan(side, |_| Some((Phase::Odd, SortDirection::Forward))),
+            cols_plan(side, |_| Some(Phase::Odd)),
+            rows_plan(side, |_| Some((Phase::Even, SortDirection::Forward))),
+            cols_plan(side, |_| Some(Phase::Even)),
+        ],
+        side * side,
+    )
+}
+
+/// The embedded `N`-cell chain only: row-odd, then row-even + wrap — a
+/// 2-step cycle identical to the 1D odd-even transposition sort on the
+/// row-major snake-through-the-wrap chain.
+///
+/// # Errors
+///
+/// [`MeshError::UnsupportedSide`] for odd or zero sides.
+pub fn chain_only_schedule(side: usize) -> Result<CycleSchedule, MeshError> {
+    if side == 0 || side % 2 != 0 {
+        return Err(MeshError::UnsupportedSide { side, requirement: "even side >= 2" });
+    }
+    CycleSchedule::new(
+        vec![
+            rows_plan(side, |_| Some((Phase::Odd, SortDirection::Forward))),
+            rows_with_wrap(side, |_| Some((Phase::Even, SortDirection::Forward)))?,
+        ],
+        side * side,
+    )
+}
+
+/// The paper's stuck input for the no-wrap variant: the smallest `side`
+/// values down column 0. Running [`row_first_no_wrap_schedule`] on it
+/// reaches a fixed point that is **not** sorted — the executable witness
+/// that the wrap-around wires are necessary.
+pub fn wrap_is_necessary_witness(side: usize) -> Grid<u32> {
+    meshsort_workloads_free_smallest_in_column(side)
+}
+
+// A tiny local copy of the adversarial builder so this crate does not
+// depend on `meshsort-workloads` (which depends back on nothing from
+// core, but keeping core's dependency footprint minimal matters for the
+// substrate layering). Equivalent to
+// `meshsort_workloads::adversarial::smallest_in_one_column(side, 0)`;
+// the integration tests assert the two agree.
+fn meshsort_workloads_free_smallest_in_column(side: usize) -> Grid<u32> {
+    let mut next = side as u32;
+    Grid::from_fn(side, |p| {
+        if p.col == 0 {
+            p.row as u32
+        } else {
+            let v = next;
+            next += 1;
+            v
+        }
+    })
+    .expect("side >= 1")
+}
+
+/// A row-major bubble sort for **any** side ≥ 2, including the odd sides
+/// the paper excludes ("for these algorithms, we will assume √N = 2n").
+///
+/// Why the paper's 4-step cycle cannot work on odd sides: the wrap-around
+/// comparisons need both end columns idle during some row phase, but on
+/// an odd-length row the odd phase touches column 1 and the even phase
+/// touches the last column — no single phase frees both. The natural
+/// generalization gives the wrap its own step, making a 5-step cycle:
+///
+/// 1. rows odd phase, 2. columns odd, 3. rows even phase,
+/// 4. columns even, 5. wrap-around comparisons alone.
+///
+/// On even sides this function returns the paper's original 4-step R1.
+/// Tests verify the odd-side variant sorts exhaustively (every 0–1 input
+/// on 3×3) and on random permutations, and that the sorted state is a
+/// fixed point — a "future work" item of the paper, executed.
+pub fn row_major_any_side_schedule(side: usize) -> Result<CycleSchedule, MeshError> {
+    if side < 2 {
+        return Err(MeshError::UnsupportedSide { side, requirement: "side >= 2" });
+    }
+    if side % 2 == 0 {
+        return crate::row_major::row_first_schedule(side);
+    }
+    CycleSchedule::new(
+        vec![
+            rows_plan(side, |_| Some((Phase::Odd, SortDirection::Forward))),
+            cols_plan(side, |_| Some(Phase::Odd)),
+            rows_plan(side, |_| Some((Phase::Even, SortDirection::Forward))),
+            cols_plan(side, |_| Some(Phase::Even)),
+            crate::phases::wrap_plan(side),
+        ],
+        side * side,
+    )
+}
+
+/// Outcome of probing a schedule on an input until it either sorts or
+/// reaches a fixed point of the cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Convergence {
+    /// Reached the target order after the given number of steps.
+    Sorted(u64),
+    /// Reached a cycle fixed point that is *not* the target order after
+    /// the given number of whole cycles.
+    StuckUnsorted(u64),
+    /// Hit the step cap without either.
+    CapExceeded,
+}
+
+/// Drives `schedule` until sorted in `order` or until one whole cycle
+/// performs no swaps, up to `max_cycles` cycles.
+pub fn probe_convergence<T: Ord>(
+    schedule: &CycleSchedule,
+    grid: &mut Grid<T>,
+    order: TargetOrder,
+    max_cycles: u64,
+) -> Convergence {
+    if grid.is_sorted(order) {
+        return Convergence::Sorted(0);
+    }
+    let cycle = schedule.cycle_len() as u64;
+    for c in 0..max_cycles {
+        let mut swaps = 0u64;
+        for k in 0..cycle {
+            let out = meshsort_mesh::apply_plan(grid, schedule.plan_at(c * cycle + k));
+            swaps += out.swaps;
+            if grid.is_sorted(order) {
+                return Convergence::Sorted(c * cycle + k + 1);
+            }
+        }
+        if swaps == 0 {
+            return Convergence::StuckUnsorted(c + 1);
+        }
+    }
+    Convergence::CapExceeded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_wrap_gets_stuck_on_the_papers_input() {
+        // The §1 claim, executed: without wrap-around wires, the column
+        // of smallest values never disperses.
+        for side in [4usize, 6, 8] {
+            let schedule = row_first_no_wrap_schedule(side).unwrap();
+            let mut grid = wrap_is_necessary_witness(side);
+            let result = probe_convergence(
+                &schedule,
+                &mut grid,
+                TargetOrder::RowMajor,
+                4 * (side * side) as u64,
+            );
+            match result {
+                Convergence::StuckUnsorted(_) => {
+                    // The smallest `side` values are still all in column 0.
+                    let col: Vec<u32> = grid.column(0).copied().collect();
+                    assert!(col.iter().all(|&v| (v as usize) < side), "side {side}: {col:?}");
+                }
+                other => panic!("side {side}: expected stuck, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn no_wrap_converges_to_young_tableau_fixed_points() {
+        // Without the wrap there is no exchange along the row-major total
+        // order, so the variant converges to a state where every row AND
+        // every column is ascending (a standard-Young-tableau-like
+        // arrangement) — which is row-major sorted only for exceptional
+        // inputs. On random permutations it essentially never sorts; the
+        // paper's motivating example is thus the tip of the iceberg.
+        use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+        let side = 6;
+        let schedule = row_first_no_wrap_schedule(side).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut stuck = 0;
+        for _ in 0..20 {
+            let mut data: Vec<u32> = (0..36).collect();
+            data.shuffle(&mut rng);
+            let mut grid = Grid::from_rows(side, data).unwrap();
+            match probe_convergence(&schedule, &mut grid, TargetOrder::RowMajor, 400) {
+                Convergence::StuckUnsorted(_) => {
+                    stuck += 1;
+                    // The fixed point: rows ascending and columns ascending.
+                    for r in 0..side {
+                        let row: Vec<u32> = grid.row(r).copied().collect();
+                        assert!(row.windows(2).all(|w| w[0] < w[1]), "row {r} not sorted");
+                    }
+                    for c in 0..side {
+                        let col: Vec<u32> = grid.column(c).copied().collect();
+                        assert!(col.windows(2).all(|w| w[0] < w[1]), "col {c} not sorted");
+                    }
+                }
+                Convergence::Sorted(_) => {} // possible but rare
+                Convergence::CapExceeded => panic!("no fixed point within the cap"),
+            }
+        }
+        assert!(stuck >= 15, "expected most runs stuck; only {stuck}/20 were");
+    }
+
+    #[test]
+    fn with_wrap_the_witness_sorts() {
+        let side = 6;
+        let schedule = crate::row_major::row_first_schedule(side).unwrap();
+        let mut grid = wrap_is_necessary_witness(side);
+        let result =
+            probe_convergence(&schedule, &mut grid, TargetOrder::RowMajor, 16 * 36);
+        assert!(matches!(result, Convergence::Sorted(_)), "{result:?}");
+    }
+
+    #[test]
+    fn chain_only_sorts_everything_within_n_steps_of_chain_bound() {
+        // The chain variant IS the 1D odd-even sort on N cells: it sorts
+        // any input within ~N steps.
+        use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+        let side = 6;
+        let n = (side * side) as u64;
+        let schedule = chain_only_schedule(side).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let mut data: Vec<u32> = (0..36).collect();
+            data.shuffle(&mut rng);
+            let mut grid = Grid::from_rows(side, data).unwrap();
+            let out = schedule.run_until_sorted(&mut grid, TargetOrder::RowMajor, 2 * n);
+            assert!(out.sorted);
+            assert!(out.steps <= n + 2, "steps {}", out.steps);
+        }
+    }
+
+    #[test]
+    fn chain_only_matches_linear_array_semantics() {
+        // Step-for-step equivalence with meshsort-linear on the flattened
+        // data.
+        use meshsort_linear::array::{step_slice, Phase as LPhase, SortDirection as LDir};
+        let side = 4;
+        let schedule = chain_only_schedule(side).unwrap();
+        let mut grid = Grid::from_rows(side, (0..16u32).rev().collect()).unwrap();
+        let mut flat: Vec<u32> = grid.as_slice().to_vec();
+        for t in 0..20u64 {
+            meshsort_mesh::apply_plan(&mut grid, schedule.plan_at(t));
+            let phase = if t % 2 == 0 { LPhase::Odd } else { LPhase::Even };
+            step_slice(&mut flat, phase, LDir::Forward);
+            assert_eq!(grid.as_slice(), flat.as_slice(), "diverged at step {t}");
+        }
+    }
+
+    #[test]
+    fn odd_sides_rejected() {
+        assert!(row_first_no_wrap_schedule(5).is_err());
+        assert!(chain_only_schedule(3).is_err());
+        assert!(chain_only_schedule(0).is_err());
+    }
+
+    #[test]
+    fn any_side_schedule_even_is_paper_r1() {
+        let a = row_major_any_side_schedule(6).unwrap();
+        let b = crate::row_major::row_first_schedule(6).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn any_side_odd_sorts_exhaustively_3x3() {
+        // 0-1 principle over all 2^9 inputs on the odd side 3.
+        let schedule = row_major_any_side_schedule(3).unwrap();
+        for mask in 0u32..(1 << 9) {
+            let data: Vec<u8> = (0..9).map(|i| ((mask >> i) & 1) as u8).collect();
+            let mut g = Grid::from_rows(3, data).unwrap();
+            let out = schedule.run_until_sorted(&mut g, TargetOrder::RowMajor, 600);
+            assert!(out.sorted, "mask {mask:#x} failed on the odd-side variant");
+        }
+    }
+
+    #[test]
+    fn any_side_odd_sorts_random_permutations() {
+        use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        for side in [3usize, 5, 7] {
+            let schedule = row_major_any_side_schedule(side).unwrap();
+            for _ in 0..12 {
+                let n = side * side;
+                let mut data: Vec<u32> = (0..n as u32).collect();
+                data.shuffle(&mut rng);
+                let mut g = Grid::from_rows(side, data).unwrap();
+                let out =
+                    schedule.run_until_sorted(&mut g, TargetOrder::RowMajor, 20 * n as u64 + 64);
+                assert!(out.sorted, "side {side}");
+                assert_eq!(g.as_slice(), (0..n as u32).collect::<Vec<_>>().as_slice());
+            }
+        }
+    }
+
+    #[test]
+    fn any_side_odd_sorted_state_is_fixed_point() {
+        for side in [3usize, 5, 7] {
+            let schedule = row_major_any_side_schedule(side).unwrap();
+            let mut g =
+                meshsort_mesh::grid::sorted_permutation_grid(side, TargetOrder::RowMajor);
+            let out = schedule.run_steps(&mut g, 0, 10);
+            assert_eq!(out.swaps, 0, "side {side}");
+        }
+    }
+
+    #[test]
+    fn any_side_odd_cycle_has_five_steps() {
+        assert_eq!(row_major_any_side_schedule(5).unwrap().cycle_len(), 5);
+        assert_eq!(row_major_any_side_schedule(4).unwrap().cycle_len(), 4);
+        assert!(row_major_any_side_schedule(1).is_err());
+    }
+
+    #[test]
+    fn any_side_odd_worst_case_column_is_theta_n() {
+        // The Corollary 1 adversary on the odd-side variant: still Θ(N).
+        let side = 5;
+        let schedule = row_major_any_side_schedule(side).unwrap();
+        let mut g = Grid::from_fn(side, |p| u8::from(p.col != 0)).unwrap();
+        let out = schedule.run_until_sorted(&mut g, TargetOrder::RowMajor, 4000);
+        assert!(out.sorted);
+        assert!(out.steps as usize > side * side, "steps {}", out.steps);
+    }
+
+    #[test]
+    fn probe_detects_already_sorted() {
+        let side = 4;
+        let schedule = chain_only_schedule(side).unwrap();
+        let mut grid = meshsort_mesh::grid::sorted_permutation_grid(side, TargetOrder::RowMajor);
+        assert_eq!(
+            probe_convergence(&schedule, &mut grid, TargetOrder::RowMajor, 10),
+            Convergence::Sorted(0)
+        );
+    }
+}

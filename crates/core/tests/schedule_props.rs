@@ -1,0 +1,185 @@
+//! Structural properties of the five compiled schedules: the paper's
+//! step descriptions, re-checked against the generated comparator lists
+//! for arbitrary sides.
+
+use meshsort_core::AlgorithmId;
+use meshsort_mesh::plan::Comparator;
+use proptest::prelude::*;
+
+fn row_of(idx: u32, side: usize) -> usize {
+    idx as usize / side
+}
+
+fn col_of(idx: u32, side: usize) -> usize {
+    idx as usize % side
+}
+
+/// Classifies a comparator on a mesh of the given side.
+#[derive(Debug, PartialEq)]
+enum Kind {
+    /// Within one row, keep-min on the left (ascending).
+    RowForward,
+    /// Within one row, keep-min on the right (descending — the paper's
+    /// reverse bubble sort).
+    RowReverse,
+    /// Within one column, keep-min on top.
+    Column,
+    /// The wrap-around wire (last column, row r) → (first column, row r+1).
+    Wrap,
+}
+
+fn classify(c: &Comparator, side: usize) -> Kind {
+    let (r1, c1) = (row_of(c.keep_min, side), col_of(c.keep_min, side));
+    let (r2, c2) = (row_of(c.keep_max, side), col_of(c.keep_max, side));
+    if r1 == r2 {
+        if c1 + 1 == c2 {
+            Kind::RowForward
+        } else if c2 + 1 == c1 {
+            Kind::RowReverse
+        } else {
+            panic!("non-adjacent row comparator: {c:?}");
+        }
+    } else if c1 == c2 {
+        assert!(r1 + 1 == r2, "column comparator must keep min on top: {c:?}");
+        Kind::Column
+    } else {
+        assert!(
+            c1 == side - 1 && c2 == 0 && r2 == r1 + 1,
+            "unexpected wiring: {c:?} on side {side}"
+        );
+        Kind::Wrap
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn all_comparators_are_legal_wirings(side in 2usize..20) {
+        for alg in AlgorithmId::ALL {
+            if !alg.supports_side(side) {
+                continue;
+            }
+            let schedule = alg.schedule(side).unwrap();
+            for plan in schedule.plans() {
+                for c in plan.comparators() {
+                    let kind = classify(c, side);
+                    if kind == Kind::Wrap {
+                        prop_assert!(alg.uses_wraparound(), "{alg} has a wrap wire");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_major_algorithms_never_reverse(side in 2usize..16) {
+        prop_assume!(side % 2 == 0);
+        for alg in AlgorithmId::ROW_MAJOR {
+            let schedule = alg.schedule(side).unwrap();
+            for plan in schedule.plans() {
+                for c in plan.comparators() {
+                    prop_assert_ne!(classify(c, side), Kind::RowReverse, "{}", alg);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snake_row_directions_follow_paper_parity(side in 2usize..16) {
+        // Paper-odd rows (0-indexed even) bubble forward; paper-even rows
+        // run the reverse bubble sort. Columns always forward.
+        for alg in AlgorithmId::SNAKE {
+            let schedule = alg.schedule(side).unwrap();
+            for plan in schedule.plans() {
+                for c in plan.comparators() {
+                    match classify(c, side) {
+                        Kind::RowForward => {
+                            prop_assert_eq!(row_of(c.keep_min, side) % 2, 0, "{}", alg)
+                        }
+                        Kind::RowReverse => {
+                            prop_assert_eq!(row_of(c.keep_min, side) % 2, 1, "{}", alg)
+                        }
+                        Kind::Column => {}
+                        Kind::Wrap => prop_assert!(false, "{} must not wrap", alg),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_alternates_row_and_column_steps(side in 2usize..16) {
+        prop_assume!(side % 2 == 0);
+        // For every algorithm, steps 0 and 2 of the cycle are row steps
+        // (possibly with wrap) and steps 1 and 3 are column steps — except
+        // R2, which starts with a column step.
+        for alg in AlgorithmId::ALL {
+            let schedule = alg.schedule(side).unwrap();
+            let col_first = alg == AlgorithmId::RowMajorColFirst;
+            for (i, plan) in schedule.plans().iter().enumerate() {
+                let expect_row = (i % 2 == 0) != col_first;
+                for c in plan.comparators() {
+                    let is_row = matches!(
+                        classify(c, side),
+                        Kind::RowForward | Kind::RowReverse | Kind::Wrap
+                    );
+                    prop_assert_eq!(is_row, expect_row, "{} step {}", alg, i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_counts_match_formulas(side in 2usize..20) {
+        prop_assume!(side % 2 == 0);
+        let n = side;
+        // R1: odd rows step = n·(n/2); col odd = n·(n/2); row even + wrap
+        // = n·(n/2 − 1) + (n − 1); col even = n·(n/2 − 1).
+        let schedule = AlgorithmId::RowMajorRowFirst.schedule(side).unwrap();
+        let sizes: Vec<usize> = schedule.plans().iter().map(|p| p.len()).collect();
+        prop_assert_eq!(
+            sizes,
+            vec![n * (n / 2), n * (n / 2), n * (n / 2 - 1) + (n - 1), n * (n / 2 - 1)]
+        );
+        // Snake S1 on an even side: every row busy in both row steps.
+        let schedule = AlgorithmId::SnakeAlternating.schedule(side).unwrap();
+        let sizes: Vec<usize> = schedule.plans().iter().map(|p| p.len()).collect();
+        // Step 0: odd rows n/2 pairs each (n/2 rows), even rows n/2 − 1.
+        let half = n / 2;
+        prop_assert_eq!(
+            sizes,
+            vec![
+                half * half + half * (half - 1),
+                n * half,
+                half * (half - 1) + half * half,
+                n * (half - 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn schedules_touch_every_cell_over_a_cycle(side in 2usize..14) {
+        // Every cell participates in at least one comparator per cycle
+        // (no dead processors) — for sides >= 2.
+        for alg in AlgorithmId::ALL {
+            if !alg.supports_side(side) {
+                continue;
+            }
+            let schedule = alg.schedule(side).unwrap();
+            let mut touched = vec![false; side * side];
+            for plan in schedule.plans() {
+                for c in plan.comparators() {
+                    touched[c.keep_min as usize] = true;
+                    touched[c.keep_max as usize] = true;
+                }
+            }
+            prop_assert!(
+                touched.iter().all(|&t| t),
+                "{} leaves cells idle on side {}",
+                alg,
+                side
+            );
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Signed arbitrary-precision integers: a sign wrapped around [`BigUint`].
+
+use crate::biguint::BigUint;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Sign of a [`BigInt`]. Zero is always [`Sign::Zero`] (canonical form).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Sign {
+    /// Strictly negative.
+    Negative,
+    /// Exactly zero.
+    Zero,
+    /// Strictly positive.
+    Positive,
+}
+
+/// An arbitrary-precision signed integer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BigInt {
+    sign: Sign,
+    magnitude: BigUint,
+}
+
+impl BigInt {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Zero, magnitude: BigUint::zero() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigInt { sign: Sign::Positive, magnitude: BigUint::one() }
+    }
+
+    /// From a signed primitive.
+    pub fn from_i64(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => Self::zero(),
+            Ordering::Greater => BigInt { sign: Sign::Positive, magnitude: BigUint::from_u64(v as u64) },
+            Ordering::Less => {
+                BigInt { sign: Sign::Negative, magnitude: BigUint::from_u64(v.unsigned_abs()) }
+            }
+        }
+    }
+
+    /// From an unsigned magnitude (non-negative result).
+    pub fn from_biguint(magnitude: BigUint) -> Self {
+        if magnitude.is_zero() {
+            Self::zero()
+        } else {
+            BigInt { sign: Sign::Positive, magnitude }
+        }
+    }
+
+    /// Builds from an explicit sign and magnitude (canonicalizing zero).
+    pub fn new(sign: Sign, magnitude: BigUint) -> Self {
+        if magnitude.is_zero() || sign == Sign::Zero {
+            Self::zero()
+        } else {
+            BigInt { sign, magnitude }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The absolute value.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.magnitude
+    }
+
+    /// `true` iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// `true` iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> BigInt {
+        match self.sign {
+            Sign::Zero => Self::zero(),
+            Sign::Positive => BigInt { sign: Sign::Negative, magnitude: self.magnitude.clone() },
+            Sign::Negative => BigInt { sign: Sign::Positive, magnitude: self.magnitude.clone() },
+        }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigInt) -> BigInt {
+        match (self.sign, other.sign) {
+            (Sign::Zero, _) => other.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt { sign: a, magnitude: self.magnitude.add(&other.magnitude) },
+            _ => {
+                // Opposite signs: subtract the smaller magnitude.
+                match self.magnitude.cmp(&other.magnitude) {
+                    Ordering::Equal => Self::zero(),
+                    Ordering::Greater => BigInt::new(self.sign, self.magnitude.sub(&other.magnitude)),
+                    Ordering::Less => BigInt::new(other.sign, other.magnitude.sub(&self.magnitude)),
+                }
+            }
+        }
+    }
+
+    /// `self − other`.
+    pub fn sub(&self, other: &BigInt) -> BigInt {
+        self.add(&other.neg())
+    }
+
+    /// `self · other`.
+    pub fn mul(&self, other: &BigInt) -> BigInt {
+        let sign = match (self.sign, other.sign) {
+            (Sign::Zero, _) | (_, Sign::Zero) => return Self::zero(),
+            (a, b) if a == b => Sign::Positive,
+            _ => Sign::Negative,
+        };
+        BigInt { sign, magnitude: self.magnitude.mul(&other.magnitude) }
+    }
+
+    /// Best-effort conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        let m = self.magnitude.to_f64();
+        match self.sign {
+            Sign::Negative => -m,
+            _ => m,
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(s: Sign) -> i8 {
+            match s {
+                Sign::Negative => -1,
+                Sign::Zero => 0,
+                Sign::Positive => 1,
+            }
+        }
+        match rank(self.sign).cmp(&rank(other.sign)) {
+            Ordering::Equal => match self.sign {
+                Sign::Zero => Ordering::Equal,
+                Sign::Positive => self.magnitude.cmp(&other.magnitude),
+                Sign::Negative => other.magnitude.cmp(&self.magnitude),
+            },
+            ord => ord,
+        }
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.sign == Sign::Negative {
+            write!(f, "-{}", self.magnitude)
+        } else {
+            write!(f, "{}", self.magnitude)
+        }
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        BigInt::from_i64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int(v: i64) -> BigInt {
+        BigInt::from_i64(v)
+    }
+
+    #[test]
+    fn canonical_zero() {
+        assert!(int(0).is_zero());
+        assert_eq!(int(0).sign(), Sign::Zero);
+        assert_eq!(BigInt::new(Sign::Negative, BigUint::zero()), BigInt::zero());
+        assert_eq!(int(5).sub(&int(5)), BigInt::zero());
+    }
+
+    #[test]
+    fn signed_addition_table() {
+        assert_eq!(int(3).add(&int(4)), int(7));
+        assert_eq!(int(-3).add(&int(-4)), int(-7));
+        assert_eq!(int(3).add(&int(-4)), int(-1));
+        assert_eq!(int(-3).add(&int(4)), int(1));
+        assert_eq!(int(3).add(&int(0)), int(3));
+        assert_eq!(int(0).add(&int(-4)), int(-4));
+    }
+
+    #[test]
+    fn signed_subtraction() {
+        assert_eq!(int(3).sub(&int(10)), int(-7));
+        assert_eq!(int(-3).sub(&int(-10)), int(7));
+        assert_eq!(int(0).sub(&int(9)), int(-9));
+    }
+
+    #[test]
+    fn signed_multiplication() {
+        assert_eq!(int(3).mul(&int(-4)), int(-12));
+        assert_eq!(int(-3).mul(&int(-4)), int(12));
+        assert_eq!(int(-3).mul(&int(0)), int(0));
+    }
+
+    #[test]
+    fn ordering() {
+        let mut v = vec![int(5), int(-10), int(0), int(-2), int(3)];
+        v.sort();
+        assert_eq!(v, vec![int(-10), int(-2), int(0), int(3), int(5)]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(int(-42).to_string(), "-42");
+        assert_eq!(int(42).to_string(), "42");
+        assert_eq!(int(0).to_string(), "0");
+    }
+
+    #[test]
+    fn to_f64_signed() {
+        assert_eq!(int(-1000).to_f64(), -1000.0);
+        assert_eq!(int(1000).to_f64(), 1000.0);
+    }
+
+    #[test]
+    fn i64_min_round_trips() {
+        let v = BigInt::from_i64(i64::MIN);
+        assert!(v.is_negative());
+        assert_eq!(v.magnitude().to_u64(), Some(1u64 << 63));
+    }
+
+    #[test]
+    fn neg_involution() {
+        for x in [-7i64, 0, 3] {
+            assert_eq!(int(x).neg().neg(), int(x));
+        }
+    }
+}

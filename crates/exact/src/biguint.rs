@@ -1,0 +1,565 @@
+//! Arbitrary-precision unsigned integers.
+//!
+//! A deliberately small, dependency-free bignum sufficient for the
+//! binomial coefficients in the paper's analysis (up to `C(4n², 2n²)` for
+//! `n` in the hundreds — tens of thousands of bits). Representation:
+//! little-endian `u64` limbs with no trailing zero limbs (canonical form).
+//!
+//! Algorithms are the simple quadratic ones (schoolbook multiplication,
+//! shift-subtract division, binary GCD); profiling in the bench crate
+//! shows they are far from the bottleneck of any experiment.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An arbitrary-precision unsigned integer.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BigUint {
+    /// Little-endian limbs; empty means zero; no trailing zero limb.
+    limbs: Vec<u64>,
+}
+
+impl BigUint {
+    /// Zero.
+    pub fn zero() -> Self {
+        BigUint { limbs: Vec::new() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        BigUint { limbs: vec![1] }
+    }
+
+    /// From a primitive.
+    pub fn from_u64(v: u64) -> Self {
+        if v == 0 {
+            Self::zero()
+        } else {
+            BigUint { limbs: vec![v] }
+        }
+    }
+
+    /// From a `u128`.
+    pub fn from_u128(v: u128) -> Self {
+        let lo = v as u64;
+        let hi = (v >> 64) as u64;
+        let mut limbs = vec![lo, hi];
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// `true` iff the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.limbs.is_empty()
+    }
+
+    /// `true` iff the value is one.
+    pub fn is_one(&self) -> bool {
+        self.limbs == [1]
+    }
+
+    /// The value as `u64` if it fits.
+    pub fn to_u64(&self) -> Option<u64> {
+        match self.limbs.len() {
+            0 => Some(0),
+            1 => Some(self.limbs[0]),
+            _ => None,
+        }
+    }
+
+    /// Number of significant bits (0 for zero).
+    pub fn bits(&self) -> usize {
+        match self.limbs.last() {
+            None => 0,
+            Some(top) => 64 * (self.limbs.len() - 1) + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    /// Bit `i` (little-endian), `false` beyond the top.
+    pub fn bit(&self, i: usize) -> bool {
+        let (limb, off) = (i / 64, i % 64);
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
+    }
+
+    fn normalize(mut limbs: Vec<u64>) -> Self {
+        while limbs.last() == Some(&0) {
+            limbs.pop();
+        }
+        BigUint { limbs }
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &BigUint) -> BigUint {
+        let (a, b) = (&self.limbs, &other.limbs);
+        let mut out = Vec::with_capacity(a.len().max(b.len()) + 1);
+        let mut carry = 0u64;
+        for i in 0..a.len().max(b.len()) {
+            let x = *a.get(i).unwrap_or(&0) as u128;
+            let y = *b.get(i).unwrap_or(&0) as u128;
+            let sum = x + y + carry as u128;
+            out.push(sum as u64);
+            carry = (sum >> 64) as u64;
+        }
+        if carry != 0 {
+            out.push(carry);
+        }
+        Self::normalize(out)
+    }
+
+    /// `self − other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other > self` (unsigned subtraction underflow).
+    pub fn sub(&self, other: &BigUint) -> BigUint {
+        assert!(self >= other, "BigUint::sub underflow");
+        let (a, b) = (&self.limbs, &other.limbs);
+        let mut out = Vec::with_capacity(a.len());
+        let mut borrow = 0i128;
+        for i in 0..a.len() {
+            let x = a[i] as i128;
+            let y = *b.get(i).unwrap_or(&0) as i128;
+            let mut d = x - y - borrow;
+            if d < 0 {
+                d += 1i128 << 64;
+                borrow = 1;
+            } else {
+                borrow = 0;
+            }
+            out.push(d as u64);
+        }
+        debug_assert_eq!(borrow, 0);
+        Self::normalize(out)
+    }
+
+    /// `self · other` (schoolbook).
+    pub fn mul(&self, other: &BigUint) -> BigUint {
+        if self.is_zero() || other.is_zero() {
+            return Self::zero();
+        }
+        let (a, b) = (&self.limbs, &other.limbs);
+        let mut out = vec![0u64; a.len() + b.len()];
+        for (i, &x) in a.iter().enumerate() {
+            let mut carry = 0u128;
+            for (j, &y) in b.iter().enumerate() {
+                let t = out[i + j] as u128 + x as u128 * y as u128 + carry;
+                out[i + j] = t as u64;
+                carry = t >> 64;
+            }
+            let mut k = i + b.len();
+            while carry != 0 {
+                let t = out[k] as u128 + carry;
+                out[k] = t as u64;
+                carry = t >> 64;
+                k += 1;
+            }
+        }
+        Self::normalize(out)
+    }
+
+    /// `self · small`.
+    pub fn mul_u64(&self, small: u64) -> BigUint {
+        if small == 0 || self.is_zero() {
+            return Self::zero();
+        }
+        let mut out = Vec::with_capacity(self.limbs.len() + 1);
+        let mut carry = 0u128;
+        for &x in &self.limbs {
+            let t = x as u128 * small as u128 + carry;
+            out.push(t as u64);
+            carry = t >> 64;
+        }
+        if carry != 0 {
+            out.push(carry as u64);
+        }
+        Self::normalize(out)
+    }
+
+    /// `(self / small, self % small)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    pub fn div_rem_u64(&self, small: u64) -> (BigUint, u64) {
+        assert!(small != 0, "division by zero");
+        let mut out = vec![0u64; self.limbs.len()];
+        let mut rem = 0u128;
+        for i in (0..self.limbs.len()).rev() {
+            let cur = (rem << 64) | self.limbs[i] as u128;
+            out[i] = (cur / small as u128) as u64;
+            rem = cur % small as u128;
+        }
+        (Self::normalize(out), rem as u64)
+    }
+
+    /// Left shift by `bits`.
+    pub fn shl(&self, bits: usize) -> BigUint {
+        if self.is_zero() || bits == 0 {
+            return self.clone();
+        }
+        let (limb_shift, bit_shift) = (bits / 64, bits % 64);
+        let mut out = vec![0u64; limb_shift];
+        if bit_shift == 0 {
+            out.extend_from_slice(&self.limbs);
+        } else {
+            let mut carry = 0u64;
+            for &x in &self.limbs {
+                out.push((x << bit_shift) | carry);
+                carry = x >> (64 - bit_shift);
+            }
+            if carry != 0 {
+                out.push(carry);
+            }
+        }
+        Self::normalize(out)
+    }
+
+    /// Right shift by `bits`.
+    pub fn shr(&self, bits: usize) -> BigUint {
+        let (limb_shift, bit_shift) = (bits / 64, bits % 64);
+        if limb_shift >= self.limbs.len() {
+            return Self::zero();
+        }
+        let mut out: Vec<u64> = self.limbs[limb_shift..].to_vec();
+        if bit_shift != 0 {
+            for i in 0..out.len() {
+                let hi = if i + 1 < out.len() { out[i + 1] << (64 - bit_shift) } else { 0 };
+                out[i] = (out[i] >> bit_shift) | hi;
+            }
+        }
+        Self::normalize(out)
+    }
+
+    /// `(self / other, self % other)` by shift-subtract long division.
+    ///
+    /// # Panics
+    ///
+    /// Panics on division by zero.
+    pub fn div_rem(&self, other: &BigUint) -> (BigUint, BigUint) {
+        assert!(!other.is_zero(), "division by zero");
+        if let Some(small) = other.to_u64() {
+            let (q, r) = self.div_rem_u64(small);
+            return (q, BigUint::from_u64(r));
+        }
+        if self < other {
+            return (Self::zero(), self.clone());
+        }
+        let shift = self.bits() - other.bits();
+        let mut rem = self.clone();
+        let mut quot_limbs = vec![0u64; shift / 64 + 1];
+        let mut d = other.shl(shift);
+        for i in (0..=shift).rev() {
+            if rem >= d {
+                rem = rem.sub(&d);
+                quot_limbs[i / 64] |= 1u64 << (i % 64);
+            }
+            d = d.shr(1);
+        }
+        (Self::normalize(quot_limbs), rem)
+    }
+
+    /// Exact division; panics (in debug) if `other` does not divide `self`.
+    pub fn div_exact(&self, other: &BigUint) -> BigUint {
+        let (q, r) = self.div_rem(other);
+        debug_assert!(r.is_zero(), "div_exact with nonzero remainder");
+        q
+    }
+
+    /// Greatest common divisor (binary / Stein's algorithm — no division).
+    pub fn gcd(&self, other: &BigUint) -> BigUint {
+        let mut a = self.clone();
+        let mut b = other.clone();
+        if a.is_zero() {
+            return b;
+        }
+        if b.is_zero() {
+            return a;
+        }
+        let a_tz = a.trailing_zeros();
+        let b_tz = b.trailing_zeros();
+        let common = a_tz.min(b_tz);
+        a = a.shr(a_tz);
+        b = b.shr(b_tz);
+        loop {
+            match a.cmp(&b) {
+                Ordering::Equal => break,
+                Ordering::Greater => {
+                    a = a.sub(&b);
+                    a = a.shr(a.trailing_zeros());
+                }
+                Ordering::Less => {
+                    b = b.sub(&a);
+                    b = b.shr(b.trailing_zeros());
+                }
+            }
+        }
+        a.shl(common)
+    }
+
+    fn trailing_zeros(&self) -> usize {
+        for (i, &l) in self.limbs.iter().enumerate() {
+            if l != 0 {
+                return 64 * i + l.trailing_zeros() as usize;
+            }
+        }
+        0
+    }
+
+    /// Best-effort conversion to `f64` (top 64 bits + exponent); infinite
+    /// for values beyond the `f64` range.
+    pub fn to_f64(&self) -> f64 {
+        match self.limbs.len() {
+            0 => 0.0,
+            1 => self.limbs[0] as f64,
+            _ => {
+                let bits = self.bits();
+                // Take the top 64 bits as an integer and scale.
+                let top = self.shr(bits - 64);
+                let mantissa = top.to_u64().expect("64 bits fit") as f64;
+                mantissa * 2f64.powi((bits - 64) as i32)
+            }
+        }
+    }
+
+    /// `self^exp` by repeated squaring.
+    pub fn pow(&self, mut exp: u32) -> BigUint {
+        let mut base = self.clone();
+        let mut acc = BigUint::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = acc.mul(&base);
+            }
+            exp >>= 1;
+            if exp > 0 {
+                base = base.mul(&base);
+            }
+        }
+        acc
+    }
+}
+
+impl PartialOrd for BigUint {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigUint {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match self.limbs.len().cmp(&other.limbs.len()) {
+            Ordering::Equal => {
+                for i in (0..self.limbs.len()).rev() {
+                    match self.limbs[i].cmp(&other.limbs[i]) {
+                        Ordering::Equal => continue,
+                        ord => return ord,
+                    }
+                }
+                Ordering::Equal
+            }
+            ord => ord,
+        }
+    }
+}
+
+impl fmt::Display for BigUint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return f.write_str("0");
+        }
+        // Peel off 19 decimal digits at a time.
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut chunks: Vec<u64> = Vec::new();
+        let mut cur = self.clone();
+        while !cur.is_zero() {
+            let (q, r) = cur.div_rem_u64(CHUNK);
+            chunks.push(r);
+            cur = q;
+        }
+        let mut s = chunks.last().unwrap().to_string();
+        for c in chunks.iter().rev().skip(1) {
+            s.push_str(&format!("{c:019}"));
+        }
+        f.write_str(&s)
+    }
+}
+
+impl From<u64> for BigUint {
+    fn from(v: u64) -> Self {
+        BigUint::from_u64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(v: u128) -> BigUint {
+        BigUint::from_u128(v)
+    }
+
+    #[test]
+    fn construction_and_compare() {
+        assert!(BigUint::zero().is_zero());
+        assert!(BigUint::one().is_one());
+        assert_eq!(BigUint::from_u64(0), BigUint::zero());
+        assert!(big(u128::MAX) > big(u64::MAX as u128));
+        assert_eq!(big(42).to_u64(), Some(42));
+        assert_eq!(big(u128::MAX).to_u64(), None);
+    }
+
+    #[test]
+    fn add_with_carry() {
+        let a = big(u64::MAX as u128);
+        let b = BigUint::one();
+        assert_eq!(a.add(&b), big(1u128 << 64));
+        assert_eq!(BigUint::zero().add(&big(7)), big(7));
+    }
+
+    #[test]
+    fn sub_with_borrow() {
+        let a = big(1u128 << 64);
+        assert_eq!(a.sub(&BigUint::one()), big(u64::MAX as u128));
+        assert_eq!(big(100).sub(&big(100)), BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = big(1).sub(&big(2));
+    }
+
+    #[test]
+    fn mul_cross_limb() {
+        let a = big(u64::MAX as u128);
+        assert_eq!(a.mul(&a), big((u64::MAX as u128) * (u64::MAX as u128)));
+        assert_eq!(a.mul(&BigUint::zero()), BigUint::zero());
+        assert_eq!(a.mul_u64(2), big(2 * u64::MAX as u128));
+    }
+
+    #[test]
+    fn mul_matches_u128_randomish() {
+        // Deterministic pseudo-random cross-check against u128 arithmetic.
+        let mut x: u64 = 0x9E3779B97F4A7C15;
+        let mut next = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..200 {
+            let a = next();
+            let b = next();
+            assert_eq!(big(a as u128).mul(&big(b as u128)), big(a as u128 * b as u128));
+        }
+    }
+
+    #[test]
+    fn div_rem_u64_basics() {
+        let (q, r) = big(1000).div_rem_u64(7);
+        assert_eq!(q, big(142));
+        assert_eq!(r, 6);
+        let (q, r) = big(u128::MAX).div_rem_u64(u64::MAX);
+        // u128::MAX = (2^64+1)(2^64−1) + ... verify by reconstruction:
+        assert_eq!(q.mul_u64(u64::MAX).add(&big(r as u128)), big(u128::MAX));
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(big(1).shl(64), big(1u128 << 64));
+        assert_eq!(big(1u128 << 64).shr(64), big(1));
+        assert_eq!(big(0b1011).shl(3), big(0b1011000));
+        assert_eq!(big(0b1011000).shr(3), big(0b1011));
+        assert_eq!(big(5).shr(10), BigUint::zero());
+        assert_eq!(big(5).shl(0), big(5));
+    }
+
+    #[test]
+    fn bits_and_bit() {
+        assert_eq!(BigUint::zero().bits(), 0);
+        assert_eq!(big(1).bits(), 1);
+        assert_eq!(big(255).bits(), 8);
+        assert_eq!(big(1u128 << 64).bits(), 65);
+        assert!(big(0b100).bit(2));
+        assert!(!big(0b100).bit(1));
+        assert!(!big(0b100).bit(200));
+    }
+
+    #[test]
+    fn general_division_reconstructs() {
+        let a = big(u128::MAX).mul(&big(0xDEADBEEFCAFE));
+        let b = big((u64::MAX as u128) * 3 + 17);
+        let (q, r) = a.div_rem(&b);
+        assert!(r < b);
+        assert_eq!(q.mul(&b).add(&r), a);
+    }
+
+    #[test]
+    fn division_by_larger_is_zero() {
+        let (q, r) = big(5).div_rem(&big(1u128 << 100));
+        assert!(q.is_zero());
+        assert_eq!(r, big(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = big(5).div_rem(&BigUint::zero());
+    }
+
+    #[test]
+    fn div_exact_works() {
+        let a = big(1234567).mul(&big(7654321));
+        assert_eq!(a.div_exact(&big(1234567)), big(7654321));
+    }
+
+    #[test]
+    fn gcd_cases() {
+        assert_eq!(big(12).gcd(&big(18)), big(6));
+        assert_eq!(big(17).gcd(&big(5)), big(1));
+        assert_eq!(big(0).gcd(&big(9)), big(9));
+        assert_eq!(big(9).gcd(&big(0)), big(9));
+        assert_eq!(big(48).gcd(&big(36)), big(12));
+        // Big case: gcd(2^100 · 3, 2^80 · 9) = 2^80 · 3.
+        let a = BigUint::one().shl(100).mul_u64(3);
+        let b = BigUint::one().shl(80).mul_u64(9);
+        assert_eq!(a.gcd(&b), BigUint::one().shl(80).mul_u64(3));
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(big(2).pow(10), big(1024));
+        assert_eq!(big(3).pow(0), BigUint::one());
+        assert_eq!(big(10).pow(20).to_string(), "100000000000000000000");
+    }
+
+    #[test]
+    fn display_decimal() {
+        assert_eq!(BigUint::zero().to_string(), "0");
+        assert_eq!(big(12345).to_string(), "12345");
+        assert_eq!(big(u128::MAX).to_string(), u128::MAX.to_string());
+        // Crosses a 19-digit chunk boundary with leading zeros in a chunk.
+        let v = big(10_000_000_000_000_000_000u128).mul_u64(5).add(&big(7));
+        assert_eq!(v.to_string(), "50000000000000000007");
+    }
+
+    #[test]
+    fn to_f64_accuracy() {
+        assert_eq!(BigUint::zero().to_f64(), 0.0);
+        assert_eq!(big(12345).to_f64(), 12345.0);
+        let v = BigUint::one().shl(100);
+        assert!((v.to_f64() - 2f64.powi(100)).abs() / 2f64.powi(100) < 1e-15);
+        let v = big(3).pow(50);
+        let expect = 3f64.powi(50);
+        assert!((v.to_f64() - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn ordering_total() {
+        let mut v = vec![big(5), BigUint::zero(), big(1u128 << 64), big(7), big(6)];
+        v.sort();
+        assert_eq!(v, vec![BigUint::zero(), big(5), big(6), big(7), big(1u128 << 64)]);
+    }
+}

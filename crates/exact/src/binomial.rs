@@ -1,0 +1,196 @@
+//! Binomial coefficients and the assignment probabilities underlying every
+//! probability computation in the paper.
+
+use crate::biguint::BigUint;
+use crate::ratio::Ratio;
+
+/// Exact `C(n, k)` by the multiplicative formula with exact intermediate
+/// division (each prefix product is divisible by `i!`).
+pub fn binomial(n: u64, k: u64) -> BigUint {
+    if k > n {
+        return BigUint::zero();
+    }
+    let k = k.min(n - k);
+    let mut acc = BigUint::one();
+    for i in 1..=k {
+        acc = acc.mul_u64(n - k + i);
+        let (q, r) = acc.div_rem_u64(i);
+        debug_assert_eq!(r, 0, "binomial prefix product must divide i");
+        acc = q;
+    }
+    acc
+}
+
+/// Exact `n!`.
+pub fn factorial(n: u64) -> BigUint {
+    let mut acc = BigUint::one();
+    for i in 2..=n {
+        acc = acc.mul_u64(i);
+    }
+    acc
+}
+
+/// Exact falling factorial `n · (n−1) ⋯ (n−k+1)`.
+pub fn falling_factorial(n: u64, k: u64) -> BigUint {
+    if k > n {
+        return BigUint::zero();
+    }
+    let mut acc = BigUint::one();
+    for i in 0..k {
+        acc = acc.mul_u64(n - i);
+    }
+    acc
+}
+
+/// The paper's basic probability primitive.
+///
+/// Draw a uniformly random 0–1 matrix with `total` cells of which exactly
+/// `zeros` hold 0 (the `A^01` reduction: all placements equally likely).
+/// The probability that a *specific* set of `c` cells holds a *specific*
+/// assignment containing `z` zeros is
+///
+/// ```text
+///   C(total − c, zeros − z) / C(total, zeros)
+/// ```
+///
+/// because the remaining `total − c` cells must absorb the remaining
+/// `zeros − z` zeros. Every `Prob{…}` in the paper's §2–§3 proofs is a
+/// signed combination of these.
+pub fn assignment_prob(total: u64, zeros: u64, c: u64, z: u64) -> Ratio {
+    if z > zeros || c > total || z > c || zeros - z > total - c {
+        return Ratio::zero();
+    }
+    Ratio::from_biguint_ratio(binomial(total - c, zeros - z), binomial(total, zeros))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_binomials() {
+        assert_eq!(binomial(0, 0).to_u64(), Some(1));
+        assert_eq!(binomial(5, 0).to_u64(), Some(1));
+        assert_eq!(binomial(5, 5).to_u64(), Some(1));
+        assert_eq!(binomial(5, 2).to_u64(), Some(10));
+        assert_eq!(binomial(10, 3).to_u64(), Some(120));
+        assert_eq!(binomial(3, 5), BigUint::zero());
+    }
+
+    #[test]
+    fn pascal_identity() {
+        for n in 1..=30u64 {
+            for k in 1..n {
+                assert_eq!(
+                    binomial(n, k),
+                    binomial(n - 1, k - 1).add(&binomial(n - 1, k)),
+                    "C({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        for n in 0..=25u64 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k));
+            }
+        }
+    }
+
+    #[test]
+    fn row_sums_are_powers_of_two() {
+        for n in 0..=20u64 {
+            let mut sum = BigUint::zero();
+            for k in 0..=n {
+                sum = sum.add(&binomial(n, k));
+            }
+            assert_eq!(sum, BigUint::one().shl(n as usize));
+        }
+    }
+
+    #[test]
+    fn large_binomial_value() {
+        // C(64, 32) = 1832624140942590534.
+        assert_eq!(binomial(64, 32).to_u64(), Some(1832624140942590534));
+        // C(100, 50) has 30 digits; check the leading digits via string.
+        let c = binomial(100, 50).to_string();
+        assert!(c.starts_with("100891344545564193334812497256"));
+    }
+
+    #[test]
+    fn factorials() {
+        assert_eq!(factorial(0).to_u64(), Some(1));
+        assert_eq!(factorial(5).to_u64(), Some(120));
+        assert_eq!(factorial(20).to_u64(), Some(2432902008176640000));
+    }
+
+    #[test]
+    fn falling_factorials() {
+        assert_eq!(falling_factorial(5, 0).to_u64(), Some(1));
+        assert_eq!(falling_factorial(5, 2).to_u64(), Some(20));
+        assert_eq!(falling_factorial(5, 5), factorial(5));
+        assert_eq!(falling_factorial(3, 4), BigUint::zero());
+    }
+
+    #[test]
+    fn binomial_from_factorials() {
+        for n in 0..=15u64 {
+            for k in 0..=n {
+                let lhs = binomial(n, k).mul(&factorial(k)).mul(&factorial(n - k));
+                assert_eq!(lhs, factorial(n));
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_prob_single_cell() {
+        // One specific cell is 0 with probability zeros/total.
+        let p = assignment_prob(8, 4, 1, 1);
+        assert_eq!(p, Ratio::new_i64(1, 2));
+        let p = assignment_prob(8, 2, 1, 1);
+        assert_eq!(p, Ratio::new_i64(1, 4));
+        // …and 1 with the complementary probability.
+        let p = assignment_prob(8, 2, 1, 0);
+        assert_eq!(p, Ratio::new_i64(3, 4));
+    }
+
+    #[test]
+    fn assignment_prob_sums_to_one_over_assignments() {
+        // Summing over all 2^c assignments of c cells (weighted by the
+        // number of assignments with z zeros) gives 1.
+        let (total, zeros, c) = (16u64, 8u64, 3u64);
+        let mut sum = Ratio::zero();
+        for z in 0..=c {
+            let count = binomial(c, z);
+            sum = sum.add(&assignment_prob(total, zeros, c, z).mul_biguint(&count));
+        }
+        assert_eq!(sum, Ratio::one());
+    }
+
+    #[test]
+    fn assignment_prob_paper_pair() {
+        // Paper, Lemma 4: Prob{(A01_{1,1}, A01_{1,2}) = (1,1)} =
+        // C(4n²−2, 2n²) / C(4n², 2n²) = 1/4 − 1/(16n²−4).
+        for n in 1..=6u64 {
+            let total = 4 * n * n;
+            let zeros = 2 * n * n;
+            let p = assignment_prob(total, zeros, 2, 0);
+            let expected =
+                Ratio::new_i64(1, 4).sub(&Ratio::one().div(&Ratio::from_int((16 * n * n - 4) as i64)));
+            assert_eq!(p, expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn assignment_prob_degenerate() {
+        assert_eq!(assignment_prob(4, 2, 5, 0), Ratio::zero());
+        assert_eq!(assignment_prob(4, 2, 2, 3), Ratio::zero());
+        // All cells fixed: exactly one valid assignment.
+        assert_eq!(
+            assignment_prob(4, 2, 4, 2),
+            Ratio::one().div(&Ratio::from_biguint(binomial(4, 2)))
+        );
+    }
+}

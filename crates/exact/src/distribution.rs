@@ -1,0 +1,175 @@
+//! The exact *distribution* of `Z₁` — beyond the paper.
+//!
+//! Lemma 4 and Theorem 3 compute the mean and variance of `Z₁` (zeros in
+//! column 1 after R1's first row sort). The full law is also within
+//! reach: `Z₁ = Σ_h z_h` over `2n` indicators, where `z_h = 0` iff the
+//! `h`-th row's first pair is `(1,1)`. The pairs occupy disjoint cells,
+//! so by inclusion–exclusion over which pairs are all-ones,
+//!
+//! ```text
+//!   P(Z₁ = 2n − j) = C(2n, j) · Σ_{i≥0} (−1)^i C(2n−j, i) · q(j + i)
+//! ```
+//!
+//! where `q(m) = P(m specific pairs all ones) = C(4n²−2m, 2n²) / C(4n², 2n²)`.
+//! This module computes that law exactly and validates it against the
+//! paper's moments and against exhaustive enumeration.
+
+use crate::binomial::{assignment_prob, binomial};
+use crate::ratio::Ratio;
+
+/// Exact distribution of the number of all-ones pairs among `pairs`
+/// disjoint cell pairs in a mesh of `total` cells with `zeros` zeros.
+///
+/// Returns `p[j] = P(exactly j pairs are (1,1))` for `j = 0..=pairs`.
+pub fn all_ones_pair_distribution(total: u64, zeros: u64, pairs: u64) -> Vec<Ratio> {
+    // q(m) = P(m specific pairs all ones).
+    let q = |m: u64| -> Ratio { assignment_prob(total, zeros, 2 * m, 0) };
+    let mut dist = Vec::with_capacity(pairs as usize + 1);
+    for j in 0..=pairs {
+        // Inclusion–exclusion over supersets of a fixed j-set.
+        let mut acc = Ratio::zero();
+        let mut sign = 1i64;
+        for i in 0..=(pairs - j) {
+            let term = q(j + i).mul_biguint(&binomial(pairs - j, i)).mul_int(sign);
+            acc = acc.add(&term);
+            sign = -sign;
+        }
+        dist.push(acc.mul_biguint(&binomial(pairs, j)));
+    }
+    dist
+}
+
+/// Exact law of `Z₁` for R1 on the balanced mesh of side `2n`:
+/// `pmf[k] = P(Z₁ = k)` for `k = 0..=2n`. (`Z₁ = 2n − (all-ones pairs)`.)
+pub fn r1_z1_distribution(n: u64) -> Vec<Ratio> {
+    let total = 4 * n * n;
+    let zeros = 2 * n * n;
+    let pairs = 2 * n;
+    let by_ones = all_ones_pair_distribution(total, zeros, pairs);
+    // Reverse: k zeros-in-column ⇔ pairs − k all-ones pairs.
+    let mut pmf = vec![Ratio::zero(); pairs as usize + 1];
+    for (j, p) in by_ones.into_iter().enumerate() {
+        pmf[(pairs as usize) - j] = p;
+    }
+    pmf
+}
+
+/// Mean of a pmf over `0..=len-1`.
+pub fn pmf_mean(pmf: &[Ratio]) -> Ratio {
+    pmf.iter()
+        .enumerate()
+        .fold(Ratio::zero(), |acc, (k, p)| acc.add(&p.mul_int(k as i64)))
+}
+
+/// Variance of a pmf.
+pub fn pmf_variance(pmf: &[Ratio]) -> Ratio {
+    let mean = pmf_mean(pmf);
+    let m2 = pmf
+        .iter()
+        .enumerate()
+        .fold(Ratio::zero(), |acc, (k, p)| acc.add(&p.mul_int((k * k) as i64)));
+    m2.sub(&mean.mul(&mean))
+}
+
+/// Exact `P(Z₁ ≤ k)` — the quantity Theorem 3's Chebyshev argument
+/// bounds from above; with the true law in hand the bound's slack is
+/// measurable.
+pub fn r1_z1_cdf(n: u64, k: u64) -> Ratio {
+    let pmf = r1_z1_distribution(n);
+    pmf.iter().take(k as usize + 1).fold(Ratio::zero(), |acc, p| acc.add(p))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper;
+
+    #[test]
+    fn pair_distribution_sums_to_one() {
+        for (total, zeros, pairs) in [(16u64, 8u64, 4u64), (36, 18, 6), (16, 5, 3)] {
+            let dist = all_ones_pair_distribution(total, zeros, pairs);
+            let sum = dist.iter().fold(Ratio::zero(), |acc, p| acc.add(p));
+            assert_eq!(sum, Ratio::one(), "({total},{zeros},{pairs})");
+            for p in &dist {
+                assert!(!p.is_negative(), "negative probability");
+            }
+        }
+    }
+
+    #[test]
+    fn z1_pmf_matches_lemma4_mean() {
+        for n in 1..=5u64 {
+            let pmf = r1_z1_distribution(n);
+            assert_eq!(pmf_mean(&pmf), paper::r1_expected_z1(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn z1_pmf_matches_thm3_variance() {
+        for n in 1..=5u64 {
+            let pmf = r1_z1_distribution(n);
+            assert_eq!(pmf_variance(&pmf), paper::r1_var_z1(n), "n={n}");
+        }
+    }
+
+    #[test]
+    fn z1_pmf_matches_exhaustive_n1() {
+        // Side 2, 6 balanced matrices. Column 1 zeros after the row sort:
+        // each row contributes 1 unless its pair is (1,1); with 2 zeros
+        // among 4 cells, count the cases directly.
+        let pmf = r1_z1_distribution(1);
+        // Enumerate: pairs (row0: cells 0,1), (row1: cells 2,3); zero
+        // placements C(4,2)=6. A row's indicator is 0 iff both its cells
+        // are ones ⇔ both zeros are in the *other* row.
+        // - both zeros in row0: row0=1, row1=0 → Z1=1 (1 placement)
+        // - both in row1: Z1=1 (1 placement)
+        // - split (2·2 = 4 placements): both rows have a zero → Z1=2.
+        assert_eq!(pmf[0], Ratio::zero());
+        assert_eq!(pmf[1], Ratio::new_i64(2, 6));
+        assert_eq!(pmf[2], Ratio::new_i64(4, 6));
+    }
+
+    #[test]
+    fn cdf_monotone_and_complete() {
+        let n = 4u64;
+        let mut prev = Ratio::zero();
+        for k in 0..=2 * n {
+            let c = r1_z1_cdf(n, k);
+            assert!(c >= prev, "k={k}");
+            prev = c;
+        }
+        assert_eq!(prev, Ratio::one());
+    }
+
+    #[test]
+    fn chebyshev_bound_dominates_true_tail() {
+        // Theorem 3's bound must upper-bound the true P(Z₁ ≤ threshold);
+        // quantify the slack at a few points.
+        let n = 6u64;
+        let mean = paper::r1_expected_z1(n);
+        let var = paper::r1_var_z1(n);
+        for k in 0..(3 * n / 2) {
+            let true_tail = r1_z1_cdf(n, k).to_f64();
+            let bound =
+                paper::chebyshev_tail_bound(&mean, &var, &Ratio::from_int(k as i64));
+            assert!(
+                true_tail <= bound + 1e-12,
+                "k={k}: true {true_tail} > bound {bound}"
+            );
+        }
+        // The bound is loose: at k = n the truth is several times smaller.
+        let truth_at_n = r1_z1_cdf(n, n).to_f64();
+        let bound_at_n =
+            paper::chebyshev_tail_bound(&mean, &var, &Ratio::from_int(n as i64));
+        assert!(truth_at_n < bound_at_n / 3.0, "{truth_at_n} vs {bound_at_n}");
+    }
+
+    #[test]
+    fn degenerate_all_zero_mesh() {
+        // zeros = total: every pair has zeros; Z1 = pairs surely.
+        let dist = all_ones_pair_distribution(8, 8, 2);
+        assert_eq!(dist[0], Ratio::one());
+        assert_eq!(dist[1], Ratio::zero());
+        assert_eq!(dist[2], Ratio::zero());
+    }
+}

@@ -1,0 +1,169 @@
+//! The hypergeometric distribution, exactly.
+//!
+//! Under the `A^01` reduction, the number of zeros falling in any fixed
+//! set of `draws` cells is hypergeometric with population `total` and
+//! `successes = zeros`. The block probabilities of the paper's Theorem 4
+//! (each 2×2 block holds `z` zeros with a hypergeometric law) and the
+//! `E[Z₁]`-type quantities all reduce to this distribution.
+
+use crate::binomial::{assignment_prob, binomial};
+use crate::ratio::Ratio;
+use serde::{Deserialize, Serialize};
+
+/// An exact hypergeometric distribution: `draws` cells drawn (without
+/// replacement) from `total` cells of which `successes` are marked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Hypergeometric {
+    /// Population size (`N = 4n²` cells in the paper).
+    pub total: u64,
+    /// Number of marked elements (zeros: `α`).
+    pub successes: u64,
+    /// Sample size (cells observed).
+    pub draws: u64,
+}
+
+impl Hypergeometric {
+    /// Creates the distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `successes > total` or `draws > total`.
+    pub fn new(total: u64, successes: u64, draws: u64) -> Self {
+        assert!(successes <= total, "successes exceed population");
+        assert!(draws <= total, "draws exceed population");
+        Hypergeometric { total, successes, draws }
+    }
+
+    /// Exact `P(Z = k)`: `C(draws, k) · C(total−draws, successes−k) /
+    /// C(total, successes)`.
+    pub fn pmf(&self, k: u64) -> Ratio {
+        if k > self.draws || k > self.successes {
+            return Ratio::zero();
+        }
+        assignment_prob(self.total, self.successes, self.draws, k)
+            .mul_biguint(&binomial(self.draws, k))
+    }
+
+    /// Exact mean `draws · successes / total`.
+    pub fn mean(&self) -> Ratio {
+        Ratio::new_i64((self.draws * self.successes) as i64, self.total as i64)
+    }
+
+    /// Exact variance
+    /// `draws · (s/t) · (1 − s/t) · (t − draws)/(t − 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a population of size ≤ 1 (variance undefined).
+    pub fn variance(&self) -> Ratio {
+        assert!(self.total > 1, "variance needs total > 1");
+        let t = Ratio::from_int(self.total as i64);
+        let s = Ratio::from_int(self.successes as i64);
+        let d = Ratio::from_int(self.draws as i64);
+        let p = s.div(&t);
+        let q = Ratio::one().sub(&p);
+        d.mul(&p)
+            .mul(&q)
+            .mul(&t.sub(&d))
+            .div(&t.sub(&Ratio::one()))
+    }
+
+    /// Exact `P(Z ≤ k)`.
+    pub fn cdf(&self, k: u64) -> Ratio {
+        let mut acc = Ratio::zero();
+        for i in 0..=k.min(self.draws) {
+            acc = acc.add(&self.pmf(i));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let h = Hypergeometric::new(20, 8, 5);
+        let mut sum = Ratio::zero();
+        for k in 0..=5 {
+            sum = sum.add(&h.pmf(k));
+        }
+        assert_eq!(sum, Ratio::one());
+        assert_eq!(h.cdf(5), Ratio::one());
+    }
+
+    #[test]
+    fn pmf_known_value() {
+        // P(Z=2) for total=10, successes=4, draws=3:
+        // C(3,2)·C(7,2)/C(10,4) = 3·21/210 = 3/10. Wait — use the standard
+        // form C(4,2)C(6,1)/C(10,3) = 6·6/120 = 3/10. Both agree.
+        let h = Hypergeometric::new(10, 4, 3);
+        assert_eq!(h.pmf(2), Ratio::new_i64(3, 10));
+    }
+
+    #[test]
+    fn mean_and_variance_match_formulas() {
+        let h = Hypergeometric::new(50, 20, 10);
+        assert_eq!(h.mean(), Ratio::from_int(4));
+        // Var = 10·(2/5)(3/5)(40/49) = 48/49·... compute: 10·0.4·0.6·(40/49)
+        let expected = Ratio::new_i64(10 * 2 * 3 * 40, 5 * 5 * 49);
+        assert_eq!(h.variance(), expected);
+    }
+
+    #[test]
+    fn mean_matches_first_moment() {
+        let h = Hypergeometric::new(16, 8, 4);
+        let mut m = Ratio::zero();
+        for k in 0..=4 {
+            m = m.add(&h.pmf(k).mul_int(k as i64));
+        }
+        assert_eq!(m, h.mean());
+    }
+
+    #[test]
+    fn variance_matches_second_moment() {
+        let h = Hypergeometric::new(16, 8, 4);
+        let mut m2 = Ratio::zero();
+        for k in 0..=4 {
+            m2 = m2.add(&h.pmf(k).mul_int((k * k) as i64));
+        }
+        let var = m2.sub(&h.mean().mul(&h.mean()));
+        assert_eq!(var, h.variance());
+    }
+
+    #[test]
+    fn out_of_support_is_zero() {
+        let h = Hypergeometric::new(10, 3, 5);
+        assert_eq!(h.pmf(4), Ratio::zero());
+        assert_eq!(h.pmf(6), Ratio::zero());
+    }
+
+    #[test]
+    fn paper_block_probabilities() {
+        // Theorem 4: a specific 2×2 block pattern with z zeros has
+        // probability C(4n²−4, 2n²−z)/C(4n², 2n²); the *number of zeros*
+        // in the block is hypergeometric(4n², 2n², 4). Cross-check via
+        // pmf(z) = C(4,z)·assignment(z) for n = 3.
+        let n = 3u64;
+        let h = Hypergeometric::new(4 * n * n, 2 * n * n, 4);
+        for z in 0..=4u64 {
+            let direct = assignment_prob(4 * n * n, 2 * n * n, 4, z)
+                .mul_biguint(&binomial(4, z));
+            assert_eq!(h.pmf(z), direct, "z={z}");
+        }
+        // Paper's closed form for z = 2: 1/16 + (n²−3/8)/(32n⁴−32n²+6)
+        // is the probability of a *specific* pattern; multiply by C(4,2).
+        let n2 = (n * n) as i64;
+        let specific = Ratio::new_i64(1, 16).add(&Ratio::new_i64(8 * n2 - 3, 8).div(
+            &Ratio::from_int(32 * n2 * n2 - 32 * n2 + 6),
+        ));
+        assert_eq!(assignment_prob(4 * n * n, 2 * n * n, 4, 2), specific);
+    }
+
+    #[test]
+    #[should_panic(expected = "successes exceed population")]
+    fn invalid_construction_panics() {
+        let _ = Hypergeometric::new(5, 6, 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! # meshsort-exact — exact combinatorics for the paper's analysis
+//!
+//! Every expectation, variance, probability, and lower bound in
+//! Savari (SPAA 1993) is a *rational* function of `n` built from binomial
+//! coefficients such as `C(4n², 2n²)`. Floating point would lose the
+//! `o(1)` terms the paper tracks (e.g. `n/(8n² − 2)` in Lemma 4), so this
+//! crate implements exact arithmetic from scratch:
+//!
+//! * [`BigUint`] — arbitrary-precision unsigned integers (the approved
+//!   dependency list has no bignum crate; this is the substitute substrate
+//!   documented in DESIGN.md);
+//! * [`BigInt`] — signed wrapper;
+//! * [`Ratio`] — normalized rationals with exact comparison and `f64`
+//!   extraction;
+//! * [`binomial`](binomial::binomial) and the hypergeometric assignment
+//!   probabilities the paper's proofs are built on;
+//! * [`paper`] — every named quantity of the paper (Lemmas 4, 9, 11, 14;
+//!   Theorems 1–13) as an exact function of `n`, derived from first
+//!   principles and cross-checked against the paper's closed forms in
+//!   tests.
+//!
+//! ```
+//! use meshsort_exact::paper;
+//!
+//! // Lemma 4: after R1's first row sort, E[Z1] = 3n/2 + n/(8n² − 2).
+//! let e = paper::r1_expected_z1(4);
+//! assert_eq!(e.to_string(), "380/63"); // = 3·4/2 + 4/126 = 6 + 2/63
+//! assert!((e.to_f64() - 380.0 / 63.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bigint;
+pub mod distribution;
+pub mod biguint;
+pub mod binomial;
+pub mod hypergeom;
+pub mod paper;
+pub mod poly;
+pub mod ratio;
+pub mod thresholds;
+
+pub use bigint::BigInt;
+pub use biguint::BigUint;
+pub use ratio::Ratio;

@@ -1,0 +1,912 @@
+//! Every named quantity of Savari (SPAA 1993), as exact rationals.
+//!
+//! Naming convention: `r1_*` / `r2_*` are the row-major algorithms that
+//! begin with a row sort resp. a column sort (paper §2); `s1_*` / `s2_*`
+//! are the first and second snakelike algorithms (paper §3); `*_odd`
+//! variants are the appendix's `√N = 2n + 1` analogues. Functions take the
+//! paper's parameter `n` (so the mesh side is `2n`, or `2n + 1` for
+//! `*_odd`, and `N` is the cell count).
+//!
+//! Wherever the paper states a closed form, the implementation here is
+//! instead *derived from first principles* (pattern enumeration over the
+//! cells that determine the statistic, weighted by the exact
+//! hypergeometric assignment probability), and the unit tests assert
+//! equality with the paper's closed forms. This both validates the
+//! derivations in the paper and protects the reproduction from OCR noise
+//! in the source text.
+
+use crate::binomial::assignment_prob;
+use crate::ratio::Ratio;
+
+/// `(total cells, zeros)` of the balanced `A^01` reduction on an even
+/// side `2n`: `N = 4n²` cells, `α = 2n²` zeros.
+fn balanced_even(n: u64) -> (u64, u64) {
+    (4 * n * n, 2 * n * n)
+}
+
+/// `(total cells, zeros)` on an odd side `2n + 1`: `N = (2n+1)²` cells,
+/// `α = 2n² + 2n + 1` zeros (the appendix redefines `A^01` to use the
+/// smallest `2n² + 2n + 1` entries).
+fn balanced_odd(n: u64) -> (u64, u64) {
+    let side = 2 * n + 1;
+    (side * side, 2 * n * n + 2 * n + 1)
+}
+
+/// Probability that `c` specific cells are all ones.
+fn q_ones(total: u64, zeros: u64, c: u64) -> Ratio {
+    assignment_prob(total, zeros, c, 0)
+}
+
+/// Ceiling of a non-negative ratio as `u64`.
+///
+/// # Panics
+///
+/// Panics for negative input or values not fitting `u64`.
+pub fn ceil_to_u64(r: &Ratio) -> u64 {
+    assert!(!r.is_negative(), "ceil_to_u64 needs a non-negative ratio");
+    let num = r.numerator().magnitude();
+    let den = r.denominator();
+    let (q, rem) = num.div_rem(den);
+    let q = q.to_u64().expect("value fits u64");
+    if rem.is_zero() {
+        q
+    } else {
+        q + 1
+    }
+}
+
+// ---------------------------------------------------------------------
+// §2 — row-major algorithm beginning with a ROW sort (R1).
+// ---------------------------------------------------------------------
+
+/// Lemma 4 ingredient: `E[z₁] = Prob{(A⁰¹₁,₁, A⁰¹₁,₂) ≠ (1,1)}`, the
+/// probability that a cell of an odd column holds a zero after the first
+/// row sort. Paper closed form: `3/4 + 1/(16n² − 4)`.
+pub fn r1_e_z_single(n: u64) -> Ratio {
+    let (total, zeros) = balanced_even(n);
+    Ratio::one().sub(&q_ones(total, zeros, 2))
+}
+
+/// Lemma 4: `E[Z₁] = 2n · E[z₁] = 3n/2 + n/(8n² − 2)` — the expected
+/// number of zeros in column 1 immediately after the first row sort.
+pub fn r1_expected_z1(n: u64) -> Ratio {
+    r1_e_z_single(n).mul_int(2 * n as i64)
+}
+
+/// Lemma 4: lower bound on `E[M]`: `E[Z₁] − n − 1 = n/2 + n/(8n²−2) − 1`.
+pub fn r1_expected_m_lower(n: u64) -> Ratio {
+    r1_expected_z1(n).sub(&Ratio::from_int(n as i64 + 1))
+}
+
+/// Theorem 3 ingredient: `E[z₁ z₂]` for two distinct rows — the two pairs
+/// are disjoint cell sets, so
+/// `E[z₁z₂] = 1 − 2·P(pair all ones) + P(both pairs all ones)`.
+/// Paper closed form: `9/16 + (n² − 3/8)/(32n⁴ − 32n² + 6)`.
+pub fn r1_e_z_pair_product(n: u64) -> Ratio {
+    let (total, zeros) = balanced_even(n);
+    Ratio::one()
+        .sub(&q_ones(total, zeros, 2).mul_int(2))
+        .add(&q_ones(total, zeros, 4))
+}
+
+/// Theorem 3: exact `Var(Z₁)` after the first row sort of R1:
+/// `2n·E[z₁] + 2n(2n−1)·E[z₁z₂] − (E[Z₁])²` — asymptotically
+/// `n(3/8 − o(1))`.
+pub fn r1_var_z1(n: u64) -> Ratio {
+    let e1 = r1_e_z_single(n);
+    let e12 = r1_e_z_pair_product(n);
+    let ez1 = r1_expected_z1(n);
+    e1.mul_int(2 * n as i64)
+        .add(&e12.mul_int((2 * n * (2 * n - 1)) as i64))
+        .sub(&ez1.mul(&ez1))
+}
+
+/// Theorem 2: the average number of steps of R1 is lower bounded by
+/// `4n · E[M]` (Corollary 2), which exceeds the paper's headline
+/// `N/2 − 2√N`. This returns the exact `4n·(E[Z₁] − n − 1)`.
+pub fn thm2_lower_bound(n: u64) -> Ratio {
+    r1_expected_m_lower(n).mul_int(4 * n as i64)
+}
+
+/// The paper's rounded headline for Theorem 2: `N/2 − 2√N` with `N = 4n²`.
+pub fn thm2_headline(n: u64) -> Ratio {
+    let nn = (4 * n * n) as i64;
+    Ratio::from_int(nn / 2 - 4 * n as i64)
+}
+
+// ---------------------------------------------------------------------
+// §2 — row-major algorithm beginning with a COLUMN sort (R2).
+// ---------------------------------------------------------------------
+
+/// Simulates the first two steps of R2 (column odd sort, then row odd
+/// sort) on one 2×2 block of 0-1 values `[a, b, c, d]` laid out as
+/// `[[a, b], [c, d]]`. No cross-block comparisons occur during those
+/// steps, so the block evolves independently — the observation behind the
+/// paper's Theorem 4 block mapping.
+fn r2_sort_block(p: [u8; 4]) -> [u8; 4] {
+    let [a, b, c, d] = p;
+    // Column odd step: smaller value to the top.
+    let (a, c) = (a.min(c), a.max(c));
+    let (b, d) = (b.min(d), b.max(d));
+    // Row odd step: smaller value to the left.
+    let (a, b) = (a.min(b), a.max(b));
+    let (c, d) = (c.min(d), c.max(d));
+    [a, b, c, d]
+}
+
+fn block_z1(p: [u8; 4]) -> u64 {
+    let s = r2_sort_block(p);
+    (s[0] == 0) as u64 + (s[2] == 0) as u64
+}
+
+fn bits4(mask: u32) -> [u8; 4] {
+    [(mask & 1) as u8, ((mask >> 1) & 1) as u8, ((mask >> 2) & 1) as u8, ((mask >> 3) & 1) as u8]
+}
+
+/// Theorem 4: the exact distribution of `z₁ ∈ {0, 1, 2}` — the number of
+/// zeros a block contributes to column 1 after R2's first column+row
+/// sort — obtained by enumerating all 16 block patterns. Paper closed
+/// forms: `P{z₁=2} = 7/16 − (n²−3/8)/(32n⁴−32n²+6)`,
+/// `P{z₁=1} = 1/2 + 1/(8n²−2)`.
+pub fn r2_block_z1_distribution(n: u64) -> [Ratio; 3] {
+    let (total, zeros) = balanced_even(n);
+    let mut dist = [Ratio::zero(), Ratio::zero(), Ratio::zero()];
+    for mask in 0u32..16 {
+        let p = bits4(mask);
+        let z_count = p.iter().filter(|&&b| b == 0).count() as u64;
+        let weight = assignment_prob(total, zeros, 4, z_count);
+        let z1 = block_z1(p) as usize;
+        dist[z1] = dist[z1].add(&weight);
+    }
+    dist
+}
+
+/// Theorem 4: `E[z₁] = 11/8 + (n² − 9/8)/(16n⁴ − 16n² + 3)`.
+pub fn r2_e_z_single(n: u64) -> Ratio {
+    let d = r2_block_z1_distribution(n);
+    d[1].add(&d[2].mul_int(2))
+}
+
+/// Theorem 4: `E[Z₁] = n · E[z₁]` for the column-first algorithm.
+pub fn r2_expected_z1(n: u64) -> Ratio {
+    r2_e_z_single(n).mul_int(n as i64)
+}
+
+/// Theorem 4: `E[M] ≥ E[Z₁] − n − 1 = 3n/8 + (n³ − 9n/8)/(16n⁴−16n²+3) − 1`.
+pub fn r2_expected_m_lower(n: u64) -> Ratio {
+    r2_expected_z1(n).sub(&Ratio::from_int(n as i64 + 1))
+}
+
+/// Theorem 5 ingredient: `E[z₁²]`.
+pub fn r2_e_z_single_sq(n: u64) -> Ratio {
+    let d = r2_block_z1_distribution(n);
+    d[1].add(&d[2].mul_int(4))
+}
+
+/// Theorem 5 ingredient: `E[z₁ z₂]` for two vertically stacked blocks,
+/// by enumerating all 256 joint patterns of the 8 cells. The paper's
+/// closed form simplifies to `121/64 − O(1/n²)`.
+pub fn r2_e_z_pair_product(n: u64) -> Ratio {
+    let (total, zeros) = balanced_even(n);
+    let mut acc = Ratio::zero();
+    for mask in 0u32..256 {
+        let pa = bits4(mask & 0xF);
+        let pb = bits4(mask >> 4);
+        let z1 = block_z1(pa);
+        let z2 = block_z1(pb);
+        if z1 == 0 || z2 == 0 {
+            continue;
+        }
+        let z_count = pa.iter().chain(pb.iter()).filter(|&&b| b == 0).count() as u64;
+        let weight = assignment_prob(total, zeros, 8, z_count);
+        acc = acc.add(&weight.mul_int((z1 * z2) as i64));
+    }
+    acc
+}
+
+/// Theorem 5 auxiliary: the exact joint probability `P{z₁ = i, z₂ = j}`
+/// for stacked blocks (used to cross-check the paper's joint tables).
+pub fn r2_joint_z_prob(n: u64, i: u64, j: u64) -> Ratio {
+    let (total, zeros) = balanced_even(n);
+    let mut acc = Ratio::zero();
+    for mask in 0u32..256 {
+        let pa = bits4(mask & 0xF);
+        let pb = bits4(mask >> 4);
+        if block_z1(pa) != i || block_z1(pb) != j {
+            continue;
+        }
+        let z_count = pa.iter().chain(pb.iter()).filter(|&&b| b == 0).count() as u64;
+        acc = acc.add(&assignment_prob(total, zeros, 8, z_count));
+    }
+    acc
+}
+
+/// Theorem 5: exact `Var(Z₁)` for R2:
+/// `n·E[z₁²] + n(n−1)·E[z₁z₂] − (E[Z₁])²` — asymptotically
+/// `n(23/64 − o(1))`.
+pub fn r2_var_z1(n: u64) -> Ratio {
+    let ez1 = r2_expected_z1(n);
+    r2_e_z_single_sq(n)
+        .mul_int(n as i64)
+        .add(&r2_e_z_pair_product(n).mul_int((n * (n - 1)) as i64))
+        .sub(&ez1.mul(&ez1))
+}
+
+/// Theorem 4's step bound: `4n · E[M]` lower bound for R2 — exceeds the
+/// paper's headline `3N/8 − 2√N`.
+pub fn thm4_lower_bound(n: u64) -> Ratio {
+    r2_expected_m_lower(n).mul_int(4 * n as i64)
+}
+
+/// The paper's rounded headline for Theorem 4: `3N/8 − 2√N`.
+pub fn thm4_headline(n: u64) -> Ratio {
+    Ratio::new_i64(3 * (4 * n * n) as i64, 8).sub(&Ratio::from_int(4 * n as i64))
+}
+
+// ---------------------------------------------------------------------
+// Theorem 1 / Corollaries 1–2 — structural step bounds (row-major).
+// ---------------------------------------------------------------------
+
+/// `⌈α / √N⌉` — the per-column zero quota once sorting completes.
+pub fn column_zero_quota(alpha: u64, sqrt_n: u64) -> u64 {
+    alpha.div_ceil(sqrt_n)
+}
+
+/// Theorem 1, zeros branch: if after some odd row sort an odd-numbered
+/// column holds `x > ⌈α/√N⌉` zeros, at least `(x − ⌈α/√N⌉ − 1)·2√N` more
+/// steps are needed. Saturates at zero when the premise fails.
+pub fn theorem1_extra_steps(x: u64, alpha: u64, sqrt_n: u64) -> u64 {
+    let quota = column_zero_quota(alpha, sqrt_n);
+    x.saturating_sub(quota + 1) * 2 * sqrt_n
+}
+
+/// Corollary 1: on the all-zeros-in-one-column input (`α = x = √N`), the
+/// worst-case time of both row-major algorithms is at least `2N − 4√N`.
+pub fn corollary1_worst_case(sqrt_n: u64) -> u64 {
+    theorem1_extra_steps(sqrt_n, sqrt_n, sqrt_n)
+}
+
+/// Corollary 2: with `α = N/2`, the number of steps exceeds `4n·M`.
+pub fn corollary2_steps_bound(m: u64, n: u64) -> u64 {
+    4 * n * m
+}
+
+// ---------------------------------------------------------------------
+// §3 — first snakelike algorithm (S1), even side.
+// ---------------------------------------------------------------------
+
+/// Lemma 9, exactly: after S1's first row step,
+/// `E[Z₁(0)] = (N/2 − √N/2)·E[z₁,₁] + √N·E[z₂,₁]` where the pair-driven
+/// cells have `E[z₁,₁] = 1 − P(pair both ones)` and the untouched cells
+/// (columns 1 and 2n in even rows) have `E[z₂,₁] = 1/2`. Paper closed
+/// form: `3N/8 + √N/8 + √N / (8(√N + 1))`.
+pub fn s1_expected_z10(n: u64) -> Ratio {
+    let (total, zeros) = balanced_even(n);
+    let pair_cells = (2 * n * n - n) as i64; // N/2 − √N/2
+    let single_cells = (2 * n) as i64; // √N
+    let e_pair = Ratio::one().sub(&q_ones(total, zeros, 2));
+    let e_single = Ratio::new_i64(1, 2);
+    e_pair.mul_int(pair_cells).add(&e_single.mul_int(single_cells))
+}
+
+/// Theorem 8, exactly: `Var[Z₁(0)]` for S1 assembled from the disjoint
+/// pair/cell covariance structure of the proof.
+///
+/// **Reproduction note (erratum):** the paper prints
+/// `Var[Z₁(0)] = 17n²/8 − 7n/16 + …`, i.e. `n²(17/8 + o(1))`, but its own
+/// intermediate quantities contain slips as printed: `E(Z₂²)` uses the
+/// pair-cell expectation `3/4 + 1/(16n²−4)` for the product of two *raw*
+/// cell indicators (whose correct joint expectation is
+/// `P(both cells zero) = (2n²−1)/(2(4n²−1)) ≈ 1/4`), and the printed
+/// simplification of `2E(Z₁Z₂)` (`3n³ − 3n²/2 + …`) disagrees with the
+/// correct `2·(2n²−n)·2n·E[z₁,₁z₂,₁]` it is supposedly derived from.
+/// This implementation assembles the variance from the same disjoint-cell
+/// covariance structure with the correct joint expectations; it matches
+/// exhaustive enumeration of every balanced 0-1 matrix at n = 1, 2
+/// (tests below) and behaves as `n²(1/8 + o(1))`. The *conclusion* of
+/// Theorem 8 is unaffected — the true variance is smaller than the
+/// printed one, which only strengthens the Chebyshev concentration.
+pub fn s1_var_z10(n: u64) -> Ratio {
+    let (total, zeros) = balanced_even(n);
+    let a = (2 * n * n - n) as i64; // pair-driven indicator count
+    let b = (2 * n) as i64; // untouched single-cell count
+    let q2 = q_ones(total, zeros, 2);
+    let q3 = q_ones(total, zeros, 3);
+    let q4 = q_ones(total, zeros, 4);
+    let e_pair = Ratio::one().sub(&q2); // E[z_pair] = E[z_pair²]
+    let e_pair_pair = Ratio::one().sub(&q2.mul_int(2)).add(&q4);
+    // E[z_pair · z_cell] = 1 − P(pair ones) − P(cell one) + P(all three one).
+    let e_cell = Ratio::new_i64(1, 2);
+    let e_pair_cell = Ratio::one().sub(&q2).sub(&e_cell).add(&q3);
+    // E[z_cell z_cell'] = P(two specific cells both zero).
+    let e_cell_cell = assignment_prob(total, zeros, 2, 2);
+
+    let mean = s1_expected_z10(n);
+    let second_moment = e_pair
+        .mul_int(a)
+        .add(&e_pair_pair.mul_int(a * (a - 1)))
+        .add(&e_pair_cell.mul_int(2 * a * b))
+        .add(&e_cell.mul_int(b))
+        .add(&e_cell_cell.mul_int(b * (b - 1)));
+    second_moment.sub(&mean.mul(&mean))
+}
+
+/// `f(α, N) = ⌈α/2 + α/(2√N)⌉` — the sorted-state ceiling on `Z₁` used by
+/// Theorem 6.
+pub fn f_alpha(alpha: u64, sqrt_n: u64) -> u64 {
+    // α/2 + α/(2√N) = α(√N + 1)/(2√N), computed exactly.
+    (alpha * (sqrt_n + 1)).div_ceil(2 * sqrt_n)
+}
+
+/// Theorem 6: if after the first step `Z₁(0) = x > f(α, N)`, at least
+/// `4(x − f(α,N) − 1)` more steps are required. Saturates at zero.
+pub fn theorem6_extra_steps(x: u64, alpha: u64, sqrt_n: u64) -> u64 {
+    4 * x.saturating_sub(f_alpha(alpha, sqrt_n) + 1)
+}
+
+/// Theorem 7 (exact form): the average steps of S1 are lower bounded by
+/// `4(E[Z₁(0)] − f(N/2, N) − 1)` — approximately `N/2 − √N/2 − 4`.
+pub fn thm7_lower_bound(n: u64) -> Ratio {
+    let sqrt_n = 2 * n;
+    let alpha = 2 * n * n;
+    s1_expected_z10(n)
+        .sub(&Ratio::from_int(f_alpha(alpha, sqrt_n) as i64))
+        .sub(&Ratio::one())
+        .mul_int(4)
+}
+
+// ---------------------------------------------------------------------
+// §3 — second snakelike algorithm (S2), even side.
+// ---------------------------------------------------------------------
+
+/// Lemma 11, exactly: `E[Y₁(0)]` — the expected number of zeros in the
+/// odd-numbered columns after S2's first step:
+/// `(N/2 − √N/2)·E[z_pair] + (√N/2)·(1/2)`. Paper closed form:
+/// `3N/8 − √N/8 + √N/(8(√N+1))`.
+pub fn s2_expected_y10(n: u64) -> Ratio {
+    let (total, zeros) = balanced_even(n);
+    let pair_cells = (2 * n * n - n) as i64;
+    let single_cells = n as i64; // column 1, even rows only
+    let e_pair = Ratio::one().sub(&q_ones(total, zeros, 2));
+    e_pair.mul_int(pair_cells).add(&Ratio::new_i64(single_cells, 2))
+}
+
+/// Theorem 9: if after the first step the zeros in odd columns number
+/// `x > ⌈α/2⌉`, at least `4(x − ⌈α/2⌉ − 1)` more steps are required.
+pub fn theorem9_extra_steps(x: u64, alpha: u64) -> u64 {
+    4 * x.saturating_sub(alpha.div_ceil(2) + 1)
+}
+
+/// Theorem 10 (exact form): average steps of S2 lower bounded by
+/// `4(E[Y₁(0)] − N/4 − 1)` — approximately `N/2 − √N/2 − 4`.
+pub fn thm10_lower_bound(n: u64) -> Ratio {
+    let alpha = 2 * n * n;
+    s2_expected_y10(n)
+        .sub(&Ratio::from_int(alpha.div_ceil(2) as i64))
+        .sub(&Ratio::one())
+        .mul_int(4)
+}
+
+// ---------------------------------------------------------------------
+// Appendix — odd side √N = 2n + 1.
+// ---------------------------------------------------------------------
+
+/// Lemma 14, exactly: odd-side `E[Z₁(0)]` for S1 — `(N − √N)/2` cells
+/// driven by pairs (probability `1 − P(pair ones) = 3/4 + 3/(4N)`) plus
+/// `(√N − 1)/2` untouched cells of column 1 (probability `α/N =
+/// (N+1)/(2N)`). Paper closed form: `3N/8 − √N/8 + (N − √N − 2)/(8N)`.
+pub fn s1_expected_z10_odd(n: u64) -> Ratio {
+    let (total, zeros) = balanced_odd(n);
+    let pair_cells = (2 * n * n + n) as i64; // (N − √N)/2
+    let single_cells = n as i64; // (√N − 1)/2
+    let e_pair = Ratio::one().sub(&q_ones(total, zeros, 2));
+    let e_single = Ratio::new_i64(zeros as i64, total as i64);
+    e_pair.mul_int(pair_cells).add(&e_single.mul_int(single_cells))
+}
+
+/// Theorem 13's threshold: `⌈α(N−1)/(2N)⌉` for the odd side.
+pub fn theorem13_threshold(alpha: u64, n_cells: u64) -> u64 {
+    (alpha * (n_cells - 1)).div_ceil(2 * n_cells)
+}
+
+/// Theorem 13: extra steps `4(x − ⌈α(N−1)/(2N)⌉ − 1)`, saturating.
+pub fn theorem13_extra_steps(x: u64, alpha: u64, n_cells: u64) -> u64 {
+    4 * x.saturating_sub(theorem13_threshold(alpha, n_cells) + 1)
+}
+
+/// Corollary 4: odd-side average-step lower bound
+/// `4(E[Z₁(0)] − ⌈(N² − 1)/(4N)⌉ − 1)`.
+pub fn corollary4_lower_bound(n: u64) -> Ratio {
+    let (total, zeros) = balanced_odd(n);
+    s1_expected_z10_odd(n)
+        .sub(&Ratio::from_int(theorem13_threshold(zeros, total) as i64))
+        .sub(&Ratio::one())
+        .mul_int(4)
+}
+
+// ---------------------------------------------------------------------
+// Chebyshev machinery (Theorems 3, 5, 8, 11).
+// ---------------------------------------------------------------------
+
+/// The one-sided Chebyshev consequence the paper uses (its inequality
+/// (1)): `P[X ≤ E[X] − t] ≤ Var(X)/t²`. Returns the bound for
+/// `threshold = E[X] − t`, or `1.0` when `threshold ≥ E[X]` (vacuous).
+pub fn chebyshev_tail_bound(mean: &Ratio, var: &Ratio, threshold: &Ratio) -> f64 {
+    if threshold >= mean {
+        return 1.0;
+    }
+    let t = mean.sub(threshold);
+    let bound = var.div(&t.mul(&t));
+    bound.to_f64().min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(p: i64, q: i64) -> Ratio {
+        Ratio::new_i64(p, q)
+    }
+
+    // ---- R1 ----
+
+    #[test]
+    fn lemma4_e_z_single_closed_form() {
+        // 3/4 + 1/(16n² − 4)
+        for n in 1..=8i64 {
+            let expected = r(3, 4).add(&r(1, 16 * n * n - 4));
+            assert_eq!(r1_e_z_single(n as u64), expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn lemma4_e_z1_closed_form() {
+        // 3n/2 + n/(8n² − 2)
+        for n in 1..=8i64 {
+            let expected = r(3 * n, 2).add(&r(n, 8 * n * n - 2));
+            assert_eq!(r1_expected_z1(n as u64), expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn thm3_e_z1z2_closed_form() {
+        // 9/16 + (n² − 3/8)/(32n⁴ − 32n² + 6)
+        for n in 2..=6i64 {
+            let n2 = n * n;
+            let expected =
+                r(9, 16).add(&r(8 * n2 - 3, 8).div(&Ratio::from_int(32 * n2 * n2 - 32 * n2 + 6)));
+            assert_eq!(r1_e_z_pair_product(n as u64), expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn thm3_var_z1_asymptotics() {
+        // Var(Z₁) = n(3/8 − o(1)): check the ratio Var/n approaches 3/8
+        // from below and is positive.
+        for n in [2u64, 4, 8, 16, 32] {
+            let v = r1_var_z1(n);
+            assert!(!v.is_negative(), "variance must be non-negative");
+            let per_n = v.to_f64() / n as f64;
+            assert!(per_n < 0.375, "n={n}: {per_n}");
+            if n >= 8 {
+                assert!(per_n > 0.30, "n={n}: {per_n}");
+            }
+        }
+        let big = r1_var_z1(64).to_f64() / 64.0;
+        assert!((big - 0.375).abs() < 0.02, "per-n variance {big} not near 3/8");
+    }
+
+    #[test]
+    fn thm2_exact_exceeds_headline() {
+        for n in 2..=10u64 {
+            assert!(thm2_lower_bound(n) >= thm2_headline(n), "n={n}");
+        }
+    }
+
+    // ---- R2 ----
+
+    #[test]
+    fn thm4_block_distribution_closed_forms() {
+        // P{z₁=2} = 7/16 − (n²−3/8)/(32n⁴−32n²+6);
+        // P{z₁=1} = 1/2 + 1/(8n²−2).
+        for n in 2..=6i64 {
+            let n2 = n * n;
+            let d = r2_block_z1_distribution(n as u64);
+            let frac = r(8 * n2 - 3, 8).div(&Ratio::from_int(32 * n2 * n2 - 32 * n2 + 6));
+            assert_eq!(d[2], r(7, 16).sub(&frac), "P(z=2) n={n}");
+            assert_eq!(d[1], r(1, 2).add(&r(1, 8 * n2 - 2)), "P(z=1) n={n}");
+            // Distribution sums to 1.
+            assert_eq!(d[0].add(&d[1]).add(&d[2]), Ratio::one());
+        }
+    }
+
+    #[test]
+    fn thm4_block_canonical_mapping_matches_paper() {
+        // The paper's explicit block mapping: e.g. 3-zero blocks map to
+        // [[0,0],[0,1]] (z1 = 2), four of the 2-zero blocks map to
+        // [[0,0],[1,1]] (z1 = 1) and two ([[0,1],[0,1]], [[1,0],[1,0]])
+        // keep both zeros in odd columns (z1 = 2).
+        assert_eq!(r2_sort_block([0, 1, 0, 0]), [0, 0, 0, 1]);
+        assert_eq!(r2_sort_block([0, 0, 1, 1]), [0, 0, 1, 1]);
+        assert_eq!(r2_sort_block([0, 1, 1, 0]), [0, 0, 1, 1]);
+        assert_eq!(r2_sort_block([1, 0, 0, 1]), [0, 0, 1, 1]);
+        assert_eq!(r2_sort_block([1, 1, 0, 0]), [0, 0, 1, 1]);
+        assert_eq!(r2_sort_block([0, 1, 0, 1]), [0, 1, 0, 1]);
+        assert_eq!(r2_sort_block([1, 0, 1, 0]), [0, 1, 0, 1]);
+        assert_eq!(block_z1([0, 1, 0, 1]), 2);
+        assert_eq!(block_z1([0, 0, 1, 1]), 1);
+        assert_eq!(block_z1([1, 1, 1, 1]), 0);
+        assert_eq!(block_z1([0, 0, 0, 0]), 2);
+    }
+
+    #[test]
+    fn thm4_e_z_single_closed_form() {
+        // E[z₁] = 11/8 + (n² − 9/8)/(16n⁴ − 16n² + 3)
+        for n in 2..=6i64 {
+            let n2 = n * n;
+            let expected =
+                r(11, 8).add(&r(8 * n2 - 9, 8).div(&Ratio::from_int(16 * n2 * n2 - 16 * n2 + 3)));
+            assert_eq!(r2_e_z_single(n as u64), expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn thm5_e_z_single_sq_closed_form() {
+        // E[z₁²] = 9/4 − 3/(64n⁴ − 64n² + 12)
+        for n in 2..=6i64 {
+            let n2 = n * n;
+            let expected = r(9, 4).sub(&r(3, 64 * n2 * n2 - 64 * n2 + 12));
+            assert_eq!(r2_e_z_single_sq(n as u64), expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn thm5_joint_prob_closed_form() {
+        // P{z₁ = z₂ = 1} = 1/4 + (4n⁴ − 11n² + 15/4)/(64n⁶ − 144n⁴ + 92n² − 15)
+        for n in 2..=5i64 {
+            let n2 = n * n;
+            let num = r(16 * n2 * n2 - 44 * n2 + 15, 4);
+            let den = Ratio::from_int(64 * n2 * n2 * n2 - 144 * n2 * n2 + 92 * n2 - 15);
+            let expected = r(1, 4).add(&num.div(&den));
+            assert_eq!(r2_joint_z_prob(n as u64, 1, 1), expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn thm5_joint_symmetry() {
+        // P{z₁=1, z₂=2} = P{z₁=2, z₂=1} by exchangeability of the blocks.
+        for n in 2..=4u64 {
+            assert_eq!(r2_joint_z_prob(n, 1, 2), r2_joint_z_prob(n, 2, 1), "n={n}");
+        }
+    }
+
+    #[test]
+    fn thm5_joint_consistent_with_marginal() {
+        // Σ_j P{z₁=i, z₂=j} = P{z₁=i}.
+        let n = 3u64;
+        let marginal = r2_block_z1_distribution(n);
+        for i in 0..=2u64 {
+            let mut sum = Ratio::zero();
+            for j in 0..=2u64 {
+                sum = sum.add(&r2_joint_z_prob(n, i, j));
+            }
+            assert_eq!(sum, marginal[i as usize], "i={i}");
+        }
+    }
+
+    #[test]
+    fn thm5_var_z1_asymptotics() {
+        // Var(Z₁) = n(23/64 − o(1)) ≈ 0.359·n.
+        for n in [4u64, 8, 16, 32] {
+            let v = r2_var_z1(n);
+            assert!(!v.is_negative());
+            let per_n = v.to_f64() / n as f64;
+            assert!(per_n < 23.0 / 64.0 + 0.05, "n={n}: {per_n}");
+        }
+        let big = r2_var_z1(64).to_f64() / 64.0;
+        assert!((big - 23.0 / 64.0).abs() < 0.03, "per-n variance {big} not near 23/64");
+    }
+
+    #[test]
+    fn thm4_exact_exceeds_headline() {
+        for n in 3..=10u64 {
+            assert!(thm4_lower_bound(n) >= thm4_headline(n), "n={n}");
+        }
+    }
+
+    // ---- Theorem 1 / corollaries ----
+
+    #[test]
+    fn theorem1_and_corollary1() {
+        // Corollary 1: α = x = √N gives (√N − 2)·2√N = 2N − 4√N.
+        for sqrt_n in [2u64, 4, 8, 16] {
+            let n_cells = sqrt_n * sqrt_n;
+            assert_eq!(corollary1_worst_case(sqrt_n), 2 * n_cells - 4 * sqrt_n);
+        }
+        // Saturation below the quota.
+        assert_eq!(theorem1_extra_steps(3, 16, 4), 0); // quota 4, x=3
+        assert_eq!(theorem1_extra_steps(5, 16, 4), 0); // x = quota+1 → 0
+        assert_eq!(theorem1_extra_steps(6, 16, 4), 8); // (6−4−1)·8
+    }
+
+    #[test]
+    fn corollary2_formula() {
+        assert_eq!(corollary2_steps_bound(3, 4), 48);
+        assert_eq!(corollary2_steps_bound(0, 9), 0);
+    }
+
+    // ---- S1 ----
+
+    #[test]
+    fn lemma9_closed_form() {
+        // 3N/8 + √N/8 + √N/(8(√N+1)) with N = 4n².
+        for n in 1..=8i64 {
+            let nn = 4 * n * n;
+            let sqrt_nn = 2 * n;
+            let expected =
+                r(3 * nn, 8).add(&r(sqrt_nn, 8)).add(&r(sqrt_nn, 8 * (sqrt_nn + 1)));
+            assert_eq!(s1_expected_z10(n as u64), expected, "n={n}");
+        }
+    }
+
+    /// Ground truth for `Z₁(0)` statistics: enumerate every balanced 0-1
+    /// matrix on the `2n × 2n` mesh, apply S1's first step, and measure
+    /// `Z₁(0)` = zeros in odd columns + zeros in even rows of the last
+    /// column. Returns `(mean, variance)` as exact rationals.
+    fn brute_force_z10(n: u64) -> (Ratio, Ratio) {
+        let side = (2 * n) as usize;
+        let cells = side * side;
+        assert!(cells <= 16, "exhaustive enumeration limited to 4x4");
+        let alpha = cells / 2;
+        let mut count = 0i64;
+        let mut sum = 0i64;
+        let mut sumsq = 0i64;
+        for mask in 0u32..(1u32 << cells) {
+            if mask.count_ones() as usize != alpha {
+                continue;
+            }
+            // bit = 1 ⇒ the cell holds a zero.
+            let mut g: Vec<u8> =
+                (0..cells).map(|i| if (mask >> i) & 1 == 1 { 0 } else { 1 }).collect();
+            // S1 step 1: paper-odd rows bubble-odd, paper-even rows
+            // reverse-even.
+            for row in 0..side {
+                if row % 2 == 0 {
+                    let mut c = 0;
+                    while c + 1 < side {
+                        if g[row * side + c] > g[row * side + c + 1] {
+                            g.swap(row * side + c, row * side + c + 1);
+                        }
+                        c += 2;
+                    }
+                } else {
+                    let mut c = 1;
+                    while c + 1 < side {
+                        if g[row * side + c + 1] > g[row * side + c] {
+                            g.swap(row * side + c, row * side + c + 1);
+                        }
+                        c += 2;
+                    }
+                }
+            }
+            let mut z = 0i64;
+            for row in 0..side {
+                for col in (0..side).step_by(2) {
+                    z += (g[row * side + col] == 0) as i64;
+                }
+            }
+            for row in (1..side).step_by(2) {
+                z += (g[row * side + side - 1] == 0) as i64;
+            }
+            count += 1;
+            sum += z;
+            sumsq += z * z;
+        }
+        let mean = r(sum, count);
+        let var = r(sumsq, count).sub(&mean.mul(&mean));
+        (mean, var)
+    }
+
+    #[test]
+    fn lemma9_and_thm8_match_exhaustive_enumeration() {
+        for n in [1u64, 2] {
+            let (mean, var) = brute_force_z10(n);
+            assert_eq!(s1_expected_z10(n), mean, "mean n={n}");
+            assert_eq!(s1_var_z10(n), var, "variance n={n}");
+        }
+    }
+
+    #[test]
+    fn thm8_printed_closed_form_is_an_erratum() {
+        // The paper's printed Var[Z₁(0)] = 17n²/8 − 7n/16 + … does NOT
+        // match exhaustive enumeration; see the erratum note on
+        // `s1_var_z10`. Keep the discrepancy pinned so future readers see
+        // it is deliberate.
+        let n = 2i64;
+        let printed = r(17 * n * n, 8)
+            .sub(&r(7 * n, 16))
+            .add(&r(11 * n * n + 6 * n, (8 * n + 4) * (8 * n + 4)))
+            .add(&r(3 * (n * n - n), 8 * (8 * n * n - 6)));
+        let (_, truth) = brute_force_z10(n as u64);
+        assert_ne!(printed, truth);
+        assert_eq!(s1_var_z10(n as u64), truth);
+    }
+
+    #[test]
+    fn thm8_var_asymptotics() {
+        // The corrected variance behaves as n²(1/8 + o(1)) — still Θ(n²),
+        // so Theorem 8's Chebyshev argument goes through unchanged (with a
+        // better constant than printed).
+        let v64 = s1_var_z10(64).to_f64() / (64.0 * 64.0);
+        assert!((v64 - 0.125).abs() < 0.02, "Var/n² = {v64}, expected ≈ 1/8");
+        // And it is monotone-ish in n per n².
+        let v16 = s1_var_z10(16).to_f64() / (16.0 * 16.0);
+        assert!(v16 > 0.1 && v16 < 0.2, "{v16}");
+    }
+
+    #[test]
+    fn f_alpha_values() {
+        // f(α, N) = ⌈α/2 + α/(2√N)⌉. With α = N/2 = 2n², √N = 2n:
+        // f = ⌈n² + n/2⌉ = n² + ⌈n/2⌉.
+        for n in 1..=9u64 {
+            let alpha = 2 * n * n;
+            let sqrt_n = 2 * n;
+            assert_eq!(f_alpha(alpha, sqrt_n), n * n + n.div_ceil(2), "n={n}");
+        }
+        assert_eq!(f_alpha(4, 4), 3); // 2 + 1/2 → 3
+    }
+
+    #[test]
+    fn theorem6_saturation_and_value() {
+        let alpha = 8u64; // e.g. 4×4 mesh, α = 8, f = ⌈4 + 1⌉ = 5
+        assert_eq!(f_alpha(alpha, 4), 5);
+        assert_eq!(theorem6_extra_steps(5, alpha, 4), 0);
+        assert_eq!(theorem6_extra_steps(6, alpha, 4), 0);
+        assert_eq!(theorem6_extra_steps(8, alpha, 4), 8); // 4·(8−5−1)
+    }
+
+    #[test]
+    fn thm7_bound_scales_as_half_n() {
+        // ≈ N/2 − √N/2 − 4: check N/2 dominance at moderate n.
+        for n in [4u64, 8, 16] {
+            let nn = (4 * n * n) as f64;
+            let b = thm7_lower_bound(n).to_f64();
+            assert!(b > 0.3 * nn, "n={n}: {b} vs N={nn}");
+            assert!(b < 0.5 * nn, "n={n}: {b}");
+        }
+        // The constant approaches 1/2 from below as n grows.
+        let big = thm7_lower_bound(64).to_f64() / (4.0 * 64.0 * 64.0) as f64;
+        assert!(big > 0.47, "{big}");
+    }
+
+    // ---- S2 ----
+
+    #[test]
+    fn lemma11_closed_form() {
+        // 3N/8 − √N/8 + √N/(8(√N+1)).
+        for n in 1..=8i64 {
+            let nn = 4 * n * n;
+            let sqrt_nn = 2 * n;
+            let expected =
+                r(3 * nn, 8).sub(&r(sqrt_nn, 8)).add(&r(sqrt_nn, 8 * (sqrt_nn + 1)));
+            assert_eq!(s2_expected_y10(n as u64), expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn thm10_bound_matches_paper_headline() {
+        // Paper: N/2 − √N/2 − 4 (up to the o(1) term we keep exactly).
+        for n in [4u64, 8, 16] {
+            let nn = (4 * n * n) as f64;
+            let sqrt_nn = (2 * n) as f64;
+            let exact = thm10_lower_bound(n).to_f64();
+            let headline = nn / 2.0 - sqrt_nn / 2.0 - 4.0;
+            assert!((exact - headline).abs() < 2.5, "n={n}: {exact} vs {headline}");
+        }
+    }
+
+    #[test]
+    fn theorem9_extra_steps_value() {
+        assert_eq!(theorem9_extra_steps(10, 16), 4 * (10 - 9));
+        assert_eq!(theorem9_extra_steps(9, 16), 0);
+        assert_eq!(theorem9_extra_steps(0, 16), 0);
+    }
+
+    // ---- Appendix (odd side) ----
+
+    #[test]
+    fn lemma14_closed_form() {
+        // 3N/8 − √N/8 + (N − √N − 2)/(8N), with √N = 2n+1.
+        for n in 1..=7i64 {
+            let s = 2 * n + 1;
+            let nn = s * s;
+            let expected = r(3 * nn, 8).sub(&r(s, 8)).add(&r(nn - s - 2, 8 * nn));
+            assert_eq!(s1_expected_z10_odd(n as u64), expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn lemma14_ingredients() {
+        // E[z₁,₁] = 3/4 + 3/(4N) on the odd side.
+        for n in 1..=5i64 {
+            let s = 2 * n + 1;
+            let nn = (s * s) as u64;
+            let zeros = (2 * n * n + 2 * n + 1) as u64;
+            let e_pair = Ratio::one().sub(&q_ones(nn, zeros, 2));
+            let expected = r(3, 4).add(&r(3, 4 * (nn as i64)));
+            assert_eq!(e_pair, expected, "n={n}");
+            // E[z₂,₁] = α/N = (N+1)/(2N).
+            assert_eq!(r(zeros as i64, nn as i64), r(nn as i64 + 1, 2 * nn as i64));
+        }
+    }
+
+    #[test]
+    fn theorem13_threshold_and_steps() {
+        // ⌈α(N−1)/(2N)⌉ for a 5×5 mesh: α = 13, N = 25 → ⌈13·24/50⌉ = 7.
+        assert_eq!(theorem13_threshold(13, 25), 7);
+        assert_eq!(theorem13_extra_steps(7, 13, 25), 0);
+        assert_eq!(theorem13_extra_steps(9, 13, 25), 4);
+    }
+
+    #[test]
+    fn corollary4_positive_and_theta_n() {
+        for n in [3u64, 6, 12] {
+            let s = 2 * n + 1;
+            let nn = (s * s) as f64;
+            let b = corollary4_lower_bound(n).to_f64();
+            assert!(b > 0.25 * nn, "n={n}: {b} vs N={nn}");
+            assert!(b < 0.55 * nn, "n={n}: {b}");
+        }
+        // Constant tends to 1/2 as n grows.
+        let n = 40u64;
+        let s = 2 * n + 1;
+        let big = corollary4_lower_bound(n).to_f64() / ((s * s) as f64);
+        assert!(big > 0.44, "{big}");
+    }
+
+    // ---- Chebyshev ----
+
+    #[test]
+    fn chebyshev_bound_behaviour() {
+        let mean = r(10, 1);
+        let var = r(4, 1);
+        // P[X ≤ 6] ≤ 4/16 = 0.25.
+        assert!((chebyshev_tail_bound(&mean, &var, &r(6, 1)) - 0.25).abs() < 1e-12);
+        // Vacuous when threshold ≥ mean.
+        assert_eq!(chebyshev_tail_bound(&mean, &var, &r(10, 1)), 1.0);
+        assert_eq!(chebyshev_tail_bound(&mean, &var, &r(12, 1)), 1.0);
+        // Clamped to 1.
+        assert_eq!(chebyshev_tail_bound(&mean, &var, &r(19, 2)), 1.0);
+    }
+
+    #[test]
+    fn thm3_style_bound_vanishes_with_n() {
+        // P[Z₁ ≤ (γ+1)n + 1] ≤ Var/(E − threshold)² → 0 as n → ∞ for γ < 1/2.
+        let gamma_num = 1i64; // γ = 1/4
+        let gamma_den = 4i64;
+        let mut prev = f64::INFINITY;
+        for n in [4i64, 8, 16, 32] {
+            let mean = r1_expected_z1(n as u64);
+            let var = r1_var_z1(n as u64);
+            // threshold = (γ+1)·n + 1
+            let threshold =
+                r(gamma_num + gamma_den, gamma_den).mul_int(n).add(&Ratio::one());
+            let b = chebyshev_tail_bound(&mean, &var, &threshold);
+            assert!(b <= prev + 1e-9, "bound should shrink: n={n}, {b} > {prev}");
+            prev = b;
+        }
+        assert!(prev < 0.3, "bound at n=32 should be small: {prev}");
+        // And with one more doubling it keeps shrinking like 1/n.
+        let mean = r1_expected_z1(64);
+        let var = r1_var_z1(64);
+        let threshold = r(5, 4).mul_int(64).add(&Ratio::one());
+        assert!(chebyshev_tail_bound(&mean, &var, &threshold) < 0.15);
+    }
+
+    #[test]
+    fn ceil_helper() {
+        assert_eq!(ceil_to_u64(&r(7, 2)), 4);
+        assert_eq!(ceil_to_u64(&r(8, 2)), 4);
+        assert_eq!(ceil_to_u64(&Ratio::zero()), 0);
+    }
+}

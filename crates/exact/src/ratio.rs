@@ -1,0 +1,294 @@
+//! Exact rationals: a signed numerator over a positive denominator, always
+//! stored in lowest terms.
+
+use crate::bigint::BigInt;
+use crate::biguint::BigUint;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exact rational number `num / den` with `den > 0` and
+/// `gcd(|num|, den) = 1`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ratio {
+    num: BigInt,
+    den: BigUint,
+}
+
+impl Ratio {
+    /// Zero.
+    pub fn zero() -> Self {
+        Ratio { num: BigInt::zero(), den: BigUint::one() }
+    }
+
+    /// One.
+    pub fn one() -> Self {
+        Ratio { num: BigInt::one(), den: BigUint::one() }
+    }
+
+    /// From an integer.
+    pub fn from_int(v: i64) -> Self {
+        Ratio { num: BigInt::from_i64(v), den: BigUint::one() }
+    }
+
+    /// From a [`BigUint`] (non-negative integer value).
+    pub fn from_biguint(v: BigUint) -> Self {
+        Ratio { num: BigInt::from_biguint(v), den: BigUint::one() }
+    }
+
+    /// `p / q` for primitive integers.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q == 0`.
+    pub fn new_i64(p: i64, q: i64) -> Self {
+        assert!(q != 0, "zero denominator");
+        let num = BigInt::from_i64(p);
+        let den = BigInt::from_i64(q);
+        let sign_flip = den.is_negative();
+        let r = Ratio::reduce(
+            if sign_flip { num.neg() } else { num },
+            den.magnitude().clone(),
+        );
+        r
+    }
+
+    /// `num / den` for big values.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `den` is zero.
+    pub fn new(num: BigInt, den: BigUint) -> Self {
+        assert!(!den.is_zero(), "zero denominator");
+        Ratio::reduce(num, den)
+    }
+
+    /// Ratio of two non-negative big integers, `p / q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is zero.
+    pub fn from_biguint_ratio(p: BigUint, q: BigUint) -> Self {
+        Self::new(BigInt::from_biguint(p), q)
+    }
+
+    fn reduce(num: BigInt, den: BigUint) -> Self {
+        if num.is_zero() {
+            return Self::zero();
+        }
+        let g = num.magnitude().gcd(&den);
+        if g.is_one() {
+            return Ratio { num, den };
+        }
+        let new_mag = num.magnitude().div_exact(&g);
+        Ratio { num: BigInt::new(num.sign(), new_mag), den: den.div_exact(&g) }
+    }
+
+    /// Numerator (signed, lowest terms).
+    pub fn numerator(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (positive, lowest terms).
+    pub fn denominator(&self) -> &BigUint {
+        &self.den
+    }
+
+    /// `true` iff exactly zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// `true` iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// `true` iff the value is an integer (denominator 1).
+    pub fn is_integer(&self) -> bool {
+        self.den.is_one()
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Ratio) -> Ratio {
+        // a/b + c/d = (ad + cb) / bd
+        let ad = self.num.mul(&BigInt::from_biguint(other.den.clone()));
+        let cb = other.num.mul(&BigInt::from_biguint(self.den.clone()));
+        Ratio::reduce(ad.add(&cb), self.den.mul(&other.den))
+    }
+
+    /// `self − other`.
+    pub fn sub(&self, other: &Ratio) -> Ratio {
+        self.add(&other.neg())
+    }
+
+    /// `self · other`.
+    pub fn mul(&self, other: &Ratio) -> Ratio {
+        Ratio::reduce(self.num.mul(&other.num), self.den.mul(&other.den))
+    }
+
+    /// `self / other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `other` is zero.
+    pub fn div(&self, other: &Ratio) -> Ratio {
+        assert!(!other.is_zero(), "division by zero ratio");
+        let num = self.num.mul(&BigInt::from_biguint(other.den.clone()));
+        let mut den = self.den.mul(other.num.magnitude());
+        let mut num = num;
+        if other.num.is_negative() {
+            num = num.neg();
+        }
+        if den.is_zero() {
+            den = BigUint::one(); // unreachable: other nonzero
+        }
+        Ratio::reduce(num, den)
+    }
+
+    /// Negation.
+    pub fn neg(&self) -> Ratio {
+        Ratio { num: self.num.neg(), den: self.den.clone() }
+    }
+
+    /// Multiplies by an integer.
+    pub fn mul_int(&self, k: i64) -> Ratio {
+        self.mul(&Ratio::from_int(k))
+    }
+
+    /// Scales by a non-negative big integer.
+    pub fn mul_biguint(&self, k: &BigUint) -> Ratio {
+        Ratio::reduce(self.num.mul(&BigInt::from_biguint(k.clone())), self.den.clone())
+    }
+
+    /// Best-effort `f64` value: exact for small ratios, and within one ULP
+    /// of the scaled quotient for big ones (64 fractional bits are
+    /// extracted before rounding).
+    pub fn to_f64(&self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        let mag = self.num.magnitude();
+        // Compute (mag << 64) / den, then scale by 2^-64.
+        let (q, _) = mag.shl(64).div_rem(&self.den);
+        let v = q.to_f64() * 2f64.powi(-64);
+        if self.is_negative() {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Exact comparison with an integer.
+    pub fn cmp_int(&self, v: i64) -> Ordering {
+        self.cmp(&Ratio::from_int(v))
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // a/b vs c/d ⇔ ad vs cb (b, d > 0).
+        let ad = self.num.mul(&BigInt::from_biguint(other.den.clone()));
+        let cb = other.num.mul(&BigInt::from_biguint(self.den.clone()));
+        ad.cmp(&cb)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den.is_one() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(p: i64, q: i64) -> Ratio {
+        Ratio::new_i64(p, q)
+    }
+
+    #[test]
+    fn reduction() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-6, 9), r(-2, 3));
+        assert_eq!(r(0, 5), Ratio::zero());
+        assert_eq!(r(7, 1).to_string(), "7");
+        assert_eq!(r(1, 2).to_string(), "1/2");
+        assert_eq!(r(-1, 2).to_string(), "-1/2");
+    }
+
+    #[test]
+    fn negative_denominator_normalizes() {
+        assert_eq!(r(1, -2), r(-1, 2));
+        assert_eq!(r(-1, -2), r(1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(r(1, 2).add(&r(1, 3)), r(5, 6));
+        assert_eq!(r(1, 2).sub(&r(1, 3)), r(1, 6));
+        assert_eq!(r(2, 3).mul(&r(3, 4)), r(1, 2));
+        assert_eq!(r(1, 2).div(&r(1, 4)), r(2, 1));
+        assert_eq!(r(-1, 2).div(&r(1, 4)), r(-2, 1));
+        assert_eq!(r(1, 2).div(&r(-1, 4)), r(-2, 1));
+        assert_eq!(r(3, 7).mul_int(7), r(3, 1));
+    }
+
+    #[test]
+    fn comparison() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(2, 4) == r(1, 2));
+        assert_eq!(r(7, 2).cmp_int(3), Ordering::Greater);
+        assert_eq!(r(6, 2).cmp_int(3), Ordering::Equal);
+    }
+
+    #[test]
+    fn to_f64() {
+        assert!((r(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+        assert!((r(-7, 8).to_f64() + 0.875).abs() < 1e-15);
+        assert_eq!(Ratio::zero().to_f64(), 0.0);
+        // Large numerator and denominator.
+        let big = Ratio::from_biguint_ratio(BigUint::from_u64(3).pow(60), BigUint::from_u64(2).pow(90));
+        let expect = 3f64.powi(60) / 2f64.powi(90);
+        assert!((big.to_f64() - expect).abs() / expect < 1e-12);
+    }
+
+    #[test]
+    fn field_laws_spot_checks() {
+        let a = r(3, 7);
+        let b = r(-2, 5);
+        let c = r(11, 4);
+        // Associativity and distributivity on a few values.
+        assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        // Inverses.
+        assert_eq!(a.sub(&a), Ratio::zero());
+        assert_eq!(a.div(&a), Ratio::one());
+    }
+
+    #[test]
+    fn is_integer() {
+        assert!(r(4, 2).is_integer());
+        assert!(!r(5, 2).is_integer());
+        assert!(Ratio::zero().is_integer());
+    }
+}

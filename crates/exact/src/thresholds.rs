@@ -1,0 +1,317 @@
+//! The existential content of the concentration theorems, made
+//! constructive.
+//!
+//! Theorems 3, 5 and 8 each say: *given `γ < c` and `δ > 0`, there
+//! exists `N₀` such that `Prob{E[γ, N]} ≤ δ` for all `N ≥ N₀`* — where
+//! `E[γ, N]` is the event that sorting needs fewer than `γN` steps. The
+//! proofs are effective: the probability is bounded by an explicit
+//! Chebyshev expression. This module evaluates those bounds for every
+//! `n` and solves for the smallest witness `n₀` (hence `N₀ = 4n₀²`).
+//!
+//! Scanning to large `n₀` with exact rationals would require binomials
+//! over `4n²` cells, so the bounds here are evaluated in `f64` via
+//! falling-factorial products (each a handful of multiplications, exact
+//! to ~1 ulp); tests pin the `f64` path against the exact rationals of
+//! [`crate::paper`] for every small `n`.
+
+use crate::paper;
+
+/// `P(c specific cells all ones)` as an f64 product:
+/// `∏_{i<c} (ones − i)/(total − i)`.
+fn q_ones_f64(total: u64, zeros: u64, c: u64) -> f64 {
+    let ones = total - zeros;
+    if c > ones {
+        return 0.0;
+    }
+    let mut p = 1.0;
+    for i in 0..c {
+        p *= (ones - i) as f64 / (total - i) as f64;
+    }
+    p
+}
+
+/// `P(a specific assignment of c cells with z zeros)` in f64:
+/// `(zeros)_z · (ones)_{c−z} / (total)_c` (falling factorials).
+fn assignment_f64(total: u64, zeros: u64, c: u64, z: u64) -> f64 {
+    let ones = total - zeros;
+    if z > zeros || c - z > ones || z > c {
+        return 0.0;
+    }
+    let mut p = 1.0;
+    for i in 0..z {
+        p *= (zeros - i) as f64;
+    }
+    for i in 0..(c - z) {
+        p *= (ones - i) as f64;
+    }
+    for i in 0..c {
+        p /= (total - i) as f64;
+    }
+    p
+}
+
+fn balanced(n: u64) -> (u64, u64) {
+    (4 * n * n, 2 * n * n)
+}
+
+/// f64 `E[Z₁]` for R1 (Lemma 4).
+pub fn r1_mean_f64(n: u64) -> f64 {
+    let (t, z) = balanced(n);
+    2.0 * n as f64 * (1.0 - q_ones_f64(t, z, 2))
+}
+
+/// f64 `Var(Z₁)` for R1 (Theorem 3).
+pub fn r1_var_f64(n: u64) -> f64 {
+    let (t, z) = balanced(n);
+    let e1 = 1.0 - q_ones_f64(t, z, 2);
+    let e12 = 1.0 - 2.0 * q_ones_f64(t, z, 2) + q_ones_f64(t, z, 4);
+    let nn = 2.0 * n as f64;
+    nn * e1 + nn * (nn - 1.0) * e12 - (nn * e1) * (nn * e1)
+}
+
+fn r2_block_dist_f64(n: u64) -> [f64; 3] {
+    let (t, z) = balanced(n);
+    // z1 = 2 for: the 4-zero pattern, the four 3-zero patterns, and two
+    // of the 2-zero patterns; z1 = 1 for four 2-zero and four 1-zero
+    // patterns; z1 = 0 for the all-ones pattern (paper Theorem 4 map).
+    let p = |zz: u64| assignment_f64(t, z, 4, zz);
+    [p(0), 4.0 * p(2) + 4.0 * p(1), p(4) + 4.0 * p(3) + 2.0 * p(2)]
+}
+
+/// f64 `E[Z₁]` for R2 (Theorem 4).
+pub fn r2_mean_f64(n: u64) -> f64 {
+    let d = r2_block_dist_f64(n);
+    n as f64 * (d[1] + 2.0 * d[2])
+}
+
+/// f64 `Var(Z₁)` for R2 (Theorem 5), with the joint term from the
+/// 256-pattern enumeration structure collapsed to falling factorials.
+pub fn r2_var_f64(n: u64) -> f64 {
+    let (t, z) = balanced(n);
+    let d = r2_block_dist_f64(n);
+    let e1 = d[1] + 2.0 * d[2];
+    let e1sq = d[1] + 4.0 * d[2];
+    // E[z1 z2] over two stacked blocks: enumerate the 256 patterns with
+    // f64 assignment probabilities (fast: 256 × O(8) multiplies).
+    let mut e12 = 0.0;
+    for mask in 0u32..256 {
+        let za = block_z1_of_mask(mask & 0xF);
+        let zb = block_z1_of_mask(mask >> 4);
+        if za == 0 || zb == 0 {
+            continue;
+        }
+        let zeros_in_pattern = 8 - (mask.count_ones() as u64);
+        e12 += (za * zb) as f64 * assignment_f64(t, z, 8, zeros_in_pattern);
+    }
+    let nf = n as f64;
+    nf * e1sq + nf * (nf - 1.0) * e12 - (nf * e1) * (nf * e1)
+}
+
+// Mask bit set ⇒ cell holds a ONE (so the zero count is 4 − popcount).
+fn block_z1_of_mask(mask: u32) -> u64 {
+    let cell = |i: u32| ((mask >> i) & 1) as u8; // 1 = one, 0 = zero
+    let [a, b, c, d] = [cell(0), cell(1), cell(2), cell(3)];
+    // Column odd sort then row odd sort (same as paper::r2_sort_block).
+    let (a, c) = (a.min(c), a.max(c));
+    let (b, d) = (b.min(d), b.max(d));
+    let (a, _b) = (a.min(b), a.max(b));
+    let (c, _d) = (c.min(d), c.max(d));
+    u64::from(a == 0) + u64::from(c == 0)
+}
+
+/// f64 `E[Z₁(0)]` for S1 (Lemma 9).
+pub fn s1_mean_f64(n: u64) -> f64 {
+    let (t, z) = balanced(n);
+    let pair_cells = (2 * n * n - n) as f64;
+    pair_cells * (1.0 - q_ones_f64(t, z, 2)) + (2 * n) as f64 * 0.5
+}
+
+/// f64 `Var[Z₁(0)]` for S1 (Theorem 8, corrected — see the erratum note
+/// on [`paper::s1_var_z10`]).
+pub fn s1_var_f64(n: u64) -> f64 {
+    let (t, z) = balanced(n);
+    let a = (2 * n * n - n) as f64;
+    let b = (2 * n) as f64;
+    let q2 = q_ones_f64(t, z, 2);
+    let q3 = q_ones_f64(t, z, 3);
+    let q4 = q_ones_f64(t, z, 4);
+    let e_pair = 1.0 - q2;
+    let e_pp = 1.0 - 2.0 * q2 + q4;
+    let e_pc = 1.0 - q2 - 0.5 + q3;
+    let e_cc = assignment_f64(t, z, 2, 2);
+    let mean = s1_mean_f64(n);
+    a * e_pair + a * (a - 1.0) * e_pp + 2.0 * a * b * e_pc + b * 0.5 + b * (b - 1.0) * e_cc
+        - mean * mean
+}
+
+/// Which concentration theorem's bound to evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConcentrationTheorem {
+    /// Theorem 3 — R1, constant `c = 1/2`, statistic `Z₁`,
+    /// threshold `(γ+1)n + 1`.
+    Theorem3,
+    /// Theorem 5 — R2, constant `c = 3/8`, same threshold shape.
+    Theorem5,
+    /// Theorem 8 — S1, constant `c = 1/2`, statistic `Z₁(0)`,
+    /// threshold `n²(γ+1) + n/2 + 1`.
+    Theorem8,
+}
+
+impl ConcentrationTheorem {
+    /// The constant `c` below which `γ` must lie.
+    pub fn constant(self) -> f64 {
+        match self {
+            ConcentrationTheorem::Theorem3 | ConcentrationTheorem::Theorem8 => 0.5,
+            ConcentrationTheorem::Theorem5 => 0.375,
+        }
+    }
+
+    /// The Chebyshev bound on `Prob{E[γ, N]}` at parameter `n`
+    /// (`N = 4n²`): `Var(X)/(E[X] − threshold)²`, clamped to 1 when the
+    /// threshold is at or above the mean.
+    pub fn probability_bound(self, n: u64, gamma: f64) -> f64 {
+        let nf = n as f64;
+        let (mean, var, threshold) = match self {
+            ConcentrationTheorem::Theorem3 => {
+                (r1_mean_f64(n), r1_var_f64(n), (gamma + 1.0) * nf + 1.0)
+            }
+            ConcentrationTheorem::Theorem5 => {
+                (r2_mean_f64(n), r2_var_f64(n), (gamma + 1.0) * nf + 1.0)
+            }
+            ConcentrationTheorem::Theorem8 => (
+                s1_mean_f64(n),
+                s1_var_f64(n),
+                nf * nf * (gamma + 1.0) + nf / 2.0 + 1.0,
+            ),
+        };
+        if threshold >= mean {
+            return 1.0;
+        }
+        (var / ((mean - threshold) * (mean - threshold))).min(1.0)
+    }
+
+    /// The smallest `n₀` such that the Chebyshev bound is ≤ `δ` at `n₀`
+    /// and for the next 8 values of `n` (a practical monotonicity
+    /// check), or `None` if no `n ≤ n_cap` works.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `γ ≥ c` (the theorem does not apply) or `δ ≤ 0`.
+    pub fn witness_n0(self, gamma: f64, delta: f64, n_cap: u64) -> Option<u64> {
+        assert!(gamma < self.constant(), "gamma must be below the theorem's constant");
+        assert!(delta > 0.0, "delta must be positive");
+        let verify_tail = 8u64;
+        (1..=n_cap).find(|&n| {
+            (n..=n + verify_tail).all(|m| self.probability_bound(m, gamma) <= delta)
+        })
+    }
+}
+
+/// Cross-check helper: the f64 means/variances against the exact crate
+/// (used by tests; exposed for the bench ablation).
+pub fn f64_exact_agreement(n: u64) -> f64 {
+    let checks = [
+        (r1_mean_f64(n), paper::r1_expected_z1(n)),
+        (r1_var_f64(n), paper::r1_var_z1(n)),
+        (r2_mean_f64(n), paper::r2_expected_z1(n)),
+        (r2_var_f64(n), paper::r2_var_z1(n)),
+        (s1_mean_f64(n), paper::s1_expected_z10(n)),
+        (s1_var_f64(n), paper::s1_var_z10(n)),
+    ];
+    checks
+        .iter()
+        .map(|(f, e)| {
+            let e = e.to_f64();
+            ((f - e) / e.abs().max(1.0)).abs()
+        })
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_path_matches_exact_rationals() {
+        for n in [1u64, 2, 4, 8, 16, 32] {
+            let err = f64_exact_agreement(n);
+            assert!(err < 1e-9, "n={n}: relative error {err}");
+        }
+    }
+
+    #[test]
+    fn bounds_decrease_in_n() {
+        for theorem in [
+            ConcentrationTheorem::Theorem3,
+            ConcentrationTheorem::Theorem5,
+            ConcentrationTheorem::Theorem8,
+        ] {
+            let gamma = 0.5 * theorem.constant();
+            let mut prev = f64::INFINITY;
+            for n in [8u64, 16, 32, 64, 128] {
+                let b = theorem.probability_bound(n, gamma);
+                assert!(b <= prev + 1e-12, "{theorem:?} n={n}: {b} > {prev}");
+                prev = b;
+            }
+            assert!(prev < 0.2, "{theorem:?}: bound at n=128 is {prev}");
+        }
+    }
+
+    #[test]
+    fn theorem8_decays_faster() {
+        // Thm 8's statistic concentrates at scale n² with variance Θ(n²):
+        // the bound decays like 1/n², vs 1/n for Theorems 3/5.
+        let t3 = ConcentrationTheorem::Theorem3.probability_bound(64, 0.25);
+        let t8 = ConcentrationTheorem::Theorem8.probability_bound(64, 0.25);
+        assert!(t8 < t3 / 10.0, "t8={t8} t3={t3}");
+    }
+
+    #[test]
+    fn witnesses_exist_and_certify() {
+        let n0 = ConcentrationTheorem::Theorem3.witness_n0(0.4, 0.05, 1_000_000).unwrap();
+        for n in [n0, n0 + 17, 2 * n0] {
+            assert!(ConcentrationTheorem::Theorem3.probability_bound(n, 0.4) <= 0.05);
+        }
+        let n0_tight =
+            ConcentrationTheorem::Theorem3.witness_n0(0.4, 0.005, 10_000_000).unwrap();
+        assert!(n0_tight > n0, "{n0_tight} vs {n0}");
+    }
+
+    #[test]
+    fn gamma_closer_to_constant_needs_larger_n0() {
+        let d = 0.05;
+        let easy = ConcentrationTheorem::Theorem5.witness_n0(0.125, d, 10_000_000).unwrap();
+        let hard = ConcentrationTheorem::Theorem5.witness_n0(1.0 / 3.0, d, 10_000_000).unwrap();
+        assert!(hard > easy, "{hard} vs {easy}");
+    }
+
+    #[test]
+    fn theorem8_witness_is_small() {
+        let n0 = ConcentrationTheorem::Theorem8.witness_n0(0.4, 0.01, 100_000).unwrap();
+        assert!(n0 < 200, "{n0}");
+    }
+
+    #[test]
+    #[should_panic(expected = "below the theorem's constant")]
+    fn gamma_at_constant_rejected() {
+        let _ = ConcentrationTheorem::Theorem3.witness_n0(0.5, 0.1, 100);
+    }
+
+    #[test]
+    fn vacuous_region_returns_one() {
+        let b = ConcentrationTheorem::Theorem3.probability_bound(1, 0.4);
+        assert!(b >= 0.99, "{b}");
+    }
+
+    #[test]
+    fn block_mask_mapping_consistent_with_paper_module() {
+        // The f64 block map (mask bit = one) must agree with the exact
+        // module's distribution at a small n.
+        let d_f64 = r2_block_dist_f64(3);
+        let d_exact = paper::r2_block_z1_distribution(3);
+        for i in 0..3 {
+            assert!((d_f64[i] - d_exact[i].to_f64()).abs() < 1e-12, "i={i}");
+        }
+        assert!((d_f64[0] + d_f64[1] + d_f64[2] - 1.0).abs() < 1e-12);
+    }
+}

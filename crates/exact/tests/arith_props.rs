@@ -1,0 +1,173 @@
+//! Property-based tests for the from-scratch bignum/rational arithmetic:
+//! the algebraic laws that every downstream paper formula silently
+//! depends on.
+
+use meshsort_exact::binomial::{assignment_prob, binomial};
+use meshsort_exact::{BigInt, BigUint, Ratio};
+use proptest::prelude::*;
+
+fn big(v: u128) -> BigUint {
+    BigUint::from_u128(v)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // ---- BigUint vs u128 reference semantics ----
+
+    #[test]
+    fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(big(a as u128).add(&big(b as u128)), big(a as u128 + b as u128));
+    }
+
+    #[test]
+    fn sub_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
+        prop_assert_eq!(big(hi as u128).sub(&big(lo as u128)), big((hi - lo) as u128));
+    }
+
+    #[test]
+    fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        prop_assert_eq!(big(a as u128).mul(&big(b as u128)), big(a as u128 * b as u128));
+    }
+
+    #[test]
+    fn div_rem_reconstructs(a in any::<u128>(), b in 1u128..) {
+        let (q, r) = big(a).div_rem(&big(b));
+        prop_assert!(r < big(b));
+        prop_assert_eq!(q.mul(&big(b)).add(&r), big(a));
+    }
+
+    #[test]
+    fn shifts_are_inverse(a in any::<u128>(), s in 0usize..100) {
+        prop_assert_eq!(big(a).shl(s).shr(s), big(a));
+    }
+
+    #[test]
+    fn gcd_properties(a in any::<u64>(), b in any::<u64>()) {
+        let g = big(a as u128).gcd(&big(b as u128));
+        // gcd divides both.
+        if !g.is_zero() {
+            prop_assert!(big(a as u128).div_rem(&g).1.is_zero());
+            prop_assert!(big(b as u128).div_rem(&g).1.is_zero());
+        }
+        // Commutative, and matches the Euclidean reference.
+        fn gcd_ref(mut a: u64, mut b: u64) -> u64 {
+            while b != 0 {
+                let t = a % b;
+                a = b;
+                b = t;
+            }
+            a
+        }
+        prop_assert_eq!(g, big(gcd_ref(a, b) as u128));
+    }
+
+    #[test]
+    fn ordering_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        prop_assert_eq!(big(a).cmp(&big(b)), a.cmp(&b));
+    }
+
+    #[test]
+    fn display_round_trip_u128(a in any::<u128>()) {
+        prop_assert_eq!(big(a).to_string(), a.to_string());
+    }
+
+    // ---- BigInt ring laws ----
+
+    #[test]
+    fn bigint_add_commutes(a in any::<i64>(), b in any::<i64>()) {
+        let (x, y) = (BigInt::from_i64(a), BigInt::from_i64(b));
+        prop_assert_eq!(x.add(&y), y.add(&x));
+    }
+
+    #[test]
+    fn bigint_matches_i128(a in any::<i64>(), b in any::<i64>()) {
+        let sum = BigInt::from_i64(a).add(&BigInt::from_i64(b));
+        let expect = a as i128 + b as i128;
+        prop_assert_eq!(sum.to_f64(), expect as f64);
+        let prod = BigInt::from_i64(a).mul(&BigInt::from_i64(b));
+        prop_assert_eq!(prod.is_negative(), (a as i128 * b as i128) < 0);
+    }
+
+    // ---- Ratio field laws ----
+
+    #[test]
+    fn ratio_field_laws(
+        (p1, q1) in (-1000i64..1000, 1i64..1000),
+        (p2, q2) in (-1000i64..1000, 1i64..1000),
+        (p3, q3) in (-1000i64..1000, 1i64..1000),
+    ) {
+        let a = Ratio::new_i64(p1, q1);
+        let b = Ratio::new_i64(p2, q2);
+        let c = Ratio::new_i64(p3, q3);
+        prop_assert_eq!(a.add(&b), b.add(&a));
+        prop_assert_eq!(a.mul(&b), b.mul(&a));
+        prop_assert_eq!(a.add(&b).add(&c), a.add(&b.add(&c)));
+        prop_assert_eq!(a.mul(&b).mul(&c), a.mul(&b.mul(&c)));
+        prop_assert_eq!(a.mul(&b.add(&c)), a.mul(&b).add(&a.mul(&c)));
+        prop_assert_eq!(a.sub(&a), Ratio::zero());
+        if !a.is_zero() {
+            prop_assert_eq!(a.div(&a), Ratio::one());
+            prop_assert_eq!(b.div(&a).mul(&a), b);
+        }
+    }
+
+    #[test]
+    fn ratio_to_f64_close(p in -10_000i64..10_000, q in 1i64..10_000) {
+        let r = Ratio::new_i64(p, q);
+        let expect = p as f64 / q as f64;
+        prop_assert!((r.to_f64() - expect).abs() <= 1e-12 * expect.abs().max(1.0));
+    }
+
+    #[test]
+    fn ratio_ordering_consistent(
+        (p1, q1) in (-100i64..100, 1i64..100),
+        (p2, q2) in (-100i64..100, 1i64..100),
+    ) {
+        let a = Ratio::new_i64(p1, q1);
+        let b = Ratio::new_i64(p2, q2);
+        let lhs = (p1 as i128) * (q2 as i128);
+        let rhs = (p2 as i128) * (q1 as i128);
+        prop_assert_eq!(a.cmp(&b), lhs.cmp(&rhs));
+    }
+
+    // ---- Combinatorics ----
+
+    #[test]
+    fn binomial_symmetry_and_pascal(n in 1u64..40, k in 0u64..40) {
+        let k = k.min(n);
+        prop_assert_eq!(binomial(n, k), binomial(n, n - k));
+        if k >= 1 {
+            prop_assert_eq!(
+                binomial(n, k),
+                binomial(n - 1, k - 1).add(&binomial(n - 1, k))
+            );
+        }
+    }
+
+    #[test]
+    fn assignment_prob_is_probability(
+        total in 2u64..30,
+        zeros_frac in 0u64..100,
+        c in 1u64..6,
+        z in 0u64..6,
+    ) {
+        let zeros = zeros_frac % (total + 1);
+        let c = c.min(total);
+        let p = assignment_prob(total, zeros, c, z);
+        prop_assert!(!p.is_negative());
+        prop_assert!(p <= Ratio::one());
+    }
+
+    #[test]
+    fn assignment_prob_total_mass(total in 2u64..24, c in 1u64..5) {
+        let zeros = total / 2;
+        let c = c.min(total);
+        let mut sum = Ratio::zero();
+        for z in 0..=c {
+            sum = sum.add(&assignment_prob(total, zeros, c, z).mul_biguint(&binomial(c, z)));
+        }
+        prop_assert_eq!(sum, Ratio::one());
+    }
+}

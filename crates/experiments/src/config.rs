@@ -1,0 +1,97 @@
+//! Experiment configuration.
+
+use meshsort_stats::SeedSequence;
+use serde::{Deserialize, Serialize};
+
+/// Shared configuration for all experiments.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Config {
+    /// Root seed; every experiment derives its own independent stream
+    /// from this and its id, so reports are reproducible bit-for-bit.
+    pub seed: u64,
+    /// Scale factor for trial counts (1.0 = the default full run).
+    pub trial_scale: f64,
+    /// Cap on mesh sides (quick/smoke runs use a small cap).
+    pub max_side: usize,
+    /// Worker threads for the Monte-Carlo executor.
+    pub threads: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            seed: 0x5A7A_1993, // "Savari 1993"
+            trial_scale: 1.0,
+            max_side: 64,
+            threads: meshsort_stats::parallel::default_threads(),
+        }
+    }
+}
+
+impl Config {
+    /// The full default configuration.
+    pub fn full() -> Self {
+        Self::default()
+    }
+
+    /// A configuration for fast smoke runs (unit tests, `--quick`).
+    pub fn quick() -> Self {
+        Config { trial_scale: 0.05, max_side: 16, ..Self::default() }
+    }
+
+    /// Scales a baseline trial count, with a floor of 8.
+    pub fn trials(&self, base: u64) -> u64 {
+        ((base as f64 * self.trial_scale) as u64).max(8)
+    }
+
+    /// The even sides to sweep, capped to `max_side`.
+    pub fn even_sides(&self) -> Vec<usize> {
+        [8usize, 16, 24, 32, 48, 64].into_iter().filter(|&s| s <= self.max_side).collect()
+    }
+
+    /// The odd sides to sweep (appendix experiments).
+    pub fn odd_sides(&self) -> Vec<usize> {
+        [5usize, 9, 15, 25, 33].into_iter().filter(|&s| s <= self.max_side).collect()
+    }
+
+    /// Seed stream for a named experiment.
+    pub fn seeds_for(&self, experiment: &str) -> SeedSequence {
+        SeedSequence::new(self.seed).derive(experiment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_is_smaller() {
+        let q = Config::quick();
+        let f = Config::full();
+        assert!(q.trial_scale < f.trial_scale);
+        assert!(q.max_side < f.max_side);
+    }
+
+    #[test]
+    fn trials_floor() {
+        let q = Config::quick();
+        assert!(q.trials(10) >= 8);
+        assert_eq!(Config::full().trials(1000), 1000);
+    }
+
+    #[test]
+    fn side_sweeps_respect_cap() {
+        let q = Config::quick();
+        assert!(q.even_sides().iter().all(|&s| s <= q.max_side));
+        assert!(!q.even_sides().is_empty());
+        assert!(q.odd_sides().iter().all(|&s| s <= q.max_side));
+        assert!(!q.odd_sides().is_empty());
+    }
+
+    #[test]
+    fn seed_streams_differ_by_experiment() {
+        let c = Config::full();
+        assert_ne!(c.seeds_for("e01").root(), c.seeds_for("e02").root());
+        assert_eq!(c.seeds_for("e01").root(), c.seeds_for("e01").root());
+    }
+}

@@ -1,0 +1,87 @@
+//! E01 — Lemma 4: after R1's first row sorting step, the expected number
+//! of zeros in column 1 of a random balanced 0–1 mesh is
+//! `E[Z₁] = 3n/2 + n/(8n² − 2)`.
+
+use crate::config::Config;
+use crate::harness::sample_statistic;
+use crate::report::{fnum, ExperimentReport, Verdict};
+use meshsort_core::AlgorithmId;
+use meshsort_mesh::apply_plan;
+use meshsort_stats::ci::check_exact_value;
+use meshsort_workloads::zero_one::random_balanced_zero_one_grid;
+
+/// Measures `Z₁` (zeros in column 1 after the first row sort) on one
+/// random balanced 0–1 grid.
+pub fn sample_z1(side: usize, rng: &mut rand::rngs::StdRng) -> f64 {
+    let mut grid = random_balanced_zero_one_grid(side, rng);
+    let schedule = AlgorithmId::RowMajorRowFirst.schedule(side).expect("even side");
+    apply_plan(&mut grid, schedule.plan_at(0));
+    grid.column(0).filter(|&&v| v == 0).count() as f64
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E01",
+        "Lemma 4: E[Z1] after R1's first row sort = 3n/2 + n/(8n^2-2)",
+        vec!["n", "side", "trials", "measured E[Z1]", "exact E[Z1]", "stderr"],
+    );
+    let seeds = cfg.seeds_for("e01");
+    let trials = cfg.trials(20_000);
+    for side in cfg.even_sides() {
+        let n = (side / 2) as u64;
+        let stats = sample_statistic(trials, seeds.derive(&side.to_string()), cfg.threads, |rng| {
+            sample_z1(side, rng)
+        });
+        let exact = meshsort_exact::paper::r1_expected_z1(n).to_f64();
+        let verdict = Verdict::from_bound_check(check_exact_value(&stats, exact, 3.29));
+        report.push_row(
+            vec![
+                n.to_string(),
+                side.to_string(),
+                trials.to_string(),
+                fnum(stats.mean()),
+                fnum(exact),
+                fnum(stats.std_error()),
+            ],
+            verdict,
+        );
+    }
+    report.note("exact values from meshsort-exact::paper::r1_expected_z1 (verified against the paper's closed form)");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_passes() {
+        let cfg = Config::quick();
+        let report = run(&cfg);
+        assert!(!report.rows.is_empty());
+        assert!(report.overall().acceptable(), "{}", report.render());
+    }
+
+    #[test]
+    fn z1_sample_in_range() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..50 {
+            let z = sample_z1(8, &mut rng);
+            assert!((0.0..=8.0).contains(&z));
+        }
+    }
+
+    #[test]
+    fn z1_mean_is_far_above_half() {
+        // The whole point of Lemma 4: after one row sort the first column
+        // holds ~3/4·side zeros, not ~1/2·side.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let side = 16;
+        let mean: f64 = (0..400).map(|_| sample_z1(side, &mut rng)).sum::<f64>() / 400.0;
+        assert!(mean > 0.7 * side as f64, "{mean}");
+        assert!(mean < 0.8 * side as f64, "{mean}");
+    }
+}

@@ -1,0 +1,69 @@
+//! E02 — Theorem 3's variance computation: `Var(Z₁) = n(3/8 − o(1))`
+//! after R1's first row sort, with the exact rational value from
+//! `meshsort-exact`.
+
+use crate::config::Config;
+use crate::e01_lemma4::sample_z1;
+use crate::harness::sample_statistic;
+use crate::report::{fnum, ExperimentReport, Verdict};
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E02",
+        "Theorem 3: Var(Z1) after R1's first row sort = n(3/8 - o(1))",
+        vec!["n", "side", "trials", "sample Var", "exact Var", "Var/n"],
+    );
+    let seeds = cfg.seeds_for("e02");
+    let trials = cfg.trials(20_000);
+    for side in cfg.even_sides() {
+        let n = (side / 2) as u64;
+        let stats = sample_statistic(trials, seeds.derive(&side.to_string()), cfg.threads, |rng| {
+            sample_z1(side, rng)
+        });
+        let exact = meshsort_exact::paper::r1_var_z1(n).to_f64();
+        let sample_var = stats.variance();
+        // Sampling error of a variance estimate ~ Var·√(2/(t−1)); accept
+        // within 5 of those.
+        let tol = 5.0 * exact * (2.0 / (trials as f64 - 1.0)).sqrt();
+        let verdict = if (sample_var - exact).abs() <= tol {
+            Verdict::Pass
+        } else if (sample_var - exact).abs() <= 2.0 * tol {
+            Verdict::Marginal
+        } else {
+            Verdict::Fail
+        };
+        report.push_row(
+            vec![
+                n.to_string(),
+                side.to_string(),
+                trials.to_string(),
+                fnum(sample_var),
+                fnum(exact),
+                fnum(exact / n as f64),
+            ],
+            verdict,
+        );
+    }
+    report.note("Var/n approaches 3/8 = 0.375 from below as n grows (paper Theorem 3)");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_passes() {
+        let report = run(&Config::quick());
+        assert!(report.overall().acceptable(), "{}", report.render());
+    }
+
+    #[test]
+    fn exact_var_per_n_below_three_eighths() {
+        for n in [4u64, 8, 16] {
+            let v = meshsort_exact::paper::r1_var_z1(n).to_f64() / n as f64;
+            assert!(v < 0.375 && v > 0.25, "n={n}: {v}");
+        }
+    }
+}

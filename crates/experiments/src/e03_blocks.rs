@@ -1,0 +1,79 @@
+//! E03 — Theorem 4/5 block statistics for R2 (the column-first row-major
+//! algorithm): after the first column sort and row sort, the per-block
+//! distribution of column-1 zeros and the resulting `E[Z₁]`, `Var(Z₁)`.
+
+use crate::config::Config;
+use crate::harness::sample_statistic;
+use crate::report::{fnum, ExperimentReport, Verdict};
+use meshsort_core::AlgorithmId;
+use meshsort_mesh::apply_plan;
+use meshsort_stats::ci::check_exact_value;
+use meshsort_workloads::zero_one::random_balanced_zero_one_grid;
+
+/// Measures `Z₁` (zeros in column 1) after R2's first two steps (column
+/// sort then row sort) on one random balanced grid.
+pub fn sample_z1_col_first(side: usize, rng: &mut rand::rngs::StdRng) -> f64 {
+    let mut grid = random_balanced_zero_one_grid(side, rng);
+    let schedule = AlgorithmId::RowMajorColFirst.schedule(side).expect("even side");
+    apply_plan(&mut grid, schedule.plan_at(0)); // column odd sort
+    apply_plan(&mut grid, schedule.plan_at(1)); // row odd sort
+    grid.column(0).filter(|&&v| v == 0).count() as f64
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E03",
+        "Theorem 4/5: E[Z1] and Var(Z1) after R2's first column+row sort",
+        vec!["n", "side", "trials", "measured E[Z1]", "exact E[Z1]", "sample Var", "exact Var"],
+    );
+    let seeds = cfg.seeds_for("e03");
+    let trials = cfg.trials(20_000);
+    for side in cfg.even_sides() {
+        let n = (side / 2) as u64;
+        let stats = sample_statistic(trials, seeds.derive(&side.to_string()), cfg.threads, |rng| {
+            sample_z1_col_first(side, rng)
+        });
+        let exact_mean = meshsort_exact::paper::r2_expected_z1(n).to_f64();
+        let exact_var = meshsort_exact::paper::r2_var_z1(n).to_f64();
+        let verdict = Verdict::from_bound_check(check_exact_value(&stats, exact_mean, 3.29));
+        report.push_row(
+            vec![
+                n.to_string(),
+                side.to_string(),
+                trials.to_string(),
+                fnum(stats.mean()),
+                fnum(exact_mean),
+                fnum(stats.variance()),
+                fnum(exact_var),
+            ],
+            verdict,
+        );
+    }
+    report.note("block distribution P(z1 = 0,1,2) derived by simulating all 16 block patterns (paper's Theorem 4 mapping)");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_passes() {
+        let report = run(&Config::quick());
+        assert!(report.overall().acceptable(), "{}", report.render());
+    }
+
+    #[test]
+    fn col_first_z1_mean_is_around_11_16() {
+        // E[Z1]/side → (11/8)/2 = 0.6875 — *below* the row-first 0.75:
+        // the column pre-sort evens out the odd columns.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let side = 16;
+        let mean: f64 =
+            (0..400).map(|_| sample_z1_col_first(side, &mut rng)).sum::<f64>() / 400.0;
+        assert!(mean > 0.65 * side as f64, "{mean}");
+        assert!(mean < 0.73 * side as f64, "{mean}");
+    }
+}

@@ -1,0 +1,138 @@
+//! E06 — the "high probability" theorems (3, 5, 8, 11): for each
+//! algorithm and each `γ` below its constant (½ for R1/S1/S2, ⅜ for R2),
+//! the empirical probability that a random permutation sorts in fewer
+//! than `γN` steps must shrink as `N` grows.
+
+use crate::config::Config;
+use crate::report::{fnum, ExperimentReport, Verdict};
+use meshsort_core::{runner, AlgorithmId};
+use meshsort_stats::tail::TailEstimator;
+use meshsort_stats::{run_trials, SeedSequence};
+use meshsort_workloads::permutation::random_permutation_grid;
+
+/// The constant `c` for which each algorithm's concentration theorem
+/// covers all `γ < c`.
+pub fn concentration_constant(algorithm: AlgorithmId) -> f64 {
+    match algorithm {
+        AlgorithmId::RowMajorColFirst => 3.0 / 8.0,
+        _ => 0.5,
+    }
+}
+
+fn tails_for(
+    algorithm: AlgorithmId,
+    side: usize,
+    gammas: &[f64],
+    trials: u64,
+    seeds: SeedSequence,
+    threads: usize,
+) -> TailEstimator {
+    let n_cells = side * side;
+    run_trials(
+        seeds,
+        trials,
+        threads,
+        || TailEstimator::for_gammas(gammas, n_cells),
+        move |_i, rng, acc: &mut TailEstimator| {
+            let mut grid = random_permutation_grid(side, rng);
+            let run = runner::sort_to_completion(algorithm, &mut grid).expect("side supported");
+            acc.push(run.outcome.steps as f64);
+        },
+        |a, b| a.merge(&b),
+    )
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E06",
+        "Theorems 3/5/8/11: P[steps < gamma*N] vanishes for gamma below each constant",
+        vec!["algorithm", "gamma", "c", "side", "N", "trials", "P[steps < gamma*N]"],
+    );
+    let seeds = cfg.seeds_for("e06");
+    let algorithms = [
+        AlgorithmId::RowMajorRowFirst,
+        AlgorithmId::RowMajorColFirst,
+        AlgorithmId::SnakeAlternating,
+        AlgorithmId::SnakeStaggeredCols,
+    ];
+    let sides: Vec<usize> = cfg.even_sides().into_iter().take(3).collect();
+    for algorithm in algorithms {
+        let c = concentration_constant(algorithm);
+        // Probe γ at 60% and 90% of the constant.
+        let gammas = [0.6 * c, 0.9 * c];
+        for &side in &sides {
+            let n_cells = side * side;
+            let base = (1_500_000 / (n_cells * side)).max(24) as u64;
+            let trials = cfg.trials(base);
+            let tails = tails_for(
+                algorithm,
+                side,
+                &gammas,
+                trials,
+                seeds.derive(&format!("{algorithm}-{side}")),
+                cfg.threads,
+            );
+            for (gi, &gamma) in gammas.iter().enumerate() {
+                let p = tails.estimate(gi);
+                // The theorems are asymptotic; at these finite sizes we
+                // require the empirical tail to be small, and the tests
+                // separately require decay across sides.
+                let verdict = if p <= 0.05 {
+                    Verdict::Pass
+                } else if p <= 0.25 {
+                    Verdict::Marginal
+                } else {
+                    Verdict::Fail
+                };
+                report.push_row(
+                    vec![
+                        algorithm.to_string(),
+                        fnum(gamma),
+                        fnum(c),
+                        side.to_string(),
+                        n_cells.to_string(),
+                        trials.to_string(),
+                        fnum(p),
+                    ],
+                    verdict,
+                );
+            }
+        }
+    }
+    report.note("constants: 1/2 for R1 (Thm 3), 3/8 for R2 (Thm 5), 1/2 for S1 (Thm 8) and S2 (Thm 11)");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(concentration_constant(AlgorithmId::RowMajorRowFirst), 0.5);
+        assert_eq!(concentration_constant(AlgorithmId::RowMajorColFirst), 0.375);
+        assert_eq!(concentration_constant(AlgorithmId::SnakeAlternating), 0.5);
+    }
+
+    #[test]
+    fn quick_run_acceptable() {
+        let report = run(&Config::quick());
+        assert!(report.overall().acceptable(), "{}", report.render());
+    }
+
+    #[test]
+    fn tail_at_small_gamma_is_zero_for_moderate_mesh() {
+        // P[steps < 0.25·N] for R1 on a 16×16 mesh should be ~0: the mean
+        // is near N/2 and the distribution concentrates.
+        let tails = tails_for(
+            AlgorithmId::RowMajorRowFirst,
+            16,
+            &[0.25],
+            64,
+            SeedSequence::new(5),
+            4,
+        );
+        assert_eq!(tails.estimate(0), 0.0, "{:?}", tails.estimates());
+    }
+}

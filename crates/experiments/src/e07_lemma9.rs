@@ -1,0 +1,73 @@
+//! E07 — Lemma 9: after S1's first step,
+//! `E[Z₁(0)] = 3N/8 + √N/8 + √N/(8(√N+1))`.
+
+use crate::config::Config;
+use crate::harness::sample_statistic;
+use crate::report::{fnum, ExperimentReport, Verdict};
+use meshsort_core::AlgorithmId;
+use meshsort_mesh::apply_plan;
+use meshsort_stats::ci::check_exact_value;
+use meshsort_workloads::zero_one::random_balanced_zero_one_grid;
+use meshsort_zeroone::snake_trackers::s1_tracker_value;
+
+/// Measures `Z₁(0)` on one random balanced grid.
+pub fn sample_z10(side: usize, rng: &mut rand::rngs::StdRng) -> f64 {
+    let mut grid = random_balanced_zero_one_grid(side, rng);
+    let schedule = AlgorithmId::SnakeAlternating.schedule(side).expect("all sides");
+    apply_plan(&mut grid, schedule.plan_at(0));
+    s1_tracker_value(&grid, 0) as f64
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E07",
+        "Lemma 9: E[Z1(0)] after S1's first step = 3N/8 + sqrt(N)/8 + sqrt(N)/(8(sqrt(N)+1))",
+        vec!["side", "N", "trials", "measured E[Z1(0)]", "exact", "stderr"],
+    );
+    let seeds = cfg.seeds_for("e07");
+    let trials = cfg.trials(20_000);
+    for side in cfg.even_sides() {
+        let n = (side / 2) as u64;
+        let stats = sample_statistic(trials, seeds.derive(&side.to_string()), cfg.threads, |rng| {
+            sample_z10(side, rng)
+        });
+        let exact = meshsort_exact::paper::s1_expected_z10(n).to_f64();
+        let verdict = Verdict::from_bound_check(check_exact_value(&stats, exact, 3.29));
+        report.push_row(
+            vec![
+                side.to_string(),
+                (side * side).to_string(),
+                trials.to_string(),
+                fnum(stats.mean()),
+                fnum(exact),
+                fnum(stats.std_error()),
+            ],
+            verdict,
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_passes() {
+        let report = run(&Config::quick());
+        assert!(report.overall().acceptable(), "{}", report.render());
+    }
+
+    #[test]
+    fn z10_exceeds_quarter_n() {
+        // The gap E[Z1(0)] − N/4 = Ω(N) powers Theorem 7.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let side = 12;
+        let n_cells = (side * side) as f64;
+        let mean: f64 = (0..300).map(|_| sample_z10(side, &mut rng)).sum::<f64>() / 300.0;
+        assert!(mean > 0.33 * n_cells, "{mean}");
+        assert!(mean < 0.45 * n_cells, "{mean}");
+    }
+}

@@ -1,0 +1,82 @@
+//! E08 — Theorem 8's variance: `Var[Z₁(0)]` for S1. The reproduction
+//! found the paper's printed closed form (`n²(17/8 + o(1))`) to be an
+//! erratum — the correct variance, matching both first-principles exact
+//! computation and exhaustive enumeration, is `n²(1/8 + o(1))`. The
+//! Monte-Carlo here confirms the corrected value; the theorem's
+//! concentration conclusion is unaffected (smaller variance is stronger).
+
+use crate::config::Config;
+use crate::e07_lemma9::sample_z10;
+use crate::harness::sample_statistic;
+use crate::report::{fnum, ExperimentReport, Verdict};
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E08",
+        "Theorem 8: Var[Z1(0)] for S1 — corrected to n^2(1/8 + o(1)) (paper prints 17/8; see erratum)",
+        vec!["n", "side", "trials", "sample Var", "exact Var", "Var/n^2", "paper printed 17n^2/8"],
+    );
+    let seeds = cfg.seeds_for("e08");
+    let trials = cfg.trials(20_000);
+    for side in cfg.even_sides() {
+        let n = (side / 2) as u64;
+        let stats = sample_statistic(trials, seeds.derive(&side.to_string()), cfg.threads, |rng| {
+            sample_z10(side, rng)
+        });
+        let exact = meshsort_exact::paper::s1_var_z10(n).to_f64();
+        let sample_var = stats.variance();
+        let tol = 5.0 * exact * (2.0 / (trials as f64 - 1.0)).sqrt();
+        let verdict = if (sample_var - exact).abs() <= tol {
+            Verdict::Pass
+        } else if (sample_var - exact).abs() <= 2.0 * tol {
+            Verdict::Marginal
+        } else {
+            Verdict::Fail
+        };
+        let printed = 17.0 * (n * n) as f64 / 8.0;
+        report.push_row(
+            vec![
+                n.to_string(),
+                side.to_string(),
+                trials.to_string(),
+                fnum(sample_var),
+                fnum(exact),
+                fnum(exact / (n * n) as f64),
+                fnum(printed),
+            ],
+            verdict,
+        );
+    }
+    report.note("erratum: the paper's E(Z2^2) uses the pair-cell expectation 3/4 + 1/(16n^2-4) for two raw cells (correct: P(both zero) ≈ 1/4), and its printed 2E(Z1Z2) simplification disagrees with its own derivation");
+    report.note("the sample variance matches the corrected exact value and is far from the printed 17n^2/8 column");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_passes() {
+        let report = run(&Config::quick());
+        assert!(report.overall().acceptable(), "{}", report.render());
+    }
+
+    #[test]
+    fn sample_var_rejects_printed_constant() {
+        // Even a modest Monte-Carlo cleanly separates 1/8 from 17/8.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(88);
+        let side = 16; // n = 8
+        let n = 8.0f64;
+        let vals: Vec<f64> = (0..2000).map(|_| sample_z10(side, &mut rng)).collect();
+        let mean = vals.iter().sum::<f64>() / vals.len() as f64;
+        let var =
+            vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (vals.len() - 1) as f64;
+        let corrected = meshsort_exact::paper::s1_var_z10(8).to_f64();
+        let printed = 17.0 * n * n / 8.0;
+        assert!((var - corrected).abs() < (var - printed).abs(), "var={var}");
+        assert!(var < printed / 4.0, "var={var} vs printed={printed}");
+    }
+}

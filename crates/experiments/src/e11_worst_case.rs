@@ -1,0 +1,84 @@
+//! E11 — Corollary 1: on the adversarial input whose smallest `√N`
+//! entries all start in one column, both row-major algorithms need at
+//! least `2N − 4√N` steps. Deterministic (no Monte Carlo).
+
+use crate::config::Config;
+use crate::report::{fnum, ExperimentReport, Verdict};
+use meshsort_core::{runner, AlgorithmId};
+use meshsort_workloads::adversarial::{smallest_in_one_column, zero_column};
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E11",
+        "Corollary 1: adversarial one-column input costs >= 2N - 4*sqrt(N) steps",
+        vec!["algorithm", "input", "side", "N", "steps", "bound 2N-4sqrt(N)", "steps/N"],
+    );
+    for algorithm in AlgorithmId::ROW_MAJOR {
+        for side in cfg.even_sides() {
+            let n_cells = side * side;
+            let bound = meshsort_exact::paper::corollary1_worst_case(side as u64);
+            // The permutation adversary (smallest √N values in column 1).
+            let mut grid = smallest_in_one_column(side, 0);
+            let run = runner::sort_to_completion(algorithm, &mut grid).expect("even side");
+            assert!(run.outcome.sorted);
+            let verdict =
+                if run.outcome.steps >= bound { Verdict::Pass } else { Verdict::Fail };
+            report.push_row(
+                vec![
+                    algorithm.to_string(),
+                    "permutation".to_string(),
+                    side.to_string(),
+                    n_cells.to_string(),
+                    run.outcome.steps.to_string(),
+                    bound.to_string(),
+                    fnum(run.outcome.steps as f64 / n_cells as f64),
+                ],
+                verdict,
+            );
+            // The 0-1 adversary from the proof (α = √N zeros in one column).
+            let mut grid = zero_column(side, 0);
+            let run = runner::sort_to_completion(algorithm, &mut grid).expect("even side");
+            assert!(run.outcome.sorted);
+            let verdict =
+                if run.outcome.steps >= bound { Verdict::Pass } else { Verdict::Fail };
+            report.push_row(
+                vec![
+                    algorithm.to_string(),
+                    "0-1 column".to_string(),
+                    side.to_string(),
+                    n_cells.to_string(),
+                    run.outcome.steps.to_string(),
+                    bound.to_string(),
+                    fnum(run.outcome.steps as f64 / n_cells as f64),
+                ],
+                verdict,
+            );
+        }
+    }
+    report.note("steps/N settling near 2 shows Corollary 1's constant is tight for this adversary");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_all_pass() {
+        let report = run(&Config::quick());
+        assert_eq!(report.overall(), Verdict::Pass, "{}", report.render());
+    }
+
+    #[test]
+    fn bound_is_met_with_small_slack() {
+        // The adversary should not wildly exceed the bound either — the
+        // worst case is Θ(N) with constant ≈ 2.
+        let mut grid = zero_column(8, 0);
+        let run =
+            runner::sort_to_completion(AlgorithmId::RowMajorRowFirst, &mut grid).unwrap();
+        let bound = meshsort_exact::paper::corollary1_worst_case(8);
+        assert!(run.outcome.steps >= bound);
+        assert!(run.outcome.steps <= 3 * bound, "{}", run.outcome.steps);
+    }
+}

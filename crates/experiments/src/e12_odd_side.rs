@@ -1,0 +1,102 @@
+//! E12 — the appendix (`√N = 2n + 1`): Lemma 14's `E[Z₁(0)]`, the
+//! Theorem 13 / Corollary 4 step bound, and the odd-side behaviour of the
+//! snakelike algorithms.
+
+use crate::config::Config;
+use crate::harness::{sample_statistic, steps_on_random_permutations};
+use crate::report::{fnum, ExperimentReport, Verdict};
+use meshsort_core::AlgorithmId;
+use meshsort_mesh::apply_plan;
+use meshsort_stats::ci::{check_exact_value, check_lower_bound};
+use meshsort_workloads::zero_one::random_balanced_zero_one_grid;
+use meshsort_zeroone::snake_trackers::s1_tracker_value;
+
+/// Measures the odd-side `Z₁(0)` (Definition 12) on one random grid with
+/// the appendix's `2n² + 2n + 1` zeros.
+pub fn sample_z10_odd(side: usize, rng: &mut rand::rngs::StdRng) -> f64 {
+    debug_assert!(side % 2 == 1);
+    let mut grid = random_balanced_zero_one_grid(side, rng);
+    let schedule = AlgorithmId::SnakeAlternating.schedule(side).expect("all sides");
+    apply_plan(&mut grid, schedule.plan_at(0));
+    s1_tracker_value(&grid, 0) as f64
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E12",
+        "Appendix: odd side sqrt(N) = 2n+1 — Lemma 14 E[Z1(0)] and Corollary 4 step bound",
+        vec!["check", "side", "N", "trials", "measured", "exact/bound"],
+    );
+    let seeds = cfg.seeds_for("e12");
+    let trials = cfg.trials(20_000);
+    for side in cfg.odd_sides() {
+        let n = ((side - 1) / 2) as u64;
+        let stats = sample_statistic(trials, seeds.derive(&format!("z10-{side}")), cfg.threads, |rng| {
+            sample_z10_odd(side, rng)
+        });
+        let exact = meshsort_exact::paper::s1_expected_z10_odd(n).to_f64();
+        let verdict = Verdict::from_bound_check(check_exact_value(&stats, exact, 3.29));
+        report.push_row(
+            vec![
+                "Lemma 14 E[Z1(0)]".to_string(),
+                side.to_string(),
+                (side * side).to_string(),
+                trials.to_string(),
+                fnum(stats.mean()),
+                fnum(exact),
+            ],
+            verdict,
+        );
+    }
+    for side in cfg.odd_sides() {
+        let n = ((side - 1) / 2) as u64;
+        let n_cells = side * side;
+        let base = (2_000_000 / (n_cells * side)).max(24) as u64;
+        let step_trials = cfg.trials(base);
+        let stats = steps_on_random_permutations(
+            AlgorithmId::SnakeAlternating,
+            side,
+            step_trials,
+            seeds.derive(&format!("steps-{side}")),
+            cfg.threads,
+        );
+        let bound = meshsort_exact::paper::corollary4_lower_bound(n).to_f64();
+        let verdict = Verdict::from_bound_check(check_lower_bound(&stats, bound, 2.576));
+        report.push_row(
+            vec![
+                "Corollary 4 steps".to_string(),
+                side.to_string(),
+                n_cells.to_string(),
+                step_trials.to_string(),
+                fnum(stats.mean()),
+                fnum(bound),
+            ],
+            verdict,
+        );
+    }
+    report.note("odd-side A^01 uses 2n^2+2n+1 zeros (the appendix's redefinition)");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_passes() {
+        let report = run(&Config::quick());
+        assert!(report.overall().acceptable(), "{}", report.render());
+    }
+
+    #[test]
+    fn odd_sample_uses_majority_zeros() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        // Side 5: α = 13 of 25 cells. Z1(0) can be at most 13.
+        for _ in 0..50 {
+            let z = sample_z10_odd(5, &mut rng);
+            assert!((0.0..=13.0).contains(&z));
+        }
+    }
+}

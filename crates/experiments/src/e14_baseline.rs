@@ -1,0 +1,117 @@
+//! E14 — the context claim: all five bubble-sort generalizations average
+//! `Θ(N)` steps while Shearsort needs only `O(√N log √N)` — so the
+//! natural algorithms lose to the textbook baseline at every scale beyond
+//! a small crossover, and the gap widens with `N`.
+
+use crate::config::Config;
+use crate::harness::steps_on_random_permutations;
+use crate::report::{fnum, ExperimentReport, Verdict};
+use meshsort_baselines::counts::shearsort_worst_case_steps;
+use meshsort_baselines::shearsort_until_sorted;
+use meshsort_core::AlgorithmId;
+use meshsort_stats::{run_trials, RunningStats};
+use meshsort_workloads::permutation::random_permutation_grid;
+
+fn shearsort_stats(
+    side: usize,
+    trials: u64,
+    seeds: meshsort_stats::SeedSequence,
+    threads: usize,
+) -> RunningStats {
+    run_trials(
+        seeds,
+        trials,
+        threads,
+        RunningStats::new,
+        move |_i, rng, acc: &mut RunningStats| {
+            let mut grid = random_permutation_grid(side, rng);
+            let run = shearsort_until_sorted(&mut grid);
+            assert!(run.sorted);
+            acc.push(run.steps as f64);
+        },
+        |a, b| a.merge(&b),
+    )
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E14",
+        "Context: five bubble sorts average Theta(N) steps vs Shearsort's O(sqrt(N) log sqrt(N))",
+        vec!["side", "N", "algorithm", "mean steps", "mean/N", "shearsort worst case"],
+    );
+    let seeds = cfg.seeds_for("e14");
+    for side in cfg.even_sides() {
+        let n_cells = side * side;
+        let base = (1_200_000 / (n_cells * side)).max(16) as u64;
+        let trials = cfg.trials(base);
+        let shear_cap = shearsort_worst_case_steps(side);
+        for algorithm in AlgorithmId::ALL {
+            let stats = steps_on_random_permutations(
+                algorithm,
+                side,
+                trials,
+                seeds.derive(&format!("{algorithm}-{side}")),
+                cfg.threads,
+            );
+            // The headline shape: every bubble sort averages more steps
+            // than Shearsort's *worst case* beyond the crossover side
+            // (≈30; below it the comparison is not yet meaningful for the
+            // fastest bubble variant).
+            let verdict = if side < meshsort_baselines::counts::crossover_side()
+                || stats.mean() > shear_cap as f64
+            {
+                Verdict::Pass
+            } else {
+                Verdict::Fail
+            };
+            report.push_row(
+                vec![
+                    side.to_string(),
+                    n_cells.to_string(),
+                    algorithm.to_string(),
+                    fnum(stats.mean()),
+                    fnum(stats.mean() / n_cells as f64),
+                    shear_cap.to_string(),
+                ],
+                verdict,
+            );
+        }
+        let shear = shearsort_stats(side, trials, seeds.derive(&format!("shear-{side}")), cfg.threads);
+        report.push_row(
+            vec![
+                side.to_string(),
+                n_cells.to_string(),
+                "shearsort (baseline)".to_string(),
+                fnum(shear.mean()),
+                fnum(shear.mean() / n_cells as f64),
+                shear_cap.to_string(),
+            ],
+            Verdict::Pass,
+        );
+    }
+    report.note(format!(
+        "bubble average exceeds shearsort worst case from side {} onward (counts::crossover_side)",
+        meshsort_baselines::counts::crossover_side()
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_passes() {
+        let report = run(&Config::quick());
+        assert_eq!(report.overall(), Verdict::Pass, "{}", report.render());
+    }
+
+    #[test]
+    fn gap_widens_with_n() {
+        // mean_bubble/N stays ~constant while shearsort worst/N shrinks.
+        let per_n_16 = shearsort_worst_case_steps(16) as f64 / 256.0;
+        let per_n_64 = shearsort_worst_case_steps(64) as f64 / 4096.0;
+        assert!(per_n_64 < per_n_16 / 2.0);
+    }
+}

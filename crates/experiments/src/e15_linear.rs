@@ -1,0 +1,115 @@
+//! E15 — the introduction's 1D results: the odd-even transposition sort
+//! on an `N`-cell linear array averages at least `(N−1)/2` steps and in
+//! fact `N − O(√N)` on a random permutation.
+
+use crate::config::Config;
+use crate::report::{fnum, ExperimentReport, Verdict};
+use meshsort_linear::array::SortDirection;
+use meshsort_linear::oddeven::run_until_sorted;
+use meshsort_linear::theory::{
+    exact_average_steps, refined_average_lower_bound, simple_average_lower_bound,
+};
+use meshsort_stats::ci::check_lower_bound;
+use meshsort_stats::{run_trials, RunningStats};
+use meshsort_workloads::permutation::random_permutation;
+
+fn linear_stats(
+    n: usize,
+    trials: u64,
+    seeds: meshsort_stats::SeedSequence,
+    threads: usize,
+) -> RunningStats {
+    run_trials(
+        seeds,
+        trials,
+        threads,
+        RunningStats::new,
+        move |_i, rng, acc: &mut RunningStats| {
+            let mut v = random_permutation(n, rng);
+            let run = run_until_sorted(&mut v, SortDirection::Forward, 2 * n as u64 + 2);
+            assert!(run.sorted);
+            acc.push(run.steps as f64);
+        },
+        |a, b| a.merge(&b),
+    )
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E15",
+        "Intro (1D): odd-even transposition sort averages >= (N-1)/2 and approaches N - O(sqrt(N))",
+        vec!["N", "trials", "mean steps", "(N-1)/2", "N-2sqrt(N)", "mean/N"],
+    );
+    let seeds = cfg.seeds_for("e15");
+    let sizes: Vec<usize> =
+        [64usize, 256, 1024, 4096].into_iter().filter(|&n| n <= cfg.max_side * cfg.max_side).collect();
+    for n in sizes {
+        let base = (40_000_000 / (n * n)).max(32) as u64;
+        let trials = cfg.trials(base);
+        let stats = linear_stats(n, trials, seeds.derive(&n.to_string()), cfg.threads);
+        let simple = simple_average_lower_bound(n);
+        let refined = refined_average_lower_bound(n, 2.0);
+        let verdict = Verdict::from_bound_check(check_lower_bound(&stats, simple, 2.576));
+        // The refined bound should hold too at these sizes.
+        let verdict = if verdict == Verdict::Pass && stats.mean() < refined {
+            Verdict::Marginal
+        } else {
+            verdict
+        };
+        report.push_row(
+            vec![
+                n.to_string(),
+                trials.to_string(),
+                fnum(stats.mean()),
+                fnum(simple),
+                fnum(refined),
+                fnum(stats.mean() / n as f64),
+            ],
+            verdict,
+        );
+    }
+    // Exact tiny-N ground truth for the Monte-Carlo pipeline.
+    for n in [4usize, 6, 8] {
+        let exact = exact_average_steps(n);
+        let stats = linear_stats(n, cfg.trials(20_000), seeds.derive(&format!("exact-{n}")), cfg.threads);
+        let err = (stats.mean() - exact).abs();
+        let verdict = if err < 5.0 * stats.std_error().max(1e-9) {
+            Verdict::Pass
+        } else {
+            Verdict::Fail
+        };
+        report.push_row(
+            vec![
+                n.to_string(),
+                stats.count().to_string(),
+                fnum(stats.mean()),
+                fnum(exact),
+                "exact enumeration".to_string(),
+                fnum(stats.mean() / n as f64),
+            ],
+            verdict,
+        );
+    }
+    report.note("mean/N climbing toward 1 with N is the 'average ≈ worst case' phenomenon the paper generalizes to 2D");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_passes() {
+        let report = run(&Config::quick());
+        assert!(report.overall().acceptable(), "{}", report.render());
+    }
+
+    #[test]
+    fn mean_ratio_grows() {
+        let seeds = meshsort_stats::SeedSequence::new(5);
+        let small = linear_stats(16, 400, seeds.derive("a"), 4);
+        let large = linear_stats(256, 100, seeds.derive("b"), 4);
+        assert!(large.mean() / 256.0 > small.mean() / 16.0);
+    }
+}

@@ -1,0 +1,120 @@
+//! E17 (extension) — Theorems 1, 6 and 9 are stated for a mesh with *any*
+//! number `α` of zeros, not just the balanced `α = N/2` that Corollary 2
+//! uses. Sweep the zero density and verify the structural bounds hold at
+//! every `α`, and show how the measured sorting time varies with density
+//! (peaking at the balanced point).
+
+use crate::config::Config;
+use crate::report::{fnum, ExperimentReport, Verdict};
+use meshsort_core::AlgorithmId;
+use meshsort_stats::{run_trials, RunningStats};
+use meshsort_workloads::zero_one::random_zero_one_grid;
+use meshsort_zeroone::bounds::{observe_snake1_bound, observe_theorem1};
+
+struct SweepAgg {
+    steps: RunningStats,
+    violations: u64,
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E17",
+        "Extension: Theorems 1/6 hold for every zero count alpha, with sorting time peaking at alpha = N/2",
+        vec!["side", "alpha/N", "trials", "mean steps", "steps/N", "bound violations"],
+    );
+    let seeds = cfg.seeds_for("e17");
+    let side = *cfg.even_sides().last().unwrap_or(&16).min(&24);
+    let n_cells = side * side;
+    let densities = [0.1f64, 0.25, 0.5, 0.75, 0.9];
+    let trials = cfg.trials((600_000 / (n_cells * side)).max(32) as u64);
+    let mut peak_density = 0.0f64;
+    let mut peak_mean = -1.0f64;
+    for &density in &densities {
+        let zeros = ((n_cells as f64 * density) as usize).clamp(1, n_cells - 1);
+        let agg = run_trials(
+            seeds.derive(&format!("{density}")),
+            trials,
+            cfg.threads,
+            || SweepAgg { steps: RunningStats::new(), violations: 0 },
+            move |_i, rng, acc: &mut SweepAgg| {
+                let cap = 32 * n_cells as u64 + 64;
+                // Theorem 1 on R1.
+                let mut g = random_zero_one_grid(side, zeros, rng);
+                let obs = observe_theorem1(AlgorithmId::RowMajorRowFirst, &mut g, cap);
+                if !obs.holds() {
+                    acc.violations += 1;
+                }
+                acc.steps.push(obs.total_steps as f64);
+                // Theorem 6 on S1.
+                let mut g = random_zero_one_grid(side, zeros, rng);
+                if !observe_snake1_bound(&mut g, cap).holds() {
+                    acc.violations += 1;
+                }
+            },
+            |a, b| {
+                a.steps.merge(&b.steps);
+                a.violations += b.violations;
+            },
+        );
+        if agg.steps.mean() > peak_mean {
+            peak_mean = agg.steps.mean();
+            peak_density = density;
+        }
+        let verdict = if agg.violations == 0 { Verdict::Pass } else { Verdict::Fail };
+        report.push_row(
+            vec![
+                side.to_string(),
+                fnum(density),
+                trials.to_string(),
+                fnum(agg.steps.mean()),
+                fnum(agg.steps.mean() / n_cells as f64),
+                agg.violations.to_string(),
+            ],
+            verdict,
+        );
+    }
+    let balanced_peak = (peak_density - 0.5).abs() < 0.26;
+    report.note(format!(
+        "R1 sorting time peaks at density {} (balanced-point peak {}): sparse or dense 0-1 inputs sort faster",
+        fnum(peak_density),
+        if balanced_peak { "confirmed" } else { "NOT confirmed" }
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_passes() {
+        let report = run(&Config::quick());
+        assert_eq!(report.overall(), Verdict::Pass, "{}", report.render());
+    }
+
+    #[test]
+    fn extreme_densities_are_fast() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        let side = 8;
+        let cap = 32 * 64 + 64;
+        // One zero sorts in O(sqrt N)-ish time, far below N/2.
+        let mut sparse_total = 0u64;
+        for _ in 0..20 {
+            let mut g = random_zero_one_grid(side, 1, &mut rng);
+            let obs = observe_theorem1(AlgorithmId::RowMajorRowFirst, &mut g, cap);
+            sparse_total += obs.total_steps;
+        }
+        let mut balanced_total = 0u64;
+        for _ in 0..20 {
+            let mut g = random_zero_one_grid(side, 32, &mut rng);
+            let obs = observe_theorem1(AlgorithmId::RowMajorRowFirst, &mut g, cap);
+            balanced_total += obs.total_steps;
+        }
+        assert!(
+            sparse_total < balanced_total,
+            "sparse {sparse_total} should beat balanced {balanced_total}"
+        );
+    }
+}

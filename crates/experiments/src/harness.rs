@@ -1,0 +1,80 @@
+//! Shared Monte-Carlo measurement drivers used by the experiments.
+
+use meshsort_core::{runner, AlgorithmId};
+use meshsort_stats::{run_trials, RunningStats, SeedSequence};
+use meshsort_workloads::permutation::random_permutation_grid;
+use rand::rngs::StdRng;
+
+/// Distribution of steps-to-sort for `algorithm` on uniformly random
+/// permutations of a `side × side` mesh.
+pub fn steps_on_random_permutations(
+    algorithm: AlgorithmId,
+    side: usize,
+    trials: u64,
+    seeds: SeedSequence,
+    threads: usize,
+) -> RunningStats {
+    run_trials(
+        seeds,
+        trials,
+        threads,
+        RunningStats::new,
+        move |_i, rng, acc: &mut RunningStats| {
+            let mut grid = random_permutation_grid(side, rng);
+            let run = runner::sort_to_completion(algorithm, &mut grid)
+                .expect("algorithm supports this side");
+            assert!(run.outcome.sorted, "{algorithm} failed to sort within the cap");
+            acc.push(run.outcome.steps as f64);
+        },
+        |a, b| a.merge(&b),
+    )
+}
+
+/// Monte-Carlo estimate of an arbitrary per-trial statistic.
+pub fn sample_statistic(
+    trials: u64,
+    seeds: SeedSequence,
+    threads: usize,
+    f: impl Fn(&mut StdRng) -> f64 + Sync,
+) -> RunningStats {
+    run_trials(
+        seeds,
+        trials,
+        threads,
+        RunningStats::new,
+        move |_i, rng, acc: &mut RunningStats| acc.push(f(rng)),
+        |a, b| a.merge(&b),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn steps_driver_smoke() {
+        let seeds = SeedSequence::new(7);
+        let s = steps_on_random_permutations(AlgorithmId::SnakeAlternating, 6, 16, seeds, 2);
+        assert_eq!(s.count(), 16);
+        // Θ(N) regime: a 6×6 random permutation needs more than √N steps.
+        assert!(s.mean() > 6.0, "{}", s.mean());
+        assert!(s.max() <= runner::default_step_cap(6) as f64);
+    }
+
+    #[test]
+    fn steps_driver_deterministic() {
+        let seeds = SeedSequence::new(9);
+        let a = steps_on_random_permutations(AlgorithmId::RowMajorRowFirst, 4, 32, seeds, 1);
+        let b = steps_on_random_permutations(AlgorithmId::RowMajorRowFirst, 4, 32, seeds, 4);
+        assert_eq!(a.count(), b.count());
+        assert!((a.mean() - b.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_statistic_smoke() {
+        use rand::Rng;
+        let s = sample_statistic(100, SeedSequence::new(1), 4, |rng| rng.random_range(0..10) as f64);
+        assert_eq!(s.count(), 100);
+        assert!(s.mean() > 2.0 && s.mean() < 7.0);
+    }
+}

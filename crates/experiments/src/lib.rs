@@ -1,0 +1,52 @@
+//! # meshsort-experiments — the reproduction harness
+//!
+//! The paper contains no empirical tables or figures (it is a theory
+//! paper), so the reproduction target is its *results*: every theorem,
+//! lemma and corollary becomes one experiment that measures the relevant
+//! quantity on this workspace's implementation and compares it with the
+//! exact value or bound from `meshsort-exact`. The experiment ids E01–E15
+//! are indexed in DESIGN.md §4; EXPERIMENTS.md records the
+//! paper-vs-measured outcomes.
+//!
+//! Run everything:
+//!
+//! ```text
+//! cargo run -p meshsort-experiments --release -- all
+//! ```
+//!
+//! or a single experiment (`e01` … `e15`), with `--quick` for a fast
+//! smoke pass, `--seed <u64>` for a different random stream, and
+//! `--json <path>` to dump machine-readable reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod harness;
+pub mod registry;
+pub mod report;
+
+pub mod e01_lemma4;
+pub mod e02_var_z1;
+pub mod e03_blocks;
+pub mod e04_r1_average;
+pub mod e05_r2_average;
+pub mod e06_concentration;
+pub mod e07_lemma9;
+pub mod e08_var_z10;
+pub mod e09_snake_average;
+pub mod e10_s3_minpath;
+pub mod e11_worst_case;
+pub mod e12_odd_side;
+pub mod e13_invariants;
+pub mod e14_baseline;
+pub mod e15_linear;
+pub mod e16_wrap_ablation;
+pub mod e17_alpha_sweep;
+pub mod e18_min_walk_others;
+pub mod e19_m_statistic;
+pub mod e20_column_ablation;
+
+pub use config::Config;
+pub use registry::{all_experiments, run_by_id};
+pub use report::{ExperimentReport, Verdict};

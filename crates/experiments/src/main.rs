@@ -1,0 +1,95 @@
+//! The `experiments` CLI: regenerates every paper-vs-measured table.
+//!
+//! ```text
+//! experiments all [--quick] [--seed N] [--json PATH]
+//! experiments e07 [--quick] …
+//! experiments list
+//! ```
+
+use meshsort_experiments::{all_experiments, run_by_id, Config, ExperimentReport};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <all|list|e01..e15> [--quick] [--seed N] [--threads N] [--json PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let command = args[0].clone();
+    let mut cfg = Config::full();
+    let mut json_path: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cfg = Config { seed: cfg.seed, threads: cfg.threads, ..Config::quick() },
+            "--seed" => {
+                i += 1;
+                cfg.seed = args.get(i).unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage());
+            }
+            "--threads" => {
+                i += 1;
+                cfg.threads =
+                    args.get(i).unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage());
+            }
+            "--json" => {
+                i += 1;
+                json_path = Some(args.get(i).unwrap_or_else(|| usage()).clone());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+
+    if command == "list" {
+        for e in all_experiments() {
+            println!("{}  {}", e.id, e.title);
+        }
+        return;
+    }
+
+    let reports: Vec<ExperimentReport> = if command == "all" {
+        all_experiments()
+            .into_iter()
+            .map(|e| {
+                eprintln!("running {} — {} …", e.id, e.title);
+                (e.run)(&cfg)
+            })
+            .collect()
+    } else {
+        match run_by_id(&command, &cfg) {
+            Some(r) => vec![r],
+            None => usage(),
+        }
+    };
+
+    for r in &reports {
+        println!("{}", r.render());
+    }
+
+    let mut any_fail = false;
+    for r in &reports {
+        if !r.overall().acceptable() {
+            any_fail = true;
+        }
+    }
+    println!(
+        "summary: {} experiment(s), {} failing",
+        reports.len(),
+        reports.iter().filter(|r| !r.overall().acceptable()).count()
+    );
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
+        std::fs::write(&path, json).expect("write json report");
+        eprintln!("wrote {path}");
+    }
+
+    if any_fail {
+        std::process::exit(1);
+    }
+}

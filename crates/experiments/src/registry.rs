@@ -1,0 +1,114 @@
+//! The experiment registry: ids, titles, and dispatch.
+
+use crate::config::Config;
+use crate::report::ExperimentReport;
+
+/// One registered experiment.
+pub struct Experiment {
+    /// Lowercase id (`"e01"` …).
+    pub id: &'static str,
+    /// The paper statement it reproduces.
+    pub title: &'static str,
+    /// Runner.
+    pub run: fn(&Config) -> ExperimentReport,
+}
+
+/// All experiments in id order (the index in DESIGN.md §4).
+pub fn all_experiments() -> Vec<Experiment> {
+    vec![
+        Experiment { id: "e01", title: "Lemma 4 (R1 E[Z1])", run: crate::e01_lemma4::run },
+        Experiment { id: "e02", title: "Theorem 3 (R1 Var Z1)", run: crate::e02_var_z1::run },
+        Experiment { id: "e03", title: "Theorems 4/5 (R2 blocks)", run: crate::e03_blocks::run },
+        Experiment { id: "e04", title: "Theorem 2 (R1 average)", run: crate::e04_r1_average::run },
+        Experiment { id: "e05", title: "Theorem 4 (R2 average)", run: crate::e05_r2_average::run },
+        Experiment {
+            id: "e06",
+            title: "Theorems 3/5/8/11 (concentration)",
+            run: crate::e06_concentration::run,
+        },
+        Experiment { id: "e07", title: "Lemma 9 (S1 E[Z1(0)])", run: crate::e07_lemma9::run },
+        Experiment {
+            id: "e08",
+            title: "Theorem 8 (S1 Var Z1(0), erratum)",
+            run: crate::e08_var_z10::run,
+        },
+        Experiment {
+            id: "e09",
+            title: "Theorems 7/10 + Lemma 11 (snake averages)",
+            run: crate::e09_snake_average::run,
+        },
+        Experiment {
+            id: "e10",
+            title: "Theorem 12 + Lemmas 12/13 (S3 min path)",
+            run: crate::e10_s3_minpath::run,
+        },
+        Experiment { id: "e11", title: "Corollary 1 (worst case)", run: crate::e11_worst_case::run },
+        Experiment {
+            id: "e12",
+            title: "Appendix (odd side: Lemma 14, Corollary 4)",
+            run: crate::e12_odd_side::run,
+        },
+        Experiment {
+            id: "e13",
+            title: "Lemmas 1-3/5-8/10, Theorems 1/6/9/13 (invariants)",
+            run: crate::e13_invariants::run,
+        },
+        Experiment { id: "e14", title: "Baseline (vs Shearsort)", run: crate::e14_baseline::run },
+        Experiment { id: "e15", title: "Intro (1D averages)", run: crate::e15_linear::run },
+        Experiment {
+            id: "e16",
+            title: "Extension: wrap-around necessity",
+            run: crate::e16_wrap_ablation::run,
+        },
+        Experiment {
+            id: "e17",
+            title: "Extension: alpha-sweep of Theorems 1/6",
+            run: crate::e17_alpha_sweep::run,
+        },
+        Experiment {
+            id: "e18",
+            title: "Extension: min-walk Theta(sqrt(N)) vs Theta(N)",
+            run: crate::e18_min_walk_others::run,
+        },
+        Experiment {
+            id: "e19",
+            title: "Extension: E[M] exactly (Corollary 2's statistic)",
+            run: crate::e19_m_statistic::run,
+        },
+        Experiment {
+            id: "e20",
+            title: "Extension: column-sort ablation (chain vs R1)",
+            run: crate::e20_column_ablation::run,
+        },
+    ]
+}
+
+/// Runs one experiment by id (case-insensitive), or `None` for an
+/// unknown id.
+pub fn run_by_id(id: &str, cfg: &Config) -> Option<ExperimentReport> {
+    let id = id.to_ascii_lowercase();
+    all_experiments().into_iter().find(|e| e.id == id).map(|e| (e.run)(cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_experiments_with_unique_ids() {
+        let all = all_experiments();
+        assert_eq!(all.len(), 20);
+        let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+    }
+
+    #[test]
+    fn run_by_id_dispatches() {
+        let cfg = Config::quick();
+        let r = run_by_id("E01", &cfg).unwrap();
+        assert_eq!(r.id, "E01");
+        assert!(run_by_id("e99", &cfg).is_none());
+    }
+}

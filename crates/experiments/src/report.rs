@@ -1,0 +1,225 @@
+//! Experiment reports: aligned text tables plus JSON serialization.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Outcome of comparing measurement against theory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Measurement agrees with / respects the theoretical statement.
+    Pass,
+    /// Inconclusive at this sample size (confidence interval straddles).
+    Marginal,
+    /// Measurement contradicts the statement.
+    Fail,
+}
+
+impl Verdict {
+    /// Converts a [`meshsort_stats::ci::BoundCheck`].
+    pub fn from_bound_check(check: meshsort_stats::ci::BoundCheck) -> Self {
+        match check {
+            meshsort_stats::ci::BoundCheck::Holds => Verdict::Pass,
+            meshsort_stats::ci::BoundCheck::Marginal => Verdict::Marginal,
+            meshsort_stats::ci::BoundCheck::Violated => Verdict::Fail,
+        }
+    }
+
+    /// `true` for anything except [`Verdict::Fail`].
+    pub fn acceptable(self) -> bool {
+        self != Verdict::Fail
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Verdict::Pass => "PASS",
+            Verdict::Marginal => "MARGINAL",
+            Verdict::Fail => "FAIL",
+        })
+    }
+}
+
+/// A rendered experiment: one table plus notes and per-row verdicts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Experiment id (`"E01"` …).
+    pub id: String,
+    /// One-line title naming the paper statement being reproduced.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Table body; each row aligns with `columns`.
+    pub rows: Vec<Vec<String>>,
+    /// Per-row verdicts (same length as `rows`).
+    pub verdicts: Vec<Verdict>,
+    /// Free-form notes (assumptions, errata, caveats).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, columns: Vec<&str>) -> Self {
+        ExperimentReport {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.into_iter().map(str::to_string).collect(),
+            rows: Vec::new(),
+            verdicts: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row with its verdict.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the row width disagrees with the header.
+    pub fn push_row(&mut self, cells: Vec<String>, verdict: Verdict) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+        self.verdicts.push(verdict);
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// The worst verdict across rows ([`Verdict::Pass`] when empty).
+    pub fn overall(&self) -> Verdict {
+        let mut worst = Verdict::Pass;
+        for v in &self.verdicts {
+            worst = match (worst, v) {
+                (_, Verdict::Fail) | (Verdict::Fail, _) => Verdict::Fail,
+                (_, Verdict::Marginal) | (Verdict::Marginal, _) => Verdict::Marginal,
+                _ => Verdict::Pass,
+            };
+        }
+        worst
+    }
+
+    /// Renders the aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        // Column widths include the verdict column.
+        let mut headers: Vec<String> = self.columns.clone();
+        headers.push("verdict".to_string());
+        let mut width: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let full_rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .zip(self.verdicts.iter())
+            .map(|(r, v)| {
+                let mut r = r.clone();
+                r.push(v.to_string());
+                r
+            })
+            .collect();
+        for row in &full_rows {
+            for (i, cell) in row.iter().enumerate() {
+                width[i] = width[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String], width: &[usize]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = width[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&headers, &width));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (width.len() - 1)));
+        out.push('\n');
+        for row in &full_rows {
+            out.push_str(&fmt_row(row, &width));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out.push_str(&format!("overall: {}\n", self.overall()));
+        out
+    }
+}
+
+/// Formats a float compactly for table cells.
+pub fn fnum(x: f64) -> String {
+    if x.abs() >= 1000.0 {
+        format!("{x:.1}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_ordering() {
+        let mut r = ExperimentReport::new("E00", "t", vec!["a"]);
+        assert_eq!(r.overall(), Verdict::Pass);
+        r.push_row(vec!["1".into()], Verdict::Pass);
+        assert_eq!(r.overall(), Verdict::Pass);
+        r.push_row(vec!["2".into()], Verdict::Marginal);
+        assert_eq!(r.overall(), Verdict::Marginal);
+        r.push_row(vec!["3".into()], Verdict::Fail);
+        assert_eq!(r.overall(), Verdict::Fail);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut r = ExperimentReport::new("E00", "t", vec!["a", "b"]);
+        r.push_row(vec!["1".into()], Verdict::Pass);
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let mut r = ExperimentReport::new("E99", "demo title", vec!["side", "mean"]);
+        r.push_row(vec!["8".into(), "31.99".into()], Verdict::Pass);
+        r.note("a caveat");
+        let s = r.render();
+        assert!(s.contains("E99"));
+        assert!(s.contains("demo title"));
+        assert!(s.contains("side"));
+        assert!(s.contains("31.99"));
+        assert!(s.contains("PASS"));
+        assert!(s.contains("note: a caveat"));
+        assert!(s.contains("overall: PASS"));
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let mut r = ExperimentReport::new("E01", "t", vec!["x"]);
+        r.push_row(vec!["1".into()], Verdict::Marginal);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ExperimentReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, "E01");
+        assert_eq!(back.verdicts, vec![Verdict::Marginal]);
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.123456), "0.1235");
+        assert_eq!(fnum(12.345), "12.35");
+        assert_eq!(fnum(1234.5), "1234.5");
+        assert_eq!(fnum(-3.14159), "-3.1416");
+    }
+
+    #[test]
+    fn from_bound_check() {
+        use meshsort_stats::ci::BoundCheck;
+        assert_eq!(Verdict::from_bound_check(BoundCheck::Holds), Verdict::Pass);
+        assert_eq!(Verdict::from_bound_check(BoundCheck::Marginal), Verdict::Marginal);
+        assert_eq!(Verdict::from_bound_check(BoundCheck::Violated), Verdict::Fail);
+        assert!(Verdict::Marginal.acceptable());
+        assert!(!Verdict::Fail.acceptable());
+    }
+}

@@ -1,0 +1,232 @@
+//! The linear array model and its comparison-exchange steps.
+
+use serde::{Deserialize, Serialize};
+
+/// Which pairs a step compares.
+///
+/// The paper's step numbering starts at 1 with an *odd* step, so a full
+/// run alternates `Odd, Even, Odd, Even, …`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Compare cells (1,2), (3,4), … — 0-indexed pairs (0,1), (2,3), ….
+    Odd,
+    /// Compare cells (2,3), (4,5), … — 0-indexed pairs (1,2), (3,4), ….
+    Even,
+}
+
+impl Phase {
+    /// The phase of the paper's 1-indexed step `t` (step 1 is odd).
+    #[inline]
+    pub fn of_paper_step(t: u64) -> Phase {
+        if t % 2 == 1 {
+            Phase::Odd
+        } else {
+            Phase::Even
+        }
+    }
+
+    /// The other phase.
+    #[inline]
+    pub fn flip(self) -> Phase {
+        match self {
+            Phase::Odd => Phase::Even,
+            Phase::Even => Phase::Odd,
+        }
+    }
+
+    /// 0-indexed start offset of the first compared pair.
+    #[inline]
+    pub fn start(self) -> usize {
+        match self {
+            Phase::Odd => 0,
+            Phase::Even => 1,
+        }
+    }
+}
+
+/// Direction of a comparison-exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SortDirection {
+    /// Ordinary bubble sort: smaller value to the leftmost (lower-index)
+    /// cell. Sorts ascending.
+    Forward,
+    /// Paper Definition 1 (*reverse bubble sort*): smaller value to the
+    /// rightmost (higher-index) cell. Sorts descending.
+    Reverse,
+}
+
+/// An `N`-cell linear array of values.
+///
+/// This is deliberately a thin, allocation-free wrapper: the 2D algorithms
+/// treat each mesh row/column "as a linear array" (paper §1), and
+/// `meshsort-core` compiles the same pair patterns into mesh comparators.
+/// Keeping the 1D semantics here, tested in isolation, pins down exactly
+/// what those patterns are.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinearArray<T> {
+    cells: Vec<T>,
+}
+
+impl<T> LinearArray<T> {
+    /// Wraps a vector of cell values; index 0 is the paper's cell 1.
+    pub fn new(cells: Vec<T>) -> Self {
+        LinearArray { cells }
+    }
+
+    /// Number of cells.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// `true` for the empty array.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The cell contents.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.cells
+    }
+
+    /// Consumes the array, returning the cells.
+    pub fn into_vec(self) -> Vec<T> {
+        self.cells
+    }
+}
+
+impl<T: Ord> LinearArray<T> {
+    /// Applies one step of the given phase and direction; returns the
+    /// number of exchanges performed.
+    pub fn step(&mut self, phase: Phase, direction: SortDirection) -> u64 {
+        step_slice(&mut self.cells, phase, direction)
+    }
+
+    /// `true` when ascending (for [`SortDirection::Forward`]'s target).
+    pub fn is_ascending(&self) -> bool {
+        self.cells.windows(2).all(|w| w[0] <= w[1])
+    }
+
+    /// `true` when descending (for [`SortDirection::Reverse`]'s target).
+    pub fn is_descending(&self) -> bool {
+        self.cells.windows(2).all(|w| w[0] >= w[1])
+    }
+}
+
+/// Applies one odd-even transposition step to a raw slice. Exposed so the
+/// 2D crates can reuse the exact pair semantics on rows/columns without
+/// constructing a `LinearArray`.
+pub fn step_slice<T: Ord>(cells: &mut [T], phase: Phase, direction: SortDirection) -> u64 {
+    let mut swaps = 0u64;
+    let n = cells.len();
+    let mut i = phase.start();
+    while i + 1 < n {
+        let out_of_order = match direction {
+            SortDirection::Forward => cells[i] > cells[i + 1],
+            SortDirection::Reverse => cells[i] < cells[i + 1],
+        };
+        if out_of_order {
+            cells.swap(i, i + 1);
+            swaps += 1;
+        }
+        i += 2;
+    }
+    swaps
+}
+
+/// The 0-indexed pairs `(i, i+1)` compared by a step of `phase` on an
+/// `n`-cell array — the single source of truth that `meshsort-core`'s plan
+/// builders consume.
+pub fn phase_pairs(n: usize, phase: Phase) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::with_capacity(n / 2);
+    let mut i = phase.start();
+    while i + 1 < n {
+        pairs.push((i, i + 1));
+        i += 2;
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_of_paper_step() {
+        assert_eq!(Phase::of_paper_step(1), Phase::Odd);
+        assert_eq!(Phase::of_paper_step(2), Phase::Even);
+        assert_eq!(Phase::of_paper_step(3), Phase::Odd);
+        assert_eq!(Phase::Odd.flip(), Phase::Even);
+        assert_eq!(Phase::Even.flip(), Phase::Odd);
+    }
+
+    #[test]
+    fn odd_phase_pairs() {
+        assert_eq!(phase_pairs(6, Phase::Odd), vec![(0, 1), (2, 3), (4, 5)]);
+        assert_eq!(phase_pairs(5, Phase::Odd), vec![(0, 1), (2, 3)]);
+        assert_eq!(phase_pairs(1, Phase::Odd), vec![]);
+        assert_eq!(phase_pairs(0, Phase::Odd), vec![]);
+    }
+
+    #[test]
+    fn even_phase_pairs() {
+        assert_eq!(phase_pairs(6, Phase::Even), vec![(1, 2), (3, 4)]);
+        assert_eq!(phase_pairs(5, Phase::Even), vec![(1, 2), (3, 4)]);
+        assert_eq!(phase_pairs(2, Phase::Even), vec![]);
+    }
+
+    #[test]
+    fn forward_step_moves_small_left() {
+        let mut a = LinearArray::new(vec![4, 1, 3, 2]);
+        let swaps = a.step(Phase::Odd, SortDirection::Forward);
+        assert_eq!(swaps, 2);
+        assert_eq!(a.as_slice(), &[1, 4, 2, 3]);
+    }
+
+    #[test]
+    fn reverse_step_moves_small_right() {
+        // Paper Definition 1: the smaller value is stored in the rightmost
+        // cell of the compared pair.
+        let mut a = LinearArray::new(vec![1, 4, 2, 3]);
+        let swaps = a.step(Phase::Odd, SortDirection::Reverse);
+        assert_eq!(swaps, 2);
+        assert_eq!(a.as_slice(), &[4, 1, 3, 2]);
+    }
+
+    #[test]
+    fn even_phase_leaves_ends_alone() {
+        let mut a = LinearArray::new(vec![9, 5, 4, 0]);
+        a.step(Phase::Even, SortDirection::Forward);
+        assert_eq!(a.as_slice(), &[9, 4, 5, 0]);
+    }
+
+    #[test]
+    fn direction_predicates() {
+        assert!(LinearArray::new(vec![1, 2, 2, 3]).is_ascending());
+        assert!(!LinearArray::new(vec![2, 1]).is_ascending());
+        assert!(LinearArray::new(vec![3, 2, 2, 1]).is_descending());
+        assert!(LinearArray::new(vec![1i32]).is_ascending());
+        assert!(LinearArray::new(Vec::<i32>::new()).is_descending());
+    }
+
+    #[test]
+    fn step_preserves_multiset() {
+        let mut a = LinearArray::new(vec![5, 3, 8, 1, 9, 2]);
+        let mut before = a.as_slice().to_vec();
+        a.step(Phase::Odd, SortDirection::Forward);
+        a.step(Phase::Even, SortDirection::Reverse);
+        let mut after = a.into_vec();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn duplicates_are_stable_under_steps() {
+        let mut a = LinearArray::new(vec![1, 1, 1]);
+        assert_eq!(a.step(Phase::Odd, SortDirection::Forward), 0);
+        assert_eq!(a.step(Phase::Even, SortDirection::Reverse), 0);
+    }
+}

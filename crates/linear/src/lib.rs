@@ -1,0 +1,25 @@
+//! # meshsort-linear — the 1D bubble sort substrate
+//!
+//! The paper's introduction builds everything on the classical
+//! **odd-even transposition sort** on an `N`-cell linear array: at odd
+//! steps compare cells (1,2), (3,4), …; at even steps compare (2,3),
+//! (4,5), …; the smaller value always moves to the leftmost cell of the
+//! pair. It sorts any input in at most `N` steps, and a random permutation
+//! needs `N − O(√N)` steps on average.
+//!
+//! Definition 1 of the paper introduces the **reverse bubble sort**, which
+//! is identical except the smaller value is stored in the *rightmost* cell
+//! — the building block for the snakelike algorithms' even rows.
+//!
+//! This crate implements both, with step-by-step drivers, run-to-sorted
+//! measurement, and the intro's theoretical bounds in [`theory`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod array;
+pub mod oddeven;
+pub mod theory;
+
+pub use array::{LinearArray, Phase, SortDirection};
+pub use oddeven::{run_until_sorted, LinearRun};

@@ -1,0 +1,154 @@
+//! Running the 1D odd-even transposition sort to completion.
+
+use crate::array::{step_slice, Phase, SortDirection};
+use serde::{Deserialize, Serialize};
+
+/// Measurement of one 1D sorting run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinearRun {
+    /// Steps executed before the array first read sorted (0 if the input
+    /// was already sorted).
+    pub steps: u64,
+    /// Total exchanges performed.
+    pub swaps: u64,
+    /// `false` when the cap was reached before sorting completed. With the
+    /// classical `N`-step bound this never happens for caps ≥ `N`.
+    pub sorted: bool,
+}
+
+fn is_sorted<T: Ord>(cells: &[T], direction: SortDirection) -> bool {
+    match direction {
+        SortDirection::Forward => cells.windows(2).all(|w| w[0] <= w[1]),
+        SortDirection::Reverse => cells.windows(2).all(|w| w[0] >= w[1]),
+    }
+}
+
+/// Runs the odd-even transposition sort (starting, per the paper, with an
+/// odd step) until the array is sorted in `direction`, up to `cap` steps.
+pub fn run_until_sorted<T: Ord>(cells: &mut [T], direction: SortDirection, cap: u64) -> LinearRun {
+    let mut run = LinearRun { steps: 0, swaps: 0, sorted: is_sorted(cells, direction) };
+    if run.sorted {
+        return run;
+    }
+    let mut phase = Phase::Odd;
+    for t in 0..cap {
+        run.swaps += step_slice(cells, phase, direction);
+        run.steps = t + 1;
+        phase = phase.flip();
+        if is_sorted(cells, direction) {
+            run.sorted = true;
+            break;
+        }
+    }
+    run
+}
+
+/// Classical worst-case step bound: the odd-even transposition sort on an
+/// `n`-cell array sorts any input within `n` steps ([Leighton 1992], cited
+/// as the paper's reference [1]).
+#[inline]
+pub fn worst_case_steps(n: usize) -> u64 {
+    n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_reverse_input_within_n_steps() {
+        for n in 1..=24usize {
+            let mut v: Vec<u32> = (0..n as u32).rev().collect();
+            let run = run_until_sorted(&mut v, SortDirection::Forward, 4 * n as u64 + 4);
+            assert!(run.sorted);
+            assert!(run.steps <= worst_case_steps(n), "n={n} steps={}", run.steps);
+            assert!(v.windows(2).all(|w| w[0] <= w[1]));
+        }
+    }
+
+    #[test]
+    fn sorts_all_permutations_of_six() {
+        // Exhaustive check of the <= N bound on every permutation of 6.
+        fn heap_permute(v: &mut Vec<u32>, k: usize, visit: &mut impl FnMut(&[u32])) {
+            if k <= 1 {
+                visit(v);
+                return;
+            }
+            for i in 0..k {
+                heap_permute(v, k - 1, visit);
+                if k % 2 == 0 {
+                    v.swap(i, k - 1);
+                } else {
+                    v.swap(0, k - 1);
+                }
+            }
+        }
+        let mut base: Vec<u32> = (0..6).collect();
+        let n = base.len();
+        let mut max_steps = 0u64;
+        heap_permute(&mut base, n, &mut |perm| {
+            let mut work = perm.to_vec();
+            let run = run_until_sorted(&mut work, SortDirection::Forward, 2 * n as u64);
+            assert!(run.sorted, "failed to sort {perm:?}");
+            max_steps = max_steps.max(run.steps);
+        });
+        assert!(max_steps <= worst_case_steps(n));
+        // The bound is tight up to O(1): some permutation needs ~n steps.
+        assert!(max_steps >= n as u64 - 1, "max_steps={max_steps}");
+    }
+
+    #[test]
+    fn reverse_direction_sorts_descending() {
+        let mut v = vec![1u32, 5, 3, 2, 4];
+        let run = run_until_sorted(&mut v, SortDirection::Reverse, 10);
+        assert!(run.sorted);
+        assert_eq!(v, vec![5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn already_sorted_is_zero_steps() {
+        let mut v = vec![1u32, 2, 3];
+        let run = run_until_sorted(&mut v, SortDirection::Forward, 10);
+        assert_eq!(run.steps, 0);
+        assert_eq!(run.swaps, 0);
+        assert!(run.sorted);
+    }
+
+    #[test]
+    fn cap_zero_reports_unsorted() {
+        let mut v = vec![2u32, 1];
+        let run = run_until_sorted(&mut v, SortDirection::Forward, 0);
+        assert!(!run.sorted);
+        assert_eq!(run.steps, 0);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut v: Vec<u32> = vec![];
+        assert!(run_until_sorted(&mut v, SortDirection::Forward, 4).sorted);
+        let mut v = vec![7u32];
+        assert!(run_until_sorted(&mut v, SortDirection::Forward, 4).sorted);
+    }
+
+    #[test]
+    fn smallest_element_distance_lower_bound() {
+        // Paper intro: if the smallest number starts in cell d (1-indexed),
+        // at least d-1 steps are needed. Verify on a pessimal placement.
+        let n = 16usize;
+        for d in 1..=n {
+            let mut v: Vec<u32> = (1..=n as u32).collect();
+            v.rotate_left(0); // keep ascending
+            // Put the smallest (0) at cell d, keeping the rest ascending.
+            let mut v: Vec<u32> = (1..=n as u32 - 1).collect();
+            v.insert(d - 1, 0);
+            let run = run_until_sorted(&mut v, SortDirection::Forward, 4 * n as u64);
+            assert!(run.sorted);
+            assert!(
+                run.steps + 1 >= d as u64,
+                "d={d}: steps {} < d-1 = {}",
+                run.steps,
+                d - 1
+            );
+        }
+    }
+}

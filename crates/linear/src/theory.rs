@@ -1,0 +1,127 @@
+//! Theoretical bounds from the paper's introduction (1D case).
+//!
+//! * Worst case: at most `N` steps on any input.
+//! * Average case: the smallest number is equally likely to start anywhere,
+//!   so the average is lower bounded by `(1/N) Σ_{d=1}^{N} (d−1) = (N−1)/2`
+//!   steps, and in fact is `N − O(√N)` because one of the `O(√N)` smallest
+//!   items is likely to start in one of the rightmost `O(√N)` positions.
+
+/// The simple average-case lower bound from the paper's introduction:
+/// `(N − 1) / 2` steps (as an exact rational, returned as numerator over 2).
+///
+/// Returned as `f64` for direct comparison against measured means.
+#[inline]
+pub fn simple_average_lower_bound(n: usize) -> f64 {
+    (n as f64 - 1.0) / 2.0
+}
+
+/// The refined `N − O(√N)` intuition, instantiated as `N − c·√N` for a
+/// caller-chosen constant. The paper states the expected running time is at
+/// least `N − O(√N)`; empirically `c ≈ 2` already holds at modest `N`
+/// (validated by experiment E15).
+#[inline]
+pub fn refined_average_lower_bound(n: usize, c: f64) -> f64 {
+    n as f64 - c * (n as f64).sqrt()
+}
+
+/// Exact expected number of steps for tiny `N` by full enumeration of all
+/// `N!` permutations — ground truth used to test the Monte-Carlo pipeline.
+///
+/// # Panics
+///
+/// Panics for `n > 10` (enumeration would be too large; tests use `n ≤ 8`).
+pub fn exact_average_steps(n: usize) -> f64 {
+    assert!(n <= 10, "exhaustive enumeration limited to n <= 10");
+    if n <= 1 {
+        return 0.0;
+    }
+    fn factorial(n: usize) -> u64 {
+        (1..=n as u64).product()
+    }
+    let mut total_steps: u64 = 0;
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    // Iterative Heap's algorithm over all permutations.
+    let mut c = vec![0usize; n];
+    let mut count = 0u64;
+    let measure = |p: &[u32]| {
+        let mut v = p.to_vec();
+        let run = crate::oddeven::run_until_sorted(
+            &mut v,
+            crate::array::SortDirection::Forward,
+            2 * n as u64 + 2,
+        );
+        debug_assert!(run.sorted);
+        run.steps
+    };
+    total_steps += measure(&perm);
+    count += 1;
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                perm.swap(0, i);
+            } else {
+                perm.swap(c[i], i);
+            }
+            total_steps += measure(&perm);
+            count += 1;
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    debug_assert_eq!(count, factorial(n));
+    total_steps as f64 / count as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_bound_values() {
+        assert_eq!(simple_average_lower_bound(1), 0.0);
+        assert_eq!(simple_average_lower_bound(9), 4.0);
+        assert_eq!(simple_average_lower_bound(100), 49.5);
+    }
+
+    #[test]
+    fn refined_bound_monotone_in_c() {
+        assert!(refined_average_lower_bound(100, 1.0) > refined_average_lower_bound(100, 2.0));
+        assert_eq!(refined_average_lower_bound(100, 0.0), 100.0);
+    }
+
+    #[test]
+    fn exact_average_tiny_cases() {
+        // n = 2: permutations (0,1) needs 0 steps, (1,0) needs 1 → avg 0.5.
+        assert!((exact_average_steps(2) - 0.5).abs() < 1e-12);
+        assert_eq!(exact_average_steps(1), 0.0);
+        assert_eq!(exact_average_steps(0), 0.0);
+    }
+
+    #[test]
+    fn exact_average_exceeds_simple_bound() {
+        for n in 2..=8 {
+            let avg = exact_average_steps(n);
+            assert!(
+                avg >= simple_average_lower_bound(n),
+                "n={n}: avg {avg} < bound {}",
+                simple_average_lower_bound(n)
+            );
+            // And is below the worst case N.
+            assert!(avg <= n as f64);
+        }
+    }
+
+    #[test]
+    fn exact_average_approaches_n() {
+        // The paper: average is N − O(√N), i.e. avg/N → 1. Check the trend
+        // is upward already at tiny sizes.
+        let r5 = exact_average_steps(5) / 5.0;
+        let r8 = exact_average_steps(8) / 8.0;
+        assert!(r8 > r5, "ratio should grow: {r5} vs {r8}");
+        assert!(r8 > 0.6);
+    }
+}

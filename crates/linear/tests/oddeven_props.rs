@@ -1,0 +1,119 @@
+//! Property-based tests for the 1D substrate: the classical odd-even
+//! transposition sort facts the paper's introduction builds on.
+
+use meshsort_linear::array::{phase_pairs, step_slice, Phase, SortDirection};
+use meshsort_linear::oddeven::{run_until_sorted, worst_case_steps};
+use proptest::prelude::*;
+
+fn arb_perm(max: usize) -> impl Strategy<Value = Vec<u32>> {
+    (1..=max).prop_flat_map(|n| Just((0..n as u32).collect::<Vec<u32>>()).prop_shuffle())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn sorts_within_n_steps(mut v in arb_perm(64)) {
+        let n = v.len();
+        let run = run_until_sorted(&mut v, SortDirection::Forward, 2 * n as u64 + 2);
+        prop_assert!(run.sorted);
+        prop_assert!(run.steps <= worst_case_steps(n));
+        prop_assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn reverse_sorts_descending_within_n_steps(mut v in arb_perm(64)) {
+        let n = v.len();
+        let run = run_until_sorted(&mut v, SortDirection::Reverse, 2 * n as u64 + 2);
+        prop_assert!(run.sorted);
+        prop_assert!(run.steps <= worst_case_steps(n));
+        prop_assert!(v.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn forward_and_reverse_are_mirror_images(v in arb_perm(32)) {
+        // Reverse-sorting v is the mirror of forward-sorting the
+        // reversed sequence: same step count. Mirroring the cell indices
+        // maps the odd phase to itself only when the length is even, so
+        // the property is restricted to even lengths.
+        prop_assume!(v.len() % 2 == 0);
+        let mut fwd_input: Vec<u32> = v.iter().rev().copied().collect();
+        let mut rev_input = v.clone();
+        let n = v.len() as u64;
+        let f = run_until_sorted(&mut fwd_input, SortDirection::Forward, 2 * n + 2);
+        let r = run_until_sorted(&mut rev_input, SortDirection::Reverse, 2 * n + 2);
+        prop_assert_eq!(f.steps, r.steps);
+        prop_assert_eq!(f.swaps, r.swaps);
+        let mirrored: Vec<u32> = fwd_input.iter().rev().copied().collect();
+        prop_assert_eq!(mirrored, rev_input);
+    }
+
+    #[test]
+    fn steps_at_least_distance_of_min(mut v in arb_perm(64)) {
+        // Paper intro: if the smallest value starts at (0-indexed) d, at
+        // least d steps are needed... (1-indexed d+1 needs >= d).
+        let d = v.iter().position(|&x| x == 0).unwrap() as u64;
+        let n = v.len() as u64;
+        let already_sorted = v.windows(2).all(|w| w[0] <= w[1]);
+        let run = run_until_sorted(&mut v, SortDirection::Forward, 2 * n + 2);
+        if !already_sorted {
+            prop_assert!(run.steps + 1 >= d, "steps {} < d-1 with d={d}", run.steps);
+        }
+    }
+
+    #[test]
+    fn swaps_equal_inversions(v in arb_perm(48)) {
+        // Each exchange removes exactly one adjacent inversion, and the
+        // sort ends with zero: total swaps == initial inversion count.
+        let inversions = {
+            let mut count = 0u64;
+            for i in 0..v.len() {
+                for j in i + 1..v.len() {
+                    if v[i] > v[j] {
+                        count += 1;
+                    }
+                }
+            }
+            count
+        };
+        let mut work = v;
+        let n = work.len() as u64;
+        let run = run_until_sorted(&mut work, SortDirection::Forward, 2 * n + 2);
+        prop_assert_eq!(run.swaps, inversions);
+    }
+
+    #[test]
+    fn phase_pairs_partition_adjacencies(n in 0usize..40) {
+        let mut all: Vec<(usize, usize)> = phase_pairs(n, Phase::Odd);
+        all.extend(phase_pairs(n, Phase::Even));
+        all.sort_unstable();
+        let expected: Vec<(usize, usize)> = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        prop_assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn step_slice_untouched_cells(v in prop::collection::vec(0u32..100, 3..32)) {
+        // Odd phase never touches the last cell of an odd-length array;
+        // even phase never touches cell 0.
+        let mut w = v.clone();
+        step_slice(&mut w, Phase::Even, SortDirection::Forward);
+        prop_assert_eq!(w[0], v[0]);
+        let mut w = v.clone();
+        if v.len() % 2 == 1 {
+            step_slice(&mut w, Phase::Odd, SortDirection::Forward);
+            prop_assert_eq!(w[v.len() - 1], v[v.len() - 1]);
+        }
+    }
+
+    #[test]
+    fn duplicates_sort_too(v in prop::collection::vec(0u8..4, 1..40)) {
+        let mut w = v.clone();
+        let n = w.len() as u64;
+        let run = run_until_sorted(&mut w, SortDirection::Forward, 2 * n + 2);
+        prop_assert!(run.sorted);
+        prop_assert!(run.steps <= n);
+        let mut expect = v;
+        expect.sort_unstable();
+        prop_assert_eq!(w, expect);
+    }
+}

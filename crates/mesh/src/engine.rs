@@ -1,0 +1,154 @@
+//! The step engine: applies [`StepPlan`]s to a [`Grid`].
+//!
+//! Because the comparators within a plan touch disjoint cells (validated at
+//! plan construction), applying them sequentially is observationally
+//! identical to the paper's simultaneous hardware step.
+
+use crate::grid::Grid;
+use crate::plan::StepPlan;
+use crate::trace::TraceSink;
+
+/// What happened during the application of one plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StepOutcome {
+    /// Number of comparators evaluated.
+    pub comparisons: u64,
+    /// Number of comparators that actually exchanged their values.
+    pub swaps: u64,
+}
+
+impl StepOutcome {
+    /// Accumulates another outcome into this one.
+    #[inline]
+    pub fn absorb(&mut self, other: StepOutcome) {
+        self.comparisons += other.comparisons;
+        self.swaps += other.swaps;
+    }
+}
+
+/// Applies one synchronous step to the grid.
+///
+/// # Panics
+///
+/// Panics if a comparator indexes outside the grid — call
+/// [`StepPlan::check_bounds`] when accepting plans from untrusted
+/// construction paths. Plans produced by this workspace's algorithm
+/// builders are checked at build time.
+pub fn apply_plan<T: Ord>(grid: &mut Grid<T>, plan: &StepPlan) -> StepOutcome {
+    let data = grid.as_mut_slice();
+    let mut swaps = 0u64;
+    for c in plan.comparators() {
+        let (lo, hi) = (c.keep_min as usize, c.keep_max as usize);
+        if data[lo] > data[hi] {
+            data.swap(lo, hi);
+            swaps += 1;
+        }
+    }
+    StepOutcome { comparisons: plan.len() as u64, swaps }
+}
+
+/// Applies one step while reporting each executed exchange to a trace sink.
+/// Slower than [`apply_plan`]; used by observers and debugging tools.
+pub fn apply_plan_traced<T: Ord, S: TraceSink>(
+    grid: &mut Grid<T>,
+    plan: &StepPlan,
+    step_index: u64,
+    sink: &mut S,
+) -> StepOutcome {
+    let data = grid.as_mut_slice();
+    let mut swaps = 0u64;
+    for c in plan.comparators() {
+        let (lo, hi) = (c.keep_min as usize, c.keep_max as usize);
+        if data[lo] > data[hi] {
+            data.swap(lo, hi);
+            swaps += 1;
+            sink.on_swap(step_index, c.keep_min, c.keep_max);
+        }
+    }
+    sink.on_step_end(step_index, swaps);
+    StepOutcome { comparisons: plan.len() as u64, swaps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::SwapLog;
+
+    #[test]
+    fn applies_exchange_when_out_of_order() {
+        let mut g = Grid::from_rows(2, vec![5, 1, 2, 0]).unwrap();
+        let plan = StepPlan::from_pairs(vec![(0, 1), (2, 3)]).unwrap();
+        let out = apply_plan(&mut g, &plan);
+        assert_eq!(out.comparisons, 2);
+        assert_eq!(out.swaps, 2);
+        assert_eq!(g.as_slice(), &[1, 5, 0, 2]);
+    }
+
+    #[test]
+    fn no_swap_when_in_order() {
+        let mut g = Grid::from_rows(2, vec![1, 5, 0, 2]).unwrap();
+        let plan = StepPlan::from_pairs(vec![(0, 1), (2, 3)]).unwrap();
+        let out = apply_plan(&mut g, &plan);
+        assert_eq!(out.swaps, 0);
+        assert_eq!(g.as_slice(), &[1, 5, 0, 2]);
+    }
+
+    #[test]
+    fn reverse_direction_keeps_min_at_high_index() {
+        // Paper Definition 1: reverse bubble sort stores the smaller value
+        // in the *rightmost* cell. Encoded as keep_min = right index.
+        let mut g = Grid::from_rows(2, vec![1, 5, 0, 0]).unwrap();
+        let plan = StepPlan::from_pairs(vec![(1, 0)]).unwrap();
+        apply_plan(&mut g, &plan);
+        assert_eq!(g.as_slice(), &[5, 1, 0, 0]);
+    }
+
+    #[test]
+    fn equal_values_do_not_swap() {
+        let mut g = Grid::from_rows(2, vec![3, 3, 3, 3]).unwrap();
+        let plan = StepPlan::from_pairs(vec![(0, 1), (2, 3)]).unwrap();
+        let out = apply_plan(&mut g, &plan);
+        assert_eq!(out.swaps, 0);
+    }
+
+    #[test]
+    fn multiset_preserved() {
+        let mut g = Grid::from_rows(3, vec![8, 1, 6, 3, 5, 7, 4, 9, 2]).unwrap();
+        let plan = StepPlan::from_pairs(vec![(0, 1), (2, 5), (3, 4), (6, 7)]).unwrap();
+        let mut before = g.as_slice().to_vec();
+        apply_plan(&mut g, &plan);
+        let mut after = g.as_slice().to_vec();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn outcome_absorb() {
+        let mut a = StepOutcome { comparisons: 3, swaps: 1 };
+        a.absorb(StepOutcome { comparisons: 2, swaps: 2 });
+        assert_eq!(a, StepOutcome { comparisons: 5, swaps: 3 });
+    }
+
+    #[test]
+    fn traced_application_records_swaps() {
+        let mut g = Grid::from_rows(2, vec![5, 1, 0, 2]).unwrap();
+        let plan = StepPlan::from_pairs(vec![(0, 1), (2, 3)]).unwrap();
+        let mut log = SwapLog::default();
+        let out = apply_plan_traced(&mut g, &plan, 7, &mut log);
+        assert_eq!(out.swaps, 1);
+        assert_eq!(log.swaps(), &[(7, 0, 1)]);
+        assert_eq!(log.step_totals(), &[(7, 1)]);
+    }
+
+    #[test]
+    fn idempotent_once_ordered() {
+        let mut g = Grid::from_rows(2, vec![4, 9, 1, 3]).unwrap();
+        let plan = StepPlan::from_pairs(vec![(0, 1), (2, 3)]).unwrap();
+        apply_plan(&mut g, &plan);
+        let snapshot = g.clone();
+        let out = apply_plan(&mut g, &plan);
+        assert_eq!(out.swaps, 0);
+        assert_eq!(g, snapshot);
+    }
+}

@@ -1,0 +1,125 @@
+//! Error type shared across the mesh substrate.
+
+use std::fmt;
+
+/// Errors raised while constructing grids, plans, or schedules.
+///
+/// The simulator is strict: malformed inputs (a data vector whose length is
+/// not `side²`, a comparator set that touches a cell twice in one step, an
+/// algorithm instantiated on a side it does not support) are rejected at
+/// construction time rather than producing silently wrong simulations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MeshError {
+    /// The flat data vector does not have `side * side` elements.
+    BadDimensions {
+        /// Requested mesh side.
+        side: usize,
+        /// Length of the data vector actually provided.
+        len: usize,
+    },
+    /// A mesh side of zero was requested.
+    ZeroSide,
+    /// A comparator refers to a flat cell index outside the grid.
+    IndexOutOfRange {
+        /// The offending flat index.
+        index: u32,
+        /// Number of cells in the grid.
+        cells: usize,
+    },
+    /// Two comparators in the same step touch the same cell.
+    OverlappingComparators {
+        /// The flat cell index that appears in more than one comparator.
+        index: u32,
+    },
+    /// A comparator compares a cell with itself.
+    DegenerateComparator {
+        /// The flat index used on both ends.
+        index: u32,
+    },
+    /// An algorithm requiring an even side was given an odd one (or vice
+    /// versa).
+    UnsupportedSide {
+        /// The side that was requested.
+        side: usize,
+        /// Human-readable constraint, e.g. `"even side >= 2"`.
+        requirement: &'static str,
+    },
+    /// A schedule was built with no steps.
+    EmptySchedule,
+}
+
+impl fmt::Display for MeshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeshError::BadDimensions { side, len } => write!(
+                f,
+                "data length {len} does not match side {side} (expected {})",
+                side * side
+            ),
+            MeshError::ZeroSide => write!(f, "mesh side must be at least 1"),
+            MeshError::IndexOutOfRange { index, cells } => {
+                write!(f, "comparator index {index} out of range for {cells} cells")
+            }
+            MeshError::OverlappingComparators { index } => {
+                write!(f, "cell {index} appears in more than one comparator in a single step")
+            }
+            MeshError::DegenerateComparator { index } => {
+                write!(f, "comparator compares cell {index} with itself")
+            }
+            MeshError::UnsupportedSide { side, requirement } => {
+                write!(f, "side {side} unsupported: algorithm requires {requirement}")
+            }
+            MeshError::EmptySchedule => write!(f, "schedule must contain at least one step"),
+        }
+    }
+}
+
+impl std::error::Error for MeshError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_bad_dimensions() {
+        let e = MeshError::BadDimensions { side: 3, len: 8 };
+        assert_eq!(e.to_string(), "data length 8 does not match side 3 (expected 9)");
+    }
+
+    #[test]
+    fn display_zero_side() {
+        assert_eq!(MeshError::ZeroSide.to_string(), "mesh side must be at least 1");
+    }
+
+    #[test]
+    fn display_index_out_of_range() {
+        let e = MeshError::IndexOutOfRange { index: 9, cells: 9 };
+        assert!(e.to_string().contains("index 9"));
+        assert!(e.to_string().contains("9 cells"));
+    }
+
+    #[test]
+    fn display_overlapping() {
+        let e = MeshError::OverlappingComparators { index: 4 };
+        assert!(e.to_string().contains("cell 4"));
+    }
+
+    #[test]
+    fn display_degenerate() {
+        let e = MeshError::DegenerateComparator { index: 2 };
+        assert!(e.to_string().contains("itself"));
+    }
+
+    #[test]
+    fn display_unsupported_side() {
+        let e = MeshError::UnsupportedSide { side: 5, requirement: "even side >= 2" };
+        assert!(e.to_string().contains("side 5"));
+        assert!(e.to_string().contains("even side >= 2"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(MeshError::EmptySchedule);
+        assert!(e.to_string().contains("at least one step"));
+    }
+}

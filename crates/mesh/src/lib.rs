@@ -1,0 +1,61 @@
+//! # meshsort-mesh — synchronous mesh-of-processors simulator
+//!
+//! This crate is the hardware substrate for the reproduction of
+//! Savari, *Average Case Analysis of Five Two-Dimensional Bubble Sorting
+//! Algorithms* (SPAA 1993). The paper sorts `N` numbers on a `√N × √N`
+//! mesh of processors where, at each synchronous *step*, disjoint pairs of
+//! neighbouring cells compare their contents and conditionally exchange
+//! them.
+//!
+//! The model implemented here:
+//!
+//! * a [`Grid`] of `side × side` cells holding arbitrary `Ord` values,
+//!   rows numbered top→bottom and columns left→right (0-indexed in code;
+//!   the paper uses 1-indexed coordinates — see [`Pos`] for the mapping);
+//! * a *step* is a [`StepPlan`]: a set of [`Comparator`]s touching each
+//!   cell at most once, applied simultaneously by the [`engine`];
+//! * wrap-around wires (paper §1, step 4i+3 of the row-major algorithms)
+//!   are ordinary comparators between flat indices, so the same engine
+//!   executes them;
+//! * target orders ([`order::TargetOrder`]) define what "sorted" means:
+//!   row-major or snakelike, matching the paper's two families.
+//!
+//! Everything is deterministic and allocation-light: plans are compiled
+//! once per algorithm and replayed, and applying a plan does no
+//! allocation.
+//!
+//! ```
+//! use meshsort_mesh::{Grid, order::TargetOrder, plan::StepPlan, engine};
+//!
+//! // A 2×2 grid holding a permutation of 0..4.
+//! let mut g = Grid::from_rows(2, vec![3u32, 1, 2, 0]).unwrap();
+//! // One comparator: cells (0,0) and (0,1), smaller value kept on the left.
+//! let plan = StepPlan::from_pairs(vec![(g.index(0, 0), g.index(0, 1))]).unwrap();
+//! let outcome = engine::apply_plan(&mut g, &plan);
+//! assert_eq!(outcome.swaps, 1);
+//! assert_eq!(g.get(0, 0), &1);
+//! assert!(!g.is_sorted(TargetOrder::RowMajor));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod error;
+pub mod grid;
+pub mod metrics;
+pub mod network;
+pub mod order;
+pub mod plan;
+pub mod pos;
+pub mod schedule;
+pub mod trace;
+pub mod viz;
+
+pub use engine::{apply_plan, StepOutcome};
+pub use error::MeshError;
+pub use grid::Grid;
+pub use order::TargetOrder;
+pub use plan::{Comparator, StepPlan};
+pub use pos::Pos;
+pub use schedule::CycleSchedule;

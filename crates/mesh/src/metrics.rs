@@ -1,0 +1,172 @@
+//! Disorder metrics: how far a grid is from sorted.
+//!
+//! Used by the instrumented runners (`meshsort-core::instrument`) to
+//! expose the *shape* of convergence — e.g. the row-major algorithms
+//! spend most of their Θ(N) steps slowly draining a few overloaded
+//! columns, which these metrics make visible.
+
+use crate::grid::Grid;
+use crate::order::TargetOrder;
+use crate::pos::Pos;
+
+/// Total number of inverted pairs with respect to the reading order —
+/// the classical inversion count, `O(N log N)` by merge counting.
+/// `0` iff the grid is sorted in `order` (for distinct values).
+pub fn inversions<T: Ord + Clone>(grid: &Grid<T>, order: TargetOrder) -> u64 {
+    let seq: Vec<T> = (0..grid.cells())
+        .map(|rank| grid.at(order.pos_of_rank(rank, grid.side())).clone())
+        .collect();
+    count_inversions(seq)
+}
+
+fn count_inversions<T: Ord + Clone>(mut seq: Vec<T>) -> u64 {
+    fn merge_count<T: Ord + Clone>(seq: &mut Vec<T>) -> u64 {
+        let n = seq.len();
+        if n < 2 {
+            return 0;
+        }
+        let mut right = seq.split_off(n / 2);
+        let mut inv = merge_count(seq) + merge_count(&mut right);
+        let left = std::mem::take(seq);
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < left.len() || j < right.len() {
+            let take_left = j >= right.len() || (i < left.len() && left[i] <= right[j]);
+            if take_left {
+                seq.push(left[i].clone());
+                i += 1;
+            } else {
+                inv += (left.len() - i) as u64;
+                seq.push(right[j].clone());
+                j += 1;
+            }
+        }
+        inv
+    }
+    merge_count(&mut seq)
+}
+
+/// Sum over all values of the Manhattan distance between the value's
+/// current cell and its final cell — a lower bound on the total work any
+/// nearest-neighbour algorithm must perform (each step moves each value
+/// at most one hop).
+pub fn total_displacement(grid: &Grid<u32>, order: TargetOrder) -> u64 {
+    let side = grid.side();
+    let mut ranked: Vec<(u32, Pos)> = grid.enumerate().map(|(p, &v)| (v, p)).collect();
+    ranked.sort_unstable_by_key(|(v, _)| *v);
+    ranked
+        .iter()
+        .enumerate()
+        .map(|(rank, (_, pos))| pos.manhattan(order.pos_of_rank(rank, side)) as u64)
+        .sum()
+}
+
+/// The maximum per-value displacement — the paper's diameter-style lower
+/// bound: at least this many steps are needed.
+pub fn max_displacement(grid: &Grid<u32>, order: TargetOrder) -> u64 {
+    let side = grid.side();
+    let mut ranked: Vec<(u32, Pos)> = grid.enumerate().map(|(p, &v)| (v, p)).collect();
+    ranked.sort_unstable_by_key(|(v, _)| *v);
+    ranked
+        .iter()
+        .enumerate()
+        .map(|(rank, (_, pos))| pos.manhattan(order.pos_of_rank(rank, side)) as u64)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Number of *dirty* rows: rows containing at least one cell whose value
+/// does not match the target arrangement. Convergence of the bubble
+/// sorts shows up as the dirty band shrinking toward the final rows.
+pub fn dirty_rows(grid: &Grid<u32>, order: TargetOrder) -> usize {
+    let side = grid.side();
+    let target: Vec<u32> = {
+        let mut vals: Vec<u32> = grid.as_slice().to_vec();
+        vals.sort_unstable();
+        let mut t = vec![0u32; grid.cells()];
+        for (rank, v) in vals.into_iter().enumerate() {
+            t[order.pos_of_rank(rank, side).flat(side)] = v;
+        }
+        t
+    };
+    (0..side)
+        .filter(|&r| (0..side).any(|c| grid.get(r, c) != &target[r * side + c]))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inversion_counting_matches_quadratic_reference() {
+        fn brute(seq: &[u32]) -> u64 {
+            let mut inv = 0;
+            for i in 0..seq.len() {
+                for j in i + 1..seq.len() {
+                    if seq[i] > seq[j] {
+                        inv += 1;
+                    }
+                }
+            }
+            inv
+        }
+        let cases: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![1],
+            vec![1, 2, 3, 4],
+            vec![4, 3, 2, 1],
+            vec![2, 1, 4, 3, 6, 5],
+            vec![5, 1, 4, 2, 3],
+            vec![1, 1, 1],
+            vec![3, 1, 3, 1],
+        ];
+        for seq in cases {
+            assert_eq!(count_inversions(seq.clone()), brute(&seq), "{seq:?}");
+        }
+    }
+
+    #[test]
+    fn inversions_zero_iff_sorted() {
+        let sorted = crate::grid::sorted_permutation_grid(4, TargetOrder::Snake);
+        assert_eq!(inversions(&sorted, TargetOrder::Snake), 0);
+        let g = Grid::from_rows(4, (0..16u32).rev().collect()).unwrap();
+        assert_eq!(inversions(&g, TargetOrder::RowMajor), 16 * 15 / 2);
+    }
+
+    #[test]
+    fn displacement_of_sorted_is_zero() {
+        let g = crate::grid::sorted_permutation_grid(5, TargetOrder::Snake);
+        assert_eq!(total_displacement(&g, TargetOrder::Snake), 0);
+        assert_eq!(max_displacement(&g, TargetOrder::Snake), 0);
+        assert_eq!(dirty_rows(&g, TargetOrder::Snake), 0);
+    }
+
+    #[test]
+    fn displacement_counts_hops() {
+        // Swap two row-major-adjacent values: each is 1 hop from home.
+        let mut g = crate::grid::sorted_permutation_grid(4, TargetOrder::RowMajor);
+        g.as_mut_slice().swap(0, 1);
+        assert_eq!(total_displacement(&g, TargetOrder::RowMajor), 2);
+        assert_eq!(max_displacement(&g, TargetOrder::RowMajor), 1);
+        assert_eq!(dirty_rows(&g, TargetOrder::RowMajor), 1);
+    }
+
+    #[test]
+    fn reversed_grid_has_maximal_max_displacement() {
+        let side = 6;
+        let g = Grid::from_rows(side, (0..(side * side) as u32).rev().collect()).unwrap();
+        // Value 0 sits at the bottom-right, must travel the full diameter.
+        assert_eq!(max_displacement(&g, TargetOrder::RowMajor), (2 * side - 2) as u64);
+        assert_eq!(dirty_rows(&g, TargetOrder::RowMajor), side);
+    }
+
+    #[test]
+    fn dirty_rows_partial() {
+        let side = 4;
+        let mut g = crate::grid::sorted_permutation_grid(side, TargetOrder::RowMajor);
+        // Scramble only row 2.
+        let base = 2 * side;
+        g.as_mut_slice().swap(base, base + 3);
+        assert_eq!(dirty_rows(&g, TargetOrder::RowMajor), 1);
+    }
+}

@@ -1,0 +1,217 @@
+//! Finite comparator networks and the 0–1 principle.
+//!
+//! The five algorithms are *periodic* (a 4-step cycle repeated until
+//! sorted), but many classical results — including the 0–1 principle the
+//! paper's analysis rests on — are phrased for *finite* comparator
+//! networks. This module provides that view: a [`ComparatorNetwork`] is a
+//! fixed sequence of [`StepPlan`]s with a depth and size, which can be
+//! checked exhaustively against the 0–1 principle on small meshes.
+//!
+//! The principle (Knuth, TAOCP vol. 3; [Leighton 1992], the paper's
+//! reference [1]): an *oblivious* comparison-exchange network sorts every
+//! input iff it sorts every 0–1 input. For lower bounds the paper uses
+//! the cheap direction — any counterexample 0–1 input witnesses
+//! unsortedness — which [`ComparatorNetwork::find_unsorted_zero_one`]
+//! searches for.
+
+use crate::error::MeshError;
+use crate::grid::Grid;
+use crate::order::TargetOrder;
+use crate::plan::StepPlan;
+use crate::schedule::CycleSchedule;
+use crate::engine::apply_plan;
+
+/// A finite sequence of synchronous comparator steps on a `side × side`
+/// mesh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComparatorNetwork {
+    side: usize,
+    steps: Vec<StepPlan>,
+}
+
+impl ComparatorNetwork {
+    /// Builds a network, bounds-checking every step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`StepPlan::check_bounds`] failures and rejects
+    /// `side == 0`.
+    pub fn new(side: usize, steps: Vec<StepPlan>) -> Result<Self, MeshError> {
+        if side == 0 {
+            return Err(MeshError::ZeroSide);
+        }
+        for s in &steps {
+            s.check_bounds(side * side)?;
+        }
+        Ok(ComparatorNetwork { side, steps })
+    }
+
+    /// The first `steps` steps of a cyclic schedule, as a finite network.
+    pub fn from_schedule(side: usize, schedule: &CycleSchedule, steps: u64) -> Self {
+        let plans = (0..steps).map(|t| schedule.plan_at(t).clone()).collect();
+        ComparatorNetwork { side, steps: plans }
+    }
+
+    /// Mesh side.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// **Depth**: the number of synchronous steps.
+    pub fn depth(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// **Size**: the total number of comparators.
+    pub fn size(&self) -> usize {
+        self.steps.iter().map(StepPlan::len).sum()
+    }
+
+    /// Applies the whole network to a grid; returns the total swaps.
+    pub fn apply<T: Ord>(&self, grid: &mut Grid<T>) -> u64 {
+        let mut swaps = 0;
+        for s in &self.steps {
+            swaps += apply_plan(grid, s).swaps;
+        }
+        swaps
+    }
+
+    /// Concatenates two networks on the same side.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the sides differ.
+    pub fn then(&self, other: &ComparatorNetwork) -> ComparatorNetwork {
+        assert_eq!(self.side, other.side, "network sides differ");
+        let mut steps = self.steps.clone();
+        steps.extend(other.steps.iter().cloned());
+        ComparatorNetwork { side: self.side, steps }
+    }
+
+    /// Exhaustive 0–1 check: returns the first 0–1 input (as a bitmask,
+    /// bit `i` set ⇒ cell `i` holds 1) that the network fails to sort
+    /// into `order`, or `None` if the network sorts all of them — in
+    /// which case, by the 0–1 principle, it sorts *every* input.
+    ///
+    /// # Panics
+    ///
+    /// Panics for meshes with more than 24 cells (2²⁴ inputs is the
+    /// practical exhaustiveness limit; use sampling beyond).
+    pub fn find_unsorted_zero_one(&self, order: TargetOrder) -> Option<u32> {
+        let cells = self.side * self.side;
+        assert!(cells <= 24, "exhaustive 0-1 check limited to 24 cells");
+        for mask in 0u32..(1u32 << cells) {
+            let data: Vec<u8> = (0..cells).map(|i| ((mask >> i) & 1) as u8).collect();
+            let mut grid = Grid::from_rows(self.side, data).expect("dimensions match");
+            self.apply(&mut grid);
+            if !grid.is_sorted(order) {
+                return Some(mask);
+            }
+        }
+        None
+    }
+
+    /// `true` when the network is a sorting network for `order`
+    /// (exhaustive 0–1 check; see [`ComparatorNetwork::find_unsorted_zero_one`]).
+    pub fn is_sorting_network(&self, order: TargetOrder) -> bool {
+        self.find_unsorted_zero_one(order).is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Comparator;
+
+    /// Brick-wall odd-even transposition over the flat row-major chain of
+    /// a 2×2 mesh (4 cells): `depth` alternating odd/even steps.
+    fn odd_even_chain(side: usize, depth: usize) -> ComparatorNetwork {
+        let n = side * side;
+        let mut steps = Vec::new();
+        for t in 0..depth {
+            let start = t % 2;
+            let pairs: Vec<Comparator> = (start..n.saturating_sub(1))
+                .step_by(2)
+                .map(|i| Comparator::new(i as u32, i as u32 + 1))
+                .collect();
+            steps.push(StepPlan::new(pairs).unwrap());
+        }
+        ComparatorNetwork::new(side, steps).unwrap()
+    }
+
+    #[test]
+    fn depth_and_size() {
+        let net = odd_even_chain(2, 4);
+        assert_eq!(net.depth(), 4);
+        // Steps alternate 2 and 1 comparators on 4 cells.
+        assert_eq!(net.size(), 2 + 1 + 2 + 1);
+        assert_eq!(net.side(), 2);
+    }
+
+    #[test]
+    fn full_depth_chain_is_a_sorting_network() {
+        // N steps of odd-even transposition sort any input (classical).
+        let net = odd_even_chain(2, 4);
+        assert!(net.is_sorting_network(TargetOrder::RowMajor));
+    }
+
+    #[test]
+    fn truncated_chain_is_not() {
+        let net = odd_even_chain(2, 2);
+        let witness = net.find_unsorted_zero_one(TargetOrder::RowMajor);
+        assert!(witness.is_some());
+        // Verify the witness really fails.
+        let mask = witness.unwrap();
+        let data: Vec<u8> = (0..4).map(|i| ((mask >> i) & 1) as u8).collect();
+        let mut g = Grid::from_rows(2, data).unwrap();
+        net.apply(&mut g);
+        assert!(!g.is_sorted(TargetOrder::RowMajor));
+    }
+
+    #[test]
+    fn composition_reaches_sortedness() {
+        let half = odd_even_chain(2, 2);
+        assert!(!half.is_sorting_network(TargetOrder::RowMajor));
+        let whole = half.then(&half);
+        assert_eq!(whole.depth(), 4);
+        assert!(whole.is_sorting_network(TargetOrder::RowMajor));
+    }
+
+    #[test]
+    fn from_schedule_prefix() {
+        let sched = CycleSchedule::new(
+            vec![
+                StepPlan::from_pairs(vec![(0, 1), (2, 3)]).unwrap(),
+                StepPlan::from_pairs(vec![(1, 2)]).unwrap(),
+            ],
+            4,
+        )
+        .unwrap();
+        let net = ComparatorNetwork::from_schedule(2, &sched, 5);
+        assert_eq!(net.depth(), 5);
+        // Steps cycle: plan 0 appears at indices 0, 2, 4.
+        assert_eq!(net.size(), 2 + 1 + 2 + 1 + 2);
+    }
+
+    #[test]
+    fn apply_counts_swaps() {
+        let net = odd_even_chain(2, 4);
+        let mut g = Grid::from_rows(2, vec![3u32, 2, 1, 0]).unwrap();
+        let swaps = net.apply(&mut g);
+        assert!(swaps >= 4);
+        assert!(g.is_sorted(TargetOrder::RowMajor));
+    }
+
+    #[test]
+    #[should_panic(expected = "network sides differ")]
+    fn then_requires_same_side() {
+        let a = odd_even_chain(2, 1);
+        let b = odd_even_chain(3, 1);
+        let _ = a.then(&b);
+    }
+
+    #[test]
+    fn zero_side_rejected() {
+        assert!(matches!(ComparatorNetwork::new(0, vec![]), Err(MeshError::ZeroSide)));
+    }
+}

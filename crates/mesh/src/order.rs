@@ -1,0 +1,137 @@
+//! Target orders: what "sorted" means on the mesh.
+//!
+//! The paper's first two algorithms finish in **row-major** order: the
+//! m-th smallest number (1-indexed m) ends in row `⌊(m−1)/√N⌋ + 1` and
+//! column `[(m−1) mod √N] + 1`. The other three finish in **snakelike**
+//! order, where even-numbered (paper 1-indexed) rows run right-to-left.
+
+use crate::pos::Pos;
+use serde::{Deserialize, Serialize};
+
+/// The two final arrangements used in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TargetOrder {
+    /// Row-major: every row ascends left→right, rows stacked smallest-first.
+    RowMajor,
+    /// Snakelike (boustrophedon): paper-odd rows ascend left→right,
+    /// paper-even rows ascend right→left.
+    Snake,
+}
+
+impl TargetOrder {
+    /// Rank (0-indexed: `m − 1` in the paper) of the value that cell `pos`
+    /// holds once sorting is complete.
+    #[inline]
+    pub fn rank_of(self, pos: Pos, side: usize) -> usize {
+        match self {
+            TargetOrder::RowMajor => pos.row * side + pos.col,
+            TargetOrder::Snake => {
+                if pos.row % 2 == 0 {
+                    pos.row * side + pos.col
+                } else {
+                    pos.row * side + (side - 1 - pos.col)
+                }
+            }
+        }
+    }
+
+    /// Cell that holds the value of 0-indexed `rank` once sorting is
+    /// complete — the inverse of [`TargetOrder::rank_of`].
+    #[inline]
+    pub fn pos_of_rank(self, rank: usize, side: usize) -> Pos {
+        let row = rank / side;
+        let offset = rank % side;
+        let col = match self {
+            TargetOrder::RowMajor => offset,
+            TargetOrder::Snake => {
+                if row % 2 == 0 {
+                    offset
+                } else {
+                    side - 1 - offset
+                }
+            }
+        };
+        Pos::new(row, col)
+    }
+
+    /// Short machine-friendly name used in experiment reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            TargetOrder::RowMajor => "row-major",
+            TargetOrder::Snake => "snake",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_major_matches_paper_formula() {
+        // Paper: m-th smallest in row ⌊(m−1)/√N⌋+1, column [(m−1) mod √N]+1.
+        let side = 6;
+        for m in 1..=side * side {
+            let pos = TargetOrder::RowMajor.pos_of_rank(m - 1, side);
+            assert_eq!(pos.paper_row(), (m - 1) / side + 1);
+            assert_eq!(pos.paper_col(), (m - 1) % side + 1);
+        }
+    }
+
+    #[test]
+    fn snake_matches_paper_formula() {
+        // Paper: R_m = ⌊(m−1)/√N⌋+1; column [(m−1) mod √N]+1 if R_m odd,
+        // √N − [(m−1) mod √N] if R_m even.
+        let side = 6;
+        for m in 1..=side * side {
+            let pos = TargetOrder::Snake.pos_of_rank(m - 1, side);
+            let r_m = (m - 1) / side + 1;
+            assert_eq!(pos.paper_row(), r_m);
+            let expected_col = if r_m % 2 == 1 { (m - 1) % side + 1 } else { side - (m - 1) % side };
+            assert_eq!(pos.paper_col(), expected_col, "m={m}");
+        }
+    }
+
+    #[test]
+    fn rank_pos_round_trip() {
+        for side in [1usize, 2, 3, 4, 5, 8] {
+            for order in [TargetOrder::RowMajor, TargetOrder::Snake] {
+                for rank in 0..side * side {
+                    let pos = order.pos_of_rank(rank, side);
+                    assert_eq!(order.rank_of(pos, side), rank, "side={side} order={order:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snake_example_4x4() {
+        // 4×4 snake: row 1: 1..4; row 2: 8,7,6,5; ...
+        let side = 4;
+        let o = TargetOrder::Snake;
+        assert_eq!(o.pos_of_rank(4, side), Pos::new(1, 3)); // 5th smallest at right end of row 2
+        assert_eq!(o.pos_of_rank(7, side), Pos::new(1, 0)); // 8th smallest at left end of row 2
+        assert_eq!(o.pos_of_rank(8, side), Pos::new(2, 0)); // 9th smallest back to the left
+    }
+
+    #[test]
+    fn columns_ascend_in_both_orders() {
+        // Needed for the sorted state to be a fixed point of column sorts:
+        // in either target order, every column ascends top→bottom.
+        for side in [2usize, 3, 4, 5, 6] {
+            for order in [TargetOrder::RowMajor, TargetOrder::Snake] {
+                for col in 0..side {
+                    let ranks: Vec<usize> =
+                        (0..side).map(|row| order.rank_of(Pos::new(row, col), side)).collect();
+                    assert!(ranks.windows(2).all(|w| w[0] < w[1]), "side={side} {order:?} col={col}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(TargetOrder::RowMajor.label(), "row-major");
+        assert_eq!(TargetOrder::Snake.label(), "snake");
+    }
+}

@@ -1,0 +1,199 @@
+//! Comparators and step plans.
+//!
+//! One synchronous *step* of the mesh is a set of comparators over disjoint
+//! cell pairs. Compiling each algorithm's step into an explicit
+//! [`StepPlan`] once (rather than recomputing pair lists every step) keeps
+//! the hot loop branch-free; `bench_ablation_plan` in the bench crate
+//! measures the payoff.
+
+use crate::error::MeshError;
+use serde::{Deserialize, Serialize};
+
+/// A single compare-exchange wire between two cells.
+///
+/// After application, the smaller value sits in `keep_min` and the larger
+/// in `keep_max`. Direction (a row sort keeping the smaller value left, the
+/// paper's *reverse bubble sort* keeping it right, a wrap-around wire) is
+/// entirely encoded by which flat index is the `keep_min` end.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Comparator {
+    /// Flat index of the cell that receives the smaller value.
+    pub keep_min: u32,
+    /// Flat index of the cell that receives the larger value.
+    pub keep_max: u32,
+}
+
+impl Comparator {
+    /// Creates a comparator; the first argument receives the minimum.
+    #[inline]
+    pub const fn new(keep_min: u32, keep_max: u32) -> Self {
+        Comparator { keep_min, keep_max }
+    }
+}
+
+/// A validated set of comparators applied simultaneously in one step.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StepPlan {
+    comparators: Vec<Comparator>,
+}
+
+impl StepPlan {
+    /// An empty step (no comparisons). Occurs naturally, e.g. the even row
+    /// phase on a side-2 mesh.
+    pub const fn empty() -> Self {
+        StepPlan { comparators: Vec::new() }
+    }
+
+    /// Builds a plan from comparators, validating that no cell is touched
+    /// twice and no comparator is degenerate.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::DegenerateComparator`] if some comparator's two ends
+    /// coincide; [`MeshError::OverlappingComparators`] if a cell appears in
+    /// two comparators.
+    pub fn new(comparators: Vec<Comparator>) -> Result<Self, MeshError> {
+        let mut seen: Vec<u32> = Vec::with_capacity(comparators.len() * 2);
+        for c in &comparators {
+            if c.keep_min == c.keep_max {
+                return Err(MeshError::DegenerateComparator { index: c.keep_min });
+            }
+            seen.push(c.keep_min);
+            seen.push(c.keep_max);
+        }
+        seen.sort_unstable();
+        for w in seen.windows(2) {
+            if w[0] == w[1] {
+                return Err(MeshError::OverlappingComparators { index: w[0] });
+            }
+        }
+        Ok(StepPlan { comparators })
+    }
+
+    /// Convenience constructor from `(keep_min, keep_max)` pairs.
+    pub fn from_pairs(pairs: Vec<(u32, u32)>) -> Result<Self, MeshError> {
+        Self::new(pairs.into_iter().map(|(a, b)| Comparator::new(a, b)).collect())
+    }
+
+    /// Validates every index against a grid of `cells` cells.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::IndexOutOfRange`] naming the first offending index.
+    pub fn check_bounds(&self, cells: usize) -> Result<(), MeshError> {
+        for c in &self.comparators {
+            for idx in [c.keep_min, c.keep_max] {
+                if idx as usize >= cells {
+                    return Err(MeshError::IndexOutOfRange { index: idx, cells });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The comparators of this step.
+    #[inline]
+    pub fn comparators(&self) -> &[Comparator] {
+        &self.comparators
+    }
+
+    /// Number of comparators in the step.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.comparators.len()
+    }
+
+    /// `true` when the step performs no comparisons.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.comparators.is_empty()
+    }
+
+    /// Merges two disjoint plans into one simultaneous step (used for the
+    /// paper's step `4i+3` of the row-major algorithms: the even row phase
+    /// *and* the wrap-around comparisons happen in the same step).
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::OverlappingComparators`] when the plans share a cell.
+    pub fn merge(&self, other: &StepPlan) -> Result<StepPlan, MeshError> {
+        let mut all = self.comparators.clone();
+        all.extend_from_slice(&other.comparators);
+        StepPlan::new(all)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_plan() {
+        let p = StepPlan::from_pairs(vec![(0, 1), (2, 3)]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn empty_plan() {
+        let p = StepPlan::empty();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        assert!(p.check_bounds(0).is_ok());
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        assert_eq!(
+            StepPlan::from_pairs(vec![(3, 3)]).unwrap_err(),
+            MeshError::DegenerateComparator { index: 3 }
+        );
+    }
+
+    #[test]
+    fn rejects_overlap_same_end() {
+        assert_eq!(
+            StepPlan::from_pairs(vec![(0, 1), (1, 2)]).unwrap_err(),
+            MeshError::OverlappingComparators { index: 1 }
+        );
+    }
+
+    #[test]
+    fn rejects_overlap_cross_end() {
+        assert_eq!(
+            StepPlan::from_pairs(vec![(0, 1), (2, 0)]).unwrap_err(),
+            MeshError::OverlappingComparators { index: 0 }
+        );
+    }
+
+    #[test]
+    fn bounds_check() {
+        let p = StepPlan::from_pairs(vec![(0, 4)]).unwrap();
+        assert!(p.check_bounds(5).is_ok());
+        assert_eq!(p.check_bounds(4).unwrap_err(), MeshError::IndexOutOfRange { index: 4, cells: 4 });
+    }
+
+    #[test]
+    fn merge_disjoint() {
+        let a = StepPlan::from_pairs(vec![(0, 1)]).unwrap();
+        let b = StepPlan::from_pairs(vec![(2, 3)]).unwrap();
+        let m = a.merge(&b).unwrap();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn merge_overlapping_fails() {
+        let a = StepPlan::from_pairs(vec![(0, 1)]).unwrap();
+        let b = StepPlan::from_pairs(vec![(1, 2)]).unwrap();
+        assert!(matches!(a.merge(&b), Err(MeshError::OverlappingComparators { index: 1 })));
+    }
+
+    #[test]
+    fn direction_is_by_index_role() {
+        // A "reverse" comparator is just min/max swapped; nothing else to it.
+        let fwd = Comparator::new(0, 1);
+        let rev = Comparator::new(1, 0);
+        assert_ne!(fwd, rev);
+        assert_eq!(rev.keep_min, 1);
+    }
+}

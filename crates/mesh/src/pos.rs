@@ -1,0 +1,187 @@
+//! Cell coordinates.
+//!
+//! The paper numbers rows `1..√N` top→bottom and columns `1..√N`
+//! left→right. Code uses 0-indexed coordinates throughout; the paper's
+//! cell `(r, c)` is [`Pos`]`{ row: r - 1, col: c - 1 }`.
+//!
+//! Parity language ("odd rows", "even columns") in the paper always refers
+//! to the 1-indexed numbering, so the paper's *odd* rows are the 0-indexed
+//! rows `0, 2, 4, …`. The helpers [`Pos::paper_row_is_odd`] and
+//! [`Pos::paper_col_is_odd`] encode this so call sites never juggle the
+//! off-by-one.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 0-indexed cell coordinate on a `side × side` mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Pos {
+    /// Row index, `0` at the top.
+    pub row: usize,
+    /// Column index, `0` at the left.
+    pub col: usize,
+}
+
+impl Pos {
+    /// Creates a position from 0-indexed row and column.
+    #[inline]
+    pub const fn new(row: usize, col: usize) -> Self {
+        Pos { row, col }
+    }
+
+    /// Creates a position from the paper's 1-indexed coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate is `0` (the paper's numbering starts
+    /// at 1).
+    #[inline]
+    pub const fn from_paper(row1: usize, col1: usize) -> Self {
+        assert!(row1 >= 1 && col1 >= 1, "paper coordinates are 1-indexed");
+        Pos { row: row1 - 1, col: col1 - 1 }
+    }
+
+    /// The paper's 1-indexed row number.
+    #[inline]
+    pub const fn paper_row(self) -> usize {
+        self.row + 1
+    }
+
+    /// The paper's 1-indexed column number.
+    #[inline]
+    pub const fn paper_col(self) -> usize {
+        self.col + 1
+    }
+
+    /// `true` when this cell lies in an *odd row* in the paper's 1-indexed
+    /// sense (rows 1, 3, 5, … — i.e. 0-indexed rows 0, 2, 4, …).
+    #[inline]
+    pub const fn paper_row_is_odd(self) -> bool {
+        self.row % 2 == 0
+    }
+
+    /// `true` when this cell lies in an *odd column* in the paper's
+    /// 1-indexed sense.
+    #[inline]
+    pub const fn paper_col_is_odd(self) -> bool {
+        self.col % 2 == 0
+    }
+
+    /// Flat row-major index of this cell on a mesh with the given side.
+    #[inline]
+    pub const fn flat(self, side: usize) -> usize {
+        self.row * side + self.col
+    }
+
+    /// Inverse of [`Pos::flat`].
+    #[inline]
+    pub const fn from_flat(index: usize, side: usize) -> Self {
+        Pos { row: index / side, col: index % side }
+    }
+
+    /// Manhattan (L1) distance to another cell — the number of hops a value
+    /// needs on the mesh, used for the diameter lower bound `2√N − 2`
+    /// discussed in the paper's introduction.
+    #[inline]
+    pub const fn manhattan(self, other: Pos) -> usize {
+        self.row.abs_diff(other.row) + self.col.abs_diff(other.col)
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.row, self.col)
+    }
+}
+
+/// The network diameter of a `side × side` mesh: `2·side − 2`.
+///
+/// The paper's introduction lower-bounds the average sorting time of any
+/// mesh algorithm by `Ω(√N)` because the smallest value may have to cross
+/// the diameter. The five bubble-sort generalizations turn out to be far
+/// slower than this bound on average — that gap is the paper's headline.
+#[inline]
+pub const fn mesh_diameter(side: usize) -> usize {
+    if side == 0 {
+        0
+    } else {
+        2 * side - 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_round_trip() {
+        let p = Pos::from_paper(1, 1);
+        assert_eq!(p, Pos::new(0, 0));
+        assert_eq!(p.paper_row(), 1);
+        assert_eq!(p.paper_col(), 1);
+    }
+
+    #[test]
+    fn paper_parity_matches_one_indexing() {
+        // Paper row 1 (top) is odd.
+        assert!(Pos::from_paper(1, 5).paper_row_is_odd());
+        // Paper row 2 is even.
+        assert!(!Pos::from_paper(2, 5).paper_row_is_odd());
+        assert!(Pos::from_paper(3, 1).paper_col_is_odd());
+        assert!(!Pos::from_paper(3, 2).paper_col_is_odd());
+    }
+
+    #[test]
+    #[should_panic(expected = "1-indexed")]
+    fn paper_zero_panics() {
+        let _ = Pos::from_paper(0, 1);
+    }
+
+    #[test]
+    fn flat_round_trip() {
+        let side = 7;
+        for r in 0..side {
+            for c in 0..side {
+                let p = Pos::new(r, c);
+                assert_eq!(Pos::from_flat(p.flat(side), side), p);
+            }
+        }
+    }
+
+    #[test]
+    fn flat_is_row_major() {
+        assert_eq!(Pos::new(0, 0).flat(4), 0);
+        assert_eq!(Pos::new(0, 3).flat(4), 3);
+        assert_eq!(Pos::new(1, 0).flat(4), 4);
+        assert_eq!(Pos::new(3, 3).flat(4), 15);
+    }
+
+    #[test]
+    fn manhattan_distance() {
+        assert_eq!(Pos::new(0, 0).manhattan(Pos::new(3, 4)), 7);
+        assert_eq!(Pos::new(2, 2).manhattan(Pos::new(2, 2)), 0);
+        assert_eq!(Pos::new(5, 1).manhattan(Pos::new(1, 5)), 8);
+    }
+
+    #[test]
+    fn diameter() {
+        assert_eq!(mesh_diameter(0), 0);
+        assert_eq!(mesh_diameter(1), 0);
+        assert_eq!(mesh_diameter(2), 2);
+        assert_eq!(mesh_diameter(8), 14);
+        // Paper: diameter of the √N×√N mesh is 2√N − 2.
+        let side = 16;
+        assert_eq!(mesh_diameter(side), 2 * side - 2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Pos::new(2, 3).to_string(), "(2, 3)");
+    }
+
+    #[test]
+    fn ordering_is_row_major() {
+        assert!(Pos::new(0, 5) < Pos::new(1, 0));
+        assert!(Pos::new(1, 2) < Pos::new(1, 3));
+    }
+}

@@ -1,0 +1,257 @@
+//! Cyclic step schedules.
+//!
+//! Every algorithm in the paper repeats a fixed cycle of steps (a 4-step
+//! cycle for all five 2D algorithms, a 2-step cycle for the 1D odd-even
+//! transposition sort). A [`CycleSchedule`] stores the compiled plans of
+//! one cycle and replays them forever.
+
+use crate::engine::{apply_plan, apply_plan_traced, StepOutcome};
+use crate::error::MeshError;
+use crate::grid::Grid;
+use crate::order::TargetOrder;
+use crate::plan::StepPlan;
+use crate::trace::TraceSink;
+
+/// A repeating sequence of step plans.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleSchedule {
+    plans: Vec<StepPlan>,
+}
+
+/// Result of driving a grid until it reached the target order (or a cap).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunOutcome {
+    /// Steps executed before the grid first read sorted. If the input was
+    /// already sorted this is `0`.
+    pub steps: u64,
+    /// Total swaps over those steps.
+    pub swaps: u64,
+    /// Total comparator evaluations over those steps.
+    pub comparisons: u64,
+    /// `false` when the step cap was hit before the grid sorted.
+    pub sorted: bool,
+}
+
+impl CycleSchedule {
+    /// Builds a schedule from the plans of one cycle, bounds-checking every
+    /// plan against a mesh of `cells` cells.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::EmptySchedule`] for an empty plan list, or the first
+    /// bounds violation from [`StepPlan::check_bounds`].
+    pub fn new(plans: Vec<StepPlan>, cells: usize) -> Result<Self, MeshError> {
+        if plans.is_empty() {
+            return Err(MeshError::EmptySchedule);
+        }
+        for p in &plans {
+            p.check_bounds(cells)?;
+        }
+        Ok(CycleSchedule { plans })
+    }
+
+    /// Number of steps in one cycle.
+    #[inline]
+    pub fn cycle_len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// The plan executed at (0-indexed) step `t`.
+    #[inline]
+    pub fn plan_at(&self, t: u64) -> &StepPlan {
+        &self.plans[(t % self.plans.len() as u64) as usize]
+    }
+
+    /// All plans of one cycle.
+    pub fn plans(&self) -> &[StepPlan] {
+        &self.plans
+    }
+
+    /// Executes exactly `steps` steps starting at step index `start`.
+    pub fn run_steps<T: Ord>(&self, grid: &mut Grid<T>, start: u64, steps: u64) -> StepOutcome {
+        let mut total = StepOutcome::default();
+        for t in start..start + steps {
+            total.absorb(apply_plan(grid, self.plan_at(t)));
+        }
+        total
+    }
+
+    /// Executes steps from index `0` until the grid first reads sorted in
+    /// `order`, checking after every step, up to `cap` steps.
+    ///
+    /// The sorted state of every algorithm in this workspace is a fixed
+    /// point of its schedule (tested in `meshsort-core`), so the first
+    /// sorted step is well defined and stable.
+    pub fn run_until_sorted<T: Ord>(
+        &self,
+        grid: &mut Grid<T>,
+        order: TargetOrder,
+        cap: u64,
+    ) -> RunOutcome {
+        let mut out =
+            RunOutcome { steps: 0, swaps: 0, comparisons: 0, sorted: grid.is_sorted(order) };
+        if out.sorted {
+            return out;
+        }
+        for t in 0..cap {
+            let step = apply_plan(grid, self.plan_at(t));
+            out.swaps += step.swaps;
+            out.comparisons += step.comparisons;
+            out.steps = t + 1;
+            if grid.is_sorted(order) {
+                out.sorted = true;
+                return out;
+            }
+        }
+        out
+    }
+
+    /// Like [`CycleSchedule::run_until_sorted`] but reporting every
+    /// exchange to a [`TraceSink`]. Used by the 0–1 observers.
+    pub fn run_until_sorted_traced<T: Ord, S: TraceSink>(
+        &self,
+        grid: &mut Grid<T>,
+        order: TargetOrder,
+        cap: u64,
+        sink: &mut S,
+    ) -> RunOutcome {
+        let mut out =
+            RunOutcome { steps: 0, swaps: 0, comparisons: 0, sorted: grid.is_sorted(order) };
+        if out.sorted {
+            return out;
+        }
+        for t in 0..cap {
+            let step = apply_plan_traced(grid, self.plan_at(t), t, sink);
+            out.swaps += step.swaps;
+            out.comparisons += step.comparisons;
+            out.steps = t + 1;
+            if grid.is_sorted(order) {
+                out.sorted = true;
+                return out;
+            }
+        }
+        out
+    }
+
+    /// Runs whole cycles until one full cycle performs zero swaps (a fixed
+    /// point of the schedule), up to `max_cycles` cycles. Returns the
+    /// number of cycles executed, or `None` if the cap was hit first.
+    ///
+    /// This is the termination notion for schedules whose fixed point is
+    /// not a target order (e.g. experimental variants).
+    pub fn run_to_fixed_point<T: Ord>(&self, grid: &mut Grid<T>, max_cycles: u64) -> Option<u64> {
+        for cycle in 0..max_cycles {
+            let out = self.run_steps(grid, cycle * self.plans.len() as u64, self.plans.len() as u64);
+            if out.swaps == 0 {
+                return Some(cycle);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Odd-even transposition on a 1×n grid expressed as a 2-step cycle —
+    /// a minimal end-to-end exercise of the schedule machinery. (The real
+    /// 1D implementation lives in `meshsort-linear`.)
+    fn odd_even_row_schedule(n: usize) -> CycleSchedule {
+        let odd: Vec<(u32, u32)> =
+            (0..n.saturating_sub(1)).step_by(2).map(|i| (i as u32, i as u32 + 1)).collect();
+        let even: Vec<(u32, u32)> =
+            (1..n.saturating_sub(1)).step_by(2).map(|i| (i as u32, i as u32 + 1)).collect();
+        CycleSchedule::new(
+            vec![StepPlan::from_pairs(odd).unwrap(), StepPlan::from_pairs(even).unwrap()],
+            n,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(CycleSchedule::new(vec![], 4).unwrap_err(), MeshError::EmptySchedule);
+    }
+
+    #[test]
+    fn rejects_out_of_bounds() {
+        let p = StepPlan::from_pairs(vec![(0, 9)]).unwrap();
+        assert!(matches!(
+            CycleSchedule::new(vec![p], 4),
+            Err(MeshError::IndexOutOfRange { index: 9, cells: 4 })
+        ));
+    }
+
+    #[test]
+    fn plan_cycles() {
+        let s = odd_even_row_schedule(4);
+        assert_eq!(s.cycle_len(), 2);
+        assert_eq!(s.plan_at(0), s.plan_at(2));
+        assert_eq!(s.plan_at(1), s.plan_at(3));
+        assert_ne!(s.plan_at(0), s.plan_at(1));
+    }
+
+    #[test]
+    fn sorts_a_reversed_line() {
+        // Classic result: odd-even transposition sorts n values in <= n
+        // steps. The flat row-major data of a 2×2 grid is a 4-cell line.
+        let s = odd_even_row_schedule(4);
+        let mut g = Grid::from_rows(2, vec![3u32, 2, 1, 0]).unwrap();
+        let out = s.run_until_sorted(&mut g, TargetOrder::RowMajor, 16);
+        assert!(out.sorted);
+        assert!(out.steps <= 4, "steps = {}", out.steps);
+        assert_eq!(g.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn already_sorted_is_zero_steps() {
+        let s = odd_even_row_schedule(4);
+        let mut g = Grid::from_rows(2, vec![0u32, 1, 2, 3]).unwrap();
+        let out = s.run_until_sorted(&mut g, TargetOrder::RowMajor, 16);
+        assert!(out.sorted);
+        assert_eq!(out.steps, 0);
+        assert_eq!(out.swaps, 0);
+    }
+
+    #[test]
+    fn cap_reports_unsorted() {
+        let s = odd_even_row_schedule(4);
+        let mut g = Grid::from_rows(2, vec![3u32, 2, 1, 0]).unwrap();
+        let out = s.run_until_sorted(&mut g, TargetOrder::RowMajor, 1);
+        assert!(!out.sorted);
+        assert_eq!(out.steps, 1);
+    }
+
+    #[test]
+    fn fixed_point_detection() {
+        let s = odd_even_row_schedule(4);
+        let mut g = Grid::from_rows(2, vec![3u32, 2, 1, 0]).unwrap();
+        let cycles = s.run_to_fixed_point(&mut g, 16).unwrap();
+        assert!(cycles <= 4);
+        assert_eq!(g.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn run_steps_counts() {
+        let s = odd_even_row_schedule(4);
+        let mut g = Grid::from_rows(2, vec![3u32, 2, 1, 0]).unwrap();
+        let out = s.run_steps(&mut g, 0, 2);
+        assert_eq!(out.comparisons, 3); // odd step: 2 comparators; even step: 1.
+        assert!(out.swaps >= 2);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        use crate::trace::SwapCounter;
+        let s = odd_even_row_schedule(4);
+        let mut a = Grid::from_rows(2, vec![2u32, 0, 3, 1]).unwrap();
+        let mut b = a.clone();
+        let mut counter = SwapCounter::default();
+        let oa = s.run_until_sorted(&mut a, TargetOrder::RowMajor, 16);
+        let ob = s.run_until_sorted_traced(&mut b, TargetOrder::RowMajor, 16, &mut counter);
+        assert_eq!(oa, ob);
+        assert_eq!(a, b);
+        assert_eq!(counter.total(), ob.swaps);
+    }
+}

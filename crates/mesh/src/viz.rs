@@ -1,0 +1,186 @@
+//! ASCII visualisation of step plans and grids — for examples, docs, and
+//! debugging mis-assembled schedules.
+//!
+//! A step plan renders as the mesh with arrows showing each comparator's
+//! keep-min direction:
+//!
+//! ```text
+//! ·<>·  ·<>·        ·  is an idle cell
+//! ∨  ∨  ∨  ∨        <> is a row comparator (min kept left)
+//! ·  ·  ·  ·        >< is a reversed row comparator (min kept right)
+//! ```
+
+use crate::grid::Grid;
+use crate::plan::StepPlan;
+use crate::pos::Pos;
+
+/// How one cell participates in a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Idle,
+    RowLeftMin,   // left end of a forward row comparator
+    RowRightMin,  // left end of a reversed row comparator
+    ColTop,       // top end of a column comparator
+    WrapOut,      // the (r, last) end of a wrap wire
+}
+
+fn roles(plan: &StepPlan, side: usize) -> Vec<Role> {
+    let mut roles = vec![Role::Idle; side * side];
+    for c in plan.comparators() {
+        let a = Pos::from_flat(c.keep_min as usize, side);
+        let b = Pos::from_flat(c.keep_max as usize, side);
+        if a.row == b.row {
+            if a.col + 1 == b.col {
+                roles[a.flat(side)] = Role::RowLeftMin;
+            } else if b.col + 1 == a.col {
+                roles[b.flat(side)] = Role::RowRightMin;
+            }
+        } else if a.col == b.col && a.row + 1 == b.row {
+            roles[a.flat(side)] = Role::ColTop;
+        } else {
+            // Wrap wire: keep_min at (r, last), keep_max at (r+1, 0).
+            roles[a.flat(side)] = Role::WrapOut;
+        }
+    }
+    roles
+}
+
+/// Renders a step plan as `2·side − 1` text lines: cell rows interleaved
+/// with column-comparator rows.
+pub fn render_plan(plan: &StepPlan, side: usize) -> String {
+    let roles = roles(plan, side);
+    let mut out = String::new();
+    for r in 0..side {
+        // Cell row: idle cells are `·`; row comparators render as `<>`
+        // (forward) or `><` (reverse) between the two cells; wrap exits
+        // render as `@`.
+        let mut line = String::new();
+        let mut c = 0;
+        while c < side {
+            match roles[r * side + c] {
+                Role::RowLeftMin => {
+                    line.push_str("o<>o");
+                    c += 2;
+                }
+                Role::RowRightMin => {
+                    line.push_str("o><o");
+                    c += 2;
+                }
+                Role::WrapOut => {
+                    line.push('@');
+                    c += 1;
+                }
+                _ => {
+                    line.push('.');
+                    c += 1;
+                }
+            }
+            if c < side {
+                line.push(' ');
+            }
+        }
+        out.push_str(line.trim_end());
+        out.push('\n');
+        // Column-comparator row.
+        if r + 1 < side {
+            let mut line = String::new();
+            for c in 0..side {
+                line.push(if roles[r * side + c] == Role::ColTop { 'v' } else { ' ' });
+                if c + 1 < side {
+                    line.push_str("    ");
+                }
+            }
+            let trimmed = line.trim_end();
+            if !trimmed.is_empty() {
+                out.push_str(trimmed);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// Renders a grid and a plan side by side: values with `*` marking the
+/// cells the plan touches.
+pub fn render_grid_with_plan<T: std::fmt::Display>(
+    grid: &Grid<T>,
+    plan: &StepPlan,
+) -> String {
+    let side = grid.side();
+    let mut touched = vec![false; side * side];
+    for c in plan.comparators() {
+        touched[c.keep_min as usize] = true;
+        touched[c.keep_max as usize] = true;
+    }
+    let mut out = String::new();
+    for r in 0..side {
+        let cells: Vec<String> = (0..side)
+            .map(|c| {
+                let mark = if touched[r * side + c] { "*" } else { " " };
+                format!("{:>4}{mark}", grid.get(r, c))
+            })
+            .collect();
+        out.push_str(&cells.join(""));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::Comparator;
+
+    #[test]
+    fn renders_forward_row_comparator() {
+        let plan = StepPlan::from_pairs(vec![(0, 1)]).unwrap();
+        let s = render_plan(&plan, 2);
+        assert!(s.contains("o<>o"), "{s}");
+    }
+
+    #[test]
+    fn renders_reverse_row_comparator() {
+        let plan = StepPlan::new(vec![Comparator::new(1, 0)]).unwrap();
+        let s = render_plan(&plan, 2);
+        assert!(s.contains("o><o"), "{s}");
+    }
+
+    #[test]
+    fn renders_column_comparator() {
+        let plan = StepPlan::from_pairs(vec![(0, 2)]).unwrap(); // (0,0)-(1,0) on side 2
+        let s = render_plan(&plan, 2);
+        assert!(s.contains('v'), "{s}");
+    }
+
+    #[test]
+    fn renders_wrap_wire() {
+        // side 2: wrap from (0,1)=idx 1 to (1,0)=idx 2, min kept at idx 1.
+        let plan = StepPlan::from_pairs(vec![(1, 2)]).unwrap();
+        let s = render_plan(&plan, 2);
+        assert!(s.contains('@'), "{s}");
+    }
+
+    #[test]
+    fn empty_plan_renders_idle_mesh() {
+        let s = render_plan(&StepPlan::empty(), 3);
+        assert_eq!(s.matches('.').count(), 9);
+        assert!(!s.contains('v'));
+    }
+
+    #[test]
+    fn line_count_is_bounded() {
+        let plan = StepPlan::from_pairs(vec![(0, 4), (1, 5), (2, 6), (3, 7)]).unwrap();
+        let s = render_plan(&plan, 4);
+        assert!(s.lines().count() <= 2 * 4 - 1);
+    }
+
+    #[test]
+    fn grid_with_plan_marks_touched_cells() {
+        let grid = Grid::from_rows(2, vec![10u32, 20, 30, 40]).unwrap();
+        let plan = StepPlan::from_pairs(vec![(0, 1)]).unwrap();
+        let s = render_grid_with_plan(&grid, &plan);
+        assert!(s.contains("10*"));
+        assert!(s.contains("20*"));
+        assert!(s.contains("30 "));
+    }
+}

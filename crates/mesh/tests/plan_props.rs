@@ -1,0 +1,146 @@
+//! Property-based tests for the mesh substrate: plan validation, engine
+//! semantics, order bijections, and network composition.
+
+use meshsort_mesh::network::ComparatorNetwork;
+use meshsort_mesh::plan::{Comparator, StepPlan};
+use meshsort_mesh::{apply_plan, Grid, Pos, TargetOrder};
+use proptest::prelude::*;
+
+/// A random valid step plan on `cells` cells: a random matching over a
+/// shuffled cell list, with random comparator directions.
+fn arb_plan(cells: usize) -> impl Strategy<Value = StepPlan> {
+    let indices: Vec<u32> = (0..cells as u32).collect();
+    (Just(indices).prop_shuffle(), prop::collection::vec(any::<bool>(), cells / 2)).prop_map(
+        |(order, dirs)| {
+            let comparators: Vec<Comparator> = order
+                .chunks_exact(2)
+                .zip(dirs)
+                .map(|(pair, rev)| {
+                    if rev {
+                        Comparator::new(pair[1], pair[0])
+                    } else {
+                        Comparator::new(pair[0], pair[1])
+                    }
+                })
+                .collect();
+            StepPlan::new(comparators).expect("matching is disjoint")
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn engine_preserves_multiset(
+        data in prop::collection::vec(0u32..100, 16),
+        plan in arb_plan(16),
+    ) {
+        let mut grid = Grid::from_rows(4, data.clone()).unwrap();
+        apply_plan(&mut grid, &plan);
+        let mut before = data;
+        let mut after = grid.into_vec();
+        before.sort_unstable();
+        after.sort_unstable();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn engine_establishes_comparator_postcondition(
+        data in prop::collection::vec(0u32..100, 16),
+        plan in arb_plan(16),
+    ) {
+        let mut grid = Grid::from_rows(4, data).unwrap();
+        apply_plan(&mut grid, &plan);
+        for c in plan.comparators() {
+            prop_assert!(
+                grid.as_slice()[c.keep_min as usize] <= grid.as_slice()[c.keep_max as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn engine_is_idempotent_per_plan(
+        data in prop::collection::vec(0u32..100, 16),
+        plan in arb_plan(16),
+    ) {
+        let mut grid = Grid::from_rows(4, data).unwrap();
+        apply_plan(&mut grid, &plan);
+        let snapshot = grid.clone();
+        let second = apply_plan(&mut grid, &plan);
+        prop_assert_eq!(second.swaps, 0);
+        prop_assert_eq!(grid, snapshot);
+    }
+
+    #[test]
+    fn swaps_never_exceed_comparisons(
+        data in prop::collection::vec(0u32..10, 16),
+        plan in arb_plan(16),
+    ) {
+        let mut grid = Grid::from_rows(4, data).unwrap();
+        let out = apply_plan(&mut grid, &plan);
+        prop_assert!(out.swaps <= out.comparisons);
+        prop_assert_eq!(out.comparisons, plan.len() as u64);
+    }
+
+    #[test]
+    fn order_bijection(side in 1usize..12, seed in any::<u64>()) {
+        let order = if seed % 2 == 0 { TargetOrder::RowMajor } else { TargetOrder::Snake };
+        let rank = (seed as usize) % (side * side);
+        let pos = order.pos_of_rank(rank, side);
+        prop_assert!(pos.row < side && pos.col < side);
+        prop_assert_eq!(order.rank_of(pos, side), rank);
+    }
+
+    #[test]
+    fn rank_adjacency_is_mesh_adjacency_for_snake(side in 2usize..10, rank in 0usize..80) {
+        // Consecutive snake ranks are mesh neighbours — the property that
+        // makes the snake order realizable by nearest-neighbour moves.
+        let rank = rank % (side * side - 1);
+        let a = TargetOrder::Snake.pos_of_rank(rank, side);
+        let b = TargetOrder::Snake.pos_of_rank(rank + 1, side);
+        prop_assert_eq!(a.manhattan(b), 1);
+    }
+
+    #[test]
+    fn sorted_copy_is_sorted_and_same_multiset(
+        side in 2usize..6,
+        seed in any::<u64>(),
+    ) {
+        let data: Vec<u32> =
+            (0..side * side).map(|i| ((seed >> (i % 48)) & 0xF) as u32).collect();
+        let grid = Grid::from_rows(side, data.clone()).unwrap();
+        for order in [TargetOrder::RowMajor, TargetOrder::Snake] {
+            let sorted = grid.sorted_copy(order);
+            prop_assert!(sorted.is_sorted(order));
+            let mut a = data.clone();
+            let mut b = sorted.into_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn network_composition_adds_depth_and_size(
+        p1 in arb_plan(16),
+        p2 in arb_plan(16),
+    ) {
+        let a = ComparatorNetwork::new(4, vec![p1]).unwrap();
+        let b = ComparatorNetwork::new(4, vec![p2]).unwrap();
+        let ab = a.then(&b);
+        prop_assert_eq!(ab.depth(), a.depth() + b.depth());
+        prop_assert_eq!(ab.size(), a.size() + b.size());
+    }
+
+    #[test]
+    fn overlapping_plans_rejected(i in 0u32..15, j in 0u32..15) {
+        let j2 = if j == i { (j + 1) % 16 } else { j };
+        // Two comparators sharing cell i must be rejected.
+        let k = (i + 7) % 16;
+        let k = if k == j2 || k == i { (k + 1) % 16 } else { k };
+        prop_assume!(i != j2 && i != k && j2 != k);
+        let res = StepPlan::from_pairs(vec![(i, j2), (k, i)]);
+        prop_assert!(res.is_err());
+    }
+}

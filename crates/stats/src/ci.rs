@@ -1,0 +1,138 @@
+//! Confidence intervals and bound-consistency checks.
+
+use crate::welford::RunningStats;
+use serde::{Deserialize, Serialize};
+
+/// A two-sided confidence interval for a mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfidenceInterval {
+    /// Point estimate (sample mean).
+    pub mean: f64,
+    /// Lower endpoint.
+    pub lo: f64,
+    /// Upper endpoint.
+    pub hi: f64,
+    /// The z-multiplier used.
+    pub z: f64,
+}
+
+impl ConfidenceInterval {
+    /// Normal-approximation interval `mean ± z · stderr` from running
+    /// statistics. `z = 1.96` ≈ 95%, `z = 2.576` ≈ 99%,
+    /// `z = 3.29` ≈ 99.9%.
+    pub fn normal(stats: &RunningStats, z: f64) -> Self {
+        let mean = stats.mean();
+        let half = z * stats.std_error();
+        ConfidenceInterval { mean, lo: mean - half, hi: mean + half, z }
+    }
+
+    /// Interval half-width.
+    pub fn half_width(&self) -> f64 {
+        (self.hi - self.lo) / 2.0
+    }
+
+    /// `true` when `value` lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        self.lo <= value && value <= self.hi
+    }
+}
+
+/// Verdict of comparing a measurement against a theoretical bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BoundCheck {
+    /// The entire confidence interval respects the bound.
+    Holds,
+    /// The interval straddles the bound (inconclusive at this sample size).
+    Marginal,
+    /// The entire interval violates the bound.
+    Violated,
+}
+
+/// Checks a sample mean against a theoretical lower bound: the paper's
+/// `E[steps] ≥ bound` claims hold when the measured mean (minus sampling
+/// error) stays at or above `bound`.
+pub fn check_lower_bound(stats: &RunningStats, bound: f64, z: f64) -> BoundCheck {
+    let ci = ConfidenceInterval::normal(stats, z);
+    if ci.lo >= bound {
+        BoundCheck::Holds
+    } else if ci.hi >= bound {
+        BoundCheck::Marginal
+    } else {
+        BoundCheck::Violated
+    }
+}
+
+/// Checks agreement with an exact theoretical value: holds when the value
+/// lies inside the interval.
+pub fn check_exact_value(stats: &RunningStats, value: f64, z: f64) -> BoundCheck {
+    let ci = ConfidenceInterval::normal(stats, z);
+    if ci.contains(value) {
+        BoundCheck::Holds
+    } else {
+        // Distinguish near misses (within 2 half-widths) from clear
+        // disagreement.
+        let dist = (stats.mean() - value).abs();
+        if dist <= 2.0 * ci.half_width() {
+            BoundCheck::Marginal
+        } else {
+            BoundCheck::Violated
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_of(xs: &[f64]) -> RunningStats {
+        let mut s = RunningStats::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    #[test]
+    fn normal_interval_shape() {
+        let s = stats_of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let ci = ConfidenceInterval::normal(&s, 1.96);
+        assert!((ci.mean - 3.0).abs() < 1e-12);
+        assert!(ci.lo < 3.0 && ci.hi > 3.0);
+        assert!((ci.half_width() - 1.96 * s.std_error()).abs() < 1e-12);
+        assert!(ci.contains(3.0));
+        assert!(!ci.contains(100.0));
+    }
+
+    #[test]
+    fn lower_bound_checks() {
+        let xs: Vec<f64> = (0..100).map(|i| 10.0 + (i % 3) as f64).collect();
+        let s = stats_of(&xs);
+        assert_eq!(check_lower_bound(&s, 5.0, 1.96), BoundCheck::Holds);
+        assert_eq!(check_lower_bound(&s, 20.0, 1.96), BoundCheck::Violated);
+        // A bound exactly at the mean is marginal.
+        assert_eq!(check_lower_bound(&s, s.mean(), 1.96), BoundCheck::Marginal);
+    }
+
+    #[test]
+    fn exact_value_checks() {
+        let xs: Vec<f64> = (0..1000).map(|i| (i % 2) as f64).collect();
+        let s = stats_of(&xs);
+        assert_eq!(check_exact_value(&s, 0.5, 2.576), BoundCheck::Holds);
+        assert_eq!(check_exact_value(&s, 0.9, 2.576), BoundCheck::Violated);
+    }
+
+    #[test]
+    fn interval_narrows_with_samples() {
+        let mut small = RunningStats::new();
+        let mut large = RunningStats::new();
+        for i in 0..20 {
+            small.push((i % 5) as f64);
+        }
+        for i in 0..20_000 {
+            large.push((i % 5) as f64);
+        }
+        let ci_small = ConfidenceInterval::normal(&small, 1.96);
+        let ci_large = ConfidenceInterval::normal(&large, 1.96);
+        assert!(ci_large.half_width() < ci_small.half_width() / 10.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Chi-square goodness-of-fit: does an empirical category distribution
+//! match a theoretical pmf?
+//!
+//! Used by the integration suite to compare Monte-Carlo samples of `Z₁`
+//! against the *exact* law derived in `meshsort-exact::distribution` —
+//! a distribution-level check, stronger than the mean/variance agreement
+//! the per-experiment tables report.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a chi-square test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChiSquare {
+    /// The test statistic `Σ (obs − exp)² / exp` over the kept bins.
+    pub statistic: f64,
+    /// Degrees of freedom (kept bins − 1).
+    pub dof: usize,
+    /// Approximate p-value `P(χ²_dof ≥ statistic)`.
+    pub p_value: f64,
+}
+
+/// Regularized upper incomplete gamma `Q(a, x) = Γ(a, x)/Γ(a)` by series
+/// (for `x < a + 1`) or continued fraction (otherwise) — the standard
+/// numerical-recipes split, accurate to ~1e-10 over the range used here.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_q domain");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        // P(a, x) by series; Q = 1 − P.
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        let mut ap = a;
+        for _ in 0..500 {
+            ap += 1.0;
+            term *= x / ap;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-14 {
+                break;
+            }
+        }
+        1.0 - sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+    } else {
+        // Q(a, x) by Lentz continued fraction.
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-14 {
+                break;
+            }
+        }
+        (-x + a * x.ln() - ln_gamma(a)).exp() * h
+    }
+}
+
+/// `ln Γ(z)` by the Lanczos approximation (g = 7, 9 coefficients).
+pub fn ln_gamma(z: f64) -> f64 {
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if z < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln() - (std::f64::consts::PI * z).sin().ln() - ln_gamma(1.0 - z);
+    }
+    let z = z - 1.0;
+    let mut x = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        x += c / (z + i as f64);
+    }
+    let t = z + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (z + 0.5) * t.ln() - t + x.ln()
+}
+
+/// `P(χ²_dof ≥ x)`.
+pub fn chi_square_survival(dof: usize, x: f64) -> f64 {
+    assert!(dof >= 1, "need at least one degree of freedom");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    gamma_q(dof as f64 / 2.0, x / 2.0)
+}
+
+/// Pearson chi-square test of observed counts against expected
+/// probabilities. Bins with expected count below `min_expected`
+/// (conventionally 5) are pooled into their neighbour to keep the
+/// χ² approximation valid.
+///
+/// # Panics
+///
+/// Panics when lengths differ, probabilities don't sum to ≈1, or fewer
+/// than 2 bins survive pooling.
+pub fn chi_square_test(observed: &[u64], expected_probs: &[f64], min_expected: f64) -> ChiSquare {
+    assert_eq!(observed.len(), expected_probs.len(), "length mismatch");
+    let total: u64 = observed.iter().sum();
+    let prob_sum: f64 = expected_probs.iter().sum();
+    assert!((prob_sum - 1.0).abs() < 1e-6, "probabilities sum to {prob_sum}");
+    assert!(total > 0, "no observations");
+
+    // Pool low-expectation bins left-to-right.
+    let mut pooled: Vec<(f64, f64)> = Vec::new(); // (obs, exp)
+    let mut acc_obs = 0.0;
+    let mut acc_exp = 0.0;
+    for (&o, &p) in observed.iter().zip(expected_probs) {
+        acc_obs += o as f64;
+        acc_exp += p * total as f64;
+        if acc_exp >= min_expected {
+            pooled.push((acc_obs, acc_exp));
+            acc_obs = 0.0;
+            acc_exp = 0.0;
+        }
+    }
+    if acc_exp > 0.0 || acc_obs > 0.0 {
+        if let Some(last) = pooled.last_mut() {
+            last.0 += acc_obs;
+            last.1 += acc_exp;
+        } else {
+            pooled.push((acc_obs, acc_exp));
+        }
+    }
+    assert!(pooled.len() >= 2, "need at least 2 bins after pooling");
+
+    let statistic: f64 =
+        pooled.iter().map(|(o, e)| (o - e) * (o - e) / e).sum();
+    let dof = pooled.len() - 1;
+    ChiSquare { statistic, dof, p_value: chi_square_survival(dof, statistic) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1) = 1, Γ(2) = 1, Γ(5) = 24, Γ(0.5) = √π.
+        assert!((ln_gamma(1.0)).abs() < 1e-12);
+        assert!((ln_gamma(2.0)).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn chi_square_critical_values() {
+        // Textbook 5% critical values: χ²₁ = 3.841, χ²₅ = 11.070,
+        // χ²₁₀ = 18.307.
+        assert!((chi_square_survival(1, 3.841) - 0.05).abs() < 1e-3);
+        assert!((chi_square_survival(5, 11.070) - 0.05).abs() < 1e-3);
+        assert!((chi_square_survival(10, 18.307) - 0.05).abs() < 1e-3);
+        // And the 1% point for df 1: 6.635.
+        assert!((chi_square_survival(1, 6.635) - 0.01).abs() < 5e-4);
+    }
+
+    #[test]
+    fn survival_edges() {
+        assert_eq!(chi_square_survival(3, 0.0), 1.0);
+        assert!(chi_square_survival(3, 100.0) < 1e-12);
+        assert!(chi_square_survival(3, 1e-9) > 0.999);
+    }
+
+    #[test]
+    fn perfect_fit_high_p() {
+        // Observations exactly proportional to the pmf.
+        let probs = [0.25, 0.25, 0.25, 0.25];
+        let obs = [250u64, 250, 250, 250];
+        let t = chi_square_test(&obs, &probs, 5.0);
+        assert!(t.statistic < 1e-9);
+        assert!(t.p_value > 0.999);
+        assert_eq!(t.dof, 3);
+    }
+
+    #[test]
+    fn gross_mismatch_low_p() {
+        let probs = [0.5, 0.5];
+        let obs = [900u64, 100];
+        let t = chi_square_test(&obs, &probs, 5.0);
+        assert!(t.p_value < 1e-6, "{t:?}");
+    }
+
+    #[test]
+    fn pooling_merges_thin_bins() {
+        // Tail bins with tiny expectation pool into one.
+        let probs = [0.96, 0.01, 0.01, 0.01, 0.01];
+        let obs = [960u64, 10, 11, 9, 10];
+        let t = chi_square_test(&obs, &probs, 5.0);
+        // 0.96·1000 = 960 (kept), then 10+10+10+10 = 40 pooled as they
+        // accumulate past 5: bins of expectation 10 each survive alone.
+        assert!(t.dof >= 2);
+        assert!(t.p_value > 0.5, "{t:?}");
+    }
+
+    #[test]
+    fn fair_die_simulation() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let mut obs = [0u64; 6];
+        for _ in 0..6000 {
+            obs[rng.random_range(0..6)] += 1;
+        }
+        let probs = [1.0 / 6.0; 6];
+        let t = chi_square_test(&obs, &probs, 5.0);
+        assert!(t.p_value > 0.001, "fair die rejected: {t:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = chi_square_test(&[1, 2], &[1.0], 5.0);
+    }
+}

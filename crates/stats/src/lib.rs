@@ -1,0 +1,32 @@
+//! # meshsort-stats — Monte-Carlo machinery for the experiment harness
+//!
+//! The paper's average-case statements are about expectations and tail
+//! probabilities over uniformly random permutations. This crate provides
+//! the measurement side:
+//!
+//! * [`rng`] — deterministic seed derivation (SplitMix64 streams) so that
+//!   every experiment is exactly reproducible regardless of thread count;
+//! * [`welford`] — numerically stable running mean/variance with merging;
+//! * [`ci`] — normal-approximation confidence intervals and Chebyshev
+//!   checks;
+//! * [`histogram`] — fixed-bin histograms and empirical quantiles;
+//! * [`tail`] — empirical `P[X < γN]` estimates for the concentration
+//!   theorems (Theorems 3, 5, 8, 11, 12);
+//! * [`parallel`] — a scoped-thread trial executor (crossbeam) with
+//!   per-trial deterministic sub-seeds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ci;
+pub mod gof;
+pub mod histogram;
+pub mod parallel;
+pub mod rng;
+pub mod sequential;
+pub mod tail;
+pub mod welford;
+
+pub use parallel::run_trials;
+pub use rng::SeedSequence;
+pub use welford::RunningStats;

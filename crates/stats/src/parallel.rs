@@ -1,0 +1,172 @@
+//! Parallel Monte-Carlo trial execution.
+//!
+//! Design (see DESIGN.md §6): trials are indexed `0..trials`; each trial
+//! derives its own RNG from the [`SeedSequence`], so results are
+//! *identical* for any thread count — the partition of indices over
+//! threads only affects scheduling, never randomness. Per-thread partial
+//! results are merged through a caller-supplied monoid.
+
+use crate::rng::SeedSequence;
+use rand::rngs::StdRng;
+
+/// Runs `trials` independent trials, in parallel across `threads` worker
+/// threads, each trial receiving `(trial_index, its own StdRng)`.
+///
+/// `make_acc` creates one accumulator per worker; `trial` folds one trial
+/// result into the worker's accumulator; `merge` combines two
+/// accumulators. Returns the combined accumulator.
+///
+/// Determinism contract: for fixed `seeds` and `trials`, the multiset of
+/// per-trial contributions is identical regardless of `threads`; the
+/// merged result is identical as long as `merge` is commutative and
+/// associative (all accumulators in this workspace are, up to
+/// floating-point rounding — partials are merged in worker-index order to
+/// pin even that down).
+pub fn run_trials<A, Make, Trial, Merge>(
+    seeds: SeedSequence,
+    trials: u64,
+    threads: usize,
+    make_acc: Make,
+    trial: Trial,
+    merge: Merge,
+) -> A
+where
+    A: Send,
+    Make: Fn() -> A + Sync,
+    Trial: Fn(u64, &mut StdRng, &mut A) + Sync,
+    Merge: Fn(&mut A, A),
+{
+    let threads = threads.max(1).min(trials.max(1) as usize);
+    if threads == 1 {
+        let mut acc = make_acc();
+        for i in 0..trials {
+            let mut rng = seeds.rng_for(i);
+            trial(i, &mut rng, &mut acc);
+        }
+        return acc;
+    }
+
+    // Static block partition: worker w handles indices [lo_w, hi_w).
+    let per = trials / threads as u64;
+    let rem = trials % threads as u64;
+    let mut partials: Vec<Option<A>> = (0..threads).map(|_| None).collect();
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        for (w, slot) in partials.iter_mut().enumerate() {
+            let seeds = seeds;
+            let make_acc = &make_acc;
+            let trial = &trial;
+            let lo = w as u64 * per + (w as u64).min(rem);
+            let hi = lo + per + if (w as u64) < rem { 1 } else { 0 };
+            handles.push(scope.spawn(move |_| {
+                let mut acc = make_acc();
+                for i in lo..hi {
+                    let mut rng = seeds.rng_for(i);
+                    trial(i, &mut rng, &mut acc);
+                }
+                *slot = Some(acc);
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker thread panicked");
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    let mut iter = partials.into_iter().map(|p| p.expect("worker finished"));
+    let mut acc = iter.next().expect("at least one worker");
+    for p in iter {
+        merge(&mut acc, p);
+    }
+    acc
+}
+
+/// Reasonable default worker count: the number of available CPUs, capped
+/// to keep small experiments cheap.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::welford::RunningStats;
+    use rand::Rng;
+
+    fn mean_of_uniforms(trials: u64, threads: usize, seed: u64) -> RunningStats {
+        run_trials(
+            SeedSequence::new(seed),
+            trials,
+            threads,
+            RunningStats::new,
+            |_i, rng, acc: &mut RunningStats| {
+                acc.push(rng.random::<f64>());
+            },
+            |a, b| a.merge(&b),
+        )
+    }
+
+    #[test]
+    fn single_thread_baseline() {
+        let s = mean_of_uniforms(1000, 1, 7);
+        assert_eq!(s.count(), 1000);
+        assert!((s.mean() - 0.5).abs() < 0.05, "{}", s.mean());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let baseline = mean_of_uniforms(500, 1, 42);
+        for threads in [2usize, 3, 4, 8] {
+            let s = mean_of_uniforms(500, threads, 42);
+            assert_eq!(s.count(), baseline.count());
+            // Merge order is fixed (worker index), but allow f64 jitter.
+            assert!(
+                (s.mean() - baseline.mean()).abs() < 1e-12,
+                "threads={threads}: {} vs {}",
+                s.mean(),
+                baseline.mean()
+            );
+            assert!((s.variance() - baseline.variance()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn trial_indices_cover_exactly_once() {
+        let seen = run_trials(
+            SeedSequence::new(1),
+            97, // prime, uneven split
+            4,
+            Vec::<u64>::new,
+            |i, _rng, acc: &mut Vec<u64>| acc.push(i),
+            |a, mut b| a.append(&mut b),
+        );
+        let mut seen = seen;
+        seen.sort_unstable();
+        assert_eq!(seen, (0..97).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_trials() {
+        let s = mean_of_uniforms(0, 4, 9);
+        assert_eq!(s.count(), 0);
+    }
+
+    #[test]
+    fn more_threads_than_trials() {
+        let s = mean_of_uniforms(3, 16, 5);
+        assert_eq!(s.count(), 3);
+    }
+
+    #[test]
+    fn seed_changes_results() {
+        let a = mean_of_uniforms(100, 2, 1);
+        let b = mean_of_uniforms(100, 2, 2);
+        assert_ne!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn default_threads_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Adaptive (sequential) sampling: run trials until the confidence
+//! interval of the mean is tight enough, instead of fixing the trial
+//! count in advance.
+//!
+//! The experiment harness mostly uses fixed budgets for reproducible
+//! tables, but exploratory use (and the examples) benefit from "sample
+//! until ±ε" semantics.
+
+use crate::rng::SeedSequence;
+use crate::welford::RunningStats;
+use rand::rngs::StdRng;
+
+/// Stopping rule for sequential sampling.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StopRule {
+    /// Target half-width of the `z`-interval around the mean (absolute).
+    pub half_width: f64,
+    /// The z multiplier (1.96 ≈ 95%).
+    pub z: f64,
+    /// Minimum trials before the rule may fire (variance estimates are
+    /// unstable below ~30).
+    pub min_trials: u64,
+    /// Hard cap on trials.
+    pub max_trials: u64,
+}
+
+impl StopRule {
+    /// A 95% rule with sensible defaults.
+    pub fn within(half_width: f64) -> Self {
+        StopRule { half_width, z: 1.96, min_trials: 32, max_trials: 1_000_000 }
+    }
+
+    /// Should sampling stop given the current statistics?
+    pub fn satisfied(&self, stats: &RunningStats) -> bool {
+        if stats.count() < self.min_trials {
+            return false;
+        }
+        if stats.count() >= self.max_trials {
+            return true;
+        }
+        self.z * stats.std_error() <= self.half_width
+    }
+}
+
+/// Result of a sequential run.
+#[derive(Debug, Clone, Copy)]
+pub struct SequentialResult {
+    /// The accumulated statistics at stopping time.
+    pub stats: RunningStats,
+    /// `true` when the precision target was met (vs the cap firing).
+    pub converged: bool,
+}
+
+/// Samples `f` sequentially (single-threaded, trial indices 0, 1, …)
+/// until `rule` fires. Deterministic given `seeds`.
+pub fn sample_until(
+    seeds: SeedSequence,
+    rule: StopRule,
+    mut f: impl FnMut(&mut StdRng) -> f64,
+) -> SequentialResult {
+    let mut stats = RunningStats::new();
+    let mut i = 0u64;
+    loop {
+        if rule.satisfied(&stats) {
+            let converged = rule.z * stats.std_error() <= rule.half_width;
+            return SequentialResult { stats, converged };
+        }
+        let mut rng = seeds.rng_for(i);
+        stats.push(f(&mut rng));
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn stops_once_precise() {
+        let rule = StopRule::within(0.05);
+        let result = sample_until(SeedSequence::new(1), rule, |rng| rng.random::<f64>());
+        assert!(result.converged);
+        assert!(result.stats.count() >= rule.min_trials);
+        assert!(1.96 * result.stats.std_error() <= 0.05);
+        // Uniform(0,1) mean is 1/2; the CI must contain it.
+        assert!((result.stats.mean() - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn tighter_rule_needs_more_trials() {
+        let loose = sample_until(SeedSequence::new(2), StopRule::within(0.1), |rng| {
+            rng.random::<f64>()
+        });
+        let tight = sample_until(SeedSequence::new(2), StopRule::within(0.01), |rng| {
+            rng.random::<f64>()
+        });
+        assert!(tight.stats.count() > 4 * loose.stats.count());
+    }
+
+    #[test]
+    fn cap_fires_for_impossible_precision() {
+        let rule = StopRule { half_width: 1e-12, z: 1.96, min_trials: 8, max_trials: 200 };
+        let result = sample_until(SeedSequence::new(3), rule, |rng| rng.random::<f64>());
+        assert_eq!(result.stats.count(), 200);
+        assert!(!result.converged);
+    }
+
+    #[test]
+    fn zero_variance_stops_at_min_trials() {
+        let rule = StopRule::within(0.5);
+        let result = sample_until(SeedSequence::new(4), rule, |_| 7.0);
+        assert_eq!(result.stats.count(), rule.min_trials);
+        assert!(result.converged);
+        assert_eq!(result.stats.mean(), 7.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let rule = StopRule::within(0.05);
+        let a = sample_until(SeedSequence::new(5), rule, |rng| rng.random::<f64>());
+        let b = sample_until(SeedSequence::new(5), rule, |rng| rng.random::<f64>());
+        assert_eq!(a.stats.count(), b.stats.count());
+        assert_eq!(a.stats.mean(), b.stats.mean());
+    }
+}

@@ -1,0 +1,167 @@
+//! Empirical tail probabilities for the concentration theorems.
+//!
+//! Theorems 3, 5, 8 and 11 state that for suitable constants `c`
+//! (½, ⅜, ½, ½), the probability that a random permutation sorts in fewer
+//! than `γN` steps vanishes as `N → ∞` for any `γ < c`. The natural
+//! empirical object is `P̂[X < γN]` over a grid of `γ` values.
+
+use serde::{Deserialize, Serialize};
+
+/// Empirical estimate of `P[X < threshold]` for several thresholds at
+/// once, from streamed observations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TailEstimator {
+    thresholds: Vec<f64>,
+    below: Vec<u64>,
+    count: u64,
+}
+
+impl TailEstimator {
+    /// Creates an estimator for the given thresholds.
+    pub fn new(thresholds: Vec<f64>) -> Self {
+        let below = vec![0; thresholds.len()];
+        TailEstimator { thresholds, below, count: 0 }
+    }
+
+    /// Thresholds `γ·N` for a grid of `γ` values.
+    pub fn for_gammas(gammas: &[f64], n_cells: usize) -> Self {
+        Self::new(gammas.iter().map(|g| g * n_cells as f64).collect())
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        for (t, b) in self.thresholds.iter().zip(self.below.iter_mut()) {
+            if x < *t {
+                *b += 1;
+            }
+        }
+    }
+
+    /// Merges another estimator with identical thresholds.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the thresholds differ.
+    pub fn merge(&mut self, other: &TailEstimator) {
+        assert_eq!(self.thresholds, other.thresholds, "threshold mismatch");
+        for (a, b) in self.below.iter_mut().zip(other.below.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The thresholds.
+    pub fn thresholds(&self) -> &[f64] {
+        &self.thresholds
+    }
+
+    /// `(threshold, P̂[X < threshold])` pairs.
+    pub fn estimates(&self) -> Vec<(f64, f64)> {
+        self.thresholds
+            .iter()
+            .zip(self.below.iter())
+            .map(|(&t, &b)| (t, if self.count == 0 { f64::NAN } else { b as f64 / self.count as f64 }))
+            .collect()
+    }
+
+    /// Estimate for threshold index `i`.
+    pub fn estimate(&self, i: usize) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.below[i] as f64 / self.count as f64
+        }
+    }
+
+    /// Upper endpoint of the Clopper-Pearson-ish (here: normal approx +
+    /// continuity floor) 95% interval for estimate `i`; conservative for
+    /// zero counts (`≈ 3/n`, the rule of three).
+    pub fn upper95(&self, i: usize) -> f64 {
+        if self.count == 0 {
+            return 1.0;
+        }
+        let n = self.count as f64;
+        let p = self.below[i] as f64 / n;
+        if self.below[i] == 0 {
+            3.0 / n
+        } else {
+            (p + 1.96 * (p * (1.0 - p) / n).sqrt()).min(1.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_below_thresholds() {
+        let mut t = TailEstimator::new(vec![5.0, 10.0]);
+        for x in [1.0, 4.9, 5.0, 9.0, 20.0] {
+            t.push(x);
+        }
+        let est = t.estimates();
+        assert_eq!(t.count(), 5);
+        assert!((est[0].1 - 2.0 / 5.0).abs() < 1e-12); // 1.0, 4.9 < 5
+        assert!((est[1].1 - 4.0 / 5.0).abs() < 1e-12); // all but 20
+    }
+
+    #[test]
+    fn gamma_grid_construction() {
+        let t = TailEstimator::for_gammas(&[0.1, 0.25, 0.5], 64);
+        assert_eq!(t.thresholds(), &[6.4, 16.0, 32.0]);
+    }
+
+    #[test]
+    fn merge() {
+        let mut a = TailEstimator::new(vec![1.0]);
+        let mut b = TailEstimator::new(vec![1.0]);
+        a.push(0.5);
+        b.push(2.0);
+        b.push(0.1);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.estimate(0) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold mismatch")]
+    fn merge_mismatch_panics() {
+        let mut a = TailEstimator::new(vec![1.0]);
+        let b = TailEstimator::new(vec![2.0]);
+        a.merge(&b);
+    }
+
+    #[test]
+    fn empty_is_nan() {
+        let t = TailEstimator::new(vec![1.0]);
+        assert!(t.estimate(0).is_nan());
+        assert_eq!(t.upper95(0), 1.0);
+    }
+
+    #[test]
+    fn upper95_zero_count_rule_of_three() {
+        let mut t = TailEstimator::new(vec![0.0]);
+        for _ in 0..300 {
+            t.push(1.0); // never below 0
+        }
+        assert_eq!(t.estimate(0), 0.0);
+        assert!((t.upper95(0) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn upper95_exceeds_point_estimate() {
+        let mut t = TailEstimator::new(vec![5.0]);
+        for i in 0..100 {
+            t.push(if i % 4 == 0 { 1.0 } else { 10.0 });
+        }
+        assert!(t.upper95(0) > t.estimate(0));
+        assert!(t.upper95(0) <= 1.0);
+    }
+}

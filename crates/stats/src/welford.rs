@@ -1,0 +1,208 @@
+//! Numerically stable running statistics (Welford / Chan parallel merge).
+
+use serde::{Deserialize, Serialize};
+
+/// Running mean/variance/extrema over a stream of `f64` observations.
+///
+/// Uses Welford's online algorithm; [`RunningStats::merge`] implements
+/// Chan et al.'s pairwise combination so per-thread accumulators can be
+/// reduced without precision loss.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for RunningStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (order-insensitive up to
+    /// floating-point rounding).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (`NaN` when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (`NaN` for fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            f64::NAN
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population variance (`NaN` when empty).
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    pub fn std_error(&self) -> f64 {
+        self.std_dev() / (self.count as f64).sqrt()
+    }
+
+    /// Minimum observation (`∞` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`−∞` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats_of(xs: &[f64]) -> RunningStats {
+        let mut s = RunningStats::new();
+        for &x in xs {
+            s.push(x);
+        }
+        s
+    }
+
+    #[test]
+    fn empty() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert!(s.mean().is_nan());
+        assert!(s.variance().is_nan());
+    }
+
+    #[test]
+    fn single_value() {
+        let s = stats_of(&[5.0]);
+        assert_eq!(s.mean(), 5.0);
+        assert!(s.variance().is_nan());
+        assert_eq!(s.population_variance(), 0.0);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 5.0);
+    }
+
+    #[test]
+    fn known_values() {
+        let s = stats_of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.population_variance() - 4.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let whole = stats_of(&xs);
+        for split in [1usize, 13, 50, 99] {
+            let mut a = stats_of(&xs[..split]);
+            let b = stats_of(&xs[split..]);
+            a.merge(&b);
+            assert_eq!(a.count(), whole.count());
+            assert!((a.mean() - whole.mean()).abs() < 1e-10, "split {split}");
+            assert!((a.variance() - whole.variance()).abs() < 1e-9, "split {split}");
+            assert_eq!(a.min(), whole.min());
+            assert_eq!(a.max(), whole.max());
+        }
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = stats_of(&[1.0, 2.0]);
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.mean(), before.mean());
+
+        let mut e = RunningStats::new();
+        e.merge(&before);
+        assert_eq!(e.count(), 2);
+        assert_eq!(e.mean(), before.mean());
+    }
+
+    #[test]
+    fn numerical_stability_large_offset() {
+        // Welford must not catastrophically cancel for values with a huge
+        // common offset.
+        let offset = 1e12;
+        let s = stats_of(&[offset + 1.0, offset + 2.0, offset + 3.0]);
+        assert!((s.mean() - (offset + 2.0)).abs() < 1e-3);
+        assert!((s.variance() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn std_error_shrinks() {
+        let mut s = RunningStats::new();
+        for i in 0..10 {
+            s.push((i % 2) as f64);
+        }
+        let se10 = s.std_error();
+        for i in 0..990 {
+            s.push((i % 2) as f64);
+        }
+        assert!(s.std_error() < se10 / 5.0);
+    }
+}

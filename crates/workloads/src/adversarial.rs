@@ -1,0 +1,97 @@
+//! Adversarial inputs from the paper's worst-case statements.
+
+use meshsort_mesh::Grid;
+
+/// The worst case of the row-major algorithms (paper §1 and Corollary 1):
+/// the smallest `√N` entries all begin in column `col`. Without the
+/// wrap-around wires this input would never sort; with them it forces
+/// `Θ(N)` steps (at least `2N − 4√N` by Corollary 1).
+pub fn smallest_in_one_column(side: usize, col: usize) -> Grid<u32> {
+    assert!(col < side, "column out of range");
+    let mut next = side as u32;
+    Grid::from_fn(side, |p| {
+        if p.col == col {
+            p.row as u32
+        } else {
+            let v = next;
+            next += 1;
+            v
+        }
+    })
+    .expect("side >= 1")
+}
+
+/// The matching 0–1 adversary from Corollary 1's proof: one column all
+/// zeros, everything else ones (`α = √N`).
+pub fn zero_column(side: usize, col: usize) -> Grid<u8> {
+    assert!(col < side, "column out of range");
+    Grid::from_fn(side, |p| u8::from(p.col != col)).expect("side >= 1")
+}
+
+/// An input forcing the third snakelike algorithm's minimum-element walk
+/// to its full length: the smallest value in the cell of maximal final
+/// snake rank (bottom-left for an even side, bottom-right for odd).
+pub fn min_at_snake_end(side: usize) -> Grid<u32> {
+    use meshsort_mesh::TargetOrder;
+    let last = TargetOrder::Snake.pos_of_rank(side * side - 1, side);
+    let mut next = 1u32;
+    Grid::from_fn(side, |p| {
+        if p == last {
+            0
+        } else {
+            let v = next;
+            next += 1;
+            v
+        }
+    })
+    .expect("side >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smallest_column_holds_smallest_values() {
+        let g = smallest_in_one_column(4, 0);
+        let col: Vec<u32> = g.column(0).copied().collect();
+        assert_eq!(col, vec![0, 1, 2, 3]);
+        // Full permutation of 0..16.
+        let mut all: Vec<u32> = g.as_slice().to_vec();
+        all.sort_unstable();
+        assert_eq!(all, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn smallest_column_other_position() {
+        let g = smallest_in_one_column(4, 2);
+        let col: Vec<u32> = g.column(2).copied().collect();
+        assert_eq!(col, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column out of range")]
+    fn bad_column_panics() {
+        let _ = smallest_in_one_column(4, 4);
+    }
+
+    #[test]
+    fn zero_column_counts() {
+        let g = zero_column(5, 1);
+        assert_eq!(g.as_slice().iter().filter(|&&v| v == 0).count(), 5);
+        for r in 0..5 {
+            assert_eq!(*g.get(r, 1), 0);
+        }
+    }
+
+    #[test]
+    fn min_at_snake_end_positions() {
+        use meshsort_mesh::Pos;
+        // Even side: last snake rank is bottom-left.
+        let g = min_at_snake_end(4);
+        assert_eq!(*g.at(Pos::new(3, 0)), 0);
+        // Odd side: bottom row runs left→right, so last rank is bottom-right.
+        let g = min_at_snake_end(5);
+        assert_eq!(*g.at(Pos::new(4, 4)), 0);
+    }
+}

@@ -1,0 +1,18 @@
+//! # meshsort-workloads — input generators for the experiments
+//!
+//! The paper's probability model is the uniform distribution over all
+//! `N!` permutations ([`permutation`]); its analysis reduces to uniformly
+//! random balanced 0–1 matrices ([`zero_one`]); its worst-case statements
+//! use adversarial placements ([`adversarial`]); and the examples use a
+//! few structured inputs ([`structured`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod permutation;
+pub mod structured;
+pub mod zero_one;
+
+pub use permutation::random_permutation_grid;
+pub use zero_one::random_balanced_zero_one_grid;

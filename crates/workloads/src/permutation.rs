@@ -1,0 +1,99 @@
+//! Uniformly random permutations (Fisher–Yates).
+
+use meshsort_mesh::Grid;
+use rand::Rng;
+
+/// A uniformly random permutation of `0..n` via Fisher–Yates.
+pub fn random_permutation<R: Rng>(n: usize, rng: &mut R) -> Vec<u32> {
+    let mut v: Vec<u32> = (0..n as u32).collect();
+    // Inside-out Fisher–Yates over the identity.
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        v.swap(i, j);
+    }
+    v
+}
+
+/// A `side × side` grid holding a uniformly random permutation of
+/// `0..side²` — the paper's random input model.
+pub fn random_permutation_grid<R: Rng>(side: usize, rng: &mut R) -> Grid<u32> {
+    Grid::from_rows(side, random_permutation(side * side, rng)).expect("side >= 1")
+}
+
+/// The identity permutation grid in row-major reading order.
+pub fn identity_grid(side: usize) -> Grid<u32> {
+    Grid::from_rows(side, (0..(side * side) as u32).collect()).expect("side >= 1")
+}
+
+/// The reversed permutation grid (row-major descending).
+pub fn reversed_grid(side: usize) -> Grid<u32> {
+    Grid::from_rows(side, (0..(side * side) as u32).rev().collect()).expect("side >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for n in [0usize, 1, 2, 10, 100] {
+            let p = random_permutation(n, &mut rng);
+            let mut sorted = p.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..n as u32).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = random_permutation(50, &mut StdRng::seed_from_u64(9));
+        let b = random_permutation(50, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = random_permutation(50, &mut StdRng::seed_from_u64(10));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniformity_chi_squared_ish() {
+        // Each value should land in each position with frequency ~1/n.
+        let n = 6usize;
+        let trials = 30_000;
+        let mut counts = vec![vec![0u32; n]; n];
+        let mut rng = StdRng::seed_from_u64(123);
+        for _ in 0..trials {
+            let p = random_permutation(n, &mut rng);
+            for (pos, &v) in p.iter().enumerate() {
+                counts[pos][v as usize] += 1;
+            }
+        }
+        let expected = trials as f64 / n as f64;
+        for row in &counts {
+            for &c in row {
+                let dev = (c as f64 - expected).abs() / expected;
+                assert!(dev < 0.10, "position frequency off by {dev}");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_contains_full_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = random_permutation_grid(5, &mut rng);
+        let mut vals: Vec<u32> = g.as_slice().to_vec();
+        vals.sort_unstable();
+        assert_eq!(vals, (0..25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identity_and_reversed() {
+        use meshsort_mesh::TargetOrder;
+        let g = identity_grid(3);
+        assert!(g.is_sorted(TargetOrder::RowMajor));
+        let r = reversed_grid(3);
+        assert_eq!(r.get(0, 0), &8);
+        assert_eq!(r.get(2, 2), &0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Structured (non-random) inputs for examples and regression tests.
+
+use meshsort_mesh::{Grid, TargetOrder};
+use rand::Rng;
+
+/// A grid already sorted in the given target order — the zero-step input.
+pub fn presorted(side: usize, order: TargetOrder) -> Grid<u32> {
+    meshsort_mesh::grid::sorted_permutation_grid(side, order)
+}
+
+/// A grid sorted in the *opposite* reading direction of `order` — a
+/// classic high-work input (every prefix maximally displaced).
+pub fn antisorted(side: usize, order: TargetOrder) -> Grid<u32> {
+    let n = side * side;
+    Grid::from_fn(side, |p| (n - 1 - order.rank_of(p, side)) as u32).expect("side >= 1")
+}
+
+/// A nearly sorted grid: starts from `presorted` and applies `swaps`
+/// random transpositions — models the "almost done" regime where the
+/// bubble sorts shine (they finish in O(displacement) steps).
+pub fn nearly_sorted<R: Rng>(
+    side: usize,
+    order: TargetOrder,
+    swaps: usize,
+    rng: &mut R,
+) -> Grid<u32> {
+    let mut g = presorted(side, order);
+    let n = side * side;
+    for _ in 0..swaps {
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        g.as_mut_slice().swap(a, b);
+    }
+    g
+}
+
+/// A grid sorted within each row (ascending) but with rows stacked in
+/// reverse — exercises the column phases specifically.
+pub fn rows_sorted_reversed(side: usize) -> Grid<u32> {
+    Grid::from_fn(side, |p| ((side - 1 - p.row) * side + p.col) as u32).expect("side >= 1")
+}
+
+/// A grid sorted within each column (descending downward is wrong way) —
+/// exercises the row phases specifically: each column holds a contiguous
+/// run placed bottom-up.
+pub fn cols_sorted_transposed(side: usize) -> Grid<u32> {
+    Grid::from_fn(side, |p| (p.col * side + p.row) as u32).expect("side >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn presorted_is_sorted() {
+        for order in [TargetOrder::RowMajor, TargetOrder::Snake] {
+            assert!(presorted(4, order).is_sorted(order));
+        }
+    }
+
+    #[test]
+    fn antisorted_is_reversed() {
+        let g = antisorted(3, TargetOrder::RowMajor);
+        assert_eq!(g.as_slice(), &[8, 7, 6, 5, 4, 3, 2, 1, 0]);
+        assert!(!g.is_sorted(TargetOrder::RowMajor));
+        // Snake antisorted reads descending along the snake.
+        let g = antisorted(3, TargetOrder::Snake);
+        let seq: Vec<u32> = g.read_in_order(TargetOrder::Snake).into_iter().copied().collect();
+        assert_eq!(seq, vec![8, 7, 6, 5, 4, 3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn nearly_sorted_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = nearly_sorted(4, TargetOrder::Snake, 5, &mut rng);
+        let mut v: Vec<u32> = g.as_slice().to_vec();
+        v.sort_unstable();
+        assert_eq!(v, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nearly_sorted_zero_swaps_is_sorted() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = nearly_sorted(4, TargetOrder::RowMajor, 0, &mut rng);
+        assert!(g.is_sorted(TargetOrder::RowMajor));
+    }
+
+    #[test]
+    fn rows_sorted_reversed_shape() {
+        let g = rows_sorted_reversed(3);
+        // Rows ascend internally…
+        for r in 0..3 {
+            let row: Vec<u32> = g.row(r).copied().collect();
+            assert!(row.windows(2).all(|w| w[0] < w[1]));
+        }
+        // …but the first row holds the largest run.
+        assert!(g.get(0, 0) > g.get(2, 0));
+    }
+
+    #[test]
+    fn cols_sorted_transposed_shape() {
+        let g = cols_sorted_transposed(3);
+        for c in 0..3 {
+            let col: Vec<u32> = g.column(c).copied().collect();
+            assert!(col.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert_eq!(*g.get(0, 2), 6);
+    }
+}

@@ -1,0 +1,130 @@
+//! Random 0–1 matrices — the paper's `A^01` reduction model.
+//!
+//! §2 of the paper analyses uniformly random `2n × 2n` 0–1 matrices with
+//! exactly `2n²` zeros (every placement of the zeros equally likely); the
+//! appendix uses `2n² + 2n + 1` zeros on a `(2n+1) × (2n+1)` mesh.
+
+use meshsort_mesh::Grid;
+use rand::Rng;
+
+/// The number of zeros the paper assigns to the `A^01` reduction: half
+/// the cells for an even side, `(N + 1)/2` for an odd side (the smallest
+/// `2n² + 2n + 1` entries).
+pub fn paper_zero_count(side: usize) -> usize {
+    let cells = side * side;
+    cells.div_ceil(2)
+}
+
+/// A uniformly random 0–1 grid with exactly `zeros` zeros among
+/// `side²` cells: shuffle the multiset via Fisher–Yates.
+///
+/// # Panics
+///
+/// Panics when `zeros > side²`.
+pub fn random_zero_one_grid<R: Rng>(side: usize, zeros: usize, rng: &mut R) -> Grid<u8> {
+    let cells = side * side;
+    assert!(zeros <= cells, "more zeros than cells");
+    let mut data: Vec<u8> = vec![0; zeros];
+    data.resize(cells, 1);
+    for i in (1..cells).rev() {
+        let j = rng.random_range(0..=i);
+        data.swap(i, j);
+    }
+    Grid::from_rows(side, data).expect("side >= 1")
+}
+
+/// A uniformly random grid from the paper's `A^01` model: exactly
+/// [`paper_zero_count`] zeros.
+pub fn random_balanced_zero_one_grid<R: Rng>(side: usize, rng: &mut R) -> Grid<u8> {
+    random_zero_one_grid(side, paper_zero_count(side), rng)
+}
+
+/// Applies the paper's `A ↦ A^01` reduction to a permutation grid: the
+/// smallest [`paper_zero_count`] values become 0, the rest 1. Sorting
+/// time of `A^01` lower-bounds the sorting time of `A` (0–1 principle for
+/// lower bounds).
+pub fn reduce_to_zero_one(grid: &Grid<u32>) -> Grid<u8> {
+    let side = grid.side();
+    let threshold = paper_zero_count(side) as u32;
+    Grid::from_fn(side, |p| if *grid.at(p) < threshold { 0u8 } else { 1 }).expect("side >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_zero_counts() {
+        assert_eq!(paper_zero_count(4), 8); // 2n² with n = 2
+        assert_eq!(paper_zero_count(6), 18);
+        // Odd side 2n+1: 2n² + 2n + 1. For side 5 (n=2): 8 + 4 + 1 = 13.
+        assert_eq!(paper_zero_count(5), 13);
+        assert_eq!(paper_zero_count(7), 25); // n=3: 18+6+1
+    }
+
+    #[test]
+    fn exact_zero_count() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for side in [2usize, 3, 4, 7] {
+            for zeros in [0usize, 1, side, side * side] {
+                let g = random_zero_one_grid(side, zeros, &mut rng);
+                let count = g.as_slice().iter().filter(|&&v| v == 0).count();
+                assert_eq!(count, zeros, "side {side} zeros {zeros}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more zeros than cells")]
+    fn too_many_zeros_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = random_zero_one_grid(2, 5, &mut rng);
+    }
+
+    #[test]
+    fn placement_is_roughly_uniform() {
+        // Each cell should hold a zero with probability zeros/cells.
+        let side = 4;
+        let zeros = 8;
+        let trials = 20_000;
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut zero_counts = vec![0u32; side * side];
+        for _ in 0..trials {
+            let g = random_zero_one_grid(side, zeros, &mut rng);
+            for (i, &v) in g.as_slice().iter().enumerate() {
+                if v == 0 {
+                    zero_counts[i] += 1;
+                }
+            }
+        }
+        let expected = trials as f64 * zeros as f64 / (side * side) as f64;
+        for (i, &c) in zero_counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.06, "cell {i}: deviation {dev}");
+        }
+    }
+
+    #[test]
+    fn reduction_matches_rank_threshold() {
+        let side = 4;
+        let data: Vec<u32> = (0..16).rev().collect();
+        let g = Grid::from_rows(side, data).unwrap();
+        let z = reduce_to_zero_one(&g);
+        // Values 0..8 → 0; they sit in the second half of the reversed grid.
+        for (pos, &v) in g.enumerate() {
+            let expect = if v < 8 { 0 } else { 1 };
+            assert_eq!(*z.at(pos), expect);
+        }
+        assert_eq!(z.as_slice().iter().filter(|&&v| v == 0).count(), 8);
+    }
+
+    #[test]
+    fn reduction_on_odd_side_uses_majority_zeros() {
+        let side = 3;
+        let g = Grid::from_rows(side, (0..9u32).collect()).unwrap();
+        let z = reduce_to_zero_one(&g);
+        assert_eq!(z.as_slice().iter().filter(|&&v| v == 0).count(), 5);
+    }
+}

@@ -1,0 +1,351 @@
+//! Empirical validation of the structural step bounds (Theorems 1, 6, 9,
+//! 13 and Corollaries 1–2): measure the relevant statistic early in a
+//! run, compute the predicted minimum number of additional steps, and
+//! compare with the steps the run actually took.
+
+use crate::column_stats::ColumnStats;
+use crate::snake_trackers::{s1_tracker_value, s2_tracker_value, zeros_in_odd_columns};
+use meshsort_mesh::{apply_plan, Grid, TargetOrder};
+use meshsort_core::AlgorithmId;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one bound-vs-reality comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BoundObservation {
+    /// The measured statistic (`x` in the theorem statements).
+    pub statistic: u64,
+    /// Steps predicted as a minimum *after* the measurement point.
+    pub predicted_min_remaining: u64,
+    /// Steps the run actually used after the measurement point.
+    pub actual_remaining: u64,
+    /// Total steps of the run.
+    pub total_steps: u64,
+}
+
+impl BoundObservation {
+    /// The bound holds when reality meets the prediction.
+    pub fn holds(&self) -> bool {
+        self.actual_remaining >= self.predicted_min_remaining
+    }
+}
+
+/// Theorem 1 on a live run: run a row-major algorithm on a 0–1 grid;
+/// after its first odd row sorting step, read the maximum zero count over
+/// odd columns (`x`); predict `(x − ⌈α/√N⌉ − 1)·2√N` additional steps;
+/// compare with reality.
+///
+/// # Panics
+///
+/// Panics for non-row-major algorithms.
+pub fn observe_theorem1(
+    algorithm: AlgorithmId,
+    grid: &mut Grid<u8>,
+    cap: u64,
+) -> BoundObservation {
+    assert!(algorithm.uses_wraparound(), "Theorem 1 covers the row-major algorithms");
+    let side = grid.side();
+    let schedule = algorithm.schedule(side).expect("even side");
+    let alpha = grid.as_slice().iter().filter(|&&v| v == 0).count() as u64;
+
+    // Run to just after the first odd row sorting step.
+    let measure_at = algorithm.first_row_sort_step() + 1;
+    for t in 0..measure_at {
+        apply_plan(grid, schedule.plan_at(t));
+    }
+    let stats = ColumnStats::of(grid);
+    let x = stats.max_zeros_odd_columns();
+    let predicted = meshsort_exact_theorem1(x, alpha, side as u64);
+
+    let mut t = measure_at;
+    while !grid.is_sorted(TargetOrder::RowMajor) && t < cap {
+        apply_plan(grid, schedule.plan_at(t));
+        t += 1;
+    }
+    BoundObservation {
+        statistic: x,
+        predicted_min_remaining: predicted,
+        actual_remaining: t - measure_at,
+        total_steps: t,
+    }
+}
+
+/// Theorem 1, **ones branch** (the paper's second bullet): if after the
+/// first odd row sorting step an even-numbered column has weight
+/// `y > ⌈(N−α)/√N⌉`, at least `(y − ⌈(N−α)/√N⌉ − 1)·2√N` more steps are
+/// needed. The heavy set of ones travels rightward, wrapping from
+/// column 2n to column 1.
+///
+/// # Panics
+///
+/// Panics for non-row-major algorithms.
+pub fn observe_theorem1_ones(
+    algorithm: AlgorithmId,
+    grid: &mut Grid<u8>,
+    cap: u64,
+) -> BoundObservation {
+    assert!(algorithm.uses_wraparound(), "Theorem 1 covers the row-major algorithms");
+    let side = grid.side();
+    let schedule = algorithm.schedule(side).expect("even side");
+    let n_cells = (side * side) as u64;
+    let alpha = grid.as_slice().iter().filter(|&&v| v == 0).count() as u64;
+    let ones = n_cells - alpha;
+
+    let measure_at = algorithm.first_row_sort_step() + 1;
+    for t in 0..measure_at {
+        apply_plan(grid, schedule.plan_at(t));
+    }
+    let stats = ColumnStats::of(grid);
+    let y = stats.max_weight_even_columns();
+    let quota = ones.div_ceil(side as u64);
+    let predicted = y.saturating_sub(quota + 1) * 2 * side as u64;
+
+    let mut t = measure_at;
+    while !grid.is_sorted(TargetOrder::RowMajor) && t < cap {
+        apply_plan(grid, schedule.plan_at(t));
+        t += 1;
+    }
+    BoundObservation {
+        statistic: y,
+        predicted_min_remaining: predicted,
+        actual_remaining: t - measure_at,
+        total_steps: t,
+    }
+}
+
+// Local re-implementations of the closed-form step bounds (kept here so
+// `meshsort-zeroone` does not depend on `meshsort-exact`; the experiment
+// crate cross-checks them against the exact crate's versions).
+
+/// `(x − ⌈α/√N⌉ − 1) · 2√N`, saturating — Theorem 1.
+pub fn meshsort_exact_theorem1(x: u64, alpha: u64, sqrt_n: u64) -> u64 {
+    let quota = alpha.div_ceil(sqrt_n);
+    x.saturating_sub(quota + 1) * 2 * sqrt_n
+}
+
+/// `4(x − ⌈α/2 + α/(2√N)⌉ − 1)`, saturating — Theorem 6.
+pub fn theorem6_bound(x: u64, alpha: u64, sqrt_n: u64) -> u64 {
+    let f = (alpha * (sqrt_n + 1)).div_ceil(2 * sqrt_n);
+    4 * x.saturating_sub(f + 1)
+}
+
+/// `4(x − ⌈α/2⌉ − 1)`, saturating — Theorem 9.
+pub fn theorem9_bound(x: u64, alpha: u64) -> u64 {
+    4 * x.saturating_sub(alpha.div_ceil(2) + 1)
+}
+
+/// `4(x − ⌈α(N−1)/(2N)⌉ − 1)`, saturating — Theorem 13 (odd side).
+pub fn theorem13_bound(x: u64, alpha: u64, n_cells: u64) -> u64 {
+    let threshold = (alpha * (n_cells - 1)).div_ceil(2 * n_cells);
+    4 * x.saturating_sub(threshold + 1)
+}
+
+/// Theorem 6 (even side) or Theorem 13 (odd side) on a live S1 run:
+/// measure `Z₁(0)` after the first step, predict, compare.
+pub fn observe_snake1_bound(grid: &mut Grid<u8>, cap: u64) -> BoundObservation {
+    let side = grid.side();
+    let schedule =
+        AlgorithmId::SnakeAlternating.schedule(side).expect("snake supports all sides");
+    let alpha = grid.as_slice().iter().filter(|&&v| v == 0).count() as u64;
+    apply_plan(grid, schedule.plan_at(0));
+    let x = s1_tracker_value(grid, 0);
+    let predicted = if side % 2 == 0 {
+        theorem6_bound(x, alpha, side as u64)
+    } else {
+        theorem13_bound(x, alpha, (side * side) as u64)
+    };
+    let mut t = 1u64;
+    while !grid.is_sorted(TargetOrder::Snake) && t < cap {
+        apply_plan(grid, schedule.plan_at(t));
+        t += 1;
+    }
+    BoundObservation {
+        statistic: x,
+        predicted_min_remaining: predicted,
+        actual_remaining: t - 1,
+        total_steps: t,
+    }
+}
+
+/// Theorem 9 on a live S2 run: measure `Y₁(0)` after the first step,
+/// predict `4(x − ⌈α/2⌉ − 1)`, compare.
+pub fn observe_snake2_bound(grid: &mut Grid<u8>, cap: u64) -> BoundObservation {
+    let side = grid.side();
+    let schedule =
+        AlgorithmId::SnakeStaggeredCols.schedule(side).expect("snake supports all sides");
+    let alpha = grid.as_slice().iter().filter(|&&v| v == 0).count() as u64;
+    apply_plan(grid, schedule.plan_at(0));
+    let x = s2_tracker_value(grid, 0);
+    debug_assert_eq!(x, zeros_in_odd_columns(grid));
+    let predicted = theorem9_bound(x, alpha);
+    let mut t = 1u64;
+    while !grid.is_sorted(TargetOrder::Snake) && t < cap {
+        apply_plan(grid, schedule.plan_at(t));
+        t += 1;
+    }
+    BoundObservation {
+        statistic: x,
+        predicted_min_remaining: predicted,
+        actual_remaining: t - 1,
+        total_steps: t,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_zero_one(side: usize, rng: &mut StdRng) -> Grid<u8> {
+        Grid::from_fn(side, |_| rng.random_range(0..=1u8)).unwrap()
+    }
+
+    fn balanced_random(side: usize, rng: &mut StdRng) -> Grid<u8> {
+        let cells = side * side;
+        let mut data: Vec<u8> = vec![0; cells / 2];
+        data.resize(cells, 1);
+        for i in (1..cells).rev() {
+            let j = rng.random_range(0..=i);
+            data.swap(i, j);
+        }
+        Grid::from_rows(side, data).unwrap()
+    }
+
+    #[test]
+    fn theorem1_holds_on_corollary1_adversary() {
+        // One zero column: α = x = √N ⇒ predicted 2N − 4√N extra steps.
+        for side in [4usize, 6, 8] {
+            let mut g = Grid::from_fn(side, |p| u8::from(p.col != 0)).unwrap();
+            let obs = observe_theorem1(
+                AlgorithmId::RowMajorRowFirst,
+                &mut g,
+                32 * (side * side) as u64,
+            );
+            assert_eq!(obs.statistic, side as u64);
+            assert_eq!(
+                obs.predicted_min_remaining,
+                2 * (side * side) as u64 - 4 * side as u64
+            );
+            assert!(obs.holds(), "side {side}: {obs:?}");
+        }
+    }
+
+    #[test]
+    fn theorem1_holds_on_random_balanced_inputs() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let mut g = balanced_random(6, &mut rng);
+            let obs =
+                observe_theorem1(AlgorithmId::RowMajorRowFirst, &mut g, 4000);
+            assert!(obs.holds(), "{obs:?}");
+        }
+    }
+
+    #[test]
+    fn theorem1_holds_for_col_first_variant() {
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..100 {
+            let mut g = balanced_random(4, &mut rng);
+            let obs =
+                observe_theorem1(AlgorithmId::RowMajorColFirst, &mut g, 4000);
+            assert!(obs.holds(), "{obs:?}");
+        }
+    }
+
+    #[test]
+    fn theorem1_ones_branch_holds_exhaustively_4x4() {
+        for mask in 0u32..(1 << 16) {
+            let data: Vec<u8> = (0..16).map(|i| ((mask >> i) & 1) as u8).collect();
+            let mut g = Grid::from_rows(4, data).unwrap();
+            let obs = observe_theorem1_ones(AlgorithmId::RowMajorRowFirst, &mut g, 500);
+            assert!(obs.holds(), "mask {mask:#x}: {obs:?}");
+        }
+    }
+
+    #[test]
+    fn theorem1_ones_branch_on_one_column_adversary() {
+        // All ones except one zero column: the *other* columns are heavy
+        // with ones; the even-column weight after the first row sort is
+        // the full side.
+        let side = 6;
+        let mut g = Grid::from_fn(side, |p| u8::from(p.col != 0)).unwrap();
+        let obs = observe_theorem1_ones(AlgorithmId::RowMajorRowFirst, &mut g, 4000);
+        assert_eq!(obs.statistic, side as u64);
+        assert!(obs.holds(), "{obs:?}");
+        // ones = N − √N, quota = ⌈(N−√N)/√N⌉ = √N − 1 → predicted
+        // (√N − (√N−1) − 1)·2√N = 0: the ones bound is vacuous here,
+        // while the zeros branch gives 2N−4√N — the two bullets bind on
+        // complementary adversaries.
+        assert_eq!(obs.predicted_min_remaining, 0);
+        let mut g = Grid::from_fn(side, |p| u8::from(p.col == 0)).unwrap();
+        let obs = observe_theorem1_ones(AlgorithmId::RowMajorRowFirst, &mut g, 4000);
+        // One *ones* column (α = N − √N): y = √N, quota = 1 → predicted
+        // (√N − 2)·2√N = 2N − 4√N, the mirror of Corollary 1.
+        assert_eq!(
+            obs.predicted_min_remaining,
+            2 * (side * side) as u64 - 4 * side as u64
+        );
+        assert!(obs.holds(), "{obs:?}");
+    }
+
+    #[test]
+    fn theorem6_holds_exhaustively_4x4() {
+        for mask in 0u32..(1 << 16) {
+            let data: Vec<u8> = (0..16).map(|i| ((mask >> i) & 1) as u8).collect();
+            let mut g = Grid::from_rows(4, data).unwrap();
+            let obs = observe_snake1_bound(&mut g, 500);
+            assert!(obs.holds(), "mask {mask:#x}: {obs:?}");
+        }
+    }
+
+    #[test]
+    fn theorem9_holds_exhaustively_4x4() {
+        for mask in 0u32..(1 << 16) {
+            let data: Vec<u8> = (0..16).map(|i| ((mask >> i) & 1) as u8).collect();
+            let mut g = Grid::from_rows(4, data).unwrap();
+            let obs = observe_snake2_bound(&mut g, 500);
+            assert!(obs.holds(), "mask {mask:#x}: {obs:?}");
+        }
+    }
+
+    #[test]
+    fn theorem13_holds_on_odd_side_random() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..300 {
+            let mut g = random_zero_one(5, &mut rng);
+            let obs = observe_snake1_bound(&mut g, 2000);
+            assert!(obs.holds(), "{obs:?}");
+        }
+    }
+
+    #[test]
+    fn bound_formulas_agree_with_exact_crate() {
+        use meshsort_exact::paper;
+        for x in 0..20u64 {
+            for alpha in [4u64, 8, 13, 18] {
+                assert_eq!(
+                    meshsort_exact_theorem1(x, alpha, 6),
+                    paper::theorem1_extra_steps(x, alpha, 6)
+                );
+                assert_eq!(theorem6_bound(x, alpha, 6), paper::theorem6_extra_steps(x, alpha, 6));
+                assert_eq!(theorem9_bound(x, alpha), paper::theorem9_extra_steps(x, alpha));
+                assert_eq!(
+                    theorem13_bound(x, alpha, 25),
+                    paper::theorem13_extra_steps(x, alpha, 25)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn observation_holds_predicate() {
+        let obs = BoundObservation {
+            statistic: 5,
+            predicted_min_remaining: 10,
+            actual_remaining: 12,
+            total_steps: 13,
+        };
+        assert!(obs.holds());
+        let obs = BoundObservation { actual_remaining: 9, ..obs };
+        assert!(!obs.holds());
+    }
+}

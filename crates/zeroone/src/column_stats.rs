@@ -1,0 +1,163 @@
+//! Per-column zero counts and weights (paper Definitions 2–3), and the
+//! `M` statistic of Corollary 2.
+
+use meshsort_mesh::Grid;
+use serde::{Deserialize, Serialize};
+
+/// Snapshot of the per-column composition of a 0–1 grid.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// `zeros[k]` = number of zeros in 0-indexed column `k`
+    /// (the paper's `z_{k+1}(t)`).
+    pub zeros: Vec<u64>,
+    /// `weights[k]` = number of ones in column `k` (the paper's
+    /// `w_{k+1}(t)`; Definition 3 calls this the column's *weight*).
+    pub weights: Vec<u64>,
+}
+
+impl ColumnStats {
+    /// Measures a 0–1 grid (any value equal to `0` counts as a zero;
+    /// everything else as a one).
+    pub fn of(grid: &Grid<u8>) -> Self {
+        let side = grid.side();
+        let mut zeros = vec![0u64; side];
+        let mut weights = vec![0u64; side];
+        for (pos, &v) in grid.enumerate() {
+            if v == 0 {
+                zeros[pos.col] += 1;
+            } else {
+                weights[pos.col] += 1;
+            }
+        }
+        ColumnStats { zeros, weights }
+    }
+
+    /// Total zeros in the grid (`α`).
+    pub fn total_zeros(&self) -> u64 {
+        self.zeros.iter().sum()
+    }
+
+    /// Maximum zero count over the paper's odd-numbered columns
+    /// (0-indexed even columns).
+    pub fn max_zeros_odd_columns(&self) -> u64 {
+        self.zeros.iter().step_by(2).copied().max().unwrap_or(0)
+    }
+
+    /// Maximum weight over the paper's even-numbered columns
+    /// (0-indexed odd columns).
+    pub fn max_weight_even_columns(&self) -> u64 {
+        self.weights.iter().skip(1).step_by(2).copied().max().unwrap_or(0)
+    }
+}
+
+/// Corollary 2's statistic for a balanced 0–1 mesh of side `2n`,
+/// measured immediately after the first row sorting step:
+///
+/// ```text
+///   M = max{ max_j Z_{2j−1}, max_j W_{2j} } − n − 1
+/// ```
+///
+/// (zero counts over odd columns, weights over even columns). The number
+/// of steps needed to finish sorting then exceeds `4nM` (when `M > 0`).
+pub fn m_statistic(after_first_row_sort: &Grid<u8>) -> i64 {
+    let side = after_first_row_sort.side();
+    debug_assert!(side % 2 == 0, "Corollary 2 applies to even sides");
+    let n = (side / 2) as i64;
+    let stats = ColumnStats::of(after_first_row_sort);
+    let best = stats.max_zeros_odd_columns().max(stats.max_weight_even_columns()) as i64;
+    best - n - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(side: usize, data: Vec<u8>) -> Grid<u8> {
+        Grid::from_rows(side, data).unwrap()
+    }
+
+    #[test]
+    fn counts_zeros_and_weights() {
+        let g = grid(2, vec![0, 1, 0, 0]);
+        let s = ColumnStats::of(&g);
+        assert_eq!(s.zeros, vec![2, 1]);
+        assert_eq!(s.weights, vec![0, 1]);
+        assert_eq!(s.total_zeros(), 3);
+    }
+
+    #[test]
+    fn zeros_plus_weights_is_side() {
+        let g = grid(4, (0..16).map(|i| (i % 3 == 0) as u8).collect());
+        let s = ColumnStats::of(&g);
+        for k in 0..4 {
+            assert_eq!(s.zeros[k] + s.weights[k], 4);
+        }
+    }
+
+    #[test]
+    fn parity_maxima() {
+        // Columns (paper 1-indexed): col1 zeros=2, col2 zeros=0, col3
+        // zeros=1, col4 zeros=1.
+        let data = vec![
+            0, 1, 0, 1, //
+            0, 1, 1, 0, //
+            1, 1, 1, 1, //
+            1, 1, 1, 1,
+        ];
+        let g = grid(4, data);
+        let s = ColumnStats::of(&g);
+        assert_eq!(s.zeros, vec![2, 0, 1, 1]);
+        assert_eq!(s.max_zeros_odd_columns(), 2); // paper cols 1,3 → 2
+        assert_eq!(s.max_weight_even_columns(), 4); // paper cols 2,4 → col2 weight 4
+    }
+
+    #[test]
+    fn m_statistic_sorted_balanced_grid() {
+        // Sorted balanced 4×4: top half zeros → every column has 2 zeros
+        // and weight 2. n = 2 → M = 2 − 2 − 1 = −1 (no bound).
+        let data = vec![0u8; 8].into_iter().chain(vec![1u8; 8]).collect();
+        let g = grid(4, data);
+        assert_eq!(m_statistic(&g), -1);
+    }
+
+    #[test]
+    fn m_statistic_concentrated_zeros() {
+        // All 8 zeros in paper-odd columns 1 and 3 → max zeros odd col 4,
+        // and even columns all ones → max weight 4. M = 4 − 2 − 1 = 1.
+        let data = vec![
+            0, 1, 0, 1, //
+            0, 1, 0, 1, //
+            0, 1, 0, 1, //
+            0, 1, 0, 1,
+        ];
+        let g = grid(4, data);
+        assert_eq!(m_statistic(&g), 1);
+    }
+
+    #[test]
+    fn m_statistic_worst_case_column() {
+        // Corollary 1's adversary after its row sort: a full zero column
+        // in paper column 1 (α = 4): M = 4 − 2 − 1 = 1 on 4×4 (α here is
+        // not N/2, but the statistic itself is still well defined).
+        let data = vec![
+            0, 1, 1, 1, //
+            0, 1, 1, 1, //
+            0, 1, 1, 1, //
+            0, 1, 1, 1,
+        ];
+        let g = grid(4, data);
+        let s = ColumnStats::of(&g);
+        assert_eq!(s.max_zeros_odd_columns(), 4);
+        assert_eq!(s.max_weight_even_columns(), 4);
+        assert_eq!(m_statistic(&g), 1);
+    }
+
+    #[test]
+    fn empty_parity_classes() {
+        // Side-2 grid: odd columns = {col 0}, even = {col 1}.
+        let g = grid(2, vec![0, 1, 0, 1]);
+        let s = ColumnStats::of(&g);
+        assert_eq!(s.max_zeros_odd_columns(), 2);
+        assert_eq!(s.max_weight_even_columns(), 2);
+    }
+}

@@ -1,0 +1,210 @@
+//! Exhaustive enumeration of balanced 0–1 matrices on tiny meshes.
+//!
+//! The paper's probability space for the §2–§3 statistics is the uniform
+//! distribution over all `C(N, α)` placements of `α` zeros. On meshes up
+//! to 4×4 (`C(16, 8) = 12 870`) full enumeration is cheap, giving *exact*
+//! ground truth for quantities with no printed closed form — notably the
+//! `M` statistic of Corollary 2 — and the decisive evidence for the
+//! Theorem 8 erratum (see `meshsort-exact::paper::s1_var_z10`).
+
+use crate::column_stats::m_statistic;
+use meshsort_core::AlgorithmId;
+use meshsort_mesh::{apply_plan, Grid};
+
+/// Iterator over all 0–1 grids of the given side with exactly `zeros`
+/// zeros, in colexicographic mask order.
+///
+/// # Panics
+///
+/// Panics for meshes with more than 24 cells (enumeration would be too
+/// large) or `zeros > side²`.
+pub struct BalancedGrids {
+    side: usize,
+    cells: usize,
+    zeros: usize,
+    mask: Option<u32>,
+}
+
+impl BalancedGrids {
+    /// Creates the iterator.
+    pub fn new(side: usize, zeros: usize) -> Self {
+        let cells = side * side;
+        assert!(cells <= 24, "exhaustive enumeration limited to 24 cells");
+        assert!(zeros <= cells, "more zeros than cells");
+        let first = if zeros == 0 { 0 } else { (1u32 << zeros) - 1 };
+        BalancedGrids { side, cells, zeros, mask: Some(first) }
+    }
+
+    /// All balanced grids (the paper's `α = ⌈N/2⌉`).
+    pub fn balanced(side: usize) -> Self {
+        let cells = side * side;
+        Self::new(side, cells.div_ceil(2))
+    }
+
+    /// Total number of grids this iterator yields: `C(cells, zeros)`.
+    pub fn count_total(&self) -> u64 {
+        meshsort_count_binomial(self.cells as u64, self.zeros as u64)
+    }
+}
+
+fn meshsort_count_binomial(n: u64, k: u64) -> u64 {
+    // Small exact binomial (n ≤ 24) without pulling in the exact crate.
+    let k = k.min(n - k);
+    let mut acc: u64 = 1;
+    for i in 1..=k {
+        acc = acc * (n - k + i) / i;
+    }
+    acc
+}
+
+/// Gosper's hack: next integer with the same popcount.
+fn next_same_popcount(v: u32) -> u32 {
+    let c = v & v.wrapping_neg();
+    let r = v + c;
+    (((r ^ v) >> 2) / c) | r
+}
+
+impl Iterator for BalancedGrids {
+    type Item = Grid<u8>;
+
+    fn next(&mut self) -> Option<Grid<u8>> {
+        let mask = self.mask?;
+        // Bit i set ⇒ cell i holds a zero.
+        let data: Vec<u8> =
+            (0..self.cells).map(|i| if (mask >> i) & 1 == 1 { 0 } else { 1 }).collect();
+        // Advance.
+        self.mask = if self.zeros == 0 || self.zeros == self.cells {
+            None // single arrangement
+        } else {
+            let next = next_same_popcount(mask);
+            if next < (1u32 << self.cells) {
+                Some(next)
+            } else {
+                None
+            }
+        };
+        Some(Grid::from_rows(self.side, data).expect("dimensions match"))
+    }
+}
+
+/// Exact mean of an integer statistic over all balanced grids, as
+/// `(sum, count)` — divide externally for the exact rational mean.
+pub fn exact_mean_over_balanced(
+    side: usize,
+    statistic: impl Fn(Grid<u8>) -> i64,
+) -> (i64, u64) {
+    let mut sum = 0i64;
+    let mut count = 0u64;
+    for grid in BalancedGrids::balanced(side) {
+        sum += statistic(grid);
+        count += 1;
+    }
+    (sum, count)
+}
+
+/// Exact `E[M]` (Corollary 2's statistic, measured after R1's first row
+/// sorting step) over all balanced 0–1 matrices of an even side.
+/// No closed form appears in the paper; Lemma 4 only lower-bounds it by
+/// `E[Z₁] − n − 1`.
+pub fn exact_expected_m(side: usize) -> (i64, u64) {
+    assert!(side % 2 == 0, "Corollary 2 applies to even sides");
+    let schedule = AlgorithmId::RowMajorRowFirst.schedule(side).expect("even side");
+    exact_mean_over_balanced(side, |mut grid| {
+        apply_plan(&mut grid, schedule.plan_at(0));
+        m_statistic(&grid)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_counts_match_binomial() {
+        let it = BalancedGrids::balanced(2);
+        assert_eq!(it.count_total(), 6); // C(4, 2)
+        assert_eq!(it.count(), 6);
+        let it = BalancedGrids::balanced(3);
+        assert_eq!(it.count_total(), 126); // C(9, 5)
+        assert_eq!(it.count(), 126);
+        let it = BalancedGrids::balanced(4);
+        assert_eq!(it.count_total(), 12870); // C(16, 8)
+        assert_eq!(it.count(), 12870);
+    }
+
+    #[test]
+    fn each_grid_has_exact_zero_count() {
+        for grid in BalancedGrids::new(3, 4) {
+            assert_eq!(grid.as_slice().iter().filter(|&&v| v == 0).count(), 4);
+        }
+    }
+
+    #[test]
+    fn grids_are_distinct() {
+        let all: Vec<Vec<u8>> =
+            BalancedGrids::balanced(2).map(|g| g.as_slice().to_vec()).collect();
+        let mut dedup = all.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(all.len(), dedup.len());
+    }
+
+    #[test]
+    fn degenerate_zero_counts() {
+        assert_eq!(BalancedGrids::new(2, 0).count(), 1);
+        assert_eq!(BalancedGrids::new(2, 4).count(), 1);
+        let g = BalancedGrids::new(2, 4).next().unwrap();
+        assert!(g.as_slice().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn exact_mean_of_constant_statistic() {
+        let (sum, count) = exact_mean_over_balanced(2, |_| 7);
+        assert_eq!(count, 6);
+        assert_eq!(sum, 42);
+    }
+
+    #[test]
+    fn exhaustive_e_z1_matches_exact_crate() {
+        // Mean zeros in column 1 after R1's first row sort, enumerated,
+        // must equal Lemma 4's closed form exactly: E[Z1] at n=1 is
+        // 3/2 + 1/6 = 5/3; over 6 matrices the sum must be 10.
+        let schedule = AlgorithmId::RowMajorRowFirst.schedule(2).unwrap();
+        let (sum, count) = exact_mean_over_balanced(2, |mut grid| {
+            apply_plan(&mut grid, schedule.plan_at(0));
+            grid.column(0).filter(|&&v| v == 0).count() as i64
+        });
+        assert_eq!(count, 6);
+        assert_eq!(sum, 10);
+        // And for n=2 (side 4) against the exact crate:
+        let e = meshsort_exact::paper::r1_expected_z1(2);
+        let schedule = AlgorithmId::RowMajorRowFirst.schedule(4).unwrap();
+        let (sum, count) = exact_mean_over_balanced(4, |mut grid| {
+            apply_plan(&mut grid, schedule.plan_at(0));
+            grid.column(0).filter(|&&v| v == 0).count() as i64
+        });
+        let mean = meshsort_exact::Ratio::new_i64(sum, count as i64);
+        assert_eq!(mean, e);
+    }
+
+    #[test]
+    fn exact_expected_m_known_values() {
+        // Side 2 (n=1): after the row sort, M = max(z_odd, w_even) − 2.
+        let (sum, count) = exact_expected_m(2);
+        assert_eq!(count, 6);
+        // Spot value: E[M] must satisfy Lemma 4's lower bound
+        // E[Z1] − n − 1 = 5/3 − 2 = −1/3.
+        assert!(3 * sum >= -(count as i64), "E[M] = {sum}/{count} below Lemma 4 bound");
+        // And M ≤ side − n − 1 = 0 at n=1 (a column has at most 2 zeros).
+        assert!(sum <= 0);
+    }
+
+    #[test]
+    fn exact_expected_m_exceeds_lemma4_bound_at_n2() {
+        let (sum, count) = exact_expected_m(4);
+        assert_eq!(count, 12870);
+        let e_m = meshsort_exact::Ratio::new_i64(sum, count as i64);
+        let bound = meshsort_exact::paper::r1_expected_m_lower(2);
+        assert!(e_m >= bound, "E[M] = {e_m} < bound {bound}");
+    }
+}

@@ -1,0 +1,29 @@
+//! # meshsort-zeroone — the paper's 0–1 analysis machinery
+//!
+//! §2–§3 of Savari (SPAA 1993) analyse the five algorithms through 0–1
+//! matrices: the `A ↦ A^01` reduction replaces the smallest half of the
+//! entries by zeros, and sorting time of `A^01` lower-bounds that of `A`.
+//! This crate implements every observable the proofs are built on:
+//!
+//! * [`column_stats`] — per-column zero counts `z_k(t)` / weights
+//!   `w_k(t)` (Definitions 2–3) and the `M` statistic of Corollary 2;
+//! * [`travel`] — the zero/one *travel* inequalities of Lemmas 1–3,
+//!   checked step-by-step on live runs;
+//! * [`snake_trackers`] — the `Z₁(i)…Z₄(i)` and `Y₁(i)…Y₃(i)` trackers
+//!   of Definitions 4–10 (and 12–13 for odd sides), with the Lemma 5–8 /
+//!   Lemma 10 monotonicity verifiers;
+//! * [`bounds`] — the empirical side of Theorems 1, 6, 9 and 13: measure
+//!   the statistic after the first step(s), compute the predicted
+//!   additional-step bound, and compare against the actual remaining
+//!   steps of the run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod column_stats;
+pub mod exhaustive;
+pub mod snake_trackers;
+pub mod travel;
+
+pub use column_stats::{m_statistic, ColumnStats};

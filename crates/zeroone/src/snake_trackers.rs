@@ -1,0 +1,414 @@
+//! The `Z₁(i)…Z₄(i)` and `Y₁(i)…Y₃(i)` trackers of the snakelike analysis
+//! (paper Definitions 4–10 for even sides, 12–13 for odd sides), plus the
+//! Lemma 5–8 / Lemma 10 monotonicity verifiers.
+
+use meshsort_mesh::{apply_plan, Grid, TargetOrder};
+use meshsort_core::AlgorithmId;
+use serde::{Deserialize, Serialize};
+
+/// Row parity selector, in the paper's 1-indexed sense (the paper's odd
+/// rows are the 0-indexed rows 0, 2, 4, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RowParity {
+    /// Paper rows 1, 3, 5, …
+    Odd,
+    /// Paper rows 2, 4, 6, …
+    Even,
+}
+
+impl RowParity {
+    fn matches(self, row0: usize) -> bool {
+        match self {
+            RowParity::Odd => row0 % 2 == 0,
+            RowParity::Even => row0 % 2 == 1,
+        }
+    }
+}
+
+/// Zeros in one column restricted to rows of the given paper parity.
+pub fn zeros_in_column_rows(grid: &Grid<u8>, col: usize, parity: RowParity) -> u64 {
+    (0..grid.side())
+        .filter(|&r| parity.matches(r))
+        .filter(|&r| *grid.get(r, col) == 0)
+        .count() as u64
+}
+
+/// Zeros in all paper-odd columns. For an even side `2n` these are
+/// columns 1, 3, …, 2n−1; for an odd side `2n+1` the appendix's
+/// Definition 12 *excludes* the last column (columns 1, 3, …, 2n−1),
+/// which this function honours.
+pub fn zeros_in_odd_columns_excluding_last_on_odd_side(grid: &Grid<u8>) -> u64 {
+    let side = grid.side();
+    let limit = if side % 2 == 0 { side } else { side - 1 };
+    grid.enumerate()
+        .filter(|(p, &v)| p.col < limit && p.col % 2 == 0 && v == 0)
+        .count() as u64
+}
+
+/// Zeros in the paper-even columns 2, 4, …, 2n−2 (0-indexed odd columns
+/// strictly before the last column) — the interior columns of
+/// Definitions 9–10.
+pub fn zeros_in_interior_even_columns(grid: &Grid<u8>) -> u64 {
+    let side = grid.side();
+    grid.enumerate()
+        .filter(|(p, &v)| p.col % 2 == 1 && p.col + 1 < side && v == 0)
+        .count() as u64
+}
+
+/// The first snakelike algorithm's tracker (Definitions 4–7 even side;
+/// 12–13 odd side): which statistic to read after each step of the cycle.
+///
+/// * after step 4i+1: `Z₁` = odd columns (excl. last on odd sides) +
+///   even rows of the last column;
+/// * after step 4i+2: `Z₂` = same columns + **odd** rows of the last
+///   column;
+/// * after step 4i+3: `Z₃` = even columns + odd rows of column 1;
+/// * after step 4i+4: `Z₄` = even columns + even rows of column 1.
+pub fn s1_tracker_value(grid: &Grid<u8>, step_in_cycle: u64) -> u64 {
+    let side = grid.side();
+    let last = side - 1;
+    match step_in_cycle % 4 {
+        0 => {
+            zeros_in_odd_columns_excluding_last_on_odd_side(grid)
+                + zeros_in_column_rows(grid, last, RowParity::Even)
+        }
+        1 => {
+            zeros_in_odd_columns_excluding_last_on_odd_side(grid)
+                + zeros_in_column_rows(grid, last, RowParity::Odd)
+        }
+        2 => zeros_in_even_columns(grid) + zeros_in_column_rows(grid, 0, RowParity::Odd),
+        _ => zeros_in_even_columns(grid) + zeros_in_column_rows(grid, 0, RowParity::Even),
+    }
+}
+
+/// Zeros in all paper-even columns (0-indexed odd columns).
+pub fn zeros_in_even_columns(grid: &Grid<u8>) -> u64 {
+    grid.enumerate().filter(|(p, &v)| p.col % 2 == 1 && v == 0).count() as u64
+}
+
+/// Zeros in all paper-odd columns (0-indexed even columns) — Definition 8
+/// (`Y₁`).
+pub fn zeros_in_odd_columns(grid: &Grid<u8>) -> u64 {
+    grid.enumerate().filter(|(p, &v)| p.col % 2 == 0 && v == 0).count() as u64
+}
+
+/// The second snakelike algorithm's tracker (Definitions 8–10):
+///
+/// * after step 4i+1 (and 4i+2): `Y₁` = zeros in the odd columns;
+/// * after step 4i+3: `Y₂` = interior even columns + odd rows of column 1
+///   + even rows of the last column;
+/// * after step 4i+4: `Y₃` = interior even columns + even rows of
+///   column 1 + odd rows of the last column.
+pub fn s2_tracker_value(grid: &Grid<u8>, step_in_cycle: u64) -> u64 {
+    let side = grid.side();
+    let last = side - 1;
+    match step_in_cycle % 4 {
+        0 | 1 => zeros_in_odd_columns(grid),
+        2 => {
+            zeros_in_interior_even_columns(grid)
+                + zeros_in_column_rows(grid, 0, RowParity::Odd)
+                + zeros_in_column_rows(grid, last, RowParity::Even)
+        }
+        _ => {
+            zeros_in_interior_even_columns(grid)
+                + zeros_in_column_rows(grid, 0, RowParity::Even)
+                + zeros_in_column_rows(grid, last, RowParity::Odd)
+        }
+    }
+}
+
+/// One observed tracker trajectory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrackerTrace {
+    /// `values[t]` is the tracker read immediately after step `t`
+    /// (0-indexed steps).
+    pub values: Vec<u64>,
+    /// Steps executed before the grid sorted (or the cap).
+    pub steps: u64,
+    /// Whether the run finished sorted.
+    pub sorted: bool,
+}
+
+impl TrackerTrace {
+    /// `Z₁(i)` (resp. `Y₁(i)`) samples: the tracker after steps
+    /// `4i` (0-indexed), i.e. the paper's "after step 4i+1".
+    pub fn cycle_heads(&self) -> Vec<u64> {
+        self.values.iter().copied().step_by(4).collect()
+    }
+
+    /// Verifies the chain of Lemmas 5–8 on an S1 trace: within each
+    /// cycle the tracker may only drop at the 4i+4 transition (Lemma 7
+    /// allows a loss of one) and across cycles `Z₁(i+1) ≥ Z₄(i)`.
+    /// Consequently `Z₁(i+1) ≥ Z₁(i) − 1`, which is what Theorem 6 needs;
+    /// this verifier checks each lemma individually. Returns the first
+    /// violated transition as `(step_index, from, to)`.
+    pub fn verify_s1_lemmas(&self) -> Result<(), (usize, u64, u64)> {
+        for (t, w) in self.values.windows(2).enumerate() {
+            let (from, to) = (w[0], w[1]);
+            let ok = match t % 4 {
+                // Lemma 5: Z₂(i) ≥ Z₁(i); Lemma 6: Z₃(i) ≥ Z₂(i);
+                // Lemma 8 handled at cycle boundary below.
+                0 | 1 => to >= from,
+                // Lemma 7: Z₄(i) ≥ Z₃(i) − 1.
+                2 => to + 1 >= from,
+                // Lemma 8: Z₁(i+1) ≥ Z₄(i).
+                _ => to >= from,
+            };
+            if !ok {
+                return Err((t, from, to));
+            }
+        }
+        Ok(())
+    }
+
+    /// Verifies Lemma 10 on an S2 trace: `Y₂(i) ≥ Y₁(i)`,
+    /// `Y₃(i) ≥ Y₂(i) − 1`, `Y₁(i+1) ≥ Y₃(i)`. The tracker is constant
+    /// across the 4i+2 step (Definition 8 reads the same statistic), so
+    /// the step-level checks are: step 4i+2 leaves `Y₁` unchanged,
+    /// step 4i+3 may only grow it, step 4i+4 loses at most one, and the
+    /// cycle boundary may only grow it.
+    pub fn verify_s2_lemmas(&self) -> Result<(), (usize, u64, u64)> {
+        for (t, w) in self.values.windows(2).enumerate() {
+            let (from, to) = (w[0], w[1]);
+            let ok = match t % 4 {
+                0 => to == from,     // column sort cannot change Y₁
+                1 => to >= from,     // Lemma 10(a): Y₂ ≥ Y₁
+                2 => to + 1 >= from, // Lemma 10(b): Y₃ ≥ Y₂ − 1
+                _ => to >= from,     // Lemma 10(c): Y₁(i+1) ≥ Y₃(i)
+            };
+            if !ok {
+                return Err((t, from, to));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs a snakelike algorithm on a 0–1 grid to completion, reading the
+/// appropriate tracker after every step.
+///
+/// # Panics
+///
+/// Panics when `algorithm` is not [`AlgorithmId::SnakeAlternating`] or
+/// [`AlgorithmId::SnakeStaggeredCols`] (the trackers are defined for the
+/// first two snakelike procedures).
+pub fn trace_tracker(algorithm: AlgorithmId, grid: &mut Grid<u8>, cap: u64) -> TrackerTrace {
+    let read: fn(&Grid<u8>, u64) -> u64 = match algorithm {
+        AlgorithmId::SnakeAlternating => s1_tracker_value,
+        AlgorithmId::SnakeStaggeredCols => s2_tracker_value,
+        _ => panic!("trackers are defined for the first two snakelike algorithms"),
+    };
+    trace_with(algorithm, grid, cap, read)
+}
+
+/// Runs a snakelike algorithm while reading the *S1* tracker
+/// (Definitions 4–7 / 12–13) regardless of the algorithm — the appendix
+/// states that on odd sides the second snakelike algorithm is analysed
+/// through the same `Z` definitions ("the preceding analysis for the
+/// first snakelike sorting algorithm is applicable here").
+///
+/// # Panics
+///
+/// Panics for non-snakelike algorithms.
+pub fn trace_s1_tracker(algorithm: AlgorithmId, grid: &mut Grid<u8>, cap: u64) -> TrackerTrace {
+    assert!(
+        AlgorithmId::SNAKE.contains(&algorithm),
+        "the Z trackers are defined for the snakelike algorithms"
+    );
+    trace_with(algorithm, grid, cap, s1_tracker_value)
+}
+
+fn trace_with(
+    algorithm: AlgorithmId,
+    grid: &mut Grid<u8>,
+    cap: u64,
+    read: fn(&Grid<u8>, u64) -> u64,
+) -> TrackerTrace {
+    let schedule = algorithm.schedule(grid.side()).expect("snake supports all sides");
+    let mut values = Vec::new();
+    let mut steps = 0u64;
+    let mut sorted = grid.is_sorted(TargetOrder::Snake);
+    let mut t = 0u64;
+    while !sorted && t < cap {
+        apply_plan(grid, schedule.plan_at(t));
+        values.push(read(grid, t));
+        t += 1;
+        steps = t;
+        sorted = grid.is_sorted(TargetOrder::Snake);
+    }
+    TrackerTrace { values, steps, sorted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_zero_one(side: usize, rng: &mut StdRng) -> Grid<u8> {
+        Grid::from_fn(side, |_| rng.random_range(0..=1u8)).unwrap()
+    }
+
+    #[test]
+    fn parity_selectors() {
+        // Paper row 1 (index 0) is odd.
+        assert!(RowParity::Odd.matches(0));
+        assert!(!RowParity::Odd.matches(1));
+        assert!(RowParity::Even.matches(1));
+    }
+
+    #[test]
+    fn column_row_zero_counts() {
+        let g = Grid::from_rows(4, vec![
+            0, 1, 1, 0, //
+            1, 1, 1, 0, //
+            0, 1, 1, 1, //
+            1, 1, 1, 0,
+        ])
+        .unwrap();
+        assert_eq!(zeros_in_column_rows(&g, 0, RowParity::Odd), 2); // rows 0,2
+        assert_eq!(zeros_in_column_rows(&g, 0, RowParity::Even), 0);
+        assert_eq!(zeros_in_column_rows(&g, 3, RowParity::Even), 2); // rows 1,3
+        assert_eq!(zeros_in_odd_columns(&g), 2);
+        assert_eq!(zeros_in_even_columns(&g), 3);
+        assert_eq!(zeros_in_interior_even_columns(&g), 0); // col 1 only
+    }
+
+    #[test]
+    fn odd_side_excludes_last_column() {
+        let g = Grid::from_rows(3, vec![
+            0, 1, 0, //
+            0, 1, 0, //
+            0, 1, 0,
+        ])
+        .unwrap();
+        // Odd side: only column 0 counts (column 2 excluded).
+        assert_eq!(zeros_in_odd_columns_excluding_last_on_odd_side(&g), 3);
+        // Even side would count both even-indexed columns.
+        let g4 = Grid::from_rows(4, vec![
+            0, 1, 0, 1, //
+            0, 1, 0, 1, //
+            0, 1, 0, 1, //
+            0, 1, 0, 1,
+        ])
+        .unwrap();
+        assert_eq!(zeros_in_odd_columns_excluding_last_on_odd_side(&g4), 8);
+    }
+
+    #[test]
+    fn s1_lemmas_hold_exhaustively_4x4() {
+        for mask in 0u32..(1 << 16) {
+            let data: Vec<u8> = (0..16).map(|i| ((mask >> i) & 1) as u8).collect();
+            let mut g = Grid::from_rows(4, data).unwrap();
+            let trace = trace_tracker(AlgorithmId::SnakeAlternating, &mut g, 300);
+            assert!(trace.sorted, "mask {mask:#x}");
+            trace
+                .verify_s1_lemmas()
+                .unwrap_or_else(|(t, a, b)| panic!("mask {mask:#x}: step {t}: {a} -> {b}"));
+        }
+    }
+
+    #[test]
+    fn s2_lemmas_hold_exhaustively_4x4() {
+        for mask in 0u32..(1 << 16) {
+            let data: Vec<u8> = (0..16).map(|i| ((mask >> i) & 1) as u8).collect();
+            let mut g = Grid::from_rows(4, data).unwrap();
+            let trace = trace_tracker(AlgorithmId::SnakeStaggeredCols, &mut g, 300);
+            assert!(trace.sorted, "mask {mask:#x}");
+            trace
+                .verify_s2_lemmas()
+                .unwrap_or_else(|(t, a, b)| panic!("mask {mask:#x}: step {t}: {a} -> {b}"));
+        }
+    }
+
+    #[test]
+    fn s1_lemmas_hold_on_odd_side_random() {
+        // Appendix regime: Lemmas 5–8 with Definitions 12–13 on side 5.
+        let mut rng = StdRng::seed_from_u64(0xB0B);
+        for _ in 0..200 {
+            let mut g = random_zero_one(5, &mut rng);
+            let trace = trace_tracker(AlgorithmId::SnakeAlternating, &mut g, 1000);
+            assert!(trace.sorted);
+            trace
+                .verify_s1_lemmas()
+                .unwrap_or_else(|(t, a, b)| panic!("step {t}: {a} -> {b}"));
+        }
+    }
+
+    #[test]
+    fn s1_random_8x8() {
+        let mut rng = StdRng::seed_from_u64(0xCAFE);
+        for _ in 0..50 {
+            let mut g = random_zero_one(8, &mut rng);
+            let trace = trace_tracker(AlgorithmId::SnakeAlternating, &mut g, 2000);
+            assert!(trace.sorted);
+            trace.verify_s1_lemmas().unwrap();
+        }
+    }
+
+    #[test]
+    fn cycle_heads_never_drop_by_more_than_one() {
+        // The Lemma 5–8 chain implies Z₁(i+1) ≥ Z₁(i) − 1, the engine of
+        // Theorem 6.
+        let mut rng = StdRng::seed_from_u64(0xD00D);
+        for _ in 0..100 {
+            let mut g = random_zero_one(6, &mut rng);
+            let trace = trace_tracker(AlgorithmId::SnakeAlternating, &mut g, 2000);
+            let heads = trace.cycle_heads();
+            for w in heads.windows(2) {
+                assert!(w[1] + 1 >= w[0], "Z1 dropped too fast: {} -> {}", w[0], w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn appendix_s2_on_odd_sides_satisfies_s1_lemmas() {
+        // Appendix: "for the second snakelike sorting algorithm, the
+        // preceding analysis for the first snakelike sorting algorithm is
+        // applicable" — the Z-tracker lemma chain must hold for S2 on odd
+        // sides. Exhaustive on 3×3, random on 5×5.
+        for mask in 0u32..(1 << 9) {
+            let data: Vec<u8> = (0..9).map(|i| ((mask >> i) & 1) as u8).collect();
+            let mut g = Grid::from_rows(3, data).unwrap();
+            let trace = trace_s1_tracker(AlgorithmId::SnakeStaggeredCols, &mut g, 400);
+            assert!(trace.sorted, "mask {mask:#x}");
+            trace
+                .verify_s1_lemmas()
+                .unwrap_or_else(|(t, a, b)| panic!("mask {mask:#x}: step {t}: {a} -> {b}"));
+        }
+        let mut rng = StdRng::seed_from_u64(0x0DD);
+        for _ in 0..150 {
+            let mut g = random_zero_one(5, &mut rng);
+            let trace = trace_s1_tracker(AlgorithmId::SnakeStaggeredCols, &mut g, 1000);
+            assert!(trace.sorted);
+            trace
+                .verify_s1_lemmas()
+                .unwrap_or_else(|(t, a, b)| panic!("step {t}: {a} -> {b}"));
+        }
+    }
+
+    #[test]
+    fn tracker_trace_already_sorted() {
+        let mut g = Grid::from_rows(2, vec![0u8, 0, 1, 1]).unwrap();
+        let trace = trace_tracker(AlgorithmId::SnakeAlternating, &mut g, 100);
+        assert!(trace.sorted);
+        assert_eq!(trace.steps, 0);
+        assert!(trace.values.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "first two snakelike")]
+    fn s3_has_no_tracker() {
+        let mut g = Grid::from_rows(2, vec![0u8, 1, 1, 0]).unwrap();
+        let _ = trace_tracker(AlgorithmId::SnakePhaseAligned, &mut g, 10);
+    }
+
+    #[test]
+    fn verify_detects_fabricated_violation() {
+        let trace = TrackerTrace { values: vec![5, 4, 6, 6, 6], steps: 5, sorted: true };
+        // Step 0 -> 1 transition (t=0, kind 0) dropped: violation.
+        assert_eq!(trace.verify_s1_lemmas(), Err((0, 5, 4)));
+        let trace = TrackerTrace { values: vec![5, 5, 3, 3], steps: 4, sorted: true };
+        // t=1 -> t=2 is the Lemma 7 slot; drop of 2 exceeds the slack 1.
+        assert_eq!(trace.verify_s1_lemmas(), Err((1, 5, 3)));
+    }
+}

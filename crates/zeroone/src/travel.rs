@@ -1,0 +1,271 @@
+//! The travel lemmas (Lemmas 1–3) as executable checks.
+//!
+//! The row-major analysis rests on how zeros/ones "travel" between
+//! columns:
+//!
+//! * **Lemma 1** — column sorts change no column's composition;
+//! * **Lemma 2** — an odd row sort sends the zeros of even columns to
+//!   their left neighbour and the ones of odd columns to their right
+//!   neighbour: `w_{2j}(t) ≥ w_{2j−1}(t−1)` and
+//!   `z_{2j−1}(t) ≥ z_{2j}(t−1)`;
+//! * **Lemma 3** — an even row sort (with wrap-around) shifts the other
+//!   way, losing at most one unit around the wrap:
+//!   `w_{2j+1}(t) ≥ w_{2j}(t−1)`, `z_{2j}(t) ≥ z_{2j+1}(t−1)`,
+//!   `w₁(t) ≥ w_{2n}(t−1) − 1`, `z_{2n}(t) ≥ z₁(t−1) − 1`.
+//!
+//! [`check_r1_cycle`] applies the appropriate lemma after every step of a
+//! row-major run and reports the first violation (there are none — the
+//! test suites run it over exhaustive and random ensembles).
+
+use crate::column_stats::ColumnStats;
+use meshsort_mesh::{apply_plan, Grid, TargetOrder};
+use meshsort_core::AlgorithmId;
+
+/// Which lemma governs a given step of the R1 cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// Steps 4i+2 and 4i+4 — Lemma 1.
+    ColumnSort,
+    /// Step 4i+1 — Lemma 2.
+    OddRowSort,
+    /// Step 4i+3 — Lemma 3 (even row sort + wrap-around).
+    EvenRowSortWithWrap,
+}
+
+/// The kind of each step in R1's cycle, by step index mod 4.
+pub fn r1_step_kind(step: u64) -> StepKind {
+    match step % 4 {
+        0 => StepKind::OddRowSort,
+        1 => StepKind::ColumnSort,
+        2 => StepKind::EvenRowSortWithWrap,
+        _ => StepKind::ColumnSort,
+    }
+}
+
+/// The kind of each step in R2's cycle (columns first).
+pub fn r2_step_kind(step: u64) -> StepKind {
+    match step % 4 {
+        0 => StepKind::ColumnSort,
+        1 => StepKind::OddRowSort,
+        2 => StepKind::ColumnSort,
+        _ => StepKind::EvenRowSortWithWrap,
+    }
+}
+
+/// A violation of one of the travel lemmas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TravelViolation {
+    /// Step index (0-based) after which the inequality failed.
+    pub step: u64,
+    /// Which lemma failed.
+    pub kind: StepKind,
+    /// Human-readable description of the failed inequality.
+    pub detail: String,
+}
+
+/// Checks the lemma for one step transition given the column stats before
+/// and after. `side` must be even (the row-major regime).
+pub fn check_step(
+    kind: StepKind,
+    before: &ColumnStats,
+    after: &ColumnStats,
+    side: usize,
+    step: u64,
+) -> Result<(), TravelViolation> {
+    let n = side / 2;
+    let fail = |detail: String| Err(TravelViolation { step, kind, detail });
+    match kind {
+        StepKind::ColumnSort => {
+            // Lemma 1: exact conservation per column.
+            for k in 0..side {
+                if before.zeros[k] != after.zeros[k] || before.weights[k] != after.weights[k] {
+                    return fail(format!(
+                        "column {k}: ({}, {}) -> ({}, {})",
+                        before.zeros[k], before.weights[k], after.zeros[k], after.weights[k]
+                    ));
+                }
+            }
+            Ok(())
+        }
+        StepKind::OddRowSort => {
+            // Lemma 2 (paper 1-indexed j ∈ 1..=n): w_{2j}(t) ≥ w_{2j−1}(t−1)
+            // and z_{2j−1}(t) ≥ z_{2j}(t−1). 0-indexed: even col 2j−1 gains
+            // the weight of 2j−2; odd col 2j−2 gains the zeros of 2j−1.
+            for j in 0..n {
+                let odd = 2 * j; // paper column 2j+1 → 0-indexed even
+                let even = 2 * j + 1;
+                if after.weights[even] < before.weights[odd] {
+                    return fail(format!(
+                        "w[{even}] {} < prior w[{odd}] {}",
+                        after.weights[even], before.weights[odd]
+                    ));
+                }
+                if after.zeros[odd] < before.zeros[even] {
+                    return fail(format!(
+                        "z[{odd}] {} < prior z[{even}] {}",
+                        after.zeros[odd], before.zeros[even]
+                    ));
+                }
+            }
+            Ok(())
+        }
+        StepKind::EvenRowSortWithWrap => {
+            // Lemma 3, interior: w_{2j+1}(t) ≥ w_{2j}(t−1) and
+            // z_{2j}(t) ≥ z_{2j+1}(t−1) for j ∈ 1..n−1 (paper), plus the
+            // wrap pair with slack 1.
+            for j in 1..n {
+                let even = 2 * j - 1; // paper col 2j, 0-indexed
+                let odd = 2 * j; // paper col 2j+1
+                if after.weights[odd] < before.weights[even] {
+                    return fail(format!(
+                        "w[{odd}] {} < prior w[{even}] {}",
+                        after.weights[odd], before.weights[even]
+                    ));
+                }
+                if after.zeros[even] < before.zeros[odd] {
+                    return fail(format!(
+                        "z[{even}] {} < prior z[{odd}] {}",
+                        after.zeros[even], before.zeros[odd]
+                    ));
+                }
+            }
+            let first = 0;
+            let last = side - 1;
+            if after.weights[first] + 1 < before.weights[last] {
+                return fail(format!(
+                    "wrap: w[0] {} < prior w[{last}] {} - 1",
+                    after.weights[first], before.weights[last]
+                ));
+            }
+            if after.zeros[last] + 1 < before.zeros[first] {
+                return fail(format!(
+                    "wrap: z[{last}] {} < prior z[0] {} - 1",
+                    after.zeros[last], before.zeros[first]
+                ));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Runs `algorithm` (must be R1 or R2) on a 0–1 grid to completion,
+/// checking the appropriate travel lemma after every step. Returns the
+/// number of steps taken, or the first violation.
+///
+/// # Panics
+///
+/// Panics when called with a snakelike algorithm or an odd side.
+pub fn check_r1_cycle(
+    algorithm: AlgorithmId,
+    grid: &mut Grid<u8>,
+    cap: u64,
+) -> Result<u64, TravelViolation> {
+    assert!(algorithm.uses_wraparound(), "travel lemmas apply to the row-major algorithms");
+    let side = grid.side();
+    let schedule = algorithm.schedule(side).expect("even side");
+    let kind_of: fn(u64) -> StepKind = match algorithm {
+        AlgorithmId::RowMajorRowFirst => r1_step_kind,
+        AlgorithmId::RowMajorColFirst => r2_step_kind,
+        _ => unreachable!(),
+    };
+    let mut steps = 0u64;
+    for t in 0..cap {
+        if grid.is_sorted(TargetOrder::RowMajor) {
+            break;
+        }
+        let before = ColumnStats::of(grid);
+        apply_plan(grid, schedule.plan_at(t));
+        let after = ColumnStats::of(grid);
+        check_step(kind_of(t), &before, &after, side, t)?;
+        steps = t + 1;
+    }
+    Ok(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_kinds_cycle() {
+        assert_eq!(r1_step_kind(0), StepKind::OddRowSort);
+        assert_eq!(r1_step_kind(1), StepKind::ColumnSort);
+        assert_eq!(r1_step_kind(2), StepKind::EvenRowSortWithWrap);
+        assert_eq!(r1_step_kind(3), StepKind::ColumnSort);
+        assert_eq!(r1_step_kind(4), StepKind::OddRowSort);
+        // R2 swaps adjacent pairs.
+        assert_eq!(r2_step_kind(0), StepKind::ColumnSort);
+        assert_eq!(r2_step_kind(1), StepKind::OddRowSort);
+        assert_eq!(r2_step_kind(2), StepKind::ColumnSort);
+        assert_eq!(r2_step_kind(3), StepKind::EvenRowSortWithWrap);
+    }
+
+    #[test]
+    fn exhaustive_4x4_r1_no_violations() {
+        for mask in 0u32..(1 << 16) {
+            let data: Vec<u8> = (0..16).map(|i| ((mask >> i) & 1) as u8).collect();
+            let mut g = Grid::from_rows(4, data).unwrap();
+            check_r1_cycle(AlgorithmId::RowMajorRowFirst, &mut g, 300)
+                .unwrap_or_else(|v| panic!("mask {mask:#x}: {v:?}"));
+        }
+    }
+
+    #[test]
+    fn exhaustive_2x2_r2_no_violations() {
+        for mask in 0u32..16 {
+            let data: Vec<u8> = (0..4).map(|i| ((mask >> i) & 1) as u8).collect();
+            let mut g = Grid::from_rows(2, data).unwrap();
+            check_r1_cycle(AlgorithmId::RowMajorColFirst, &mut g, 100)
+                .unwrap_or_else(|v| panic!("mask {mask:#x}: {v:?}"));
+        }
+    }
+
+    #[test]
+    fn random_6x6_both_algorithms() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(0xA11CE);
+        for alg in [AlgorithmId::RowMajorRowFirst, AlgorithmId::RowMajorColFirst] {
+            for _ in 0..50 {
+                let data: Vec<u8> = (0..36).map(|_| rng.random_range(0..=1u8)).collect();
+                let mut g = Grid::from_rows(6, data).unwrap();
+                check_r1_cycle(alg, &mut g, 1000).unwrap_or_else(|v| panic!("{alg}: {v:?}"));
+            }
+        }
+    }
+
+    #[test]
+    fn violation_detection_works() {
+        // Feed check_step a fabricated "column sort" that changed a
+        // column's composition — it must flag Lemma 1.
+        let before =
+            ColumnStats::of(&Grid::from_rows(2, vec![0u8, 1, 0, 1]).unwrap());
+        let after = ColumnStats::of(&Grid::from_rows(2, vec![0u8, 0, 1, 1]).unwrap());
+        let res = check_step(StepKind::ColumnSort, &before, &after, 2, 7);
+        let v = res.unwrap_err();
+        assert_eq!(v.step, 7);
+        assert_eq!(v.kind, StepKind::ColumnSort);
+        assert!(v.detail.contains("column"));
+    }
+
+    #[test]
+    fn lemma2_violation_detection() {
+        // After an alleged odd row sort, the odd column lost zeros it
+        // should have inherited.
+        let before =
+            ColumnStats::of(&Grid::from_rows(2, vec![1u8, 0, 1, 0]).unwrap());
+        let after = ColumnStats::of(&Grid::from_rows(2, vec![1u8, 0, 1, 0]).unwrap());
+        // before: z = [0,2]; after: z = [0,2] but lemma requires
+        // z[0](t) >= z[1](t-1) = 2 — violated since z[0](t) = 0.
+        let res = check_step(StepKind::OddRowSort, &before, &after, 2, 0);
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn snake_algorithm_rejected() {
+        let mut g = Grid::from_rows(2, vec![0u8, 1, 1, 0]).unwrap();
+        let res = std::panic::catch_unwind(move || {
+            check_r1_cycle(AlgorithmId::SnakeAlternating, &mut g, 10)
+        });
+        assert!(res.is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! The concentration theorems, constructively: for a grid of `γ` and
+//! `δ` values, print the smallest witness `N₀` such that the probability
+//! of sorting in fewer than `γN` steps is provably below `δ` for all
+//! `N ≥ N₀` (Theorems 3, 5 and 8, via their own Chebyshev bounds).
+//!
+//! ```text
+//! cargo run --release --example concentration
+//! ```
+
+use meshsort::exact::thresholds::ConcentrationTheorem;
+
+fn main() {
+    let theorems = [
+        (ConcentrationTheorem::Theorem3, "Thm 3 (R1)"),
+        (ConcentrationTheorem::Theorem5, "Thm 5 (R2)"),
+        (ConcentrationTheorem::Theorem8, "Thm 8 (S1)"),
+    ];
+    let deltas = [0.1f64, 0.01, 0.001];
+
+    println!("witness N0 for 'P[steps < gamma*N] <= delta for all N >= N0'\n");
+    println!(
+        "{:<12} {:>7} {:>9} {:>14} {:>14} {:>14}",
+        "theorem", "c", "gamma", "delta 0.1", "delta 0.01", "delta 0.001"
+    );
+    println!("{}", "-".repeat(75));
+    for (theorem, label) in theorems {
+        let c = theorem.constant();
+        for frac in [0.5f64, 0.8, 0.95] {
+            let gamma = frac * c;
+            print!("{label:<12} {c:>7.3} {gamma:>9.4}");
+            for &delta in &deltas {
+                match theorem.witness_n0(gamma, delta, 1_000_000_000) {
+                    Some(n0) => print!(" {:>14}", format!("N0={}", 4 * n0 * n0)),
+                    None => print!(" {:>14}", "> cap"),
+                }
+            }
+            println!();
+        }
+    }
+    println!(
+        "\nreading: Theorem 8's witnesses are far smaller — its statistic concentrates at\n\
+         scale n^2 with variance Θ(n^2) (the corrected constant 1/8; see EXPERIMENTS.md),\n\
+         so its Chebyshev bound decays like 1/N instead of 1/sqrt(N)."
+    );
+}

@@ -1,0 +1,41 @@
+//! Print the paper's closed-form quantities exactly — as rationals, not
+//! floats — for a range of `n`, including the `o(1)` corrections the
+//! asymptotic statements hide, and the Theorem 8 erratum discovered by
+//! this reproduction.
+//!
+//! ```text
+//! cargo run --release --example exact_formulas [max_n]
+//! ```
+
+use meshsort::exact::paper;
+
+fn main() {
+    let max_n: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+
+    println!("exact paper quantities (side 2n, N = 4n^2)\n");
+    for n in 2..=max_n {
+        let nn = 4 * n * n;
+        println!("n = {n} (side {}, N = {nn}):", 2 * n);
+        println!("  Lemma 4   E[Z1]      = {}", paper::r1_expected_z1(n));
+        println!("  Theorem 3 Var(Z1)    = {}", paper::r1_var_z1(n));
+        println!("  Theorem 4 E[Z1]      = {}", paper::r2_expected_z1(n));
+        println!("  Theorem 5 Var(Z1)    = {}", paper::r2_var_z1(n));
+        println!("  Lemma 9   E[Z1(0)]   = {}", paper::s1_expected_z10(n));
+        println!("  Theorem 8 Var[Z1(0)] = {}  (corrected; paper prints 17n^2/8+...)",
+            paper::s1_var_z10(n));
+        println!("  Lemma 11  E[Y1(0)]   = {}", paper::s2_expected_y10(n));
+        println!("  Theorem 2 bound      = {}", paper::thm2_lower_bound(n));
+        println!("  Theorem 4 bound      = {}", paper::thm4_lower_bound(n));
+        println!("  Theorem 7 bound      = {}", paper::thm7_lower_bound(n));
+        println!("  Theorem 10 bound     = {}", paper::thm10_lower_bound(n));
+        println!("  odd side 2n+1: Lemma 14 E[Z1(0)] = {}", paper::s1_expected_z10_odd(n));
+        println!("                 Corollary 4 bound = {}", paper::corollary4_lower_bound(n));
+        println!();
+    }
+
+    println!("block distribution for R2 (Theorem 4), n = {max_n}:");
+    let d = paper::r2_block_z1_distribution(max_n);
+    for (z, p) in d.iter().enumerate() {
+        println!("  P(z1 = {z}) = {p}  ≈ {:.6}", p.to_f64());
+    }
+}

@@ -1,0 +1,53 @@
+//! Quickstart: sort one random permutation with each of the paper's five
+//! algorithms and report the step counts.
+//!
+//! ```text
+//! cargo run --release --example quickstart [side] [seed]
+//! ```
+
+use meshsort::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let side: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(16);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1993);
+    let n = side * side;
+
+    println!("meshsort quickstart — {side}x{side} mesh, N = {n}, seed = {seed}");
+    println!("(paper: every algorithm needs Θ(N) steps on average; diameter is only {})\n",
+        meshsort::mesh::pos::mesh_diameter(side));
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let input = random_permutation_grid(side, &mut rng);
+
+    println!("{:<22} {:>10} {:>10} {:>8}", "algorithm", "steps", "swaps", "steps/N");
+    for alg in AlgorithmId::ALL {
+        if !alg.supports_side(side) {
+            println!("{:<22} {:>10}", alg.name(), "(needs an even side)");
+            continue;
+        }
+        let mut grid = input.clone();
+        let run = sort_to_completion(alg, &mut grid).expect("side supported");
+        assert!(run.outcome.sorted, "{alg} failed to sort");
+        assert!(grid.is_sorted(alg.order()));
+        println!(
+            "{:<22} {:>10} {:>10} {:>8.3}",
+            alg.name(),
+            run.outcome.steps,
+            run.outcome.swaps,
+            run.outcome.steps as f64 / n as f64
+        );
+    }
+
+    let mut grid = input.clone();
+    let shear = meshsort::baselines::shearsort_until_sorted(&mut grid);
+    println!(
+        "{:<22} {:>10} {:>10} {:>8.3}   <- the O(sqrt(N) log sqrt(N)) baseline",
+        "shearsort",
+        shear.steps,
+        shear.swaps,
+        shear.steps as f64 / n as f64
+    );
+}

@@ -1,0 +1,33 @@
+//! Print the 4-step comparator cycle of each of the paper's five
+//! algorithms as ASCII diagrams — the step definitions of §1, visible.
+//!
+//! ```text
+//! cargo run --example show_schedules [side]
+//! ```
+
+use meshsort::core::AlgorithmId;
+use meshsort::mesh::viz::render_plan;
+
+fn main() {
+    let side: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(6);
+
+    for alg in AlgorithmId::ALL {
+        println!("==================================================================");
+        println!("{alg}  (target: {}, side {side})", alg.order().label());
+        println!("==================================================================");
+        let schedule = match alg.schedule(side) {
+            Ok(s) => s,
+            Err(e) => {
+                println!("  not defined on side {side}: {e}\n");
+                continue;
+            }
+        };
+        let labels = ["step 4i+1", "step 4i+2", "step 4i+3", "step 4i+4"];
+        for (label, plan) in labels.iter().zip(schedule.plans()) {
+            println!("--- {label} ({} comparators) ---", plan.len());
+            println!("{}", render_plan(plan, side));
+        }
+    }
+    println!("legend: o<>o forward row comparator (min left)   o><o reverse (min right)");
+    println!("        v column comparator (min up)             @ wrap-around exit");
+}

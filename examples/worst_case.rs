@@ -1,0 +1,57 @@
+//! Corollary 1's adversary: put the smallest `√N` values in one column
+//! and watch the wrap-around wires drain them around the mesh edge —
+//! at a cost of at least `2N − 4√N` steps. Also demonstrates *why* the
+//! wires exist: without them this input would never sort.
+//!
+//! ```text
+//! cargo run --release --example worst_case [side]
+//! ```
+
+use meshsort::core::{runner, AlgorithmId};
+use meshsort::exact::paper::corollary1_worst_case;
+use meshsort::mesh::TargetOrder;
+use meshsort::workloads::adversarial::smallest_in_one_column;
+
+fn main() {
+    let side: usize =
+        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    assert!(side % 2 == 0, "the row-major algorithms need an even side");
+    let n = side * side;
+    let bound = corollary1_worst_case(side as u64);
+
+    println!("Corollary 1 adversary on a {side}x{side} mesh (N = {n})");
+    println!("the smallest {side} values start stacked in column 1");
+    println!("predicted minimum: 2N - 4*sqrt(N) = {bound} steps\n");
+
+    for alg in AlgorithmId::ROW_MAJOR {
+        let mut grid = smallest_in_one_column(side, 0);
+        let run = runner::sort_to_completion(alg, &mut grid).expect("even side");
+        assert!(run.outcome.sorted);
+        assert!(grid.is_sorted(TargetOrder::RowMajor));
+        println!(
+            "{:<22} {:>8} steps  ({:.2}x the bound, {:.2} steps per cell)",
+            alg.name(),
+            run.outcome.steps,
+            run.outcome.steps as f64 / bound as f64,
+            run.outcome.steps as f64 / n as f64
+        );
+    }
+
+    // Compare with the average case on the same mesh size.
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBAD);
+    let trials = 32;
+    let mut total = 0u64;
+    for _ in 0..trials {
+        let mut grid = meshsort::workloads::permutation::random_permutation_grid(side, &mut rng);
+        total += runner::sort_to_completion(AlgorithmId::RowMajorRowFirst, &mut grid)
+            .unwrap()
+            .outcome
+            .steps;
+    }
+    println!(
+        "\nfor scale: {} random permutations averaged {:.0} steps — the paper's point is that\nthis average is itself Θ(N), only a small constant below the adversary",
+        trials,
+        total as f64 / trials as f64
+    );
+}

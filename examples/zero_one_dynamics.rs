@@ -1,0 +1,73 @@
+//! Watch the paper's §2 analysis happen: run the first row-major
+//! algorithm on a random balanced 0–1 mesh and print, cycle by cycle,
+//! the per-column zero counts — the zeros of heavy odd columns visibly
+//! *travel* leftward one column per row-sorting step, wrapping from
+//! column 1 to column 2n, exactly as Lemmas 2–3 describe. Also prints the
+//! `M` statistic and Theorem 1's predicted minimum remaining steps.
+//!
+//! ```text
+//! cargo run --release --example zero_one_dynamics [side] [seed]
+//! ```
+
+use meshsort::core::AlgorithmId;
+use meshsort::mesh::{apply_plan, TargetOrder};
+use meshsort::workloads::zero_one::random_balanced_zero_one_grid;
+use meshsort::zeroone::column_stats::{m_statistic, ColumnStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let side: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(12);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(7);
+    assert!(side % 2 == 0, "the row-major algorithms need an even side");
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut grid = random_balanced_zero_one_grid(side, &mut rng);
+    let schedule = AlgorithmId::RowMajorRowFirst.schedule(side).unwrap();
+    let alpha = (side * side / 2) as u64;
+
+    println!("zero/one travel on a {side}x{side} balanced 0-1 mesh (alpha = {alpha} zeros)\n");
+    println!("per-column zero counts after each row-sorting step:");
+    println!("  (odd paper columns shown [bracketed] — Lemma 2/3 shift zeros toward them)\n");
+
+    let render = |stats: &ColumnStats| -> String {
+        stats
+            .zeros
+            .iter()
+            .enumerate()
+            .map(|(k, z)| if k % 2 == 0 { format!("[{z:>2}]") } else { format!(" {z:>2} ") })
+            .collect::<Vec<_>>()
+            .join("")
+    };
+
+    println!("t=  0 (input)      {}", render(&ColumnStats::of(&grid)));
+
+    // First row sort: the measurement point of Lemma 4 / Corollary 2.
+    apply_plan(&mut grid, schedule.plan_at(0));
+    let stats = ColumnStats::of(&grid);
+    let m = m_statistic(&grid);
+    let x = stats.max_zeros_odd_columns();
+    println!("t=  1 (row odd)    {}", render(&stats));
+    println!(
+        "\n  M statistic = {m} -> Corollary 2 floor: > {} steps",
+        meshsort::exact::paper::corollary2_steps_bound(m.max(0) as u64, (side / 2) as u64)
+    );
+    println!(
+        "  max zeros in an odd column x = {x} -> Theorem 1: >= {} more steps\n",
+        meshsort::exact::paper::theorem1_extra_steps(x, alpha, side as u64)
+    );
+
+    let mut t = 1u64;
+    let cap = 16 * (side * side) as u64;
+    while !grid.is_sorted(TargetOrder::RowMajor) && t < cap {
+        apply_plan(&mut grid, schedule.plan_at(t));
+        t += 1;
+        // Report after every row-sorting step (cycle steps 1 and 3).
+        if t % 4 == 1 || t % 4 == 3 {
+            let label = if t % 4 == 1 { "row odd " } else { "row even" };
+            println!("t={t:>3} ({label})   {}", render(&ColumnStats::of(&grid)));
+        }
+    }
+    println!("\nsorted after {t} steps (N = {}, steps/N = {:.2})", side * side, t as f64 / (side * side) as f64);
+}

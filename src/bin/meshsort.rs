@@ -1,0 +1,94 @@
+//! The `meshsort` binary: a thin dispatcher over [`meshsort::cli`].
+
+use meshsort::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprint!("{}", cli::usage());
+        std::process::exit(2);
+    }
+    let command = args[0].as_str();
+
+    // Flag parsing: --key value pairs after the subcommand.
+    let mut side = 16usize;
+    let mut seed = 1993u64;
+    let mut n_param = 4u64;
+    let mut algorithm = None;
+    let mut trace = false;
+    let mut theorem = 3u32;
+    let mut gamma = 0.25f64;
+    let mut delta = 0.05f64;
+    let mut i = 1;
+    let bad = |msg: &str| -> ! {
+        eprintln!("error: {msg}\n");
+        eprint!("{}", cli::usage());
+        std::process::exit(2);
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--side" => {
+                i += 1;
+                side = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| bad("bad --side"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| bad("bad --seed"));
+            }
+            "--n" => {
+                i += 1;
+                n_param = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| bad("bad --n"));
+            }
+            "--algorithm" => {
+                i += 1;
+                let name = args.get(i).unwrap_or_else(|| bad("missing algorithm"));
+                algorithm =
+                    Some(cli::parse_algorithm(name).unwrap_or_else(|| bad("unknown algorithm")));
+            }
+            "--trace" => trace = true,
+            "--theorem" => {
+                i += 1;
+                theorem =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| bad("bad --theorem"));
+            }
+            "--gamma" => {
+                i += 1;
+                gamma = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| bad("bad --gamma"));
+            }
+            "--delta" => {
+                i += 1;
+                delta = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| bad("bad --delta"));
+            }
+            other => bad(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    let result = match command {
+        "sort" => {
+            let alg = algorithm.unwrap_or_else(|| bad("sort needs --algorithm"));
+            cli::cmd_sort(alg, side, seed, trace)
+        }
+        "race" => Ok(cli::cmd_race(side, seed)),
+        "min-walk" => Ok(cli::cmd_min_walk(side, seed)),
+        "schedule" => {
+            let alg = algorithm.unwrap_or_else(|| bad("schedule needs --algorithm"));
+            cli::cmd_schedule(alg, side.min(12))
+        }
+        "witness" => cli::cmd_witness(theorem, gamma, delta),
+        "formulas" => Ok(cli::cmd_formulas(n_param)),
+        "help" | "--help" | "-h" => {
+            print!("{}", cli::usage());
+            return;
+        }
+        other => bad(&format!("unknown command {other}")),
+    };
+
+    match result {
+        Ok(text) => print!("{text}"),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

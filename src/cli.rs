@@ -1,0 +1,253 @@
+//! The `meshsort` command-line interface: each subcommand is a pure
+//! function from parsed options to a report string, so the logic is unit
+//! tested and `main` stays a thin dispatcher.
+
+use meshsort_core::instrument::run_instrumented;
+use meshsort_core::min_tracker::track_min;
+use meshsort_core::{runner, AlgorithmId};
+use meshsort_exact::thresholds::ConcentrationTheorem;
+use meshsort_mesh::viz::render_plan;
+use meshsort_workloads::permutation::random_permutation_grid;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+
+/// Parses an algorithm name: the short ids `r1 r2 s1 s2 s3` or the full
+/// display names.
+pub fn parse_algorithm(s: &str) -> Option<AlgorithmId> {
+    match s.to_ascii_lowercase().as_str() {
+        "r1" | "row-major/row-first" => Some(AlgorithmId::RowMajorRowFirst),
+        "r2" | "row-major/col-first" => Some(AlgorithmId::RowMajorColFirst),
+        "s1" | "snake/alternating" => Some(AlgorithmId::SnakeAlternating),
+        "s2" | "snake/staggered-cols" => Some(AlgorithmId::SnakeStaggeredCols),
+        "s3" | "snake/phase-aligned" => Some(AlgorithmId::SnakePhaseAligned),
+        _ => None,
+    }
+}
+
+/// `meshsort sort`: one run, optionally with a sampled metric timeline.
+pub fn cmd_sort(algorithm: AlgorithmId, side: usize, seed: u64, trace: bool) -> Result<String, String> {
+    if !algorithm.supports_side(side) {
+        return Err(format!("{algorithm} is not defined on side {side} (needs an even side)"));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut grid = random_permutation_grid(side, &mut rng);
+    let mut out = String::new();
+    let n = side * side;
+    if trace {
+        let tl = run_instrumented(algorithm, &mut grid, (n as u64 / 8).max(1), runner::default_step_cap(side))
+            .map_err(|e| e.to_string())?;
+        writeln!(out, "{algorithm} on a {side}x{side} mesh (seed {seed})").unwrap();
+        writeln!(out, "{:>8} {:>12} {:>14} {:>10}", "step", "inversions", "displacement", "dirty rows")
+            .unwrap();
+        for s in &tl.samples {
+            writeln!(out, "{:>8} {:>12} {:>14} {:>10}", s.step, s.inversions, s.displacement, s.dirty_rows)
+                .unwrap();
+        }
+        writeln!(out, "sorted in {} steps ({:.3} steps/cell)", tl.steps, tl.steps as f64 / n as f64)
+            .unwrap();
+    } else {
+        let run = runner::sort_to_completion(algorithm, &mut grid).map_err(|e| e.to_string())?;
+        writeln!(
+            out,
+            "{algorithm}: sorted {n} values in {} steps ({} swaps, {:.3} steps/cell)",
+            run.outcome.steps,
+            run.outcome.swaps,
+            run.outcome.steps as f64 / n as f64
+        )
+        .unwrap();
+    }
+    Ok(out)
+}
+
+/// `meshsort race`: all five algorithms plus Shearsort on one input.
+pub fn cmd_race(side: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let input = random_permutation_grid(side, &mut rng);
+    let n = side * side;
+    let mut out = format!("race on a {side}x{side} mesh (N = {n}, seed = {seed})\n");
+    writeln!(out, "{:<22} {:>9} {:>9}", "algorithm", "steps", "steps/N").unwrap();
+    for alg in AlgorithmId::ALL {
+        if !alg.supports_side(side) {
+            writeln!(out, "{:<22} {:>9}", alg.name(), "n/a").unwrap();
+            continue;
+        }
+        let mut grid = input.clone();
+        let run = runner::sort_to_completion(alg, &mut grid).expect("side checked");
+        writeln!(
+            out,
+            "{:<22} {:>9} {:>9.3}",
+            alg.name(),
+            run.outcome.steps,
+            run.outcome.steps as f64 / n as f64
+        )
+        .unwrap();
+    }
+    let mut grid = input.clone();
+    let shear = meshsort_baselines::shearsort_until_sorted(&mut grid);
+    writeln!(out, "{:<22} {:>9} {:>9.3}", "shearsort", shear.steps, shear.steps as f64 / n as f64)
+        .unwrap();
+    out
+}
+
+/// `meshsort min-walk`: Theorem 12's observable.
+pub fn cmd_min_walk(side: usize, seed: u64) -> String {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut grid = random_permutation_grid(side, &mut rng);
+    let path = track_min(AlgorithmId::SnakePhaseAligned, &mut grid, runner::default_step_cap(side))
+        .expect("snake supports all sides");
+    let m = path.initial_rank();
+    let home = path.steps_until_home();
+    let lemmas = path.verify_rank_lemmas();
+    format!(
+        "S3 min walk on {side}x{side}: start rank m = {m}, floor 2m-3 = {}, home after {:?} steps, \
+         Lemmas 12/13: {}\n",
+        (2 * m).saturating_sub(3),
+        home,
+        if lemmas.is_ok() { "hold" } else { "VIOLATED" }
+    )
+}
+
+/// `meshsort schedule`: render one algorithm's cycle.
+pub fn cmd_schedule(algorithm: AlgorithmId, side: usize) -> Result<String, String> {
+    let schedule = algorithm.schedule(side).map_err(|e| e.to_string())?;
+    let mut out = format!("{algorithm} cycle on side {side}:\n");
+    for (i, plan) in schedule.plans().iter().enumerate() {
+        writeln!(out, "--- step 4i+{} ({} comparators) ---", i + 1, plan.len()).unwrap();
+        out.push_str(&render_plan(plan, side));
+    }
+    Ok(out)
+}
+
+/// `meshsort witness`: N₀ witnesses for the concentration theorems.
+pub fn cmd_witness(theorem: u32, gamma: f64, delta: f64) -> Result<String, String> {
+    let t = match theorem {
+        3 => ConcentrationTheorem::Theorem3,
+        5 => ConcentrationTheorem::Theorem5,
+        8 => ConcentrationTheorem::Theorem8,
+        _ => return Err("theorem must be 3, 5 or 8".to_string()),
+    };
+    if gamma >= t.constant() {
+        return Err(format!("gamma {gamma} must be below the theorem's constant {}", t.constant()));
+    }
+    match t.witness_n0(gamma, delta, 100_000_000) {
+        Some(n0) => Ok(format!(
+            "Theorem {theorem}: for gamma = {gamma}, delta = {delta}: n0 = {n0} (N0 = {}) — \
+             Chebyshev bound {:.3e} at n0\n",
+            4 * n0 * n0,
+            t.probability_bound(n0, gamma)
+        )),
+        None => Err("no witness within the scan cap".to_string()),
+    }
+}
+
+/// `meshsort formulas`: the exact quantities at one `n`.
+pub fn cmd_formulas(n: u64) -> String {
+    use meshsort_exact::paper;
+    let mut out = format!("exact paper quantities at n = {n} (side {}, N = {}):\n", 2 * n, 4 * n * n);
+    let rows: Vec<(&str, meshsort_exact::Ratio)> = vec![
+        ("Lemma 4   E[Z1]", paper::r1_expected_z1(n)),
+        ("Theorem 3 Var(Z1)", paper::r1_var_z1(n)),
+        ("Theorem 4 E[Z1]", paper::r2_expected_z1(n)),
+        ("Theorem 5 Var(Z1)", paper::r2_var_z1(n)),
+        ("Lemma 9   E[Z1(0)]", paper::s1_expected_z10(n)),
+        ("Theorem 8 Var[Z1(0)] (corrected)", paper::s1_var_z10(n)),
+        ("Lemma 11  E[Y1(0)]", paper::s2_expected_y10(n)),
+        ("Theorem 2 bound", paper::thm2_lower_bound(n)),
+        ("Theorem 7 bound", paper::thm7_lower_bound(n)),
+    ];
+    for (label, v) in rows {
+        writeln!(out, "  {label:<34} = {v}  (≈ {:.6})", v.to_f64()).unwrap();
+    }
+    out
+}
+
+/// Top-level usage text.
+pub fn usage() -> &'static str {
+    "meshsort — five 2D bubble sorting algorithms (Savari, SPAA 1993)\n\
+     \n\
+     usage:\n\
+       meshsort sort --algorithm <r1|r2|s1|s2|s3> [--side N] [--seed S] [--trace]\n\
+       meshsort race [--side N] [--seed S]\n\
+       meshsort min-walk [--side N] [--seed S]\n\
+       meshsort schedule --algorithm <id> [--side N]\n\
+       meshsort witness --theorem <3|5|8> --gamma G --delta D\n\
+       meshsort formulas [--n N]\n"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_parsing() {
+        assert_eq!(parse_algorithm("r1"), Some(AlgorithmId::RowMajorRowFirst));
+        assert_eq!(parse_algorithm("S3"), Some(AlgorithmId::SnakePhaseAligned));
+        assert_eq!(parse_algorithm("snake/alternating"), Some(AlgorithmId::SnakeAlternating));
+        assert_eq!(parse_algorithm("bogus"), None);
+    }
+
+    #[test]
+    fn sort_reports_steps() {
+        let out = cmd_sort(AlgorithmId::SnakeAlternating, 8, 1, false).unwrap();
+        assert!(out.contains("sorted 64 values"));
+        assert!(out.contains("steps/cell"));
+    }
+
+    #[test]
+    fn sort_rejects_odd_side_for_row_major() {
+        let err = cmd_sort(AlgorithmId::RowMajorRowFirst, 5, 1, false).unwrap_err();
+        assert!(err.contains("even side"));
+    }
+
+    #[test]
+    fn sort_trace_has_timeline() {
+        let out = cmd_sort(AlgorithmId::SnakeAlternating, 6, 2, true).unwrap();
+        assert!(out.contains("inversions"));
+        assert!(out.lines().count() > 4);
+        assert!(out.contains("sorted in"));
+    }
+
+    #[test]
+    fn race_lists_all_competitors() {
+        let out = cmd_race(8, 3);
+        for alg in AlgorithmId::ALL {
+            assert!(out.contains(alg.name()), "{out}");
+        }
+        assert!(out.contains("shearsort"));
+        // Odd side: row-major shows n/a.
+        let out = cmd_race(5, 3);
+        assert!(out.contains("n/a"));
+    }
+
+    #[test]
+    fn min_walk_reports_lemmas() {
+        let out = cmd_min_walk(8, 4);
+        assert!(out.contains("Lemmas 12/13: hold"), "{out}");
+    }
+
+    #[test]
+    fn schedule_renders() {
+        let out = cmd_schedule(AlgorithmId::RowMajorRowFirst, 4).unwrap();
+        assert!(out.contains("step 4i+1"));
+        assert!(out.contains("o<>o"));
+        assert!(out.contains('@'), "wrap wires missing: {out}");
+        assert!(cmd_schedule(AlgorithmId::RowMajorRowFirst, 3).is_err());
+    }
+
+    #[test]
+    fn witness_solves() {
+        let out = cmd_witness(3, 0.25, 0.05).unwrap();
+        assert!(out.contains("n0 = "));
+        assert!(cmd_witness(3, 0.6, 0.05).is_err());
+        assert!(cmd_witness(4, 0.2, 0.05).is_err());
+    }
+
+    #[test]
+    fn formulas_prints_erratum_label() {
+        let out = cmd_formulas(3);
+        assert!(out.contains("corrected"));
+        assert!(out.contains("Lemma 4"));
+        assert!(out.contains('/')); // exact rationals visible
+    }
+}

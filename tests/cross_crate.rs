@@ -1,0 +1,161 @@
+//! Cross-crate integration: the exact crate's derivations against the
+//! live simulator, the `A ↦ A^01` reduction's lower-bound property, the
+//! Shearsort baseline against the bubble sorts, and the experiment
+//! registry end-to-end.
+
+use meshsort::core::{runner, AlgorithmId};
+use meshsort::mesh::{apply_plan, TargetOrder};
+use meshsort::prelude::*;
+use meshsort::workloads::zero_one::reduce_to_zero_one;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The exact crate simulates R2's 2×2 block mapping internally
+/// (Theorem 4). Verify that mapping against the *real* mesh schedule:
+/// run R2's first two steps on a full mesh and check every block matches
+/// the canonical form predicted from its zero pattern.
+#[test]
+fn exact_block_mapping_matches_live_schedule() {
+    let side = 6;
+    let schedule = AlgorithmId::RowMajorColFirst.schedule(side).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xB10C);
+    for _ in 0..200 {
+        let input = meshsort::workloads::zero_one::random_balanced_zero_one_grid(side, &mut rng);
+        let mut grid = input.clone();
+        apply_plan(&mut grid, schedule.plan_at(0));
+        apply_plan(&mut grid, schedule.plan_at(1));
+        for bh in 0..side / 2 {
+            for bj in 0..side / 2 {
+                let (r, c) = (2 * bh, 2 * bj);
+                let pattern = [
+                    *input.get(r, c),
+                    *input.get(r, c + 1),
+                    *input.get(r + 1, c),
+                    *input.get(r + 1, c + 1),
+                ];
+                let zeros = pattern.iter().filter(|&&v| v == 0).count();
+                // Count zeros in the block's left column after the sort.
+                let left_zeros = (*grid.get(r, c) == 0) as usize + (*grid.get(r + 1, c) == 0) as usize;
+                // The paper's canonical mapping by zero count:
+                let expected = match (zeros, pattern) {
+                    (4, _) => 2,
+                    (3, _) => 2,
+                    (2, [0, 1, 0, 1]) | (2, [1, 0, 1, 0]) => 2,
+                    (2, _) => 1,
+                    (1, _) => 1,
+                    _ => 0,
+                };
+                assert_eq!(left_zeros, expected, "block ({bh},{bj}) pattern {pattern:?}");
+            }
+        }
+    }
+}
+
+/// The `A ↦ A^01` reduction is a lower bound: sorting the 0–1 image
+/// never takes longer than sorting the original permutation (same
+/// comparator network, 0–1 principle direction used by the paper).
+#[test]
+fn zero_one_reduction_lower_bounds_permutation_steps() {
+    let mut rng = StdRng::seed_from_u64(0x10E);
+    for alg in AlgorithmId::ALL {
+        for side in [4usize, 6, 8] {
+            if !alg.supports_side(side) {
+                continue;
+            }
+            for _ in 0..20 {
+                let perm = random_permutation_grid(side, &mut rng);
+                let mut reduced = reduce_to_zero_one(&perm);
+                let mut full = perm.clone();
+                let r_reduced = runner::sort_to_completion(alg, &mut reduced).unwrap();
+                let r_full = runner::sort_to_completion(alg, &mut full).unwrap();
+                assert!(
+                    r_reduced.outcome.steps <= r_full.outcome.steps,
+                    "{alg} side {side}: 0-1 image took {} > {}",
+                    r_reduced.outcome.steps,
+                    r_full.outcome.steps
+                );
+            }
+        }
+    }
+}
+
+/// Running an algorithm on the 0–1 image step-by-step alongside the
+/// permutation shows the image is exactly the thresholded permutation at
+/// *every* step (obliviousness: comparators act identically through the
+/// monotone 0–1 projection).
+#[test]
+fn zero_one_projection_commutes_with_steps() {
+    let side = 6;
+    let alg = AlgorithmId::SnakeAlternating;
+    let schedule = alg.schedule(side).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xC0);
+    let perm = random_permutation_grid(side, &mut rng);
+    let mut image = reduce_to_zero_one(&perm);
+    let mut full = perm.clone();
+    for t in 0..100u64 {
+        apply_plan(&mut full, schedule.plan_at(t));
+        apply_plan(&mut image, schedule.plan_at(t));
+        let reprojected = reduce_to_zero_one(&full);
+        assert_eq!(image, reprojected, "diverged at step {t}");
+    }
+}
+
+/// Shearsort and every bubble sort agree on the *result* (the sorted
+/// snake arrangement) even though their step counts differ wildly.
+#[test]
+fn all_snake_sorters_agree_on_final_arrangement() {
+    let mut rng = StdRng::seed_from_u64(0xA9EE);
+    let side = 8;
+    let input = random_permutation_grid(side, &mut rng);
+    let expected = input.sorted_copy(TargetOrder::Snake);
+
+    for alg in AlgorithmId::SNAKE {
+        let mut grid = input.clone();
+        runner::sort_to_completion(alg, &mut grid).unwrap();
+        assert_eq!(grid, expected, "{alg}");
+    }
+    let mut grid = input.clone();
+    meshsort::baselines::shearsort_until_sorted(&mut grid);
+    assert_eq!(grid, expected, "shearsort");
+}
+
+/// The experiment registry runs end-to-end in quick mode with nothing
+/// failing — the same check the CLI's exit code performs.
+#[test]
+fn experiment_registry_quick_smoke() {
+    use meshsort::experiments::{run_by_id, Config};
+    let cfg = Config::quick();
+    // A representative cross-section (the full set runs in the
+    // experiments crate's own tests; E01/E11/E15 are the cheapest of
+    // each kind: statistic, deterministic, 1D).
+    for id in ["e01", "e11", "e15"] {
+        let report = run_by_id(id, &cfg).expect("known id");
+        assert!(report.overall().acceptable(), "{id}: {}", report.render());
+    }
+}
+
+/// Corollary 2's chain across crates: measure M via `meshsort-zeroone`,
+/// bound via `meshsort-exact`, reality via `meshsort-core`.
+#[test]
+fn corollary2_chain_holds_on_random_inputs() {
+    let side = 8;
+    let n = (side / 2) as u64;
+    let schedule = AlgorithmId::RowMajorRowFirst.schedule(side).unwrap();
+    let mut rng = StdRng::seed_from_u64(0xC02);
+    for _ in 0..50 {
+        let mut grid = meshsort::workloads::zero_one::random_balanced_zero_one_grid(side, &mut rng);
+        apply_plan(&mut grid, schedule.plan_at(0));
+        let m = meshsort::zeroone::m_statistic(&grid);
+        // Continue the run to completion, counting total steps (the first
+        // row sort already happened).
+        let mut t = 1u64;
+        while !grid.is_sorted(TargetOrder::RowMajor) && t < 10_000 {
+            apply_plan(&mut grid, schedule.plan_at(t));
+            t += 1;
+        }
+        if m > 0 {
+            let bound = meshsort::exact::paper::corollary2_steps_bound(m as u64, n);
+            assert!(t > bound, "steps {t} <= 4nM = {bound} (M = {m})");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Reproducibility guarantees across the workspace: fixed seeds produce
+//! identical workloads, runs, statistics and experiment reports,
+//! independent of thread count.
+
+use meshsort::prelude::*;
+use meshsort::stats::{run_trials, RunningStats, SeedSequence};
+
+#[test]
+fn workloads_reproduce_from_seeds() {
+    use rand::SeedableRng;
+    let g1 = random_permutation_grid(10, &mut rand::rngs::StdRng::seed_from_u64(5));
+    let g2 = random_permutation_grid(10, &mut rand::rngs::StdRng::seed_from_u64(5));
+    assert_eq!(g1, g2);
+    let z1 = random_balanced_zero_one_grid(9, &mut rand::rngs::StdRng::seed_from_u64(6));
+    let z2 = random_balanced_zero_one_grid(9, &mut rand::rngs::StdRng::seed_from_u64(6));
+    assert_eq!(z1, z2);
+}
+
+#[test]
+fn parallel_monte_carlo_is_thread_count_invariant() {
+    let measure = |threads: usize| -> RunningStats {
+        run_trials(
+            SeedSequence::new(0xDE7),
+            40,
+            threads,
+            RunningStats::new,
+            |_i, rng, acc: &mut RunningStats| {
+                let mut grid = random_permutation_grid(8, rng);
+                let run = sort_to_completion(AlgorithmId::SnakeStaggeredCols, &mut grid).unwrap();
+                acc.push(run.outcome.steps as f64);
+            },
+            |a, b| a.merge(&b),
+        )
+    };
+    let baseline = measure(1);
+    for threads in [2usize, 4, 8] {
+        let s = measure(threads);
+        assert_eq!(s.count(), baseline.count());
+        assert!((s.mean() - baseline.mean()).abs() < 1e-12, "threads {threads}");
+        assert_eq!(s.min(), baseline.min());
+        assert_eq!(s.max(), baseline.max());
+    }
+}
+
+#[test]
+fn experiment_reports_reproduce() {
+    use meshsort::experiments::{run_by_id, Config};
+    let mut cfg = Config::quick();
+    cfg.seed = 123;
+    let a = run_by_id("e01", &cfg).unwrap();
+    let b = run_by_id("e01", &cfg).unwrap();
+    assert_eq!(a.rows, b.rows);
+    // And a different thread count must not change the numbers.
+    let mut cfg2 = cfg.clone();
+    cfg2.threads = (cfg.threads % 4) + 1;
+    let c = run_by_id("e01", &cfg2).unwrap();
+    assert_eq!(a.rows, c.rows);
+    // A different seed must.
+    cfg.seed = 124;
+    let d = run_by_id("e01", &cfg).unwrap();
+    assert_ne!(a.rows, d.rows);
+}
+
+#[test]
+fn algorithm_runs_are_pure_functions_of_input() {
+    use rand::SeedableRng;
+    for alg in AlgorithmId::ALL {
+        let side = 6;
+        if !alg.supports_side(side) {
+            continue;
+        }
+        let input =
+            random_permutation_grid(side, &mut rand::rngs::StdRng::seed_from_u64(0xF00D));
+        let mut a = input.clone();
+        let mut b = input.clone();
+        let ra = sort_to_completion(alg, &mut a).unwrap();
+        let rb = sort_to_completion(alg, &mut b).unwrap();
+        assert_eq!(ra.outcome.steps, rb.outcome.steps, "{alg}");
+        assert_eq!(ra.outcome.comparisons, rb.outcome.comparisons, "{alg}");
+        assert_eq!(a, b, "{alg}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Distribution-level validation: the Monte-Carlo simulator against the
+//! *exact laws* derived in `meshsort-exact::distribution` — a chi-square
+//! goodness-of-fit across the full pmf, much stronger than matching
+//! means and variances.
+
+use meshsort::core::AlgorithmId;
+use meshsort::exact::distribution::{pmf_mean, pmf_variance, r1_z1_distribution};
+use meshsort::mesh::apply_plan;
+use meshsort::stats::gof::chi_square_test;
+use meshsort::workloads::zero_one::random_balanced_zero_one_grid;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn sample_z1_counts(side: usize, trials: u64, seed: u64) -> Vec<u64> {
+    let schedule = AlgorithmId::RowMajorRowFirst.schedule(side).unwrap();
+    let mut counts = vec![0u64; side + 1];
+    let mut rng = StdRng::seed_from_u64(seed);
+    for _ in 0..trials {
+        let mut grid = random_balanced_zero_one_grid(side, &mut rng);
+        apply_plan(&mut grid, schedule.plan_at(0));
+        let z1 = grid.column(0).filter(|&&v| v == 0).count();
+        counts[z1] += 1;
+    }
+    counts
+}
+
+#[test]
+fn z1_samples_match_exact_law() {
+    for n in [2u64, 4, 8] {
+        let side = (2 * n) as usize;
+        let pmf = r1_z1_distribution(n);
+        let probs: Vec<f64> = pmf.iter().map(|p| p.to_f64()).collect();
+        let counts = sample_z1_counts(side, 40_000, 0xD157 + n);
+        let t = chi_square_test(&counts, &probs, 5.0);
+        // A correct simulator should not be rejected at the 0.1% level.
+        assert!(t.p_value > 0.001, "n={n}: χ² = {:.2}, p = {:.6}", t.statistic, t.p_value);
+    }
+}
+
+#[test]
+fn exact_law_detects_a_broken_simulator() {
+    // Negative control: sample Z₁ from the *wrong* algorithm (R2's first
+    // two steps) and check the R1 law rejects it decisively.
+    let n = 4u64;
+    let side = 8usize;
+    let pmf = r1_z1_distribution(n);
+    let probs: Vec<f64> = pmf.iter().map(|p| p.to_f64()).collect();
+    let schedule = AlgorithmId::RowMajorColFirst.schedule(side).unwrap();
+    let mut counts = vec![0u64; side + 1];
+    let mut rng = StdRng::seed_from_u64(0xBAD);
+    for _ in 0..40_000 {
+        let mut grid = random_balanced_zero_one_grid(side, &mut rng);
+        apply_plan(&mut grid, schedule.plan_at(0));
+        apply_plan(&mut grid, schedule.plan_at(1));
+        counts[grid.column(0).filter(|&&v| v == 0).count()] += 1;
+    }
+    let t = chi_square_test(&counts, &probs, 5.0);
+    assert!(t.p_value < 1e-9, "wrong law not rejected: {t:?}");
+}
+
+#[test]
+fn exact_law_moments_match_paper_module() {
+    for n in [1u64, 3, 6, 10] {
+        let pmf = r1_z1_distribution(n);
+        assert_eq!(pmf_mean(&pmf), meshsort::exact::paper::r1_expected_z1(n), "mean n={n}");
+        assert_eq!(pmf_variance(&pmf), meshsort::exact::paper::r1_var_z1(n), "var n={n}");
+    }
+}
+
+#[test]
+fn support_is_concentrated_in_upper_half() {
+    // Lemma 4's message, distribution edition: Z₁ lives around 3n/2;
+    // mass below n is tiny already at n = 8.
+    let n = 8u64;
+    let pmf = r1_z1_distribution(n);
+    let below_n: f64 = pmf.iter().take(n as usize + 1).map(|p| p.to_f64()).sum();
+    assert!(below_n < 0.03, "P(Z1 <= n) = {below_n}");
+}

@@ -1,0 +1,162 @@
+//! Property-based integration tests: the five algorithms sort *every*
+//! input (0–1 principle plus direct permutation checks), conserve the
+//! value multiset, respect their step caps, and treat their sorted
+//! states as fixed points.
+
+use meshsort::prelude::*;
+use meshsort::core::runner;
+use proptest::prelude::*;
+
+fn arb_side(min: usize, max: usize) -> impl Strategy<Value = usize> {
+    (min..=max).prop_filter("non-empty", |s| *s >= 1)
+}
+
+fn arb_permutation(side: usize) -> impl Strategy<Value = Vec<u32>> {
+    Just((0..(side * side) as u32).collect::<Vec<u32>>()).prop_shuffle()
+}
+
+fn supported_sides(alg: AlgorithmId) -> impl Strategy<Value = usize> {
+    match alg {
+        AlgorithmId::RowMajorRowFirst | AlgorithmId::RowMajorColFirst => {
+            arb_side(1, 5).prop_map(|k| 2 * k).boxed()
+        }
+        _ => arb_side(2, 9).boxed(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn r1_sorts_any_permutation(
+        (side, data) in supported_sides(AlgorithmId::RowMajorRowFirst)
+            .prop_flat_map(|s| (Just(s), arb_permutation(s)))
+    ) {
+        let mut grid = Grid::from_rows(side, data).unwrap();
+        let run = sort_to_completion(AlgorithmId::RowMajorRowFirst, &mut grid).unwrap();
+        prop_assert!(run.outcome.sorted);
+        prop_assert!(grid.is_sorted(TargetOrder::RowMajor));
+        prop_assert_eq!(grid.into_vec(), (0..(side * side) as u32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn r2_sorts_any_permutation(
+        (side, data) in supported_sides(AlgorithmId::RowMajorColFirst)
+            .prop_flat_map(|s| (Just(s), arb_permutation(s)))
+    ) {
+        let mut grid = Grid::from_rows(side, data).unwrap();
+        let run = sort_to_completion(AlgorithmId::RowMajorColFirst, &mut grid).unwrap();
+        prop_assert!(run.outcome.sorted);
+        prop_assert!(grid.is_sorted(TargetOrder::RowMajor));
+    }
+
+    #[test]
+    fn snakes_sort_any_permutation_any_side(
+        (alg, side) in prop::sample::select(&AlgorithmId::SNAKE[..])
+            .prop_flat_map(|a| (Just(a), supported_sides(a))),
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut grid = random_permutation_grid(side, &mut rng);
+        let run = sort_to_completion(alg, &mut grid).unwrap();
+        prop_assert!(run.outcome.sorted, "{} side {}", alg, side);
+        prop_assert!(grid.is_sorted(TargetOrder::Snake));
+    }
+
+    #[test]
+    fn zero_one_inputs_sort_with_duplicates(
+        side in 2usize..=7,
+        bits in prop::collection::vec(0u8..=1, 4..=49),
+    ) {
+        // 0-1 principle inputs with arbitrary zero counts.
+        let cells = side * side;
+        let data: Vec<u8> = (0..cells).map(|i| bits[i % bits.len()]).collect();
+        for alg in AlgorithmId::ALL {
+            if !alg.supports_side(side) {
+                continue;
+            }
+            let mut grid = Grid::from_rows(side, data.clone()).unwrap();
+            let before_zeros = data.iter().filter(|&&v| v == 0).count();
+            let run = sort_to_completion(alg, &mut grid).unwrap();
+            prop_assert!(run.outcome.sorted, "{}", alg);
+            let after_zeros = grid.as_slice().iter().filter(|&&v| v == 0).count();
+            prop_assert_eq!(before_zeros, after_zeros, "{} lost zeros", alg);
+        }
+    }
+
+    #[test]
+    fn steps_within_theta_n_cap(
+        side in 2usize..=8,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for alg in AlgorithmId::ALL {
+            if !alg.supports_side(side) {
+                continue;
+            }
+            let mut grid = random_permutation_grid(side, &mut rng);
+            let run = sort_to_completion(alg, &mut grid).unwrap();
+            prop_assert!(run.outcome.sorted);
+            // Far below the safety cap: worst case is Θ(N) with a small
+            // constant (~2 for the row-major, ~2 for S3).
+            prop_assert!(
+                run.outcome.steps <= 4 * (side * side) as u64 + 16,
+                "{}: {} steps on side {}",
+                alg, run.outcome.steps, side
+            );
+        }
+    }
+
+    #[test]
+    fn sorted_state_is_fixed_point_for_every_algorithm(
+        side in 2usize..=8,
+        cycles in 1u64..4,
+    ) {
+        for alg in AlgorithmId::ALL {
+            if !alg.supports_side(side) {
+                continue;
+            }
+            let mut grid = meshsort::mesh::grid::sorted_permutation_grid(side, alg.order());
+            let schedule = alg.schedule(side).unwrap();
+            let out = schedule.run_steps(&mut grid, 0, 4 * cycles);
+            prop_assert_eq!(out.swaps, 0, "{} moved a sorted grid", alg);
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic(
+        side in 2usize..=6,
+        seed in any::<u64>(),
+    ) {
+        use rand::SeedableRng;
+        for alg in AlgorithmId::ALL {
+            if !alg.supports_side(side) {
+                continue;
+            }
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut a = random_permutation_grid(side, &mut rng);
+            let mut b = a.clone();
+            let ra = sort_to_completion(alg, &mut a).unwrap();
+            let rb = sort_to_completion(alg, &mut b).unwrap();
+            prop_assert_eq!(ra.outcome.steps, rb.outcome.steps);
+            prop_assert_eq!(ra.outcome.swaps, rb.outcome.swaps);
+            prop_assert_eq!(a, b);
+        }
+    }
+}
+
+#[test]
+fn caps_are_generous_relative_to_observed_worst() {
+    // Deterministic sanity anchor for the proptest cap above.
+    for side in [4usize, 6, 8] {
+        for alg in AlgorithmId::ALL {
+            if !alg.supports_side(side) {
+                continue;
+            }
+            let cap = runner::default_step_cap(side);
+            assert!(cap >= 8 * (side * side) as u64);
+        }
+    }
+}
