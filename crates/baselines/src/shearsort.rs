@@ -2,7 +2,7 @@
 
 use meshsort_linear::array::{phase_pairs, Phase};
 use meshsort_mesh::plan::{Comparator, StepPlan};
-use meshsort_mesh::{CycleSchedule, Grid, MeshError, TargetOrder};
+use meshsort_mesh::{CycleSchedule, Grid, KernelValue, MeshError, TargetOrder};
 use serde::{Deserialize, Serialize};
 
 /// One odd-even step over all rows in snake directions: 0-indexed even
@@ -89,12 +89,14 @@ pub struct ShearsortRun {
 
 /// Runs Shearsort to completion, counting steps until the grid is in
 /// snakelike order (checked after every step — the same measurement
-/// semantics as the bubble-sort runners).
-pub fn shearsort_until_sorted<T: Ord>(grid: &mut Grid<T>) -> ShearsortRun {
+/// semantics as the bubble-sort runners). Runs through the branchless
+/// compiled kernels, like the bubble-sort drivers, so baseline
+/// comparisons stay apples-to-apples.
+pub fn shearsort_until_sorted<T: KernelValue>(grid: &mut Grid<T>) -> ShearsortRun {
     let side = grid.side();
     let schedule = shearsort_schedule(side).expect("side >= 1");
     let cap = schedule.cycle_len() as u64 + 4;
-    let out = schedule.run_until_sorted(grid, TargetOrder::Snake, cap);
+    let out = schedule.run_until_sorted_kernel(grid, TargetOrder::Snake, cap);
     ShearsortRun { steps: out.steps, swaps: out.swaps, sorted: out.sorted }
 }
 

@@ -8,7 +8,13 @@
 //!   (deterministic results by construction; see `meshsort-stats`);
 //! * **D — exact vs f64 combinatorics**: the cost of exact rationals for
 //!   the paper formulas against the f64 shortcut (the exact path is what
-//!   makes the `o(1)` terms testable).
+//!   makes the `o(1)` terms testable);
+//! * **E — step kernels** (`bench_ablation_kernel`): scalar branchy
+//!   comparator loop vs the compiled branchless segment kernels for a
+//!   fixed number of steps;
+//! * **F — sorted-check strategy** (`bench_ablation_sorted_check`): full
+//!   `run_until_sorted` with the seed engine's per-step O(N) rescan vs
+//!   the hybrid scan/tracker path, scalar and kernel variants.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use meshsort_bench::{bench_grid, q_ones_f64, r1_coarse_check, r1_rebuild_per_step};
@@ -119,11 +125,77 @@ fn ablation_exact_vs_f64(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_ablation_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("bench_ablation_kernel");
+    g.sample_size(10);
+    for side in [64usize, 128] {
+        let schedule = AlgorithmId::RowMajorRowFirst.schedule(side).unwrap();
+        let steps = 4 * side as u64; // fixed work: side full cycles
+        g.bench_with_input(BenchmarkId::new("scalar_steps", side), &side, |b, &side| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut grid = bench_grid(side, seed);
+                black_box(schedule.run_steps(&mut grid, 0, steps).swaps)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("kernel_steps", side), &side, |b, &side| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut grid = bench_grid(side, seed);
+                black_box(schedule.run_steps_kernel(&mut grid, 0, steps).swaps)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_ablation_sorted_check(c: &mut Criterion) {
+    use meshsort_mesh::TargetOrder;
+    let mut g = c.benchmark_group("bench_ablation_sorted_check");
+    g.sample_size(10);
+    let side = 64usize;
+    let schedule = AlgorithmId::RowMajorRowFirst.schedule(side).unwrap();
+    let cap = runner::default_step_cap(side);
+    g.bench_function("seed_reference_rescan", |b| {
+        let mut seed = 200u64;
+        b.iter(|| {
+            seed += 1;
+            let mut grid = bench_grid(side, seed);
+            black_box(
+                schedule.run_until_sorted_reference(&mut grid, TargetOrder::RowMajor, cap).steps,
+            )
+        });
+    });
+    g.bench_function("hybrid_scalar", |b| {
+        let mut seed = 200u64;
+        b.iter(|| {
+            seed += 1;
+            let mut grid = bench_grid(side, seed);
+            black_box(schedule.run_until_sorted(&mut grid, TargetOrder::RowMajor, cap).steps)
+        });
+    });
+    g.bench_function("hybrid_kernel", |b| {
+        let mut seed = 200u64;
+        b.iter(|| {
+            seed += 1;
+            let mut grid = bench_grid(side, seed);
+            black_box(
+                schedule.run_until_sorted_kernel(&mut grid, TargetOrder::RowMajor, cap).steps,
+            )
+        });
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     ablation_plan_as_data,
     ablation_sortedness_strategy,
     ablation_parallel_mc,
-    ablation_exact_vs_f64
+    ablation_exact_vs_f64,
+    bench_ablation_kernel,
+    bench_ablation_sorted_check
 );
 criterion_main!(benches);

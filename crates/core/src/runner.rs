@@ -1,7 +1,7 @@
 //! High-level sorting drivers with paper-appropriate step caps.
 
 use crate::algorithm::AlgorithmId;
-use meshsort_mesh::{Grid, MeshError};
+use meshsort_mesh::{Grid, KernelValue, MeshError};
 use serde::{Deserialize, Serialize};
 
 /// Generous step cap for a run of any of the five algorithms.
@@ -50,11 +50,18 @@ impl From<meshsort_mesh::schedule::RunOutcome> for RunStats {
 /// Sorts `grid` in place with `algorithm`, running until the grid reaches
 /// the algorithm's target order (or the default cap).
 ///
+/// Cell types are bounded by [`KernelValue`] (the primitive integers) so
+/// the run executes through the branchless compiled kernels — the
+/// Monte-Carlo hot path. The scalar engine remains reachable via
+/// [`meshsort_mesh::CycleSchedule::run_until_sorted`] for exotic `Ord`
+/// types; both produce bit-identical outcomes (see
+/// `tests/engine_equivalence.rs`).
+///
 /// # Errors
 ///
 /// [`MeshError::UnsupportedSide`] when the algorithm is not defined for
 /// the grid's side (row-major algorithms on odd sides).
-pub fn sort_to_completion<T: Ord>(
+pub fn sort_to_completion<T: KernelValue>(
     algorithm: AlgorithmId,
     grid: &mut Grid<T>,
 ) -> Result<SortRun, MeshError> {
@@ -66,14 +73,14 @@ pub fn sort_to_completion<T: Ord>(
 /// # Errors
 ///
 /// [`MeshError::UnsupportedSide`] as for [`sort_to_completion`].
-pub fn sort_with_cap<T: Ord>(
+pub fn sort_with_cap<T: KernelValue>(
     algorithm: AlgorithmId,
     grid: &mut Grid<T>,
     cap: u64,
 ) -> Result<SortRun, MeshError> {
     let side = grid.side();
     let schedule = algorithm.schedule(side)?;
-    let outcome = schedule.run_until_sorted(grid, algorithm.order(), cap);
+    let outcome = schedule.run_until_sorted_kernel(grid, algorithm.order(), cap);
     Ok(SortRun { algorithm, side, outcome: outcome.into() })
 }
 
@@ -84,13 +91,13 @@ pub fn sort_with_cap<T: Ord>(
 /// # Errors
 ///
 /// [`MeshError::UnsupportedSide`] as for [`sort_to_completion`].
-pub fn run_exact_steps<T: Ord>(
+pub fn run_exact_steps<T: KernelValue>(
     algorithm: AlgorithmId,
     grid: &mut Grid<T>,
     steps: u64,
 ) -> Result<RunStats, MeshError> {
     let schedule = algorithm.schedule(grid.side())?;
-    let out = schedule.run_steps(grid, 0, steps);
+    let out = schedule.run_steps_kernel(grid, 0, steps);
     Ok(RunStats { steps, swaps: out.swaps, comparisons: out.comparisons, sorted: false })
 }
 

@@ -1,0 +1,121 @@
+//! Differential equivalence of the engine's execution paths across all
+//! five paper algorithms: the reference scalar loop, the hybrid
+//! scan/tracker path, the compiled branchless kernel path, and the traced
+//! path must produce bit-identical `RunOutcome`s and final grids on every
+//! input class the experiments use — random permutations, 0-1 matrices,
+//! adversarial (reversed / anti-sorted) layouts, and already-sorted grids.
+
+use meshsort_core::{runner, AlgorithmId};
+use meshsort_mesh::grid::sorted_permutation_grid;
+use meshsort_mesh::trace::SwapCounter;
+use meshsort_mesh::{Grid, KernelValue};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Runs every path of `alg` on `grid` and asserts pairwise identity.
+/// Returns the common outcome's step count for extra assertions.
+fn assert_all_paths_agree<T>(alg: AlgorithmId, grid: &Grid<T>) -> u64
+where
+    T: KernelValue + std::fmt::Debug,
+{
+    let side = grid.side();
+    let schedule = alg.schedule(side).expect("side supported by algorithm");
+    let order = alg.order();
+    let cap = runner::default_step_cap(side);
+
+    let mut reference = grid.clone();
+    let mut hybrid = grid.clone();
+    let mut kernel = grid.clone();
+    let mut traced = grid.clone();
+    let out_ref = schedule.run_until_sorted_reference(&mut reference, order, cap);
+    let out_hyb = schedule.run_until_sorted(&mut hybrid, order, cap);
+    let out_ker = schedule.run_until_sorted_kernel(&mut kernel, order, cap);
+    let mut counter = SwapCounter::default();
+    let out_tra = schedule.run_until_sorted_traced(&mut traced, order, cap, &mut counter);
+
+    assert!(out_ref.sorted, "{alg}: reference failed to sort within cap");
+    assert_eq!(out_ref, out_hyb, "{alg} side {side}: hybrid outcome diverged");
+    assert_eq!(out_ref, out_ker, "{alg} side {side}: kernel outcome diverged");
+    assert_eq!(out_ref, out_tra, "{alg} side {side}: traced outcome diverged");
+    assert_eq!(&reference, &hybrid, "{alg} side {side}: hybrid grid diverged");
+    assert_eq!(&reference, &kernel, "{alg} side {side}: kernel grid diverged");
+    assert_eq!(&reference, &traced, "{alg} side {side}: traced grid diverged");
+    assert_eq!(counter.total(), out_ref.swaps, "{alg} side {side}: trace missed swaps");
+
+    // The public driver must match the engine paths too.
+    let mut driver = grid.clone();
+    let run = runner::sort_to_completion(alg, &mut driver).expect("side supported");
+    assert_eq!(run.outcome.steps, out_ref.steps, "{alg} side {side}: driver steps diverged");
+    assert_eq!(run.outcome.swaps, out_ref.swaps);
+    assert_eq!(run.outcome.comparisons, out_ref.comparisons);
+    assert_eq!(&reference, &driver);
+
+    out_ref.steps
+}
+
+/// Sides covering both parities; row-major algorithms skip odd sides
+/// (they are undefined there), snake algorithms run on all of them.
+/// Side 10 (100 cells) exceeds the engine's small-grid threshold, so the
+/// hybrid and kernel machinery genuinely engages.
+fn supported_sides(alg: AlgorithmId) -> Vec<usize> {
+    [4usize, 5, 7, 8, 10, 11].into_iter().filter(|&s| alg.supports_side(s)).collect()
+}
+
+#[test]
+fn random_permutations_all_algorithms_all_parities() {
+    let mut rng = StdRng::seed_from_u64(0x5AFA_1993);
+    for alg in AlgorithmId::ALL {
+        for side in supported_sides(alg) {
+            for _ in 0..3 {
+                let n = side * side;
+                let mut data: Vec<u32> = (0..n as u32).collect();
+                data.shuffle(&mut rng);
+                let grid = Grid::from_rows(side, data).unwrap();
+                assert_all_paths_agree(alg, &grid);
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_one_matrices_all_algorithms() {
+    let mut rng = StdRng::seed_from_u64(7);
+    for alg in AlgorithmId::ALL {
+        for side in supported_sides(alg) {
+            let n = side * side;
+            // Random 0-1 fill plus the adversarial all-ones-first block.
+            let mut random: Vec<u8> = (0..n).map(|i| u8::from(i % 3 == 0)).collect();
+            random.shuffle(&mut rng);
+            let block: Vec<u8> = (0..n).map(|i| u8::from(i < n / 2)).collect();
+            for data in [random.clone(), block] {
+                let grid = Grid::from_rows(side, data).unwrap();
+                assert_all_paths_agree(alg, &grid);
+            }
+        }
+    }
+}
+
+#[test]
+fn adversarial_reversed_inputs() {
+    for alg in AlgorithmId::ALL {
+        for side in supported_sides(alg) {
+            let n = side * side;
+            let grid = Grid::from_rows(side, (0..n as u32).rev().collect()).unwrap();
+            let steps = assert_all_paths_agree(alg, &grid);
+            // Θ(N) regime: reversed inputs are expensive.
+            assert!(steps >= side as u64, "{alg} side {side}: {steps}");
+        }
+    }
+}
+
+#[test]
+fn sorted_inputs_cost_zero_on_every_path() {
+    for alg in AlgorithmId::ALL {
+        for side in supported_sides(alg) {
+            let grid = sorted_permutation_grid(side, alg.order());
+            let steps = assert_all_paths_agree(alg, &grid);
+            assert_eq!(steps, 0, "{alg} side {side}");
+        }
+    }
+}

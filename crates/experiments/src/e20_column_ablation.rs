@@ -30,7 +30,7 @@ fn chain_stats(
         move |_i, rng, acc: &mut RunningStats| {
             let schedule = chain_only_schedule(side).expect("even side");
             let mut grid = random_permutation_grid(side, rng);
-            let out = schedule.run_until_sorted(
+            let out = schedule.run_until_sorted_kernel(
                 &mut grid,
                 TargetOrder::RowMajor,
                 4 * (side * side) as u64 + 16,

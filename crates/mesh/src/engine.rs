@@ -5,7 +5,9 @@
 //! identical to the paper's simultaneous hardware step.
 
 use crate::grid::Grid;
+use crate::kernel::{CompiledPlan, KernelValue};
 use crate::plan::StepPlan;
+use crate::sortedness::InversionTracker;
 use crate::trace::TraceSink;
 
 /// What happened during the application of one plan.
@@ -69,9 +71,71 @@ pub fn apply_plan_traced<T: Ord, S: TraceSink>(
     StepOutcome { comparisons: plan.len() as u64, swaps }
 }
 
+/// Applies one step while keeping an [`InversionTracker`] exact: the
+/// tracker's count is updated in O(1) after every executed exchange, so
+/// the caller can test sortedness in O(1) after the step.
+///
+/// Behaviourally identical to [`apply_plan`] on the grid and the returned
+/// outcome; the tracker must have been built over this grid (and kept
+/// up to date through every intervening exchange).
+pub fn apply_plan_tracked<T: Ord>(
+    grid: &mut Grid<T>,
+    plan: &StepPlan,
+    tracker: &mut InversionTracker,
+) -> StepOutcome {
+    let data = grid.as_mut_slice();
+    let mut swaps = 0u64;
+    for c in plan.comparators() {
+        let (lo, hi) = (c.keep_min as usize, c.keep_max as usize);
+        if data[lo] > data[hi] {
+            data.swap(lo, hi);
+            swaps += 1;
+            tracker.apply_swap(data, c.keep_min, c.keep_max);
+        }
+    }
+    StepOutcome { comparisons: plan.len() as u64, swaps }
+}
+
+/// [`apply_plan_traced`] and [`apply_plan_tracked`] combined: reports each
+/// exchange to the sink *and* keeps the tracker exact. Used by the traced
+/// runner so the 0–1 observers get O(1) per-step sortedness checks too.
+pub fn apply_plan_traced_tracked<T: Ord, S: TraceSink>(
+    grid: &mut Grid<T>,
+    plan: &StepPlan,
+    step_index: u64,
+    sink: &mut S,
+    tracker: &mut InversionTracker,
+) -> StepOutcome {
+    let data = grid.as_mut_slice();
+    let mut swaps = 0u64;
+    for c in plan.comparators() {
+        let (lo, hi) = (c.keep_min as usize, c.keep_max as usize);
+        if data[lo] > data[hi] {
+            data.swap(lo, hi);
+            swaps += 1;
+            sink.on_swap(step_index, c.keep_min, c.keep_max);
+            tracker.apply_swap(data, c.keep_min, c.keep_max);
+        }
+    }
+    sink.on_step_end(step_index, swaps);
+    StepOutcome { comparisons: plan.len() as u64, swaps }
+}
+
+/// Applies one pre-compiled step with the branchless segment kernels.
+///
+/// Observationally identical to [`apply_plan`] on the source plan: the
+/// comparators of one step are disjoint and therefore commute, so the
+/// compiled execution order cannot change the final grid or the swap
+/// count. Differential tests in `tests/kernel_props.rs` pin this.
+pub fn apply_compiled<T: KernelValue>(grid: &mut Grid<T>, compiled: &CompiledPlan) -> StepOutcome {
+    let swaps = compiled.execute(grid.as_mut_slice());
+    StepOutcome { comparisons: compiled.comparisons(), swaps }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::order::TargetOrder;
     use crate::trace::SwapLog;
 
     #[test]
@@ -139,6 +203,50 @@ mod tests {
         assert_eq!(out.swaps, 1);
         assert_eq!(log.swaps(), &[(7, 0, 1)]);
         assert_eq!(log.step_totals(), &[(7, 1)]);
+    }
+
+    #[test]
+    fn tracked_application_matches_untracked() {
+        let order = TargetOrder::Snake;
+        let mut a = Grid::from_rows(3, vec![8u32, 1, 6, 3, 5, 7, 4, 9, 2]).unwrap();
+        let mut b = a.clone();
+        let mut tracker = InversionTracker::new(&b, order);
+        let plan = StepPlan::from_pairs(vec![(0, 1), (2, 5), (3, 4), (6, 7)]).unwrap();
+        let oa = apply_plan(&mut a, &plan);
+        let ob = apply_plan_tracked(&mut b, &plan, &mut tracker);
+        assert_eq!(oa, ob);
+        assert_eq!(a, b);
+        assert_eq!(tracker.inversions(), b.order_inversions(order) as u64);
+        assert_eq!(tracker.is_sorted(), b.is_sorted(order));
+    }
+
+    #[test]
+    fn traced_tracked_matches_traced() {
+        let order = TargetOrder::RowMajor;
+        let mut a = Grid::from_rows(2, vec![5u32, 1, 0, 2]).unwrap();
+        let mut b = a.clone();
+        let plan = StepPlan::from_pairs(vec![(0, 1), (2, 3)]).unwrap();
+        let mut log_a = SwapLog::default();
+        let mut log_b = SwapLog::default();
+        let mut tracker = InversionTracker::new(&b, order);
+        let oa = apply_plan_traced(&mut a, &plan, 3, &mut log_a);
+        let ob = apply_plan_traced_tracked(&mut b, &plan, 3, &mut log_b, &mut tracker);
+        assert_eq!(oa, ob);
+        assert_eq!(a, b);
+        assert_eq!(log_a.swaps(), log_b.swaps());
+        assert_eq!(tracker.inversions(), b.order_inversions(order) as u64);
+    }
+
+    #[test]
+    fn compiled_application_matches_scalar() {
+        let mut a = Grid::from_rows(3, vec![8u32, 1, 6, 3, 5, 7, 4, 9, 2]).unwrap();
+        let mut b = a.clone();
+        let plan = StepPlan::from_pairs(vec![(0, 1), (2, 5), (3, 4), (6, 7)]).unwrap();
+        let compiled = CompiledPlan::compile(&plan);
+        let oa = apply_plan(&mut a, &plan);
+        let ob = apply_compiled(&mut b, &compiled);
+        assert_eq!(oa, ob);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -142,18 +142,125 @@ impl<T: Ord> Grid<T> {
     /// Works for arbitrary values including duplicates (the 0–1 matrices of
     /// the paper's analysis), not just permutations.
     pub fn is_sorted(&self, order: TargetOrder) -> bool {
+        self.first_order_inversion(order).is_none()
+    }
+
+    /// Rank of the first adjacent inversion along the rank order — the
+    /// smallest `r` such that the value of rank-`r`'s cell exceeds the
+    /// value of rank-`r+1`'s cell — or `None` when the grid is sorted.
+    ///
+    /// Scans with early exit, so far-from-sorted grids answer in O(1)
+    /// expected probes. The incremental counterpart is
+    /// [`crate::sortedness::InversionTracker::first_inversion`].
+    pub fn first_order_inversion(&self, order: TargetOrder) -> Option<usize> {
         let side = self.side;
         let mut prev: Option<&T> = None;
         for rank in 0..self.cells() {
             let v = self.at(order.pos_of_rank(rank, side));
             if let Some(p) = prev {
                 if p > v {
-                    return false;
+                    return Some(rank - 1);
                 }
             }
             prev = Some(v);
         }
-        true
+        None
+    }
+
+    /// [`Grid::first_order_inversion`] specialized to scan the backing
+    /// storage contiguously — the sortedness probe of the hybrid engine's
+    /// scan mode ([`crate::CycleSchedule::run_until_sorted`]).
+    ///
+    /// Row-major rank order coincides with flat storage order, so the scan
+    /// is a single `windows(2)` walk; snake order scans each row in its
+    /// reading direction plus the row-boundary pairs. Either way every
+    /// probe touches adjacent memory, where the generic walk pays
+    /// coordinate arithmetic or a table indirection per rank. Same answer
+    /// as [`Grid::first_order_inversion`] on every input.
+    pub fn first_order_inversion_fast(&self, order: TargetOrder) -> Option<usize> {
+        let side = self.side;
+        let data = &self.data;
+        match order {
+            TargetOrder::RowMajor => data.windows(2).position(|w| w[0] > w[1]),
+            TargetOrder::Snake => {
+                for r in 0..side {
+                    let base = r * side;
+                    if r > 0 {
+                        // Boundary pair (base - 1, base): rows r-1 and r
+                        // meet at the bend column.
+                        let col = bend_col(r - 1, side);
+                        if data[base - side + col] > data[base + col] {
+                            return Some(base - 1);
+                        }
+                    }
+                    let row = &data[base..base + side];
+                    if r % 2 == 0 {
+                        if let Some(c) = row.windows(2).position(|w| w[0] > w[1]) {
+                            return Some(base + c);
+                        }
+                    } else if row.windows(2).any(|w| w[0] < w[1]) {
+                        // Odd rows read right→left: window c holds the rank
+                        // pair (side-2-c, side-1-c), so the first inversion
+                        // in rank order is the *last* ascending window.
+                        let c = row.windows(2).rposition(|w| w[0] < w[1]).expect("found above");
+                        return Some(base + side - 2 - c);
+                    }
+                }
+                None
+            }
+        }
+    }
+
+    /// Whether the adjacent rank pair `(k, k+1)` is inverted — the O(1)
+    /// witness probe of the hybrid engine: as long as one pair is known to
+    /// be inverted, the grid is unsorted and no scan is needed.
+    ///
+    /// `k` must be below `cells() - 1`.
+    pub fn order_pair_inverted(&self, order: TargetOrder, k: usize) -> bool {
+        let side = self.side;
+        let a = order.pos_of_rank(k, side).flat(side);
+        let b = order.pos_of_rank(k + 1, side).flat(side);
+        self.data[a] > self.data[b]
+    }
+
+    /// Finds *some* inverted adjacent rank pair at index `k` or later —
+    /// not necessarily the first — scanning contiguously like
+    /// [`Grid::first_order_inversion_fast`]. How the hybrid engine
+    /// replaces a witness pair that a step fixed: inversions cluster near
+    /// the old witness, so this usually answers after a short local walk.
+    ///
+    /// `None` guarantees no pair at index `k` or later is inverted (snake
+    /// scans restart at `k`'s row boundary, so the guarantee actually
+    /// covers slightly more); `Some(j)` is a genuinely inverted pair but
+    /// `j` may be smaller than `k`.
+    pub fn find_order_inversion_from(&self, order: TargetOrder, k: usize) -> Option<usize> {
+        let side = self.side;
+        let data = &self.data;
+        match order {
+            TargetOrder::RowMajor => {
+                data[k..].windows(2).position(|w| w[0] > w[1]).map(|c| k + c)
+            }
+            TargetOrder::Snake => {
+                for r in k / side..side {
+                    let base = r * side;
+                    if r > k / side {
+                        let col = bend_col(r - 1, side);
+                        if data[base - side + col] > data[base + col] {
+                            return Some(base - 1);
+                        }
+                    }
+                    let row = &data[base..base + side];
+                    if r % 2 == 0 {
+                        if let Some(c) = row.windows(2).position(|w| w[0] > w[1]) {
+                            return Some(base + c);
+                        }
+                    } else if let Some(c) = row.windows(2).position(|w| w[0] < w[1]) {
+                        return Some(base + side - 2 - c);
+                    }
+                }
+                None
+            }
+        }
     }
 
     /// Number of adjacent inversions along the rank order — `0` iff sorted.
@@ -191,6 +298,17 @@ impl<T: fmt::Display> Grid<T> {
             out.push('\n');
         }
         out
+    }
+}
+
+/// Column where snake rows `r` and `r+1` meet (the "bend"): the right edge
+/// after an even row, the left edge after an odd one.
+#[inline]
+fn bend_col(r: usize, side: usize) -> usize {
+    if r % 2 == 0 {
+        side - 1
+    } else {
+        0
     }
 }
 
@@ -289,6 +407,89 @@ mod tests {
         assert_eq!(g.order_inversions(TargetOrder::RowMajor), 0);
         let g = Grid::from_rows(2, vec![3, 2, 1, 0]).unwrap();
         assert_eq!(g.order_inversions(TargetOrder::RowMajor), 3);
+    }
+
+    #[test]
+    fn first_order_inversion_rank() {
+        let g = Grid::from_rows(2, vec![0, 1, 3, 2]).unwrap();
+        assert_eq!(g.first_order_inversion(TargetOrder::RowMajor), Some(2));
+        assert_eq!(g.first_order_inversion(TargetOrder::Snake), None);
+        let g = Grid::from_rows(2, vec![1, 0, 2, 3]).unwrap();
+        assert_eq!(g.first_order_inversion(TargetOrder::RowMajor), Some(0));
+    }
+
+    #[test]
+    fn fast_inversion_scan_matches_generic_walk() {
+        // LCG-driven grids across sizes and both orders, plus sorted and
+        // reversed extremes: the contiguous scan must agree with the
+        // generic per-rank walk on every one, including duplicate values.
+        let mut state = 0x9E37_79B9_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for side in [1usize, 2, 3, 4, 5, 8] {
+            let n = side * side;
+            for order in [TargetOrder::RowMajor, TargetOrder::Snake] {
+                for _ in 0..50 {
+                    let data: Vec<u32> = (0..n).map(|_| next() % 7).collect();
+                    let g = Grid::from_rows(side, data).unwrap();
+                    assert_eq!(
+                        g.first_order_inversion_fast(order),
+                        g.first_order_inversion(order),
+                        "side {side} {order:?}\n{}",
+                        g.render()
+                    );
+                }
+                let sorted = sorted_permutation_grid(side, order);
+                assert_eq!(sorted.first_order_inversion_fast(order), None);
+                let rev = Grid::from_rows(side, (0..n as u32).rev().collect()).unwrap();
+                assert_eq!(
+                    rev.first_order_inversion_fast(order),
+                    rev.first_order_inversion(order)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn witness_probe_and_local_scan_are_sound() {
+        // The hybrid engine's primitives against brute force: the pair
+        // probe must equal a direct rank-order comparison, and the local
+        // scan must return a genuinely inverted pair — or, when `None`,
+        // there must be no inversion at or after the start index.
+        let mut state = 0xDEAD_BEEF_u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as u32
+        };
+        for side in [2usize, 3, 4, 5, 8] {
+            let n = side * side;
+            for order in [TargetOrder::RowMajor, TargetOrder::Snake] {
+                for _ in 0..30 {
+                    let data: Vec<u32> = (0..n).map(|_| next() % 5).collect();
+                    let g = Grid::from_rows(side, data).unwrap();
+                    let seq = g.read_in_order(order);
+                    for k in 0..n - 1 {
+                        assert_eq!(
+                            g.order_pair_inverted(order, k),
+                            seq[k] > seq[k + 1],
+                            "probe side {side} {order:?} k {k}"
+                        );
+                        match g.find_order_inversion_from(order, k) {
+                            Some(j) => assert!(
+                                seq[j] > seq[j + 1],
+                                "side {side} {order:?} k {k}: pair {j} not inverted"
+                            ),
+                            None => assert!(
+                                (k..n - 1).all(|j| seq[j] <= seq[j + 1]),
+                                "side {side} {order:?} k {k}: missed an inversion"
+                            ),
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -24,6 +24,14 @@
 //! once per algorithm and replayed, and applying a plan does no
 //! allocation.
 //!
+//! Two engine subsystems accelerate the hot loop without changing any
+//! observable outcome (differential tests pin them to the reference scalar
+//! path): the [`kernel`] module lowers each plan to branchless segment
+//! kernels for integer grids, and the [`sortedness`] module replaces the
+//! per-step O(N) sortedness rescan with an incrementally maintained
+//! inversion counter. See those modules and
+//! [`CycleSchedule::run_until_sorted_kernel`] for details.
+//!
 //! ```
 //! use meshsort_mesh::{Grid, order::TargetOrder, plan::StepPlan, engine};
 //!
@@ -43,19 +51,23 @@
 pub mod engine;
 pub mod error;
 pub mod grid;
+pub mod kernel;
 pub mod metrics;
 pub mod network;
 pub mod order;
 pub mod plan;
 pub mod pos;
 pub mod schedule;
+pub mod sortedness;
 pub mod trace;
 pub mod viz;
 
 pub use engine::{apply_plan, StepOutcome};
 pub use error::MeshError;
 pub use grid::Grid;
+pub use kernel::{CompiledPlan, KernelValue};
 pub use order::TargetOrder;
 pub use plan::{Comparator, StepPlan};
 pub use pos::Pos;
 pub use schedule::CycleSchedule;
+pub use sortedness::InversionTracker;

@@ -54,6 +54,23 @@ impl TargetOrder {
         Pos::new(row, col)
     }
 
+    /// Lookup table mapping each rank to the flat row-major index of the
+    /// cell that holds it once sorted: `table[rank] =
+    /// pos_of_rank(rank).flat(side)`. The engine's sortedness machinery
+    /// ([`crate::sortedness::InversionTracker`]) walks this table instead
+    /// of recomputing coordinate arithmetic per rank.
+    pub fn rank_to_flat_table(self, side: usize) -> Vec<u32> {
+        (0..side * side).map(|rank| self.pos_of_rank(rank, side).flat(side) as u32).collect()
+    }
+
+    /// Inverse of [`TargetOrder::rank_to_flat_table`]: the rank each flat
+    /// cell index holds once sorted.
+    pub fn flat_to_rank_table(self, side: usize) -> Vec<u32> {
+        (0..side * side)
+            .map(|flat| self.rank_of(Pos::from_flat(flat, side), side) as u32)
+            .collect()
+    }
+
     /// Short machine-friendly name used in experiment reports.
     pub fn label(self) -> &'static str {
         match self {
@@ -124,6 +141,21 @@ mod tests {
                     let ranks: Vec<usize> =
                         (0..side).map(|row| order.rank_of(Pos::new(row, col), side)).collect();
                     assert!(ranks.windows(2).all(|w| w[0] < w[1]), "side={side} {order:?} col={col}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tables_match_scalar_maps() {
+        for side in [1usize, 2, 3, 4, 5, 8] {
+            for order in [TargetOrder::RowMajor, TargetOrder::Snake] {
+                let r2f = order.rank_to_flat_table(side);
+                let f2r = order.flat_to_rank_table(side);
+                assert_eq!(r2f.len(), side * side);
+                for rank in 0..side * side {
+                    assert_eq!(r2f[rank] as usize, order.pos_of_rank(rank, side).flat(side));
+                    assert_eq!(f2r[r2f[rank] as usize] as usize, rank);
                 }
             }
         }

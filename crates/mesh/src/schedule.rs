@@ -2,20 +2,60 @@
 //!
 //! Every algorithm in the paper repeats a fixed cycle of steps (a 4-step
 //! cycle for all five 2D algorithms, a 2-step cycle for the 1D odd-even
-//! transposition sort). A [`CycleSchedule`] stores the compiled plans of
-//! one cycle and replays them forever.
+//! transposition sort). A [`CycleSchedule`] stores the validated plans of
+//! one cycle — plus their branchless [`CompiledPlan`] lowerings, built once
+//! at construction — and replays them forever.
+//!
+//! # Execution paths
+//!
+//! * [`CycleSchedule::run_until_sorted_reference`] — the original scalar
+//!   loop with a full [`Grid::is_sorted`] rescan after every step. Kept as
+//!   the behavioural oracle for differential tests.
+//! * [`CycleSchedule::run_until_sorted`] — scalar comparators, but
+//!   sortedness via the hybrid scan/tracker scheme described below.
+//! * [`CycleSchedule::run_until_sorted_kernel`] — compiled branchless
+//!   segment kernels (integer cell types) plus the hybrid scheme; the fast
+//!   path the Monte-Carlo drivers use.
+//!
+//! All three produce bit-identical [`RunOutcome`]s and final grids; the
+//! property tests in `tests/kernel_props.rs` and the cross-algorithm suite
+//! in `meshsort-core` pin this.
+//!
+//! # Hybrid sortedness detection
+//!
+//! The runs must stop at the *first* sorted step, and a sorted state need
+//! not be a fixed point of an arbitrary schedule, so sortedness is tested
+//! after every step. Testing is cheap because unsortedness only needs a
+//! *witness*: one adjacent rank pair known to be inverted. As long as the
+//! witness pair stays inverted the check is a single probe; when a step
+//! fixes it, a contiguous local scan finds a replacement, and only a clean
+//! suffix forces a full rescan ([`Grid::first_order_inversion_fast`]).
+//! Should a full rescan have to walk at least half the grid, the run
+//! switches (once) to the O(1)-per-swap [`InversionTracker`] — built only
+//! at that moment, so runs that never switch pay nothing for it.
 
-use crate::engine::{apply_plan, apply_plan_traced, StepOutcome};
+use crate::engine::{
+    apply_compiled, apply_plan, apply_plan_tracked, apply_plan_traced_tracked, StepOutcome,
+};
 use crate::error::MeshError;
 use crate::grid::Grid;
+use crate::kernel::{CompiledPlan, KernelValue};
 use crate::order::TargetOrder;
 use crate::plan::StepPlan;
+use crate::sortedness::InversionTracker;
 use crate::trace::TraceSink;
+
+/// Grids smaller than this run through the reference loop: at this size a
+/// full rescan is a handful of comparisons and the tracker's table
+/// allocations would dominate (the 0–1 subsystem sweeps millions of tiny
+/// grids).
+const SMALL_GRID_CELLS: usize = 64;
 
 /// A repeating sequence of step plans.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CycleSchedule {
     plans: Vec<StepPlan>,
+    compiled: Vec<CompiledPlan>,
 }
 
 /// Result of driving a grid until it reached the target order (or a cap).
@@ -34,7 +74,8 @@ pub struct RunOutcome {
 
 impl CycleSchedule {
     /// Builds a schedule from the plans of one cycle, bounds-checking every
-    /// plan against a mesh of `cells` cells.
+    /// plan against a mesh of `cells` cells and lowering each plan to its
+    /// compiled segment form.
     ///
     /// # Errors
     ///
@@ -47,7 +88,8 @@ impl CycleSchedule {
         for p in &plans {
             p.check_bounds(cells)?;
         }
-        Ok(CycleSchedule { plans })
+        let compiled = plans.iter().map(CompiledPlan::compile).collect();
+        Ok(CycleSchedule { plans, compiled })
     }
 
     /// Number of steps in one cycle.
@@ -67,11 +109,45 @@ impl CycleSchedule {
         &self.plans
     }
 
+    /// The compiled lowerings of one cycle, index-aligned with
+    /// [`CycleSchedule::plans`].
+    pub fn compiled_plans(&self) -> &[CompiledPlan] {
+        &self.compiled
+    }
+
+    /// Cycling iterator over plan indices starting at step `start` — the
+    /// per-step `plan_at` modulo arithmetic hoisted out of the run loops.
+    #[inline]
+    fn cycle_indices(&self, start: u64) -> impl Iterator<Item = usize> + '_ {
+        let offset = (start % self.plans.len() as u64) as usize;
+        (0..self.plans.len()).cycle().skip(offset)
+    }
+
     /// Executes exactly `steps` steps starting at step index `start`.
     pub fn run_steps<T: Ord>(&self, grid: &mut Grid<T>, start: u64, steps: u64) -> StepOutcome {
         let mut total = StepOutcome::default();
-        for t in start..start + steps {
-            total.absorb(apply_plan(grid, self.plan_at(t)));
+        let mut indices = self.cycle_indices(start);
+        for _ in 0..steps {
+            let i = indices.next().expect("cycle iterator never ends");
+            total.absorb(apply_plan(grid, &self.plans[i]));
+        }
+        total
+    }
+
+    /// [`CycleSchedule::run_steps`] through the compiled branchless
+    /// kernels. Identical grid and counts; `bench_ablation_kernel`
+    /// measures the difference in time.
+    pub fn run_steps_kernel<T: KernelValue>(
+        &self,
+        grid: &mut Grid<T>,
+        start: u64,
+        steps: u64,
+    ) -> StepOutcome {
+        let mut total = StepOutcome::default();
+        let mut indices = self.cycle_indices(start);
+        for _ in 0..steps {
+            let i = indices.next().expect("cycle iterator never ends");
+            total.absorb(apply_compiled(grid, &self.compiled[i]));
         }
         total
     }
@@ -79,10 +155,109 @@ impl CycleSchedule {
     /// Executes steps from index `0` until the grid first reads sorted in
     /// `order`, checking after every step, up to `cap` steps.
     ///
-    /// The sorted state of every algorithm in this workspace is a fixed
-    /// point of its schedule (tested in `meshsort-core`), so the first
-    /// sorted step is well defined and stable.
+    /// Scalar comparator loop with the hybrid scan/tracker sortedness
+    /// check (see the module docs). Integer grids should prefer
+    /// [`CycleSchedule::run_until_sorted_kernel`].
     pub fn run_until_sorted<T: Ord>(
+        &self,
+        grid: &mut Grid<T>,
+        order: TargetOrder,
+        cap: u64,
+    ) -> RunOutcome {
+        if grid.cells() < SMALL_GRID_CELLS {
+            return self.run_until_sorted_reference(grid, order, cap);
+        }
+        self.run_hybrid(grid, order, cap, |g, i| apply_plan(g, &self.plans[i]))
+    }
+
+    /// [`CycleSchedule::run_until_sorted`] through the compiled branchless
+    /// kernels — the fast path for integer grids. Bit-identical
+    /// [`RunOutcome`] and final grid.
+    pub fn run_until_sorted_kernel<T: KernelValue>(
+        &self,
+        grid: &mut Grid<T>,
+        order: TargetOrder,
+        cap: u64,
+    ) -> RunOutcome {
+        if grid.cells() < SMALL_GRID_CELLS {
+            return self.run_until_sorted_reference(grid, order, cap);
+        }
+        self.run_hybrid(grid, order, cap, |g, i| apply_compiled(g, &self.compiled[i]))
+    }
+
+    /// Shared hybrid driver. In scan mode the engine holds a *witness* —
+    /// an adjacent rank pair known to be inverted — so most steps settle
+    /// sortedness with a single probe ([`Grid::order_pair_inverted`]).
+    /// When a step fixes the witness, a contiguous local scan from the old
+    /// witness finds a replacement ([`Grid::find_order_inversion_from`]:
+    /// any inversion is valid evidence, not just the first); only when the
+    /// whole suffix is clean does a full rescan
+    /// ([`Grid::first_order_inversion_fast`]) run. A full rescan that has
+    /// to walk at least half the grid flips the run into tracked mode —
+    /// building the [`InversionTracker`] only then, so runs that never
+    /// switch (the common case on random inputs) pay nothing for it —
+    /// after which steps update the tracker in O(1) per swap and the check
+    /// is O(1). `scan_step` executes one scan-mode step (scalar or
+    /// compiled); tracked-mode steps are scalar either way because they
+    /// must observe every individual exchange.
+    fn run_hybrid<T: Ord>(
+        &self,
+        grid: &mut Grid<T>,
+        order: TargetOrder,
+        cap: u64,
+        mut scan_step: impl FnMut(&mut Grid<T>, usize) -> StepOutcome,
+    ) -> RunOutcome {
+        let mut out = RunOutcome { steps: 0, swaps: 0, comparisons: 0, sorted: false };
+        let mut witness = match grid.first_order_inversion_fast(order) {
+            None => {
+                out.sorted = true;
+                return out;
+            }
+            Some(d) => d,
+        };
+        let switch_depth = grid.cells() / 2;
+        let mut tracker: Option<InversionTracker> = None;
+        let mut indices = self.cycle_indices(0);
+        for t in 0..cap {
+            let i = indices.next().expect("cycle iterator never ends");
+            let step = match tracker.as_mut() {
+                Some(tr) => apply_plan_tracked(grid, &self.plans[i], tr),
+                None => scan_step(grid, i),
+            };
+            out.swaps += step.swaps;
+            out.comparisons += step.comparisons;
+            out.steps = t + 1;
+            if let Some(tr) = tracker.as_ref() {
+                if tr.is_sorted() {
+                    out.sorted = true;
+                    return out;
+                }
+            } else if !grid.order_pair_inverted(order, witness) {
+                match grid.find_order_inversion_from(order, witness) {
+                    Some(w) => witness = w,
+                    None => match grid.first_order_inversion_fast(order) {
+                        None => {
+                            out.sorted = true;
+                            return out;
+                        }
+                        Some(d) => {
+                            witness = d;
+                            if d >= switch_depth {
+                                tracker = Some(InversionTracker::new(grid, order));
+                            }
+                        }
+                    },
+                }
+            }
+        }
+        out
+    }
+
+    /// The original scalar loop with a full [`Grid::is_sorted`] rescan
+    /// after every step — the behavioural oracle the optimized paths are
+    /// differentially tested against, and the baseline that
+    /// `bench_ablation_sorted_check` measures.
+    pub fn run_until_sorted_reference<T: Ord>(
         &self,
         grid: &mut Grid<T>,
         order: TargetOrder,
@@ -108,6 +283,9 @@ impl CycleSchedule {
 
     /// Like [`CycleSchedule::run_until_sorted`] but reporting every
     /// exchange to a [`TraceSink`]. Used by the 0–1 observers.
+    ///
+    /// Tracing must observe each exchange individually, so execution is
+    /// always scalar; sortedness still uses the O(1) tracker check.
     pub fn run_until_sorted_traced<T: Ord, S: TraceSink>(
         &self,
         grid: &mut Grid<T>,
@@ -115,17 +293,20 @@ impl CycleSchedule {
         cap: u64,
         sink: &mut S,
     ) -> RunOutcome {
+        let mut tracker = InversionTracker::new(grid, order);
         let mut out =
-            RunOutcome { steps: 0, swaps: 0, comparisons: 0, sorted: grid.is_sorted(order) };
+            RunOutcome { steps: 0, swaps: 0, comparisons: 0, sorted: tracker.is_sorted() };
         if out.sorted {
             return out;
         }
+        let mut indices = self.cycle_indices(0);
         for t in 0..cap {
-            let step = apply_plan_traced(grid, self.plan_at(t), t, sink);
+            let i = indices.next().expect("cycle iterator never ends");
+            let step = apply_plan_traced_tracked(grid, &self.plans[i], t, sink, &mut tracker);
             out.swaps += step.swaps;
             out.comparisons += step.comparisons;
             out.steps = t + 1;
-            if grid.is_sorted(order) {
+            if tracker.is_sorted() {
                 out.sorted = true;
                 return out;
             }
@@ -135,7 +316,9 @@ impl CycleSchedule {
 
     /// Runs whole cycles until one full cycle performs zero swaps (a fixed
     /// point of the schedule), up to `max_cycles` cycles. Returns the
-    /// number of cycles executed, or `None` if the cap was hit first.
+    /// number of cycles executed *including* the final quiescent one — so
+    /// an already-quiescent grid returns `Some(1)` — or `None` if the cap
+    /// was hit before any cycle was swap-free.
     ///
     /// This is the termination notion for schedules whose fixed point is
     /// not a target order (e.g. experimental variants).
@@ -143,7 +326,7 @@ impl CycleSchedule {
         for cycle in 0..max_cycles {
             let out = self.run_steps(grid, cycle * self.plans.len() as u64, self.plans.len() as u64);
             if out.swaps == 0 {
-                return Some(cycle);
+                return Some(cycle + 1);
             }
         }
         None
@@ -190,6 +373,7 @@ mod tests {
         assert_eq!(s.plan_at(0), s.plan_at(2));
         assert_eq!(s.plan_at(1), s.plan_at(3));
         assert_ne!(s.plan_at(0), s.plan_at(1));
+        assert_eq!(s.compiled_plans().len(), 2);
     }
 
     #[test]
@@ -224,12 +408,30 @@ mod tests {
     }
 
     #[test]
-    fn fixed_point_detection() {
+    fn fixed_point_counts_executed_cycles() {
         let s = odd_even_row_schedule(4);
         let mut g = Grid::from_rows(2, vec![3u32, 2, 1, 0]).unwrap();
         let cycles = s.run_to_fixed_point(&mut g, 16).unwrap();
-        assert!(cycles <= 4);
+        // At least one working cycle plus the quiescent one; the reversed
+        // 4-line sorts within two cycles, so at most 3 executed in total.
+        assert!((2..=3).contains(&cycles), "cycles = {cycles}");
         assert_eq!(g.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fixed_point_on_quiescent_grid_is_one_cycle() {
+        // An already-sorted grid swaps nothing in its first cycle, which
+        // still had to execute to detect quiescence.
+        let s = odd_even_row_schedule(4);
+        let mut g = Grid::from_rows(2, vec![0u32, 1, 2, 3]).unwrap();
+        assert_eq!(s.run_to_fixed_point(&mut g, 16), Some(1));
+    }
+
+    #[test]
+    fn fixed_point_cap_returns_none() {
+        let s = odd_even_row_schedule(4);
+        let mut g = Grid::from_rows(2, vec![3u32, 2, 1, 0]).unwrap();
+        assert_eq!(s.run_to_fixed_point(&mut g, 1), None);
     }
 
     #[test]
@@ -239,6 +441,41 @@ mod tests {
         let out = s.run_steps(&mut g, 0, 2);
         assert_eq!(out.comparisons, 3); // odd step: 2 comparators; even step: 1.
         assert!(out.swaps >= 2);
+    }
+
+    #[test]
+    fn run_steps_kernel_matches_scalar() {
+        let s = odd_even_row_schedule(16);
+        let data: Vec<u32> = (0..16).map(|v: u32| v.wrapping_mul(2654435761) % 31).collect();
+        let mut a = Grid::from_rows(4, data.clone()).unwrap();
+        let mut b = Grid::from_rows(4, data).unwrap();
+        // Misaligned start exercises the cycling iterator's offset.
+        let oa = s.run_steps(&mut a, 3, 9);
+        let ob = s.run_steps_kernel(&mut b, 3, 9);
+        assert_eq!(oa, ob);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hybrid_and_kernel_match_reference_on_large_line() {
+        // 10×10 = 100 cells: above SMALL_GRID_CELLS, so the hybrid paths —
+        // witness probes, local rescans and (on a reversed line) the
+        // tracked-mode machinery — genuinely run.
+        let n = 100usize;
+        let s = odd_even_row_schedule(n);
+        let data: Vec<u32> = (0..n as u32).rev().collect();
+        let mut a = Grid::from_rows(10, data.clone()).unwrap();
+        let mut b = Grid::from_rows(10, data.clone()).unwrap();
+        let mut c = Grid::from_rows(10, data).unwrap();
+        let cap = 4 * n as u64;
+        let oa = s.run_until_sorted_reference(&mut a, TargetOrder::RowMajor, cap);
+        let ob = s.run_until_sorted(&mut b, TargetOrder::RowMajor, cap);
+        let oc = s.run_until_sorted_kernel(&mut c, TargetOrder::RowMajor, cap);
+        assert!(oa.sorted);
+        assert_eq!(oa, ob);
+        assert_eq!(oa, oc);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
     }
 
     #[test]

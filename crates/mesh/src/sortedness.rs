@@ -1,0 +1,207 @@
+//! Incremental sortedness tracking.
+//!
+//! `run_until_sorted` must detect the *first* step after which the grid
+//! reads sorted in the target order. The reference engine answers that
+//! with a full O(N) rescan after every step; near the end of a run — when
+//! the grid is almost sorted and scans no longer exit early — that rescan
+//! dominates. [`InversionTracker`] instead maintains the number of
+//! *adjacent-rank inversions*: pairs of consecutive ranks whose cells hold
+//! out-of-order values. The count is zero exactly when the grid is sorted,
+//! and a comparator exchange moves at most four adjacency pairs, so the
+//! count updates in O(1) per executed swap.
+
+use crate::grid::Grid;
+use crate::order::TargetOrder;
+
+/// Counts adjacent-rank inversions of a grid under a fixed target order,
+/// updatable in O(1) per exchanged comparator.
+///
+/// The tracker owns the order's rank↔flat lookup tables, so constructing
+/// one costs O(N); [`InversionTracker::apply_swap`] keeps the count exact
+/// afterwards. `inversions() == 0` iff the grid is sorted — the same
+/// predicate as [`Grid::is_sorted`], pinned by differential tests.
+#[derive(Debug, Clone)]
+pub struct InversionTracker {
+    rank_to_flat: Vec<u32>,
+    flat_to_rank: Vec<u32>,
+    inversions: u64,
+}
+
+impl InversionTracker {
+    /// Builds a tracker for `grid` under `order` and counts its current
+    /// inversions.
+    pub fn new<T: Ord>(grid: &Grid<T>, order: TargetOrder) -> Self {
+        let side = grid.side();
+        let mut tracker = InversionTracker {
+            rank_to_flat: order.rank_to_flat_table(side),
+            flat_to_rank: order.flat_to_rank_table(side),
+            inversions: 0,
+        };
+        tracker.recount(grid.as_slice());
+        tracker
+    }
+
+    /// Recounts inversions from scratch in O(N). Used at construction and
+    /// when the engine switches a run from untracked to tracked mode.
+    pub fn recount<T: Ord>(&mut self, data: &[T]) {
+        self.inversions = self
+            .rank_to_flat
+            .windows(2)
+            .filter(|w| data[w[0] as usize] > data[w[1] as usize])
+            .count() as u64;
+    }
+
+    /// Rank of the first adjacent inversion, or `None` when sorted.
+    ///
+    /// This is the table-driven early-exit sortedness scan: on a grid far
+    /// from sorted it returns after O(1) expected probes, and the returned
+    /// depth tells the engine when scans are getting expensive enough that
+    /// switching to incremental tracking pays.
+    #[inline]
+    pub fn first_inversion<T: Ord>(&self, data: &[T]) -> Option<usize> {
+        self.rank_to_flat.windows(2).position(|w| data[w[0] as usize] > data[w[1] as usize])
+    }
+
+    /// Current number of adjacent-rank inversions.
+    #[inline]
+    pub fn inversions(&self) -> u64 {
+        self.inversions
+    }
+
+    /// `true` iff the tracked grid is sorted in the target order.
+    #[inline]
+    pub fn is_sorted(&self) -> bool {
+        self.inversions == 0
+    }
+
+    /// Updates the count after the cells at flat indices `a` and `b`
+    /// exchanged values. `data` is the grid slice *after* the exchange;
+    /// pre-exchange values are recovered by substitution (`a` held what is
+    /// now at `b` and vice versa). Only the ≤ 4 adjacency pairs touching
+    /// rank(a) or rank(b) can change state.
+    #[inline]
+    pub fn apply_swap<T: Ord>(&mut self, data: &[T], a: u32, b: u32) {
+        let ra = self.flat_to_rank[a as usize];
+        let rb = self.flat_to_rank[b as usize];
+        let last_left = (self.rank_to_flat.len() - 1) as u32; // pairs have left rank < this
+
+        // Left ranks of the affected adjacency pairs, deduplicated.
+        // `wrapping_sub` sends rank 0's underflow past `last_left`, so the
+        // bounds check filters it out.
+        let mut lefts = [0u32; 4];
+        let mut n = 0usize;
+        for cand in [ra.wrapping_sub(1), ra, rb.wrapping_sub(1), rb] {
+            if cand < last_left && !lefts[..n].contains(&cand) {
+                lefts[n] = cand;
+                n += 1;
+            }
+        }
+
+        let pre = |f: u32| -> &T {
+            if f == a {
+                &data[b as usize]
+            } else if f == b {
+                &data[a as usize]
+            } else {
+                &data[f as usize]
+            }
+        };
+
+        let mut delta = 0i64;
+        for &r in &lefts[..n] {
+            let f1 = self.rank_to_flat[r as usize];
+            let f2 = self.rank_to_flat[r as usize + 1];
+            let was = pre(f1) > pre(f2);
+            let now = data[f1 as usize] > data[f2 as usize];
+            delta += i64::from(now) - i64::from(was);
+        }
+        self.inversions = (self.inversions as i64 + delta) as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_count_matches_grid_metric() {
+        for order in [TargetOrder::RowMajor, TargetOrder::Snake] {
+            let g = Grid::from_rows(3, vec![8u32, 1, 6, 3, 5, 7, 4, 9, 2]).unwrap();
+            let t = InversionTracker::new(&g, order);
+            assert_eq!(t.inversions(), g.order_inversions(order) as u64);
+            assert_eq!(t.is_sorted(), g.is_sorted(order));
+        }
+    }
+
+    #[test]
+    fn sorted_grid_has_zero() {
+        let g = Grid::from_rows(2, vec![0u32, 1, 3, 2]).unwrap();
+        let t = InversionTracker::new(&g, TargetOrder::Snake);
+        assert!(t.is_sorted());
+        assert_eq!(t.first_inversion(g.as_slice()), None);
+    }
+
+    #[test]
+    fn first_inversion_rank() {
+        // Row-major: 0 1 | 3 2 → first adjacent inversion at left rank 2.
+        let g = Grid::from_rows(2, vec![0u32, 1, 3, 2]).unwrap();
+        let t = InversionTracker::new(&g, TargetOrder::RowMajor);
+        assert_eq!(t.first_inversion(g.as_slice()), Some(2));
+        assert_eq!(t.inversions(), 1);
+    }
+
+    #[test]
+    fn swap_updates_match_recount_exhaustively() {
+        // Every swap of two distinct cells on a 3×3, both orders, with
+        // duplicate values present.
+        let base = vec![4u32, 1, 2, 2, 0, 4, 3, 1, 0];
+        for order in [TargetOrder::RowMajor, TargetOrder::Snake] {
+            for a in 0..9u32 {
+                for b in 0..9u32 {
+                    if a == b {
+                        continue;
+                    }
+                    let mut g = Grid::from_rows(3, base.clone()).unwrap();
+                    let mut t = InversionTracker::new(&g, order);
+                    g.as_mut_slice().swap(a as usize, b as usize);
+                    t.apply_swap(g.as_slice(), a, b);
+                    let mut fresh = t.clone();
+                    fresh.recount(g.as_slice());
+                    assert_eq!(
+                        t.inversions(),
+                        fresh.inversions(),
+                        "order={order:?} a={a} b={b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chained_swaps_stay_exact() {
+        let mut g = Grid::from_rows(4, (0..16u32).rev().collect()).unwrap();
+        let mut t = InversionTracker::new(&g, TargetOrder::Snake);
+        // Deterministic pseudo-random swap walk.
+        let mut x = 0x9e3779b9u32;
+        for _ in 0..200 {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            let a = (x >> 8) % 16;
+            let b = (x >> 16) % 16;
+            if a == b {
+                continue;
+            }
+            g.as_mut_slice().swap(a as usize, b as usize);
+            t.apply_swap(g.as_slice(), a, b);
+        }
+        let mut fresh = t.clone();
+        fresh.recount(g.as_slice());
+        assert_eq!(t.inversions(), fresh.inversions());
+    }
+
+    #[test]
+    fn single_cell_grid() {
+        let g = Grid::from_rows(1, vec![7u32]).unwrap();
+        let t = InversionTracker::new(&g, TargetOrder::RowMajor);
+        assert!(t.is_sorted());
+    }
+}

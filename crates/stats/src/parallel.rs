@@ -82,10 +82,31 @@ where
     acc
 }
 
+/// Hard cap on the default worker count, keeping small experiments cheap
+/// even on very wide machines (and bounding `MESHSORT_THREADS` requests).
+pub const MAX_DEFAULT_THREADS: usize = 16;
+
 /// Reasonable default worker count: the number of available CPUs, capped
-/// to keep small experiments cheap.
+/// at [`MAX_DEFAULT_THREADS`].
+///
+/// Overridable via the `MESHSORT_THREADS` environment variable (still
+/// capped and at least 1); unparsable or zero values fall back to the CPU
+/// count. The override changes scheduling only — the determinism contract
+/// of [`run_trials`] means results are identical for any thread count.
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(16)
+    resolve_threads(
+        std::env::var("MESHSORT_THREADS").ok().as_deref(),
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+    )
+}
+
+/// Pure worker-count resolution behind [`default_threads`], split out so
+/// the override logic is testable without mutating process environment.
+/// `env` is the raw `MESHSORT_THREADS` value (if set), `available` the
+/// machine's CPU count.
+fn resolve_threads(env: Option<&str>, available: usize) -> usize {
+    let requested = env.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1);
+    requested.unwrap_or(available).clamp(1, MAX_DEFAULT_THREADS)
 }
 
 #[cfg(test)]
@@ -167,6 +188,27 @@ mod tests {
 
     #[test]
     fn default_threads_positive() {
-        assert!(default_threads() >= 1);
+        let n = default_threads();
+        assert!(n >= 1);
+        assert!(n <= MAX_DEFAULT_THREADS);
+    }
+
+    #[test]
+    fn resolve_threads_override() {
+        assert_eq!(resolve_threads(Some("4"), 8), 4);
+        assert_eq!(resolve_threads(Some(" 2 "), 8), 2);
+        // Requests above the cap are clamped.
+        assert_eq!(resolve_threads(Some("999"), 8), MAX_DEFAULT_THREADS);
+    }
+
+    #[test]
+    fn resolve_threads_fallbacks() {
+        // Unset, unparsable, or zero → CPU count (capped, at least 1).
+        assert_eq!(resolve_threads(None, 8), 8);
+        assert_eq!(resolve_threads(Some("lots"), 8), 8);
+        assert_eq!(resolve_threads(Some("0"), 8), 8);
+        assert_eq!(resolve_threads(Some(""), 8), 8);
+        assert_eq!(resolve_threads(None, 64), MAX_DEFAULT_THREADS);
+        assert_eq!(resolve_threads(None, 0), 1);
     }
 }
