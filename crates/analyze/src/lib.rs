@@ -1,0 +1,212 @@
+//! # meshsort-analyze — `meshcheck`, the static schedule certifier
+//!
+//! The five algorithms of Savari (SPAA 1993) are fixed comparator
+//! networks: once a [`meshsort_mesh::CycleSchedule`] is compiled for a
+//! side, everything the runtime differential tests probe empirically can
+//! be certified once, statically. This crate assembles the three
+//! `meshcheck` passes into a machine-readable report consumed by the
+//! `meshsort analyze` CLI subcommand and the CI `analyze` gate:
+//!
+//! 1. **Structural** ([`meshsort_mesh::verify`]) — in-bounds, pairwise
+//!    disjoint comparators; every pair a mesh neighbour, wrap-around wires
+//!    only on the cycle step the algorithm's
+//!    [`AlgorithmId::wrap_step_index`] admits; keep-min direction
+//!    consistent with the target order, so the sorted state is a fixed
+//!    point.
+//! 2. **IR conformance** — each `CompiledPlan` in the schedule expands to
+//!    exactly its `StepPlan`'s comparator multiset, promoting PR 1's
+//!    runtime kernel-vs-reference differential tests to a static gate.
+//! 3. **0-1 certification** — for sides ≤ [`ZERO_ONE_MAX_SIDE`], *every*
+//!    0-1 placement (all weights, a superset of the paper's balanced
+//!    `α = ⌈N/2⌉` space, reusing the mask enumeration of
+//!    `meshsort-zeroone`) is run to convergence. By the 0-1 principle —
+//!    the lens Savari's §2–§3 analysis itself rests on — this certifies
+//!    the full cycle sorts arbitrary inputs on those meshes.
+//!
+//! Skipped passes (row-major algorithms on odd sides, 0-1 enumeration on
+//! large meshes) are reported as `skipped`, never as failures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+
+pub use report::{AlgorithmReport, AnalysisReport, PassOutcome};
+
+use meshsort_core::{runner, AlgorithmId};
+use meshsort_mesh::{verify, CycleSchedule, StepPlan};
+use meshsort_zeroone::exhaustive::BalancedGrids;
+
+/// Largest side the 0-1 certification pass enumerates exhaustively.
+///
+/// All `2^(side²)` placements are run (side 4 ⇒ 65 536); beyond this the
+/// pass reports [`PassOutcome::Skipped`].
+pub const ZERO_ONE_MAX_SIDE: usize = 4;
+
+/// Runs all three passes for every algorithm in paper order at every
+/// requested side.
+pub fn analyze(sides: &[usize]) -> AnalysisReport {
+    let mut entries = Vec::with_capacity(sides.len() * AlgorithmId::ALL.len());
+    for &side in sides {
+        for algorithm in AlgorithmId::ALL {
+            entries.push(analyze_algorithm(algorithm, side));
+        }
+    }
+    AnalysisReport { sides: sides.to_vec(), entries }
+}
+
+/// Runs all three passes for one (algorithm, side) pair.
+///
+/// An unsupported side (row-major algorithms on an odd side) yields a
+/// report whose passes are all [`PassOutcome::Skipped`].
+pub fn analyze_algorithm(algorithm: AlgorithmId, side: usize) -> AlgorithmReport {
+    match algorithm.schedule(side) {
+        Err(err) => {
+            let reason = err.to_string();
+            AlgorithmReport {
+                algorithm,
+                side,
+                structural: PassOutcome::Skipped { reason: reason.clone() },
+                ir: PassOutcome::Skipped { reason: reason.clone() },
+                zero_one: PassOutcome::Skipped { reason },
+            }
+        }
+        Ok(schedule) => AlgorithmReport {
+            algorithm,
+            side,
+            structural: structural_pass(algorithm, side, &schedule),
+            ir: ir_pass(&schedule),
+            zero_one: zero_one_pass(algorithm, side, &schedule),
+        },
+    }
+}
+
+/// Structural pass: checks the schedule against the algorithm's
+/// [`meshsort_mesh::SchedulePolicy`].
+fn structural_pass(algorithm: AlgorithmId, side: usize, schedule: &CycleSchedule) -> PassOutcome {
+    let policy = algorithm.schedule_policy(side);
+    match verify::verify_schedule_structural(schedule, &policy) {
+        Ok(()) => {
+            let comparators: usize = schedule.plans().iter().map(StepPlan::len).sum();
+            PassOutcome::Passed {
+                detail: format!(
+                    "{comparators} comparators over {} steps satisfy the policy",
+                    schedule.cycle_len()
+                ),
+            }
+        }
+        Err(err) => PassOutcome::Failed { diagnostic: err.to_string() },
+    }
+}
+
+/// IR conformance pass: every compiled plan expands back to its step
+/// plan's comparator multiset.
+fn ir_pass(schedule: &CycleSchedule) -> PassOutcome {
+    match verify::verify_schedule_ir(schedule) {
+        Ok(()) => PassOutcome::Passed {
+            detail: format!("{} compiled plans expand to their step plans", schedule.cycle_len()),
+        },
+        Err(err) => PassOutcome::Failed { diagnostic: err.to_string() },
+    }
+}
+
+/// 0-1 certification pass: exhaustive convergence over every 0-1
+/// placement of every weight.
+fn zero_one_pass(algorithm: AlgorithmId, side: usize, schedule: &CycleSchedule) -> PassOutcome {
+    if side > ZERO_ONE_MAX_SIDE {
+        return PassOutcome::Skipped {
+            reason: format!(
+                "exhaustive 0-1 enumeration limited to side <= {ZERO_ONE_MAX_SIDE} ({} placements at this side)",
+                if side * side < 64 { format!("2^{}", side * side) } else { "too many".into() }
+            ),
+        };
+    }
+    let cells = side * side;
+    let cap = runner::default_step_cap(side);
+    let order = algorithm.order();
+    let mut placements: u64 = 0;
+    let mut max_steps: u64 = 0;
+    for zeros in 0..=cells {
+        for mut grid in BalancedGrids::new(side, zeros) {
+            placements += 1;
+            let outcome = schedule.run_until_sorted_kernel(&mut grid, order, cap);
+            if !outcome.sorted {
+                return PassOutcome::Failed {
+                    diagnostic: format!(
+                        "0-1 placement #{placements} ({zeros} zeros) did not reach {} order within {cap} steps",
+                        order.label()
+                    ),
+                };
+            }
+            max_steps = max_steps.max(outcome.steps);
+        }
+    }
+    PassOutcome::Passed {
+        detail: format!(
+            "all {placements} 0-1 placements converged (max {max_steps} steps, cap {cap})"
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_certify_on_small_sides() {
+        // Sides 2 and 4 exercise every pass including exhaustive 0-1;
+        // side 3 additionally exercises the odd-side skip for row-major.
+        let report = analyze(&[2, 3, 4]);
+        assert!(report.all_passed(), "{}", report.to_json());
+        assert_eq!(report.entries.len(), 15);
+    }
+
+    #[test]
+    fn zero_one_runs_exhaustively_at_side_2() {
+        let r = analyze_algorithm(AlgorithmId::SnakeAlternating, 2);
+        match &r.zero_one {
+            PassOutcome::Passed { detail } => {
+                assert!(detail.contains("16 0-1 placements"), "{detail}");
+            }
+            other => panic!("expected pass, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_side_is_skipped_not_failed() {
+        let r = analyze_algorithm(AlgorithmId::RowMajorRowFirst, 5);
+        assert!(r.passed());
+        assert!(matches!(r.structural, PassOutcome::Skipped { .. }));
+        assert!(matches!(r.ir, PassOutcome::Skipped { .. }));
+        assert!(matches!(r.zero_one, PassOutcome::Skipped { .. }));
+    }
+
+    #[test]
+    fn large_side_skips_zero_one_only() {
+        let r = analyze_algorithm(AlgorithmId::SnakePhaseAligned, 5);
+        assert!(matches!(r.structural, PassOutcome::Passed { .. }));
+        assert!(matches!(r.ir, PassOutcome::Passed { .. }));
+        assert!(matches!(r.zero_one, PassOutcome::Skipped { .. }));
+        assert!(r.passed());
+    }
+
+    #[test]
+    fn report_covers_sides_in_paper_order() {
+        let report = analyze(&[4, 5]);
+        assert_eq!(report.sides, vec![4, 5]);
+        let names: Vec<&str> =
+            report.entries.iter().take(5).map(|e| e.algorithm.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "row-major/row-first",
+                "row-major/col-first",
+                "snake/alternating",
+                "snake/staggered-cols",
+                "snake/phase-aligned"
+            ]
+        );
+        assert!(report.entries.iter().take(5).all(|e| e.side == 4));
+        assert!(report.entries.iter().skip(5).all(|e| e.side == 5));
+    }
+}

@@ -1,0 +1,252 @@
+//! Report types for `meshcheck` and their machine-readable JSON form.
+//!
+//! The JSON is emitted by hand: the report shape is small, flat, and
+//! stable, and keeping the emitter local means the certification tool has
+//! no dependencies beyond the crates it certifies. Strings are escaped per
+//! RFC 8259 (quote, backslash, and control characters).
+
+use meshsort_core::AlgorithmId;
+use std::fmt;
+
+/// Outcome of one verification pass on one (algorithm, side) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PassOutcome {
+    /// The pass ran and the schedule satisfied it.
+    Passed {
+        /// Human-readable evidence, e.g. comparator counts or the number
+        /// of 0-1 placements that converged.
+        detail: String,
+    },
+    /// The pass does not apply to this pair (unsupported side, or a mesh
+    /// too large for exhaustive 0-1 enumeration). Not a failure.
+    Skipped {
+        /// Why the pass did not run.
+        reason: String,
+    },
+    /// The pass ran and found a violation.
+    Failed {
+        /// The specific diagnostic, e.g. a [`meshsort_mesh::VerifyError`]
+        /// rendering.
+        diagnostic: String,
+    },
+}
+
+impl PassOutcome {
+    /// `true` only for [`PassOutcome::Failed`].
+    pub fn is_failure(&self) -> bool {
+        matches!(self, PassOutcome::Failed { .. })
+    }
+
+    /// The JSON `status` string: `"passed"`, `"skipped"`, or `"failed"`.
+    pub fn status(&self) -> &'static str {
+        match self {
+            PassOutcome::Passed { .. } => "passed",
+            PassOutcome::Skipped { .. } => "skipped",
+            PassOutcome::Failed { .. } => "failed",
+        }
+    }
+
+    /// The accompanying detail / reason / diagnostic text.
+    pub fn note(&self) -> &str {
+        match self {
+            PassOutcome::Passed { detail } => detail,
+            PassOutcome::Skipped { reason } => reason,
+            PassOutcome::Failed { diagnostic } => diagnostic,
+        }
+    }
+}
+
+impl fmt::Display for PassOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.status(), self.note())
+    }
+}
+
+/// The three `meshcheck` passes for one algorithm at one side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AlgorithmReport {
+    /// Which of the five algorithms was analysed.
+    pub algorithm: AlgorithmId,
+    /// Mesh side the schedule was compiled for.
+    pub side: usize,
+    /// Structural pass: bounds, disjointness, adjacency, wrap policy,
+    /// order-consistent comparator directions.
+    pub structural: PassOutcome,
+    /// IR conformance pass: `CompiledPlan::expand()` reproduces each
+    /// `StepPlan` comparator multiset.
+    pub ir: PassOutcome,
+    /// 0-1 certification pass: every 0-1 placement converges to the
+    /// target order within the step cap.
+    pub zero_one: PassOutcome,
+}
+
+impl AlgorithmReport {
+    /// `true` when no pass failed (skipped passes do not count against).
+    pub fn passed(&self) -> bool {
+        !self.structural.is_failure() && !self.ir.is_failure() && !self.zero_one.is_failure()
+    }
+
+    /// The passes as `(name, outcome)` pairs, in report order.
+    pub fn passes(&self) -> [(&'static str, &PassOutcome); 3] {
+        [
+            ("structural", &self.structural),
+            ("ir_conformance", &self.ir),
+            ("zero_one", &self.zero_one),
+        ]
+    }
+}
+
+/// Full `meshcheck` report over a set of sides × all five algorithms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisReport {
+    /// The sides that were analysed, in request order.
+    pub sides: Vec<usize>,
+    /// One entry per (side, algorithm), sides outermost, paper order
+    /// within a side.
+    pub entries: Vec<AlgorithmReport>,
+}
+
+impl AnalysisReport {
+    /// `true` when every entry passed (skips allowed, failures not).
+    pub fn all_passed(&self) -> bool {
+        self.entries.iter().all(AlgorithmReport::passed)
+    }
+
+    /// The entries that have at least one failing pass.
+    pub fn failures(&self) -> impl Iterator<Item = &AlgorithmReport> {
+        self.entries.iter().filter(|e| !e.passed())
+    }
+
+    /// Renders the machine-readable JSON report (pretty-printed, stable
+    /// key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + self.entries.len() * 256);
+        out.push_str("{\n  \"tool\": \"meshcheck\",\n  \"sides\": [");
+        for (i, side) in self.sides.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&side.to_string());
+        }
+        out.push_str("],\n  \"all_passed\": ");
+        out.push_str(if self.all_passed() { "true" } else { "false" });
+        out.push_str(",\n  \"algorithms\": [");
+        for (i, entry) in self.entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n      \"algorithm\": ");
+            push_json_string(&mut out, entry.algorithm.name());
+            out.push_str(",\n      \"side\": ");
+            out.push_str(&entry.side.to_string());
+            out.push_str(",\n      \"passed\": ");
+            out.push_str(if entry.passed() { "true" } else { "false" });
+            out.push_str(",\n      \"passes\": {");
+            for (j, (name, outcome)) in entry.passes().into_iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str("\n        ");
+                push_json_string(&mut out, name);
+                out.push_str(": {\"status\": ");
+                push_json_string(&mut out, outcome.status());
+                out.push_str(", \"note\": ");
+                push_json_string(&mut out, outcome.note());
+                out.push('}');
+            }
+            out.push_str("\n      }\n    }");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Appends `s` as a JSON string literal (RFC 8259 escaping).
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entry(passed: bool) -> AlgorithmReport {
+        AlgorithmReport {
+            algorithm: AlgorithmId::RowMajorRowFirst,
+            side: 4,
+            structural: PassOutcome::Passed { detail: "24 comparators".into() },
+            ir: if passed {
+                PassOutcome::Passed { detail: "4 steps conform".into() }
+            } else {
+                PassOutcome::Failed { diagnostic: "step 1: IR missing comparator".into() }
+            },
+            zero_one: PassOutcome::Skipped { reason: "side > 4".into() },
+        }
+    }
+
+    #[test]
+    fn pass_outcome_accessors() {
+        let p = PassOutcome::Passed { detail: "ok".into() };
+        assert_eq!(p.status(), "passed");
+        assert_eq!(p.note(), "ok");
+        assert!(!p.is_failure());
+        let f = PassOutcome::Failed { diagnostic: "bad".into() };
+        assert_eq!(f.status(), "failed");
+        assert!(f.is_failure());
+        assert_eq!(f.to_string(), "failed: bad");
+        let s = PassOutcome::Skipped { reason: "n/a".into() };
+        assert_eq!(s.status(), "skipped");
+        assert!(!s.is_failure());
+    }
+
+    #[test]
+    fn skip_is_not_failure_at_report_level() {
+        let r = sample_entry(true);
+        assert!(r.passed(), "a skipped pass must not fail the report");
+    }
+
+    #[test]
+    fn failure_propagates() {
+        let report =
+            AnalysisReport { sides: vec![4], entries: vec![sample_entry(true), sample_entry(false)] };
+        assert!(!report.all_passed());
+        assert_eq!(report.failures().count(), 1);
+    }
+
+    #[test]
+    fn json_shape() {
+        let report = AnalysisReport { sides: vec![4, 5], entries: vec![sample_entry(true)] };
+        let json = report.to_json();
+        assert!(json.contains("\"tool\": \"meshcheck\""));
+        assert!(json.contains("\"sides\": [4, 5]"));
+        assert!(json.contains("\"all_passed\": true"));
+        assert!(json.contains("\"algorithm\": \"row-major/row-first\""));
+        assert!(json.contains("\"structural\": {\"status\": \"passed\""));
+        assert!(json.contains("\"ir_conformance\""));
+        assert!(json.contains("\"zero_one\": {\"status\": \"skipped\""));
+        // Balanced braces/brackets — cheap well-formedness check.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escaping() {
+        let mut out = String::new();
+        push_json_string(&mut out, "a\"b\\c\nd\te\u{1}f");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+    }
+}

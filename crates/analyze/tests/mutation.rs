@@ -1,0 +1,319 @@
+//! Mutation tests: corrupt a valid schedule and assert `meshcheck`
+//! rejects each corruption with the *specific* diagnostic, never a
+//! generic failure. This is the negative half of the certification — the
+//! positive half (all five algorithms pass) lives in the crate tests and
+//! `meshsort analyze`.
+//!
+//! Mutations operate on raw comparator lists via `verify_step` /
+//! `verify_ir`, because `StepPlan::new` and `CycleSchedule::new` already
+//! refuse the grossest corruptions at construction time; the verifier
+//! must catch them independently so it can vet schedules from *any*
+//! source (deserialized, generated, fault-injected).
+
+use meshsort_core::AlgorithmId;
+use meshsort_mesh::verify::{self, VerifyError};
+use meshsort_mesh::{Comparator, CompiledPlan, CycleSchedule, StepPlan};
+
+/// Tiny deterministic LCG (Numerical Recipes constants) so the mutation
+/// sites vary across steps/comparators without a `rand` dependency.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0);
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Every (algorithm, side) pair the suite mutates: even and odd sides,
+/// all five algorithms where defined.
+fn subjects() -> Vec<(AlgorithmId, usize, CycleSchedule)> {
+    let mut out = Vec::new();
+    for a in AlgorithmId::ALL {
+        for side in [4, 5, 6] {
+            if a.supports_side(side) {
+                out.push((a, side, a.schedule(side).unwrap()));
+            }
+        }
+    }
+    out
+}
+
+/// Picks a step that has at least one comparator.
+fn nonempty_step(rng: &mut Lcg, schedule: &CycleSchedule) -> usize {
+    loop {
+        let s = rng.below(schedule.cycle_len());
+        if !schedule.plans()[s].is_empty() {
+            return s;
+        }
+    }
+}
+
+#[test]
+fn unmutated_schedules_pass() {
+    for (a, side, schedule) in subjects() {
+        let policy = a.schedule_policy(side);
+        verify::verify_schedule(&schedule, &policy)
+            .unwrap_or_else(|e| panic!("{a} side {side}: {e}"));
+    }
+}
+
+#[test]
+fn duplicate_cell_rejected() {
+    let mut rng = Lcg(0xD0_01);
+    for (a, side, schedule) in subjects() {
+        let policy = a.schedule_policy(side);
+        let step = nonempty_step(&mut rng, &schedule);
+        let mut comparators = schedule.plans()[step].comparators().to_vec();
+        // Re-adding an existing comparator touches both its cells twice.
+        let dup = comparators[rng.below(comparators.len())];
+        comparators.push(dup);
+        match verify::verify_step(step, &comparators, &policy) {
+            Err(VerifyError::DuplicateCell { step: s, cell }) => {
+                assert_eq!(s, step, "{a} side {side}");
+                assert!(
+                    cell == dup.keep_min || cell == dup.keep_max,
+                    "{a} side {side}: reported cell {cell} is not part of the duplicate"
+                );
+            }
+            other => panic!("{a} side {side}: expected DuplicateCell, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn out_of_bounds_index_rejected() {
+    let mut rng = Lcg(0xD0_02);
+    for (a, side, schedule) in subjects() {
+        let policy = a.schedule_policy(side);
+        let cells = side * side;
+        let step = nonempty_step(&mut rng, &schedule);
+        let mut comparators = schedule.plans()[step].comparators().to_vec();
+        let victim = rng.below(comparators.len());
+        comparators[victim].keep_max = cells as u32; // one past the end
+        match verify::verify_step(step, &comparators, &policy) {
+            Err(VerifyError::IndexOutOfBounds { step: s, index, cells: c }) => {
+                assert_eq!(s, step, "{a} side {side}");
+                assert_eq!(index, cells as u32);
+                assert_eq!(c, cells);
+            }
+            other => panic!("{a} side {side}: expected IndexOutOfBounds, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn degenerate_comparator_rejected() {
+    for (a, side, schedule) in subjects() {
+        let policy = a.schedule_policy(side);
+        let step = 0;
+        let mut comparators = schedule.plans()[step].comparators().to_vec();
+        let cell = comparators[0].keep_min;
+        comparators[0].keep_max = cell;
+        match verify::verify_step(step, &comparators, &policy) {
+            Err(VerifyError::DegenerateComparator { step: 0, cell: c }) => {
+                assert_eq!(c, cell, "{a} side {side}");
+            }
+            other => panic!("{a} side {side}: expected DegenerateComparator, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn non_neighbor_pair_rejected() {
+    for (a, side, _) in subjects() {
+        let policy = a.schedule_policy(side);
+        // A lone comparator spanning two rows vertically-but-not-adjacent:
+        // (0,0) and (2,0) — manhattan distance 2, not a wrap pair either.
+        let far = (2 * side) as u32;
+        let comparators = [Comparator::new(0, far)];
+        match verify::verify_step(0, &comparators, &policy) {
+            Err(VerifyError::NotMeshAdjacent { step: 0, keep_min: 0, keep_max }) => {
+                assert_eq!(keep_max, far, "{a} side {side}");
+            }
+            other => panic!("{a} side {side}: expected NotMeshAdjacent, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn flipped_direction_rejected() {
+    // The direction invariant is universal: flipping ANY comparator of ANY
+    // step of ANY of the five schedules must trip DirectionInconsistent,
+    // because every legal wire keeps the minimum at the lower target rank.
+    for (a, side, schedule) in subjects() {
+        let policy = a.schedule_policy(side);
+        for step in 0..schedule.cycle_len() {
+            let original = schedule.plans()[step].comparators();
+            for victim in 0..original.len() {
+                let mut comparators = original.to_vec();
+                let c = comparators[victim];
+                comparators[victim] = Comparator::new(c.keep_max, c.keep_min);
+                match verify::verify_step(step, &comparators, &policy) {
+                    Err(VerifyError::DirectionInconsistent { step: s, keep_min, keep_max }) => {
+                        assert_eq!(s, step);
+                        assert_eq!((keep_min, keep_max), (c.keep_max, c.keep_min), "{a} side {side}");
+                    }
+                    other => panic!(
+                        "{a} side {side} step {step} comparator {victim}: \
+                         expected DirectionInconsistent, got {other:?}"
+                    ),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn wrap_wire_on_mesh_only_step_rejected() {
+    // Move R1/R2's wrap-carrying plan to a step whose policy admits only
+    // mesh edges: the wrap wire itself must be named in the diagnostic.
+    for a in AlgorithmId::ROW_MAJOR {
+        let side = 6;
+        let schedule = a.schedule(side).unwrap();
+        let policy = a.schedule_policy(side);
+        let wrap_step = a.wrap_step_index().unwrap();
+        let mesh_only_step = (wrap_step + 1) % schedule.cycle_len();
+        let comparators = schedule.plans()[wrap_step].comparators();
+        match verify::verify_step(mesh_only_step, comparators, &policy) {
+            Err(VerifyError::WrapNotAllowed { step, keep_min, keep_max }) => {
+                assert_eq!(step, mesh_only_step, "{a}");
+                // The named wire really is a wrap pair: consecutive flat
+                // indices across a row boundary.
+                let (lo, hi) = (keep_min.min(keep_max), keep_min.max(keep_max));
+                assert_eq!(hi, lo + 1, "{a}");
+                assert_eq!(lo as usize % side, side - 1, "{a}");
+            }
+            other => panic!("{a}: expected WrapNotAllowed, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn dropped_ir_segment_rejected() {
+    let mut rng = Lcg(0xD0_03);
+    for (a, side, schedule) in subjects() {
+        let step = nonempty_step(&mut rng, &schedule);
+        let plan = &schedule.plans()[step];
+        let mut reduced = plan.comparators().to_vec();
+        let dropped = reduced.remove(rng.below(reduced.len()));
+        let reduced_plan = StepPlan::new(reduced).unwrap();
+        let corrupted_ir = CompiledPlan::compile(&reduced_plan);
+        match verify::verify_ir(step, plan, &corrupted_ir) {
+            Err(VerifyError::IrMissingComparator { step: s, keep_min, keep_max }) => {
+                assert_eq!(s, step, "{a} side {side}");
+                assert_eq!((keep_min, keep_max), (dropped.keep_min, dropped.keep_max));
+            }
+            other => panic!("{a} side {side}: expected IrMissingComparator, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn extra_ir_comparator_rejected() {
+    let mut rng = Lcg(0xD0_04);
+    for (a, side, schedule) in subjects() {
+        let step = nonempty_step(&mut rng, &schedule);
+        let plan = &schedule.plans()[step];
+        if plan.len() < 2 {
+            continue;
+        }
+        // The IR carries one comparator more than the (reduced) plan.
+        let mut reduced = plan.comparators().to_vec();
+        let extra = reduced.remove(rng.below(reduced.len()));
+        let reduced_plan = StepPlan::new(reduced).unwrap();
+        let full_ir = CompiledPlan::compile(plan);
+        match verify::verify_ir(step, &reduced_plan, &full_ir) {
+            Err(VerifyError::IrExtraComparator { step: s, keep_min, keep_max }) => {
+                assert_eq!(s, step, "{a} side {side}");
+                assert_eq!((keep_min, keep_max), (extra.keep_min, extra.keep_max));
+            }
+            other => panic!("{a} side {side}: expected IrExtraComparator, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn ir_direction_flip_rejected() {
+    // A flipped comparator inside the IR is both "missing" (the original)
+    // and "extra" (the flip); the dual-walk reports the first divergence
+    // in (keep_min, keep_max) order — either way the step must fail.
+    let mut rng = Lcg(0xD0_05);
+    for (a, side, schedule) in subjects() {
+        let step = nonempty_step(&mut rng, &schedule);
+        let plan = &schedule.plans()[step];
+        let mut flipped = plan.comparators().to_vec();
+        let victim = rng.below(flipped.len());
+        let c = flipped[victim];
+        flipped[victim] = Comparator::new(c.keep_max, c.keep_min);
+        let flipped_plan = StepPlan::new(flipped).unwrap();
+        let flipped_ir = CompiledPlan::compile(&flipped_plan);
+        let err = verify::verify_ir(step, plan, &flipped_ir)
+            .expect_err("flipped IR comparator must be rejected");
+        assert!(
+            matches!(
+                err,
+                VerifyError::IrMissingComparator { .. } | VerifyError::IrExtraComparator { .. }
+            ),
+            "{a} side {side}: got {err:?}"
+        );
+    }
+}
+
+#[test]
+fn randomized_single_mutations_always_rejected() {
+    // Sweep: many random (subject, step, comparator, mutation-kind)
+    // draws; every single mutation must be rejected while the pristine
+    // step continues to pass.
+    let mut rng = Lcg(0x5EED);
+    let subjects = subjects();
+    for _ in 0..400 {
+        let (a, side, schedule) = &subjects[rng.below(subjects.len())];
+        let policy = a.schedule_policy(*side);
+        let step = nonempty_step(&mut rng, schedule);
+        let pristine = schedule.plans()[step].comparators();
+        verify::verify_step(step, pristine, &policy).expect("pristine step must pass");
+        let mut comparators = pristine.to_vec();
+        let victim = rng.below(comparators.len());
+        let kind = rng.below(4);
+        match kind {
+            0 => comparators.push(comparators[victim]),
+            1 => comparators[victim].keep_max = (side * side) as u32 + rng.next() as u32 % 7,
+            2 => {
+                let c = comparators[victim];
+                comparators[victim] = Comparator::new(c.keep_max, c.keep_min);
+            }
+            _ => {
+                let c = comparators[victim].keep_min;
+                comparators[victim].keep_max = c;
+            }
+        }
+        let err = verify::verify_step(step, &comparators, &policy)
+            .expect_err("mutated step must be rejected");
+        let expected = match kind {
+            0 => matches!(err, VerifyError::DuplicateCell { .. }),
+            1 => matches!(err, VerifyError::IndexOutOfBounds { .. }),
+            2 => matches!(err, VerifyError::DirectionInconsistent { .. }),
+            _ => matches!(err, VerifyError::DegenerateComparator { .. }),
+        };
+        assert!(expected, "{a} side {side} step {step} mutation {kind}: got {err:?}");
+    }
+}
+
+#[test]
+fn cycle_length_mismatch_rejected() {
+    let a = AlgorithmId::SnakeAlternating;
+    let side = 4;
+    let schedule = a.schedule(side).unwrap();
+    // A policy describing a 5-step cycle must reject the 4-step schedule.
+    let policy = verify::SchedulePolicy::mesh_only(side, a.order(), 5);
+    match verify::verify_schedule_structural(&schedule, &policy) {
+        Err(VerifyError::CycleLengthMismatch { expected: 5, got: 4 }) => {}
+        other => panic!("expected CycleLengthMismatch, got {other:?}"),
+    }
+}

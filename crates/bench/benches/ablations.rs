@@ -181,9 +181,7 @@ fn bench_ablation_sorted_check(c: &mut Criterion) {
         b.iter(|| {
             seed += 1;
             let mut grid = bench_grid(side, seed);
-            black_box(
-                schedule.run_until_sorted_kernel(&mut grid, TargetOrder::RowMajor, cap).steps,
-            )
+            black_box(schedule.run_until_sorted_kernel(&mut grid, TargetOrder::RowMajor, cap).steps)
         });
     });
     g.finish();

@@ -24,9 +24,7 @@ fn bench_sort_scaling(c: &mut Criterion) {
                     b.iter(|| {
                         seed += 1;
                         let mut grid = bench_grid(side, seed);
-                        black_box(
-                            runner::sort_to_completion(alg, &mut grid).unwrap().outcome.steps,
-                        )
+                        black_box(runner::sort_to_completion(alg, &mut grid).unwrap().outcome.steps)
                     });
                 },
             );

@@ -1,7 +1,7 @@
 //! The catalogue of the paper's five algorithms.
 
 use crate::{row_major, snake};
-use meshsort_mesh::{CycleSchedule, MeshError, TargetOrder};
+use meshsort_mesh::{CycleSchedule, MeshError, SchedulePolicy, TargetOrder};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -117,6 +117,31 @@ impl AlgorithmId {
         matches!(self, AlgorithmId::RowMajorRowFirst | AlgorithmId::RowMajorColFirst)
     }
 
+    /// The (0-indexed) cycle step that carries the wrap-around wires, or
+    /// `None` for the snakelike algorithms. The paper merges the wraps into
+    /// step 4i+3 — the row *even* phase — which is the third step of R1's
+    /// cycle and, with R2's pairwise step swap, the fourth of R2's.
+    pub fn wrap_step_index(self) -> Option<usize> {
+        match self {
+            AlgorithmId::RowMajorRowFirst => Some(2),
+            AlgorithmId::RowMajorColFirst => Some(3),
+            _ => None,
+        }
+    }
+
+    /// The [`SchedulePolicy`] this algorithm's schedule must satisfy on the
+    /// given side: its target order, 4-step cycle, and wrap-around wires
+    /// admitted only on [`AlgorithmId::wrap_step_index`]. This is the
+    /// contract the `meshcheck` structural pass
+    /// ([`meshsort_mesh::verify::verify_schedule_structural`]) checks
+    /// compiled schedules against.
+    pub fn schedule_policy(self, side: usize) -> SchedulePolicy {
+        match self.wrap_step_index() {
+            Some(step) => SchedulePolicy::with_wrap_at(side, self.order(), 4, &[step]),
+            None => SchedulePolicy::mesh_only(side, self.order(), 4),
+        }
+    }
+
     /// Index of the first *row* sorting step within the cycle (0-indexed),
     /// i.e. the step after which the paper's `Z₁`/`M` statistics are read.
     ///
@@ -194,6 +219,37 @@ mod tests {
         assert!(AlgorithmId::RowMajorColFirst.uses_wraparound());
         for a in AlgorithmId::SNAKE {
             assert!(!a.uses_wraparound());
+        }
+    }
+
+    #[test]
+    fn wrap_step_indices() {
+        assert_eq!(AlgorithmId::RowMajorRowFirst.wrap_step_index(), Some(2));
+        assert_eq!(AlgorithmId::RowMajorColFirst.wrap_step_index(), Some(3));
+        for a in AlgorithmId::SNAKE {
+            assert_eq!(a.wrap_step_index(), None, "{a}");
+        }
+        // The flag and the index must agree.
+        for a in AlgorithmId::ALL {
+            assert_eq!(a.uses_wraparound(), a.wrap_step_index().is_some(), "{a}");
+        }
+    }
+
+    #[test]
+    fn schedules_satisfy_their_policies() {
+        for a in AlgorithmId::ALL {
+            for side in [2, 3, 4, 5, 6, 8] {
+                if !a.supports_side(side) {
+                    continue;
+                }
+                let schedule = a.schedule(side).unwrap();
+                let policy = a.schedule_policy(side);
+                assert_eq!(policy.side(), side);
+                assert_eq!(policy.order(), a.order());
+                assert_eq!(policy.cycle_len(), 4);
+                meshsort_mesh::verify::verify_schedule(&schedule, &policy)
+                    .unwrap_or_else(|e| panic!("{a} side {side}: {e}"));
+            }
         }
     }
 

@@ -145,7 +145,8 @@ mod tests {
 
     #[test]
     fn sorted_input_yields_single_sample() {
-        let mut g = meshsort_mesh::grid::sorted_permutation_grid(4, meshsort_mesh::TargetOrder::Snake);
+        let mut g =
+            meshsort_mesh::grid::sorted_permutation_grid(4, meshsort_mesh::TargetOrder::Snake);
         let tl = run_instrumented(AlgorithmId::SnakeStaggeredCols, &mut g, 1, 100).unwrap();
         assert_eq!(tl.steps, 0);
         assert_eq!(tl.samples.len(), 1);

@@ -40,9 +40,9 @@ pub mod instrument;
 pub mod min_tracker;
 pub mod phases;
 pub mod row_major;
-pub mod variants;
 pub mod runner;
 pub mod snake;
+pub mod variants;
 
 pub use algorithm::AlgorithmId;
 pub use runner::{sort_to_completion, SortRun};

@@ -209,7 +209,8 @@ mod tests {
         // row-major chain: (k, k+1) for all flat k. Verify the union.
         let side = 4;
         let odd = rows_plan(side, |_| Some((Phase::Odd, SortDirection::Forward)));
-        let even_wrap = rows_with_wrap(side, |_| Some((Phase::Even, SortDirection::Forward))).unwrap();
+        let even_wrap =
+            rows_with_wrap(side, |_| Some((Phase::Even, SortDirection::Forward))).unwrap();
         let mut pairs: Vec<(u32, u32)> = odd
             .comparators()
             .iter()

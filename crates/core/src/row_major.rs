@@ -91,9 +91,9 @@ mod tests {
     #[test]
     fn sorted_state_is_fixed_point() {
         for side in [2usize, 4, 6] {
-            for schedule in [row_first_schedule(side).unwrap(), col_first_schedule(side).unwrap()]
-            {
-                let mut g = meshsort_mesh::grid::sorted_permutation_grid(side, TargetOrder::RowMajor);
+            for schedule in [row_first_schedule(side).unwrap(), col_first_schedule(side).unwrap()] {
+                let mut g =
+                    meshsort_mesh::grid::sorted_permutation_grid(side, TargetOrder::RowMajor);
                 let out = schedule.run_steps(&mut g, 0, 8);
                 assert_eq!(out.swaps, 0, "side {side}: sorted state moved");
                 assert!(g.is_sorted(TargetOrder::RowMajor));
@@ -169,8 +169,7 @@ mod tests {
         use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
         let mut rng = StdRng::seed_from_u64(0x5eed);
         for side in [2usize, 4, 6, 8] {
-            for schedule in [row_first_schedule(side).unwrap(), col_first_schedule(side).unwrap()]
-            {
+            for schedule in [row_first_schedule(side).unwrap(), col_first_schedule(side).unwrap()] {
                 for _ in 0..10 {
                     let mut data: Vec<u32> = (0..(side * side) as u32).collect();
                     data.shuffle(&mut rng);

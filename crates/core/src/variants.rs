@@ -233,8 +233,7 @@ mod tests {
         let side = 6;
         let schedule = crate::row_major::row_first_schedule(side).unwrap();
         let mut grid = wrap_is_necessary_witness(side);
-        let result =
-            probe_convergence(&schedule, &mut grid, TargetOrder::RowMajor, 16 * 36);
+        let result = probe_convergence(&schedule, &mut grid, TargetOrder::RowMajor, 16 * 36);
         assert!(matches!(result, Convergence::Sorted(_)), "{result:?}");
     }
 
@@ -323,8 +322,7 @@ mod tests {
     fn any_side_odd_sorted_state_is_fixed_point() {
         for side in [3usize, 5, 7] {
             let schedule = row_major_any_side_schedule(side).unwrap();
-            let mut g =
-                meshsort_mesh::grid::sorted_permutation_grid(side, TargetOrder::RowMajor);
+            let mut g = meshsort_mesh::grid::sorted_permutation_grid(side, TargetOrder::RowMajor);
             let out = schedule.run_steps(&mut g, 0, 10);
             assert_eq!(out.swaps, 0, "side {side}");
         }

@@ -79,7 +79,7 @@ proptest! {
             let schedule = alg.schedule(side).unwrap();
             for plan in schedule.plans() {
                 for c in plan.comparators() {
-                    prop_assert_ne!(classify(c, side), Kind::RowReverse, "{}", alg);
+                    prop_assert_ne!(classify(c, side), Kind::RowReverse, "{alg}");
                 }
             }
         }
@@ -95,13 +95,13 @@ proptest! {
                 for c in plan.comparators() {
                     match classify(c, side) {
                         Kind::RowForward => {
-                            prop_assert_eq!(row_of(c.keep_min, side) % 2, 0, "{}", alg)
+                            prop_assert_eq!(row_of(c.keep_min, side) % 2, 0, "{alg}")
                         }
                         Kind::RowReverse => {
-                            prop_assert_eq!(row_of(c.keep_min, side) % 2, 1, "{}", alg)
+                            prop_assert_eq!(row_of(c.keep_min, side) % 2, 1, "{alg}")
                         }
                         Kind::Column => {}
-                        Kind::Wrap => prop_assert!(false, "{} must not wrap", alg),
+                        Kind::Wrap => prop_assert!(false, "{alg} must not wrap"),
                     }
                 }
             }
@@ -124,7 +124,7 @@ proptest! {
                         classify(c, side),
                         Kind::RowForward | Kind::RowReverse | Kind::Wrap
                     );
-                    prop_assert_eq!(is_row, expect_row, "{} step {}", alg, i);
+                    prop_assert_eq!(is_row, expect_row, "{alg} step {i}");
                 }
             }
         }

@@ -38,7 +38,9 @@ impl BigInt {
     pub fn from_i64(v: i64) -> Self {
         match v.cmp(&0) {
             Ordering::Equal => Self::zero(),
-            Ordering::Greater => BigInt { sign: Sign::Positive, magnitude: BigUint::from_u64(v as u64) },
+            Ordering::Greater => {
+                BigInt { sign: Sign::Positive, magnitude: BigUint::from_u64(v as u64) }
+            }
             Ordering::Less => {
                 BigInt { sign: Sign::Negative, magnitude: BigUint::from_u64(v.unsigned_abs()) }
             }
@@ -102,7 +104,9 @@ impl BigInt {
                 // Opposite signs: subtract the smaller magnitude.
                 match self.magnitude.cmp(&other.magnitude) {
                     Ordering::Equal => Self::zero(),
-                    Ordering::Greater => BigInt::new(self.sign, self.magnitude.sub(&other.magnitude)),
+                    Ordering::Greater => {
+                        BigInt::new(self.sign, self.magnitude.sub(&other.magnitude))
+                    }
                     Ordering::Less => BigInt::new(other.sign, other.magnitude.sub(&self.magnitude)),
                 }
             }

@@ -97,9 +97,9 @@ impl BigUint {
         let mut out = Vec::with_capacity(a.len().max(b.len()) + 1);
         let mut carry = 0u64;
         for i in 0..a.len().max(b.len()) {
-            let x = *a.get(i).unwrap_or(&0) as u128;
-            let y = *b.get(i).unwrap_or(&0) as u128;
-            let sum = x + y + carry as u128;
+            let x = u128::from(*a.get(i).unwrap_or(&0));
+            let y = u128::from(*b.get(i).unwrap_or(&0));
+            let sum = x + y + u128::from(carry);
             out.push(sum as u64);
             carry = (sum >> 64) as u64;
         }
@@ -119,9 +119,9 @@ impl BigUint {
         let (a, b) = (&self.limbs, &other.limbs);
         let mut out = Vec::with_capacity(a.len());
         let mut borrow = 0i128;
-        for i in 0..a.len() {
-            let x = a[i] as i128;
-            let y = *b.get(i).unwrap_or(&0) as i128;
+        for (i, &limb) in a.iter().enumerate() {
+            let x = i128::from(limb);
+            let y = i128::from(*b.get(i).unwrap_or(&0));
             let mut d = x - y - borrow;
             if d < 0 {
                 d += 1i128 << 64;
@@ -145,13 +145,13 @@ impl BigUint {
         for (i, &x) in a.iter().enumerate() {
             let mut carry = 0u128;
             for (j, &y) in b.iter().enumerate() {
-                let t = out[i + j] as u128 + x as u128 * y as u128 + carry;
+                let t = u128::from(out[i + j]) + u128::from(x) * u128::from(y) + carry;
                 out[i + j] = t as u64;
                 carry = t >> 64;
             }
             let mut k = i + b.len();
             while carry != 0 {
-                let t = out[k] as u128 + carry;
+                let t = u128::from(out[k]) + carry;
                 out[k] = t as u64;
                 carry = t >> 64;
                 k += 1;
@@ -168,7 +168,7 @@ impl BigUint {
         let mut out = Vec::with_capacity(self.limbs.len() + 1);
         let mut carry = 0u128;
         for &x in &self.limbs {
-            let t = x as u128 * small as u128 + carry;
+            let t = u128::from(x) * u128::from(small) + carry;
             out.push(t as u64);
             carry = t >> 64;
         }
@@ -188,9 +188,9 @@ impl BigUint {
         let mut out = vec![0u64; self.limbs.len()];
         let mut rem = 0u128;
         for i in (0..self.limbs.len()).rev() {
-            let cur = (rem << 64) | self.limbs[i] as u128;
-            out[i] = (cur / small as u128) as u64;
-            rem = cur % small as u128;
+            let cur = (rem << 64) | u128::from(self.limbs[i]);
+            out[i] = (cur / u128::from(small)) as u64;
+            rem = cur % u128::from(small);
         }
         (Self::normalize(out), rem as u64)
     }
@@ -352,9 +352,9 @@ impl Ord for BigUint {
         match self.limbs.len().cmp(&other.limbs.len()) {
             Ordering::Equal => {
                 for i in (0..self.limbs.len()).rev() {
-                    match self.limbs[i].cmp(&other.limbs[i]) {
-                        Ordering::Equal => continue,
-                        ord => return ord,
+                    let ord = self.limbs[i].cmp(&other.limbs[i]);
+                    if ord != Ordering::Equal {
+                        return ord;
                     }
                 }
                 Ordering::Equal

@@ -177,8 +177,8 @@ mod tests {
             let total = 4 * n * n;
             let zeros = 2 * n * n;
             let p = assignment_prob(total, zeros, 2, 0);
-            let expected =
-                Ratio::new_i64(1, 4).sub(&Ratio::one().div(&Ratio::from_int((16 * n * n - 4) as i64)));
+            let expected = Ratio::new_i64(1, 4)
+                .sub(&Ratio::one().div(&Ratio::from_int((16 * n * n - 4) as i64)));
             assert_eq!(p, expected, "n={n}");
         }
     }

@@ -56,9 +56,7 @@ pub fn r1_z1_distribution(n: u64) -> Vec<Ratio> {
 
 /// Mean of a pmf over `0..=len-1`.
 pub fn pmf_mean(pmf: &[Ratio]) -> Ratio {
-    pmf.iter()
-        .enumerate()
-        .fold(Ratio::zero(), |acc, (k, p)| acc.add(&p.mul_int(k as i64)))
+    pmf.iter().enumerate().fold(Ratio::zero(), |acc, (k, p)| acc.add(&p.mul_int(k as i64)))
 }
 
 /// Variance of a pmf.
@@ -150,17 +148,12 @@ mod tests {
         let var = paper::r1_var_z1(n);
         for k in 0..(3 * n / 2) {
             let true_tail = r1_z1_cdf(n, k).to_f64();
-            let bound =
-                paper::chebyshev_tail_bound(&mean, &var, &Ratio::from_int(k as i64));
-            assert!(
-                true_tail <= bound + 1e-12,
-                "k={k}: true {true_tail} > bound {bound}"
-            );
+            let bound = paper::chebyshev_tail_bound(&mean, &var, &Ratio::from_int(k as i64));
+            assert!(true_tail <= bound + 1e-12, "k={k}: true {true_tail} > bound {bound}");
         }
         // The bound is loose: at k = n the truth is several times smaller.
         let truth_at_n = r1_z1_cdf(n, n).to_f64();
-        let bound_at_n =
-            paper::chebyshev_tail_bound(&mean, &var, &Ratio::from_int(n as i64));
+        let bound_at_n = paper::chebyshev_tail_bound(&mean, &var, &Ratio::from_int(n as i64));
         assert!(truth_at_n < bound_at_n / 3.0, "{truth_at_n} vs {bound_at_n}");
     }
 

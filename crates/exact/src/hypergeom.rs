@@ -62,10 +62,7 @@ impl Hypergeometric {
         let d = Ratio::from_int(self.draws as i64);
         let p = s.div(&t);
         let q = Ratio::one().sub(&p);
-        d.mul(&p)
-            .mul(&q)
-            .mul(&t.sub(&d))
-            .div(&t.sub(&Ratio::one()))
+        d.mul(&p).mul(&q).mul(&t.sub(&d)).div(&t.sub(&Ratio::one()))
     }
 
     /// Exact `P(Z ≤ k)`.
@@ -148,16 +145,14 @@ mod tests {
         let n = 3u64;
         let h = Hypergeometric::new(4 * n * n, 2 * n * n, 4);
         for z in 0..=4u64 {
-            let direct = assignment_prob(4 * n * n, 2 * n * n, 4, z)
-                .mul_biguint(&binomial(4, z));
+            let direct = assignment_prob(4 * n * n, 2 * n * n, 4, z).mul_biguint(&binomial(4, z));
             assert_eq!(h.pmf(z), direct, "z={z}");
         }
         // Paper's closed form for z = 2: 1/16 + (n²−3/8)/(32n⁴−32n²+6)
         // is the probability of a *specific* pattern; multiply by C(4,2).
         let n2 = (n * n) as i64;
-        let specific = Ratio::new_i64(1, 16).add(&Ratio::new_i64(8 * n2 - 3, 8).div(
-            &Ratio::from_int(32 * n2 * n2 - 32 * n2 + 6),
-        ));
+        let specific = Ratio::new_i64(1, 16)
+            .add(&Ratio::new_i64(8 * n2 - 3, 8).div(&Ratio::from_int(32 * n2 * n2 - 32 * n2 + 6)));
         assert_eq!(assignment_prob(4 * n * n, 2 * n * n, 4, 2), specific);
     }
 

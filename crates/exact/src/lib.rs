@@ -32,9 +32,9 @@
 #![warn(missing_docs)]
 
 pub mod bigint;
-pub mod distribution;
 pub mod biguint;
 pub mod binomial;
+pub mod distribution;
 pub mod hypergeom;
 pub mod paper;
 pub mod poly;

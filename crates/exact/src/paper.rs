@@ -84,9 +84,7 @@ pub fn r1_expected_m_lower(n: u64) -> Ratio {
 /// Paper closed form: `9/16 + (n² − 3/8)/(32n⁴ − 32n² + 6)`.
 pub fn r1_e_z_pair_product(n: u64) -> Ratio {
     let (total, zeros) = balanced_even(n);
-    Ratio::one()
-        .sub(&q_ones(total, zeros, 2).mul_int(2))
-        .add(&q_ones(total, zeros, 4))
+    Ratio::one().sub(&q_ones(total, zeros, 2).mul_int(2)).add(&q_ones(total, zeros, 4))
 }
 
 /// Theorem 3: exact `Var(Z₁)` after the first row sort of R1:
@@ -96,9 +94,7 @@ pub fn r1_var_z1(n: u64) -> Ratio {
     let e1 = r1_e_z_single(n);
     let e12 = r1_e_z_pair_product(n);
     let ez1 = r1_expected_z1(n);
-    e1.mul_int(2 * n as i64)
-        .add(&e12.mul_int((2 * n * (2 * n - 1)) as i64))
-        .sub(&ez1.mul(&ez1))
+    e1.mul_int(2 * n as i64).add(&e12.mul_int((2 * n * (2 * n - 1)) as i64)).sub(&ez1.mul(&ez1))
 }
 
 /// Theorem 2: the average number of steps of R1 is lower bounded by
@@ -136,7 +132,7 @@ fn r2_sort_block(p: [u8; 4]) -> [u8; 4] {
 
 fn block_z1(p: [u8; 4]) -> u64 {
     let s = r2_sort_block(p);
-    (s[0] == 0) as u64 + (s[2] == 0) as u64
+    u64::from(s[0] == 0) + u64::from(s[2] == 0)
 }
 
 fn bits4(mask: u32) -> [u8; 4] {
@@ -381,10 +377,7 @@ pub fn theorem9_extra_steps(x: u64, alpha: u64) -> u64 {
 /// `4(E[Y₁(0)] − N/4 − 1)` — approximately `N/2 − √N/2 − 4`.
 pub fn thm10_lower_bound(n: u64) -> Ratio {
     let alpha = 2 * n * n;
-    s2_expected_y10(n)
-        .sub(&Ratio::from_int(alpha.div_ceil(2) as i64))
-        .sub(&Ratio::one())
-        .mul_int(4)
+    s2_expected_y10(n).sub(&Ratio::from_int(alpha.div_ceil(2) as i64)).sub(&Ratio::one()).mul_int(4)
 }
 
 // ---------------------------------------------------------------------
@@ -643,8 +636,7 @@ mod tests {
         for n in 1..=8i64 {
             let nn = 4 * n * n;
             let sqrt_nn = 2 * n;
-            let expected =
-                r(3 * nn, 8).add(&r(sqrt_nn, 8)).add(&r(sqrt_nn, 8 * (sqrt_nn + 1)));
+            let expected = r(3 * nn, 8).add(&r(sqrt_nn, 8)).add(&r(sqrt_nn, 8 * (sqrt_nn + 1)));
             assert_eq!(s1_expected_z10(n as u64), expected, "n={n}");
         }
     }
@@ -787,8 +779,7 @@ mod tests {
         for n in 1..=8i64 {
             let nn = 4 * n * n;
             let sqrt_nn = 2 * n;
-            let expected =
-                r(3 * nn, 8).sub(&r(sqrt_nn, 8)).add(&r(sqrt_nn, 8 * (sqrt_nn + 1)));
+            let expected = r(3 * nn, 8).sub(&r(sqrt_nn, 8)).add(&r(sqrt_nn, 8 * (sqrt_nn + 1)));
             assert_eq!(s2_expected_y10(n as u64), expected, "n={n}");
         }
     }
@@ -889,8 +880,7 @@ mod tests {
             let mean = r1_expected_z1(n as u64);
             let var = r1_var_z1(n as u64);
             // threshold = (γ+1)·n + 1
-            let threshold =
-                r(gamma_num + gamma_den, gamma_den).mul_int(n).add(&Ratio::one());
+            let threshold = r(gamma_num + gamma_den, gamma_den).mul_int(n).add(&Ratio::one());
             let b = chebyshev_tail_bound(&mean, &var, &threshold);
             assert!(b <= prev + 1e-9, "bound should shrink: n={n}, {b} > {prev}");
             prev = b;

@@ -268,8 +268,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "duplicate x")]
     fn interpolation_duplicate_x_panics() {
-        let points =
-            vec![(Ratio::from_int(1), Ratio::zero()), (Ratio::from_int(1), Ratio::one())];
+        let points = vec![(Ratio::from_int(1), Ratio::zero()), (Ratio::from_int(1), Ratio::one())];
         let _ = Poly::interpolate(&points);
     }
 
@@ -340,14 +339,9 @@ mod tests {
     fn rational_fn_eval_and_pole_skip() {
         // f(x) = x/(x−3): matches() must skip the pole at 3.
         let rf = RationalFn::new(Poly::x(), Poly::from_ints(&[-3, 1]));
+        assert!(rf.matches(|x| Ratio::from_int(x as i64).div(&Ratio::from_int(x as i64 - 3)), 4));
         assert!(rf.matches(
-            |x| Ratio::from_int(x as i64).div(&Ratio::from_int(x as i64 - 3)),
-            4
-        ));
-        assert!(rf.matches(
-            |x| {
-                Ratio::from_int(x as i64).div(&Ratio::from_int(x as i64 - 3))
-            },
+            |x| { Ratio::from_int(x as i64).div(&Ratio::from_int(x as i64 - 3)) },
             1 // starts below the pole; must skip x = 3
         ));
         assert_eq!(rf.eval(&Ratio::from_int(6)), Ratio::from_int(2));

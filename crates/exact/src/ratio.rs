@@ -46,10 +46,7 @@ impl Ratio {
         let num = BigInt::from_i64(p);
         let den = BigInt::from_i64(q);
         let sign_flip = den.is_negative();
-        let r = Ratio::reduce(
-            if sign_flip { num.neg() } else { num },
-            den.magnitude().clone(),
-        );
+        let r = Ratio::reduce(if sign_flip { num.neg() } else { num }, den.magnitude().clone());
         r
     }
 
@@ -266,7 +263,8 @@ mod tests {
         assert!((r(-7, 8).to_f64() + 0.875).abs() < 1e-15);
         assert_eq!(Ratio::zero().to_f64(), 0.0);
         // Large numerator and denominator.
-        let big = Ratio::from_biguint_ratio(BigUint::from_u64(3).pow(60), BigUint::from_u64(2).pow(90));
+        let big =
+            Ratio::from_biguint_ratio(BigUint::from_u64(3).pow(60), BigUint::from_u64(2).pow(90));
         let expect = 3f64.powi(60) / 2f64.powi(90);
         assert!((big.to_f64() - expect).abs() / expect < 1e-12);
     }

@@ -100,7 +100,7 @@ pub fn r2_var_f64(n: u64) -> f64 {
         if za == 0 || zb == 0 {
             continue;
         }
-        let zeros_in_pattern = 8 - (mask.count_ones() as u64);
+        let zeros_in_pattern = 8 - u64::from(mask.count_ones());
         e12 += (za * zb) as f64 * assignment_f64(t, z, 8, zeros_in_pattern);
     }
     let nf = n as f64;
@@ -178,11 +178,9 @@ impl ConcentrationTheorem {
             ConcentrationTheorem::Theorem5 => {
                 (r2_mean_f64(n), r2_var_f64(n), (gamma + 1.0) * nf + 1.0)
             }
-            ConcentrationTheorem::Theorem8 => (
-                s1_mean_f64(n),
-                s1_var_f64(n),
-                nf * nf * (gamma + 1.0) + nf / 2.0 + 1.0,
-            ),
+            ConcentrationTheorem::Theorem8 => {
+                (s1_mean_f64(n), s1_var_f64(n), nf * nf * (gamma + 1.0) + nf / 2.0 + 1.0)
+            }
         };
         if threshold >= mean {
             return 1.0;
@@ -201,9 +199,8 @@ impl ConcentrationTheorem {
         assert!(gamma < self.constant(), "gamma must be below the theorem's constant");
         assert!(delta > 0.0, "delta must be positive");
         let verify_tail = 8u64;
-        (1..=n_cap).find(|&n| {
-            (n..=n + verify_tail).all(|m| self.probability_bound(m, gamma) <= delta)
-        })
+        (1..=n_cap)
+            .find(|&n| (n..=n + verify_tail).all(|m| self.probability_bound(m, gamma) <= delta))
     }
 }
 
@@ -272,8 +269,7 @@ mod tests {
         for n in [n0, n0 + 17, 2 * n0] {
             assert!(ConcentrationTheorem::Theorem3.probability_bound(n, 0.4) <= 0.05);
         }
-        let n0_tight =
-            ConcentrationTheorem::Theorem3.witness_n0(0.4, 0.005, 10_000_000).unwrap();
+        let n0_tight = ConcentrationTheorem::Theorem3.witness_n0(0.4, 0.005, 10_000_000).unwrap();
         assert!(n0_tight > n0, "{n0_tight} vs {n0}");
     }
 

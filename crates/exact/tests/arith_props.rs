@@ -17,18 +17,18 @@ proptest! {
 
     #[test]
     fn add_matches_u128(a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(big(a as u128).add(&big(b as u128)), big(a as u128 + b as u128));
+        prop_assert_eq!(big(u128::from(a)).add(&big(u128::from(b))), big(u128::from(a) + u128::from(b)));
     }
 
     #[test]
     fn sub_matches_u128(a in any::<u64>(), b in any::<u64>()) {
         let (hi, lo) = if a >= b { (a, b) } else { (b, a) };
-        prop_assert_eq!(big(hi as u128).sub(&big(lo as u128)), big((hi - lo) as u128));
+        prop_assert_eq!(big(u128::from(hi)).sub(&big(u128::from(lo))), big(u128::from(hi - lo)));
     }
 
     #[test]
     fn mul_matches_u128(a in any::<u64>(), b in any::<u64>()) {
-        prop_assert_eq!(big(a as u128).mul(&big(b as u128)), big(a as u128 * b as u128));
+        prop_assert_eq!(big(u128::from(a)).mul(&big(u128::from(b))), big(u128::from(a) * u128::from(b)));
     }
 
     #[test]
@@ -45,11 +45,11 @@ proptest! {
 
     #[test]
     fn gcd_properties(a in any::<u64>(), b in any::<u64>()) {
-        let g = big(a as u128).gcd(&big(b as u128));
+        let g = big(u128::from(a)).gcd(&big(u128::from(b)));
         // gcd divides both.
         if !g.is_zero() {
-            prop_assert!(big(a as u128).div_rem(&g).1.is_zero());
-            prop_assert!(big(b as u128).div_rem(&g).1.is_zero());
+            prop_assert!(big(u128::from(a)).div_rem(&g).1.is_zero());
+            prop_assert!(big(u128::from(b)).div_rem(&g).1.is_zero());
         }
         // Commutative, and matches the Euclidean reference.
         fn gcd_ref(mut a: u64, mut b: u64) -> u64 {
@@ -60,7 +60,7 @@ proptest! {
             }
             a
         }
-        prop_assert_eq!(g, big(gcd_ref(a, b) as u128));
+        prop_assert_eq!(g, big(u128::from(gcd_ref(a, b))));
     }
 
     #[test]
@@ -84,10 +84,10 @@ proptest! {
     #[test]
     fn bigint_matches_i128(a in any::<i64>(), b in any::<i64>()) {
         let sum = BigInt::from_i64(a).add(&BigInt::from_i64(b));
-        let expect = a as i128 + b as i128;
+        let expect = i128::from(a) + i128::from(b);
         prop_assert_eq!(sum.to_f64(), expect as f64);
         let prod = BigInt::from_i64(a).mul(&BigInt::from_i64(b));
-        prop_assert_eq!(prod.is_negative(), (a as i128 * b as i128) < 0);
+        prop_assert_eq!(prod.is_negative(), i128::from(a) * i128::from(b) < 0);
     }
 
     // ---- Ratio field laws ----
@@ -127,8 +127,8 @@ proptest! {
     ) {
         let a = Ratio::new_i64(p1, q1);
         let b = Ratio::new_i64(p2, q2);
-        let lhs = (p1 as i128) * (q2 as i128);
-        let rhs = (p2 as i128) * (q1 as i128);
+        let lhs = i128::from(p1) * i128::from(q2);
+        let rhs = i128::from(p2) * i128::from(q1);
         prop_assert_eq!(a.cmp(&b), lhs.cmp(&rhs));
     }
 

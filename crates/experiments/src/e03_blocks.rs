@@ -71,8 +71,7 @@ mod tests {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let side = 16;
-        let mean: f64 =
-            (0..400).map(|_| sample_z1_col_first(side, &mut rng)).sum::<f64>() / 400.0;
+        let mean: f64 = (0..400).map(|_| sample_z1_col_first(side, &mut rng)).sum::<f64>() / 400.0;
         assert!(mean > 0.65 * side as f64, "{mean}");
         assert!(mean < 0.73 * side as f64, "{mean}");
     }

@@ -12,7 +12,15 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "E04",
         "Theorem 2: R1 mean steps on random permutations >= N/2 - 2*sqrt(N)",
-        vec!["side", "N", "trials", "mean steps", "bound 4nE[M]", "headline N/2-2sqrt(N)", "mean/N"],
+        vec![
+            "side",
+            "N",
+            "trials",
+            "mean steps",
+            "bound 4nE[M]",
+            "headline N/2-2sqrt(N)",
+            "mean/N",
+        ],
     );
     let seeds = cfg.seeds_for("e04");
     for side in cfg.even_sides() {

@@ -12,7 +12,15 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "E05",
         "Theorem 4: R2 mean steps on random permutations >= 3N/8 - 2*sqrt(N)",
-        vec!["side", "N", "trials", "mean steps", "bound 4nE[M]", "headline 3N/8-2sqrt(N)", "mean/N"],
+        vec![
+            "side",
+            "N",
+            "trials",
+            "mean steps",
+            "bound 4nE[M]",
+            "headline 3N/8-2sqrt(N)",
+            "mean/N",
+        ],
     );
     let seeds = cfg.seeds_for("e05");
     for side in cfg.even_sides() {

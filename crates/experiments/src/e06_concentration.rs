@@ -100,7 +100,9 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             }
         }
     }
-    report.note("constants: 1/2 for R1 (Thm 3), 3/8 for R2 (Thm 5), 1/2 for S1 (Thm 8) and S2 (Thm 11)");
+    report.note(
+        "constants: 1/2 for R1 (Thm 3), 3/8 for R2 (Thm 5), 1/2 for S1 (Thm 8) and S2 (Thm 11)",
+    );
     report
 }
 
@@ -125,14 +127,8 @@ mod tests {
     fn tail_at_small_gamma_is_zero_for_moderate_mesh() {
         // P[steps < 0.25·N] for R1 on a 16×16 mesh should be ~0: the mean
         // is near N/2 and the distribution concentrates.
-        let tails = tails_for(
-            AlgorithmId::RowMajorRowFirst,
-            16,
-            &[0.25],
-            64,
-            SeedSequence::new(5),
-            4,
-        );
+        let tails =
+            tails_for(AlgorithmId::RowMajorRowFirst, 16, &[0.25], 64, SeedSequence::new(5), 4);
         assert_eq!(tails.estimate(0), 0.0, "{:?}", tails.estimates());
     }
 }

@@ -19,7 +19,13 @@ struct MinPathAgg {
     trials: u64,
 }
 
-fn observe(side: usize, deltas: &[f64], trials: u64, seeds: SeedSequence, threads: usize) -> MinPathAgg {
+fn observe(
+    side: usize,
+    deltas: &[f64],
+    trials: u64,
+    seeds: SeedSequence,
+    threads: usize,
+) -> MinPathAgg {
     let n_cells = side * side;
     run_trials(
         seeds,
@@ -63,7 +69,15 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     let mut report = ExperimentReport::new(
         "E10",
         "Theorem 12: S3 needs Theta(N) steps w.h.p.; P[steps < delta*N] <= delta/2 + delta/(2N)",
-        vec!["side", "N", "trials", "delta", "P[steps < delta*N]", "paper bound", "lemma violations"],
+        vec![
+            "side",
+            "N",
+            "trials",
+            "delta",
+            "P[steps < delta*N]",
+            "paper bound",
+            "lemma violations",
+        ],
     );
     let seeds = cfg.seeds_for("e10");
     let deltas = [0.2f64, 0.5, 0.8];
@@ -135,12 +149,9 @@ mod tests {
         for side in [4usize, 6, 8] {
             let mut g = min_at_snake_end(side);
             let m = side * side;
-            let path = track_min(
-                AlgorithmId::SnakePhaseAligned,
-                &mut g,
-                runner::default_step_cap(side),
-            )
-            .unwrap();
+            let path =
+                track_min(AlgorithmId::SnakePhaseAligned, &mut g, runner::default_step_cap(side))
+                    .unwrap();
             let home = path.steps_until_home().unwrap();
             assert!(home >= theorem12_lower_bound(m), "side {side}");
             assert!(home <= 2 * m as u64 + 4, "side {side}: {home}");

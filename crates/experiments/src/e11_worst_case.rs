@@ -22,8 +22,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             let mut grid = smallest_in_one_column(side, 0);
             let run = runner::sort_to_completion(algorithm, &mut grid).expect("even side");
             assert!(run.outcome.sorted);
-            let verdict =
-                if run.outcome.steps >= bound { Verdict::Pass } else { Verdict::Fail };
+            let verdict = if run.outcome.steps >= bound { Verdict::Pass } else { Verdict::Fail };
             report.push_row(
                 vec![
                     algorithm.to_string(),
@@ -40,8 +39,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             let mut grid = zero_column(side, 0);
             let run = runner::sort_to_completion(algorithm, &mut grid).expect("even side");
             assert!(run.outcome.sorted);
-            let verdict =
-                if run.outcome.steps >= bound { Verdict::Pass } else { Verdict::Fail };
+            let verdict = if run.outcome.steps >= bound { Verdict::Pass } else { Verdict::Fail };
             report.push_row(
                 vec![
                     algorithm.to_string(),
@@ -75,8 +73,7 @@ mod tests {
         // The adversary should not wildly exceed the bound either — the
         // worst case is Θ(N) with constant ≈ 2.
         let mut grid = zero_column(8, 0);
-        let run =
-            runner::sort_to_completion(AlgorithmId::RowMajorRowFirst, &mut grid).unwrap();
+        let run = runner::sort_to_completion(AlgorithmId::RowMajorRowFirst, &mut grid).unwrap();
         let bound = meshsort_exact::paper::corollary1_worst_case(8);
         assert!(run.outcome.steps >= bound);
         assert!(run.outcome.steps <= 3 * bound, "{}", run.outcome.steps);

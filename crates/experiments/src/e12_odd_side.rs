@@ -32,9 +32,10 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     let trials = cfg.trials(20_000);
     for side in cfg.odd_sides() {
         let n = ((side - 1) / 2) as u64;
-        let stats = sample_statistic(trials, seeds.derive(&format!("z10-{side}")), cfg.threads, |rng| {
-            sample_z10_odd(side, rng)
-        });
+        let stats =
+            sample_statistic(trials, seeds.derive(&format!("z10-{side}")), cfg.threads, |rng| {
+                sample_z10_odd(side, rng)
+            });
         let exact = meshsort_exact::paper::s1_expected_z10_odd(n).to_f64();
         let verdict = Verdict::from_bound_check(check_exact_value(&stats, exact, 3.29));
         report.push_row(

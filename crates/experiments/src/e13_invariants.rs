@@ -91,7 +91,8 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         let base = (400_000 / (side * side * side)).max(8) as u64;
         let trials = cfg.trials(base);
         let v = check_side(side, trials, seeds.derive(&side.to_string()), cfg.threads);
-        let verdict = if v.travel + v.tracker + v.bound == 0 { Verdict::Pass } else { Verdict::Fail };
+        let verdict =
+            if v.travel + v.tracker + v.bound == 0 { Verdict::Pass } else { Verdict::Fail };
         report.push_row(
             vec![
                 side.to_string(),

@@ -77,7 +77,8 @@ pub fn run(cfg: &Config) -> ExperimentReport {
                 verdict,
             );
         }
-        let shear = shearsort_stats(side, trials, seeds.derive(&format!("shear-{side}")), cfg.threads);
+        let shear =
+            shearsort_stats(side, trials, seeds.derive(&format!("shear-{side}")), cfg.threads);
         report.push_row(
             vec![
                 side.to_string(),

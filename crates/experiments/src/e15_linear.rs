@@ -42,8 +42,10 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         vec!["N", "trials", "mean steps", "(N-1)/2", "N-2sqrt(N)", "mean/N"],
     );
     let seeds = cfg.seeds_for("e15");
-    let sizes: Vec<usize> =
-        [64usize, 256, 1024, 4096].into_iter().filter(|&n| n <= cfg.max_side * cfg.max_side).collect();
+    let sizes: Vec<usize> = [64usize, 256, 1024, 4096]
+        .into_iter()
+        .filter(|&n| n <= cfg.max_side * cfg.max_side)
+        .collect();
     for n in sizes {
         let base = (40_000_000 / (n * n)).max(32) as u64;
         let trials = cfg.trials(base);
@@ -72,13 +74,11 @@ pub fn run(cfg: &Config) -> ExperimentReport {
     // Exact tiny-N ground truth for the Monte-Carlo pipeline.
     for n in [4usize, 6, 8] {
         let exact = exact_average_steps(n);
-        let stats = linear_stats(n, cfg.trials(20_000), seeds.derive(&format!("exact-{n}")), cfg.threads);
+        let stats =
+            linear_stats(n, cfg.trials(20_000), seeds.derive(&format!("exact-{n}")), cfg.threads);
         let err = (stats.mean() - exact).abs();
-        let verdict = if err < 5.0 * stats.std_error().max(1e-9) {
-            Verdict::Pass
-        } else {
-            Verdict::Fail
-        };
+        let verdict =
+            if err < 5.0 * stats.std_error().max(1e-9) { Verdict::Pass } else { Verdict::Fail };
         report.push_row(
             vec![
                 n.to_string(),

@@ -89,13 +89,19 @@ pub fn run(cfg: &Config) -> ExperimentReport {
                 trials.to_string(),
                 format!("{} ({})", agg.stuck, fnum(agg.stuck as f64 / trials as f64)),
                 agg.sorted.to_string(),
-                if witness_stuck { "stuck (as predicted)".to_string() } else { "SORTED?!".to_string() },
+                if witness_stuck {
+                    "stuck (as predicted)".to_string()
+                } else {
+                    "SORTED?!".to_string()
+                },
             ],
             verdict,
         );
     }
     report.note("fixed points of the no-wrap cycle have every row and column ascending (Young-tableau-like), which is row-major order only for exceptional inputs");
-    report.note("the wrap-equipped R1 sorts the paper's witness input in Θ(N) steps (Corollary 1 regime)");
+    report.note(
+        "the wrap-equipped R1 sorts the paper's witness input in Θ(N) steps (Corollary 1 regime)",
+    );
     report
 }
 

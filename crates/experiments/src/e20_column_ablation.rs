@@ -68,11 +68,8 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         // measured question (they cost 2 of every 4 steps): at small
         // sides they do not pay for themselves; past side ≈ 32 they do.
         let chain_per_n = chain.mean() / n_cells as f64;
-        let verdict = if chain_per_n > 0.75 && chain_per_n < 1.05 {
-            Verdict::Pass
-        } else {
-            Verdict::Fail
-        };
+        let verdict =
+            if chain_per_n > 0.75 && chain_per_n < 1.05 { Verdict::Pass } else { Verdict::Fail };
         report.push_row(
             vec![
                 side.to_string(),
@@ -87,7 +84,9 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         );
     }
     report.note("speedup < 1 means the chain alone beats full R1: the column phases consume half the cycle and only pay for themselves beyond side ≈ 32 (speedup crosses 1 as mean/N of R1 falls below the chain's 1D-like ≈ 0.9-1.0)");
-    report.note("either way both are Θ(N) on average — the column phases move constants, not asymptotics");
+    report.note(
+        "either way both are Θ(N) on average — the column phases move constants, not asymptotics",
+    );
     report
 }
 

@@ -73,7 +73,8 @@ mod tests {
     #[test]
     fn sample_statistic_smoke() {
         use rand::Rng;
-        let s = sample_statistic(100, SeedSequence::new(1), 4, |rng| rng.random_range(0..10) as f64);
+        let s =
+            sample_statistic(100, SeedSequence::new(1), 4, |rng| rng.random_range(0..10) as f64);
         assert_eq!(s.count(), 100);
         assert!(s.mean() > 2.0 && s.mean() < 7.0);
     }

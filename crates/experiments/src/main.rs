@@ -29,7 +29,8 @@ fn main() {
             "--quick" => cfg = Config { seed: cfg.seed, threads: cfg.threads, ..Config::quick() },
             "--seed" => {
                 i += 1;
-                cfg.seed = args.get(i).unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage());
+                cfg.seed =
+                    args.get(i).unwrap_or_else(|| usage()).parse().unwrap_or_else(|_| usage());
             }
             "--threads" => {
                 i += 1;

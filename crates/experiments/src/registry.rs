@@ -42,7 +42,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "Theorem 12 + Lemmas 12/13 (S3 min path)",
             run: crate::e10_s3_minpath::run,
         },
-        Experiment { id: "e11", title: "Corollary 1 (worst case)", run: crate::e11_worst_case::run },
+        Experiment {
+            id: "e11",
+            title: "Corollary 1 (worst case)",
+            run: crate::e11_worst_case::run,
+        },
         Experiment {
             id: "e12",
             title: "Appendix (odd side: Lemma 14, Corollary 4)",

@@ -106,7 +106,7 @@ impl ExperimentReport {
         // Column widths include the verdict column.
         let mut headers: Vec<String> = self.columns.clone();
         headers.push("verdict".to_string());
-        let mut width: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+        let mut width: Vec<usize> = headers.iter().map(String::len).collect();
         let full_rows: Vec<Vec<String>> = self
             .rows
             .iter()

@@ -138,17 +138,12 @@ mod tests {
         for d in 1..=n {
             let mut v: Vec<u32> = (1..=n as u32).collect();
             v.rotate_left(0); // keep ascending
-            // Put the smallest (0) at cell d, keeping the rest ascending.
+                              // Put the smallest (0) at cell d, keeping the rest ascending.
             let mut v: Vec<u32> = (1..=n as u32 - 1).collect();
             v.insert(d - 1, 0);
             let run = run_until_sorted(&mut v, SortDirection::Forward, 4 * n as u64);
             assert!(run.sorted);
-            assert!(
-                run.steps + 1 >= d as u64,
-                "d={d}: steps {} < d-1 = {}",
-                run.steps,
-                d - 1
-            );
+            assert!(run.steps + 1 >= d as u64, "d={d}: steps {} < d-1 = {}", run.steps, d - 1);
         }
     }
 }

@@ -51,11 +51,9 @@ pub enum MeshError {
 impl fmt::Display for MeshError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MeshError::BadDimensions { side, len } => write!(
-                f,
-                "data length {len} does not match side {side} (expected {})",
-                side * side
-            ),
+            MeshError::BadDimensions { side, len } => {
+                write!(f, "data length {len} does not match side {side} (expected {})", side * side)
+            }
             MeshError::ZeroSide => write!(f, "mesh side must be at least 1"),
             MeshError::IndexOutOfRange { index, cells } => {
                 write!(f, "comparator index {index} out of range for {cells} cells")

@@ -237,9 +237,7 @@ impl<T: Ord> Grid<T> {
         let side = self.side;
         let data = &self.data;
         match order {
-            TargetOrder::RowMajor => {
-                data[k..].windows(2).position(|w| w[0] > w[1]).map(|c| k + c)
-            }
+            TargetOrder::RowMajor => data[k..].windows(2).position(|w| w[0] > w[1]).map(|c| k + c),
             TargetOrder::Snake => {
                 for r in k / side..side {
                     let base = r * side;
@@ -293,7 +291,7 @@ impl<T: fmt::Display> Grid<T> {
     pub fn render(&self) -> String {
         let mut out = String::new();
         for r in 0..self.side {
-            let row: Vec<String> = self.row(r).map(|v| v.to_string()).collect();
+            let row: Vec<String> = self.row(r).map(ToString::to_string).collect();
             out.push_str(&row.join(" "));
             out.push('\n');
         }
@@ -325,7 +323,10 @@ mod tests {
 
     #[test]
     fn from_rows_checks_dimensions() {
-        assert_eq!(Grid::from_rows(2, vec![1]).unwrap_err(), MeshError::BadDimensions { side: 2, len: 1 });
+        assert_eq!(
+            Grid::from_rows(2, vec![1]).unwrap_err(),
+            MeshError::BadDimensions { side: 2, len: 1 }
+        );
         assert_eq!(Grid::<u32>::from_rows(0, vec![]).unwrap_err(), MeshError::ZeroSide);
         assert!(Grid::from_rows(2, vec![1, 2, 3, 4]).is_ok());
     }
@@ -444,10 +445,7 @@ mod tests {
                 let sorted = sorted_permutation_grid(side, order);
                 assert_eq!(sorted.first_order_inversion_fast(order), None);
                 let rev = Grid::from_rows(side, (0..n as u32).rev().collect()).unwrap();
-                assert_eq!(
-                    rev.first_order_inversion_fast(order),
-                    rev.first_order_inversion(order)
-                );
+                assert_eq!(rev.first_order_inversion_fast(order), rev.first_order_inversion(order));
             }
         }
     }

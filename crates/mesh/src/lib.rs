@@ -32,6 +32,11 @@
 //! inversion counter. See those modules and
 //! [`CycleSchedule::run_until_sorted_kernel`] for details.
 //!
+//! The [`verify`] module is the static counterpart (`meshcheck`): it
+//! certifies a schedule's structure (disjointness, mesh adjacency, wrap
+//! policy, order-consistent directions) and the conformance of the
+//! compiled kernel IR without executing the schedule on data.
+//!
 //! ```
 //! use meshsort_mesh::{Grid, order::TargetOrder, plan::StepPlan, engine};
 //!
@@ -60,6 +65,7 @@ pub mod pos;
 pub mod schedule;
 pub mod sortedness;
 pub mod trace;
+pub mod verify;
 pub mod viz;
 
 pub use engine::{apply_plan, StepOutcome};
@@ -71,3 +77,4 @@ pub use plan::{Comparator, StepPlan};
 pub use pos::Pos;
 pub use schedule::CycleSchedule;
 pub use sortedness::InversionTracker;
+pub use verify::{SchedulePolicy, StepWires, VerifyError};

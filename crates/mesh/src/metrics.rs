@@ -88,9 +88,7 @@ pub fn dirty_rows(grid: &Grid<u32>, order: TargetOrder) -> usize {
         }
         t
     };
-    (0..side)
-        .filter(|&r| (0..side).any(|c| grid.get(r, c) != &target[r * side + c]))
-        .count()
+    (0..side).filter(|&r| (0..side).any(|c| grid.get(r, c) != &target[r * side + c])).count()
 }
 
 #[cfg(test)]

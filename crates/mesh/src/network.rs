@@ -14,12 +14,12 @@
 //! unsortedness — which [`ComparatorNetwork::find_unsorted_zero_one`]
 //! searches for.
 
+use crate::engine::apply_plan;
 use crate::error::MeshError;
 use crate::grid::Grid;
 use crate::order::TargetOrder;
 use crate::plan::StepPlan;
 use crate::schedule::CycleSchedule;
-use crate::engine::apply_plan;
 
 /// A finite sequence of synchronous comparator steps on a `side × side`
 /// mesh.

@@ -66,9 +66,7 @@ impl TargetOrder {
     /// Inverse of [`TargetOrder::rank_to_flat_table`]: the rank each flat
     /// cell index holds once sorted.
     pub fn flat_to_rank_table(self, side: usize) -> Vec<u32> {
-        (0..side * side)
-            .map(|flat| self.rank_of(Pos::from_flat(flat, side), side) as u32)
-            .collect()
+        (0..side * side).map(|flat| self.rank_of(Pos::from_flat(flat, side), side) as u32).collect()
     }
 
     /// Short machine-friendly name used in experiment reports.
@@ -104,7 +102,8 @@ mod tests {
             let pos = TargetOrder::Snake.pos_of_rank(m - 1, side);
             let r_m = (m - 1) / side + 1;
             assert_eq!(pos.paper_row(), r_m);
-            let expected_col = if r_m % 2 == 1 { (m - 1) % side + 1 } else { side - (m - 1) % side };
+            let expected_col =
+                if r_m % 2 == 1 { (m - 1) % side + 1 } else { side - (m - 1) % side };
             assert_eq!(pos.paper_col(), expected_col, "m={m}");
         }
     }
@@ -140,7 +139,10 @@ mod tests {
                 for col in 0..side {
                     let ranks: Vec<usize> =
                         (0..side).map(|row| order.rank_of(Pos::new(row, col), side)).collect();
-                    assert!(ranks.windows(2).all(|w| w[0] < w[1]), "side={side} {order:?} col={col}");
+                    assert!(
+                        ranks.windows(2).all(|w| w[0] < w[1]),
+                        "side={side} {order:?} col={col}"
+                    );
                 }
             }
         }

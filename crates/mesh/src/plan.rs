@@ -170,7 +170,10 @@ mod tests {
     fn bounds_check() {
         let p = StepPlan::from_pairs(vec![(0, 4)]).unwrap();
         assert!(p.check_bounds(5).is_ok());
-        assert_eq!(p.check_bounds(4).unwrap_err(), MeshError::IndexOutOfRange { index: 4, cells: 4 });
+        assert_eq!(
+            p.check_bounds(4).unwrap_err(),
+            MeshError::IndexOutOfRange { index: 4, cells: 4 }
+        );
     }
 
     #[test]

@@ -35,7 +35,7 @@
 //! at that moment, so runs that never switch pay nothing for it.
 
 use crate::engine::{
-    apply_compiled, apply_plan, apply_plan_tracked, apply_plan_traced_tracked, StepOutcome,
+    apply_compiled, apply_plan, apply_plan_traced_tracked, apply_plan_tracked, StepOutcome,
 };
 use crate::error::MeshError;
 use crate::grid::Grid;
@@ -208,12 +208,9 @@ impl CycleSchedule {
         mut scan_step: impl FnMut(&mut Grid<T>, usize) -> StepOutcome,
     ) -> RunOutcome {
         let mut out = RunOutcome { steps: 0, swaps: 0, comparisons: 0, sorted: false };
-        let mut witness = match grid.first_order_inversion_fast(order) {
-            None => {
-                out.sorted = true;
-                return out;
-            }
-            Some(d) => d,
+        let Some(mut witness) = grid.first_order_inversion_fast(order) else {
+            out.sorted = true;
+            return out;
         };
         let switch_depth = grid.cells() / 2;
         let mut tracker: Option<InversionTracker> = None;
@@ -324,7 +321,8 @@ impl CycleSchedule {
     /// not a target order (e.g. experimental variants).
     pub fn run_to_fixed_point<T: Ord>(&self, grid: &mut Grid<T>, max_cycles: u64) -> Option<u64> {
         for cycle in 0..max_cycles {
-            let out = self.run_steps(grid, cycle * self.plans.len() as u64, self.plans.len() as u64);
+            let out =
+                self.run_steps(grid, cycle * self.plans.len() as u64, self.plans.len() as u64);
             if out.swaps == 0 {
                 return Some(cycle + 1);
             }

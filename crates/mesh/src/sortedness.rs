@@ -167,11 +167,7 @@ mod tests {
                     t.apply_swap(g.as_slice(), a, b);
                     let mut fresh = t.clone();
                     fresh.recount(g.as_slice());
-                    assert_eq!(
-                        t.inversions(),
-                        fresh.inversions(),
-                        "order={order:?} a={a} b={b}"
-                    );
+                    assert_eq!(t.inversions(), fresh.inversions(), "order={order:?} a={a} b={b}");
                 }
             }
         }

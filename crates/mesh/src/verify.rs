@@ -1,0 +1,690 @@
+//! Static verification of comparator-network schedules — `meshcheck`.
+//!
+//! The five algorithms are *fixed* comparator networks: which cells compare
+//! at which step of the cycle never depends on the data. Their key
+//! invariants can therefore be checked **once per schedule**, without
+//! executing a single comparison on real inputs:
+//!
+//! * **Structural pass** ([`verify_schedule_structural`]) — every step has
+//!   in-bounds, non-degenerate, pairwise-disjoint comparators (a
+//!   synchronous step may touch each cell at most once); every comparator
+//!   connects mesh neighbours, with the row-major algorithms' wrap-around
+//!   wires admitted only on the cycle steps that declare them
+//!   ([`StepWires::MeshAndWrap`]); and every comparator's keep-min end has
+//!   the *smaller* target-order rank, so the sorted state is a fixed point
+//!   of the schedule.
+//! * **IR conformance pass** ([`verify_schedule_ir`]) — the compiled
+//!   segment IR ([`CompiledPlan`]) of every step re-expands to exactly the
+//!   source plan's comparator multiset, promoting the runtime differential
+//!   tests of `tests/kernel_props.rs` to a static guarantee.
+//!
+//! Both passes report the first violation as a precise [`VerifyError`]
+//! diagnostic. The exhaustive 0–1 certification pass (the third `meshcheck`
+//! pass) lives in the `meshsort-analyze` crate, which can reach the 0–1
+//! enumeration machinery; this module is purely static.
+//!
+//! The checks deliberately re-derive every invariant from the raw
+//! comparator lists instead of trusting the validated [`StepPlan`] /
+//! [`CycleSchedule`] constructors: the verifier is the independent auditor,
+//! and its mutation suite corrupts raw lists precisely to prove each
+//! diagnostic fires.
+
+use crate::kernel::CompiledPlan;
+use crate::order::TargetOrder;
+use crate::plan::{Comparator, StepPlan};
+use crate::pos::Pos;
+use crate::schedule::CycleSchedule;
+use std::fmt;
+
+/// Which comparator wires one step of a cycle may legally use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepWires {
+    /// Unit mesh edges only: cells at Manhattan distance 1.
+    MeshOnly,
+    /// Unit mesh edges plus the row-major wrap-around wires
+    /// `(r, side−1) ↔ (r+1, 0)` of paper §1, step 4i+3.
+    MeshAndWrap,
+}
+
+/// Static description of the mesh a schedule must conform to: side, target
+/// order, and the per-step wire policy of one cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulePolicy {
+    side: usize,
+    order: TargetOrder,
+    wires: Vec<StepWires>,
+}
+
+impl SchedulePolicy {
+    /// Policy for a `cycle_len`-step cycle using only unit mesh edges.
+    pub fn mesh_only(side: usize, order: TargetOrder, cycle_len: usize) -> SchedulePolicy {
+        SchedulePolicy { side, order, wires: vec![StepWires::MeshOnly; cycle_len] }
+    }
+
+    /// Policy additionally admitting wrap-around wires on the listed
+    /// (0-indexed) cycle steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a wrap step index is outside the cycle.
+    pub fn with_wrap_at(
+        side: usize,
+        order: TargetOrder,
+        cycle_len: usize,
+        wrap_steps: &[usize],
+    ) -> SchedulePolicy {
+        let mut policy = Self::mesh_only(side, order, cycle_len);
+        for &s in wrap_steps {
+            assert!(s < cycle_len, "wrap step {s} outside cycle of length {cycle_len}");
+            policy.wires[s] = StepWires::MeshAndWrap;
+        }
+        policy
+    }
+
+    /// Mesh side.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Target order the schedule must sort into.
+    pub fn order(&self) -> TargetOrder {
+        self.order
+    }
+
+    /// Number of steps in the cycle this policy describes.
+    pub fn cycle_len(&self) -> usize {
+        self.wires.len()
+    }
+
+    /// Wire policy of the given (0-indexed) cycle step.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `step` is outside the cycle.
+    pub fn wires_at(&self, step: usize) -> StepWires {
+        self.wires[step]
+    }
+}
+
+/// A violation found by the static passes. Every variant names the
+/// offending (0-indexed) cycle step and the cells involved, so a failure
+/// pinpoints the exact wire.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The schedule's cycle length differs from the policy's.
+    CycleLengthMismatch {
+        /// Steps the policy describes.
+        expected: usize,
+        /// Steps the schedule actually has.
+        got: usize,
+    },
+    /// A comparator refers to a flat index outside the mesh.
+    IndexOutOfBounds {
+        /// Offending cycle step.
+        step: usize,
+        /// The out-of-range flat index.
+        index: u32,
+        /// Number of cells in the mesh.
+        cells: usize,
+    },
+    /// A comparator compares a cell with itself.
+    DegenerateComparator {
+        /// Offending cycle step.
+        step: usize,
+        /// The flat index used on both ends.
+        cell: u32,
+    },
+    /// A cell is touched by two comparators of the same step.
+    DuplicateCell {
+        /// Offending cycle step.
+        step: usize,
+        /// The flat index that appears twice.
+        cell: u32,
+    },
+    /// A comparator connects two cells that are not mesh neighbours (and
+    /// not a wrap pair).
+    NotMeshAdjacent {
+        /// Offending cycle step.
+        step: usize,
+        /// The comparator's keep-min flat index.
+        keep_min: u32,
+        /// The comparator's keep-max flat index.
+        keep_max: u32,
+    },
+    /// A wrap-around wire appears on a step whose policy is
+    /// [`StepWires::MeshOnly`].
+    WrapNotAllowed {
+        /// Offending cycle step.
+        step: usize,
+        /// The comparator's keep-min flat index.
+        keep_min: u32,
+        /// The comparator's keep-max flat index.
+        keep_max: u32,
+    },
+    /// A comparator's keep-min end has the *larger* target-order rank: the
+    /// wire pushes values away from the sorted arrangement, so the sorted
+    /// state would not be a fixed point.
+    DirectionInconsistent {
+        /// Offending cycle step.
+        step: usize,
+        /// The comparator's keep-min flat index.
+        keep_min: u32,
+        /// The comparator's keep-max flat index.
+        keep_max: u32,
+    },
+    /// The compiled IR of a step fails to produce a comparator present in
+    /// the source plan (e.g. a dropped segment).
+    IrMissingComparator {
+        /// Offending cycle step.
+        step: usize,
+        /// Keep-min flat index of the missing comparator.
+        keep_min: u32,
+        /// Keep-max flat index of the missing comparator.
+        keep_max: u32,
+    },
+    /// The compiled IR of a step produces a comparator the source plan does
+    /// not contain.
+    IrExtraComparator {
+        /// Offending cycle step.
+        step: usize,
+        /// Keep-min flat index of the extra comparator.
+        keep_min: u32,
+        /// Keep-max flat index of the extra comparator.
+        keep_max: u32,
+    },
+    /// The compiled IR's comparison tally disagrees with the plan size
+    /// (defensive: unreachable through [`CompiledPlan::compile`] when the
+    /// multisets match, but a corrupted counter must still be caught).
+    IrComparisonCountMismatch {
+        /// Offending cycle step.
+        step: usize,
+        /// Comparators in the source plan.
+        plan: u64,
+        /// Comparisons the compiled step claims to evaluate.
+        compiled: u64,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::CycleLengthMismatch { expected, got } => {
+                write!(f, "cycle has {got} steps but the policy describes {expected}")
+            }
+            VerifyError::IndexOutOfBounds { step, index, cells } => {
+                write!(f, "step {step}: comparator index {index} out of range for {cells} cells")
+            }
+            VerifyError::DegenerateComparator { step, cell } => {
+                write!(f, "step {step}: comparator compares cell {cell} with itself")
+            }
+            VerifyError::DuplicateCell { step, cell } => {
+                write!(f, "step {step}: cell {cell} is touched by more than one comparator")
+            }
+            VerifyError::NotMeshAdjacent { step, keep_min, keep_max } => {
+                write!(f, "step {step}: cells {keep_min} and {keep_max} are not mesh neighbours")
+            }
+            VerifyError::WrapNotAllowed { step, keep_min, keep_max } => write!(
+                f,
+                "step {step}: wrap-around wire {keep_min}↔{keep_max} on a step that allows only \
+                 mesh edges"
+            ),
+            VerifyError::DirectionInconsistent { step, keep_min, keep_max } => write!(
+                f,
+                "step {step}: comparator keeps the minimum at cell {keep_min}, whose target rank \
+                 is above cell {keep_max}'s — the sorted state would not be a fixed point"
+            ),
+            VerifyError::IrMissingComparator { step, keep_min, keep_max } => write!(
+                f,
+                "step {step}: compiled IR drops comparator ({keep_min}, {keep_max}) present in \
+                 the plan"
+            ),
+            VerifyError::IrExtraComparator { step, keep_min, keep_max } => write!(
+                f,
+                "step {step}: compiled IR emits comparator ({keep_min}, {keep_max}) absent from \
+                 the plan"
+            ),
+            VerifyError::IrComparisonCountMismatch { step, plan, compiled } => write!(
+                f,
+                "step {step}: compiled IR claims {compiled} comparisons but the plan has {plan}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// `true` when `{a, b}` is one of the row-major wrap-around pairs
+/// `{(r, side−1), (r+1, 0)}`. In flat indices those are consecutive across
+/// a row boundary: `b = a + 1` with `a ≡ side−1 (mod side)`.
+fn is_wrap_pair(a: u32, b: u32, side: usize) -> bool {
+    let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+    side >= 2 && hi == lo + 1 && (lo as usize) % side == side - 1
+}
+
+/// Structural check of one step's raw comparator list against a policy.
+///
+/// Violations are reported with a fixed priority so corrupted inputs get a
+/// deterministic diagnostic: bounds, then degeneracy, then duplicate
+/// cells, then adjacency/wrap, then direction.
+///
+/// # Errors
+///
+/// The first [`VerifyError`] in the priority order above.
+pub fn verify_step(
+    step: usize,
+    comparators: &[Comparator],
+    policy: &SchedulePolicy,
+) -> Result<(), VerifyError> {
+    let table = policy.order.flat_to_rank_table(policy.side);
+    verify_step_with_table(step, comparators, policy, &table)
+}
+
+/// [`verify_step`] with the flat→rank table precomputed (one allocation per
+/// schedule instead of per step).
+fn verify_step_with_table(
+    step: usize,
+    comparators: &[Comparator],
+    policy: &SchedulePolicy,
+    flat_to_rank: &[u32],
+) -> Result<(), VerifyError> {
+    let side = policy.side;
+    let cells = side * side;
+
+    for c in comparators {
+        for index in [c.keep_min, c.keep_max] {
+            if index as usize >= cells {
+                return Err(VerifyError::IndexOutOfBounds { step, index, cells });
+            }
+        }
+    }
+    for c in comparators {
+        if c.keep_min == c.keep_max {
+            return Err(VerifyError::DegenerateComparator { step, cell: c.keep_min });
+        }
+    }
+    let mut seen: Vec<u32> = Vec::with_capacity(comparators.len() * 2);
+    for c in comparators {
+        seen.push(c.keep_min);
+        seen.push(c.keep_max);
+    }
+    seen.sort_unstable();
+    if let Some(w) = seen.windows(2).find(|w| w[0] == w[1]) {
+        return Err(VerifyError::DuplicateCell { step, cell: w[0] });
+    }
+    for c in comparators {
+        let a = Pos::from_flat(c.keep_min as usize, side);
+        let b = Pos::from_flat(c.keep_max as usize, side);
+        if a.manhattan(b) != 1 {
+            if is_wrap_pair(c.keep_min, c.keep_max, side) {
+                if policy.wires_at(step) != StepWires::MeshAndWrap {
+                    return Err(VerifyError::WrapNotAllowed {
+                        step,
+                        keep_min: c.keep_min,
+                        keep_max: c.keep_max,
+                    });
+                }
+            } else {
+                return Err(VerifyError::NotMeshAdjacent {
+                    step,
+                    keep_min: c.keep_min,
+                    keep_max: c.keep_max,
+                });
+            }
+        }
+        if flat_to_rank[c.keep_min as usize] >= flat_to_rank[c.keep_max as usize] {
+            return Err(VerifyError::DirectionInconsistent {
+                step,
+                keep_min: c.keep_min,
+                keep_max: c.keep_max,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Structural pass over the raw comparator lists of one full cycle.
+///
+/// # Errors
+///
+/// [`VerifyError::CycleLengthMismatch`] when the number of steps differs
+/// from the policy's cycle, otherwise the first per-step violation (see
+/// [`verify_step`]).
+pub fn verify_steps<'a, I>(steps: I, policy: &SchedulePolicy) -> Result<(), VerifyError>
+where
+    I: IntoIterator<Item = &'a [Comparator]>,
+{
+    let table = policy.order.flat_to_rank_table(policy.side);
+    let mut count = 0usize;
+    for (step, comparators) in steps.into_iter().enumerate() {
+        if step >= policy.cycle_len() {
+            count += 1;
+            continue;
+        }
+        verify_step_with_table(step, comparators, policy, &table)?;
+        count += 1;
+    }
+    if count != policy.cycle_len() {
+        return Err(VerifyError::CycleLengthMismatch { expected: policy.cycle_len(), got: count });
+    }
+    Ok(())
+}
+
+/// Structural pass over a validated [`CycleSchedule`].
+///
+/// # Errors
+///
+/// See [`verify_steps`].
+pub fn verify_schedule_structural(
+    schedule: &CycleSchedule,
+    policy: &SchedulePolicy,
+) -> Result<(), VerifyError> {
+    verify_steps(schedule.plans().iter().map(StepPlan::comparators), policy)
+}
+
+/// IR conformance of one step: the compiled form must re-expand to exactly
+/// the plan's comparator multiset, and its comparison tally must equal the
+/// plan size.
+///
+/// # Errors
+///
+/// [`VerifyError::IrMissingComparator`] / [`VerifyError::IrExtraComparator`]
+/// on the first multiset divergence, then
+/// [`VerifyError::IrComparisonCountMismatch`].
+pub fn verify_ir(step: usize, plan: &StepPlan, compiled: &CompiledPlan) -> Result<(), VerifyError> {
+    let key = |c: &Comparator| (c.keep_min, c.keep_max);
+    let mut expected: Vec<Comparator> = plan.comparators().to_vec();
+    let mut got: Vec<Comparator> = compiled.expand();
+    expected.sort_unstable_by_key(key);
+    got.sort_unstable_by_key(key);
+
+    let mut e = expected.iter().peekable();
+    let mut g = got.iter().peekable();
+    loop {
+        match (e.peek(), g.peek()) {
+            (None, None) => break,
+            (Some(&&c), None) => {
+                return Err(VerifyError::IrMissingComparator {
+                    step,
+                    keep_min: c.keep_min,
+                    keep_max: c.keep_max,
+                });
+            }
+            (None, Some(&&c)) => {
+                return Err(VerifyError::IrExtraComparator {
+                    step,
+                    keep_min: c.keep_min,
+                    keep_max: c.keep_max,
+                });
+            }
+            (Some(&&ec), Some(&&gc)) => {
+                if ec == gc {
+                    e.next();
+                    g.next();
+                } else if key(&ec) < key(&gc) {
+                    return Err(VerifyError::IrMissingComparator {
+                        step,
+                        keep_min: ec.keep_min,
+                        keep_max: ec.keep_max,
+                    });
+                } else {
+                    return Err(VerifyError::IrExtraComparator {
+                        step,
+                        keep_min: gc.keep_min,
+                        keep_max: gc.keep_max,
+                    });
+                }
+            }
+        }
+    }
+    if compiled.comparisons() != plan.len() as u64 {
+        return Err(VerifyError::IrComparisonCountMismatch {
+            step,
+            plan: plan.len() as u64,
+            compiled: compiled.comparisons(),
+        });
+    }
+    Ok(())
+}
+
+/// IR conformance pass over every step of a schedule.
+///
+/// # Errors
+///
+/// The first per-step violation (see [`verify_ir`]).
+pub fn verify_schedule_ir(schedule: &CycleSchedule) -> Result<(), VerifyError> {
+    for (step, (plan, compiled)) in
+        schedule.plans().iter().zip(schedule.compiled_plans()).enumerate()
+    {
+        verify_ir(step, plan, compiled)?;
+    }
+    Ok(())
+}
+
+/// Runs the structural pass and then the IR conformance pass over a
+/// schedule — the full static portion of `meshcheck`.
+///
+/// # Errors
+///
+/// The first violation from either pass.
+pub fn verify_schedule(
+    schedule: &CycleSchedule,
+    policy: &SchedulePolicy,
+) -> Result<(), VerifyError> {
+    verify_schedule_structural(schedule, policy)?;
+    verify_schedule_ir(schedule)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Odd-even transposition on the top row of a `side × side` mesh: a
+    /// minimal valid 2-step cycle for structural tests.
+    fn row_odd_even(side: usize) -> CycleSchedule {
+        let odd: Vec<(u32, u32)> = (0..side as u32 - 1).step_by(2).map(|i| (i, i + 1)).collect();
+        let even: Vec<(u32, u32)> = (1..side as u32 - 1).step_by(2).map(|i| (i, i + 1)).collect();
+        CycleSchedule::new(
+            vec![StepPlan::from_pairs(odd).unwrap(), StepPlan::from_pairs(even).unwrap()],
+            side * side,
+        )
+        .unwrap()
+    }
+
+    fn policy(side: usize, cycle_len: usize) -> SchedulePolicy {
+        SchedulePolicy::mesh_only(side, TargetOrder::RowMajor, cycle_len)
+    }
+
+    #[test]
+    fn valid_schedule_passes_both_passes() {
+        let s = row_odd_even(4);
+        assert_eq!(verify_schedule(&s, &policy(4, 2)), Ok(()));
+    }
+
+    #[test]
+    fn cycle_length_mismatch() {
+        let s = row_odd_even(4);
+        assert_eq!(
+            verify_schedule(&s, &policy(4, 3)),
+            Err(VerifyError::CycleLengthMismatch { expected: 3, got: 2 })
+        );
+    }
+
+    #[test]
+    fn out_of_bounds_detected() {
+        let bad = [Comparator::new(0, 99)];
+        assert_eq!(
+            verify_step(0, &bad, &policy(4, 1)),
+            Err(VerifyError::IndexOutOfBounds { step: 0, index: 99, cells: 16 })
+        );
+    }
+
+    #[test]
+    fn degenerate_detected() {
+        let bad = [Comparator::new(5, 5)];
+        assert_eq!(
+            verify_step(2, &bad, &policy(4, 3)),
+            Err(VerifyError::DegenerateComparator { step: 2, cell: 5 })
+        );
+    }
+
+    #[test]
+    fn duplicate_cell_detected() {
+        // Both comparators are valid mesh edges; cell 1 is shared.
+        let bad = [Comparator::new(0, 1), Comparator::new(1, 2)];
+        assert_eq!(
+            verify_step(0, &bad, &policy(4, 1)),
+            Err(VerifyError::DuplicateCell { step: 0, cell: 1 })
+        );
+    }
+
+    #[test]
+    fn non_neighbour_detected() {
+        // Cells 0 and 2 sit two apart in row 0.
+        let bad = [Comparator::new(0, 2)];
+        assert_eq!(
+            verify_step(1, &bad, &policy(4, 2)),
+            Err(VerifyError::NotMeshAdjacent { step: 1, keep_min: 0, keep_max: 2 })
+        );
+    }
+
+    #[test]
+    fn diagonal_is_not_adjacent() {
+        // (0,0) and (1,1) on a 4×4: flat 0 and 5, Manhattan distance 2.
+        let bad = [Comparator::new(0, 5)];
+        assert!(matches!(
+            verify_step(0, &bad, &policy(4, 1)),
+            Err(VerifyError::NotMeshAdjacent { .. })
+        ));
+    }
+
+    #[test]
+    fn wrap_pair_needs_wrap_step() {
+        // (0, 3) ↔ (1, 0) on a 4×4: flats 3 and 4, the first wrap pair.
+        let wrap = [Comparator::new(3, 4)];
+        assert_eq!(
+            verify_step(0, &wrap, &policy(4, 1)),
+            Err(VerifyError::WrapNotAllowed { step: 0, keep_min: 3, keep_max: 4 })
+        );
+        let allowing = SchedulePolicy::with_wrap_at(4, TargetOrder::RowMajor, 1, &[0]);
+        assert_eq!(verify_step(0, &wrap, &allowing), Ok(()));
+    }
+
+    #[test]
+    fn wrap_allowance_is_per_step() {
+        let wrap: Vec<Comparator> = vec![Comparator::new(3, 4)];
+        let empty: Vec<Comparator> = vec![];
+        let p = SchedulePolicy::with_wrap_at(4, TargetOrder::RowMajor, 2, &[1]);
+        // Wrap wire on step 0 (mesh-only) rejected; on step 1 accepted.
+        assert!(matches!(
+            verify_steps([wrap.as_slice(), empty.as_slice()], &p),
+            Err(VerifyError::WrapNotAllowed { step: 0, .. })
+        ));
+        assert_eq!(verify_steps([empty.as_slice(), wrap.as_slice()], &p), Ok(()));
+    }
+
+    #[test]
+    fn flipped_direction_detected_row_major() {
+        // Keep-min on the right violates row-major rank order.
+        let bad = [Comparator::new(1, 0)];
+        assert_eq!(
+            verify_step(0, &bad, &policy(4, 1)),
+            Err(VerifyError::DirectionInconsistent { step: 0, keep_min: 1, keep_max: 0 })
+        );
+    }
+
+    #[test]
+    fn snake_reverse_rows_direction() {
+        // On a 4×4 in snake order, 0-indexed row 1 ascends right→left, so
+        // keep-min must sit at the *larger* flat index within that row.
+        let p = SchedulePolicy::mesh_only(4, TargetOrder::Snake, 1);
+        let reverse = [Comparator::new(5, 4)];
+        assert_eq!(verify_step(0, &reverse, &p), Ok(()));
+        let forward = [Comparator::new(4, 5)];
+        assert!(matches!(
+            verify_step(0, &forward, &p),
+            Err(VerifyError::DirectionInconsistent { step: 0, keep_min: 4, keep_max: 5 })
+        ));
+    }
+
+    #[test]
+    fn column_edges_ascend_in_both_orders() {
+        for order in [TargetOrder::RowMajor, TargetOrder::Snake] {
+            let p = SchedulePolicy::mesh_only(4, order, 1);
+            // Top cell keeps the min: valid in both orders.
+            assert_eq!(verify_step(0, &[Comparator::new(1, 5)], &p), Ok(()));
+            // Bottom cell keeping the min is always inconsistent.
+            assert!(matches!(
+                verify_step(0, &[Comparator::new(5, 1)], &p),
+                Err(VerifyError::DirectionInconsistent { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn ir_pass_accepts_compiled_plans() {
+        let s = row_odd_even(6);
+        assert_eq!(verify_schedule_ir(&s), Ok(()));
+    }
+
+    #[test]
+    fn ir_detects_dropped_comparator() {
+        // Compile a plan missing one comparator, then check it against the
+        // full plan — simulates a dropped IR segment.
+        let full = StepPlan::from_pairs(vec![(0, 1), (2, 3), (4, 5), (6, 7)]).unwrap();
+        let reduced = StepPlan::from_pairs(vec![(0, 1), (2, 3), (6, 7)]).unwrap();
+        let compiled = CompiledPlan::compile(&reduced);
+        assert_eq!(
+            verify_ir(3, &full, &compiled),
+            Err(VerifyError::IrMissingComparator { step: 3, keep_min: 4, keep_max: 5 })
+        );
+    }
+
+    #[test]
+    fn ir_detects_extra_comparator() {
+        let reduced = StepPlan::from_pairs(vec![(0, 1), (2, 3), (6, 7)]).unwrap();
+        let full = StepPlan::from_pairs(vec![(0, 1), (2, 3), (4, 5), (6, 7)]).unwrap();
+        let compiled = CompiledPlan::compile(&full);
+        assert_eq!(
+            verify_ir(0, &reduced, &compiled),
+            Err(VerifyError::IrExtraComparator { step: 0, keep_min: 4, keep_max: 5 })
+        );
+    }
+
+    #[test]
+    fn ir_detects_direction_flip() {
+        // Same cell pair, flipped min/max ends: a multiset mismatch, not a
+        // count mismatch.
+        let plan = StepPlan::from_pairs(vec![(0, 1)]).unwrap();
+        let flipped = StepPlan::from_pairs(vec![(1, 0)]).unwrap();
+        let compiled = CompiledPlan::compile(&flipped);
+        assert!(matches!(
+            verify_ir(0, &plan, &compiled),
+            Err(VerifyError::IrMissingComparator { step: 0, keep_min: 0, keep_max: 1 })
+        ));
+    }
+
+    #[test]
+    fn wrap_pair_shape() {
+        // 4×4: flats 3↔4, 7↔8, 11↔12 are wrap pairs; 4↔5 or 0↔1 are not.
+        assert!(is_wrap_pair(3, 4, 4));
+        assert!(is_wrap_pair(8, 7, 4));
+        assert!(is_wrap_pair(11, 12, 4));
+        assert!(!is_wrap_pair(0, 1, 4));
+        assert!(!is_wrap_pair(4, 5, 4));
+        assert!(!is_wrap_pair(3, 5, 4));
+        // Side 1 has no wrap pairs (and its "pairs" are vertical edges).
+        assert!(!is_wrap_pair(0, 1, 1));
+    }
+
+    #[test]
+    fn error_messages_name_the_step_and_cells() {
+        let e = VerifyError::DuplicateCell { step: 2, cell: 7 };
+        assert!(e.to_string().contains("step 2"));
+        assert!(e.to_string().contains("cell 7"));
+        let e = VerifyError::IrMissingComparator { step: 1, keep_min: 4, keep_max: 5 };
+        assert!(e.to_string().contains("drops comparator (4, 5)"));
+        let e: Box<dyn std::error::Error> =
+            Box::new(VerifyError::CycleLengthMismatch { expected: 4, got: 2 });
+        assert!(e.to_string().contains("4"));
+    }
+}

@@ -18,10 +18,10 @@ use crate::pos::Pos;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Role {
     Idle,
-    RowLeftMin,   // left end of a forward row comparator
-    RowRightMin,  // left end of a reversed row comparator
-    ColTop,       // top end of a column comparator
-    WrapOut,      // the (r, last) end of a wrap wire
+    RowLeftMin,  // left end of a forward row comparator
+    RowRightMin, // left end of a reversed row comparator
+    ColTop,      // top end of a column comparator
+    WrapOut,     // the (r, last) end of a wrap wire
 }
 
 fn roles(plan: &StepPlan, side: usize) -> Vec<Role> {
@@ -102,10 +102,7 @@ pub fn render_plan(plan: &StepPlan, side: usize) -> String {
 
 /// Renders a grid and a plan side by side: values with `*` marking the
 /// cells the plan touches.
-pub fn render_grid_with_plan<T: std::fmt::Display>(
-    grid: &Grid<T>,
-    plan: &StepPlan,
-) -> String {
+pub fn render_grid_with_plan<T: std::fmt::Display>(grid: &Grid<T>, plan: &StepPlan) -> String {
     let side = grid.side();
     let mut touched = vec![false; side * side];
     for c in plan.comparators() {

@@ -54,7 +54,6 @@ where
     crossbeam::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(threads);
         for (w, slot) in partials.iter_mut().enumerate() {
-            let seeds = seeds;
             let make_acc = &make_acc;
             let trial = &trial;
             let lo = w as u64 * per + (w as u64).min(rem);
@@ -96,7 +95,7 @@ pub const MAX_DEFAULT_THREADS: usize = 16;
 pub fn default_threads() -> usize {
     resolve_threads(
         std::env::var("MESHSORT_THREADS").ok().as_deref(),
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        std::thread::available_parallelism().map(std::num::NonZero::get).unwrap_or(1),
     )
 }
 

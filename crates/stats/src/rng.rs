@@ -60,7 +60,7 @@ impl SeedSequence {
     pub fn derive(&self, label: &str) -> SeedSequence {
         let mut s = self.root;
         for b in label.bytes() {
-            s = splitmix64(&mut s) ^ (b as u64).wrapping_mul(0x100_0000_01B3);
+            s = splitmix64(&mut s) ^ u64::from(b).wrapping_mul(0x100_0000_01B3);
         }
         SeedSequence { root: splitmix64(&mut s) }
     }
@@ -135,8 +135,7 @@ mod tests {
         let s = SeedSequence::new(0xFEED_FACE);
         let trials = 4096u64;
         for bit in 0..64 {
-            let ones =
-                (0..trials).filter(|&i| (s.subseed(i) >> bit) & 1 == 1).count() as f64;
+            let ones = (0..trials).filter(|&i| (s.subseed(i) >> bit) & 1 == 1).count() as f64;
             let frac = ones / trials as f64;
             assert!((frac - 0.5).abs() < 0.05, "bit {bit}: {frac}");
         }

@@ -89,12 +89,10 @@ mod tests {
 
     #[test]
     fn tighter_rule_needs_more_trials() {
-        let loose = sample_until(SeedSequence::new(2), StopRule::within(0.1), |rng| {
-            rng.random::<f64>()
-        });
-        let tight = sample_until(SeedSequence::new(2), StopRule::within(0.01), |rng| {
-            rng.random::<f64>()
-        });
+        let loose =
+            sample_until(SeedSequence::new(2), StopRule::within(0.1), |rng| rng.random::<f64>());
+        let tight =
+            sample_until(SeedSequence::new(2), StopRule::within(0.01), |rng| rng.random::<f64>());
         assert!(tight.stats.count() > 4 * loose.stats.count());
     }
 

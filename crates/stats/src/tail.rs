@@ -66,7 +66,9 @@ impl TailEstimator {
         self.thresholds
             .iter()
             .zip(self.below.iter())
-            .map(|(&t, &b)| (t, if self.count == 0 { f64::NAN } else { b as f64 / self.count as f64 }))
+            .map(|(&t, &b)| {
+                (t, if self.count == 0 { f64::NAN } else { b as f64 / self.count as f64 })
+            })
             .collect()
     }
 

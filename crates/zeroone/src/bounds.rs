@@ -5,8 +5,8 @@
 
 use crate::column_stats::ColumnStats;
 use crate::snake_trackers::{s1_tracker_value, s2_tracker_value, zeros_in_odd_columns};
-use meshsort_mesh::{apply_plan, Grid, TargetOrder};
 use meshsort_core::AlgorithmId;
+use meshsort_mesh::{apply_plan, Grid, TargetOrder};
 use serde::{Deserialize, Serialize};
 
 /// Outcome of one bound-vs-reality comparison.
@@ -37,11 +37,7 @@ impl BoundObservation {
 /// # Panics
 ///
 /// Panics for non-row-major algorithms.
-pub fn observe_theorem1(
-    algorithm: AlgorithmId,
-    grid: &mut Grid<u8>,
-    cap: u64,
-) -> BoundObservation {
+pub fn observe_theorem1(algorithm: AlgorithmId, grid: &mut Grid<u8>, cap: u64) -> BoundObservation {
     assert!(algorithm.uses_wraparound(), "Theorem 1 covers the row-major algorithms");
     let side = grid.side();
     let schedule = algorithm.schedule(side).expect("even side");
@@ -143,8 +139,7 @@ pub fn theorem13_bound(x: u64, alpha: u64, n_cells: u64) -> u64 {
 /// measure `Z₁(0)` after the first step, predict, compare.
 pub fn observe_snake1_bound(grid: &mut Grid<u8>, cap: u64) -> BoundObservation {
     let side = grid.side();
-    let schedule =
-        AlgorithmId::SnakeAlternating.schedule(side).expect("snake supports all sides");
+    let schedule = AlgorithmId::SnakeAlternating.schedule(side).expect("snake supports all sides");
     let alpha = grid.as_slice().iter().filter(|&&v| v == 0).count() as u64;
     apply_plan(grid, schedule.plan_at(0));
     let x = s1_tracker_value(grid, 0);
@@ -215,16 +210,10 @@ mod tests {
         // One zero column: α = x = √N ⇒ predicted 2N − 4√N extra steps.
         for side in [4usize, 6, 8] {
             let mut g = Grid::from_fn(side, |p| u8::from(p.col != 0)).unwrap();
-            let obs = observe_theorem1(
-                AlgorithmId::RowMajorRowFirst,
-                &mut g,
-                32 * (side * side) as u64,
-            );
+            let obs =
+                observe_theorem1(AlgorithmId::RowMajorRowFirst, &mut g, 32 * (side * side) as u64);
             assert_eq!(obs.statistic, side as u64);
-            assert_eq!(
-                obs.predicted_min_remaining,
-                2 * (side * side) as u64 - 4 * side as u64
-            );
+            assert_eq!(obs.predicted_min_remaining, 2 * (side * side) as u64 - 4 * side as u64);
             assert!(obs.holds(), "side {side}: {obs:?}");
         }
     }
@@ -234,8 +223,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(11);
         for _ in 0..100 {
             let mut g = balanced_random(6, &mut rng);
-            let obs =
-                observe_theorem1(AlgorithmId::RowMajorRowFirst, &mut g, 4000);
+            let obs = observe_theorem1(AlgorithmId::RowMajorRowFirst, &mut g, 4000);
             assert!(obs.holds(), "{obs:?}");
         }
     }
@@ -245,8 +233,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         for _ in 0..100 {
             let mut g = balanced_random(4, &mut rng);
-            let obs =
-                observe_theorem1(AlgorithmId::RowMajorColFirst, &mut g, 4000);
+            let obs = observe_theorem1(AlgorithmId::RowMajorColFirst, &mut g, 4000);
             assert!(obs.holds(), "{obs:?}");
         }
     }
@@ -280,10 +267,7 @@ mod tests {
         let obs = observe_theorem1_ones(AlgorithmId::RowMajorRowFirst, &mut g, 4000);
         // One *ones* column (α = N − √N): y = √N, quota = 1 → predicted
         // (√N − 2)·2√N = 2N − 4√N, the mirror of Corollary 1.
-        assert_eq!(
-            obs.predicted_min_remaining,
-            2 * (side * side) as u64 - 4 * side as u64
-        );
+        assert_eq!(obs.predicted_min_remaining, 2 * (side * side) as u64 - 4 * side as u64);
         assert!(obs.holds(), "{obs:?}");
     }
 

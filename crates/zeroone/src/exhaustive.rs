@@ -89,10 +89,7 @@ impl Iterator for BalancedGrids {
 
 /// Exact mean of an integer statistic over all balanced grids, as
 /// `(sum, count)` — divide externally for the exact rational mean.
-pub fn exact_mean_over_balanced(
-    side: usize,
-    statistic: impl Fn(Grid<u8>) -> i64,
-) -> (i64, u64) {
+pub fn exact_mean_over_balanced(side: usize, statistic: impl Fn(Grid<u8>) -> i64) -> (i64, u64) {
     let mut sum = 0i64;
     let mut count = 0u64;
     for grid in BalancedGrids::balanced(side) {
@@ -141,8 +138,7 @@ mod tests {
 
     #[test]
     fn grids_are_distinct() {
-        let all: Vec<Vec<u8>> =
-            BalancedGrids::balanced(2).map(|g| g.as_slice().to_vec()).collect();
+        let all: Vec<Vec<u8>> = BalancedGrids::balanced(2).map(|g| g.as_slice().to_vec()).collect();
         let mut dedup = all.clone();
         dedup.sort();
         dedup.dedup();

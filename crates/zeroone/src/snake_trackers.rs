@@ -2,8 +2,8 @@
 //! (paper Definitions 4–10 for even sides, 12–13 for odd sides), plus the
 //! Lemma 5–8 / Lemma 10 monotonicity verifiers.
 
-use meshsort_mesh::{apply_plan, Grid, TargetOrder};
 use meshsort_core::AlgorithmId;
+use meshsort_mesh::{apply_plan, Grid, TargetOrder};
 use serde::{Deserialize, Serialize};
 
 /// Row parity selector, in the paper's 1-indexed sense (the paper's odd
@@ -27,10 +27,8 @@ impl RowParity {
 
 /// Zeros in one column restricted to rows of the given paper parity.
 pub fn zeros_in_column_rows(grid: &Grid<u8>, col: usize, parity: RowParity) -> u64 {
-    (0..grid.side())
-        .filter(|&r| parity.matches(r))
-        .filter(|&r| *grid.get(r, col) == 0)
-        .count() as u64
+    (0..grid.side()).filter(|&r| parity.matches(r)).filter(|&r| *grid.get(r, col) == 0).count()
+        as u64
 }
 
 /// Zeros in all paper-odd columns. For an even side `2n` these are
@@ -40,9 +38,7 @@ pub fn zeros_in_column_rows(grid: &Grid<u8>, col: usize, parity: RowParity) -> u
 pub fn zeros_in_odd_columns_excluding_last_on_odd_side(grid: &Grid<u8>) -> u64 {
     let side = grid.side();
     let limit = if side % 2 == 0 { side } else { side - 1 };
-    grid.enumerate()
-        .filter(|(p, &v)| p.col < limit && p.col % 2 == 0 && v == 0)
-        .count() as u64
+    grid.enumerate().filter(|(p, &v)| p.col < limit && p.col % 2 == 0 && v == 0).count() as u64
 }
 
 /// Zeros in the paper-even columns 2, 4, …, 2n−2 (0-indexed odd columns
@@ -50,9 +46,7 @@ pub fn zeros_in_odd_columns_excluding_last_on_odd_side(grid: &Grid<u8>) -> u64 {
 /// Definitions 9–10.
 pub fn zeros_in_interior_even_columns(grid: &Grid<u8>) -> u64 {
     let side = grid.side();
-    grid.enumerate()
-        .filter(|(p, &v)| p.col % 2 == 1 && p.col + 1 < side && v == 0)
-        .count() as u64
+    grid.enumerate().filter(|(p, &v)| p.col % 2 == 1 && p.col + 1 < side && v == 0).count() as u64
 }
 
 /// The first snakelike algorithm's tracker (Definitions 4–7 even side;
@@ -258,12 +252,15 @@ mod tests {
 
     #[test]
     fn column_row_zero_counts() {
-        let g = Grid::from_rows(4, vec![
-            0, 1, 1, 0, //
-            1, 1, 1, 0, //
-            0, 1, 1, 1, //
-            1, 1, 1, 0,
-        ])
+        let g = Grid::from_rows(
+            4,
+            vec![
+                0, 1, 1, 0, //
+                1, 1, 1, 0, //
+                0, 1, 1, 1, //
+                1, 1, 1, 0,
+            ],
+        )
         .unwrap();
         assert_eq!(zeros_in_column_rows(&g, 0, RowParity::Odd), 2); // rows 0,2
         assert_eq!(zeros_in_column_rows(&g, 0, RowParity::Even), 0);
@@ -275,21 +272,27 @@ mod tests {
 
     #[test]
     fn odd_side_excludes_last_column() {
-        let g = Grid::from_rows(3, vec![
-            0, 1, 0, //
-            0, 1, 0, //
-            0, 1, 0,
-        ])
+        let g = Grid::from_rows(
+            3,
+            vec![
+                0, 1, 0, //
+                0, 1, 0, //
+                0, 1, 0,
+            ],
+        )
         .unwrap();
         // Odd side: only column 0 counts (column 2 excluded).
         assert_eq!(zeros_in_odd_columns_excluding_last_on_odd_side(&g), 3);
         // Even side would count both even-indexed columns.
-        let g4 = Grid::from_rows(4, vec![
-            0, 1, 0, 1, //
-            0, 1, 0, 1, //
-            0, 1, 0, 1, //
-            0, 1, 0, 1,
-        ])
+        let g4 = Grid::from_rows(
+            4,
+            vec![
+                0, 1, 0, 1, //
+                0, 1, 0, 1, //
+                0, 1, 0, 1, //
+                0, 1, 0, 1,
+            ],
+        )
         .unwrap();
         assert_eq!(zeros_in_odd_columns_excluding_last_on_odd_side(&g4), 8);
     }
@@ -328,9 +331,7 @@ mod tests {
             let mut g = random_zero_one(5, &mut rng);
             let trace = trace_tracker(AlgorithmId::SnakeAlternating, &mut g, 1000);
             assert!(trace.sorted);
-            trace
-                .verify_s1_lemmas()
-                .unwrap_or_else(|(t, a, b)| panic!("step {t}: {a} -> {b}"));
+            trace.verify_s1_lemmas().unwrap_or_else(|(t, a, b)| panic!("step {t}: {a} -> {b}"));
         }
     }
 
@@ -380,9 +381,7 @@ mod tests {
             let mut g = random_zero_one(5, &mut rng);
             let trace = trace_s1_tracker(AlgorithmId::SnakeStaggeredCols, &mut g, 1000);
             assert!(trace.sorted);
-            trace
-                .verify_s1_lemmas()
-                .unwrap_or_else(|(t, a, b)| panic!("step {t}: {a} -> {b}"));
+            trace.verify_s1_lemmas().unwrap_or_else(|(t, a, b)| panic!("step {t}: {a} -> {b}"));
         }
     }
 

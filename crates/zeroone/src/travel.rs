@@ -18,8 +18,8 @@
 //! test suites run it over exhaustive and random ensembles).
 
 use crate::column_stats::ColumnStats;
-use meshsort_mesh::{apply_plan, Grid, TargetOrder};
 use meshsort_core::AlgorithmId;
+use meshsort_mesh::{apply_plan, Grid, TargetOrder};
 
 /// Which lemma governs a given step of the R1 cycle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -237,8 +237,7 @@ mod tests {
     fn violation_detection_works() {
         // Feed check_step a fabricated "column sort" that changed a
         // column's composition — it must flag Lemma 1.
-        let before =
-            ColumnStats::of(&Grid::from_rows(2, vec![0u8, 1, 0, 1]).unwrap());
+        let before = ColumnStats::of(&Grid::from_rows(2, vec![0u8, 1, 0, 1]).unwrap());
         let after = ColumnStats::of(&Grid::from_rows(2, vec![0u8, 0, 1, 1]).unwrap());
         let res = check_step(StepKind::ColumnSort, &before, &after, 2, 7);
         let v = res.unwrap_err();
@@ -251,8 +250,7 @@ mod tests {
     fn lemma2_violation_detection() {
         // After an alleged odd row sort, the odd column lost zeros it
         // should have inherited.
-        let before =
-            ColumnStats::of(&Grid::from_rows(2, vec![1u8, 0, 1, 0]).unwrap());
+        let before = ColumnStats::of(&Grid::from_rows(2, vec![1u8, 0, 1, 0]).unwrap());
         let after = ColumnStats::of(&Grid::from_rows(2, vec![1u8, 0, 1, 0]).unwrap());
         // before: z = [0,2]; after: z = [0,2] but lemma requires
         // z[0](t) >= z[1](t-1) = 2 — violated since z[0](t) = 0.

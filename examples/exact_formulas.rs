@@ -21,8 +21,10 @@ fn main() {
         println!("  Theorem 4 E[Z1]      = {}", paper::r2_expected_z1(n));
         println!("  Theorem 5 Var(Z1)    = {}", paper::r2_var_z1(n));
         println!("  Lemma 9   E[Z1(0)]   = {}", paper::s1_expected_z10(n));
-        println!("  Theorem 8 Var[Z1(0)] = {}  (corrected; paper prints 17n^2/8+...)",
-            paper::s1_var_z10(n));
+        println!(
+            "  Theorem 8 Var[Z1(0)] = {}  (corrected; paper prints 17n^2/8+...)",
+            paper::s1_var_z10(n)
+        );
         println!("  Lemma 11  E[Y1(0)]   = {}", paper::s2_expected_y10(n));
         println!("  Theorem 2 bound      = {}", paper::thm2_lower_bound(n));
         println!("  Theorem 4 bound      = {}", paper::thm4_lower_bound(n));

@@ -21,16 +21,15 @@ fn main() {
 
     let mut rng = StdRng::seed_from_u64(seed);
     let mut grid = random_permutation_grid(side, &mut rng);
-    let start = grid
-        .enumerate()
-        .min_by_key(|(_, &v)| v)
-        .map(|(p, _)| p)
-        .expect("non-empty grid");
+    let start = grid.enumerate().min_by_key(|(_, &v)| v).map(|(p, _)| p).expect("non-empty grid");
     let m = MinPath::snake_rank(start, side);
 
     println!("min walk under snake/phase-aligned on a {side}x{side} mesh");
     println!("smallest element starts at {start} = snake rank m = {m}");
-    println!("Theorem 12 floor: needs >= 2m-3 = {} steps to reach (0,0)\n", theorem12_lower_bound(m));
+    println!(
+        "Theorem 12 floor: needs >= 2m-3 = {} steps to reach (0,0)\n",
+        theorem12_lower_bound(m)
+    );
 
     let path = track_min(AlgorithmId::SnakePhaseAligned, &mut grid, runner::default_step_cap(side))
         .expect("snake supports all sides");

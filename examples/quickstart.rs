@@ -16,8 +16,10 @@ fn main() {
     let n = side * side;
 
     println!("meshsort quickstart — {side}x{side} mesh, N = {n}, seed = {seed}");
-    println!("(paper: every algorithm needs Θ(N) steps on average; diameter is only {})\n",
-        meshsort::mesh::pos::mesh_diameter(side));
+    println!(
+        "(paper: every algorithm needs Θ(N) steps on average; diameter is only {})\n",
+        meshsort::mesh::pos::mesh_diameter(side)
+    );
 
     let mut rng = StdRng::seed_from_u64(seed);
     let input = random_permutation_grid(side, &mut rng);

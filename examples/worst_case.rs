@@ -13,8 +13,7 @@ use meshsort::mesh::TargetOrder;
 use meshsort::workloads::adversarial::smallest_in_one_column;
 
 fn main() {
-    let side: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let side: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
     assert!(side % 2 == 0, "the row-major algorithms need an even side");
     let n = side * side;
     let bound = corollary1_worst_case(side as u64);

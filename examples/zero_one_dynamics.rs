@@ -69,5 +69,9 @@ fn main() {
             println!("t={t:>3} ({label})   {}", render(&ColumnStats::of(&grid)));
         }
     }
-    println!("\nsorted after {t} steps (N = {}, steps/N = {:.2})", side * side, t as f64 / (side * side) as f64);
+    println!(
+        "\nsorted after {t} steps (N = {}, steps/N = {:.2})",
+        side * side,
+        t as f64 / (side * side) as f64
+    );
 }

@@ -1,5 +1,7 @@
 //! The `meshsort` binary: a thin dispatcher over [`meshsort::cli`].
 
+#![forbid(unsafe_code)]
+
 use meshsort::cli;
 
 fn main() {
@@ -12,6 +14,7 @@ fn main() {
 
     // Flag parsing: --key value pairs after the subcommand.
     let mut side = 16usize;
+    let mut sides: Vec<usize> = vec![4, 5, 8];
     let mut seed = 1993u64;
     let mut n_param = 4u64;
     let mut algorithm = None;
@@ -29,15 +32,30 @@ fn main() {
         match args[i].as_str() {
             "--side" => {
                 i += 1;
-                side = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| bad("bad --side"));
+                side =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| bad("bad --side"));
+            }
+            "--sides" => {
+                i += 1;
+                let raw = args.get(i).unwrap_or_else(|| bad("missing --sides"));
+                sides = raw
+                    .split(',')
+                    .map(|p| p.trim().parse::<usize>())
+                    .collect::<Result<Vec<usize>, _>>()
+                    .unwrap_or_else(|_| bad("bad --sides (expected e.g. 4,5,8)"));
+                if sides.is_empty() {
+                    bad("bad --sides (expected e.g. 4,5,8)");
+                }
             }
             "--seed" => {
                 i += 1;
-                seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| bad("bad --seed"));
+                seed =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| bad("bad --seed"));
             }
             "--n" => {
                 i += 1;
-                n_param = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| bad("bad --n"));
+                n_param =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| bad("bad --n"));
             }
             "--algorithm" => {
                 i += 1;
@@ -48,16 +66,20 @@ fn main() {
             "--trace" => trace = true,
             "--theorem" => {
                 i += 1;
-                theorem =
-                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| bad("bad --theorem"));
+                theorem = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| bad("bad --theorem"));
             }
             "--gamma" => {
                 i += 1;
-                gamma = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| bad("bad --gamma"));
+                gamma =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| bad("bad --gamma"));
             }
             "--delta" => {
                 i += 1;
-                delta = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| bad("bad --delta"));
+                delta =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| bad("bad --delta"));
             }
             other => bad(&format!("unknown flag {other}")),
         }
@@ -75,6 +97,7 @@ fn main() {
             let alg = algorithm.unwrap_or_else(|| bad("schedule needs --algorithm"));
             cli::cmd_schedule(alg, side.min(12))
         }
+        "analyze" => cli::cmd_analyze(&sides),
         "witness" => cli::cmd_witness(theorem, gamma, delta),
         "formulas" => Ok(cli::cmd_formulas(n_param)),
         "help" | "--help" | "-h" => {

@@ -26,7 +26,12 @@ pub fn parse_algorithm(s: &str) -> Option<AlgorithmId> {
 }
 
 /// `meshsort sort`: one run, optionally with a sampled metric timeline.
-pub fn cmd_sort(algorithm: AlgorithmId, side: usize, seed: u64, trace: bool) -> Result<String, String> {
+pub fn cmd_sort(
+    algorithm: AlgorithmId,
+    side: usize,
+    seed: u64,
+    trace: bool,
+) -> Result<String, String> {
     if !algorithm.supports_side(side) {
         return Err(format!("{algorithm} is not defined on side {side} (needs an even side)"));
     }
@@ -35,17 +40,35 @@ pub fn cmd_sort(algorithm: AlgorithmId, side: usize, seed: u64, trace: bool) -> 
     let mut out = String::new();
     let n = side * side;
     if trace {
-        let tl = run_instrumented(algorithm, &mut grid, (n as u64 / 8).max(1), runner::default_step_cap(side))
-            .map_err(|e| e.to_string())?;
+        let tl = run_instrumented(
+            algorithm,
+            &mut grid,
+            (n as u64 / 8).max(1),
+            runner::default_step_cap(side),
+        )
+        .map_err(|e| e.to_string())?;
         writeln!(out, "{algorithm} on a {side}x{side} mesh (seed {seed})").unwrap();
-        writeln!(out, "{:>8} {:>12} {:>14} {:>10}", "step", "inversions", "displacement", "dirty rows")
-            .unwrap();
+        writeln!(
+            out,
+            "{:>8} {:>12} {:>14} {:>10}",
+            "step", "inversions", "displacement", "dirty rows"
+        )
+        .unwrap();
         for s in &tl.samples {
-            writeln!(out, "{:>8} {:>12} {:>14} {:>10}", s.step, s.inversions, s.displacement, s.dirty_rows)
-                .unwrap();
-        }
-        writeln!(out, "sorted in {} steps ({:.3} steps/cell)", tl.steps, tl.steps as f64 / n as f64)
+            writeln!(
+                out,
+                "{:>8} {:>12} {:>14} {:>10}",
+                s.step, s.inversions, s.displacement, s.dirty_rows
+            )
             .unwrap();
+        }
+        writeln!(
+            out,
+            "sorted in {} steps ({:.3} steps/cell)",
+            tl.steps,
+            tl.steps as f64 / n as f64
+        )
+        .unwrap();
     } else {
         let run = runner::sort_to_completion(algorithm, &mut grid).map_err(|e| e.to_string())?;
         writeln!(
@@ -109,14 +132,54 @@ pub fn cmd_min_walk(side: usize, seed: u64) -> String {
 }
 
 /// `meshsort schedule`: render one algorithm's cycle.
+///
+/// The schedule is passed through the `meshcheck` structural pass before
+/// rendering, so a malformed schedule is reported instead of drawn.
 pub fn cmd_schedule(algorithm: AlgorithmId, side: usize) -> Result<String, String> {
     let schedule = algorithm.schedule(side).map_err(|e| e.to_string())?;
+    let policy = algorithm.schedule_policy(side);
+    meshsort_mesh::verify::verify_schedule_structural(&schedule, &policy)
+        .map_err(|e| format!("schedule failed structural verification: {e}"))?;
     let mut out = format!("{algorithm} cycle on side {side}:\n");
     for (i, plan) in schedule.plans().iter().enumerate() {
         writeln!(out, "--- step 4i+{} ({} comparators) ---", i + 1, plan.len()).unwrap();
         out.push_str(&render_plan(plan, side));
     }
     Ok(out)
+}
+
+/// `meshsort analyze`: the `meshcheck` static certification report.
+///
+/// Returns the JSON report on success; on any failing pass the error
+/// carries a per-failure summary followed by the full report, and the
+/// binary exits non-zero.
+pub fn cmd_analyze(sides: &[usize]) -> Result<String, String> {
+    if sides.is_empty() {
+        return Err("analyze needs at least one side".to_string());
+    }
+    let report = meshsort_analyze::analyze(sides);
+    let json = report.to_json();
+    if report.all_passed() {
+        Ok(json)
+    } else {
+        let mut msg = String::from("meshcheck found violations:\n");
+        for entry in report.failures() {
+            for (name, outcome) in entry.passes() {
+                if outcome.is_failure() {
+                    writeln!(
+                        msg,
+                        "  {} side {}: {name}: {}",
+                        entry.algorithm,
+                        entry.side,
+                        outcome.note()
+                    )
+                    .unwrap();
+                }
+            }
+        }
+        msg.push_str(&json);
+        Err(msg)
+    }
 }
 
 /// `meshsort witness`: N₀ witnesses for the concentration theorems.
@@ -144,7 +207,8 @@ pub fn cmd_witness(theorem: u32, gamma: f64, delta: f64) -> Result<String, Strin
 /// `meshsort formulas`: the exact quantities at one `n`.
 pub fn cmd_formulas(n: u64) -> String {
     use meshsort_exact::paper;
-    let mut out = format!("exact paper quantities at n = {n} (side {}, N = {}):\n", 2 * n, 4 * n * n);
+    let mut out =
+        format!("exact paper quantities at n = {n} (side {}, N = {}):\n", 2 * n, 4 * n * n);
     let rows: Vec<(&str, meshsort_exact::Ratio)> = vec![
         ("Lemma 4   E[Z1]", paper::r1_expected_z1(n)),
         ("Theorem 3 Var(Z1)", paper::r1_var_z1(n)),
@@ -171,6 +235,7 @@ pub fn usage() -> &'static str {
        meshsort race [--side N] [--seed S]\n\
        meshsort min-walk [--side N] [--seed S]\n\
        meshsort schedule --algorithm <id> [--side N]\n\
+       meshsort analyze [--sides N1,N2,...]\n\
        meshsort witness --theorem <3|5|8> --gamma G --delta D\n\
        meshsort formulas [--n N]\n"
 }
@@ -233,6 +298,21 @@ mod tests {
         assert!(out.contains("o<>o"));
         assert!(out.contains('@'), "wrap wires missing: {out}");
         assert!(cmd_schedule(AlgorithmId::RowMajorRowFirst, 3).is_err());
+    }
+
+    #[test]
+    fn analyze_certifies_small_sides() {
+        let out = cmd_analyze(&[2, 3]).unwrap();
+        assert!(out.contains("\"tool\": \"meshcheck\""), "{out}");
+        assert!(out.contains("\"all_passed\": true"), "{out}");
+        assert!(out.contains("snake/phase-aligned"));
+        // Row-major on the odd side is skipped, not failed.
+        assert!(out.contains("\"status\": \"skipped\""));
+    }
+
+    #[test]
+    fn analyze_rejects_empty_sides() {
+        assert!(cmd_analyze(&[]).is_err());
     }
 
     #[test]

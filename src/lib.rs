@@ -39,10 +39,12 @@
 //! | [`workloads`] | permutations, 0–1 matrices, adversaries |
 //! | [`baselines`] | Shearsort |
 //! | [`experiments`] | the E01–E15 harness (see DESIGN.md §4) |
+//! | [`analyze`] | `meshcheck`: static schedule certification (structure, kernel IR, 0-1) |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use meshsort_analyze as analyze;
 pub use meshsort_baselines as baselines;
 pub use meshsort_core as core;
 pub use meshsort_exact as exact;

@@ -35,7 +35,8 @@ fn exact_block_mapping_matches_live_schedule() {
                 ];
                 let zeros = pattern.iter().filter(|&&v| v == 0).count();
                 // Count zeros in the block's left column after the sort.
-                let left_zeros = (*grid.get(r, c) == 0) as usize + (*grid.get(r + 1, c) == 0) as usize;
+                let left_zeros =
+                    (*grid.get(r, c) == 0) as usize + (*grid.get(r + 1, c) == 0) as usize;
                 // The paper's canonical mapping by zero count:
                 let expected = match (zeros, pattern) {
                     (4, _) => 2,

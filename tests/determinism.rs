@@ -69,8 +69,7 @@ fn algorithm_runs_are_pure_functions_of_input() {
         if !alg.supports_side(side) {
             continue;
         }
-        let input =
-            random_permutation_grid(side, &mut rand::rngs::StdRng::seed_from_u64(0xF00D));
+        let input = random_permutation_grid(side, &mut rand::rngs::StdRng::seed_from_u64(0xF00D));
         let mut a = input.clone();
         let mut b = input.clone();
         let ra = sort_to_completion(alg, &mut a).unwrap();

@@ -3,8 +3,8 @@
 //! value multiset, respect their step caps, and treat their sorted
 //! states as fixed points.
 
-use meshsort::prelude::*;
 use meshsort::core::runner;
+use meshsort::prelude::*;
 use proptest::prelude::*;
 
 fn arb_side(min: usize, max: usize) -> impl Strategy<Value = usize> {
@@ -60,7 +60,7 @@ proptest! {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut grid = random_permutation_grid(side, &mut rng);
         let run = sort_to_completion(alg, &mut grid).unwrap();
-        prop_assert!(run.outcome.sorted, "{} side {}", alg, side);
+        prop_assert!(run.outcome.sorted, "{alg} side {side}");
         prop_assert!(grid.is_sorted(TargetOrder::Snake));
     }
 
@@ -79,9 +79,9 @@ proptest! {
             let mut grid = Grid::from_rows(side, data.clone()).unwrap();
             let before_zeros = data.iter().filter(|&&v| v == 0).count();
             let run = sort_to_completion(alg, &mut grid).unwrap();
-            prop_assert!(run.outcome.sorted, "{}", alg);
+            prop_assert!(run.outcome.sorted, "{alg}");
             let after_zeros = grid.as_slice().iter().filter(|&&v| v == 0).count();
-            prop_assert_eq!(before_zeros, after_zeros, "{} lost zeros", alg);
+            prop_assert_eq!(before_zeros, after_zeros, "{alg} lost zeros");
         }
     }
 
@@ -121,7 +121,7 @@ proptest! {
             let mut grid = meshsort::mesh::grid::sorted_permutation_grid(side, alg.order());
             let schedule = alg.schedule(side).unwrap();
             let out = schedule.run_steps(&mut grid, 0, 4 * cycles);
-            prop_assert_eq!(out.swaps, 0, "{} moved a sorted grid", alg);
+            prop_assert_eq!(out.swaps, 0, "{alg} moved a sorted grid");
         }
     }
 
