@@ -22,6 +22,11 @@
 //!    `meshsort-zeroone`) is run to convergence. By the 0-1 principle —
 //!    the lens Savari's §2–§3 analysis itself rests on — this certifies
 //!    the full cycle sorts arbitrary inputs on those meshes.
+//! 4. **Fault model** — a fault-free [`meshsort_mesh::FaultPlan`] must be
+//!    a behavioural no-op (the resilient kernel runner reproduces the
+//!    plain engine's steps, swaps, comparisons, and final grid exactly),
+//!    and a faulty plan must be bit-identically replayable: compiling the
+//!    same spec twice yields the same plan, trace, report, and grid.
 //!
 //! Skipped passes (row-major algorithms on odd sides, 0-1 enumeration on
 //! large meshes) are reported as `skipped`, never as failures.
@@ -34,7 +39,8 @@ pub mod report;
 pub use report::{AlgorithmReport, AnalysisReport, PassOutcome};
 
 use meshsort_core::{runner, AlgorithmId};
-use meshsort_mesh::{verify, CycleSchedule, StepPlan};
+use meshsort_mesh::fault::RunOutcome;
+use meshsort_mesh::{verify, CycleSchedule, FaultSpec, Grid, ResilientPolicy, StepPlan};
 use meshsort_zeroone::exhaustive::BalancedGrids;
 
 /// Largest side the 0-1 certification pass enumerates exhaustively.
@@ -43,7 +49,7 @@ use meshsort_zeroone::exhaustive::BalancedGrids;
 /// pass reports [`PassOutcome::Skipped`].
 pub const ZERO_ONE_MAX_SIDE: usize = 4;
 
-/// Runs all three passes for every algorithm in paper order at every
+/// Runs all four passes for every algorithm in paper order at every
 /// requested side.
 pub fn analyze(sides: &[usize]) -> AnalysisReport {
     let mut entries = Vec::with_capacity(sides.len() * AlgorithmId::ALL.len());
@@ -55,7 +61,7 @@ pub fn analyze(sides: &[usize]) -> AnalysisReport {
     AnalysisReport { sides: sides.to_vec(), entries }
 }
 
-/// Runs all three passes for one (algorithm, side) pair.
+/// Runs all four passes for one (algorithm, side) pair.
 ///
 /// An unsupported side (row-major algorithms on an odd side) yields a
 /// report whose passes are all [`PassOutcome::Skipped`].
@@ -68,7 +74,8 @@ pub fn analyze_algorithm(algorithm: AlgorithmId, side: usize) -> AlgorithmReport
                 side,
                 structural: PassOutcome::Skipped { reason: reason.clone() },
                 ir: PassOutcome::Skipped { reason: reason.clone() },
-                zero_one: PassOutcome::Skipped { reason },
+                zero_one: PassOutcome::Skipped { reason: reason.clone() },
+                fault: PassOutcome::Skipped { reason },
             }
         }
         Ok(schedule) => AlgorithmReport {
@@ -77,6 +84,7 @@ pub fn analyze_algorithm(algorithm: AlgorithmId, side: usize) -> AlgorithmReport
             structural: structural_pass(algorithm, side, &schedule),
             ir: ir_pass(&schedule),
             zero_one: zero_one_pass(algorithm, side, &schedule),
+            fault: fault_pass(algorithm, side, &schedule),
         },
     }
 }
@@ -148,6 +156,89 @@ fn zero_one_pass(algorithm: AlgorithmId, side: usize, schedule: &CycleSchedule) 
     }
 }
 
+/// Fault-model pass: the fault-free plan is a behavioural no-op and a
+/// faulty plan replays bit-identically.
+fn fault_pass(algorithm: AlgorithmId, side: usize, schedule: &CycleSchedule) -> PassOutcome {
+    let order = algorithm.order();
+    let cap = runner::default_step_cap(side);
+    let policy = ResilientPolicy::for_side(side);
+    let reversed: Vec<u32> = (0..(side * side) as u32).rev().collect();
+    let fresh_grid = || Grid::from_rows(side, reversed.clone()).expect("side >= 1");
+
+    // (a) A fault-free spec compiles to a no-op plan whose resilient run
+    // is indistinguishable from the plain kernel engine.
+    let noop = match runner::fault_plan_for(algorithm, side, &FaultSpec::none(0)) {
+        Ok(plan) => plan,
+        Err(err) => return PassOutcome::Failed { diagnostic: err.to_string() },
+    };
+    if !noop.is_noop() {
+        return PassOutcome::Failed {
+            diagnostic: "fault-free spec compiled to a plan that injects faults".into(),
+        };
+    }
+    let mut plain = fresh_grid();
+    let base = schedule.run_until_sorted_kernel(&mut plain, order, cap);
+    let mut resilient = fresh_grid();
+    let rep = schedule.run_until_sorted_resilient_kernel(&mut resilient, order, &noop, &policy);
+    if rep.outcome != (RunOutcome::Converged { steps: base.steps })
+        || rep.swaps != base.swaps
+        || rep.comparisons != base.comparisons
+        || rep.dropped != 0
+        || rep.stalled_steps != 0
+        || resilient != plain
+    {
+        return PassOutcome::Failed {
+            diagnostic: format!(
+                "fault-free plan is not a no-op: engine ran {} steps / {} swaps, resilient \
+                 runner reported {:?}",
+                base.steps, base.swaps, rep
+            ),
+        };
+    }
+
+    // (b) A faulty plan replays bit-identically: same spec ⇒ same plan,
+    // same trace, same report, same final grid.
+    let mut spec = FaultSpec::transient(0x5EED ^ side as u64, 0.05);
+    spec.stall_rate = 0.01;
+    spec.random_stuck = 1;
+    let plan_a = match runner::fault_plan_for(algorithm, side, &spec) {
+        Ok(plan) => plan,
+        Err(err) => return PassOutcome::Failed { diagnostic: err.to_string() },
+    };
+    let plan_b = runner::fault_plan_for(algorithm, side, &spec).expect("same spec compiles");
+    if plan_a != plan_b {
+        return PassOutcome::Failed {
+            diagnostic: "compiling the same fault spec twice produced different plans".into(),
+        };
+    }
+    let trace_steps = 8 * schedule.cycle_len() as u64;
+    if plan_a.trace(schedule, trace_steps) != plan_b.trace(schedule, trace_steps) {
+        return PassOutcome::Failed {
+            diagnostic: "fault trace replay diverged for identical plans".into(),
+        };
+    }
+    let mut first = fresh_grid();
+    let rep_a = schedule.run_until_sorted_resilient_kernel(&mut first, order, &plan_a, &policy);
+    let mut second = fresh_grid();
+    let rep_b = schedule.run_until_sorted_resilient_kernel(&mut second, order, &plan_b, &policy);
+    if rep_a != rep_b || first != second {
+        return PassOutcome::Failed {
+            diagnostic: format!(
+                "resilient replay diverged: first {:?}, second {:?}",
+                rep_a.outcome, rep_b.outcome
+            ),
+        };
+    }
+    PassOutcome::Passed {
+        detail: format!(
+            "fault-free plan is a no-op ({} steps); faulty replay bit-identical over \
+             {trace_steps} traced steps (outcome: {})",
+            base.steps,
+            rep_a.outcome.label()
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,6 +270,7 @@ mod tests {
         assert!(matches!(r.structural, PassOutcome::Skipped { .. }));
         assert!(matches!(r.ir, PassOutcome::Skipped { .. }));
         assert!(matches!(r.zero_one, PassOutcome::Skipped { .. }));
+        assert!(matches!(r.fault, PassOutcome::Skipped { .. }));
     }
 
     #[test]
@@ -187,15 +279,29 @@ mod tests {
         assert!(matches!(r.structural, PassOutcome::Passed { .. }));
         assert!(matches!(r.ir, PassOutcome::Passed { .. }));
         assert!(matches!(r.zero_one, PassOutcome::Skipped { .. }));
+        assert!(matches!(r.fault, PassOutcome::Passed { .. }));
         assert!(r.passed());
+    }
+
+    #[test]
+    fn fault_pass_certifies_noop_and_replay() {
+        for algorithm in AlgorithmId::ALL {
+            let r = analyze_algorithm(algorithm, 4);
+            match &r.fault {
+                PassOutcome::Passed { detail } => {
+                    assert!(detail.contains("no-op"), "{detail}");
+                    assert!(detail.contains("bit-identical"), "{detail}");
+                }
+                other => panic!("{algorithm}: expected fault pass, got {other}"),
+            }
+        }
     }
 
     #[test]
     fn report_covers_sides_in_paper_order() {
         let report = analyze(&[4, 5]);
         assert_eq!(report.sides, vec![4, 5]);
-        let names: Vec<&str> =
-            report.entries.iter().take(5).map(|e| e.algorithm.name()).collect();
+        let names: Vec<&str> = report.entries.iter().take(5).map(|e| e.algorithm.name()).collect();
         assert_eq!(
             names,
             vec![

@@ -62,7 +62,7 @@ impl fmt::Display for PassOutcome {
     }
 }
 
-/// The three `meshcheck` passes for one algorithm at one side.
+/// The four `meshcheck` passes for one algorithm at one side.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AlgorithmReport {
     /// Which of the five algorithms was analysed.
@@ -78,20 +78,27 @@ pub struct AlgorithmReport {
     /// 0-1 certification pass: every 0-1 placement converges to the
     /// target order within the step cap.
     pub zero_one: PassOutcome,
+    /// Fault-model pass: a fault-free `FaultPlan` is a behavioural no-op
+    /// and a faulty plan replays bit-identically.
+    pub fault: PassOutcome,
 }
 
 impl AlgorithmReport {
     /// `true` when no pass failed (skipped passes do not count against).
     pub fn passed(&self) -> bool {
-        !self.structural.is_failure() && !self.ir.is_failure() && !self.zero_one.is_failure()
+        !self.structural.is_failure()
+            && !self.ir.is_failure()
+            && !self.zero_one.is_failure()
+            && !self.fault.is_failure()
     }
 
     /// The passes as `(name, outcome)` pairs, in report order.
-    pub fn passes(&self) -> [(&'static str, &PassOutcome); 3] {
+    pub fn passes(&self) -> [(&'static str, &PassOutcome); 4] {
         [
             ("structural", &self.structural),
             ("ir_conformance", &self.ir),
             ("zero_one", &self.zero_one),
+            ("fault_model", &self.fault),
         ]
     }
 }
@@ -195,6 +202,7 @@ mod tests {
                 PassOutcome::Failed { diagnostic: "step 1: IR missing comparator".into() }
             },
             zero_one: PassOutcome::Skipped { reason: "side > 4".into() },
+            fault: PassOutcome::Passed { detail: "no-op + bit-identical replay".into() },
         }
     }
 
@@ -221,8 +229,10 @@ mod tests {
 
     #[test]
     fn failure_propagates() {
-        let report =
-            AnalysisReport { sides: vec![4], entries: vec![sample_entry(true), sample_entry(false)] };
+        let report = AnalysisReport {
+            sides: vec![4],
+            entries: vec![sample_entry(true), sample_entry(false)],
+        };
         assert!(!report.all_passed());
         assert_eq!(report.failures().count(), 1);
     }
@@ -238,6 +248,7 @@ mod tests {
         assert!(json.contains("\"structural\": {\"status\": \"passed\""));
         assert!(json.contains("\"ir_conformance\""));
         assert!(json.contains("\"zero_one\": {\"status\": \"skipped\""));
+        assert!(json.contains("\"fault_model\": {\"status\": \"passed\""));
         // Balanced braces/brackets — cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());

@@ -45,4 +45,4 @@ pub mod snake;
 pub mod variants;
 
 pub use algorithm::AlgorithmId;
-pub use runner::{sort_to_completion, SortRun};
+pub use runner::{fault_plan_for, sort_resilient, sort_to_completion, ResilientRun, SortRun};

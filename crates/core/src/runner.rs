@@ -1,19 +1,22 @@
 //! High-level sorting drivers with paper-appropriate step caps.
 
 use crate::algorithm::AlgorithmId;
-use meshsort_mesh::{Grid, KernelValue, MeshError};
+use meshsort_mesh::fault::{self, derive_seed};
+use meshsort_mesh::{FaultPlan, FaultSpec, Grid, KernelValue, MeshError, ResilientPolicy};
 use serde::{Deserialize, Serialize};
+use std::hash::Hash;
 
 /// Generous step cap for a run of any of the five algorithms.
 ///
 /// The paper shows the worst case of each algorithm is `Θ(N)`; exhaustive
 /// small-mesh 0-1 sweeps in this workspace put the observed constant well
-/// under 4, so `8N + 8√N + 64` leaves a wide margin while still bounding
-/// runaway loops if an implementation bug breaks convergence.
+/// under 4, so a budget of `8N + 8√N + 64` (the workspace-wide constant,
+/// [`meshsort_mesh::fault::default_step_budget`]) leaves a wide margin
+/// while still bounding runaway loops if an implementation bug breaks
+/// convergence.
 #[inline]
 pub fn default_step_cap(side: usize) -> u64 {
-    let n = (side * side) as u64;
-    8 * n + 8 * side as u64 + 64
+    fault::default_step_budget(side)
 }
 
 /// Measurement of one sorting run.
@@ -45,6 +48,80 @@ impl From<meshsort_mesh::schedule::RunOutcome> for RunStats {
     fn from(o: meshsort_mesh::schedule::RunOutcome) -> Self {
         RunStats { steps: o.steps, swaps: o.swaps, comparisons: o.comparisons, sorted: o.sorted }
     }
+}
+
+impl RunStats {
+    /// Classifies a legacy (fault-free) run against the grid it produced,
+    /// lifting the bare `sorted` flag into the resilient
+    /// [`fault::RunOutcome`] taxonomy: a capped run reports
+    /// `BudgetExhausted` with its residual inversions instead of a silent
+    /// boolean.
+    pub fn classify<T: Ord + Clone>(
+        &self,
+        grid: &Grid<T>,
+        order: meshsort_mesh::TargetOrder,
+    ) -> fault::RunOutcome {
+        if self.sorted {
+            fault::RunOutcome::Converged { steps: self.steps }
+        } else {
+            fault::RunOutcome::BudgetExhausted {
+                steps: self.steps,
+                residual_inversions: meshsort_mesh::metrics::inversions(grid, order),
+            }
+        }
+    }
+}
+
+/// Measurement of one resilient (fault-injected) sorting run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResilientRun {
+    /// Which algorithm ran.
+    pub algorithm: AlgorithmId,
+    /// Mesh side.
+    pub side: usize,
+    /// The engine-level resilient report (classified outcome included).
+    pub report: meshsort_mesh::ResilientReport,
+}
+
+/// Compiles `spec` into a [`FaultPlan`] for `(algorithm, side)`, deriving
+/// the plan seed from `spec.seed` and the `"name/side"` label so the same
+/// root seed yields decorrelated — but individually reproducible — fault
+/// streams per algorithm and side.
+///
+/// # Errors
+///
+/// [`MeshError::UnsupportedSide`] when the algorithm is not defined for
+/// `side`; [`MeshError::InvalidFaultRate`] for rates outside `[0, 1]`.
+pub fn fault_plan_for(
+    algorithm: AlgorithmId,
+    side: usize,
+    spec: &FaultSpec,
+) -> Result<FaultPlan, MeshError> {
+    let schedule = algorithm.schedule(side)?;
+    let mut derived = spec.clone();
+    derived.seed = derive_seed(spec.seed, &format!("{}/{side}", algorithm.name()));
+    FaultPlan::compile(&derived, &schedule)
+}
+
+/// Sorts `grid` in place with `algorithm` under a fault plan, through the
+/// resilient kernel runner ([`ResilientPolicy`] budget, livelock
+/// watchdog, recovery scrubbing). Always terminates; the report carries
+/// the classified outcome.
+///
+/// # Errors
+///
+/// [`MeshError::UnsupportedSide`] as for [`sort_to_completion`].
+pub fn sort_resilient<T: KernelValue + Hash>(
+    algorithm: AlgorithmId,
+    grid: &mut Grid<T>,
+    faults: &FaultPlan,
+    policy: &ResilientPolicy,
+) -> Result<ResilientRun, MeshError> {
+    let side = grid.side();
+    let schedule = algorithm.schedule(side)?;
+    let report =
+        schedule.run_until_sorted_resilient_kernel(grid, algorithm.order(), faults, policy);
+    Ok(ResilientRun { algorithm, side, report })
 }
 
 /// Sorts `grid` in place with `algorithm`, running until the grid reaches
@@ -155,6 +232,81 @@ mod tests {
         assert!(!run.outcome.sorted);
         assert_eq!(run.outcome.steps, 2);
         assert!(!g.is_sorted(TargetOrder::Snake));
+    }
+
+    #[test]
+    fn fault_plan_for_is_deterministic_and_algorithm_keyed() {
+        let spec = FaultSpec::transient(0x5EED, 0.1);
+        let a = fault_plan_for(AlgorithmId::SnakeAlternating, 8, &spec).unwrap();
+        let b = fault_plan_for(AlgorithmId::SnakeAlternating, 8, &spec).unwrap();
+        assert_eq!(a, b);
+        let sched = AlgorithmId::SnakeAlternating.schedule(8).unwrap();
+        let other = fault_plan_for(AlgorithmId::SnakePhaseAligned, 8, &spec).unwrap();
+        assert_ne!(a.trace(&sched, 256), other.trace(&sched, 256));
+        // Unsupported sides and bad rates propagate.
+        assert!(fault_plan_for(AlgorithmId::RowMajorRowFirst, 3, &spec).is_err());
+        let bad = FaultSpec::transient(1, 2.0);
+        assert_eq!(
+            fault_plan_for(AlgorithmId::SnakeAlternating, 8, &bad).unwrap_err(),
+            MeshError::InvalidFaultRate { param: "drop_rate" }
+        );
+    }
+
+    #[test]
+    fn sort_resilient_all_five_converge_under_mild_faults() {
+        let side = 8;
+        let n = side * side;
+        let policy = ResilientPolicy::for_side(side);
+        for a in AlgorithmId::ALL {
+            let spec = FaultSpec::transient(0xFA11, 0.02);
+            let faults = fault_plan_for(a, side, &spec).unwrap();
+            let mut g = Grid::from_rows(side, (0..n as u32).rev().collect()).unwrap();
+            let run = sort_resilient(a, &mut g, &faults, &policy).unwrap();
+            assert!(run.report.outcome.converged(), "{a}: {:?}", run.report.outcome);
+            assert!(g.is_sorted(a.order()), "{a}");
+            assert_eq!(run.side, side);
+            assert_eq!(run.algorithm, a);
+        }
+    }
+
+    #[test]
+    fn sort_resilient_noop_faults_match_sort_to_completion() {
+        let side = 8;
+        let n = side * side;
+        let policy = ResilientPolicy::for_side(side);
+        for a in AlgorithmId::ALL {
+            let mut g1 = Grid::from_rows(side, (0..n as u32).rev().collect()).unwrap();
+            let mut g2 = g1.clone();
+            let base = sort_to_completion(a, &mut g1).unwrap();
+            let run = sort_resilient(a, &mut g2, &FaultPlan::none(), &policy).unwrap();
+            assert_eq!(
+                run.report.outcome,
+                meshsort_mesh::fault::RunOutcome::Converged { steps: base.outcome.steps },
+                "{a}"
+            );
+            assert_eq!(run.report.swaps, base.outcome.swaps, "{a}");
+            assert_eq!(run.report.comparisons, base.outcome.comparisons, "{a}");
+            assert_eq!(g1, g2, "{a}");
+        }
+    }
+
+    #[test]
+    fn classify_lifts_the_sorted_flag() {
+        let side = 8;
+        let mut g = Grid::from_rows(side, (0..64u32).rev().collect()).unwrap();
+        let run = sort_with_cap(AlgorithmId::SnakeAlternating, &mut g, 2).unwrap();
+        match run.outcome.classify(&g, TargetOrder::Snake) {
+            meshsort_mesh::fault::RunOutcome::BudgetExhausted { steps, residual_inversions } => {
+                assert_eq!(steps, 2);
+                assert!(residual_inversions > 0);
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+        let full = sort_to_completion(AlgorithmId::SnakeAlternating, &mut g).unwrap();
+        assert_eq!(
+            full.outcome.classify(&g, TargetOrder::Snake),
+            meshsort_mesh::fault::RunOutcome::Converged { steps: full.outcome.steps }
+        );
     }
 
     #[test]

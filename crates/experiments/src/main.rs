@@ -1,16 +1,24 @@
 //! The `experiments` CLI: regenerates every paper-vs-measured table.
 //!
 //! ```text
-//! experiments all [--quick] [--seed N] [--json PATH]
+//! experiments all [--quick] [--seed N] [--json PATH] [--txt PATH]
 //! experiments e07 [--quick] …
 //! experiments list
 //! ```
+//!
+//! Every experiment runs panic-isolated: a crash in one becomes a FAIL
+//! row in its report instead of aborting the sweep. Report files are
+//! written atomically (temp file + rename) so an interrupted run never
+//! leaves a truncated report.
 
-use meshsort_experiments::{all_experiments, run_by_id, Config, ExperimentReport};
+use meshsort_experiments::{all_experiments, run_by_id, run_isolated, Config, ExperimentReport};
+use meshsort_stats::write_atomic;
+use std::path::Path;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <all|list|e01..e15> [--quick] [--seed N] [--threads N] [--json PATH]"
+        "usage: experiments <all|list|e01..e21> [--quick] [--seed N] [--threads N] \
+         [--json PATH] [--txt PATH]"
     );
     std::process::exit(2);
 }
@@ -23,6 +31,7 @@ fn main() {
     let command = args[0].clone();
     let mut cfg = Config::full();
     let mut json_path: Option<String> = None;
+    let mut txt_path: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -41,6 +50,10 @@ fn main() {
                 i += 1;
                 json_path = Some(args.get(i).unwrap_or_else(|| usage()).clone());
             }
+            "--txt" => {
+                i += 1;
+                txt_path = Some(args.get(i).unwrap_or_else(|| usage()).clone());
+            }
             _ => usage(),
         }
         i += 1;
@@ -55,10 +68,10 @@ fn main() {
 
     let reports: Vec<ExperimentReport> = if command == "all" {
         all_experiments()
-            .into_iter()
+            .iter()
             .map(|e| {
                 eprintln!("running {} — {} …", e.id, e.title);
-                (e.run)(&cfg)
+                run_isolated(e, &cfg)
             })
             .collect()
     } else {
@@ -86,7 +99,12 @@ fn main() {
 
     if let Some(path) = json_path {
         let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
-        std::fs::write(&path, json).expect("write json report");
+        write_atomic(Path::new(&path), &json).expect("write json report");
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = txt_path {
+        let text: String = reports.iter().map(|r| r.render() + "\n").collect();
+        write_atomic(Path::new(&path), &text).expect("write text report");
         eprintln!("wrote {path}");
     }
 

@@ -1,7 +1,8 @@
 //! The experiment registry: ids, titles, and dispatch.
 
 use crate::config::Config;
-use crate::report::ExperimentReport;
+use crate::report::{ExperimentReport, Verdict};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// One registered experiment.
 pub struct Experiment {
@@ -84,14 +85,37 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "Extension: column-sort ablation (chain vs R1)",
             run: crate::e20_column_ablation::run,
         },
+        Experiment {
+            id: "e21",
+            title: "Extension: fault-injection degradation",
+            run: crate::e21_fault_degradation::run,
+        },
     ]
 }
 
+/// Runs one experiment with panic isolation: a panicking experiment is
+/// converted into a [`Verdict::Fail`] report carrying the panic message,
+/// so one broken experiment can never abort an `all` sweep.
+pub fn run_isolated(e: &Experiment, cfg: &Config) -> ExperimentReport {
+    catch_unwind(AssertUnwindSafe(|| (e.run)(cfg))).unwrap_or_else(|payload| {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        let mut report = ExperimentReport::new(&e.id.to_ascii_uppercase(), e.title, vec!["panic"]);
+        report.push_row(vec![msg], Verdict::Fail);
+        report.note("experiment panicked; remaining experiments were unaffected");
+        report
+    })
+}
+
 /// Runs one experiment by id (case-insensitive), or `None` for an
-/// unknown id.
+/// unknown id. Panics inside the experiment are isolated via
+/// [`run_isolated`].
 pub fn run_by_id(id: &str, cfg: &Config) -> Option<ExperimentReport> {
     let id = id.to_ascii_lowercase();
-    all_experiments().into_iter().find(|e| e.id == id).map(|e| (e.run)(cfg))
+    all_experiments().into_iter().find(|e| e.id == id).map(|e| run_isolated(&e, cfg))
 }
 
 #[cfg(test)]
@@ -101,11 +125,33 @@ mod tests {
     #[test]
     fn fifteen_experiments_with_unique_ids() {
         let all = all_experiments();
-        assert_eq!(all.len(), 20);
+        assert_eq!(all.len(), 21);
         let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 20);
+        assert_eq!(ids.len(), 21);
+    }
+
+    fn panicking_experiment(_cfg: &Config) -> ExperimentReport {
+        panic!("boom: synthetic failure");
+    }
+
+    #[test]
+    fn run_isolated_converts_panics_to_fail_reports() {
+        let e = Experiment { id: "e98", title: "synthetic panic", run: panicking_experiment };
+        let report = run_isolated(&e, &Config::quick());
+        assert_eq!(report.id, "E98");
+        assert_eq!(report.overall(), Verdict::Fail);
+        assert!(report.rows[0][0].contains("boom: synthetic failure"), "{:?}", report.rows);
+    }
+
+    #[test]
+    fn run_isolated_passes_reports_through() {
+        let all = all_experiments();
+        let e01 = all.iter().find(|e| e.id == "e01").unwrap();
+        let report = run_isolated(e01, &Config::quick());
+        assert_eq!(report.id, "E01");
+        assert!(!report.rows.is_empty());
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! plan construction), applying them sequentially is observationally
 //! identical to the paper's simultaneous hardware step.
 
+use crate::fault::FaultPlan;
 use crate::grid::Grid;
 use crate::kernel::{CompiledPlan, KernelValue};
 use crate::plan::StepPlan;
@@ -119,6 +120,103 @@ pub fn apply_plan_traced_tracked<T: Ord, S: TraceSink>(
     }
     sink.on_step_end(step_index, swaps);
     StepOutcome { comparisons: plan.len() as u64, swaps }
+}
+
+/// What happened during one step executed under a [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultyStepOutcome {
+    /// Comparators actually evaluated (plan length minus suppressions).
+    pub comparisons: u64,
+    /// Comparators that exchanged their values.
+    pub swaps: u64,
+    /// Comparators suppressed by the fault plan this step.
+    pub dropped: u64,
+}
+
+/// Applies one step under a fault plan: a stalled step does nothing, and
+/// suppressed comparators (stuck wires, transient drops) are skipped.
+///
+/// With a no-op plan ([`FaultPlan::is_noop`]) this is behaviourally
+/// identical to [`apply_plan`]. Fault decisions are pure per-wire hashes,
+/// so the result is independent of comparator visit order — the property
+/// that keeps this path bit-identical to [`apply_compiled_faulty`].
+pub fn apply_plan_faulty<T: Ord>(
+    grid: &mut Grid<T>,
+    plan: &StepPlan,
+    step: u64,
+    faults: &FaultPlan,
+) -> FaultyStepOutcome {
+    if faults.step_stalled(step) {
+        return FaultyStepOutcome::default();
+    }
+    let data = grid.as_mut_slice();
+    let mut swaps = 0u64;
+    let mut dropped = 0u64;
+    for c in plan.comparators() {
+        if faults.comparator_dropped(step, *c) {
+            dropped += 1;
+            continue;
+        }
+        let (lo, hi) = (c.keep_min as usize, c.keep_max as usize);
+        if data[lo] > data[hi] {
+            data.swap(lo, hi);
+            swaps += 1;
+        }
+    }
+    FaultyStepOutcome { comparisons: plan.len() as u64 - dropped, swaps, dropped }
+}
+
+/// [`apply_plan_faulty`] while keeping an [`InversionTracker`] exact
+/// (updated in O(1) after every executed exchange).
+pub fn apply_plan_faulty_tracked<T: Ord>(
+    grid: &mut Grid<T>,
+    plan: &StepPlan,
+    step: u64,
+    faults: &FaultPlan,
+    tracker: &mut InversionTracker,
+) -> FaultyStepOutcome {
+    if faults.step_stalled(step) {
+        return FaultyStepOutcome::default();
+    }
+    let data = grid.as_mut_slice();
+    let mut swaps = 0u64;
+    let mut dropped = 0u64;
+    for c in plan.comparators() {
+        if faults.comparator_dropped(step, *c) {
+            dropped += 1;
+            continue;
+        }
+        let (lo, hi) = (c.keep_min as usize, c.keep_max as usize);
+        if data[lo] > data[hi] {
+            data.swap(lo, hi);
+            swaps += 1;
+            tracker.apply_swap(data, c.keep_min, c.keep_max);
+        }
+    }
+    FaultyStepOutcome { comparisons: plan.len() as u64 - dropped, swaps, dropped }
+}
+
+/// The kernel-engine counterpart of [`apply_plan_faulty`]: clean steps run
+/// through the branchless compiled segments, while steps with at least one
+/// suppression fall back to a filtered scalar loop over the source plan
+/// (compiled segments cannot skip individual comparators).
+///
+/// `compiled` must be the lowering of `plan`. Because the comparators of
+/// one step are disjoint and commute, both paths yield the same grid and
+/// counts; the differential tests in `tests/fault_props.rs` pin this
+/// against [`apply_plan_faulty`].
+pub fn apply_compiled_faulty<T: KernelValue>(
+    grid: &mut Grid<T>,
+    compiled: &CompiledPlan,
+    plan: &StepPlan,
+    step: u64,
+    faults: &FaultPlan,
+) -> FaultyStepOutcome {
+    if faults.step_clean(step, plan) {
+        let swaps = compiled.execute(grid.as_mut_slice());
+        return FaultyStepOutcome { comparisons: compiled.comparisons(), swaps, dropped: 0 };
+    }
+    apply_plan_faulty(grid, plan, step, faults)
 }
 
 /// Applies one pre-compiled step with the branchless segment kernels.
@@ -247,6 +345,68 @@ mod tests {
         let ob = apply_compiled(&mut b, &compiled);
         assert_eq!(oa, ob);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn faulty_with_noop_plan_matches_plain() {
+        let faults = FaultPlan::none();
+        let mut a = Grid::from_rows(3, vec![8u32, 1, 6, 3, 5, 7, 4, 9, 2]).unwrap();
+        let mut b = a.clone();
+        let plan = StepPlan::from_pairs(vec![(0, 1), (2, 5), (3, 4), (6, 7)]).unwrap();
+        let oa = apply_plan(&mut a, &plan);
+        let ob = apply_plan_faulty(&mut b, &plan, 0, &faults);
+        assert_eq!(
+            ob,
+            FaultyStepOutcome { comparisons: oa.comparisons, swaps: oa.swaps, dropped: 0 }
+        );
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stuck_wire_suppresses_exchange() {
+        use crate::fault::{FaultSpec, StuckWire};
+        let plan = StepPlan::from_pairs(vec![(0, 1), (2, 3)]).unwrap();
+        let schedule = crate::schedule::CycleSchedule::new(vec![plan.clone()], 4).unwrap();
+        let mut spec = FaultSpec::none(0);
+        spec.stuck.push(StuckWire::permanent(0, 1));
+        let faults = FaultPlan::compile(&spec, &schedule).unwrap();
+        let mut g = Grid::from_rows(2, vec![5, 1, 2, 0]).unwrap();
+        let out = apply_plan_faulty(&mut g, &plan, 0, &faults);
+        assert_eq!(out, FaultyStepOutcome { comparisons: 1, swaps: 1, dropped: 1 });
+        // (0,1) untouched, (2,3) exchanged.
+        assert_eq!(g.as_slice(), &[5, 1, 0, 2]);
+    }
+
+    #[test]
+    fn compiled_faulty_matches_scalar_faulty() {
+        use crate::fault::FaultSpec;
+        let plan = StepPlan::from_pairs(vec![(0, 1), (2, 5), (3, 4), (6, 7)]).unwrap();
+        let schedule = crate::schedule::CycleSchedule::new(vec![plan.clone()], 9).unwrap();
+        let compiled = CompiledPlan::compile(&plan);
+        let faults = FaultPlan::compile(&FaultSpec::transient(0xBEEF, 0.5), &schedule).unwrap();
+        for step in 0..32u64 {
+            let mut a = Grid::from_rows(3, vec![8u32, 1, 6, 3, 5, 7, 4, 9, 2]).unwrap();
+            let mut b = a.clone();
+            let oa = apply_plan_faulty(&mut a, &plan, step, &faults);
+            let ob = apply_compiled_faulty(&mut b, &compiled, &plan, step, &faults);
+            assert_eq!(oa, ob, "step {step}");
+            assert_eq!(a, b, "step {step}");
+        }
+    }
+
+    #[test]
+    fn faulty_tracked_keeps_tracker_exact() {
+        use crate::fault::FaultSpec;
+        let order = TargetOrder::Snake;
+        let plan = StepPlan::from_pairs(vec![(0, 1), (2, 5), (3, 4), (6, 7)]).unwrap();
+        let schedule = crate::schedule::CycleSchedule::new(vec![plan.clone()], 9).unwrap();
+        let faults = FaultPlan::compile(&FaultSpec::transient(7, 0.4), &schedule).unwrap();
+        let mut g = Grid::from_rows(3, vec![8u32, 1, 6, 3, 5, 7, 4, 9, 2]).unwrap();
+        let mut tracker = InversionTracker::new(&g, order);
+        for step in 0..16u64 {
+            apply_plan_faulty_tracked(&mut g, &plan, step, &faults, &mut tracker);
+            assert_eq!(tracker.inversions(), g.order_inversions(order) as u64, "step {step}");
+        }
     }
 
     #[test]

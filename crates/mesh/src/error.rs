@@ -46,6 +46,11 @@ pub enum MeshError {
     },
     /// A schedule was built with no steps.
     EmptySchedule,
+    /// A fault-injection rate parameter was not a probability in `[0, 1]`.
+    InvalidFaultRate {
+        /// The offending parameter (`"drop_rate"` or `"stall_rate"`).
+        param: &'static str,
+    },
 }
 
 impl fmt::Display for MeshError {
@@ -68,6 +73,9 @@ impl fmt::Display for MeshError {
                 write!(f, "side {side} unsupported: algorithm requires {requirement}")
             }
             MeshError::EmptySchedule => write!(f, "schedule must contain at least one step"),
+            MeshError::InvalidFaultRate { param } => {
+                write!(f, "fault rate {param} must be a probability in [0, 1]")
+            }
         }
     }
 }
@@ -113,6 +121,13 @@ mod tests {
         let e = MeshError::UnsupportedSide { side: 5, requirement: "even side >= 2" };
         assert!(e.to_string().contains("side 5"));
         assert!(e.to_string().contains("even side >= 2"));
+    }
+
+    #[test]
+    fn display_invalid_fault_rate() {
+        let e = MeshError::InvalidFaultRate { param: "drop_rate" };
+        assert!(e.to_string().contains("drop_rate"));
+        assert!(e.to_string().contains("[0, 1]"));
     }
 
     #[test]

@@ -37,6 +37,13 @@
 //! policy, order-consistent directions) and the conformance of the
 //! compiled kernel IR without executing the schedule on data.
 //!
+//! The [`fault`] module models an *imperfect* machine: a seeded,
+//! fully deterministic [`FaultPlan`] injects stuck comparators, transient
+//! drops and stalled steps, and
+//! [`CycleSchedule::run_until_sorted_resilient`] executes under it with a
+//! step budget, a livelock watchdog and recovery scrubbing, returning a
+//! classified [`fault::RunOutcome`] instead of hanging.
+//!
 //! ```
 //! use meshsort_mesh::{Grid, order::TargetOrder, plan::StepPlan, engine};
 //!
@@ -55,6 +62,7 @@
 
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod grid;
 pub mod kernel;
 pub mod metrics;
@@ -70,6 +78,7 @@ pub mod viz;
 
 pub use engine::{apply_plan, StepOutcome};
 pub use error::MeshError;
+pub use fault::{FaultPlan, FaultSpec, ResilientPolicy, ResilientReport, StuckWire};
 pub use grid::Grid;
 pub use kernel::{CompiledPlan, KernelValue};
 pub use order::TargetOrder;

@@ -74,6 +74,43 @@ pub fn max_displacement(grid: &Grid<u32>, order: TargetOrder) -> u64 {
         .unwrap_or(0)
 }
 
+/// Order-independent multiset checksum of a value slice: the wrapping sum
+/// of per-value hashes. Two slices holding the same multiset (in any
+/// arrangement) produce the same checksum, so the resilient runner can
+/// detect value loss or duplication — which no legal comparator exchange
+/// can cause — by comparing the checksum before and after a run. Only
+/// compared within one process, so `DefaultHasher`'s lack of cross-version
+/// stability is irrelevant.
+pub fn multiset_checksum<T: std::hash::Hash>(data: &[T]) -> u64 {
+    use std::hash::Hasher;
+    data.iter()
+        .map(|v| {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            v.hash(&mut h);
+            h.finish()
+        })
+        .fold(0u64, u64::wrapping_add)
+}
+
+/// [`max_displacement`] generalised to any `Ord` cell type: the largest
+/// Manhattan distance between a value's current cell and its target cell,
+/// with ties between equal values broken by current rank (so a grid that
+/// reads sorted — duplicates included — has displacement `0`).
+pub fn max_rank_displacement<T: Ord>(grid: &Grid<T>, order: TargetOrder) -> u64 {
+    let side = grid.side();
+    let by_rank: Vec<&T> = (0..grid.cells()).map(|r| grid.at(order.pos_of_rank(r, side))).collect();
+    let mut current: Vec<usize> = (0..grid.cells()).collect();
+    current.sort_by(|&a, &b| by_rank[a].cmp(by_rank[b]).then(a.cmp(&b)));
+    current
+        .iter()
+        .enumerate()
+        .map(|(target, &cur)| {
+            order.pos_of_rank(cur, side).manhattan(order.pos_of_rank(target, side)) as u64
+        })
+        .max()
+        .unwrap_or(0)
+}
+
 /// Number of *dirty* rows: rows containing at least one cell whose value
 /// does not match the target arrangement. Convergence of the bubble
 /// sorts shows up as the dirty band shrinking toward the final rows.
@@ -156,6 +193,39 @@ mod tests {
         // Value 0 sits at the bottom-right, must travel the full diameter.
         assert_eq!(max_displacement(&g, TargetOrder::RowMajor), (2 * side - 2) as u64);
         assert_eq!(dirty_rows(&g, TargetOrder::RowMajor), side);
+    }
+
+    #[test]
+    fn checksum_is_order_independent() {
+        let a = [5u32, 1, 4, 1, 3];
+        let b = [1u32, 1, 3, 4, 5];
+        assert_eq!(multiset_checksum(&a), multiset_checksum(&b));
+        // Losing or duplicating a value changes the checksum.
+        assert_ne!(multiset_checksum(&a), multiset_checksum(&[5u32, 1, 4, 1, 1]));
+        assert_ne!(multiset_checksum(&a), multiset_checksum(&[5u32, 1, 4, 1]));
+        assert_eq!(multiset_checksum::<u32>(&[]), 0);
+    }
+
+    #[test]
+    fn rank_displacement_matches_u32_metric_on_permutations() {
+        for order in [TargetOrder::RowMajor, TargetOrder::Snake] {
+            let g = Grid::from_rows(4, (0..16u32).rev().collect()).unwrap();
+            assert_eq!(max_rank_displacement(&g, order), max_displacement(&g, order));
+            let s = crate::grid::sorted_permutation_grid(4, order);
+            assert_eq!(max_rank_displacement(&s, order), 0);
+        }
+    }
+
+    #[test]
+    fn rank_displacement_zero_on_sorted_duplicates() {
+        // A sorted grid with duplicate values: stable tie-breaking must
+        // report zero displacement.
+        let g = Grid::from_rows(3, vec![0u8, 0, 1, 1, 1, 2, 2, 3, 3]).unwrap();
+        assert_eq!(max_rank_displacement(&g, TargetOrder::RowMajor), 0);
+        // One adjacent swap of unequal values displaces each by one hop.
+        let mut h = g.clone();
+        h.as_mut_slice().swap(1, 2);
+        assert_eq!(max_rank_displacement(&h, TargetOrder::RowMajor), 1);
     }
 
     #[test]

@@ -35,11 +35,14 @@
 //! at that moment, so runs that never switch pay nothing for it.
 
 use crate::engine::{
-    apply_compiled, apply_plan, apply_plan_traced_tracked, apply_plan_tracked, StepOutcome,
+    apply_compiled, apply_compiled_faulty, apply_plan, apply_plan_faulty_tracked,
+    apply_plan_traced_tracked, apply_plan_tracked, FaultyStepOutcome, StepOutcome,
 };
 use crate::error::MeshError;
+use crate::fault::{self, FaultPlan, ResilientPolicy, ResilientReport};
 use crate::grid::Grid;
 use crate::kernel::{CompiledPlan, KernelValue};
+use crate::metrics;
 use crate::order::TargetOrder;
 use crate::plan::StepPlan;
 use crate::sortedness::InversionTracker;
@@ -309,6 +312,173 @@ impl CycleSchedule {
             }
         }
         out
+    }
+
+    /// Drives the grid toward `order` under a [`FaultPlan`], scalar
+    /// comparator loop. Termination is unconditional: the main loop is
+    /// bounded by `policy.step_budget`, an [`InversionTracker`]-fed
+    /// watchdog aborts livelocks (no new inversion minimum for
+    /// `policy.stall_window` steps), and recovery scrubbing — bounded
+    /// extra *fault-free* cycles, granted `policy.recovery_attempts` times
+    /// with the cycle allowance doubling per attempt — may still finish
+    /// the sort after transient damage. The returned
+    /// [`ResilientReport`] carries the classified
+    /// [`fault::RunOutcome`] plus full step/swap/drop/stall/recovery
+    /// accounting.
+    ///
+    /// With a no-op plan the outcome's step/swap/comparison counts are
+    /// identical to [`CycleSchedule::run_until_sorted`] (pinned by
+    /// `tests/fault_props.rs`).
+    pub fn run_until_sorted_resilient<T: Ord + Clone + std::hash::Hash>(
+        &self,
+        grid: &mut Grid<T>,
+        order: TargetOrder,
+        faults: &FaultPlan,
+        policy: &ResilientPolicy,
+    ) -> ResilientReport {
+        self.run_resilient_impl(
+            grid,
+            order,
+            policy,
+            |g, i, t, tr| apply_plan_faulty_tracked(g, &self.plans[i], t, faults, tr),
+            |g, cap| self.run_until_sorted(g, order, cap),
+            faults,
+        )
+    }
+
+    /// [`CycleSchedule::run_until_sorted_resilient`] through the compiled
+    /// kernels: clean steps execute branchlessly, faulty steps fall back
+    /// to the filtered scalar loop. Bit-identical report and final grid —
+    /// fault decisions are order-independent per-wire hashes and the
+    /// tracker is recounted exactly, so the two paths cannot diverge.
+    pub fn run_until_sorted_resilient_kernel<T: KernelValue + std::hash::Hash>(
+        &self,
+        grid: &mut Grid<T>,
+        order: TargetOrder,
+        faults: &FaultPlan,
+        policy: &ResilientPolicy,
+    ) -> ResilientReport {
+        self.run_resilient_impl(
+            grid,
+            order,
+            policy,
+            |g, i, t, tr| {
+                let out = apply_compiled_faulty(g, &self.compiled[i], &self.plans[i], t, faults);
+                if out.swaps > 0 {
+                    tr.recount(g.as_slice());
+                }
+                out
+            },
+            |g, cap| self.run_until_sorted_kernel(g, order, cap),
+            faults,
+        )
+    }
+
+    /// Shared resilient driver. `faulty_step` executes one step under the
+    /// fault plan keeping `tracker` exact; `scrub` runs the fault-free
+    /// engine up to a step cap (recovery scrubbing: the fault burst is
+    /// over, so repair passes run clean). Both callbacks must be exact
+    /// about counts — the scalar and kernel wrappers differ only in *how*
+    /// they keep the tracker exact (O(1) per swap vs recount), never in
+    /// its value.
+    fn run_resilient_impl<T: Ord + Clone + std::hash::Hash>(
+        &self,
+        grid: &mut Grid<T>,
+        order: TargetOrder,
+        policy: &ResilientPolicy,
+        mut faulty_step: impl FnMut(
+            &mut Grid<T>,
+            usize,
+            u64,
+            &mut InversionTracker,
+        ) -> FaultyStepOutcome,
+        mut scrub: impl FnMut(&mut Grid<T>, u64) -> RunOutcome,
+        faults: &FaultPlan,
+    ) -> ResilientReport {
+        let checksum_before = metrics::multiset_checksum(grid.as_slice());
+        let mut rep = ResilientReport {
+            outcome: fault::RunOutcome::Converged { steps: 0 },
+            steps: 0,
+            swaps: 0,
+            comparisons: 0,
+            dropped: 0,
+            stalled_steps: 0,
+            recovery_attempts: 0,
+            recovery_steps: 0,
+        };
+        let mut tracker = InversionTracker::new(grid, order);
+        let cycle = self.plans.len() as u64;
+        let mut best = tracker.inversions();
+        let mut last_progress = 0u64;
+        let mut livelocked = false;
+        if !tracker.is_sorted() {
+            let mut indices = self.cycle_indices(0);
+            while rep.steps < policy.step_budget {
+                let i = indices.next().expect("cycle iterator never ends");
+                let t = rep.steps;
+                if faults.step_stalled(t) {
+                    rep.stalled_steps += 1;
+                } else {
+                    let out = faulty_step(grid, i, t, &mut tracker);
+                    rep.swaps += out.swaps;
+                    rep.comparisons += out.comparisons;
+                    rep.dropped += out.dropped;
+                }
+                rep.steps += 1;
+                if tracker.is_sorted() {
+                    break;
+                }
+                // Watchdog at cycle boundaries: progress means a new
+                // adjacent-inversion minimum; a full stall window without
+                // one is a livelock (e.g. every useful wire stuck).
+                if rep.steps % cycle == 0 {
+                    let inv = tracker.inversions();
+                    if inv < best {
+                        best = inv;
+                        last_progress = rep.steps;
+                    } else if rep.steps - last_progress >= policy.stall_window {
+                        livelocked = true;
+                        break;
+                    }
+                }
+            }
+        }
+        if !tracker.is_sorted() && policy.recovery_attempts > 0 && policy.recovery_cycles > 0 {
+            let mut cycles = policy.recovery_cycles;
+            for _ in 0..policy.recovery_attempts {
+                rep.recovery_attempts += 1;
+                let out = scrub(grid, cycles.saturating_mul(cycle));
+                rep.recovery_steps += out.steps;
+                rep.swaps += out.swaps;
+                rep.comparisons += out.comparisons;
+                if out.sorted {
+                    break;
+                }
+                // Backoff: double the scrub allowance per attempt.
+                cycles = cycles.saturating_mul(2);
+            }
+            tracker.recount(grid.as_slice());
+        }
+        let checksum_after = metrics::multiset_checksum(grid.as_slice());
+        rep.outcome = if checksum_after != checksum_before {
+            fault::RunOutcome::IntegrityViolation {
+                expected: checksum_before,
+                actual: checksum_after,
+            }
+        } else if tracker.is_sorted() {
+            fault::RunOutcome::Converged { steps: rep.total_steps() }
+        } else if livelocked {
+            fault::RunOutcome::Degraded {
+                residual_inversions: metrics::inversions(grid, order),
+                max_displacement: metrics::max_rank_displacement(grid, order),
+            }
+        } else {
+            fault::RunOutcome::BudgetExhausted {
+                steps: rep.steps,
+                residual_inversions: metrics::inversions(grid, order),
+            }
+        };
+        rep
     }
 
     /// Runs whole cycles until one full cycle performs zero swaps (a fixed

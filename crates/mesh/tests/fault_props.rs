@@ -1,0 +1,265 @@
+//! Properties of the fault-injection layer and the resilient runner:
+//! determinism (same seed ⇒ identical trace and final grid), scalar vs
+//! compiled-kernel differential equality under faults, recovery after
+//! transient damage, and watchdog termination under permanent faults.
+
+use meshsort_mesh::fault::{self, FaultEvent, FaultSpec};
+use meshsort_mesh::{
+    CycleSchedule, FaultPlan, Grid, ResilientPolicy, StepPlan, StuckWire, TargetOrder,
+};
+
+/// Odd-even transposition over the flat data of a `side × side` grid, as
+/// a 2-step cycle — a convergent schedule with no algorithm-crate
+/// dependency (mirrors the fixture in `schedule.rs`).
+fn line_schedule(side: usize) -> CycleSchedule {
+    let n = side * side;
+    let odd: Vec<(u32, u32)> = (0..n - 1).step_by(2).map(|i| (i as u32, i as u32 + 1)).collect();
+    let even: Vec<(u32, u32)> = (1..n - 1).step_by(2).map(|i| (i as u32, i as u32 + 1)).collect();
+    CycleSchedule::new(
+        vec![StepPlan::from_pairs(odd).unwrap(), StepPlan::from_pairs(even).unwrap()],
+        n,
+    )
+    .unwrap()
+}
+
+/// Deterministic pseudo-random permutation grid (SplitMix-style walk; no
+/// external RNG so the fixture is reproducible byte-for-byte).
+fn scrambled_grid(side: usize, seed: u64) -> Grid<u32> {
+    let n = side * side;
+    let mut vals: Vec<u32> = (0..n as u32).collect();
+    let mut s = seed;
+    for i in (1..n).rev() {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        let j = (s >> 33) as usize % (i + 1);
+        vals.swap(i, j);
+    }
+    Grid::from_rows(side, vals).unwrap()
+}
+
+fn policy(side: usize) -> ResilientPolicy {
+    ResilientPolicy::for_side(side)
+}
+
+#[test]
+fn noop_faults_match_fault_free_run_exactly() {
+    // ISSUE acceptance: with fault rate 0 the resilient runner's counts
+    // are identical to the existing engine's, on both engines.
+    for side in [6, 10] {
+        let s = line_schedule(side);
+        let faults = FaultPlan::none();
+        let mut plain = scrambled_grid(side, 42);
+        let mut scalar = plain.clone();
+        let mut kernel = plain.clone();
+        let cap = fault::default_step_budget(side);
+        let base = s.run_until_sorted_kernel(&mut plain, TargetOrder::RowMajor, cap);
+        assert!(base.sorted);
+        let rs = s.run_until_sorted_resilient(
+            &mut scalar,
+            TargetOrder::RowMajor,
+            &faults,
+            &policy(side),
+        );
+        let rk = s.run_until_sorted_resilient_kernel(
+            &mut kernel,
+            TargetOrder::RowMajor,
+            &faults,
+            &policy(side),
+        );
+        assert_eq!(rs, rk);
+        assert_eq!(rs.outcome, fault::RunOutcome::Converged { steps: base.steps });
+        assert_eq!(
+            (rs.steps, rs.swaps, rs.comparisons),
+            (base.steps, base.swaps, base.comparisons)
+        );
+        assert_eq!(
+            (rs.dropped, rs.stalled_steps, rs.recovery_attempts, rs.recovery_steps),
+            (0, 0, 0, 0)
+        );
+        assert_eq!(plain, scalar);
+        assert_eq!(plain, kernel);
+    }
+}
+
+#[test]
+fn same_seed_identical_trace_and_final_grid() {
+    let side = 8;
+    let s = line_schedule(side);
+    let mut spec = FaultSpec::transient(0xDEAD_BEEF, 0.05);
+    spec.stall_rate = 0.02;
+    spec.random_stuck = 1;
+    let a = FaultPlan::compile(&spec, &s).unwrap();
+    let b = FaultPlan::compile(&spec, &s).unwrap();
+    assert_eq!(a.trace(&s, 1024), b.trace(&s, 1024));
+    let mut ga = scrambled_grid(side, 7);
+    let mut gb = ga.clone();
+    let ra = s.run_until_sorted_resilient(&mut ga, TargetOrder::RowMajor, &a, &policy(side));
+    let rb = s.run_until_sorted_resilient(&mut gb, TargetOrder::RowMajor, &b, &policy(side));
+    assert_eq!(ra, rb);
+    assert_eq!(ga, gb);
+}
+
+#[test]
+fn scalar_and_kernel_paths_agree_under_faults() {
+    // The differential acceptance criterion: bit-identical report and
+    // final grid across the scalar and compiled-kernel resilient paths,
+    // across fault regimes.
+    let side = 8;
+    let s = line_schedule(side);
+    for (seed, drop_rate, stall_rate, stuck) in
+        [(1u64, 0.0, 0.0, 0usize), (2, 0.05, 0.0, 0), (3, 0.2, 0.1, 2), (4, 0.5, 0.0, 1)]
+    {
+        let mut spec = FaultSpec::transient(seed, drop_rate);
+        spec.stall_rate = stall_rate;
+        spec.random_stuck = stuck;
+        let faults = FaultPlan::compile(&spec, &s).unwrap();
+        for gseed in 0..4 {
+            let mut ga = scrambled_grid(side, gseed);
+            let mut gb = ga.clone();
+            let ra = s.run_until_sorted_resilient(
+                &mut ga,
+                TargetOrder::RowMajor,
+                &faults,
+                &policy(side),
+            );
+            let rb = s.run_until_sorted_resilient_kernel(
+                &mut gb,
+                TargetOrder::RowMajor,
+                &faults,
+                &policy(side),
+            );
+            assert_eq!(ra, rb, "seed={seed} gseed={gseed}");
+            assert_eq!(ga, gb, "seed={seed} gseed={gseed}");
+        }
+    }
+}
+
+#[test]
+fn recovery_scrubs_transient_damage_to_fault_free_result() {
+    // Heavy transient misfires livelock or exhaust the main run, but the
+    // scrub phase runs fault-free, so the run still converges — to the
+    // exact grid the fault-free engine produces.
+    let side = 8;
+    let s = line_schedule(side);
+    let faults = FaultPlan::compile(&FaultSpec::transient(99, 0.6), &s).unwrap();
+    let mut damaged = scrambled_grid(side, 3);
+    let mut clean = damaged.clone();
+    let cap = fault::default_step_budget(side);
+    let base = s.run_until_sorted_kernel(&mut clean, TargetOrder::RowMajor, cap);
+    assert!(base.sorted);
+    let rep = s.run_until_sorted_resilient_kernel(
+        &mut damaged,
+        TargetOrder::RowMajor,
+        &faults,
+        &policy(side),
+    );
+    assert!(rep.outcome.converged(), "outcome = {:?}", rep.outcome);
+    assert!(rep.dropped > 0, "fixture too tame: no fault ever fired");
+    assert_eq!(damaged, clean);
+    assert_eq!(rep.outcome, fault::RunOutcome::Converged { steps: rep.total_steps() });
+}
+
+#[test]
+fn stuck_comparator_on_zero_one_input_degrades_without_hanging() {
+    // ISSUE watchdog criterion: a permanently stuck comparator on a 0-1
+    // input yields Degraded/BudgetExhausted, never a hang. Recovery is
+    // disabled — a scrub would model repaired hardware and finish the
+    // sort, masking the damage this test asserts.
+    let side = 4;
+    let s = line_schedule(side);
+    let mut spec = FaultSpec::none(0);
+    // Cell 0 holds a 1 that can only leave through wire (0,1).
+    spec.stuck.push(StuckWire::permanent(0, 1));
+    let faults = FaultPlan::compile(&spec, &s).unwrap();
+    let mut data = vec![0u8; side * side];
+    data[0] = 1;
+    let mut g = Grid::from_rows(side, data).unwrap();
+    let pol = policy(side).without_recovery();
+    let rep = s.run_until_sorted_resilient(&mut g, TargetOrder::RowMajor, &faults, &pol);
+    assert!(
+        matches!(
+            rep.outcome,
+            fault::RunOutcome::Degraded { .. } | fault::RunOutcome::BudgetExhausted { .. }
+        ),
+        "outcome = {:?}",
+        rep.outcome
+    );
+    assert!(rep.steps <= pol.step_budget);
+    assert!(!g.is_sorted(TargetOrder::RowMajor));
+    // The kernel path reaches the same verdict on the same input.
+    let mut data = vec![0u8; side * side];
+    data[0] = 1;
+    let mut gk = Grid::from_rows(side, data).unwrap();
+    let repk = s.run_until_sorted_resilient_kernel(&mut gk, TargetOrder::RowMajor, &faults, &pol);
+    assert_eq!(rep, repk);
+    assert_eq!(g, gk);
+}
+
+#[test]
+fn drop_rate_one_trips_watchdog_within_budget() {
+    let side = 6;
+    let s = line_schedule(side);
+    let faults = FaultPlan::compile(&FaultSpec::transient(5, 1.0), &s).unwrap();
+    let mut g = scrambled_grid(side, 11);
+    let before = g.clone();
+    let pol = policy(side).without_recovery();
+    let rep = s.run_until_sorted_resilient(&mut g, TargetOrder::RowMajor, &faults, &pol);
+    match rep.outcome {
+        fault::RunOutcome::Degraded { residual_inversions, .. } => {
+            assert!(residual_inversions > 0);
+        }
+        other => panic!("expected Degraded, got {other:?}"),
+    }
+    // Nothing ever fires: the grid is untouched and the watchdog fired
+    // before the full budget was burned.
+    assert_eq!(g, before);
+    assert_eq!(rep.swaps, 0);
+    assert!(rep.steps < pol.step_budget);
+}
+
+#[test]
+fn stall_rate_one_executes_nothing() {
+    let side = 6;
+    let s = line_schedule(side);
+    let mut spec = FaultSpec::none(8);
+    spec.stall_rate = 1.0;
+    let faults = FaultPlan::compile(&spec, &s).unwrap();
+    let mut g = scrambled_grid(side, 2);
+    let pol = policy(side).without_recovery();
+    let rep = s.run_until_sorted_resilient(&mut g, TargetOrder::RowMajor, &faults, &pol);
+    assert_eq!(rep.stalled_steps, rep.steps);
+    assert_eq!((rep.swaps, rep.comparisons, rep.dropped), (0, 0, 0));
+    assert!(!rep.outcome.converged());
+}
+
+#[test]
+fn already_sorted_grid_is_zero_steps_even_under_faults() {
+    let side = 6;
+    let s = line_schedule(side);
+    let faults = FaultPlan::compile(&FaultSpec::transient(1, 0.9), &s).unwrap();
+    let mut g = Grid::from_rows(side, (0..(side * side) as u32).collect()).unwrap();
+    let rep = s.run_until_sorted_resilient(&mut g, TargetOrder::RowMajor, &faults, &policy(side));
+    assert_eq!(rep.outcome, fault::RunOutcome::Converged { steps: 0 });
+    assert_eq!(rep.steps, 0);
+}
+
+#[test]
+fn trace_events_are_step_ordered_and_complete() {
+    let side = 6;
+    let s = line_schedule(side);
+    let mut spec = FaultSpec::transient(21, 0.1);
+    spec.stall_rate = 0.05;
+    let faults = FaultPlan::compile(&spec, &s).unwrap();
+    let steps = 256;
+    let trace = faults.trace(&s, steps);
+    assert!(!trace.is_empty());
+    let step_of = |e: &FaultEvent| match *e {
+        FaultEvent::Dropped { step, .. } | FaultEvent::Stalled { step } => step,
+    };
+    for w in trace.windows(2) {
+        assert!(step_of(&w[0]) <= step_of(&w[1]), "trace out of order: {w:?}");
+    }
+    // The trace is exactly the concatenation of per-step events.
+    let rebuilt: Vec<FaultEvent> =
+        (0..steps).flat_map(|t| faults.step_events(t, s.plan_at(t))).collect();
+    assert_eq!(trace, rebuilt);
+}

@@ -1,0 +1,95 @@
+//! Atomic report writes.
+//!
+//! The harness writes multi-megabyte JSON/text reports at the end of runs
+//! that can take minutes; a crash or interrupt mid-write must never leave
+//! a truncated file masquerading as a complete report. [`write_atomic`]
+//! therefore writes to a hidden temp file in the *same directory* (rename
+//! is only atomic within one filesystem) and renames it over the target
+//! once the contents are durably flushed.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Writes `contents` to `path` atomically: temp file + `fsync` + rename.
+/// On any error the target file is left untouched (either the old version
+/// or absent) and the temp file is cleaned up best-effort.
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error (unwritable directory, full disk,
+/// cross-device rename, a `path` with no file name).
+pub fn write_atomic(path: &Path, contents: &str) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let dir = match path.parent() {
+        Some(p) if !p.as_os_str().is_empty() => p,
+        _ => Path::new("."),
+    };
+    let tmp = dir.join(format!(".{file_name}.tmp-{}", std::process::id()));
+    let result = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("meshsort-io-{tag}-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_and_overwrites() {
+        let dir = temp_dir("basic");
+        let target = dir.join("report.json");
+        write_atomic(&target, "{\"v\":1}").unwrap();
+        assert_eq!(fs::read_to_string(&target).unwrap(), "{\"v\":1}");
+        write_atomic(&target, "{\"v\":2}").unwrap();
+        assert_eq!(fs::read_to_string(&target).unwrap(), "{\"v\":2}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn leaves_no_temp_file_behind() {
+        let dir = temp_dir("clean");
+        write_atomic(&dir.join("out.txt"), "payload").unwrap();
+        let stray: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.contains(".tmp-"))
+            .collect();
+        assert!(stray.is_empty(), "stray temp files: {stray:?}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn failure_preserves_existing_target() {
+        let dir = temp_dir("preserve");
+        let target = dir.join("keep.txt");
+        write_atomic(&target, "original").unwrap();
+        // Writing *into* the target as a directory path must fail and
+        // leave the original intact.
+        let bad = target.join("nested.txt");
+        assert!(write_atomic(&bad, "x").is_err());
+        assert_eq!(fs::read_to_string(&target).unwrap(), "original");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejects_path_without_file_name() {
+        assert!(write_atomic(Path::new("/"), "x").is_err());
+    }
+}

@@ -13,7 +13,9 @@
 //! * [`tail`] — empirical `P[X < γN]` estimates for the concentration
 //!   theorems (Theorems 3, 5, 8, 11, 12);
 //! * [`parallel`] — a scoped-thread trial executor (crossbeam) with
-//!   per-trial deterministic sub-seeds.
+//!   per-trial deterministic sub-seeds;
+//! * [`io`] — atomic (temp-file + rename) report writes so interrupted
+//!   runs never leave truncated output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,12 +23,14 @@
 pub mod ci;
 pub mod gof;
 pub mod histogram;
+pub mod io;
 pub mod parallel;
 pub mod rng;
 pub mod sequential;
 pub mod tail;
 pub mod welford;
 
+pub use io::write_atomic;
 pub use parallel::run_trials;
 pub use rng::SeedSequence;
 pub use welford::RunningStats;

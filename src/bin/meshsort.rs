@@ -22,6 +22,9 @@ fn main() {
     let mut theorem = 3u32;
     let mut gamma = 0.25f64;
     let mut delta = 0.05f64;
+    let mut seeds = 8u64;
+    let mut rates: Vec<f64> = vec![0.0, 0.01, 0.05];
+    let mut out_path: Option<String> = None;
     let mut i = 1;
     let bad = |msg: &str| -> ! {
         eprintln!("error: {msg}\n");
@@ -81,6 +84,27 @@ fn main() {
                 delta =
                     args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| bad("bad --delta"));
             }
+            "--seeds" => {
+                i += 1;
+                seeds =
+                    args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| bad("bad --seeds"));
+            }
+            "--rates" => {
+                i += 1;
+                let raw = args.get(i).unwrap_or_else(|| bad("missing --rates"));
+                rates = raw
+                    .split(',')
+                    .map(|p| p.trim().parse::<f64>())
+                    .collect::<Result<Vec<f64>, _>>()
+                    .unwrap_or_else(|_| bad("bad --rates (expected e.g. 0,0.01,0.05)"));
+                if rates.is_empty() {
+                    bad("bad --rates (expected e.g. 0,0.01,0.05)");
+                }
+            }
+            "--out" => {
+                i += 1;
+                out_path = Some(args.get(i).unwrap_or_else(|| bad("missing --out")).clone());
+            }
             other => bad(&format!("unknown flag {other}")),
         }
         i += 1;
@@ -98,6 +122,7 @@ fn main() {
             cli::cmd_schedule(alg, side.min(12))
         }
         "analyze" => cli::cmd_analyze(&sides),
+        "chaos" => cli::cmd_chaos(&sides, seeds, &rates),
         "witness" => cli::cmd_witness(theorem, gamma, delta),
         "formulas" => Ok(cli::cmd_formulas(n_param)),
         "help" | "--help" | "-h" => {
@@ -108,7 +133,14 @@ fn main() {
     };
 
     match result {
-        Ok(text) => print!("{text}"),
+        Ok(text) => match out_path {
+            Some(path) => {
+                meshsort_stats::write_atomic(std::path::Path::new(&path), &text)
+                    .unwrap_or_else(|e| bad(&format!("cannot write {path}: {e}")));
+                eprintln!("wrote {path}");
+            }
+            None => print!("{text}"),
+        },
         Err(msg) => {
             eprintln!("error: {msg}");
             std::process::exit(1);

@@ -6,7 +6,9 @@ use meshsort_core::instrument::run_instrumented;
 use meshsort_core::min_tracker::track_min;
 use meshsort_core::{runner, AlgorithmId};
 use meshsort_exact::thresholds::ConcentrationTheorem;
+use meshsort_mesh::fault::RunOutcome;
 use meshsort_mesh::viz::render_plan;
+use meshsort_mesh::{FaultSpec, ResilientPolicy};
 use meshsort_workloads::permutation::random_permutation_grid;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -182,6 +184,114 @@ pub fn cmd_analyze(sides: &[usize]) -> Result<String, String> {
     }
 }
 
+/// `meshsort chaos`: resilient runs under injected transient faults.
+///
+/// Sweeps every algorithm over the requested sides, rates, and seed
+/// count with the default [`ResilientPolicy`] (recovery scrubbing on).
+/// Rate-0 runs are differentially checked against the fault-free engine:
+/// any step-count mismatch, non-convergence, or integrity violation is a
+/// hard error, because it indicts the runner, not the faults.
+pub fn cmd_chaos(sides: &[usize], seeds: u64, rates: &[f64]) -> Result<String, String> {
+    if sides.is_empty() {
+        return Err("chaos needs at least one side".to_string());
+    }
+    if seeds == 0 {
+        return Err("chaos needs at least one seed".to_string());
+    }
+    if rates.is_empty() {
+        return Err("chaos needs at least one rate".to_string());
+    }
+    let mut out = String::from(
+        "chaos: resilient runs under transient comparator misfires (recovery scrubbing on)\n",
+    );
+    writeln!(
+        out,
+        "{:<6} {:<22} {:>6} {:>10} {:>11} {:>12} {:>11}",
+        "side", "algorithm", "rate", "converged", "mean steps", "dropped/run", "recoveries"
+    )
+    .unwrap();
+    for &side in sides {
+        let policy = ResilientPolicy::for_side(side);
+        for alg in AlgorithmId::ALL {
+            if !alg.supports_side(side) {
+                writeln!(out, "{side:<6} {:<22} {:>6}", alg.name(), "n/a").unwrap();
+                continue;
+            }
+            for &rate in rates {
+                let mut converged = 0u64;
+                let mut steps_sum = 0u64;
+                let mut dropped = 0u64;
+                let mut recoveries = 0u64;
+                for s in 0..seeds {
+                    let mut rng = StdRng::seed_from_u64(s);
+                    let mut grid = random_permutation_grid(side, &mut rng);
+                    let spec = FaultSpec::transient(s.wrapping_add(1), rate);
+                    let faults =
+                        runner::fault_plan_for(alg, side, &spec).map_err(|e| e.to_string())?;
+                    let baseline = if rate == 0.0 {
+                        let mut clone = grid.clone();
+                        Some(
+                            runner::sort_to_completion(alg, &mut clone)
+                                .map_err(|e| e.to_string())?,
+                        )
+                    } else {
+                        None
+                    };
+                    let run = runner::sort_resilient(alg, &mut grid, &faults, &policy)
+                        .map_err(|e| e.to_string())?;
+                    dropped += run.report.dropped;
+                    recoveries += run.report.recovery_attempts;
+                    match run.report.outcome {
+                        RunOutcome::Converged { steps } => {
+                            converged += 1;
+                            steps_sum += run.report.total_steps();
+                            if let Some(base) = &baseline {
+                                if steps != base.outcome.steps {
+                                    return Err(format!(
+                                        "rate-0 mismatch: {} side {side} seed {s}: resilient \
+                                         {steps} steps vs engine {}",
+                                        alg.name(),
+                                        base.outcome.steps
+                                    ));
+                                }
+                            }
+                        }
+                        RunOutcome::IntegrityViolation { .. } => {
+                            return Err(format!(
+                                "integrity violation (value multiset changed): {} side {side} \
+                                 rate {rate} seed {s}",
+                                alg.name()
+                            ));
+                        }
+                        _ if baseline.is_some() => {
+                            return Err(format!(
+                                "rate-0 run failed to converge: {} side {side} seed {s} ({})",
+                                alg.name(),
+                                run.report.outcome.label()
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+                let mean_steps = if converged == 0 {
+                    "-".to_string()
+                } else {
+                    format!("{:.1}", steps_sum as f64 / converged as f64)
+                };
+                writeln!(
+                    out,
+                    "{side:<6} {:<22} {rate:>6} {:>10} {mean_steps:>11} {:>12.1} {recoveries:>11}",
+                    alg.name(),
+                    format!("{converged}/{seeds}"),
+                    dropped as f64 / seeds as f64
+                )
+                .unwrap();
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// `meshsort witness`: N₀ witnesses for the concentration theorems.
 pub fn cmd_witness(theorem: u32, gamma: f64, delta: f64) -> Result<String, String> {
     let t = match theorem {
@@ -236,6 +346,7 @@ pub fn usage() -> &'static str {
        meshsort min-walk [--side N] [--seed S]\n\
        meshsort schedule --algorithm <id> [--side N]\n\
        meshsort analyze [--sides N1,N2,...]\n\
+       meshsort chaos [--sides N1,N2,...] [--seeds K] [--rates P1,P2,...] [--out PATH]\n\
        meshsort witness --theorem <3|5|8> --gamma G --delta D\n\
        meshsort formulas [--n N]\n"
 }
@@ -313,6 +424,33 @@ mod tests {
     #[test]
     fn analyze_rejects_empty_sides() {
         assert!(cmd_analyze(&[]).is_err());
+    }
+
+    #[test]
+    fn chaos_sweeps_and_recovers() {
+        let out = cmd_chaos(&[6], 2, &[0.0, 0.2]).unwrap();
+        assert!(out.contains("recovery scrubbing on"), "{out}");
+        for alg in AlgorithmId::ALL {
+            assert!(out.contains(alg.name()), "{out}");
+        }
+        // With recovery enabled, transient misfires at 0.2 still converge.
+        assert!(out.contains("2/2"), "{out}");
+        assert!(!out.contains("0/2"), "{out}");
+    }
+
+    #[test]
+    fn chaos_skips_unsupported_sides() {
+        let out = cmd_chaos(&[5], 1, &[0.1]).unwrap();
+        assert!(out.contains("n/a"), "{out}");
+    }
+
+    #[test]
+    fn chaos_rejects_degenerate_requests() {
+        assert!(cmd_chaos(&[], 2, &[0.1]).is_err());
+        assert!(cmd_chaos(&[4], 0, &[0.1]).is_err());
+        assert!(cmd_chaos(&[4], 2, &[]).is_err());
+        // An out-of-range rate is rejected by spec validation, not a panic.
+        assert!(cmd_chaos(&[4], 1, &[1.5]).is_err());
     }
 
     #[test]
