@@ -3,7 +3,7 @@
 //! The five algorithms of Savari (SPAA 1993) are fixed comparator
 //! networks: once a [`meshsort_mesh::CycleSchedule`] is compiled for a
 //! side, everything the runtime differential tests probe empirically can
-//! be certified once, statically. This crate assembles the three
+//! be certified once, statically. This crate assembles the six
 //! `meshcheck` passes into a machine-readable report consumed by the
 //! `meshsort analyze` CLI subcommand and the CI `analyze` gate:
 //!
@@ -16,13 +16,27 @@
 //! 2. **IR conformance** — each `CompiledPlan` in the schedule expands to
 //!    exactly its `StepPlan`'s comparator multiset, promoting PR 1's
 //!    runtime kernel-vs-reference differential tests to a static gate.
-//! 3. **0-1 certification** — for sides ≤ [`ZERO_ONE_MAX_SIDE`], *every*
+//! 3. **Dataflow** ([`meshsort_mesh::absint`]) — 0-1 abstract
+//!    interpretation of the comparator network: the pairwise
+//!    ordering-facts fixpoint must prove convergence within the runner's
+//!    step budget, find *exactly* the dead comparators
+//!    [`AlgorithmId::expected_dead_wire`] predicts (zero unexpected), keep
+//!    the rows-sorted invariant once provable (sides ≥
+//!    [`ROWS_PERSISTENCE_MIN_SIDE`]), and certify the sorted state as a
+//!    swap-free fixed point.
+//! 4. **0-1 certification** — for sides ≤ [`ZERO_ONE_MAX_SIDE`], *every*
 //!    0-1 placement (all weights, a superset of the paper's balanced
 //!    `α = ⌈N/2⌉` space, reusing the mask enumeration of
-//!    `meshsort-zeroone`) is run to convergence. By the 0-1 principle —
-//!    the lens Savari's §2–§3 analysis itself rests on — this certifies
-//!    the full cycle sorts arbitrary inputs on those meshes.
-//! 4. **Fault model** — a fault-free [`meshsort_mesh::FaultPlan`] must be
+//!    `meshsort-zeroone`) is run to convergence on the scalar engine. By
+//!    the 0-1 principle — the lens Savari's §2–§3 analysis itself rests
+//!    on — this certifies the full cycle sorts arbitrary inputs on those
+//!    meshes.
+//! 5. **Symbolic 0-1 certification** ([`meshsort_zeroone::symbolic`]) —
+//!    the bit-parallel engine packs 64 placements per `u64`, extending
+//!    exhaustive certification to side
+//!    [`meshsort_zeroone::symbolic::SYMBOLIC_MAX_SIDE`] (`2^25`
+//!    placements) and running seeded random sampling at sides 6–16.
+//! 6. **Fault model** — a fault-free [`meshsort_mesh::FaultPlan`] must be
 //!    a behavioural no-op (the resilient kernel runner reproduces the
 //!    plain engine's steps, swaps, comparisons, and final grid exactly),
 //!    and a faulty plan must be bit-identically replayable: compiling the
@@ -40,16 +54,35 @@ pub use report::{AlgorithmReport, AnalysisReport, PassOutcome};
 
 use meshsort_core::{runner, AlgorithmId};
 use meshsort_mesh::fault::RunOutcome;
-use meshsort_mesh::{verify, CycleSchedule, FaultSpec, Grid, ResilientPolicy, StepPlan};
+use meshsort_mesh::{absint, verify, CycleSchedule, FaultSpec, Grid, ResilientPolicy, StepPlan};
 use meshsort_zeroone::exhaustive::BalancedGrids;
+use meshsort_zeroone::symbolic::{self, SAMPLED_MAX_SIDE, SYMBOLIC_MAX_SIDE};
 
-/// Largest side the 0-1 certification pass enumerates exhaustively.
+/// Largest side the *scalar* 0-1 certification pass enumerates
+/// exhaustively, one placement per run.
 ///
 /// All `2^(side²)` placements are run (side 4 ⇒ 65 536); beyond this the
-/// pass reports [`PassOutcome::Skipped`].
+/// scalar pass reports [`PassOutcome::Skipped`] and exhaustive coverage
+/// is carried by the bit-parallel `zero_one_symbolic` pass, which
+/// enumerates up to side [`SYMBOLIC_MAX_SIDE`] (side 5 ⇒ `2^25`) and
+/// falls back to seeded random sampling for sides 6–[`SAMPLED_MAX_SIDE`].
 pub const ZERO_ONE_MAX_SIDE: usize = 4;
 
-/// Runs all four passes for every algorithm in paper order at every
+/// Smallest side at which the dataflow pass enforces the preservation
+/// invariant (rows-sorted, once provable, never regresses).
+///
+/// On the degenerate 2×2 mesh row order becomes provable early and a
+/// single column pair — half the grid — concretely breaks it again, so
+/// the invariant is reported but not enforced there.
+pub const ROWS_PERSISTENCE_MIN_SIDE: usize = 3;
+
+/// 64-lane batches drawn by the sampled symbolic pass (4 096 placements).
+const SYMBOLIC_SAMPLE_BATCHES: u64 = 64;
+
+/// Fixed seed for the sampled symbolic pass: CI runs are reproducible.
+const SYMBOLIC_SAMPLE_SEED: u64 = 0x6d65_7368_636b_3031;
+
+/// Runs all six passes for every algorithm in paper order at every
 /// requested side.
 pub fn analyze(sides: &[usize]) -> AnalysisReport {
     let mut entries = Vec::with_capacity(sides.len() * AlgorithmId::ALL.len());
@@ -61,7 +94,7 @@ pub fn analyze(sides: &[usize]) -> AnalysisReport {
     AnalysisReport { sides: sides.to_vec(), entries }
 }
 
-/// Runs all four passes for one (algorithm, side) pair.
+/// Runs all six passes for one (algorithm, side) pair.
 ///
 /// An unsupported side (row-major algorithms on an odd side) yields a
 /// report whose passes are all [`PassOutcome::Skipped`].
@@ -74,7 +107,9 @@ pub fn analyze_algorithm(algorithm: AlgorithmId, side: usize) -> AlgorithmReport
                 side,
                 structural: PassOutcome::Skipped { reason: reason.clone() },
                 ir: PassOutcome::Skipped { reason: reason.clone() },
+                dataflow: PassOutcome::Skipped { reason: reason.clone() },
                 zero_one: PassOutcome::Skipped { reason: reason.clone() },
+                zero_one_symbolic: PassOutcome::Skipped { reason: reason.clone() },
                 fault: PassOutcome::Skipped { reason },
             }
         }
@@ -83,7 +118,9 @@ pub fn analyze_algorithm(algorithm: AlgorithmId, side: usize) -> AlgorithmReport
             side,
             structural: structural_pass(algorithm, side, &schedule),
             ir: ir_pass(&schedule),
+            dataflow: dataflow_pass(algorithm, side, &schedule),
             zero_one: zero_one_pass(algorithm, side, &schedule),
+            zero_one_symbolic: zero_one_symbolic_pass(algorithm, side),
             fault: fault_pass(algorithm, side, &schedule),
         },
     }
@@ -118,14 +155,145 @@ fn ir_pass(schedule: &CycleSchedule) -> PassOutcome {
     }
 }
 
-/// 0-1 certification pass: exhaustive convergence over every 0-1
-/// placement of every weight.
+/// Dataflow pass: abstract interpretation in the 0-1 domain.
+///
+/// Public (rather than private like the closed passes) so the mutation
+/// suite can aim it at deliberately corrupted schedules; fails when
+///
+/// * the sorted state is not a swap-free fixed point (a direction flip
+///   that the facts catch immediately),
+/// * a comparator is dead but not predicted by
+///   [`AlgorithmId::expected_dead_wire`] — or predicted but live,
+/// * the fixpoint cannot prove the full target-order chain (truncated or
+///   unreachable phases), or the proven bound exceeds the step budget,
+/// * the rows-sorted invariant regresses after being established
+///   (enforced for sides ≥ [`ROWS_PERSISTENCE_MIN_SIDE`]).
+pub fn dataflow_pass(algorithm: AlgorithmId, side: usize, schedule: &CycleSchedule) -> PassOutcome {
+    let order = algorithm.order();
+    if let Err(live) = absint::verify_sorted_fixed_point(schedule, order, side) {
+        let c = live.comparator;
+        return PassOutcome::Failed {
+            diagnostic: format!(
+                "step {}: comparator {}->{} can swap on a sorted grid",
+                live.step, c.keep_min, c.keep_max
+            ),
+        };
+    }
+    let summary = absint::analyze_schedule(schedule, order, side);
+    for dead in &summary.dead_first_cycle {
+        if !algorithm.expected_dead_wire(side, dead.step, dead.comparator) {
+            let c = dead.comparator;
+            return PassOutcome::Failed {
+                diagnostic: format!(
+                    "step {}: comparator {}->{} is dead (can never swap) but not predicted",
+                    dead.step, c.keep_min, c.keep_max
+                ),
+            };
+        }
+    }
+    for (step, plan) in schedule.plans().iter().enumerate() {
+        for &c in plan.comparators() {
+            if algorithm.expected_dead_wire(side, step, c)
+                && !summary.dead_first_cycle.iter().any(|d| d.step == step && d.comparator == c)
+            {
+                return PassOutcome::Failed {
+                    diagnostic: format!(
+                        "step {step}: predicted-dead comparator {}->{} is live",
+                        c.keep_min, c.keep_max
+                    ),
+                };
+            }
+        }
+    }
+    let cap = runner::default_step_cap(side);
+    let Some(bound) = summary.converged_step else {
+        let missing = &summary.missing_chain_links;
+        let first = missing.first().map_or(String::new(), |&(a, b)| format!(" (first: {a}<={b})"));
+        return PassOutcome::Failed {
+            diagnostic: format!(
+                "convergence unprovable: {} target-order chain links unproven at the fixpoint{first}",
+                missing.len()
+            ),
+        };
+    };
+    if bound > cap {
+        return PassOutcome::Failed {
+            diagnostic: format!("static convergence bound {bound} exceeds the step budget {cap}"),
+        };
+    }
+    if side >= ROWS_PERSISTENCE_MIN_SIDE {
+        if let Some(regressed) = summary.rows_regressed_step {
+            return PassOutcome::Failed {
+                diagnostic: format!(
+                    "rows-sorted invariant regressed at step {regressed} (established at step {})",
+                    summary.rows_sorted_step.unwrap_or(0)
+                ),
+            };
+        }
+    }
+    PassOutcome::Passed {
+        detail: format!(
+            "converges by step {bound} (budget {cap}); {} dead comparators, all predicted; \
+             rows sorted by step {}; sorted state is a fixed point",
+            summary.dead_first_cycle.len(),
+            summary.rows_sorted_step.unwrap_or(0)
+        ),
+    }
+}
+
+/// Bit-parallel symbolic 0-1 pass: exhaustive up to side
+/// [`SYMBOLIC_MAX_SIDE`], seeded random sampling up to side
+/// [`SAMPLED_MAX_SIDE`], skipped beyond.
+pub fn zero_one_symbolic_pass(algorithm: AlgorithmId, side: usize) -> PassOutcome {
+    let render = |mode: &str, cert: symbolic::SymbolicCertificate| PassOutcome::Passed {
+        detail: format!(
+            "{mode} {} placements converged symbolically (max {} steps, cap {})",
+            cert.placements, cert.max_steps, cert.cap
+        ),
+    };
+    let violation = |v: Box<symbolic::SymbolicViolation>| {
+        let placement: String = v.placement.iter().map(|&b| char::from(b'0' + b)).collect();
+        PassOutcome::Failed {
+            diagnostic: format!(
+                "0-1 placement {placement} did not reach the target order within {} steps",
+                v.cap
+            ),
+        }
+    };
+    if side <= SYMBOLIC_MAX_SIDE {
+        match symbolic::certify_exhaustive(algorithm, side) {
+            Ok(cert) => render("all", cert),
+            Err(v) => violation(v),
+        }
+    } else if side <= SAMPLED_MAX_SIDE {
+        match symbolic::certify_sampled(
+            algorithm,
+            side,
+            SYMBOLIC_SAMPLE_BATCHES,
+            SYMBOLIC_SAMPLE_SEED,
+        ) {
+            Ok(cert) => render("sampled", cert),
+            Err(v) => violation(v),
+        }
+    } else {
+        PassOutcome::Skipped {
+            reason: format!(
+                "symbolic 0-1 certification limited to side <= {SAMPLED_MAX_SIDE} (sampled above side {SYMBOLIC_MAX_SIDE})"
+            ),
+        }
+    }
+}
+
+/// Scalar 0-1 certification pass: exhaustive convergence over every 0-1
+/// placement of every weight, one placement per run.
 fn zero_one_pass(algorithm: AlgorithmId, side: usize, schedule: &CycleSchedule) -> PassOutcome {
     if side > ZERO_ONE_MAX_SIDE {
         return PassOutcome::Skipped {
             reason: format!(
-                "exhaustive 0-1 enumeration limited to side <= {ZERO_ONE_MAX_SIDE} ({} placements at this side)",
-                if side * side < 64 { format!("2^{}", side * side) } else { "too many".into() }
+                "exhaustive scalar 0-1 enumeration limited to side <= {ZERO_ONE_MAX_SIDE}; the \
+                 zero_one_symbolic pass enumerates up to side {SYMBOLIC_MAX_SIDE} and samples \
+                 sides {}-{SAMPLED_MAX_SIDE}",
+                SYMBOLIC_MAX_SIDE + 1
             ),
         };
     }
@@ -267,20 +435,66 @@ mod tests {
     fn unsupported_side_is_skipped_not_failed() {
         let r = analyze_algorithm(AlgorithmId::RowMajorRowFirst, 5);
         assert!(r.passed());
-        assert!(matches!(r.structural, PassOutcome::Skipped { .. }));
-        assert!(matches!(r.ir, PassOutcome::Skipped { .. }));
-        assert!(matches!(r.zero_one, PassOutcome::Skipped { .. }));
-        assert!(matches!(r.fault, PassOutcome::Skipped { .. }));
+        for (name, outcome) in r.passes() {
+            assert!(matches!(outcome, PassOutcome::Skipped { .. }), "{name}");
+        }
     }
 
     #[test]
-    fn large_side_skips_zero_one_only() {
+    fn side_5_skips_scalar_zero_one_but_certifies_symbolically() {
         let r = analyze_algorithm(AlgorithmId::SnakePhaseAligned, 5);
         assert!(matches!(r.structural, PassOutcome::Passed { .. }));
         assert!(matches!(r.ir, PassOutcome::Passed { .. }));
-        assert!(matches!(r.zero_one, PassOutcome::Skipped { .. }));
+        assert!(matches!(r.dataflow, PassOutcome::Passed { .. }));
+        match &r.zero_one {
+            PassOutcome::Skipped { reason } => {
+                assert!(reason.contains("zero_one_symbolic"), "{reason}");
+            }
+            other => panic!("expected scalar skip, got {other}"),
+        }
+        match &r.zero_one_symbolic {
+            PassOutcome::Passed { detail } => {
+                assert!(detail.contains("33554432 placements"), "{detail}");
+            }
+            other => panic!("expected symbolic pass, got {other}"),
+        }
         assert!(matches!(r.fault, PassOutcome::Passed { .. }));
         assert!(r.passed());
+    }
+
+    #[test]
+    fn large_side_samples_symbolically() {
+        let r = zero_one_symbolic_pass(AlgorithmId::SnakeAlternating, 8);
+        match &r {
+            PassOutcome::Passed { detail } => {
+                assert!(detail.starts_with("sampled 4096 placements"), "{detail}");
+            }
+            other => panic!("expected sampled pass, got {other}"),
+        }
+    }
+
+    #[test]
+    fn dataflow_certifies_canonical_schedules() {
+        // Sides named by the CI gate: 4, 5, 8. S3's predicted dead wires
+        // are the only dead comparators anywhere; everything else is
+        // fully live.
+        for side in [4, 5, 8] {
+            for algorithm in AlgorithmId::ALL {
+                if !algorithm.supports_side(side) {
+                    continue;
+                }
+                let schedule = algorithm.schedule(side).unwrap();
+                match dataflow_pass(algorithm, side, &schedule) {
+                    PassOutcome::Passed { detail } => {
+                        assert!(detail.contains("all predicted"), "{detail}");
+                        if algorithm != AlgorithmId::SnakePhaseAligned {
+                            assert!(detail.contains("0 dead comparators"), "{algorithm}: {detail}");
+                        }
+                    }
+                    other => panic!("{algorithm} side {side}: {other}"),
+                }
+            }
+        }
     }
 
     #[test]

@@ -62,7 +62,7 @@ impl fmt::Display for PassOutcome {
     }
 }
 
-/// The four `meshcheck` passes for one algorithm at one side.
+/// The six `meshcheck` passes for one algorithm at one side.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AlgorithmReport {
     /// Which of the five algorithms was analysed.
@@ -75,9 +75,16 @@ pub struct AlgorithmReport {
     /// IR conformance pass: `CompiledPlan::expand()` reproduces each
     /// `StepPlan` comparator multiset.
     pub ir: PassOutcome,
+    /// Dataflow pass: 0-1 abstract interpretation proves convergence
+    /// within the step budget, finds exactly the predicted dead
+    /// comparators, and checks the phase-invariant catalog.
+    pub dataflow: PassOutcome,
     /// 0-1 certification pass: every 0-1 placement converges to the
-    /// target order within the step cap.
+    /// target order within the step cap (scalar engine).
     pub zero_one: PassOutcome,
+    /// Bit-parallel symbolic 0-1 pass: exhaustive up to side 5, sampled
+    /// at larger sides.
+    pub zero_one_symbolic: PassOutcome,
     /// Fault-model pass: a fault-free `FaultPlan` is a behavioural no-op
     /// and a faulty plan replays bit-identically.
     pub fault: PassOutcome,
@@ -86,18 +93,17 @@ pub struct AlgorithmReport {
 impl AlgorithmReport {
     /// `true` when no pass failed (skipped passes do not count against).
     pub fn passed(&self) -> bool {
-        !self.structural.is_failure()
-            && !self.ir.is_failure()
-            && !self.zero_one.is_failure()
-            && !self.fault.is_failure()
+        self.passes().iter().all(|(_, outcome)| !outcome.is_failure())
     }
 
     /// The passes as `(name, outcome)` pairs, in report order.
-    pub fn passes(&self) -> [(&'static str, &PassOutcome); 4] {
+    pub fn passes(&self) -> [(&'static str, &PassOutcome); 6] {
         [
             ("structural", &self.structural),
             ("ir_conformance", &self.ir),
+            ("dataflow", &self.dataflow),
             ("zero_one", &self.zero_one),
+            ("zero_one_symbolic", &self.zero_one_symbolic),
             ("fault_model", &self.fault),
         ]
     }
@@ -201,7 +207,9 @@ mod tests {
             } else {
                 PassOutcome::Failed { diagnostic: "step 1: IR missing comparator".into() }
             },
+            dataflow: PassOutcome::Passed { detail: "converges by step 23".into() },
             zero_one: PassOutcome::Skipped { reason: "side > 4".into() },
+            zero_one_symbolic: PassOutcome::Passed { detail: "2^16 placements".into() },
             fault: PassOutcome::Passed { detail: "no-op + bit-identical replay".into() },
         }
     }
@@ -247,7 +255,9 @@ mod tests {
         assert!(json.contains("\"algorithm\": \"row-major/row-first\""));
         assert!(json.contains("\"structural\": {\"status\": \"passed\""));
         assert!(json.contains("\"ir_conformance\""));
+        assert!(json.contains("\"dataflow\": {\"status\": \"passed\""));
         assert!(json.contains("\"zero_one\": {\"status\": \"skipped\""));
+        assert!(json.contains("\"zero_one_symbolic\": {\"status\": \"passed\""));
         assert!(json.contains("\"fault_model\": {\"status\": \"passed\""));
         // Balanced braces/brackets — cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());

@@ -10,6 +10,7 @@
 //! must catch them independently so it can vet schedules from *any*
 //! source (deserialized, generated, fault-injected).
 
+use meshsort_analyze::{dataflow_pass, PassOutcome};
 use meshsort_core::AlgorithmId;
 use meshsort_mesh::verify::{self, VerifyError};
 use meshsort_mesh::{Comparator, CompiledPlan, CycleSchedule, StepPlan};
@@ -157,7 +158,11 @@ fn flipped_direction_rejected() {
                 match verify::verify_step(step, &comparators, &policy) {
                     Err(VerifyError::DirectionInconsistent { step: s, keep_min, keep_max }) => {
                         assert_eq!(s, step);
-                        assert_eq!((keep_min, keep_max), (c.keep_max, c.keep_min), "{a} side {side}");
+                        assert_eq!(
+                            (keep_min, keep_max),
+                            (c.keep_max, c.keep_min),
+                            "{a} side {side}"
+                        );
                     }
                     other => panic!(
                         "{a} side {side} step {step} comparator {victim}: \
@@ -302,6 +307,132 @@ fn randomized_single_mutations_always_rejected() {
             _ => matches!(err, VerifyError::DegenerateComparator { .. }),
         };
         assert!(expected, "{a} side {side} step {step} mutation {kind}: got {err:?}");
+    }
+}
+
+/// A wire joining flat-adjacent cells of the same row (never a vertical
+/// or wrap pair).
+fn is_row_wire(c: Comparator, side: usize) -> bool {
+    let (lo, hi) = (c.keep_min.min(c.keep_max) as usize, c.keep_min.max(c.keep_max) as usize);
+    hi == lo + 1 && lo % side != side - 1
+}
+
+#[test]
+fn injected_dead_comparator_caught_by_dataflow() {
+    // Re-executing a step-0 comparator on step 1 (evicting the step-1
+    // wires that touch its cells) keeps every pass-1 invariant the
+    // structural verifier checks — in-bounds, disjoint, mesh-adjacent,
+    // direction-consistent — but the wire can never swap: step 0 just
+    // established its ordering fact. Only the dataflow pass sees it.
+    for (a, side, schedule) in subjects() {
+        let injected = schedule.plans()[0].comparators()[0];
+        let mut plans = schedule.plans().to_vec();
+        let mut survivors: Vec<Comparator> = plans[1]
+            .comparators()
+            .iter()
+            .copied()
+            .filter(|c| {
+                c.keep_min != injected.keep_min
+                    && c.keep_min != injected.keep_max
+                    && c.keep_max != injected.keep_min
+                    && c.keep_max != injected.keep_max
+            })
+            .collect();
+        survivors.push(injected);
+        plans[1] = StepPlan::new(survivors).unwrap();
+        let mutated = CycleSchedule::new(plans, side * side).unwrap();
+        match dataflow_pass(a, side, &mutated) {
+            PassOutcome::Failed { diagnostic } => {
+                assert!(diagnostic.contains("is dead"), "{a} side {side}: {diagnostic}");
+                assert!(diagnostic.contains("not predicted"), "{a} side {side}: {diagnostic}");
+                assert!(
+                    diagnostic.contains(&format!("{}->{}", injected.keep_min, injected.keep_max)),
+                    "{a} side {side}: {diagnostic}"
+                );
+            }
+            other => panic!("{a} side {side}: expected dead-comparator failure, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn flipped_direction_caught_by_dataflow_as_sorted_fixed_point_break() {
+    // The structural pass rejects flips syntactically (direction table);
+    // the dataflow pass must catch the same corruption *semantically* —
+    // the sorted state stops being a fixed point — so it still protects
+    // schedules vetted under a policy that missed the flip.
+    let mut rng = Lcg(0xD0_06);
+    for (a, side, schedule) in subjects() {
+        let step = nonempty_step(&mut rng, &schedule);
+        let mut plans = schedule.plans().to_vec();
+        let mut comparators = plans[step].comparators().to_vec();
+        let victim = rng.below(comparators.len());
+        let c = comparators[victim];
+        comparators[victim] = Comparator::new(c.keep_max, c.keep_min);
+        plans[step] = StepPlan::new(comparators).unwrap();
+        let mutated = CycleSchedule::new(plans, side * side).unwrap();
+        match dataflow_pass(a, side, &mutated) {
+            PassOutcome::Failed { diagnostic } => {
+                assert!(
+                    diagnostic.contains("can swap on a sorted grid"),
+                    "{a} side {side}: {diagnostic}"
+                );
+                assert!(
+                    diagnostic.contains(&format!("step {step}")),
+                    "{a} side {side}: {diagnostic}"
+                );
+                assert!(
+                    diagnostic.contains(&format!("{}->{}", c.keep_max, c.keep_min)),
+                    "{a} side {side}: {diagnostic}"
+                );
+            }
+            other => panic!("{a} side {side}: expected sorted-fixed-point break, got {other}"),
+        }
+    }
+}
+
+#[test]
+fn truncated_column_phases_caught_by_dataflow() {
+    // Keeping only the row phases of a snake schedule truncates the
+    // column phases entirely: rows sort but never merge, and the
+    // fixpoint cannot prove the target-order chain.
+    for a in AlgorithmId::SNAKE {
+        for side in [4, 5] {
+            let schedule = a.schedule(side).unwrap();
+            let rows_only: Vec<StepPlan> = schedule
+                .plans()
+                .iter()
+                .filter(|p| p.comparators().iter().all(|&c| is_row_wire(c, side)))
+                .cloned()
+                .collect();
+            assert!(!rows_only.is_empty() && rows_only.len() < schedule.cycle_len());
+            let truncated = CycleSchedule::new(rows_only, side * side).unwrap();
+            match dataflow_pass(a, side, &truncated) {
+                PassOutcome::Failed { diagnostic } => {
+                    assert!(
+                        diagnostic.contains("convergence unprovable"),
+                        "{a} side {side}: {diagnostic}"
+                    );
+                    assert!(
+                        diagnostic.contains("chain links unproven"),
+                        "{a} side {side}: {diagnostic}"
+                    );
+                }
+                other => panic!("{a} side {side}: expected unprovable convergence, got {other}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn pristine_schedules_pass_dataflow() {
+    // The negative tests above are meaningful only if the unmutated
+    // schedules sail through the same pass.
+    for (a, side, schedule) in subjects() {
+        match dataflow_pass(a, side, &schedule) {
+            PassOutcome::Passed { .. } => {}
+            other => panic!("{a} side {side}: {other}"),
+        }
     }
 }
 

@@ -4,7 +4,7 @@
 //! `Θ(N)` steps *on average*, far above the `Ω(√N)` diameter bound. The
 //! canonical mesh algorithm sitting near that bound is **Shearsort**
 //! (Scherson–Sen–Shamir 1986; also [Leighton 1992], the paper's
-//! reference [1]): alternately snake-sort all rows and sort all columns;
+//! reference \[1\]): alternately snake-sort all rows and sort all columns;
 //! after `⌈log₂ √N⌉ + 1` row phases the mesh is in snakelike order, for
 //! `O(√N log N)` comparison-exchange steps — worst case *and* average.
 //!

@@ -1,7 +1,7 @@
 //! The catalogue of the paper's five algorithms.
 
 use crate::{row_major, snake};
-use meshsort_mesh::{CycleSchedule, MeshError, SchedulePolicy, TargetOrder};
+use meshsort_mesh::{Comparator, CycleSchedule, MeshError, SchedulePolicy, TargetOrder};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -142,6 +142,38 @@ impl AlgorithmId {
         }
     }
 
+    /// `true` when `comparator`, at cycle step `step` of this algorithm's
+    /// canonical schedule for `side`, is *expected* to be dead: provably
+    /// unable to swap for any input at any execution.
+    ///
+    /// Four of the five schedules are fully live. The exception —
+    /// surfaced by the `meshsort_mesh::absint` dataflow analyzer and
+    /// confirmed by brute force over every 0-1 placement and random
+    /// permutations — is S3 ([`AlgorithmId::SnakePhaseAligned`]): its
+    /// phase-aligned row steps feed the *second* staggered column step
+    /// (cycle step 3) values already ordered along every interior column,
+    /// so every step-3 wire outside column 0 (and, on even sides, outside
+    /// the last column) is dead. Closed form: a vertical wire in column
+    /// `c` of step 3 is dead iff `c ≠ 0` and (`side` odd or
+    /// `c ≠ side - 1`) — 3 wires at side 4, 8 at side 5, 21 at side 8.
+    ///
+    /// The `dataflow` pass of `meshsort-analyze` gates on the analyzed
+    /// dead set being *exactly* the wires this predicate admits: an
+    /// injected redundant comparator is flagged as unexpectedly dead, and
+    /// an S3 schedule change that revives a characterized wire is flagged
+    /// as an expected-dead regression.
+    pub fn expected_dead_wire(self, side: usize, step: usize, comparator: Comparator) -> bool {
+        if self != AlgorithmId::SnakePhaseAligned || step != 3 {
+            return false;
+        }
+        // Only the canonical downward column wires are characterized.
+        if comparator.keep_max as usize != comparator.keep_min as usize + side {
+            return false;
+        }
+        let col = comparator.keep_min as usize % side;
+        col != 0 && (side % 2 == 1 || col != side - 1)
+    }
+
     /// Index of the first *row* sorting step within the cycle (0-indexed),
     /// i.e. the step after which the paper's `Z₁`/`M` statistics are read.
     ///
@@ -249,6 +281,93 @@ mod tests {
                 assert_eq!(policy.cycle_len(), 4);
                 meshsort_mesh::verify::verify_schedule(&schedule, &policy)
                     .unwrap_or_else(|e| panic!("{a} side {side}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn dataflow_proves_convergence_for_all_five() {
+        // The pairwise ordering-facts domain is strong enough to prove
+        // every canonical schedule sorts, well inside the step budget.
+        for a in AlgorithmId::ALL {
+            for side in [2, 3, 4, 5, 6] {
+                if !a.supports_side(side) {
+                    continue;
+                }
+                let schedule = a.schedule(side).unwrap();
+                let summary = meshsort_mesh::absint::analyze_schedule(&schedule, a.order(), side);
+                let bound = summary.converged_step.unwrap_or_else(|| {
+                    panic!("{a} side {side}: convergence unprovable ({summary:?})")
+                });
+                assert!(bound <= crate::runner::default_step_cap(side), "{a} side {side}");
+                // Preservation lemma: once row order is provable for every
+                // input it persists — except on the degenerate 2×2 mesh,
+                // where row order becomes provable early and one column
+                // pair (half the grid) concretely breaks it again.
+                if side >= 3 {
+                    assert_eq!(summary.rows_regressed_step, None, "{a} side {side}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expected_dead_wires_match_the_analysis_exactly() {
+        // The closed-form S3 characterization is pinned to the analyzer:
+        // every analyzed-dead wire is predicted and every predicted wire
+        // is analyzed-dead, for all five algorithms.
+        for a in AlgorithmId::ALL {
+            for side in [2, 3, 4, 5, 6, 7, 8] {
+                if !a.supports_side(side) {
+                    continue;
+                }
+                let schedule = a.schedule(side).unwrap();
+                let summary = meshsort_mesh::absint::analyze_schedule(&schedule, a.order(), side);
+                for dead in &summary.dead_first_cycle {
+                    assert!(
+                        a.expected_dead_wire(side, dead.step, dead.comparator),
+                        "{a} side {side}: unexpected dead wire {dead:?}"
+                    );
+                }
+                for (step, plan) in schedule.plans().iter().enumerate() {
+                    for &c in plan.comparators() {
+                        if a.expected_dead_wire(side, step, c) {
+                            assert!(
+                                summary
+                                    .dead_first_cycle
+                                    .iter()
+                                    .any(|d| d.step == step && d.comparator == c),
+                                "{a} side {side}: predicted-dead wire {c:?} at step {step} is live"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn s3_dead_wire_counts() {
+        // 3 at side 4, 8 at side 5, 21 at side 8 — the counts the closed
+        // form predicts and brute force confirms.
+        for (side, expected) in [(2, 0), (3, 2), (4, 3), (5, 8), (8, 21)] {
+            let a = AlgorithmId::SnakePhaseAligned;
+            let schedule = a.schedule(side).unwrap();
+            let summary = meshsort_mesh::absint::analyze_schedule(&schedule, a.order(), side);
+            assert_eq!(summary.dead_first_cycle.len(), expected, "side {side}");
+        }
+    }
+
+    #[test]
+    fn sorted_state_is_a_fixed_point_of_every_schedule() {
+        for a in AlgorithmId::ALL {
+            for side in [2, 3, 4, 5, 6] {
+                if !a.supports_side(side) {
+                    continue;
+                }
+                let schedule = a.schedule(side).unwrap();
+                meshsort_mesh::absint::verify_sorted_fixed_point(&schedule, a.order(), side)
+                    .unwrap_or_else(|w| panic!("{a} side {side}: live wire on sorted grid {w:?}"));
             }
         }
     }

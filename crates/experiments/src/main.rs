@@ -9,18 +9,34 @@
 //! Every experiment runs panic-isolated: a crash in one becomes a FAIL
 //! row in its report instead of aborting the sweep. Report files are
 //! written atomically (temp file + rename) so an interrupted run never
-//! leaves a truncated report.
+//! leaves a truncated report. Full sweeps (`all`) default to writing
+//! `artifacts/experiments_full.{json,txt}` — the `artifacts/` directory
+//! is gitignored, keeping generated reports out of the repo root.
 
 use meshsort_experiments::{all_experiments, run_by_id, run_isolated, Config, ExperimentReport};
 use meshsort_stats::write_atomic;
 use std::path::Path;
 
+/// Default report paths for full sweeps; gitignored.
+const DEFAULT_JSON: &str = "artifacts/experiments_full.json";
+const DEFAULT_TXT: &str = "artifacts/experiments_full.txt";
+
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <all|list|e01..e21> [--quick] [--seed N] [--threads N] \
-         [--json PATH] [--txt PATH]"
+         [--json PATH] [--txt PATH]\n\
+         `all` defaults to --json {DEFAULT_JSON} --txt {DEFAULT_TXT}"
     );
     std::process::exit(2);
+}
+
+/// Creates the report's parent directory (e.g. `artifacts/`) if absent.
+fn ensure_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create report directory");
+        }
+    }
 }
 
 fn main() {
@@ -66,6 +82,11 @@ fn main() {
         return;
     }
 
+    if command == "all" {
+        json_path.get_or_insert_with(|| DEFAULT_JSON.to_string());
+        txt_path.get_or_insert_with(|| DEFAULT_TXT.to_string());
+    }
+
     let reports: Vec<ExperimentReport> = if command == "all" {
         all_experiments()
             .iter()
@@ -99,11 +120,13 @@ fn main() {
 
     if let Some(path) = json_path {
         let json = serde_json::to_string_pretty(&reports).expect("reports serialize");
+        ensure_parent_dir(Path::new(&path));
         write_atomic(Path::new(&path), &json).expect("write json report");
         eprintln!("wrote {path}");
     }
     if let Some(path) = txt_path {
         let text: String = reports.iter().map(|r| r.render() + "\n").collect();
+        ensure_parent_dir(Path::new(&path));
         write_atomic(Path::new(&path), &text).expect("write text report");
         eprintln!("wrote {path}");
     }

@@ -45,7 +45,7 @@ pub fn run_until_sorted<T: Ord>(cells: &mut [T], direction: SortDirection, cap: 
 
 /// Classical worst-case step bound: the odd-even transposition sort on an
 /// `n`-cell array sorts any input within `n` steps ([Leighton 1992], cited
-/// as the paper's reference [1]).
+/// as the paper's reference \[1\]).
 #[inline]
 pub fn worst_case_steps(n: usize) -> u64 {
     n as u64

@@ -1,0 +1,576 @@
+//! Static dataflow analysis of comparator schedules in the 0-1 domain.
+//!
+//! `meshcheck`'s structural pass proves a schedule is *well-formed*; this
+//! module proves things about what the schedule *computes*, without ever
+//! running it on data. It abstract-interprets the comparator network over
+//! the paper's own lens — 0-1 inputs — using a relational abstract domain
+//! of pairwise ordering facts:
+//!
+//! > `le(x, y)` — "for **every** 0-1 input, after the steps executed so
+//! > far, the value held by cell `x` is ≤ the value held by cell `y`."
+//!
+//! A fact set is an `N × N` bit matrix ([`OrderFacts`]). Each per-cell
+//! abstract value is then the three-valued `{0, 1, ⊤}` read-out relative
+//! to any anchor cell (`le(x, a)` ∧ `le(a, x)` pins `x` to `a`'s class;
+//! neither fact is `⊤`), but keeping the *relation* rather than one value
+//! per cell is what lets facts survive a compare-exchange. By the 0-1
+//! principle, every fact quantified over 0-1 inputs holds for arbitrary
+//! inputs, so everything proven here transfers to the real engine.
+//!
+//! ## Transfer function
+//!
+//! One synchronous step applies disjoint comparators simultaneously: the
+//! `keep_min` end of a wire `(i, j)` receives `min(vᵢ, vⱼ)` and the
+//! `keep_max` end `max(vᵢ, vⱼ)`. The exact pairwise consequences are:
+//!
+//! * `min(a, b) ≤ t`  ⇐ `le(a, t)` **or** `le(b, t)`;
+//! * `max(a, b) ≤ t`  ⇐ `le(a, t)` **and** `le(b, t)`;
+//! * `s ≤ min(a, b)`  ⇐ `le(s, a)` **and** `le(s, b)`;
+//! * `s ≤ max(a, b)`  ⇐ `le(s, a)` **or** `le(s, b)`.
+//!
+//! [`OrderFacts::apply_step`] evaluates these as two sweeps — a row sweep
+//! combining facts over each wire's *source* side, then a column sweep
+//! over the *target* side — and, because AND-of-OR and OR-of-AND nestings
+//! are incomparable in precision when both endpoints of a fact are
+//! rewritten in the same step, it runs both sweep orders and unions the
+//! (individually sound) results. Applying a step's comparators
+//! sequentially instead would lose precision: a wire may consume a fact
+//! that a sibling wire of the same step still needs.
+//!
+//! The transfer is monotone, so iterating the cycle from the empty fact
+//! set yields a non-decreasing chain of cycle-boundary states that reaches
+//! a fixpoint within `N² + 1` cycles (in practice a handful).
+//!
+//! ## What the fixpoint yields
+//!
+//! * **Dead comparators** ([`DataflowSummary::dead_first_cycle`]): a wire
+//!   whose `le(keep_min, keep_max)` fact already holds when it first
+//!   executes can never swap — for any input, at any cycle (facts entering
+//!   a step only grow with the cycle index). The canonical schedules are
+//!   fully live except S3: its phase-aligned rows make every second
+//!   staggered-column step's interior wire provably dead (see
+//!   `AlgorithmId::expected_dead_wire` in `meshsort-core` for the closed
+//!   form — a property of the paper's schedule this analysis surfaced).
+//! * **Phase invariants**: the first step after which every row (every
+//!   mesh column) is provably sorted in target-rank direction, and whether
+//!   that invariant, once established, persists through the remaining
+//!   steps — the static form of the paper's "column phases preserve row
+//!   sortedness" lemmas.
+//! * **A static convergence bound** ([`DataflowSummary::converged_step`]):
+//!   the first step at which the facts imply the full target-order chain.
+//!   From that step on, every input is sorted, so the bound must dominate
+//!   nothing and be dominated by the runner's Θ(N) step budget — the
+//!   `dataflow` pass in `meshsort-analyze` gates on exactly that.
+//! * **Sorted state is a fixed point** ([`verify_sorted_fixed_point`]):
+//!   seeding the facts with the target total order must make every wire of
+//!   one full cycle dead. A single flipped comparator direction violates
+//!   this even when it preserves structural validity.
+
+use crate::order::TargetOrder;
+use crate::plan::{Comparator, StepPlan};
+use crate::schedule::CycleSchedule;
+
+/// Pairwise ordering facts over the cells of a mesh: bit `(x, y)` is set
+/// when `value(x) ≤ value(y)` holds for every 0-1 input at the current
+/// program point. The diagonal is always set (reflexivity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderFacts {
+    cells: usize,
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl OrderFacts {
+    /// The fact set describing an arbitrary (unconstrained) input: only
+    /// the reflexive facts hold.
+    pub fn unconstrained(cells: usize) -> OrderFacts {
+        let words = cells.div_ceil(64);
+        let mut facts = OrderFacts { cells, words, bits: vec![0; cells * words] };
+        for x in 0..cells {
+            facts.insert(x, x);
+        }
+        facts
+    }
+
+    /// The fact set describing a grid sorted in `order`: `le(x, y)` for
+    /// every pair with `rank(x) ≤ rank(y)`.
+    pub fn sorted(order: TargetOrder, side: usize) -> OrderFacts {
+        let cells = side * side;
+        let rank = order.flat_to_rank_table(side);
+        let mut facts = OrderFacts::unconstrained(cells);
+        for x in 0..cells {
+            for y in 0..cells {
+                if rank[x] <= rank[y] {
+                    facts.insert(x, y);
+                }
+            }
+        }
+        facts
+    }
+
+    /// Number of cells the facts range over.
+    pub fn cells(&self) -> usize {
+        self.cells
+    }
+
+    /// `true` when `value(x) ≤ value(y)` is proven for every input.
+    pub fn le(&self, x: usize, y: usize) -> bool {
+        self.bits[x * self.words + y / 64] >> (y % 64) & 1 == 1
+    }
+
+    /// Number of proven facts (including the `cells` reflexive ones).
+    pub fn count(&self) -> u32 {
+        self.bits.iter().map(|w| w.count_ones()).sum()
+    }
+
+    fn insert(&mut self, x: usize, y: usize) {
+        self.bits[x * self.words + y / 64] |= 1 << (y % 64);
+    }
+
+    fn assign(&mut self, x: usize, y: usize, value: bool) {
+        let idx = x * self.words + y / 64;
+        let mask = 1u64 << (y % 64);
+        if value {
+            self.bits[idx] |= mask;
+        } else {
+            self.bits[idx] &= !mask;
+        }
+    }
+
+    /// Combines facts over each wire's *source* (left-hand) side: after
+    /// this sweep, row `x` holds `le'(x, y)` for the step's new `x` values
+    /// against the step's *old* `y` values.
+    fn source_sweep(&mut self, plan: &StepPlan) {
+        let words = self.words;
+        for c in plan.comparators() {
+            let (i, j) = (c.keep_min as usize, c.keep_max as usize);
+            for k in 0..words {
+                let row_i = self.bits[i * words + k];
+                let row_j = self.bits[j * words + k];
+                // min(i, j) ≤ t when either source is; max needs both.
+                self.bits[i * words + k] = row_i | row_j;
+                self.bits[j * words + k] = row_i & row_j;
+            }
+        }
+    }
+
+    /// Combines facts over each wire's *target* (right-hand) side, the
+    /// column-wise dual of [`OrderFacts::source_sweep`].
+    fn target_sweep(&mut self, plan: &StepPlan) {
+        for x in 0..self.cells {
+            for c in plan.comparators() {
+                let (i, j) = (c.keep_min as usize, c.keep_max as usize);
+                let to_i = self.le(x, i);
+                let to_j = self.le(x, j);
+                // s ≤ min(i, j) needs both targets; s ≤ max needs either.
+                self.assign(x, i, to_i && to_j);
+                self.assign(x, j, to_i || to_j);
+            }
+        }
+    }
+
+    /// Applies one synchronous step: all of `plan`'s comparators at once.
+    ///
+    /// Runs both sweep nestings (source-then-target and target-then-source)
+    /// and unions the results; each nesting alone is sound, and they are
+    /// incomparable in precision for facts whose two endpoints are both
+    /// rewritten by the step (min-vs-min favours the former, max-vs-max
+    /// the latter).
+    pub fn apply_step(&mut self, plan: &StepPlan) {
+        let mut by_source = self.clone();
+        by_source.source_sweep(plan);
+        by_source.target_sweep(plan);
+        let mut by_target = self.clone();
+        by_target.target_sweep(plan);
+        by_target.source_sweep(plan);
+        for (a, b) in by_source.bits.iter_mut().zip(by_target.bits.iter()) {
+            *a |= b;
+        }
+        *self = by_source;
+    }
+
+    /// `true` when every fact of `other` is also proven here.
+    pub fn contains(&self, other: &OrderFacts) -> bool {
+        self.bits.iter().zip(other.bits.iter()).all(|(a, b)| a & b == *b)
+    }
+
+    /// The adjacent-rank chain links of `order` **not** yet proven; empty
+    /// exactly when the facts imply the full target order (the grid is
+    /// provably sorted).
+    pub fn missing_chain_links(&self, order: TargetOrder, side: usize) -> Vec<(u32, u32)> {
+        order
+            .rank_to_flat_table(side)
+            .windows(2)
+            .filter(|pair| !self.le(pair[0] as usize, pair[1] as usize))
+            .map(|pair| (pair[0], pair[1]))
+            .collect()
+    }
+
+    /// `true` when every row of the mesh is provably sorted in the
+    /// direction its target ranks increase.
+    pub fn rows_sorted(&self, order: TargetOrder, side: usize) -> bool {
+        let rank = order.flat_to_rank_table(side);
+        (0..side).all(|r| {
+            (0..side - 1).all(|c| {
+                let a = r * side + c;
+                let b = a + 1;
+                if rank[a] < rank[b] {
+                    self.le(a, b)
+                } else {
+                    self.le(b, a)
+                }
+            })
+        })
+    }
+
+    /// `true` when every mesh column is provably sorted top→bottom (target
+    /// ranks increase downwards in both orders).
+    pub fn cols_sorted(&self, order: TargetOrder, side: usize) -> bool {
+        let rank = order.flat_to_rank_table(side);
+        (0..side.saturating_sub(1)).all(|r| {
+            (0..side).all(|c| {
+                let a = r * side + c;
+                let b = a + side;
+                if rank[a] < rank[b] {
+                    self.le(a, b)
+                } else {
+                    self.le(b, a)
+                }
+            })
+        })
+    }
+}
+
+/// A comparator the analysis proved can never swap, for any input, at any
+/// of its executions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadWire {
+    /// Cycle step (0-indexed) the wire belongs to.
+    pub step: usize,
+    /// The wire itself.
+    pub comparator: Comparator,
+}
+
+/// Everything the dataflow fixpoint proves about one schedule. Produced by
+/// [`analyze_schedule`]; interpreted (and gated) by the `dataflow` pass of
+/// `meshsort-analyze`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataflowSummary {
+    /// Mesh side the schedule was analysed at.
+    pub side: usize,
+    /// Full cycles iterated until the cycle-boundary facts stopped
+    /// changing.
+    pub cycles_to_fixpoint: u64,
+    /// Proven facts at the fixpoint: `N(N+1)/2` (reflexive plus every
+    /// ordered pair) exactly when the total order is proven.
+    pub facts_at_fixpoint: u32,
+    /// Wires already implied at their first execution — dead forever.
+    pub dead_first_cycle: Vec<DeadWire>,
+    /// First step (1-indexed; `Some(0)` for a single-cell mesh) at which
+    /// the facts imply the full target-order chain: the static convergence
+    /// bound. `None` when the fixpoint cannot prove convergence.
+    pub converged_step: Option<u64>,
+    /// First step after which every row is provably sorted.
+    pub rows_sorted_step: Option<u64>,
+    /// Step at which row sortedness, once established, was lost again
+    /// (`None` = the invariant persisted — the paper's preservation lemma).
+    pub rows_regressed_step: Option<u64>,
+    /// First step after which every mesh column is provably sorted.
+    pub cols_sorted_step: Option<u64>,
+    /// Step at which column sortedness, once established, was lost again.
+    pub cols_regressed_step: Option<u64>,
+    /// Chain links still unproven at the fixpoint (empty when
+    /// [`DataflowSummary::converged_step`] is `Some`).
+    pub missing_chain_links: Vec<(u32, u32)>,
+}
+
+/// Runs the dataflow fixpoint for one schedule.
+///
+/// Iterates the cycle from the unconstrained seed, recording first-cycle
+/// dead wires and the step milestones, until the cycle-boundary facts
+/// repeat (guaranteed within `N² + 1` cycles by monotonicity).
+///
+/// # Panics
+///
+/// When the schedule was not compiled for `side * side` cells.
+pub fn analyze_schedule(
+    schedule: &CycleSchedule,
+    order: TargetOrder,
+    side: usize,
+) -> DataflowSummary {
+    let cells = side * side;
+    for plan in schedule.plans() {
+        plan.check_bounds(cells).expect("schedule compiled for side * side cells");
+    }
+    let mut facts = OrderFacts::unconstrained(cells);
+    let mut summary = DataflowSummary {
+        side,
+        cycles_to_fixpoint: 0,
+        facts_at_fixpoint: 0,
+        dead_first_cycle: Vec::new(),
+        converged_step: None,
+        rows_sorted_step: None,
+        rows_regressed_step: None,
+        cols_sorted_step: None,
+        cols_regressed_step: None,
+        missing_chain_links: Vec::new(),
+    };
+    let mut step_count = 0u64;
+    observe(&mut summary, &facts, order, side, step_count);
+    let mut boundary = facts.clone();
+    let max_cycles = (cells * cells + 1) as u64;
+    for cycle in 0..max_cycles {
+        for (step, plan) in schedule.plans().iter().enumerate() {
+            if cycle == 0 {
+                for &comparator in plan.comparators() {
+                    if facts.le(comparator.keep_min as usize, comparator.keep_max as usize) {
+                        summary.dead_first_cycle.push(DeadWire { step, comparator });
+                    }
+                }
+            }
+            facts.apply_step(plan);
+            step_count += 1;
+            observe(&mut summary, &facts, order, side, step_count);
+        }
+        summary.cycles_to_fixpoint = cycle + 1;
+        if facts == boundary {
+            break;
+        }
+        debug_assert!(facts.contains(&boundary), "cycle-boundary facts must be non-decreasing");
+        boundary = facts.clone();
+    }
+    summary.facts_at_fixpoint = facts.count();
+    summary.missing_chain_links = facts.missing_chain_links(order, side);
+    summary
+}
+
+/// Updates the milestone fields of `summary` after `steps` total steps.
+fn observe(
+    summary: &mut DataflowSummary,
+    facts: &OrderFacts,
+    order: TargetOrder,
+    side: usize,
+    steps: u64,
+) {
+    let rows = facts.rows_sorted(order, side);
+    if summary.rows_sorted_step.is_none() {
+        if rows {
+            summary.rows_sorted_step = Some(steps);
+        }
+    } else if !rows && summary.rows_regressed_step.is_none() {
+        summary.rows_regressed_step = Some(steps);
+    }
+    let cols = facts.cols_sorted(order, side);
+    if summary.cols_sorted_step.is_none() {
+        if cols {
+            summary.cols_sorted_step = Some(steps);
+        }
+    } else if !cols && summary.cols_regressed_step.is_none() {
+        summary.cols_regressed_step = Some(steps);
+    }
+    if summary.converged_step.is_none() && facts.missing_chain_links(order, side).is_empty() {
+        summary.converged_step = Some(steps);
+    }
+}
+
+/// A comparator that can still swap when the grid is already sorted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortedLiveWire {
+    /// Cycle step (0-indexed) the wire belongs to.
+    pub step: usize,
+    /// The offending wire.
+    pub comparator: Comparator,
+}
+
+/// Proves the sorted state is a fixed point of the schedule: seeded with
+/// the full target order, every comparator of one cycle must already be
+/// implied (dead) when it executes.
+///
+/// # Errors
+///
+/// The first wire that could swap on a sorted grid — which is exactly what
+/// a direction flip that survives structural checking produces.
+pub fn verify_sorted_fixed_point(
+    schedule: &CycleSchedule,
+    order: TargetOrder,
+    side: usize,
+) -> Result<(), SortedLiveWire> {
+    let mut facts = OrderFacts::sorted(order, side);
+    for (step, plan) in schedule.plans().iter().enumerate() {
+        for &comparator in plan.comparators() {
+            if !facts.le(comparator.keep_min as usize, comparator.keep_max as usize) {
+                return Err(SortedLiveWire { step, comparator });
+            }
+        }
+        facts.apply_step(plan);
+    }
+    debug_assert!(
+        facts.missing_chain_links(order, side).is_empty(),
+        "a cycle of dead wires must preserve the sorted chain"
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wire(a: u32, b: u32) -> Comparator {
+        Comparator::new(a, b)
+    }
+
+    /// A hand-rolled row-major sorter for the 2×2 mesh: rows, columns,
+    /// then the middle pair (cells 1 and 2 are rank-adjacent).
+    fn tiny_sorter() -> CycleSchedule {
+        CycleSchedule::new(
+            vec![
+                StepPlan::new(vec![wire(0, 1), wire(2, 3)]).unwrap(),
+                StepPlan::new(vec![wire(0, 2), wire(1, 3)]).unwrap(),
+                StepPlan::new(vec![wire(1, 2)]).unwrap(),
+            ],
+            4,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn comparator_establishes_its_fact() {
+        let mut f = OrderFacts::unconstrained(4);
+        assert!(!f.le(0, 1));
+        f.apply_step(&StepPlan::new(vec![wire(0, 1)]).unwrap());
+        assert!(f.le(0, 1));
+        assert!(!f.le(1, 0), "the reverse fact must not appear");
+        assert!(!f.le(2, 3), "untouched cells stay unconstrained");
+    }
+
+    #[test]
+    fn min_end_facts_combine_with_or_max_end_with_and() {
+        // Establish le(1, 2), then compare (0, 1) — min kept at cell 0,
+        // max at cell 1.
+        let mut f = OrderFacts::unconstrained(4);
+        f.apply_step(&StepPlan::new(vec![wire(1, 2)]).unwrap());
+        f.apply_step(&StepPlan::new(vec![wire(0, 1)]).unwrap());
+        // min(v0, v1) ≤ old v1 ≤ v2, so le(0, 2) must be proven …
+        assert!(f.le(0, 2));
+        // … but max(v0, v1) ≤ v2 needs BOTH old v0 ≤ v2 and old v1 ≤ v2,
+        // and v0 was unconstrained.
+        assert!(!f.le(1, 2));
+    }
+
+    #[test]
+    fn simultaneous_step_preserves_min_chain_through_column_phase() {
+        // Sorted rows le(0,1) and le(2,3), then one COLUMN step with both
+        // wires (0,2) and (1,3) at once. The min ends satisfy
+        // min(v0,v2) ≤ min(v1,v3) (each source of the left min is ≤ some
+        // source of the right min), and the simultaneous transfer proves
+        // it. Applying the same two wires as separate steps in the order
+        // (1,3) then (0,2) loses the fact: (1,3) rewrites cell 1 while
+        // le(0,3) is not yet derivable, so le(0,1) is dropped and nothing
+        // restores it. This precision is why column phases preserve row
+        // sortedness in the five-algorithm proofs.
+        let rows = StepPlan::new(vec![wire(0, 1), wire(2, 3)]).unwrap();
+        let cols = StepPlan::new(vec![wire(0, 2), wire(1, 3)]).unwrap();
+        let mut simultaneous = OrderFacts::unconstrained(4);
+        simultaneous.apply_step(&rows);
+        simultaneous.apply_step(&cols);
+        assert!(simultaneous.le(0, 1), "min-chain fact must survive the column step");
+        assert!(simultaneous.le(2, 3), "max-chain fact survives too on 2×2");
+
+        let mut sequential = OrderFacts::unconstrained(4);
+        sequential.apply_step(&rows);
+        sequential.apply_step(&StepPlan::new(vec![wire(1, 3)]).unwrap());
+        sequential.apply_step(&StepPlan::new(vec![wire(0, 2)]).unwrap());
+        assert!(!sequential.le(0, 1), "sequential application is strictly less precise");
+    }
+
+    #[test]
+    fn tiny_sorter_converges_and_is_fully_live() {
+        let s = tiny_sorter();
+        let summary = analyze_schedule(&s, TargetOrder::RowMajor, 2);
+        assert_eq!(summary.converged_step, Some(3), "rows, cols, middle pair: 3 steps");
+        assert!(summary.dead_first_cycle.is_empty());
+        assert!(summary.missing_chain_links.is_empty());
+        assert!(summary.rows_sorted_step.is_some());
+        assert_eq!(summary.rows_regressed_step, None);
+        assert_eq!(summary.facts_at_fixpoint, 4 + 6, "reflexive + full total order");
+    }
+
+    #[test]
+    fn sorted_state_is_fixed_point_of_tiny_sorter() {
+        assert_eq!(verify_sorted_fixed_point(&tiny_sorter(), TargetOrder::RowMajor, 2), Ok(()));
+    }
+
+    #[test]
+    fn flipped_wire_is_live_on_sorted_grid() {
+        // Flip the middle wire: keep the larger value at rank 1.
+        let s = CycleSchedule::new(
+            vec![
+                StepPlan::new(vec![wire(0, 1), wire(2, 3)]).unwrap(),
+                StepPlan::new(vec![wire(0, 2), wire(1, 3)]).unwrap(),
+                StepPlan::new(vec![wire(2, 1)]).unwrap(),
+            ],
+            4,
+        )
+        .unwrap();
+        let err = verify_sorted_fixed_point(&s, TargetOrder::RowMajor, 2).unwrap_err();
+        assert_eq!(err, SortedLiveWire { step: 2, comparator: wire(2, 1) });
+    }
+
+    #[test]
+    fn duplicated_wire_is_dead_at_second_execution() {
+        // (0, 1) twice in a row: the second execution is provably dead.
+        let s = CycleSchedule::new(
+            vec![
+                StepPlan::new(vec![wire(0, 1)]).unwrap(),
+                StepPlan::new(vec![wire(0, 1)]).unwrap(),
+            ],
+            4,
+        )
+        .unwrap();
+        let summary = analyze_schedule(&s, TargetOrder::RowMajor, 2);
+        assert_eq!(summary.dead_first_cycle, vec![DeadWire { step: 1, comparator: wire(0, 1) }]);
+    }
+
+    #[test]
+    fn truncated_schedule_cannot_prove_convergence() {
+        // Rows only: the column pairs are never related.
+        let s = CycleSchedule::new(vec![StepPlan::new(vec![wire(0, 1), wire(2, 3)]).unwrap()], 4)
+            .unwrap();
+        let summary = analyze_schedule(&s, TargetOrder::RowMajor, 2);
+        assert_eq!(summary.converged_step, None);
+        assert!(!summary.missing_chain_links.is_empty());
+        assert!(summary.rows_sorted_step.is_some(), "rows alone are still proven");
+    }
+
+    #[test]
+    fn single_cell_mesh_is_trivially_converged() {
+        let s = CycleSchedule::new(vec![StepPlan::empty()], 1).unwrap();
+        let summary = analyze_schedule(&s, TargetOrder::Snake, 1);
+        assert_eq!(summary.converged_step, Some(0));
+        assert!(summary.dead_first_cycle.is_empty());
+    }
+
+    #[test]
+    fn boundary_facts_are_monotone() {
+        // Directly iterate the tiny sorter and check cycle-boundary
+        // containment — the property the fixpoint argument rests on.
+        let s = tiny_sorter();
+        let mut facts = OrderFacts::unconstrained(4);
+        let mut previous = facts.clone();
+        for _ in 0..6 {
+            for plan in s.plans() {
+                facts.apply_step(plan);
+            }
+            assert!(facts.contains(&previous));
+            previous = facts.clone();
+        }
+    }
+
+    #[test]
+    fn sorted_seed_counts_all_pairs() {
+        let f = OrderFacts::sorted(TargetOrder::Snake, 2);
+        // 4 reflexive + C(4,2) ordered pairs.
+        assert_eq!(f.count(), 10);
+        assert!(f.missing_chain_links(TargetOrder::Snake, 2).is_empty());
+    }
+}

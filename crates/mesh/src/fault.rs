@@ -5,7 +5,7 @@
 //! (never fires, permanently or for a step window), a comparator can
 //! *transiently drop* an exchange (per-step Bernoulli misfire), or a whole
 //! synchronous step can *stall*. A [`FaultPlan`] injects exactly those
-//! three fault classes between a [`CycleSchedule`](crate::CycleSchedule)
+//! three fault classes between a [`CycleSchedule`]
 //! and the engine, and the resilient runner
 //! ([`CycleSchedule::run_until_sorted_resilient`](crate::CycleSchedule::run_until_sorted_resilient))
 //! classifies what the damaged machine achieved as a [`RunOutcome`].

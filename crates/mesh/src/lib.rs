@@ -35,7 +35,11 @@
 //! The [`verify`] module is the static counterpart (`meshcheck`): it
 //! certifies a schedule's structure (disjointness, mesh adjacency, wrap
 //! policy, order-consistent directions) and the conformance of the
-//! compiled kernel IR without executing the schedule on data.
+//! compiled kernel IR without executing the schedule on data. The
+//! [`absint`] module goes further and abstract-interprets the network in
+//! the 0-1 domain: pairwise ordering facts propagated to a fixpoint yield
+//! dead-comparator detection, static phase invariants, and a per-schedule
+//! convergence bound — still without running on data.
 //!
 //! The [`fault`] module models an *imperfect* machine: a seeded,
 //! fully deterministic [`FaultPlan`] injects stuck comparators, transient
@@ -60,6 +64,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod absint;
 pub mod engine;
 pub mod error;
 pub mod fault;
@@ -76,6 +81,7 @@ pub mod trace;
 pub mod verify;
 pub mod viz;
 
+pub use absint::{DataflowSummary, DeadWire, OrderFacts, SortedLiveWire};
 pub use engine::{apply_plan, StepOutcome};
 pub use error::MeshError;
 pub use fault::{FaultPlan, FaultSpec, ResilientPolicy, ResilientReport, StuckWire};

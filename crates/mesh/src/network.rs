@@ -8,7 +8,7 @@
 //! checked exhaustively against the 0–1 principle on small meshes.
 //!
 //! The principle (Knuth, TAOCP vol. 3; [Leighton 1992], the paper's
-//! reference [1]): an *oblivious* comparison-exchange network sorts every
+//! reference \[1\]): an *oblivious* comparison-exchange network sorts every
 //! input iff it sorts every 0–1 input. For lower bounds the paper uses
 //! the cheap direction — any counterexample 0–1 input witnesses
 //! unsortedness — which [`ComparatorNetwork::find_unsorted_zero_one`]

@@ -15,7 +15,11 @@
 //! * [`bounds`] — the empirical side of Theorems 1, 6, 9 and 13: measure
 //!   the statistic after the first step(s), compute the predicted
 //!   additional-step bound, and compare against the actual remaining
-//!   steps of the run.
+//!   steps of the run;
+//! * [`symbolic`] — a bit-parallel 0-1 engine packing 64 placements into
+//!   one `u64` per cell, behind the exhaustive side-5 and sampled
+//!   large-side certification of the `meshsort analyze`
+//!   `zero_one_symbolic` pass.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,6 +28,8 @@ pub mod bounds;
 pub mod column_stats;
 pub mod exhaustive;
 pub mod snake_trackers;
+pub mod symbolic;
 pub mod travel;
 
 pub use column_stats::{m_statistic, ColumnStats};
+pub use symbolic::{LaneBatch, LaneGrid, SymbolicCertificate, SymbolicViolation};

@@ -1,0 +1,388 @@
+//! Bit-parallel symbolic execution of a schedule over 64 0-1 placements
+//! at once.
+//!
+//! A 0-1 grid stores one bit per cell, so a `u64` per cell holds **64
+//! independent placements** — one per bit lane. The compare-exchange of
+//! [`meshsort_mesh::engine`] degenerates, on 0-1 values, to pure
+//! bitwise logic applied to every lane simultaneously:
+//!
+//! * value kept at `keep_min` = `min(a, b)` = `a & b`;
+//! * value kept at `keep_max` = `max(a, b)` = `a | b`;
+//! * a lane swapped iff it held `1` at the min end and `0` at the max
+//!   end: swap mask = `a & !b`.
+//!
+//! This is the same branchless idiom `mesh::kernel` uses for scalar
+//! integer grids, lifted from one word per cell-pair to one *bit per
+//! lane* — a 64× throughput multiplier that raises exhaustive 0-1
+//! certification from side 4 (`2^16` placements) to side 5 (`2^25`,
+//! [`SYMBOLIC_MAX_SIDE`]) and makes large randomized sampling cheap at
+//! sides 6–[`SAMPLED_MAX_SIDE`].
+//!
+//! Per-lane step counts are faithful to the scalar engine: the sorted
+//! state is a fixed point of every canonical schedule (certified by
+//! `meshsort_mesh::absint::verify_sorted_fixed_point` and the structural
+//! pass), so continuing to step a batch after one lane has sorted never
+//! changes that lane, and the first step at which a lane's inversion
+//! mask clears equals the step count `run_until_sorted` would report for
+//! that placement alone. The differential suite
+//! (`crates/zeroone/tests/symbolic_props.rs`) pins this, swap counts
+//! included, against the scalar kernel engine for all five algorithms.
+
+use meshsort_core::{runner, AlgorithmId};
+use meshsort_mesh::{CycleSchedule, StepPlan, TargetOrder};
+
+/// Largest side certified exhaustively by [`certify_exhaustive`]:
+/// `2^25 = 33 554 432` placements at side 5, enumerated as `2^19`
+/// 64-lane batches.
+pub const SYMBOLIC_MAX_SIDE: usize = 5;
+
+/// Largest side [`certify_sampled`] accepts: `16 × 16 = 256` cells, one
+/// `u64` of fresh random lanes per cell per batch.
+pub const SAMPLED_MAX_SIDE: usize = 16;
+
+/// 64 0-1 placements packed bitwise: `cells[i]` bit `l` is the value of
+/// flat cell `i` in lane `l`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LaneGrid {
+    side: usize,
+    cells: Vec<u64>,
+}
+
+impl LaneGrid {
+    /// Packs up to 64 placements given as cell masks (bit `i` of
+    /// `masks[l]` set ⇔ cell `i` of lane `l` holds a one).
+    ///
+    /// # Panics
+    ///
+    /// Panics when more than 64 placements are given or the mesh has
+    /// more than 64 cells (mask bits would not cover it).
+    pub fn from_placements(side: usize, masks: &[u64]) -> LaneGrid {
+        let cells = side * side;
+        assert!(masks.len() <= 64, "at most 64 lanes per batch");
+        assert!(cells <= 64, "cell masks cover at most 64 cells");
+        let pack = |i: usize| {
+            masks
+                .iter()
+                .enumerate()
+                .fold(0u64, |acc, (lane, mask)| acc | (((mask >> i) & 1) << lane))
+        };
+        LaneGrid { side, cells: (0..cells).map(pack).collect() }
+    }
+
+    /// 64 placements drawn uniformly at random: one splitmix64 word per
+    /// cell, so every lane is an independent uniform placement.
+    pub fn random(side: usize, seed: u64) -> LaneGrid {
+        let mut state = seed;
+        let cells = (0..side * side).map(|_| splitmix64(&mut state)).collect();
+        LaneGrid { side, cells }
+    }
+
+    /// Mesh side this batch was built for.
+    pub fn side(&self) -> usize {
+        self.side
+    }
+
+    /// Extracts one lane as flat row-major cell values.
+    pub fn lane_values(&self, lane: u32) -> Vec<u8> {
+        self.cells.iter().map(|&w| ((w >> lane) & 1) as u8).collect()
+    }
+
+    /// Applies one step to every lane; returns the mask of lanes in
+    /// which at least one comparator swapped, accumulating per-lane swap
+    /// counts into `swaps`.
+    fn apply_plan(&mut self, plan: &StepPlan, swaps: &mut [u64; 64]) -> u64 {
+        let mut swapped = 0u64;
+        for c in plan.comparators() {
+            let a = self.cells[c.keep_min as usize];
+            let b = self.cells[c.keep_max as usize];
+            let mut sw = a & !b;
+            self.cells[c.keep_min as usize] = a & b;
+            self.cells[c.keep_max as usize] = a | b;
+            swapped |= sw;
+            while sw != 0 {
+                swaps[sw.trailing_zeros() as usize] += 1;
+                sw &= sw - 1;
+            }
+        }
+        swapped
+    }
+
+    /// Mask of lanes holding an inversion: some rank-adjacent pair reads
+    /// `1` before `0` along the target order.
+    fn unsorted_mask(&self, rank_to_flat: &[u32]) -> u64 {
+        rank_to_flat
+            .windows(2)
+            .fold(0u64, |m, w| m | (self.cells[w[0] as usize] & !self.cells[w[1] as usize]))
+    }
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Outcome of running one 64-lane batch to convergence.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LaneBatch {
+    /// Mask of lanes that reached the target order within the cap.
+    pub sorted: u64,
+    /// Per-lane step counts, mirroring the scalar engine: `0` for a lane
+    /// already sorted at entry, otherwise the first step after which the
+    /// lane's inversions cleared; the executed step total for lanes that
+    /// missed the cap.
+    pub steps: [u64; 64],
+    /// Per-lane comparator swap counts over the same steps.
+    pub swaps: [u64; 64],
+}
+
+/// Runs every active lane of `grid` until sorted (or `cap` steps).
+///
+/// Mirrors [`CycleSchedule::run_until_sorted`] lane-wise: lanes sorted
+/// before the first step report `0` steps, and stepping continues while
+/// any active lane is unsorted. Inactive lanes (bits clear in `active`)
+/// are stepped but never consulted, so partial batches — side 2 has only
+/// 16 placements — cost nothing extra.
+pub fn run_lanes(
+    schedule: &CycleSchedule,
+    order: TargetOrder,
+    grid: &mut LaneGrid,
+    active: u64,
+    cap: u64,
+) -> LaneBatch {
+    let rank_to_flat = order.rank_to_flat_table(grid.side);
+    let mut steps = [0u64; 64];
+    let mut swaps = [0u64; 64];
+    let mut remaining = grid.unsorted_mask(&rank_to_flat) & active;
+    let mut t = 0u64;
+    while remaining != 0 && t < cap {
+        grid.apply_plan(schedule.plan_at(t), &mut swaps);
+        t += 1;
+        let unsorted = grid.unsorted_mask(&rank_to_flat) & active;
+        // Sorted is a fixed point: a lane never becomes unsorted again.
+        debug_assert_eq!(unsorted & !remaining, 0);
+        let mut newly = remaining & !unsorted;
+        while newly != 0 {
+            steps[newly.trailing_zeros() as usize] = t;
+            newly &= newly - 1;
+        }
+        remaining = unsorted;
+    }
+    let mut missed = remaining;
+    while missed != 0 {
+        steps[missed.trailing_zeros() as usize] = t;
+        missed &= missed - 1;
+    }
+    LaneBatch { sorted: active & !remaining, steps, swaps }
+}
+
+/// Proof that every examined 0-1 placement reached the target order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SymbolicCertificate {
+    /// Mesh side certified.
+    pub side: usize,
+    /// Placements run to convergence.
+    pub placements: u64,
+    /// Worst convergence step count observed.
+    pub max_steps: u64,
+    /// Step budget every placement stayed within.
+    pub cap: u64,
+}
+
+/// A placement that failed to reach the target order within the cap.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SymbolicViolation {
+    /// Flat row-major cell values of the offending placement.
+    pub placement: Vec<u8>,
+    /// The exhausted step budget.
+    pub cap: u64,
+}
+
+/// Exhaustively certifies all `2^(side²)` 0-1 placements, 64 lanes per
+/// pass. By the 0-1 principle this proves the schedule sorts arbitrary
+/// inputs at this side.
+///
+/// # Panics
+///
+/// Panics for sides above [`SYMBOLIC_MAX_SIDE`] or unsupported sides.
+pub fn certify_exhaustive(
+    algorithm: AlgorithmId,
+    side: usize,
+) -> Result<SymbolicCertificate, Box<SymbolicViolation>> {
+    assert!(side <= SYMBOLIC_MAX_SIDE, "exhaustive symbolic certification limited to side 5");
+    let schedule = algorithm.schedule(side).expect("supported side");
+    let order = algorithm.order();
+    let cells = side * side;
+    let cap = runner::default_step_cap(side);
+    let total: u64 = 1 << cells;
+    let mut max_steps = 0;
+    let mut base = 0u64;
+    while base < total {
+        let lanes = 64.min(total - base) as usize;
+        let masks: Vec<u64> = (0..lanes as u64).map(|l| base + l).collect();
+        let mut grid = LaneGrid::from_placements(side, &masks);
+        let active = if lanes == 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+        let batch = run_lanes(&schedule, order, &mut grid, active, cap);
+        if batch.sorted != active {
+            let lane = (active & !batch.sorted).trailing_zeros();
+            let mask = base + u64::from(lane);
+            let placement = (0..cells).map(|i| ((mask >> i) & 1) as u8).collect();
+            return Err(Box::new(SymbolicViolation { placement, cap }));
+        }
+        max_steps = max_steps.max(batch.steps[..lanes].iter().copied().max().unwrap_or(0));
+        base += lanes as u64;
+    }
+    Ok(SymbolicCertificate { side, placements: total, max_steps, cap })
+}
+
+/// Certifies `batches × 64` uniformly random 0-1 placements at sides too
+/// large to enumerate; deterministic for a given seed.
+///
+/// # Panics
+///
+/// Panics for sides above [`SAMPLED_MAX_SIDE`] or unsupported sides.
+pub fn certify_sampled(
+    algorithm: AlgorithmId,
+    side: usize,
+    batches: u64,
+    seed: u64,
+) -> Result<SymbolicCertificate, Box<SymbolicViolation>> {
+    assert!(side <= SAMPLED_MAX_SIDE, "sampled symbolic certification limited to side 16");
+    let schedule = algorithm.schedule(side).expect("supported side");
+    let order = algorithm.order();
+    let cap = runner::default_step_cap(side);
+    let mut max_steps = 0;
+    for batch_index in 0..batches {
+        let mut grid =
+            LaneGrid::random(side, seed ^ batch_index.wrapping_mul(0xa076_1d64_78bd_642f));
+        let pristine = grid.clone();
+        let batch = run_lanes(&schedule, order, &mut grid, u64::MAX, cap);
+        if batch.sorted != u64::MAX {
+            let lane = (!batch.sorted).trailing_zeros();
+            return Err(Box::new(SymbolicViolation { placement: pristine.lane_values(lane), cap }));
+        }
+        max_steps = max_steps.max(batch.steps.iter().copied().max().unwrap_or(0));
+    }
+    Ok(SymbolicCertificate { side, placements: batches * 64, max_steps, cap })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use meshsort_mesh::Grid;
+
+    #[test]
+    fn packing_round_trips() {
+        let masks = [0b1010u64, 0b0110, 0b1111];
+        let grid = LaneGrid::from_placements(2, &masks);
+        for (lane, mask) in masks.iter().enumerate() {
+            let values = grid.lane_values(lane as u32);
+            for (i, &v) in values.iter().enumerate() {
+                assert_eq!(u64::from(v), (mask >> i) & 1);
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_lane_reports_zero_steps() {
+        let a = AlgorithmId::SnakeAlternating;
+        let schedule = a.schedule(2).unwrap();
+        // Snake rank order visits cells 0, 1, 3, 2; zeros in cells 0–1
+        // and ones in cells 2–3 (mask 0b1100) is already snake-sorted.
+        let masks = [0b1100u64, 0b0101];
+        let mut grid = LaneGrid::from_placements(2, &masks);
+        let batch = run_lanes(&schedule, a.order(), &mut grid, 0b11, 100);
+        assert_eq!(batch.sorted, 0b11);
+        assert_eq!(batch.steps[0], 0);
+        assert_eq!(batch.swaps[0], 0);
+        assert!(batch.steps[1] > 0);
+    }
+
+    #[test]
+    fn lane_matches_scalar_engine_on_every_side2_placement() {
+        for a in AlgorithmId::ALL {
+            if !a.supports_side(2) {
+                continue;
+            }
+            let schedule = a.schedule(2).unwrap();
+            let order = a.order();
+            let cap = runner::default_step_cap(2);
+            let masks: Vec<u64> = (0..16).collect();
+            let mut lanes = LaneGrid::from_placements(2, &masks);
+            let batch = run_lanes(&schedule, order, &mut lanes, (1 << 16) - 1, cap);
+            assert_eq!(batch.sorted, (1 << 16) - 1, "{a}");
+            for (lane, &mask) in masks.iter().enumerate() {
+                let data: Vec<u8> = (0..4).map(|i| ((mask >> i) & 1) as u8).collect();
+                let mut grid = Grid::from_rows(2, data).unwrap();
+                let outcome = schedule.run_until_sorted(&mut grid, order, cap);
+                assert!(outcome.sorted);
+                assert_eq!(batch.steps[lane], outcome.steps, "{a} mask {mask:#06b}");
+                assert_eq!(batch.swaps[lane], outcome.swaps, "{a} mask {mask:#06b}");
+            }
+        }
+    }
+
+    #[test]
+    fn exhaustive_certificates_match_scalar_limit() {
+        // Side 4 is the old scalar `ZERO_ONE_MAX_SIDE`; the symbolic
+        // engine must certify it with the same placement count.
+        for a in AlgorithmId::ALL {
+            let cert = certify_exhaustive(a, 4).unwrap();
+            assert_eq!(cert.placements, 1 << 16, "{a}");
+            assert!(cert.max_steps <= cert.cap, "{a}");
+        }
+    }
+
+    #[test]
+    fn exhaustive_side_5_certifies_the_snakes() {
+        // Row-major algorithms need an even side; the snakes certify the
+        // new side-5 limit (2^25 placements).
+        let cert = certify_exhaustive(AlgorithmId::SnakeAlternating, 5).unwrap();
+        assert_eq!(cert.placements, 1 << 25);
+        assert!(cert.max_steps <= cert.cap);
+    }
+
+    #[test]
+    fn sampled_certifies_large_sides() {
+        for a in AlgorithmId::ALL {
+            for side in [8, 9] {
+                if !a.supports_side(side) {
+                    continue;
+                }
+                let cert = certify_sampled(a, side, 4, 0x5eed).unwrap();
+                assert_eq!(cert.placements, 256, "{a}");
+                assert!(cert.max_steps > 0 && cert.max_steps <= cert.cap, "{a}");
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_is_deterministic() {
+        let a = AlgorithmId::SnakeStaggeredCols;
+        let one = certify_sampled(a, 6, 3, 42).unwrap();
+        let two = certify_sampled(a, 6, 3, 42).unwrap();
+        assert_eq!(one, two);
+        let other = certify_sampled(a, 6, 3, 43).unwrap();
+        assert_eq!(other.placements, one.placements);
+    }
+
+    #[test]
+    fn truncated_schedule_yields_a_violation() {
+        // Dropping the column steps of S1 leaves rows sorted but columns
+        // untouched: some placement must miss the cap.
+        let a = AlgorithmId::SnakeAlternating;
+        let full = a.schedule(3).unwrap();
+        let rows_only =
+            CycleSchedule::new(vec![full.plans()[0].clone(), full.plans()[2].clone()], 9).unwrap();
+        let order = a.order();
+        let cap = runner::default_step_cap(3);
+        let masks: Vec<u64> = (0..64).collect();
+        let mut lanes = LaneGrid::from_placements(3, &masks);
+        let batch = run_lanes(&rows_only, order, &mut lanes, u64::MAX, cap);
+        assert_ne!(batch.sorted, u64::MAX);
+        let lane = (!batch.sorted).trailing_zeros() as usize;
+        assert_eq!(batch.steps[lane], cap);
+    }
+}

@@ -1,0 +1,84 @@
+//! Differential properties pinning the bit-parallel symbolic 0-1 engine
+//! to the scalar engine: on random lane batches, every lane's
+//! convergence step count and swap total must equal what
+//! `run_until_sorted` reports for that placement run alone, for all five
+//! algorithms.
+
+use meshsort_core::{runner, AlgorithmId};
+use meshsort_mesh::Grid;
+use meshsort_zeroone::symbolic::{run_lanes, LaneGrid};
+
+fn scalar_run(a: AlgorithmId, side: usize, values: Vec<u8>) -> (u64, u64) {
+    let schedule = a.schedule(side).unwrap();
+    let cap = runner::default_step_cap(side);
+    let mut grid = Grid::from_rows(side, values).unwrap();
+    let outcome = schedule.run_until_sorted(&mut grid, a.order(), cap);
+    assert!(outcome.sorted, "{a} side {side}: scalar run missed the cap");
+    (outcome.steps, outcome.swaps)
+}
+
+#[test]
+fn random_lane_batches_match_scalar_runs() {
+    for a in AlgorithmId::ALL {
+        for side in [3, 4, 6, 8] {
+            if !a.supports_side(side) {
+                continue;
+            }
+            let schedule = a.schedule(side).unwrap();
+            let cap = runner::default_step_cap(side);
+            for batch_seed in 0..3u64 {
+                let mut lanes = LaneGrid::random(side, 0xd1ff ^ (batch_seed << 8));
+                let pristine = lanes.clone();
+                let batch = run_lanes(&schedule, a.order(), &mut lanes, u64::MAX, cap);
+                assert_eq!(batch.sorted, u64::MAX, "{a} side {side}");
+                // Full 64-lane cross-check on the first batch; spot-check
+                // eight lanes on the rest to keep the suite fast.
+                let stride = if batch_seed == 0 { 1 } else { 8 };
+                for lane in (0..64).step_by(stride) {
+                    let (steps, swaps) = scalar_run(a, side, pristine.lane_values(lane as u32));
+                    assert_eq!(batch.steps[lane], steps, "{a} side {side} lane {lane}");
+                    assert_eq!(batch.swaps[lane], swaps, "{a} side {side} lane {lane}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn exhaustive_side2_matches_scalar_lane_by_lane() {
+    // Every one of the 16 placements of the 2×2 mesh, as a single
+    // partial batch: step counts and swaps identical to scalar runs.
+    for a in AlgorithmId::ALL {
+        let schedule = a.schedule(2).unwrap();
+        let cap = runner::default_step_cap(2);
+        let masks: Vec<u64> = (0..16).collect();
+        let mut lanes = LaneGrid::from_placements(2, &masks);
+        let batch = run_lanes(&schedule, a.order(), &mut lanes, (1 << 16) - 1, cap);
+        assert_eq!(batch.sorted, (1 << 16) - 1, "{a}");
+        for (lane, &mask) in masks.iter().enumerate() {
+            let values = (0..4).map(|i| ((mask >> i) & 1) as u8).collect();
+            let (steps, swaps) = scalar_run(a, 2, values);
+            assert_eq!(batch.steps[lane], steps, "{a} mask {mask:#06b}");
+            assert_eq!(batch.swaps[lane], swaps, "{a} mask {mask:#06b}");
+        }
+    }
+}
+
+#[test]
+fn symbolic_worst_case_matches_scalar_worst_case_at_side_3() {
+    // Exhaustive side 3 (2^9 placements): the symbolic max step count
+    // equals the scalar max over the same enumeration.
+    for a in AlgorithmId::ALL {
+        if !a.supports_side(3) {
+            continue;
+        }
+        let cert = meshsort_zeroone::symbolic::certify_exhaustive(a, 3).unwrap();
+        let mut scalar_max = 0;
+        for mask in 0..1u64 << 9 {
+            let values = (0..9).map(|i| ((mask >> i) & 1) as u8).collect();
+            scalar_max = scalar_max.max(scalar_run(a, 3, values).0);
+        }
+        assert_eq!(cert.max_steps, scalar_max, "{a}");
+        assert_eq!(cert.placements, 1 << 9, "{a}");
+    }
+}

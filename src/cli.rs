@@ -417,6 +417,10 @@ mod tests {
         assert!(out.contains("\"tool\": \"meshcheck\""), "{out}");
         assert!(out.contains("\"all_passed\": true"), "{out}");
         assert!(out.contains("snake/phase-aligned"));
+        // All six passes are reported, including the two static-analysis
+        // passes added by the dataflow analyzer.
+        assert!(out.contains("\"dataflow\": {\"status\": \"passed\""), "{out}");
+        assert!(out.contains("\"zero_one_symbolic\": {\"status\": \"passed\""), "{out}");
         // Row-major on the odd side is skipped, not failed.
         assert!(out.contains("\"status\": \"skipped\""));
     }
