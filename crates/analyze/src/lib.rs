@@ -66,6 +66,12 @@ use meshsort_zeroone::symbolic::{self, SAMPLED_MAX_SIDE, SYMBOLIC_MAX_SIDE};
 /// is carried by the bit-parallel `zero_one_symbolic` pass, which
 /// enumerates up to side [`SYMBOLIC_MAX_SIDE`] (side 5 ⇒ `2^25`) and
 /// falls back to seeded random sampling for sides 6–[`SAMPLED_MAX_SIDE`].
+///
+/// The symbolic pass is *not* the only batching surface: arbitrary-valued
+/// grids batch through the real-payload SoA lockstep engine
+/// (`meshsort_mesh::batch`, entered via `meshsort_core::sort_batch` —
+/// DESIGN.md §12), which is what the Monte-Carlo experiments run on. The
+/// 0-1 engines here are certification tools, not the throughput path.
 pub const ZERO_ONE_MAX_SIDE: usize = 4;
 
 /// Smallest side at which the dataflow pass enforces the preservation
@@ -292,7 +298,8 @@ fn zero_one_pass(algorithm: AlgorithmId, side: usize, schedule: &CycleSchedule) 
             reason: format!(
                 "exhaustive scalar 0-1 enumeration limited to side <= {ZERO_ONE_MAX_SIDE}; the \
                  zero_one_symbolic pass enumerates up to side {SYMBOLIC_MAX_SIDE} and samples \
-                 sides {}-{SAMPLED_MAX_SIDE}",
+                 sides {}-{SAMPLED_MAX_SIDE} (real-payload batches run through the \
+                 mesh::batch lockstep engine, not this pass)",
                 SYMBOLIC_MAX_SIDE + 1
             ),
         };

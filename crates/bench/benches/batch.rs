@@ -1,0 +1,91 @@
+//! Batch engine benchmarks: many-grid lockstep throughput vs the
+//! per-grid kernel loop, and the `(algorithm, side)` plan cache.
+//!
+//! `batch_throughput` sweeps batch size B ∈ {64, 1024, 4096} at sides
+//! 8 and 16 — the regime the Monte-Carlo experiments live in — timing
+//! the serial kernel loop against `sort_batch_with` on one worker (the
+//! engine itself, no thread-level parallelism; `meshsort bench` records
+//! the aggregate side). `plan_cache` measures a cache hit against a
+//! from-scratch schedule compile for the same `(algorithm, side)` key.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use meshsort_bench::bench_grid;
+use meshsort_core::{runner, schedule_for, sort_batch_with, AlgorithmId, DEFAULT_SHARD_WIDTH};
+use meshsort_mesh::Grid;
+use std::hint::black_box;
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let alg = AlgorithmId::SnakeAlternating;
+    let order = alg.order();
+    let mut g = c.benchmark_group("batch_throughput");
+    g.sample_size(10);
+    for side in [8usize, 16] {
+        let schedule = schedule_for(alg, side).unwrap();
+        let cap = runner::default_step_cap(side);
+        for grids_n in [64usize, 1024, 4096] {
+            g.throughput(Throughput::Elements(grids_n as u64));
+            g.bench_with_input(
+                BenchmarkId::new(format!("kernel_loop/side{side}"), grids_n),
+                &grids_n,
+                |b, &grids_n| {
+                    let mut seed = 0u64;
+                    b.iter_batched(
+                        || {
+                            seed += 1;
+                            (0..grids_n)
+                                .map(|i| bench_grid(side, seed * grids_n as u64 + i as u64))
+                                .collect::<Vec<Grid<u32>>>()
+                        },
+                        |mut grids| {
+                            for grid in &mut grids {
+                                black_box(schedule.run_until_sorted_kernel(grid, order, cap));
+                            }
+                        },
+                        criterion::BatchSize::LargeInput,
+                    );
+                },
+            );
+            g.bench_with_input(
+                BenchmarkId::new(format!("lockstep/side{side}"), grids_n),
+                &grids_n,
+                |b, &grids_n| {
+                    let mut seed = 0u64;
+                    b.iter_batched(
+                        || {
+                            seed += 1;
+                            (0..grids_n)
+                                .map(|i| bench_grid(side, seed * grids_n as u64 + i as u64))
+                                .collect::<Vec<Grid<u32>>>()
+                        },
+                        |mut grids| {
+                            black_box(
+                                sort_batch_with(alg, &mut grids, cap, 1, DEFAULT_SHARD_WIDTH)
+                                    .unwrap(),
+                            )
+                        },
+                        criterion::BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_plan_cache(c: &mut Criterion) {
+    let mut g = c.benchmark_group("plan_cache");
+    for side in [16usize, 64] {
+        // Warm the cache once so the "hit" rows never measure a compile.
+        schedule_for(AlgorithmId::SnakeAlternating, side).unwrap();
+        g.bench_with_input(BenchmarkId::new("hit", side), &side, |b, &side| {
+            b.iter(|| black_box(schedule_for(AlgorithmId::SnakeAlternating, side).unwrap()));
+        });
+        g.bench_with_input(BenchmarkId::new("recompile", side), &side, |b, &side| {
+            b.iter(|| black_box(AlgorithmId::SnakeAlternating.schedule(side).unwrap()));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput, bench_plan_cache);
+criterion_main!(benches);

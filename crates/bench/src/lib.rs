@@ -14,6 +14,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod perf;
+
 use meshsort_core::phases::{cols_plan, rows_plan, rows_with_wrap, Phase, SortDirection};
 use meshsort_core::AlgorithmId;
 use meshsort_mesh::{apply_plan, Grid, StepPlan, TargetOrder};

@@ -1,0 +1,79 @@
+//! Process-wide schedule cache.
+//!
+//! Compiling an algorithm's cycle ([`AlgorithmId::schedule`]) builds the
+//! step plans *and* lowers each to its branchless
+//! [`meshsort_mesh::CompiledPlan`] segment IR. That cost is pure overhead
+//! when repeated: every Monte-Carlo trial of an experiment sweeps the same
+//! `(algorithm, side)` pairs, and the batched engine shards one logical
+//! batch across worker threads that all step the *same* plan. This module
+//! memoizes the compiled [`CycleSchedule`]s behind `Arc`s keyed by
+//! `(algorithm, side)`, so every runner entry point shares one immutable
+//! compiled plan per geometry for the lifetime of the process.
+//!
+//! Schedules are immutable after construction and the cache never evicts:
+//! the universe of keys is five algorithms × the handful of sides a
+//! process touches, a few kilobytes each.
+
+use crate::algorithm::AlgorithmId;
+use meshsort_mesh::{CycleSchedule, MeshError};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+
+type PlanCache = HashMap<(AlgorithmId, usize), Arc<CycleSchedule>>;
+
+static CACHE: OnceLock<Mutex<PlanCache>> = OnceLock::new();
+
+/// Returns the shared compiled schedule for `(algorithm, side)`, compiling
+/// and caching it on first use. Subsequent calls for the same key return a
+/// clone of the same `Arc` — never a recompilation (pinned by tests and
+/// measured by `bench_plan_cache`).
+///
+/// # Errors
+///
+/// [`MeshError::UnsupportedSide`] when the algorithm is not defined for
+/// `side` (row-major algorithms on odd sides). Errors are not cached; a
+/// failing key re-validates on each call.
+pub fn schedule_for(algorithm: AlgorithmId, side: usize) -> Result<Arc<CycleSchedule>, MeshError> {
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap_or_else(PoisonError::into_inner);
+    match map.entry((algorithm, side)) {
+        Entry::Occupied(e) => Ok(Arc::clone(e.get())),
+        Entry::Vacant(v) => {
+            let schedule = Arc::new(algorithm.schedule(side)?);
+            Ok(Arc::clone(v.insert(schedule)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_returns_shared_plan() {
+        let a = schedule_for(AlgorithmId::SnakeAlternating, 6).unwrap();
+        let b = schedule_for(AlgorithmId::SnakeAlternating, 6).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must not recompile");
+        assert_eq!(*a, AlgorithmId::SnakeAlternating.schedule(6).unwrap());
+    }
+
+    #[test]
+    fn cache_keys_are_per_algorithm_and_side() {
+        let a = schedule_for(AlgorithmId::SnakeAlternating, 4).unwrap();
+        let b = schedule_for(AlgorithmId::SnakePhaseAligned, 4).unwrap();
+        let c = schedule_for(AlgorithmId::SnakeAlternating, 8).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn unsupported_side_is_not_cached() {
+        for _ in 0..2 {
+            assert!(matches!(
+                schedule_for(AlgorithmId::RowMajorRowFirst, 5),
+                Err(MeshError::UnsupportedSide { side: 5, .. })
+            ));
+        }
+    }
+}

@@ -36,6 +36,8 @@
 #![warn(missing_docs)]
 
 pub mod algorithm;
+pub mod batch;
+pub mod cache;
 pub mod instrument;
 pub mod min_tracker;
 pub mod phases;
@@ -45,4 +47,6 @@ pub mod snake;
 pub mod variants;
 
 pub use algorithm::AlgorithmId;
+pub use batch::{sort_batch, sort_batch_with, DEFAULT_SHARD_WIDTH, LOCKSTEP_MAX_CELLS};
+pub use cache::schedule_for;
 pub use runner::{fault_plan_for, sort_resilient, sort_to_completion, ResilientRun, SortRun};

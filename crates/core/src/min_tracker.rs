@@ -110,7 +110,7 @@ pub fn track_min<T: Ord>(
     cap: u64,
 ) -> Result<MinPath, MeshError> {
     let side = grid.side();
-    let schedule = algorithm.schedule(side)?;
+    let schedule = crate::cache::schedule_for(algorithm, side)?;
     let order = algorithm.order();
     let mut positions = vec![min_position(grid)];
     let mut sorted = grid.is_sorted(order);

@@ -1,6 +1,13 @@
 //! High-level sorting drivers with paper-appropriate step caps.
+//!
+//! Every entry point resolves its compiled schedule through the shared
+//! [`crate::cache`], so repeated sorts of the same `(algorithm, side)` —
+//! the shape of every Monte-Carlo sweep — never recompile a plan. For
+//! many-grid workloads prefer [`crate::batch::sort_batch`], which steps
+//! whole batches in lockstep through the same shared plans.
 
 use crate::algorithm::AlgorithmId;
+use crate::cache;
 use meshsort_mesh::fault::{self, derive_seed};
 use meshsort_mesh::{FaultPlan, FaultSpec, Grid, KernelValue, MeshError, ResilientPolicy};
 use serde::{Deserialize, Serialize};
@@ -97,7 +104,7 @@ pub fn fault_plan_for(
     side: usize,
     spec: &FaultSpec,
 ) -> Result<FaultPlan, MeshError> {
-    let schedule = algorithm.schedule(side)?;
+    let schedule = cache::schedule_for(algorithm, side)?;
     let mut derived = spec.clone();
     derived.seed = derive_seed(spec.seed, &format!("{}/{side}", algorithm.name()));
     FaultPlan::compile(&derived, &schedule)
@@ -118,7 +125,7 @@ pub fn sort_resilient<T: KernelValue + Hash>(
     policy: &ResilientPolicy,
 ) -> Result<ResilientRun, MeshError> {
     let side = grid.side();
-    let schedule = algorithm.schedule(side)?;
+    let schedule = cache::schedule_for(algorithm, side)?;
     let report =
         schedule.run_until_sorted_resilient_kernel(grid, algorithm.order(), faults, policy);
     Ok(ResilientRun { algorithm, side, report })
@@ -156,7 +163,7 @@ pub fn sort_with_cap<T: KernelValue>(
     cap: u64,
 ) -> Result<SortRun, MeshError> {
     let side = grid.side();
-    let schedule = algorithm.schedule(side)?;
+    let schedule = cache::schedule_for(algorithm, side)?;
     let outcome = schedule.run_until_sorted_kernel(grid, algorithm.order(), cap);
     Ok(SortRun { algorithm, side, outcome: outcome.into() })
 }
@@ -173,7 +180,7 @@ pub fn run_exact_steps<T: KernelValue>(
     grid: &mut Grid<T>,
     steps: u64,
 ) -> Result<RunStats, MeshError> {
-    let schedule = algorithm.schedule(grid.side())?;
+    let schedule = cache::schedule_for(algorithm, grid.side())?;
     let out = schedule.run_steps_kernel(grid, 0, steps);
     Ok(RunStats { steps, swaps: out.swaps, comparisons: out.comparisons, sorted: false })
 }

@@ -5,7 +5,7 @@
 use crate::config::Config;
 use crate::harness::sample_statistic;
 use crate::report::{fnum, ExperimentReport, Verdict};
-use meshsort_core::AlgorithmId;
+use meshsort_core::{schedule_for, AlgorithmId};
 use meshsort_mesh::apply_plan;
 use meshsort_stats::ci::check_exact_value;
 use meshsort_workloads::zero_one::random_balanced_zero_one_grid;
@@ -14,7 +14,7 @@ use meshsort_workloads::zero_one::random_balanced_zero_one_grid;
 /// random balanced 0–1 grid.
 pub fn sample_z1(side: usize, rng: &mut rand::rngs::StdRng) -> f64 {
     let mut grid = random_balanced_zero_one_grid(side, rng);
-    let schedule = AlgorithmId::RowMajorRowFirst.schedule(side).expect("even side");
+    let schedule = schedule_for(AlgorithmId::RowMajorRowFirst, side).expect("even side");
     apply_plan(&mut grid, schedule.plan_at(0));
     grid.column(0).filter(|&&v| v == 0).count() as f64
 }

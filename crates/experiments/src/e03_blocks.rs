@@ -5,7 +5,7 @@
 use crate::config::Config;
 use crate::harness::sample_statistic;
 use crate::report::{fnum, ExperimentReport, Verdict};
-use meshsort_core::AlgorithmId;
+use meshsort_core::{schedule_for, AlgorithmId};
 use meshsort_mesh::apply_plan;
 use meshsort_stats::ci::check_exact_value;
 use meshsort_workloads::zero_one::random_balanced_zero_one_grid;
@@ -14,7 +14,7 @@ use meshsort_workloads::zero_one::random_balanced_zero_one_grid;
 /// sort then row sort) on one random balanced grid.
 pub fn sample_z1_col_first(side: usize, rng: &mut rand::rngs::StdRng) -> f64 {
     let mut grid = random_balanced_zero_one_grid(side, rng);
-    let schedule = AlgorithmId::RowMajorColFirst.schedule(side).expect("even side");
+    let schedule = schedule_for(AlgorithmId::RowMajorColFirst, side).expect("even side");
     apply_plan(&mut grid, schedule.plan_at(0)); // column odd sort
     apply_plan(&mut grid, schedule.plan_at(1)); // row odd sort
     grid.column(0).filter(|&&v| v == 0).count() as f64

@@ -5,7 +5,7 @@
 use crate::config::Config;
 use crate::harness::{sample_statistic, steps_on_random_permutations};
 use crate::report::{fnum, ExperimentReport, Verdict};
-use meshsort_core::AlgorithmId;
+use meshsort_core::{schedule_for, AlgorithmId};
 use meshsort_mesh::apply_plan;
 use meshsort_stats::ci::{check_exact_value, check_lower_bound};
 use meshsort_workloads::zero_one::random_balanced_zero_one_grid;
@@ -14,7 +14,7 @@ use meshsort_zeroone::snake_trackers::s2_tracker_value;
 /// Measures `Y₁(0)` on one random balanced grid (S2's first step).
 pub fn sample_y10(side: usize, rng: &mut rand::rngs::StdRng) -> f64 {
     let mut grid = random_balanced_zero_one_grid(side, rng);
-    let schedule = AlgorithmId::SnakeStaggeredCols.schedule(side).expect("all sides");
+    let schedule = schedule_for(AlgorithmId::SnakeStaggeredCols, side).expect("all sides");
     apply_plan(&mut grid, schedule.plan_at(0));
     s2_tracker_value(&grid, 0) as f64
 }

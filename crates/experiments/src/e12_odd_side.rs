@@ -5,7 +5,7 @@
 use crate::config::Config;
 use crate::harness::{sample_statistic, steps_on_random_permutations};
 use crate::report::{fnum, ExperimentReport, Verdict};
-use meshsort_core::AlgorithmId;
+use meshsort_core::{schedule_for, AlgorithmId};
 use meshsort_mesh::apply_plan;
 use meshsort_stats::ci::{check_exact_value, check_lower_bound};
 use meshsort_workloads::zero_one::random_balanced_zero_one_grid;
@@ -16,7 +16,7 @@ use meshsort_zeroone::snake_trackers::s1_tracker_value;
 pub fn sample_z10_odd(side: usize, rng: &mut rand::rngs::StdRng) -> f64 {
     debug_assert!(side % 2 == 1);
     let mut grid = random_balanced_zero_one_grid(side, rng);
-    let schedule = AlgorithmId::SnakeAlternating.schedule(side).expect("all sides");
+    let schedule = schedule_for(AlgorithmId::SnakeAlternating, side).expect("all sides");
     apply_plan(&mut grid, schedule.plan_at(0));
     s1_tracker_value(&grid, 0) as f64
 }

@@ -9,7 +9,7 @@
 use crate::config::Config;
 use crate::harness::sample_statistic;
 use crate::report::{fnum, ExperimentReport, Verdict};
-use meshsort_core::AlgorithmId;
+use meshsort_core::{schedule_for, AlgorithmId};
 use meshsort_mesh::apply_plan;
 use meshsort_workloads::zero_one::random_balanced_zero_one_grid;
 use meshsort_zeroone::column_stats::m_statistic;
@@ -18,7 +18,7 @@ use meshsort_zeroone::exhaustive::exact_expected_m;
 /// Samples `M` after R1's first row sort on one random balanced grid.
 pub fn sample_m(side: usize, rng: &mut rand::rngs::StdRng) -> f64 {
     let mut grid = random_balanced_zero_one_grid(side, rng);
-    let schedule = AlgorithmId::RowMajorRowFirst.schedule(side).expect("even side");
+    let schedule = schedule_for(AlgorithmId::RowMajorRowFirst, side).expect("even side");
     apply_plan(&mut grid, schedule.plan_at(0));
     m_statistic(&grid) as f64
 }

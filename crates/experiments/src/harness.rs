@@ -1,12 +1,27 @@
 //! Shared Monte-Carlo measurement drivers used by the experiments.
 
-use meshsort_core::{runner, AlgorithmId};
+use meshsort_core::{runner, sort_batch_with, AlgorithmId};
+use meshsort_mesh::Grid;
 use meshsort_stats::{run_trials, RunningStats, SeedSequence};
 use meshsort_workloads::permutation::random_permutation_grid;
 use rand::rngs::StdRng;
 
+/// How many trials the steps driver sorts per lockstep batch. Wide enough
+/// that the SoA inner loops vectorize and the compiled plan amortizes;
+/// small enough that modest trial counts still spread across workers.
+const STEPS_BATCH_WIDTH: u64 = 64;
+
 /// Distribution of steps-to-sort for `algorithm` on uniformly random
 /// permutations of a `side × side` mesh.
+///
+/// Trials run through the batched lockstep engine
+/// ([`meshsort_core::sort_batch_with`]), `STEPS_BATCH_WIDTH` grids per
+/// batch. Each trial still draws its grid from its own
+/// [`SeedSequence::rng_for`] stream and each per-trial step count is
+/// bit-identical to a standalone [`runner::sort_to_completion`] run, so
+/// results match the unbatched driver for any thread count; batches are
+/// sorted serially inside their worker — parallelism lives only in the
+/// [`run_trials`] layer.
 pub fn steps_on_random_permutations(
     algorithm: AlgorithmId,
     side: usize,
@@ -14,17 +29,24 @@ pub fn steps_on_random_permutations(
     seeds: SeedSequence,
     threads: usize,
 ) -> RunningStats {
+    let cap = runner::default_step_cap(side);
     run_trials(
         seeds,
-        trials,
+        trials.div_ceil(STEPS_BATCH_WIDTH),
         threads,
         RunningStats::new,
-        move |_i, rng, acc: &mut RunningStats| {
-            let mut grid = random_permutation_grid(side, rng);
-            let run = runner::sort_to_completion(algorithm, &mut grid)
+        move |batch, _rng, acc: &mut RunningStats| {
+            let lo = batch * STEPS_BATCH_WIDTH;
+            let hi = (lo + STEPS_BATCH_WIDTH).min(trials);
+            let mut grids: Vec<Grid<u32>> =
+                (lo..hi).map(|i| random_permutation_grid(side, &mut seeds.rng_for(i))).collect();
+            let width = grids.len().max(1);
+            let runs = sort_batch_with(algorithm, &mut grids, cap, 1, width)
                 .expect("algorithm supports this side");
-            assert!(run.outcome.sorted, "{algorithm} failed to sort within the cap");
-            acc.push(run.outcome.steps as f64);
+            for run in runs {
+                assert!(run.outcome.sorted, "{algorithm} failed to sort within the cap");
+                acc.push(run.outcome.steps as f64);
+            }
         },
         |a, b| a.merge(&b),
     )

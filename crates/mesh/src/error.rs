@@ -46,6 +46,14 @@ pub enum MeshError {
     },
     /// A schedule was built with no steps.
     EmptySchedule,
+    /// A batch run was given grids of differing sides; lockstep execution
+    /// requires every grid in the batch to share one mesh geometry.
+    MixedBatchSides {
+        /// Side of the first grid in the batch.
+        expected: usize,
+        /// The first differing side encountered.
+        found: usize,
+    },
     /// A fault-injection rate parameter was not a probability in `[0, 1]`.
     InvalidFaultRate {
         /// The offending parameter (`"drop_rate"` or `"stall_rate"`).
@@ -73,6 +81,9 @@ impl fmt::Display for MeshError {
                 write!(f, "side {side} unsupported: algorithm requires {requirement}")
             }
             MeshError::EmptySchedule => write!(f, "schedule must contain at least one step"),
+            MeshError::MixedBatchSides { expected, found } => {
+                write!(f, "batch mixes grid sides: expected side {expected}, found {found}")
+            }
             MeshError::InvalidFaultRate { param } => {
                 write!(f, "fault rate {param} must be a probability in [0, 1]")
             }
@@ -121,6 +132,13 @@ mod tests {
         let e = MeshError::UnsupportedSide { side: 5, requirement: "even side >= 2" };
         assert!(e.to_string().contains("side 5"));
         assert!(e.to_string().contains("even side >= 2"));
+    }
+
+    #[test]
+    fn display_mixed_batch_sides() {
+        let e = MeshError::MixedBatchSides { expected: 8, found: 4 };
+        assert!(e.to_string().contains("expected side 8"));
+        assert!(e.to_string().contains("found 4"));
     }
 
     #[test]

@@ -206,7 +206,7 @@ impl CompiledPlan {
 /// registers — a 64-bit tally forces a widening step that blocks
 /// vectorization outright (~2.5× slower on the two-window path).
 #[inline(always)]
-fn cx_slots<T: KernelValue>(mn: &mut T, mx: &mut T, swaps: &mut u32) {
+pub(crate) fn cx_slots<T: KernelValue>(mn: &mut T, mx: &mut T, swaps: &mut u32) {
     let a = *mn;
     let b = *mx;
     let s = a > b;

@@ -65,6 +65,7 @@
 #![warn(missing_docs)]
 
 pub mod absint;
+pub mod batch;
 pub mod engine;
 pub mod error;
 pub mod fault;
@@ -82,6 +83,7 @@ pub mod verify;
 pub mod viz;
 
 pub use absint::{DataflowSummary, DeadWire, OrderFacts, SortedLiveWire};
+pub use batch::run_batch_until_sorted;
 pub use engine::{apply_plan, StepOutcome};
 pub use error::MeshError;
 pub use fault::{FaultPlan, FaultSpec, ResilientPolicy, ResilientReport, StuckWire};

@@ -1,0 +1,197 @@
+//! Differential properties of the SoA lockstep batch engine.
+//!
+//! The faithfulness contract (DESIGN.md "Batch engine"): for every grid in
+//! a batch, the final grid contents AND the per-grid counters (steps,
+//! swaps, comparisons, sorted flag) are bit-identical to what the scalar
+//! engines produce on that grid alone — for all five Savari algorithms,
+//! for random and adversarial batches, for ragged batches, for
+//! single-grid batches, and for any shard width / thread count.
+//!
+//! Randomness is a hand-rolled LCG (no proptest, no `rand`) so the suite
+//! runs identically in every environment.
+
+use meshsort_core::{runner, schedule_for, sort_batch_with, AlgorithmId};
+use meshsort_mesh::schedule::RunOutcome;
+use meshsort_mesh::{run_batch_until_sorted, Grid, TargetOrder};
+
+/// Minimal deterministic RNG for permutation shuffles.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 ^ (self.0 >> 29)
+    }
+}
+
+/// A pseudo-random permutation of `0..side²` (Fisher–Yates over the LCG).
+fn permutation_grid(side: usize, seed: u64) -> Grid<u32> {
+    let cells = side * side;
+    let mut v: Vec<u32> = (0..cells as u32).collect();
+    let mut rng = Lcg(seed ^ 0x9E37_79B9_7F4A_7C15);
+    for i in (1..cells).rev() {
+        let j = (rng.next() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+    Grid::from_rows(side, v).unwrap()
+}
+
+fn reversed_grid(side: usize) -> Grid<u32> {
+    Grid::from_rows(side, (0..(side * side) as u32).rev().collect()).unwrap()
+}
+
+fn sorted_grid(side: usize, order: TargetOrder) -> Grid<u32> {
+    let table = order.rank_to_flat_table(side);
+    let mut v = vec![0u32; side * side];
+    for (rank, &flat) in table.iter().enumerate() {
+        v[flat as usize] = rank as u32;
+    }
+    let g = Grid::from_rows(side, v).unwrap();
+    assert!(g.is_sorted(order));
+    g
+}
+
+/// Grid with duplicate keys — the engines only assume `Ord`, not
+/// distinctness, so the contract must hold beyond permutations.
+fn duplicate_heavy_grid(side: usize, seed: u64) -> Grid<u32> {
+    let cells = side * side;
+    let mut rng = Lcg(seed.wrapping_mul(0xA24B_AED4_963E_E407));
+    let v: Vec<u32> = (0..cells).map(|_| (rng.next() % 4) as u32).collect();
+    Grid::from_rows(side, v).unwrap()
+}
+
+/// Runs `grids` through the mesh-level lockstep engine and checks every
+/// lane against both scalar engines (kernel and reference) grid by grid.
+fn assert_batch_faithful(algorithm: AlgorithmId, side: usize, grids: &[Grid<u32>], cap: u64) {
+    let schedule = schedule_for(algorithm, side).unwrap();
+    let order = algorithm.order();
+
+    let mut batch = grids.to_vec();
+    let outcomes = run_batch_until_sorted(&schedule, &mut batch, order, cap).unwrap();
+    assert_eq!(outcomes.len(), grids.len());
+
+    for (i, original) in grids.iter().enumerate() {
+        let mut kernel = original.clone();
+        let expect_kernel: RunOutcome = schedule.run_until_sorted_kernel(&mut kernel, order, cap);
+        let mut reference = original.clone();
+        let expect_ref = schedule.run_until_sorted_reference(&mut reference, order, cap);
+
+        assert_eq!(outcomes[i], expect_kernel, "{algorithm} side {side}: counters, grid {i}");
+        assert_eq!(outcomes[i], expect_ref, "{algorithm} side {side}: engines disagree, grid {i}");
+        assert_eq!(batch[i], kernel, "{algorithm} side {side}: final grid, grid {i}");
+        assert_eq!(batch[i], reference, "{algorithm} side {side}: reference grid, grid {i}");
+    }
+}
+
+/// Sides exercised per algorithm: the row-major algorithms are defined for
+/// even sides only; the snakes for any side ≥ 1. Side 8 crosses the
+/// `SMALL_GRID_CELLS` threshold, side 4 stays under it.
+fn supported_sides(algorithm: AlgorithmId) -> Vec<usize> {
+    [4, 5, 8, 9].into_iter().filter(|&s| algorithm.schedule(s).is_ok()).collect()
+}
+
+#[test]
+fn random_batches_bit_identical_all_five() {
+    for algorithm in AlgorithmId::ALL {
+        for side in supported_sides(algorithm) {
+            let cap = runner::default_step_cap(side);
+            let grids: Vec<Grid<u32>> =
+                (0..13).map(|i| permutation_grid(side, i * 37 + side as u64)).collect();
+            assert_batch_faithful(algorithm, side, &grids, cap);
+        }
+    }
+}
+
+#[test]
+fn adversarial_batches_bit_identical_all_five() {
+    for algorithm in AlgorithmId::ALL {
+        for side in supported_sides(algorithm) {
+            let cap = runner::default_step_cap(side);
+            let order = algorithm.order();
+            // Reversed (the Corollary-1-style adversary), already sorted
+            // (must retire at step 0), duplicate-heavy, and near-sorted
+            // grids in one batch, so retirement is maximally staggered.
+            let mut near = sorted_grid(side, order);
+            let flat = near.side(); // single swapped pair in row 0
+            {
+                let rows = near.as_mut_slice();
+                rows.swap(0, flat.min(rows.len() - 1));
+            }
+            let grids = vec![
+                reversed_grid(side),
+                sorted_grid(side, order),
+                duplicate_heavy_grid(side, 5),
+                near,
+                permutation_grid(side, 99),
+            ];
+            assert_batch_faithful(algorithm, side, &grids, cap);
+        }
+    }
+}
+
+#[test]
+fn single_grid_batches_match_sort_to_completion() {
+    for algorithm in AlgorithmId::ALL {
+        for side in supported_sides(algorithm) {
+            let mut solo = permutation_grid(side, 7);
+            let mut batch = vec![solo.clone()];
+            let runs = sort_batch_with(algorithm, &mut batch, runner::default_step_cap(side), 1, 1)
+                .unwrap();
+            let expect = runner::sort_to_completion(algorithm, &mut solo).unwrap();
+            assert_eq!(runs.len(), 1);
+            assert_eq!(runs[0], expect, "{algorithm} side {side}");
+            assert_eq!(batch[0], solo, "{algorithm} side {side}");
+        }
+    }
+}
+
+#[test]
+fn ragged_batches_invariant_under_shard_width_and_threads() {
+    // 29 grids: not a multiple of any shard width below, so every
+    // configuration ends in a ragged tail shard.
+    let algorithm = AlgorithmId::SnakeStaggeredCols;
+    let side = 8;
+    let cap = runner::default_step_cap(side);
+    let baseline: Vec<Grid<u32>> = (0..29).map(|i| permutation_grid(side, i)).collect();
+
+    let mut expect = baseline.clone();
+    let expect_runs = sort_batch_with(algorithm, &mut expect, cap, 1, 29).unwrap();
+    for (i, g) in expect.iter().enumerate() {
+        let mut solo = baseline[i].clone();
+        let solo_run = runner::sort_to_completion(algorithm, &mut solo).unwrap();
+        assert_eq!(expect_runs[i], solo_run, "grid {i}");
+        assert_eq!(*g, solo, "grid {i}");
+    }
+
+    for (threads, width) in [(1, 4), (2, 5), (4, 3), (3, 8), (16, 1), (2, 1000)] {
+        let mut grids = baseline.clone();
+        let runs = sort_batch_with(algorithm, &mut grids, cap, threads, width).unwrap();
+        assert_eq!(runs, expect_runs, "threads={threads} width={width}");
+        assert_eq!(grids, expect, "threads={threads} width={width}");
+    }
+}
+
+#[test]
+fn capped_batches_report_faithful_partial_counters() {
+    for algorithm in AlgorithmId::ALL {
+        let side = 8;
+        for cap in [0, 1, 5] {
+            let grids: Vec<Grid<u32>> = (0..6).map(|i| permutation_grid(side, i + 3)).collect();
+            assert_batch_faithful(algorithm, side, &grids, cap);
+        }
+    }
+}
+
+#[test]
+fn mass_retirement_batch_exercises_compaction() {
+    // One hard straggler among many instantly-sorted lanes forces the
+    // engine through its live-lane compaction path; faithfulness must
+    // survive the re-pack.
+    let algorithm = AlgorithmId::SnakeAlternating;
+    let side = 8;
+    let order = algorithm.order();
+    let cap = runner::default_step_cap(side);
+    let mut grids: Vec<Grid<u32>> = (0..70).map(|_| sorted_grid(side, order)).collect();
+    grids[37] = reversed_grid(side);
+    assert_batch_faithful(algorithm, side, &grids, cap);
+}

@@ -81,6 +81,60 @@ where
     acc
 }
 
+/// Maps `f` over `chunk`-sized sub-slices of `items`, in parallel across
+/// `threads` workers, returning the per-chunk results in chunk order.
+///
+/// This is the sharding primitive behind the batched sorting engine: each
+/// chunk is a shard of independent grids, `f(chunk_index, shard)` mutates
+/// the shard in place and returns its per-shard result. Chunks are
+/// assigned to workers by a static interleave (worker `w` takes chunks
+/// `w`, `w + threads`, …), so the result vector — like everything else in
+/// this module — is identical for any thread count; only scheduling
+/// changes. The final chunk may be shorter when `items.len()` is not a
+/// multiple of `chunk` (a *ragged* batch).
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero, or if a worker thread panics.
+pub fn map_chunks<T, R, F>(items: &mut [T], chunk: usize, threads: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let n_chunks = items.len().div_ceil(chunk);
+    let threads = threads.max(1).min(n_chunks.max(1));
+    if threads == 1 {
+        return items.chunks_mut(chunk).enumerate().map(|(i, c)| f(i, c)).collect();
+    }
+
+    // One work item: (chunk index, the chunk, its result slot).
+    type WorkItem<'a, T, R> = (usize, &'a mut [T], &'a mut Option<R>);
+    let mut results: Vec<Option<R>> = (0..n_chunks).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut per_worker: Vec<Vec<WorkItem<T, R>>> = (0..threads).map(|_| Vec::new()).collect();
+        for (idx, (c, slot)) in items.chunks_mut(chunk).zip(results.iter_mut()).enumerate() {
+            per_worker[idx % threads].push((idx, c, slot));
+        }
+        let mut handles = Vec::with_capacity(threads);
+        for work in per_worker {
+            let f = &f;
+            handles.push(scope.spawn(move |_| {
+                for (idx, c, slot) in work {
+                    *slot = Some(f(idx, c));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker thread panicked");
+        }
+    })
+    .expect("crossbeam scope failed");
+
+    results.into_iter().map(|r| r.expect("chunk processed")).collect()
+}
+
 /// Hard cap on the default worker count, keeping small experiments cheap
 /// even on very wide machines (and bounding `MESHSORT_THREADS` requests).
 pub const MAX_DEFAULT_THREADS: usize = 16;
@@ -183,6 +237,49 @@ mod tests {
         let a = mean_of_uniforms(100, 2, 1);
         let b = mean_of_uniforms(100, 2, 2);
         assert_ne!(a.mean(), b.mean());
+    }
+
+    #[test]
+    fn map_chunks_is_thread_count_invariant() {
+        let baseline: Vec<u64> = {
+            let mut items: Vec<u64> = (0..103).collect();
+            map_chunks(&mut items, 10, 1, |idx, c| {
+                for v in c.iter_mut() {
+                    *v = v.wrapping_mul(3).wrapping_add(idx as u64);
+                }
+                c.iter().sum::<u64>()
+            })
+        };
+        for threads in [2usize, 3, 4, 8] {
+            let mut items: Vec<u64> = (0..103).collect();
+            let sums = map_chunks(&mut items, 10, threads, |idx, c| {
+                for v in c.iter_mut() {
+                    *v = v.wrapping_mul(3).wrapping_add(idx as u64);
+                }
+                c.iter().sum::<u64>()
+            });
+            assert_eq!(sums, baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_chunks_ragged_and_ordered() {
+        // 11 chunks: ten of width 10 and a ragged tail of 3.
+        let mut items = vec![0u8; 103];
+        let widths = map_chunks(&mut items, 10, 4, |idx, c| (idx, c.len()));
+        assert_eq!(widths.len(), 11);
+        for (i, &(idx, len)) in widths.iter().enumerate() {
+            assert_eq!(idx, i);
+            assert_eq!(len, if i < 10 { 10 } else { 3 });
+        }
+    }
+
+    #[test]
+    fn map_chunks_empty_and_single() {
+        let mut empty: Vec<u32> = Vec::new();
+        assert!(map_chunks(&mut empty, 5, 4, |_, c| c.len()).is_empty());
+        let mut one = vec![7u32];
+        assert_eq!(map_chunks(&mut one, 5, 4, |_, c| c.len()), vec![1]);
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //! lane* — a 64× throughput multiplier that raises exhaustive 0-1
 //! certification from side 4 (`2^16` placements) to side 5 (`2^25`,
 //! [`SYMBOLIC_MAX_SIDE`]) and makes large randomized sampling cheap at
-//! sides 6–[`SAMPLED_MAX_SIDE`].
+//! sides 6–[`SAMPLED_MAX_SIDE`]. The same lane-batching idea, minus the
+//! one-bit restriction, powers the real-payload batch engine
+//! (`meshsort_mesh::batch`, DESIGN.md §12): arbitrary-valued grids in
+//! structure-of-arrays lockstep. This module is the certification
+//! surface; that one is the throughput surface.
 //!
 //! Per-lane step counts are faithful to the scalar engine: the sorted
 //! state is a fixed point of every canonical schedule (certified by

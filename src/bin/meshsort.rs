@@ -19,6 +19,7 @@ fn main() {
     let mut n_param = 4u64;
     let mut algorithm = None;
     let mut trace = false;
+    let mut quick = false;
     let mut theorem = 3u32;
     let mut gamma = 0.25f64;
     let mut delta = 0.05f64;
@@ -67,6 +68,7 @@ fn main() {
                     Some(cli::parse_algorithm(name).unwrap_or_else(|| bad("unknown algorithm")));
             }
             "--trace" => trace = true,
+            "--quick" => quick = true,
             "--theorem" => {
                 i += 1;
                 theorem = args
@@ -123,6 +125,7 @@ fn main() {
         }
         "analyze" => cli::cmd_analyze(&sides),
         "chaos" => cli::cmd_chaos(&sides, seeds, &rates),
+        "bench" => cli::cmd_bench(quick),
         "witness" => cli::cmd_witness(theorem, gamma, delta),
         "formulas" => Ok(cli::cmd_formulas(n_param)),
         "help" | "--help" | "-h" => {

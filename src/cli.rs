@@ -292,6 +292,22 @@ pub fn cmd_chaos(sides: &[usize], seeds: u64, rates: &[f64]) -> Result<String, S
     Ok(out)
 }
 
+/// `meshsort bench`: the perf trajectory behind `BENCH_meshsort.json`.
+///
+/// Runs the timer-based harness in `meshsort_bench::perf` (cycles/element
+/// per engine and side, plus the many-grid kernel-vs-batch throughput
+/// comparison), validates the report — malformed numbers or an aggregate
+/// batch speedup below the worker-aware floor (`perf::required_floor`)
+/// are hard errors, which is what the CI bench-smoke job leans on — and
+/// returns the JSON document.
+pub fn cmd_bench(quick: bool) -> Result<String, String> {
+    use meshsort_bench::perf;
+    let report = perf::run_bench(quick);
+    let floor = perf::required_floor(quick, report.throughput.threads);
+    perf::validate(&report, floor)?;
+    Ok(report.to_json())
+}
+
 /// `meshsort witness`: N₀ witnesses for the concentration theorems.
 pub fn cmd_witness(theorem: u32, gamma: f64, delta: f64) -> Result<String, String> {
     let t = match theorem {
@@ -347,6 +363,7 @@ pub fn usage() -> &'static str {
        meshsort schedule --algorithm <id> [--side N]\n\
        meshsort analyze [--sides N1,N2,...]\n\
        meshsort chaos [--sides N1,N2,...] [--seeds K] [--rates P1,P2,...] [--out PATH]\n\
+       meshsort bench [--quick] [--out PATH]\n\
        meshsort witness --theorem <3|5|8> --gamma G --delta D\n\
        meshsort formulas [--n N]\n"
 }
@@ -455,6 +472,14 @@ mod tests {
         assert!(cmd_chaos(&[4], 2, &[]).is_err());
         // An out-of-range rate is rejected by spec validation, not a panic.
         assert!(cmd_chaos(&[4], 1, &[1.5]).is_err());
+    }
+
+    #[test]
+    fn bench_quick_emits_valid_report() {
+        let json = cmd_bench(true).unwrap();
+        assert!(json.contains("\"schema\": \"meshsort-bench-v1\""), "{json}");
+        assert!(json.contains("\"batch_throughput\""), "{json}");
+        assert!(json.contains("\"engine\": \"batch\""), "{json}");
     }
 
     #[test]
