@@ -3,7 +3,7 @@
 //! The five algorithms of Savari (SPAA 1993) are fixed comparator
 //! networks: once a [`meshsort_mesh::CycleSchedule`] is compiled for a
 //! side, everything the runtime differential tests probe empirically can
-//! be certified once, statically. This crate assembles the six
+//! be certified once, statically. This crate assembles the seven
 //! `meshcheck` passes into a machine-readable report consumed by the
 //! `meshsort analyze` CLI subcommand and the CI `analyze` gate:
 //!
@@ -41,6 +41,15 @@
 //!    plain engine's steps, swaps, comparisons, and final grid exactly),
 //!    and a faulty plan must be bit-identically replayable: compiling the
 //!    same spec twice yields the same plan, trace, report, and grid.
+//! 7. **Optimizer equivalence** ([`meshsort_mesh::opt`]) — the dead-wire
+//!    stripped, re-fused plan the runners execute must carry a valid
+//!    machine-checked certificate ([`meshsort_mesh::opt::certify`]:
+//!    comparator accounting, deadness proofs, structural and IR
+//!    conformance of the optimized schedule, sorted-state fixed point,
+//!    exact static-bound re-derivation) *and* be behaviourally identical
+//!    to the raw schedule on 0-1 lanes — exhaustive at sides ≤
+//!    [`SYMBOLIC_MAX_SIDE`], seeded sampling above — with every lane's
+//!    convergence step within the claimed static bound.
 //!
 //! Skipped passes (row-major algorithms on odd sides, 0-1 enumeration on
 //! large meshes) are reported as `skipped`, never as failures.
@@ -54,9 +63,11 @@ pub use report::{AlgorithmReport, AnalysisReport, PassOutcome};
 
 use meshsort_core::{runner, AlgorithmId};
 use meshsort_mesh::fault::RunOutcome;
-use meshsort_mesh::{absint, verify, CycleSchedule, FaultSpec, Grid, ResilientPolicy, StepPlan};
+use meshsort_mesh::{
+    absint, opt, verify, CycleSchedule, FaultSpec, Grid, OptimizedPlan, ResilientPolicy, StepPlan,
+};
 use meshsort_zeroone::exhaustive::BalancedGrids;
-use meshsort_zeroone::symbolic::{self, SAMPLED_MAX_SIDE, SYMBOLIC_MAX_SIDE};
+use meshsort_zeroone::symbolic::{self, LaneGrid, SAMPLED_MAX_SIDE, SYMBOLIC_MAX_SIDE};
 
 /// Largest side the *scalar* 0-1 certification pass enumerates
 /// exhaustively, one placement per run.
@@ -88,7 +99,7 @@ const SYMBOLIC_SAMPLE_BATCHES: u64 = 64;
 /// Fixed seed for the sampled symbolic pass: CI runs are reproducible.
 const SYMBOLIC_SAMPLE_SEED: u64 = 0x6d65_7368_636b_3031;
 
-/// Runs all six passes for every algorithm in paper order at every
+/// Runs all seven passes for every algorithm in paper order at every
 /// requested side.
 pub fn analyze(sides: &[usize]) -> AnalysisReport {
     let mut entries = Vec::with_capacity(sides.len() * AlgorithmId::ALL.len());
@@ -100,7 +111,7 @@ pub fn analyze(sides: &[usize]) -> AnalysisReport {
     AnalysisReport { sides: sides.to_vec(), entries }
 }
 
-/// Runs all six passes for one (algorithm, side) pair.
+/// Runs all seven passes for one (algorithm, side) pair.
 ///
 /// An unsupported side (row-major algorithms on an odd side) yields a
 /// report whose passes are all [`PassOutcome::Skipped`].
@@ -111,23 +122,29 @@ pub fn analyze_algorithm(algorithm: AlgorithmId, side: usize) -> AlgorithmReport
             AlgorithmReport {
                 algorithm,
                 side,
+                dead_wires: None,
+                static_bound: None,
                 structural: PassOutcome::Skipped { reason: reason.clone() },
                 ir: PassOutcome::Skipped { reason: reason.clone() },
                 dataflow: PassOutcome::Skipped { reason: reason.clone() },
                 zero_one: PassOutcome::Skipped { reason: reason.clone() },
                 zero_one_symbolic: PassOutcome::Skipped { reason: reason.clone() },
-                fault: PassOutcome::Skipped { reason },
+                fault: PassOutcome::Skipped { reason: reason.clone() },
+                optimizer: PassOutcome::Skipped { reason },
             }
         }
         Ok(schedule) => AlgorithmReport {
             algorithm,
             side,
+            dead_wires: Some(opt::first_cycle_dead_wires(&schedule, side * side).len()),
+            static_bound: meshsort_core::static_bound_for(algorithm, side),
             structural: structural_pass(algorithm, side, &schedule),
             ir: ir_pass(&schedule),
             dataflow: dataflow_pass(algorithm, side, &schedule),
             zero_one: zero_one_pass(algorithm, side, &schedule),
             zero_one_symbolic: zero_one_symbolic_pass(algorithm, side),
             fault: fault_pass(algorithm, side, &schedule),
+            optimizer: optimizer_pass(algorithm, side, &schedule),
         },
     }
 }
@@ -414,6 +431,121 @@ fn fault_pass(algorithm: AlgorithmId, side: usize, schedule: &CycleSchedule) -> 
     }
 }
 
+/// Optimizer equivalence pass, entry form: optimizes the schedule the
+/// same way the runtime cache does, then certifies the result with
+/// [`optimizer_equivalence_pass`]. Fails — never panics — when the
+/// optimizer itself rejects the schedule (unprovable convergence).
+pub fn optimizer_pass(
+    algorithm: AlgorithmId,
+    side: usize,
+    schedule: &CycleSchedule,
+) -> PassOutcome {
+    match opt::optimize(schedule, algorithm.order(), side) {
+        Ok(optimized) => optimizer_equivalence_pass(algorithm, side, schedule, &optimized),
+        Err(err) => PassOutcome::Failed { diagnostic: err.to_string() },
+    }
+}
+
+/// Optimizer equivalence pass: certifies that `optimized` is a faithful
+/// replacement for `raw`.
+///
+/// Public (like [`dataflow_pass`]) so the mutation suite can aim it at
+/// deliberately corrupted optimized plans; fails when
+///
+/// * the machine-checked certificate ([`opt::certify`]) is rejected —
+///   a live comparator claimed dead, broken comparator accounting, a
+///   mis-fused compiled plan, a structural violation, a sorted-state
+///   swap, or an inflated/stale static bound;
+/// * a 0-1 placement behaves differently on the two schedules
+///   (divergent final lanes, step counts, swap counts, or sortedness) —
+///   exhaustive over all `2^(side²)` placements at sides ≤
+///   [`SYMBOLIC_MAX_SIDE`], seeded 64-lane sampling above;
+/// * any lane converges later than the claimed static bound.
+pub fn optimizer_equivalence_pass(
+    algorithm: AlgorithmId,
+    side: usize,
+    raw: &CycleSchedule,
+    optimized: &OptimizedPlan,
+) -> PassOutcome {
+    let policy = algorithm.schedule_policy(side);
+    if let Err(err) = opt::certify(raw, optimized, &policy) {
+        return PassOutcome::Failed { diagnostic: err.to_string() };
+    }
+    let order = algorithm.order();
+    let cells = side * side;
+    let cap = runner::default_step_cap(side);
+    let bound = optimized.static_bound;
+    // Behavioural identity on 0-1 lanes: the same batch through both
+    // schedules must agree bit-for-bit. By the 0-1 principle, exhaustive
+    // agreement proves identity on arbitrary inputs.
+    let mut max_steps = 0u64;
+    let mut compare = |pristine: &LaneGrid, active: u64| -> Result<(), String> {
+        let mut raw_lanes = pristine.clone();
+        let mut opt_lanes = pristine.clone();
+        let a = symbolic::run_lanes(raw, order, &mut raw_lanes, active, cap);
+        let b = symbolic::run_lanes(&optimized.schedule, order, &mut opt_lanes, active, cap);
+        if a != b || raw_lanes != opt_lanes {
+            let lane = (0..64)
+                .find(|&l| {
+                    active >> l & 1 == 1
+                        && (a.steps[l] != b.steps[l]
+                            || a.swaps[l] != b.swaps[l]
+                            || (a.sorted ^ b.sorted) >> l & 1 == 1
+                            || raw_lanes.lane_values(l as u32) != opt_lanes.lane_values(l as u32))
+                })
+                .unwrap_or(0);
+            let placement: String =
+                pristine.lane_values(lane as u32).iter().map(|&v| char::from(b'0' + v)).collect();
+            return Err(format!(
+                "0-1 placement {placement} diverges between the raw and optimized schedules"
+            ));
+        }
+        for l in 0..64 {
+            if active >> l & 1 == 1 {
+                if a.steps[l] > bound {
+                    return Err(format!(
+                        "0-1 lane converged at step {} — past the claimed static bound {bound}",
+                        a.steps[l]
+                    ));
+                }
+                max_steps = max_steps.max(a.steps[l]);
+            }
+        }
+        Ok(())
+    };
+    let (mode, placements) = if side <= SYMBOLIC_MAX_SIDE {
+        let total: u64 = 1 << cells;
+        let mut base = 0u64;
+        while base < total {
+            let lanes = 64.min(total - base) as usize;
+            let masks: Vec<u64> = (0..lanes as u64).map(|l| base + l).collect();
+            let pristine = LaneGrid::from_placements(side, &masks);
+            let active = if lanes == 64 { u64::MAX } else { (1u64 << lanes) - 1 };
+            if let Err(diagnostic) = compare(&pristine, active) {
+                return PassOutcome::Failed { diagnostic };
+            }
+            base += lanes as u64;
+        }
+        ("all", total)
+    } else {
+        for batch_index in 0..SYMBOLIC_SAMPLE_BATCHES {
+            let seed = SYMBOLIC_SAMPLE_SEED ^ batch_index.wrapping_mul(0xa076_1d64_78bd_642f);
+            let pristine = LaneGrid::random(side, seed);
+            if let Err(diagnostic) = compare(&pristine, u64::MAX) {
+                return PassOutcome::Failed { diagnostic };
+            }
+        }
+        ("sampled", SYMBOLIC_SAMPLE_BATCHES * 64)
+    };
+    PassOutcome::Passed {
+        detail: format!(
+            "certificate valid: {} dead comparators stripped, static bound {bound}; {mode} \
+             {placements} 0-1 placements bit-identical raw vs optimized (max {max_steps} steps)",
+            optimized.stripped.len()
+        ),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -515,6 +647,33 @@ mod tests {
                 }
                 other => panic!("{algorithm}: expected fault pass, got {other}"),
             }
+        }
+    }
+
+    #[test]
+    fn optimizer_pass_strips_and_certifies_s3() {
+        let r = analyze_algorithm(AlgorithmId::SnakePhaseAligned, 4);
+        assert_eq!(r.dead_wires, Some(3));
+        assert_eq!(r.static_bound, Some(31));
+        match &r.optimizer {
+            PassOutcome::Passed { detail } => {
+                assert!(detail.contains("3 dead comparators stripped"), "{detail}");
+                assert!(detail.contains("bit-identical"), "{detail}");
+            }
+            other => panic!("expected optimizer pass, got {other}"),
+        }
+    }
+
+    #[test]
+    fn optimizer_pass_samples_above_the_symbolic_limit() {
+        let schedule = AlgorithmId::SnakePhaseAligned.schedule(8).unwrap();
+        match optimizer_pass(AlgorithmId::SnakePhaseAligned, 8, &schedule) {
+            PassOutcome::Passed { detail } => {
+                assert!(detail.contains("21 dead comparators stripped"), "{detail}");
+                assert!(detail.contains("static bound 127"), "{detail}");
+                assert!(detail.contains("sampled 4096"), "{detail}");
+            }
+            other => panic!("expected sampled optimizer pass, got {other}"),
         }
     }
 

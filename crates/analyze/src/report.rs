@@ -62,13 +62,21 @@ impl fmt::Display for PassOutcome {
     }
 }
 
-/// The six `meshcheck` passes for one algorithm at one side.
+/// The seven `meshcheck` passes for one algorithm at one side.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AlgorithmReport {
     /// Which of the five algorithms was analysed.
     pub algorithm: AlgorithmId,
     /// Mesh side the schedule was compiled for.
     pub side: usize,
+    /// Provably dead comparators in the schedule's first cycle (the set
+    /// the optimizer strips), or `None` when the schedule does not
+    /// compile for this side.
+    pub dead_wires: Option<usize>,
+    /// The statically proven convergence bound of the schedule, or
+    /// `None` when unavailable (unsupported side, or side above the
+    /// exact-fixpoint gate where runners fall back to the Θ(N) budget).
+    pub static_bound: Option<u64>,
     /// Structural pass: bounds, disjointness, adjacency, wrap policy,
     /// order-consistent comparator directions.
     pub structural: PassOutcome,
@@ -88,6 +96,11 @@ pub struct AlgorithmReport {
     /// Fault-model pass: a fault-free `FaultPlan` is a behavioural no-op
     /// and a faulty plan replays bit-identically.
     pub fault: PassOutcome,
+    /// Optimizer equivalence pass: the dead-wire-stripped, re-fused plan
+    /// carries a valid certificate (`meshsort_mesh::opt::certify`) and is
+    /// behaviourally identical to the raw schedule on 0-1 lanes
+    /// (exhaustive at small sides, seeded sampling above).
+    pub optimizer: PassOutcome,
 }
 
 impl AlgorithmReport {
@@ -97,7 +110,7 @@ impl AlgorithmReport {
     }
 
     /// The passes as `(name, outcome)` pairs, in report order.
-    pub fn passes(&self) -> [(&'static str, &PassOutcome); 6] {
+    pub fn passes(&self) -> [(&'static str, &PassOutcome); 7] {
         [
             ("structural", &self.structural),
             ("ir_conformance", &self.ir),
@@ -105,6 +118,7 @@ impl AlgorithmReport {
             ("zero_one", &self.zero_one),
             ("zero_one_symbolic", &self.zero_one_symbolic),
             ("fault_model", &self.fault),
+            ("optimizer_equivalence", &self.optimizer),
         ]
     }
 }
@@ -152,6 +166,16 @@ impl AnalysisReport {
             push_json_string(&mut out, entry.algorithm.name());
             out.push_str(",\n      \"side\": ");
             out.push_str(&entry.side.to_string());
+            out.push_str(",\n      \"dead_wires\": ");
+            match entry.dead_wires {
+                Some(n) => out.push_str(&n.to_string()),
+                None => out.push_str("null"),
+            }
+            out.push_str(",\n      \"static_bound\": ");
+            match entry.static_bound {
+                Some(n) => out.push_str(&n.to_string()),
+                None => out.push_str("null"),
+            }
             out.push_str(",\n      \"passed\": ");
             out.push_str(if entry.passed() { "true" } else { "false" });
             out.push_str(",\n      \"passes\": {");
@@ -201,6 +225,8 @@ mod tests {
         AlgorithmReport {
             algorithm: AlgorithmId::RowMajorRowFirst,
             side: 4,
+            dead_wires: Some(0),
+            static_bound: Some(23),
             structural: PassOutcome::Passed { detail: "24 comparators".into() },
             ir: if passed {
                 PassOutcome::Passed { detail: "4 steps conform".into() }
@@ -211,6 +237,7 @@ mod tests {
             zero_one: PassOutcome::Skipped { reason: "side > 4".into() },
             zero_one_symbolic: PassOutcome::Passed { detail: "2^16 placements".into() },
             fault: PassOutcome::Passed { detail: "no-op + bit-identical replay".into() },
+            optimizer: PassOutcome::Passed { detail: "identity plan certified".into() },
         }
     }
 
@@ -259,9 +286,22 @@ mod tests {
         assert!(json.contains("\"zero_one\": {\"status\": \"skipped\""));
         assert!(json.contains("\"zero_one_symbolic\": {\"status\": \"passed\""));
         assert!(json.contains("\"fault_model\": {\"status\": \"passed\""));
+        assert!(json.contains("\"optimizer_equivalence\": {\"status\": \"passed\""));
+        assert!(json.contains("\"dead_wires\": 0"));
+        assert!(json.contains("\"static_bound\": 23"));
         // Balanced braces/brackets — cheap well-formedness check.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_nulls_for_uncompiled_entries() {
+        let mut e = sample_entry(true);
+        e.dead_wires = None;
+        e.static_bound = None;
+        let json = AnalysisReport { sides: vec![4], entries: vec![e] }.to_json();
+        assert!(json.contains("\"dead_wires\": null"));
+        assert!(json.contains("\"static_bound\": null"));
     }
 
     #[test]

@@ -10,10 +10,12 @@
 //! must catch them independently so it can vet schedules from *any*
 //! source (deserialized, generated, fault-injected).
 
-use meshsort_analyze::{dataflow_pass, PassOutcome};
+use meshsort_analyze::{dataflow_pass, optimizer_equivalence_pass, PassOutcome};
 use meshsort_core::AlgorithmId;
 use meshsort_mesh::verify::{self, VerifyError};
-use meshsort_mesh::{Comparator, CompiledPlan, CycleSchedule, StepPlan};
+use meshsort_mesh::{
+    opt, Comparator, CompiledPlan, CycleSchedule, DeadWire, OptimizedPlan, StepPlan,
+};
 
 /// Tiny deterministic LCG (Numerical Recipes constants) so the mutation
 /// sites vary across steps/comparators without a `rand` dependency.
@@ -433,6 +435,99 @@ fn pristine_schedules_pass_dataflow() {
             PassOutcome::Passed { .. } => {}
             other => panic!("{a} side {side}: {other}"),
         }
+    }
+}
+
+/// S3 at side 4: the smallest canonical schedule with dead wires (3 on
+/// the repeat column step), so optimizer corruptions have live *and*
+/// stripped comparators to aim at, and the equivalence pass still runs
+/// its exhaustive 0-1 sweep.
+fn optimizer_subject() -> (AlgorithmId, usize, CycleSchedule, OptimizedPlan) {
+    let a = AlgorithmId::SnakePhaseAligned;
+    let side = 4;
+    let raw = a.schedule(side).unwrap();
+    let optimized = opt::optimize(&raw, a.order(), side).unwrap();
+    assert_eq!(optimized.stripped.len(), 3, "S3 side 4 strips 3 dead wires");
+    (a, side, raw, optimized)
+}
+
+#[test]
+fn pristine_optimized_plan_passes_equivalence() {
+    // The negative optimizer tests below are meaningful only if the
+    // honest plan sails through the same pass.
+    let (a, side, raw, optimized) = optimizer_subject();
+    match optimizer_equivalence_pass(a, side, &raw, &optimized) {
+        PassOutcome::Passed { detail } => {
+            assert!(detail.contains("3 dead comparators stripped"), "{detail}");
+        }
+        other => panic!("expected pass, got {other}"),
+    }
+}
+
+#[test]
+fn optimizer_live_wire_wrongly_stripped_caught() {
+    // Strip a genuinely live step-0 comparator and claim it dead. The
+    // comparator multiset accounting still balances (the wire is in the
+    // stripped list), so only the deadness re-proof on the raw schedule
+    // can catch the lie.
+    let (a, side, raw, optimized) = optimizer_subject();
+    let victim = raw.plans()[0].comparators()[0];
+    let mut plans = optimized.schedule.plans().to_vec();
+    let survivors: Vec<Comparator> =
+        plans[0].comparators().iter().copied().filter(|c| *c != victim).collect();
+    plans[0] = StepPlan::new(survivors).unwrap();
+    let mut compiled = optimized.schedule.compiled_plans().to_vec();
+    compiled[0] = CompiledPlan::compile_with_min_run(&plans[0], opt::OPT_MIN_RUN);
+    let schedule = CycleSchedule::from_parts(plans, compiled, side * side).unwrap();
+    let mut stripped = optimized.stripped.clone();
+    stripped.push(DeadWire { step: 0, comparator: victim });
+    let corrupted = OptimizedPlan { schedule, stripped, static_bound: optimized.static_bound };
+    match optimizer_equivalence_pass(a, side, &raw, &corrupted) {
+        PassOutcome::Failed { diagnostic } => {
+            assert!(diagnostic.contains("is live"), "{diagnostic}");
+            assert!(diagnostic.contains("step 0"), "{diagnostic}");
+        }
+        other => panic!("expected live-wire rejection, got {other}"),
+    }
+}
+
+#[test]
+fn optimizer_mis_fused_stride_run_caught() {
+    // Recompile one step's segment IR from a doctored plan missing its
+    // first comparator: the step plans (and hence the structural pass
+    // and the accounting) are untouched, but the IR no longer expands to
+    // the plan's comparator multiset.
+    let (a, side, raw, optimized) = optimizer_subject();
+    let plans = optimized.schedule.plans().to_vec();
+    let mut compiled = optimized.schedule.compiled_plans().to_vec();
+    let doctored = StepPlan::new(plans[3].comparators()[1..].to_vec()).unwrap();
+    compiled[3] = CompiledPlan::compile_with_min_run(&doctored, opt::OPT_MIN_RUN);
+    let schedule = CycleSchedule::from_parts(plans, compiled, side * side).unwrap();
+    let corrupted = OptimizedPlan {
+        schedule,
+        stripped: optimized.stripped.clone(),
+        static_bound: optimized.static_bound,
+    };
+    match optimizer_equivalence_pass(a, side, &raw, &corrupted) {
+        PassOutcome::Failed { diagnostic } => {
+            assert!(diagnostic.contains("mis-fused"), "{diagnostic}");
+        }
+        other => panic!("expected mis-fused-IR rejection, got {other}"),
+    }
+}
+
+#[test]
+fn optimizer_inflated_static_bound_caught() {
+    // Claim a looser bound than the fixpoint re-derivation proves: the
+    // certificate must reject the stale claim even though every run
+    // would still finish inside it.
+    let (a, side, raw, mut optimized) = optimizer_subject();
+    optimized.static_bound += 4;
+    match optimizer_equivalence_pass(a, side, &raw, &optimized) {
+        PassOutcome::Failed { diagnostic } => {
+            assert!(diagnostic.contains("inflated or stale"), "{diagnostic}");
+        }
+        other => panic!("expected inflated-bound rejection, got {other}"),
     }
 }
 

@@ -1,0 +1,45 @@
+//! Raw vs optimized-plan kernel throughput (DESIGN.md §13).
+//!
+//! The optimizer strips comparators `mesh::absint` proves dead and
+//! re-fuses the survivors into longer stride runs, so the optimized
+//! `CycleSchedule` does strictly less work per cycle on S3 (the only
+//! algorithm with dead wires at every side). Both variants run the same
+//! fixed step count — the statically proven convergence bound where
+//! available, `side` full cycles above the exact-fixpoint gate — so the
+//! measured difference is comparator work, not convergence luck.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use meshsort_bench::bench_grid;
+use meshsort_core::{optimized_for, schedule_for, static_bound_for, AlgorithmId};
+use std::hint::black_box;
+
+fn bench_optimized_plan(c: &mut Criterion) {
+    let algorithm = AlgorithmId::SnakePhaseAligned;
+    let mut g = c.benchmark_group("bench_optimized_plan");
+    g.sample_size(10);
+    for side in [8usize, 16, 64] {
+        let raw = schedule_for(algorithm, side).expect("s3 supports every side");
+        let plan = optimized_for(algorithm, side).expect("s3 optimizes at every side");
+        let steps = static_bound_for(algorithm, side).unwrap_or(4 * side as u64);
+        g.bench_with_input(BenchmarkId::new("raw_kernel", side), &side, |b, &side| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut grid = bench_grid(side, seed);
+                black_box(raw.run_steps_kernel(&mut grid, 0, steps).swaps)
+            });
+        });
+        g.bench_with_input(BenchmarkId::new("optimized_kernel", side), &side, |b, &side| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut grid = bench_grid(side, seed);
+                black_box(plan.schedule.run_steps_kernel(&mut grid, 0, steps).swaps)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_optimized_plan);
+criterion_main!(benches);

@@ -19,7 +19,8 @@
 
 use crate::bench_grid;
 use meshsort_core::{
-    runner, schedule_for, sort_batch, sort_batch_with, AlgorithmId, DEFAULT_SHARD_WIDTH,
+    optimized_for, runner, schedule_for, sort_batch, sort_batch_with, static_bound_for,
+    AlgorithmId, DEFAULT_SHARD_WIDTH,
 };
 use meshsort_mesh::Grid;
 use meshsort_stats::parallel;
@@ -107,6 +108,39 @@ pub struct BatchThroughput {
     pub mt_grids_per_sec: f64,
 }
 
+/// Raw vs dead-wire-stripped plan for one S3 side (DESIGN.md §13): both
+/// variants run the same fixed step count (the statically proven
+/// convergence bound) through the segment-IR kernel, so the difference
+/// is comparator work. `work_reduction` is the machine-independent
+/// fraction of comparator evaluations the optimizer eliminates (equal to
+/// the certified dead-wire fraction); `speedup` is the measured
+/// wall-clock ratio. The two need not coincide: stripped column phases
+/// autovectorize in the raw plan (cheaper per comparator than average),
+/// while stripping also shortens per-step segment dispatch — in practice
+/// the wall-clock win tracks or exceeds the comparator fraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizedRow {
+    /// Mesh side of every grid in the batch.
+    pub side: usize,
+    /// Batch size per repetition.
+    pub grids: usize,
+    /// Fixed steps executed by both variants (the static bound).
+    pub steps: u64,
+    /// Comparators per cycle in the raw schedule.
+    pub raw_comparators: u64,
+    /// Comparators per cycle after dead-wire stripping.
+    pub opt_comparators: u64,
+    /// `1 - opt_comparators / raw_comparators` — the certified dead
+    /// fraction.
+    pub work_reduction: f64,
+    /// Best-of-N seconds for the raw plan.
+    pub raw_seconds: f64,
+    /// Best-of-N seconds for the optimized plan.
+    pub opt_seconds: f64,
+    /// Wall-clock ratio `raw_seconds / opt_seconds`.
+    pub speedup: f64,
+}
+
 /// A complete perf report, serializable to the committed JSON schema.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -118,6 +152,8 @@ pub struct BenchReport {
     pub rows: Vec<EngineRow>,
     /// The many-grid kernel-vs-batch comparison.
     pub throughput: BatchThroughput,
+    /// Raw vs optimized-plan S3 kernel rows, one per side.
+    pub optimized: Vec<OptimizedRow>,
 }
 
 impl BenchReport {
@@ -141,7 +177,7 @@ impl BenchReport {
         }
         s.push_str("  ],\n");
         let t = &self.throughput;
-        writeln!(
+        write!(
             s,
             "  \"batch_throughput\": {{\"side\": {}, \"grids\": {}, \"threads\": {}, \
              \"kernel_seconds\": {:.6}, \"batch_seconds\": {:.6}, \"speedup\": {:.2}, \
@@ -159,6 +195,28 @@ impl BenchReport {
             t.mt_grids_per_sec
         )
         .unwrap();
+        s.push_str(",\n  \"optimized_plan\": [\n");
+        for (i, r) in self.optimized.iter().enumerate() {
+            let sep = if i + 1 == self.optimized.len() { "" } else { "," };
+            writeln!(
+                s,
+                "    {{\"side\": {}, \"grids\": {}, \"steps\": {}, \
+                 \"raw_comparators_per_cycle\": {}, \"opt_comparators_per_cycle\": {}, \
+                 \"work_reduction\": {:.4}, \"raw_seconds\": {:.6}, \"opt_seconds\": {:.6}, \
+                 \"speedup\": {:.2}}}{sep}",
+                r.side,
+                r.grids,
+                r.steps,
+                r.raw_comparators,
+                r.opt_comparators,
+                r.work_reduction,
+                r.raw_seconds,
+                r.opt_seconds,
+                r.speedup
+            )
+            .unwrap();
+        }
+        s.push_str("  ]\n");
         s.push('}');
         s.push('\n');
         s
@@ -275,7 +333,40 @@ pub fn run_bench(quick: bool) -> BenchReport {
         mt_grids_per_sec: batch_mt.grids_per_sec,
     };
 
-    BenchReport { quick, ghz_estimate: ghz, rows, throughput }
+    // Raw vs optimized S3 plan (the only algorithm with dead wires at
+    // every side), fixed-step kernel runs; see [`OptimizedRow`].
+    let s3 = AlgorithmId::SnakePhaseAligned;
+    let opt_matrix: &[(usize, usize)] =
+        if quick { &[(8, 512)] } else { &[(8, 2048), (16, 256), (64, 16)] };
+    let mut optimized = Vec::new();
+    for &(side, b) in opt_matrix {
+        let raw = schedule_for(s3, side).expect("s3 supports every side");
+        let plan = optimized_for(s3, side).expect("s3 optimizes at every side");
+        let steps = static_bound_for(s3, side).unwrap_or(4 * side as u64);
+        let raw_row = time_engine("s3-raw", side, b, reps, ghz, |grids| {
+            for g in grids.iter_mut() {
+                black_box(raw.run_steps_kernel(g, 0, steps).swaps);
+            }
+        });
+        let opt_row = time_engine("s3-opt", side, b, reps, ghz, |grids| {
+            for g in grids.iter_mut() {
+                black_box(plan.schedule.run_steps_kernel(g, 0, steps).swaps);
+            }
+        });
+        optimized.push(OptimizedRow {
+            side,
+            grids: b,
+            steps,
+            raw_comparators: plan.raw_comparators_per_cycle(),
+            opt_comparators: plan.comparators_per_cycle(),
+            work_reduction: plan.dead_fraction(),
+            raw_seconds: raw_row.seconds,
+            opt_seconds: opt_row.seconds,
+            speedup: raw_row.seconds / opt_row.seconds.max(1e-12),
+        });
+    }
+
+    BenchReport { quick, ghz_estimate: ghz, rows, throughput, optimized }
 }
 
 /// Rejects malformed or regressed reports: every number must be finite
@@ -323,6 +414,31 @@ pub fn validate(report: &BenchReport, speedup_floor: f64) -> Result<(), String> 
             t.mt_speedup, t.grids, t.side, t.threads
         ));
     }
+    for r in &report.optimized {
+        let ok = r.raw_seconds.is_finite()
+            && r.raw_seconds > 0.0
+            && r.opt_seconds.is_finite()
+            && r.opt_seconds > 0.0
+            && r.speedup.is_finite()
+            && (0.0..1.0).contains(&r.work_reduction)
+            && r.opt_comparators <= r.raw_comparators
+            && r.raw_comparators > 0;
+        if !ok {
+            return Err(format!("malformed optimized-plan row: {r:?}"));
+        }
+        // Full runs gate on the optimizer never losing: stripping dead
+        // wires must not slow the kernel down. Quick CI smoke skips this
+        // (small batches on noisy shared runners).
+        if !report.quick && r.work_reduction > 0.0 && r.speedup < 1.0 {
+            return Err(format!(
+                "optimized plan regressed at side {}: {:.2}x despite a {:.1}% comparator \
+                 reduction",
+                r.side,
+                r.speedup,
+                100.0 * r.work_reduction
+            ));
+        }
+    }
     Ok(())
 }
 
@@ -354,6 +470,17 @@ mod tests {
                 mt_speedup: 10.0,
                 mt_grids_per_sec: 1_024_000.0,
             },
+            optimized: vec![OptimizedRow {
+                side: 8,
+                grids: 512,
+                steps: 127,
+                raw_comparators: 112,
+                opt_comparators: 91,
+                work_reduction: 0.1875,
+                raw_seconds: 0.012,
+                opt_seconds: 0.011,
+                speedup: 1.09,
+            }],
         }
     }
 
@@ -379,6 +506,21 @@ mod tests {
         let mut clock = synthetic();
         clock.ghz_estimate = 0.0;
         assert!(validate(&clock, QUICK_SPEEDUP_FLOOR).unwrap_err().contains("clock"));
+
+        let mut inflated = synthetic();
+        inflated.optimized[0].opt_comparators = 200;
+        assert!(validate(&inflated, QUICK_SPEEDUP_FLOOR)
+            .unwrap_err()
+            .contains("malformed optimized-plan row"));
+
+        // A full run where the optimized plan lost must be rejected; the
+        // same numbers pass on a quick run.
+        let mut lost = synthetic();
+        lost.quick = false;
+        lost.optimized[0].speedup = 0.9;
+        assert!(validate(&lost, QUICK_SPEEDUP_FLOOR).unwrap_err().contains("regressed at side 8"));
+        lost.quick = true;
+        validate(&lost, QUICK_SPEEDUP_FLOOR).unwrap();
     }
 
     #[test]
@@ -388,6 +530,9 @@ mod tests {
         assert!(json.contains("\"batch_throughput\""));
         assert!(json.contains("\"mt_speedup\": 10.00"));
         assert!(json.contains("\"threads\": 4"));
+        assert!(json.contains("\"optimized_plan\": ["));
+        assert!(json.contains("\"raw_comparators_per_cycle\": 112"));
+        assert!(json.contains("\"work_reduction\": 0.1875"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.ends_with("}\n"));
     }

@@ -315,28 +315,28 @@ mod tests {
     fn expected_dead_wires_match_the_analysis_exactly() {
         // The closed-form S3 characterization is pinned to the analyzer:
         // every analyzed-dead wire is predicted and every predicted wire
-        // is analyzed-dead, for all five algorithms.
+        // is analyzed-dead, for all five algorithms at every side 2..=16
+        // (the range the exact static bound is affordable for). The cheap
+        // first-cycle scan used here reports the same dead set as the full
+        // fixpoint — `first_cycle_scan_matches_full_fixpoint` pins that.
         for a in AlgorithmId::ALL {
-            for side in [2, 3, 4, 5, 6, 7, 8] {
+            for side in 2..=16 {
                 if !a.supports_side(side) {
                     continue;
                 }
                 let schedule = a.schedule(side).unwrap();
-                let summary = meshsort_mesh::absint::analyze_schedule(&schedule, a.order(), side);
-                for dead in &summary.dead_first_cycle {
+                let dead = meshsort_mesh::opt::first_cycle_dead_wires(&schedule, side * side);
+                for d in &dead {
                     assert!(
-                        a.expected_dead_wire(side, dead.step, dead.comparator),
-                        "{a} side {side}: unexpected dead wire {dead:?}"
+                        a.expected_dead_wire(side, d.step, d.comparator),
+                        "{a} side {side}: unexpected dead wire {d:?}"
                     );
                 }
                 for (step, plan) in schedule.plans().iter().enumerate() {
                     for &c in plan.comparators() {
                         if a.expected_dead_wire(side, step, c) {
                             assert!(
-                                summary
-                                    .dead_first_cycle
-                                    .iter()
-                                    .any(|d| d.step == step && d.comparator == c),
+                                dead.iter().any(|d| d.step == step && d.comparator == c),
                                 "{a} side {side}: predicted-dead wire {c:?} at step {step} is live"
                             );
                         }
@@ -347,14 +347,46 @@ mod tests {
     }
 
     #[test]
+    fn first_cycle_scan_matches_full_fixpoint() {
+        // The optimizer's cheap cycle-0 scan and the full dataflow
+        // fixpoint must agree on the dead set (both start from
+        // unconstrained facts; cycle 0 is where first-cycle deadness is
+        // decided). S3 at side 8 is the richest case: 21 dead wires.
+        let a = AlgorithmId::SnakePhaseAligned;
+        let schedule = a.schedule(8).unwrap();
+        let summary = meshsort_mesh::absint::analyze_schedule(&schedule, a.order(), 8);
+        let scan = meshsort_mesh::opt::first_cycle_dead_wires(&schedule, 64);
+        assert_eq!(scan, summary.dead_first_cycle);
+    }
+
+    #[test]
     fn s3_dead_wire_counts() {
-        // 3 at side 4, 8 at side 5, 21 at side 8 — the counts the closed
-        // form predicts and brute force confirms.
-        for (side, expected) in [(2, 0), (3, 2), (4, 3), (5, 8), (8, 21)] {
+        // The closed form summed per column — floor(side/2) wires for each
+        // dead odd column, floor((side-1)/2) for each dead even column —
+        // over the whole pinned range; brute force confirms the small
+        // sides: 3 at side 4, 8 at side 5, 21 at side 8, 105 at side 16.
+        let table = [
+            (2, 0),
+            (3, 2),
+            (4, 3),
+            (5, 8),
+            (6, 10),
+            (7, 18),
+            (8, 21),
+            (9, 32),
+            (10, 36),
+            (11, 50),
+            (12, 55),
+            (13, 72),
+            (14, 78),
+            (15, 98),
+            (16, 105),
+        ];
+        for (side, expected) in table {
             let a = AlgorithmId::SnakePhaseAligned;
             let schedule = a.schedule(side).unwrap();
-            let summary = meshsort_mesh::absint::analyze_schedule(&schedule, a.order(), side);
-            assert_eq!(summary.dead_first_cycle.len(), expected, "side {side}");
+            let dead = meshsort_mesh::opt::first_cycle_dead_wires(&schedule, side * side);
+            assert_eq!(dead.len(), expected, "side {side}");
         }
     }
 

@@ -13,7 +13,7 @@
 
 use crate::algorithm::AlgorithmId;
 use crate::cache;
-use crate::runner::{default_step_cap, SortRun};
+use crate::runner::{static_step_bound, SortRun};
 use meshsort_mesh::{batch, Grid, KernelValue, MeshError};
 use meshsort_stats::parallel;
 
@@ -36,7 +36,9 @@ pub const LOCKSTEP_MAX_CELLS: usize = 1024;
 
 /// Sorts every grid of `grids` in place with `algorithm`, batched — the
 /// many-grid counterpart of [`crate::runner::sort_to_completion`], with the
-/// default step cap, [`parallel::default_threads`] workers (the
+/// retirement horizon set to the statically proven convergence bound
+/// ([`static_step_bound`]; the Θ(N) cap above the fixpoint gate),
+/// [`parallel::default_threads`] workers (the
 /// `MESHSORT_THREADS` override applies) and [`DEFAULT_SHARD_WIDTH`] shards.
 ///
 /// Returns one [`SortRun`] per grid, index-aligned with `grids` and
@@ -52,7 +54,7 @@ pub fn sort_batch<T: KernelValue + Send>(
     algorithm: AlgorithmId,
     grids: &mut [Grid<T>],
 ) -> Result<Vec<SortRun>, MeshError> {
-    let cap = default_step_cap(grids.first().map_or(1, Grid::side));
+    let cap = static_step_bound(algorithm, grids.first().map_or(1, Grid::side));
     sort_batch_with(algorithm, grids, cap, parallel::default_threads(), DEFAULT_SHARD_WIDTH)
 }
 
@@ -109,7 +111,7 @@ pub fn sort_batch_with<T: KernelValue + Send>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::{sort_to_completion, sort_with_cap};
+    use crate::runner::{default_step_cap, sort_to_completion, sort_with_cap};
 
     fn scrambled(side: usize, salt: u32) -> Grid<u32> {
         let cells = (side * side) as u32;

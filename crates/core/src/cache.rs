@@ -15,7 +15,7 @@
 //! process touches, a few kilobytes each.
 
 use crate::algorithm::AlgorithmId;
-use meshsort_mesh::{CycleSchedule, MeshError};
+use meshsort_mesh::{opt, CycleSchedule, MeshError, OptimizedPlan};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
@@ -23,6 +23,14 @@ use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 type PlanCache = HashMap<(AlgorithmId, usize), Arc<CycleSchedule>>;
 
 static CACHE: OnceLock<Mutex<PlanCache>> = OnceLock::new();
+
+type OptCache = HashMap<(AlgorithmId, usize), Arc<OptimizedPlan>>;
+
+static OPT_CACHE: OnceLock<Mutex<OptCache>> = OnceLock::new();
+
+type BoundCache = HashMap<(AlgorithmId, usize), u64>;
+
+static BOUND_CACHE: OnceLock<Mutex<BoundCache>> = OnceLock::new();
 
 /// Returns the shared compiled schedule for `(algorithm, side)`, compiling
 /// and caching it on first use. Subsequent calls for the same key return a
@@ -46,6 +54,67 @@ pub fn schedule_for(algorithm: AlgorithmId, side: usize) -> Result<Arc<CycleSche
     }
 }
 
+/// Returns the shared dead-wire-stripped [`OptimizedPlan`] for
+/// `(algorithm, side)`, deriving it from the raw cached schedule via
+/// [`opt::optimize`] on first use. As with [`schedule_for`], every later
+/// call returns a clone of the same `Arc`.
+///
+/// The optimizer's output is *claimed* correct; `meshsort-analyze`'s
+/// `optimizer_equivalence` pass certifies the claim for the canonical
+/// algorithms (CI gates sides 4, 5, 8), and the differential suite pins
+/// optimized runs bit-identical to raw runs.
+///
+/// # Errors
+///
+/// [`MeshError::UnsupportedSide`] as for [`schedule_for`]. Errors are not
+/// cached.
+///
+/// # Panics
+///
+/// If optimization fails — impossible for the five canonical schedules,
+/// whose static convergence the dataflow pass certifies.
+pub fn optimized_for(algorithm: AlgorithmId, side: usize) -> Result<Arc<OptimizedPlan>, MeshError> {
+    let cache = OPT_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap_or_else(PoisonError::into_inner);
+    match map.entry((algorithm, side)) {
+        Entry::Occupied(e) => Ok(Arc::clone(e.get())),
+        Entry::Vacant(v) => {
+            let raw = algorithm.schedule(side)?;
+            let optimized = opt::optimize(&raw, algorithm.order(), side)
+                .expect("canonical schedules optimize: convergence certified by the dataflow pass");
+            Ok(Arc::clone(v.insert(Arc::new(optimized))))
+        }
+    }
+}
+
+/// Returns the statically proven convergence bound of the **raw**
+/// schedule for `(algorithm, side)` — the first step at which the
+/// dataflow fixpoint proves every input sorted — computing and caching it
+/// on first use. Optimized runs are step-for-step identical to raw runs,
+/// so the same bound caps both.
+///
+/// `None` when the algorithm does not support the side, when the side
+/// exceeds [`opt::OPT_EXACT_BOUND_MAX_SIDE`] (the fixpoint is
+/// unaffordable there), or when convergence is unprovable; callers fall
+/// back to the Θ(N) budget.
+pub fn static_bound_for(algorithm: AlgorithmId, side: usize) -> Option<u64> {
+    if side > opt::OPT_EXACT_BOUND_MAX_SIDE || !algorithm.supports_side(side) {
+        return None;
+    }
+    let cache = BOUND_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = cache.lock().unwrap_or_else(PoisonError::into_inner);
+    match map.entry((algorithm, side)) {
+        Entry::Occupied(e) => Some(*e.get()),
+        Entry::Vacant(v) => {
+            let schedule = algorithm.schedule(side).ok()?;
+            let summary =
+                meshsort_mesh::absint::analyze_schedule(&schedule, algorithm.order(), side);
+            let bound = summary.converged_step?;
+            Some(*v.insert(bound))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -65,6 +134,28 @@ mod tests {
         let c = schedule_for(AlgorithmId::SnakeAlternating, 8).unwrap();
         assert!(!Arc::ptr_eq(&a, &b));
         assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn optimized_cache_returns_shared_plan() {
+        let a = optimized_for(AlgorithmId::SnakePhaseAligned, 8).unwrap();
+        let b = optimized_for(AlgorithmId::SnakePhaseAligned, 8).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup must not re-optimize");
+        assert_eq!(a.stripped.len(), 21, "S3 side 8 strips 21 dead wires");
+        assert!(matches!(
+            optimized_for(AlgorithmId::RowMajorColFirst, 5),
+            Err(MeshError::UnsupportedSide { side: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn static_bound_gates_and_caches() {
+        let bound = static_bound_for(AlgorithmId::SnakePhaseAligned, 8).unwrap();
+        assert_eq!(bound, 127, "pinned by the dataflow fixpoint");
+        assert_eq!(static_bound_for(AlgorithmId::SnakePhaseAligned, 8), Some(bound));
+        // Above the fixpoint gate and on unsupported sides: no bound.
+        assert_eq!(static_bound_for(AlgorithmId::SnakePhaseAligned, 32), None);
+        assert_eq!(static_bound_for(AlgorithmId::RowMajorRowFirst, 5), None);
     }
 
     #[test]

@@ -48,5 +48,8 @@ pub mod variants;
 
 pub use algorithm::AlgorithmId;
 pub use batch::{sort_batch, sort_batch_with, DEFAULT_SHARD_WIDTH, LOCKSTEP_MAX_CELLS};
-pub use cache::schedule_for;
-pub use runner::{fault_plan_for, sort_resilient, sort_to_completion, ResilientRun, SortRun};
+pub use cache::{optimized_for, schedule_for, static_bound_for};
+pub use runner::{
+    fault_plan_for, resilient_policy_for, sort_resilient, sort_to_completion,
+    sort_to_completion_optimized, static_step_bound, ResilientRun, SortRun,
+};

@@ -26,6 +26,37 @@ pub fn default_step_cap(side: usize) -> u64 {
     fault::default_step_budget(side)
 }
 
+/// The tightest sound step cap known for `(algorithm, side)`: the
+/// statically proven convergence bound of the schedule's dataflow
+/// fixpoint (process-cached via [`cache::static_bound_for`]) when
+/// available — roughly 4–5× tighter than [`default_step_cap`] for the
+/// canonical schedules — falling back to the Θ(N) budget for unsupported
+/// sides and for sides above
+/// [`meshsort_mesh::opt::OPT_EXACT_BOUND_MAX_SIDE`], where the fixpoint
+/// is unaffordable.
+///
+/// Every input provably sorts within the returned cap, so using it as a
+/// retirement horizon (the batch engine) or budget rail changes no
+/// observable outcome of a fault-free run.
+pub fn static_step_bound(algorithm: AlgorithmId, side: usize) -> u64 {
+    cache::static_bound_for(algorithm, side).unwrap_or_else(|| default_step_cap(side))
+}
+
+/// The resilient-run policy for `(algorithm, side)`: derived from the
+/// static convergence bound
+/// ([`ResilientPolicy::from_static_bound`] — watchdog, budget, and
+/// recovery scrub all sized in proven-bound units, each tighter than the
+/// Θ(N) defaults) when the bound is known, else
+/// [`ResilientPolicy::for_side`].
+pub fn resilient_policy_for(algorithm: AlgorithmId, side: usize) -> ResilientPolicy {
+    match (cache::static_bound_for(algorithm, side), cache::schedule_for(algorithm, side)) {
+        (Some(bound), Ok(schedule)) => {
+            ResilientPolicy::from_static_bound(bound, schedule.cycle_len())
+        }
+        _ => ResilientPolicy::for_side(side),
+    }
+}
+
 /// Measurement of one sorting run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SortRun {
@@ -165,6 +196,29 @@ pub fn sort_with_cap<T: KernelValue>(
     let side = grid.side();
     let schedule = cache::schedule_for(algorithm, side)?;
     let outcome = schedule.run_until_sorted_kernel(grid, algorithm.order(), cap);
+    Ok(SortRun { algorithm, side, outcome: outcome.into() })
+}
+
+/// [`sort_to_completion`] through the certified dead-wire-stripped plan
+/// ([`cache::optimized_for`]), capped by the static convergence bound.
+///
+/// Bit-identical to the raw-plan run in final grid, steps, and swaps —
+/// stripped wires never swap — with strictly fewer comparator evaluations
+/// whenever the schedule has dead wires (S3). The default entry points
+/// keep the raw plans; this surface is opt-in, mirrored by
+/// `meshsort schedule --optimized`.
+///
+/// # Errors
+///
+/// [`MeshError::UnsupportedSide`] as for [`sort_to_completion`].
+pub fn sort_to_completion_optimized<T: KernelValue>(
+    algorithm: AlgorithmId,
+    grid: &mut Grid<T>,
+) -> Result<SortRun, MeshError> {
+    let side = grid.side();
+    let plan = cache::optimized_for(algorithm, side)?;
+    let cap = static_step_bound(algorithm, side).min(plan.static_bound);
+    let outcome = plan.schedule.run_until_sorted_kernel(grid, algorithm.order(), cap);
     Ok(SortRun { algorithm, side, outcome: outcome.into() })
 }
 
@@ -314,6 +368,79 @@ mod tests {
             full.outcome.classify(&g, TargetOrder::Snake),
             meshsort_mesh::fault::RunOutcome::Converged { steps: full.outcome.steps }
         );
+    }
+
+    #[test]
+    fn static_bound_is_tighter_than_theta_and_falls_back_above_gate() {
+        for a in AlgorithmId::ALL {
+            for side in [4usize, 5, 8, 16] {
+                if !a.supports_side(side) {
+                    continue;
+                }
+                let bound = static_step_bound(a, side);
+                assert!(bound > 0, "{a} side {side}");
+                assert!(bound < default_step_cap(side), "{a} side {side}: {bound}");
+            }
+            // Above the exact-fixpoint gate the Θ(N) budget is the cap.
+            if a.supports_side(32) {
+                assert_eq!(static_step_bound(a, 32), default_step_cap(32), "{a}");
+            }
+        }
+        // Unsupported sides also fall back rather than erroring.
+        assert_eq!(static_step_bound(AlgorithmId::RowMajorRowFirst, 5), default_step_cap(5));
+    }
+
+    #[test]
+    fn resilient_policy_from_static_bound_is_tighter_than_default() {
+        for a in AlgorithmId::ALL {
+            let policy = resilient_policy_for(a, 8);
+            let default = ResilientPolicy::for_side(8);
+            assert!(policy.step_budget < default.step_budget, "{a}");
+            assert!(policy.stall_window < default.stall_window, "{a}");
+            assert!(policy.recovery_cycles < default.recovery_cycles, "{a}");
+            // A whole number of cycles, so the watchdog checks line up.
+            assert_eq!(policy.stall_window % 4, 0, "{a}");
+        }
+        // Above the gate: the Θ(N) policy, unchanged.
+        assert_eq!(
+            resilient_policy_for(AlgorithmId::SnakeAlternating, 32),
+            ResilientPolicy::for_side(32)
+        );
+    }
+
+    #[test]
+    fn optimized_sort_matches_raw_bit_for_bit() {
+        let side = 8;
+        let n = side * side;
+        for a in AlgorithmId::ALL {
+            let mut raw = Grid::from_rows(side, (0..n as u32).rev().collect()).unwrap();
+            let mut opt = raw.clone();
+            let base = sort_to_completion(a, &mut raw).unwrap();
+            let run = sort_to_completion_optimized(a, &mut opt).unwrap();
+            assert!(base.outcome.sorted && run.outcome.sorted, "{a}");
+            assert_eq!(raw, opt, "{a}: final grids must be bit-identical");
+            assert_eq!(base.outcome.steps, run.outcome.steps, "{a}");
+            assert_eq!(base.outcome.swaps, run.outcome.swaps, "{a}");
+            if a == AlgorithmId::SnakePhaseAligned {
+                assert!(
+                    run.outcome.comparisons < base.outcome.comparisons,
+                    "{a}: dead-wire stripping must reduce comparisons"
+                );
+            } else {
+                assert_eq!(base.outcome.comparisons, run.outcome.comparisons, "{a}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimized_run_respects_the_static_bound() {
+        let side = 8;
+        for a in AlgorithmId::ALL {
+            let mut g = Grid::from_rows(side, (0..64u32).rev().collect()).unwrap();
+            let run = sort_to_completion_optimized(a, &mut g).unwrap();
+            assert!(run.outcome.sorted, "{a}");
+            assert!(run.outcome.steps <= static_step_bound(a, side), "{a}");
+        }
     }
 
     #[test]

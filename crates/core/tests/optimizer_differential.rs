@@ -1,0 +1,84 @@
+//! CI differential smoke for the schedule optimizer (DESIGN.md §13).
+//!
+//! The dead-wire-stripped, re-fused plans must be behaviourally
+//! indistinguishable from the raw schedules on real data: for every
+//! algorithm the final grids are bit-identical and the step/swap
+//! trajectories agree across the scalar runner, the per-grid kernel
+//! path, and the batch lockstep engine. The certificate proves this on
+//! 0-1 lanes (the seventh analyze pass); this suite spot-checks the
+//! same claim on random permutation grids end to end.
+
+use meshsort_core::{
+    optimized_for, schedule_for, sort_batch, sort_to_completion, sort_to_completion_optimized,
+    static_step_bound, AlgorithmId,
+};
+use meshsort_mesh::Grid;
+
+fn scrambled(side: usize, salt: u32) -> Grid<u32> {
+    let cells = (side * side) as u32;
+    let data: Vec<u32> =
+        (0..cells).map(|v| (v.wrapping_mul(2_654_435_761).wrapping_add(salt)) % cells).collect();
+    Grid::from_rows(side, data).unwrap()
+}
+
+fn sides_for(a: AlgorithmId) -> Vec<usize> {
+    [4usize, 6, 8].into_iter().filter(|&s| a.supports_side(s)).collect()
+}
+
+#[test]
+fn optimized_runner_matches_raw_bit_for_bit() {
+    for a in AlgorithmId::ALL {
+        for side in sides_for(a) {
+            for salt in 0..4u32 {
+                let mut raw_grid = scrambled(side, salt);
+                let mut opt_grid = raw_grid.clone();
+                let raw = sort_to_completion(a, &mut raw_grid).unwrap();
+                let opt = sort_to_completion_optimized(a, &mut opt_grid).unwrap();
+                assert_eq!(raw_grid, opt_grid, "{a} side {side} salt {salt}: final grids");
+                assert_eq!(raw.outcome.steps, opt.outcome.steps, "{a} side {side} salt {salt}");
+                assert_eq!(raw.outcome.swaps, opt.outcome.swaps, "{a} side {side} salt {salt}");
+                assert!(opt.outcome.sorted, "{a} side {side} salt {salt}");
+                assert!(
+                    opt.outcome.comparisons <= raw.outcome.comparisons,
+                    "{a} side {side} salt {salt}: the optimized plan must never compare more"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn optimized_kernel_path_matches_raw_bit_for_bit() {
+    for a in AlgorithmId::ALL {
+        for side in sides_for(a) {
+            let raw = schedule_for(a, side).unwrap();
+            let plan = optimized_for(a, side).unwrap();
+            let cap = static_step_bound(a, side);
+            let order = a.order();
+            for salt in 10..14u32 {
+                let mut raw_grid = scrambled(side, salt);
+                let mut opt_grid = raw_grid.clone();
+                let r = raw.run_until_sorted_kernel(&mut raw_grid, order, cap);
+                let o = plan.schedule.run_until_sorted_kernel(&mut opt_grid, order, cap);
+                assert_eq!(raw_grid, opt_grid, "{a} side {side} salt {salt}: final grids");
+                assert_eq!((r.steps, r.swaps, r.sorted), (o.steps, o.swaps, o.sorted));
+            }
+        }
+    }
+}
+
+#[test]
+fn batch_engine_matches_optimized_per_grid_runs() {
+    let side = 8;
+    for a in AlgorithmId::ALL {
+        let mut grids: Vec<Grid<u32>> = (20..28u32).map(|salt| scrambled(side, salt)).collect();
+        let mut solo = grids.clone();
+        let runs = sort_batch(a, &mut grids).unwrap();
+        for (i, g) in solo.iter_mut().enumerate() {
+            let run = sort_to_completion_optimized(a, g).unwrap();
+            assert_eq!(&grids[i], g, "{a}: grid {i} final state");
+            assert_eq!(runs[i].outcome.steps, run.outcome.steps, "{a}: grid {i}");
+            assert_eq!(runs[i].outcome.swaps, run.outcome.swaps, "{a}: grid {i}");
+        }
+    }
+}

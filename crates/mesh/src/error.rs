@@ -59,6 +59,14 @@ pub enum MeshError {
         /// The offending parameter (`"drop_rate"` or `"stall_rate"`).
         param: &'static str,
     },
+    /// A schedule was assembled from plan and compiled-IR lists of
+    /// differing lengths ([`crate::CycleSchedule::from_parts`]).
+    ScheduleShapeMismatch {
+        /// Number of step plans supplied.
+        plans: usize,
+        /// Number of compiled plans supplied.
+        compiled: usize,
+    },
 }
 
 impl fmt::Display for MeshError {
@@ -86,6 +94,12 @@ impl fmt::Display for MeshError {
             }
             MeshError::InvalidFaultRate { param } => {
                 write!(f, "fault rate {param} must be a probability in [0, 1]")
+            }
+            MeshError::ScheduleShapeMismatch { plans, compiled } => {
+                write!(
+                    f,
+                    "schedule shape mismatch: {plans} step plans but {compiled} compiled plans"
+                )
             }
         }
     }
@@ -146,6 +160,13 @@ mod tests {
         let e = MeshError::InvalidFaultRate { param: "drop_rate" };
         assert!(e.to_string().contains("drop_rate"));
         assert!(e.to_string().contains("[0, 1]"));
+    }
+
+    #[test]
+    fn display_schedule_shape_mismatch() {
+        let e = MeshError::ScheduleShapeMismatch { plans: 4, compiled: 3 };
+        assert!(e.to_string().contains("4 step plans"));
+        assert!(e.to_string().contains("3 compiled plans"));
     }
 
     #[test]

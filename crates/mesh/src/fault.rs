@@ -425,6 +425,43 @@ impl ResilientPolicy {
         self.recovery_attempts = 0;
         self
     }
+
+    /// Policy derived from a statically proven convergence bound (the
+    /// `crate::opt` / `crate::absint` per-schedule bound) instead of the
+    /// generic Θ(N) horizon of [`Self::for_side`].
+    ///
+    /// Sizing, all in whole cycles of `cycle_len` steps:
+    ///
+    /// * `stall_window` = the bound rounded up to a cycle — a fault-free
+    ///   run *finishes* within the bound, so it can never plateau that
+    ///   long without converging; any longer stall is real livelock.
+    /// * `recovery_cycles` = `bound ⌈/⌉ cycle_len` — recovery scrubbing
+    ///   restarts at cycle step 0 and the bound is proven from the
+    ///   unconstrained state at step 0, so one fault-free scrub of this
+    ///   many cycles deterministically sorts *any* grid state: the first
+    ///   recovery attempt already suffices, doubling is pure margin.
+    /// * `step_budget` = two stall windows — one window for the faulty
+    ///   run to trip the watchdog plus one for the post-recovery re-run,
+    ///   which is fault-free-equivalent after a successful scrub.
+    ///
+    /// For the canonical schedules the proven bound is well under the
+    /// Θ(N) budget, so every field here is tighter than [`Self::for_side`]
+    /// (pinned by `tests/fault_props.rs`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cycle_len` is zero.
+    pub fn from_static_bound(bound: u64, cycle_len: usize) -> Self {
+        assert!(cycle_len > 0, "a schedule cycle has at least one step");
+        let cycle = cycle_len as u64;
+        let window = bound.div_ceil(cycle).max(1) * cycle;
+        ResilientPolicy {
+            step_budget: 2 * window,
+            stall_window: window,
+            recovery_cycles: bound.div_ceil(cycle).max(1),
+            recovery_attempts: 3,
+        }
+    }
 }
 
 /// Full accounting of one resilient run.

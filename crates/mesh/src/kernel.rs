@@ -97,6 +97,22 @@ const MIN_RUN: usize = 4;
 impl CompiledPlan {
     /// Lowers a validated plan to segment IR.
     pub fn compile(plan: &StepPlan) -> CompiledPlan {
+        Self::compile_with_min_run(plan, MIN_RUN)
+    }
+
+    /// Lowers a plan to segment IR, accepting arithmetic runs of at least
+    /// `min_run` comparators (clamped to a floor of 2 — a one-comparator
+    /// "run" is just a costlier scatter entry). The default
+    /// [`Self::compile`] threshold favours dense canonical steps; the
+    /// schedule optimizer (`crate::opt`) compiles its dead-wire-stripped
+    /// steps with a lower threshold so the sparse survivor columns still
+    /// fuse into runs instead of falling into the scatter path.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `min_run` is zero (a zero-length run is meaningless).
+    pub fn compile_with_min_run(plan: &StepPlan, min_run: usize) -> CompiledPlan {
+        assert!(min_run > 0, "run threshold must be positive");
         let mut cs: Vec<Comparator> = plan.comparators().to_vec();
         // Disjointness makes comparators commute; sorting by the keep-min
         // index exposes each phase's arithmetic structure as long runs.
@@ -118,7 +134,7 @@ impl CompiledPlan {
                 j += 1;
             }
             let len = j - i;
-            if len >= MIN_RUN {
+            if len >= min_run.max(2) {
                 if !scatter.is_empty() {
                     segments.push(Segment::Scatter(std::mem::take(&mut scatter)));
                 }

@@ -39,7 +39,12 @@
 //! [`absint`] module goes further and abstract-interprets the network in
 //! the 0-1 domain: pairwise ordering facts propagated to a fixpoint yield
 //! dead-comparator detection, static phase invariants, and a per-schedule
-//! convergence bound — still without running on data.
+//! convergence bound — still without running on data. The [`opt`] module
+//! consumes those facts on the hot path: it strips the provably dead
+//! wires, re-fuses the surviving comparators into stride runs, and
+//! replaces the Θ(N) step budgets with the proven static bound, every
+//! optimized plan carrying a machine-checked equivalence certificate
+//! ([`opt::certify`]).
 //!
 //! The [`fault`] module models an *imperfect* machine: a seeded,
 //! fully deterministic [`FaultPlan`] injects stuck comparators, transient
@@ -73,6 +78,7 @@ pub mod grid;
 pub mod kernel;
 pub mod metrics;
 pub mod network;
+pub mod opt;
 pub mod order;
 pub mod plan;
 pub mod pos;
@@ -89,6 +95,7 @@ pub use error::MeshError;
 pub use fault::{FaultPlan, FaultSpec, ResilientPolicy, ResilientReport, StuckWire};
 pub use grid::Grid;
 pub use kernel::{CompiledPlan, KernelValue};
+pub use opt::{OptError, OptimizedPlan};
 pub use order::TargetOrder;
 pub use plan::{Comparator, StepPlan};
 pub use pos::Pos;

@@ -1,0 +1,625 @@
+//! Certified schedule optimizer: dead-wire elimination, stride re-fusion,
+//! and static convergence budgets, driven by [`crate::absint`].
+//!
+//! PR 5's dataflow analysis proved that the paper's schedules ship
+//! provably-dead comparators (S3's phase-aligned rows kill every interior
+//! vertical wire of step 3) and computed per-(algorithm, side) static
+//! convergence bounds dominated by the Θ(N) runtime budget. This module is
+//! the first consumer of those facts on the *hot path*:
+//!
+//! 1. **Dead-wire elimination** — every wire in
+//!    [`DataflowSummary::dead_first_cycle`] is stripped from its step
+//!    plan. Soundness: the facts entering a step are non-decreasing in the
+//!    cycle index (the transfer is monotone from the unconstrained seed),
+//!    so a wire dead on its first execution is dead on every execution —
+//!    for any input, by the 0-1 principle. A dead wire never swaps, so
+//!    removing it leaves every concrete trajectory — grids, steps, swaps —
+//!    bit-identical; only comparison counts drop.
+//! 2. **Stride re-fusion** — steps that lost wires are re-lowered with
+//!    [`CompiledPlan::compile_with_min_run`] at [`OPT_MIN_RUN`], so the
+//!    sparse survivor columns (S3 step 3 keeps column 0, plus the last
+//!    column on even sides, at stride `2·side`) still fuse into arithmetic
+//!    runs instead of degrading to the scatter path. Untouched steps keep
+//!    their canonical [`CompiledPlan::compile`] lowering, so a fully-live
+//!    schedule optimizes to an IR-identical copy of itself.
+//! 3. **Static convergence budget** — the optimizer re-runs the dataflow
+//!    fixpoint **on the optimized schedule** (stripping changes the
+//!    abstract transfer even though it preserves concrete behaviour: fact
+//!    sets are not transitively closed, so a dead wire may still
+//!    materialize derived facts) and records the proven
+//!    [`DataflowSummary::converged_step`] as [`OptimizedPlan::static_bound`]
+//!    — a cap under which *every* input provably sorts, replacing the
+//!    Θ(N) step budget in the resilient runners and the batch engine's
+//!    retirement horizon.
+//!
+//! Nothing downstream trusts the optimizer: [`certify`] re-proves every
+//! obligation from the raw/optimized pair alone (comparator accounting,
+//! deadness of each stripped wire, structural + IR conformance, sorted
+//! fixed point, and the claimed bound), and the `optimizer_equivalence`
+//! pass of `meshsort-analyze` additionally replays exhaustive/sampled 0-1
+//! placements through both schedules demanding bit-identical behaviour.
+
+use crate::absint::{self, DataflowSummary, DeadWire};
+use crate::error::MeshError;
+use crate::fault::default_step_budget;
+use crate::kernel::CompiledPlan;
+use crate::order::TargetOrder;
+use crate::plan::{Comparator, StepPlan};
+use crate::schedule::CycleSchedule;
+use crate::verify::{verify_schedule_ir, verify_schedule_structural, SchedulePolicy, VerifyError};
+use std::fmt;
+
+/// Run-fusion threshold for steps the optimizer stripped. The canonical
+/// [`CompiledPlan::compile`] threshold (4) is tuned for dense phases;
+/// stripped steps are sparse by construction — S3's step-3 survivors are
+/// `⌈side/2⌉`-long columns at stride `2·side` — so pairs are worth fusing.
+pub const OPT_MIN_RUN: usize = 2;
+
+/// Largest side at which the optimizer proves the exact static
+/// convergence bound by running the dataflow fixpoint on the optimized
+/// schedule. The fixpoint costs `O(cells² · comparators)` bit-ops per
+/// cycle over `Θ(cells)` cycles — fractions of a second through side 16,
+/// prohibitive at 64 — so above this side [`optimize`] falls back to the
+/// sound Θ(N) budget ([`default_step_budget`]) and [`certify`] checks the
+/// claim against exactly that fallback. Dead-wire elimination is *not*
+/// gated: it needs only cycle 0 of the analysis (~¼ s at side 64).
+pub const OPT_EXACT_BOUND_MAX_SIDE: usize = 16;
+
+/// The provably dead wires of one cycle, by the cheap first-cycle scan:
+/// facts start unconstrained, and a wire whose `le(keep_min, keep_max)`
+/// fact already holds when it executes is dead — on every later cycle
+/// too, by monotonicity of the cycle-boundary facts. Equals
+/// [`DataflowSummary::dead_first_cycle`] without paying for the fixpoint.
+pub fn first_cycle_dead_wires(schedule: &CycleSchedule, cells: usize) -> Vec<DeadWire> {
+    let mut facts = absint::OrderFacts::unconstrained(cells);
+    let mut dead = Vec::new();
+    for (step, plan) in schedule.plans().iter().enumerate() {
+        for &comparator in plan.comparators() {
+            if facts.le(comparator.keep_min as usize, comparator.keep_max as usize) {
+                dead.push(DeadWire { step, comparator });
+            }
+        }
+        facts.apply_step(plan);
+    }
+    dead
+}
+
+/// A dead-wire-stripped, re-fused schedule plus its optimization
+/// certificate obligations: what was stripped and the statically proven
+/// convergence bound. Produced by [`optimize`], independently re-proven by
+/// [`certify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OptimizedPlan {
+    /// The optimized schedule: same cycle length as the raw schedule, each
+    /// step's comparators a subset of the raw step's.
+    pub schedule: CycleSchedule,
+    /// The wires stripped from the raw schedule, each claimed provably
+    /// dead ([`certify`] re-proves every claim).
+    pub stripped: Vec<DeadWire>,
+    /// First step at which the dataflow fixpoint of the *optimized*
+    /// schedule proves every input sorted; a sound cap for any run
+    /// starting at cycle step 0.
+    pub static_bound: u64,
+}
+
+impl OptimizedPlan {
+    /// Comparators per cycle of the optimized schedule.
+    pub fn comparators_per_cycle(&self) -> u64 {
+        self.schedule.plans().iter().map(|p| p.len() as u64).sum()
+    }
+
+    /// Comparators per cycle of the raw schedule this plan was derived
+    /// from (survivors plus stripped).
+    pub fn raw_comparators_per_cycle(&self) -> u64 {
+        self.comparators_per_cycle() + self.stripped.len() as u64
+    }
+
+    /// Fraction of the raw cycle's comparators proven dead and stripped,
+    /// in `[0, 1)` — the floor on the comparison-count win.
+    pub fn dead_fraction(&self) -> f64 {
+        let raw = self.raw_comparators_per_cycle();
+        if raw == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.stripped.len() as f64 / raw as f64
+        }
+    }
+
+    /// `true` when nothing was stripped: the optimized schedule is an
+    /// IR-identical copy of the raw one and only the static bound differs
+    /// from the Θ(N) default.
+    pub fn is_identity(&self) -> bool {
+        self.stripped.is_empty()
+    }
+}
+
+/// A violated certificate obligation (or a failed optimization). Every
+/// variant renders a distinct diagnostic; the mutation suite in
+/// `meshsort-analyze` corrupts optimized plans to prove each one fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OptError {
+    /// Rebuilding a stripped step plan failed (cannot happen for subsets
+    /// of valid plans; surfaced rather than unwrapped).
+    Mesh(MeshError),
+    /// The dataflow fixpoint of the optimized schedule does not prove the
+    /// full target-order chain, so no static bound exists.
+    UnprovableConvergence {
+        /// Target-order chain links left unproven at the fixpoint.
+        missing: usize,
+    },
+    /// The optimized plan plus the claimed stripped set does not reproduce
+    /// the raw plan's comparator multiset at some step.
+    StrippedSetMismatch {
+        /// Cycle step (0-indexed) where the accounting first breaks.
+        step: usize,
+        /// Raw comparators at that step.
+        raw: usize,
+        /// Optimized comparators plus claimed-stripped wires at that step.
+        accounted: usize,
+    },
+    /// A wire the optimizer claims dead is live: the raw schedule's facts
+    /// do not prove `le(keep_min, keep_max)` when the wire executes.
+    StrippedWireLive {
+        /// Cycle step (0-indexed) of the wire.
+        step: usize,
+        /// The wrongly stripped comparator.
+        comparator: Comparator,
+    },
+    /// The optimized schedule failed structural verification.
+    Structural(VerifyError),
+    /// The optimized schedule's segment IR does not expand to its step
+    /// plans — a mis-fused stride run.
+    IrConformance(VerifyError),
+    /// A comparator of the optimized schedule can swap on a sorted grid.
+    SortedNotFixedPoint {
+        /// Cycle step (0-indexed) of the wire.
+        step: usize,
+        /// The offending comparator.
+        comparator: Comparator,
+    },
+    /// The claimed static bound is not the one the dataflow fixpoint
+    /// proves for the optimized schedule.
+    BoundMismatch {
+        /// The bound the plan claims.
+        claimed: u64,
+        /// The bound actually proven.
+        proven: u64,
+    },
+    /// The proven static bound exceeds the Θ(N) step budget it is meant
+    /// to replace.
+    BoundExceedsBudget {
+        /// The proven static bound.
+        bound: u64,
+        /// The Θ(N) budget ([`default_step_budget`]).
+        budget: u64,
+    },
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::Mesh(e) => write!(f, "optimized plan construction failed: {e}"),
+            OptError::UnprovableConvergence { missing } => write!(
+                f,
+                "optimized schedule convergence unprovable: {missing} target-order chain links \
+                 unproven at the fixpoint"
+            ),
+            OptError::StrippedSetMismatch { step, raw, accounted } => write!(
+                f,
+                "comparator accounting broken at step {step}: raw plan has {raw} comparators but \
+                 optimized plan plus stripped set accounts for {accounted}"
+            ),
+            OptError::StrippedWireLive { step, comparator } => write!(
+                f,
+                "stripped comparator ({}, {}) at step {step} is live: deadness unproven on the \
+                 raw schedule",
+                comparator.keep_min, comparator.keep_max
+            ),
+            OptError::Structural(e) => write!(f, "optimized schedule structural violation: {e}"),
+            OptError::IrConformance(e) => {
+                write!(f, "optimized schedule IR mis-fused: {e}")
+            }
+            OptError::SortedNotFixedPoint { step, comparator } => write!(
+                f,
+                "optimized schedule can swap on a sorted grid: comparator ({}, {}) at step {step}",
+                comparator.keep_min, comparator.keep_max
+            ),
+            OptError::BoundMismatch { claimed, proven } => write!(
+                f,
+                "static bound inflated or stale: claimed {claimed} but the optimized schedule's \
+                 fixpoint proves {proven}"
+            ),
+            OptError::BoundExceedsBudget { bound, budget } => write!(
+                f,
+                "static bound {bound} exceeds the default step budget {budget} it replaces"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+impl From<MeshError> for OptError {
+    fn from(e: MeshError) -> Self {
+        OptError::Mesh(e)
+    }
+}
+
+/// Optimizes one schedule: strips the provably dead wires, re-fuses the
+/// stripped steps, and proves the static convergence bound of the result.
+///
+/// The returned plan is *claimed* correct; run [`certify`] (or the
+/// `optimizer_equivalence` analyze pass, which also replays 0-1
+/// placements) to machine-check it.
+///
+/// # Errors
+///
+/// [`OptError::UnprovableConvergence`] when the optimized schedule's
+/// fixpoint (run at sides ≤ [`OPT_EXACT_BOUND_MAX_SIDE`]) cannot prove
+/// the target order — no static bound exists, so no optimized plan is
+/// produced. [`OptError::Mesh`] is propagated from plan reconstruction
+/// (unreachable for subsets of valid plans).
+///
+/// # Panics
+///
+/// As [`absint::analyze_schedule`]: when the schedule was not compiled
+/// for `side * side` cells.
+pub fn optimize(
+    raw: &CycleSchedule,
+    order: TargetOrder,
+    side: usize,
+) -> Result<OptimizedPlan, OptError> {
+    let cells = side * side;
+    let stripped = first_cycle_dead_wires(raw, cells);
+    let mut plans = Vec::with_capacity(raw.cycle_len());
+    let mut compiled = Vec::with_capacity(raw.cycle_len());
+    for (step, plan) in raw.plans().iter().enumerate() {
+        let survivors: Vec<Comparator> = plan
+            .comparators()
+            .iter()
+            .copied()
+            .filter(|c| !stripped.iter().any(|d| d.step == step && d.comparator == *c))
+            .collect();
+        let touched = survivors.len() != plan.len();
+        let stripped_plan = StepPlan::new(survivors)?;
+        compiled.push(if touched {
+            CompiledPlan::compile_with_min_run(&stripped_plan, OPT_MIN_RUN)
+        } else {
+            CompiledPlan::compile(&stripped_plan)
+        });
+        plans.push(stripped_plan);
+    }
+    let schedule = CycleSchedule::from_parts(plans, compiled, cells)?;
+    let static_bound = if side <= OPT_EXACT_BOUND_MAX_SIDE {
+        let summary: DataflowSummary = absint::analyze_schedule(&schedule, order, side);
+        summary
+            .converged_step
+            .ok_or(OptError::UnprovableConvergence { missing: summary.missing_chain_links.len() })?
+    } else {
+        default_step_budget(side)
+    };
+    Ok(OptimizedPlan { schedule, stripped, static_bound })
+}
+
+/// Machine-checks an [`OptimizedPlan`] against the raw schedule it claims
+/// to optimize. The obligations, in order:
+///
+/// 1. **Comparator accounting** — per step, the optimized plan's
+///    comparators plus the claimed stripped wires reproduce exactly the
+///    raw plan's comparator multiset (nothing dropped beyond the claim,
+///    nothing invented).
+/// 2. **Deadness** — replaying the raw schedule's first cycle in the
+///    ordering-facts domain proves `le(keep_min, keep_max)` for every
+///    stripped wire at the moment it would execute (monotonicity extends
+///    this to every later cycle).
+/// 3. **Structural conformance** — the optimized schedule passes
+///    [`verify_schedule_structural`] against `policy` (a subset of a
+///    conforming schedule conforms, but the verifier re-proves it).
+/// 4. **IR conformance** — every optimized step's re-fused segment IR
+///    expands to exactly its step plan ([`verify_schedule_ir`]); this is
+///    what catches a mis-fused stride run.
+/// 5. **Sorted fixed point** — the sorted state still cannot swap
+///    ([`absint::verify_sorted_fixed_point`]).
+/// 6. **Bound** — the dataflow fixpoint of the optimized schedule proves
+///    convergence exactly at the claimed [`OptimizedPlan::static_bound`],
+///    and that bound does not exceed [`default_step_budget`]. Above
+///    [`OPT_EXACT_BOUND_MAX_SIDE`] the fixpoint is unaffordable and the
+///    only admissible claim is the Θ(N) fallback itself.
+///
+/// Behavioural 0-1 identity (raw and optimized runs bit-identical) is the
+/// seventh analyze pass's additional dynamic check; obligations 1+2 imply
+/// it, but the pass does not take the implication on faith.
+///
+/// # Errors
+///
+/// The first violated obligation, as a distinct [`OptError`] variant.
+pub fn certify(
+    raw: &CycleSchedule,
+    optimized: &OptimizedPlan,
+    policy: &SchedulePolicy,
+) -> Result<(), OptError> {
+    let side = policy.side();
+    let order = policy.order();
+
+    // Obligation 1: per-step comparator accounting.
+    let key = |c: &Comparator| (c.keep_min, c.keep_max);
+    for (step, raw_plan) in raw.plans().iter().enumerate() {
+        let mut expected: Vec<Comparator> = raw_plan.comparators().to_vec();
+        let mut accounted: Vec<Comparator> = optimized
+            .schedule
+            .plans()
+            .get(step)
+            .map(|p| p.comparators().to_vec())
+            .unwrap_or_default();
+        accounted
+            .extend(optimized.stripped.iter().filter(|d| d.step == step).map(|d| d.comparator));
+        expected.sort_unstable_by_key(key);
+        accounted.sort_unstable_by_key(key);
+        if expected != accounted {
+            return Err(OptError::StrippedSetMismatch {
+                step,
+                raw: expected.len(),
+                accounted: accounted.len(),
+            });
+        }
+    }
+    if optimized.schedule.cycle_len() != raw.cycle_len() {
+        return Err(OptError::StrippedSetMismatch {
+            step: raw.cycle_len(),
+            raw: 0,
+            accounted: optimized.schedule.plans().len().saturating_sub(raw.cycle_len()),
+        });
+    }
+
+    // Obligation 2: every stripped wire is provably dead on the raw
+    // schedule's first cycle.
+    let mut facts = absint::OrderFacts::unconstrained(side * side);
+    for (step, plan) in raw.plans().iter().enumerate() {
+        for dead in optimized.stripped.iter().filter(|d| d.step == step) {
+            let c = dead.comparator;
+            if !facts.le(c.keep_min as usize, c.keep_max as usize) {
+                return Err(OptError::StrippedWireLive { step, comparator: c });
+            }
+        }
+        facts.apply_step(plan);
+    }
+
+    // Obligations 3 + 4: structural and IR conformance of the optimized
+    // schedule.
+    verify_schedule_structural(&optimized.schedule, policy).map_err(OptError::Structural)?;
+    verify_schedule_ir(&optimized.schedule).map_err(OptError::IrConformance)?;
+
+    // Obligation 5: sorted state remains a fixed point.
+    absint::verify_sorted_fixed_point(&optimized.schedule, order, side)
+        .map_err(|w| OptError::SortedNotFixedPoint { step: w.step, comparator: w.comparator })?;
+
+    // Obligation 6: the claimed bound is the proven one and fits the
+    // budget it replaces. Above the exact-fixpoint side the only sound
+    // claim is the Θ(N) fallback itself.
+    let budget = default_step_budget(side);
+    let proven = if side <= OPT_EXACT_BOUND_MAX_SIDE {
+        let summary = absint::analyze_schedule(&optimized.schedule, order, side);
+        summary
+            .converged_step
+            .ok_or(OptError::UnprovableConvergence { missing: summary.missing_chain_links.len() })?
+    } else {
+        budget
+    };
+    if proven != optimized.static_bound {
+        return Err(OptError::BoundMismatch { claimed: optimized.static_bound, proven });
+    }
+    if proven > budget {
+        return Err(OptError::BoundExceedsBudget { bound: proven, budget });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::Grid;
+    use crate::order::TargetOrder;
+
+    /// Linear-array phase pairs: odd phase `(0,1), (2,3), …`, even phase
+    /// `(1,2), (3,4), …` (the paper's 1-indexed odd/even steps).
+    fn phase_pairs(side: usize, odd: bool) -> Vec<(usize, usize)> {
+        let start = usize::from(!odd);
+        (start..side.saturating_sub(1)).step_by(2).map(|a| (a, a + 1)).collect()
+    }
+
+    /// S3's canonical cycle (snake order, phase-aligned rows) rebuilt
+    /// from the paper's step descriptions, mirroring
+    /// `AlgorithmId::SnakePhaseAligned` without depending on `core`:
+    /// row steps run *one* phase across all rows (paper-odd rows forward,
+    /// paper-even rows reverse), column steps are parity-staggered.
+    fn s3_schedule(side: usize) -> CycleSchedule {
+        let rows = |odd_phase: bool| {
+            let mut cs = Vec::new();
+            for r in 0..side {
+                let forward = r % 2 == 0; // paper-odd rows ascend left→right
+                for (a, b) in phase_pairs(side, odd_phase) {
+                    let left = (r * side + a) as u32;
+                    let right = (r * side + b) as u32;
+                    cs.push(if forward {
+                        Comparator::new(left, right)
+                    } else {
+                        Comparator::new(right, left)
+                    });
+                }
+            }
+            StepPlan::new(cs).unwrap()
+        };
+        let staggered_cols = |odd_cols_phase_odd: bool| {
+            let mut cs = Vec::new();
+            for c in 0..side {
+                let odd_phase = if c % 2 == 0 { odd_cols_phase_odd } else { !odd_cols_phase_odd };
+                for (a, b) in phase_pairs(side, odd_phase) {
+                    cs.push(Comparator::new((a * side + c) as u32, (b * side + c) as u32));
+                }
+            }
+            StepPlan::new(cs).unwrap()
+        };
+        CycleSchedule::new(
+            vec![rows(true), staggered_cols(true), rows(false), staggered_cols(false)],
+            side * side,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn optimize_strips_s3_dead_wires_and_certifies() {
+        let side = 8;
+        let raw = s3_schedule(side);
+        let order = TargetOrder::Snake;
+        let opt = optimize(&raw, order, side).unwrap();
+        assert!(!opt.stripped.is_empty(), "S3-style schedule must have dead wires");
+        assert!(opt.stripped.iter().all(|d| d.step == 3), "dead wires live on the repeat step");
+        let policy = crate::verify::SchedulePolicy::mesh_only(side, order, raw.cycle_len());
+        certify(&raw, &opt, &policy).unwrap();
+        assert!(opt.static_bound <= default_step_budget(side));
+    }
+
+    #[test]
+    fn optimized_run_is_bit_identical_to_raw() {
+        let side = 8;
+        let raw = s3_schedule(side);
+        let order = TargetOrder::Snake;
+        let opt = optimize(&raw, order, side).unwrap();
+        let cap = default_step_budget(side);
+        for seed in 0..8u64 {
+            let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+            let data: Vec<u32> = (0..side * side)
+                .map(|_| {
+                    state ^= state << 13;
+                    state ^= state >> 7;
+                    state ^= state << 17;
+                    (state & 0xffff) as u32
+                })
+                .collect();
+            let mut a = Grid::from_rows(side, data.clone()).unwrap();
+            let mut b = Grid::from_rows(side, data).unwrap();
+            let ra = raw.run_until_sorted_kernel(&mut a, order, cap);
+            let rb = opt.schedule.run_until_sorted_kernel(&mut b, order, cap);
+            assert!(ra.sorted && rb.sorted);
+            assert_eq!(a, b, "final grids must be bit-identical");
+            assert_eq!(ra.steps, rb.steps);
+            assert_eq!(ra.swaps, rb.swaps);
+            assert!(
+                rb.comparisons < ra.comparisons,
+                "stripping dead wires must reduce comparison counts"
+            );
+            assert!(rb.steps <= opt.static_bound, "fault-free run exceeds static bound");
+        }
+    }
+
+    #[test]
+    fn fully_live_schedule_optimizes_to_identity() {
+        // A 1-D odd-even transposition network has no dead wires.
+        let side = 4;
+        let odd: Vec<Comparator> = (0..side * side - 1)
+            .step_by(2)
+            .map(|i| Comparator::new(i as u32, i as u32 + 1))
+            .collect();
+        let even: Vec<Comparator> = (1..side * side - 1)
+            .step_by(2)
+            .map(|i| Comparator::new(i as u32, i as u32 + 1))
+            .collect();
+        let raw = CycleSchedule::new(
+            vec![StepPlan::new(odd).unwrap(), StepPlan::new(even).unwrap()],
+            side * side,
+        )
+        .unwrap();
+        let opt = optimize(&raw, TargetOrder::RowMajor, side).unwrap();
+        assert!(opt.is_identity());
+        assert_eq!(opt.schedule, raw, "identity optimization must preserve the IR too");
+        assert!((opt.dead_fraction() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn certify_rejects_live_wire_claimed_dead() {
+        let side = 8;
+        let raw = s3_schedule(side);
+        let order = TargetOrder::Snake;
+        let opt = optimize(&raw, order, side).unwrap();
+        // Strip a genuinely live wire (from step 0) and claim it dead.
+        let victim = raw.plans()[0].comparators()[0];
+        let mut plans = opt.schedule.plans().to_vec();
+        let survivors: Vec<Comparator> =
+            plans[0].comparators().iter().copied().filter(|c| *c != victim).collect();
+        plans[0] = StepPlan::new(survivors).unwrap();
+        let mut compiled = opt.schedule.compiled_plans().to_vec();
+        compiled[0] = CompiledPlan::compile_with_min_run(&plans[0], OPT_MIN_RUN);
+        let schedule = CycleSchedule::from_parts(plans, compiled, side * side).unwrap();
+        let mut stripped = opt.stripped.clone();
+        stripped.push(DeadWire { step: 0, comparator: victim });
+        let corrupted = OptimizedPlan { schedule, stripped, static_bound: opt.static_bound };
+        let policy = crate::verify::SchedulePolicy::mesh_only(side, order, raw.cycle_len());
+        let err = certify(&raw, &corrupted, &policy).unwrap_err();
+        assert!(matches!(err, OptError::StrippedWireLive { step: 0, .. }), "{err}");
+        assert!(err.to_string().contains("is live"));
+    }
+
+    #[test]
+    fn certify_rejects_inflated_bound() {
+        let side = 8;
+        let raw = s3_schedule(side);
+        let order = TargetOrder::Snake;
+        let mut opt = optimize(&raw, order, side).unwrap();
+        opt.static_bound += 4;
+        let policy = crate::verify::SchedulePolicy::mesh_only(side, order, raw.cycle_len());
+        let err = certify(&raw, &opt, &policy).unwrap_err();
+        assert!(matches!(err, OptError::BoundMismatch { .. }), "{err}");
+        assert!(err.to_string().contains("inflated or stale"));
+    }
+
+    #[test]
+    fn certify_rejects_unaccounted_drop() {
+        let side = 8;
+        let raw = s3_schedule(side);
+        let order = TargetOrder::Snake;
+        let mut opt = optimize(&raw, order, side).unwrap();
+        // Forget one stripped wire from the claim: accounting breaks.
+        opt.stripped.pop();
+        let policy = crate::verify::SchedulePolicy::mesh_only(side, order, raw.cycle_len());
+        let err = certify(&raw, &opt, &policy).unwrap_err();
+        assert!(matches!(err, OptError::StrippedSetMismatch { .. }), "{err}");
+        assert!(err.to_string().contains("accounting"));
+    }
+
+    #[test]
+    fn certify_rejects_mis_fused_ir() {
+        let side = 8;
+        let raw = s3_schedule(side);
+        let order = TargetOrder::Snake;
+        let opt = optimize(&raw, order, side).unwrap();
+        // Rebuild the optimized schedule with one step's IR compiled from
+        // a doctored plan (first comparator dropped): expansion no longer
+        // matches the step plan.
+        let plans = opt.schedule.plans().to_vec();
+        let mut compiled: Vec<CompiledPlan> = opt.schedule.compiled_plans().to_vec();
+        let doctored = StepPlan::new(plans[3].comparators()[1..].to_vec()).unwrap();
+        compiled[3] = CompiledPlan::compile_with_min_run(&doctored, OPT_MIN_RUN);
+        let mis_fused = CycleSchedule::from_parts(plans, compiled, side * side).unwrap();
+        let corrupted = OptimizedPlan { schedule: mis_fused, ..opt };
+        let policy = crate::verify::SchedulePolicy::mesh_only(side, order, raw.cycle_len());
+        let err = certify(&raw, &corrupted, &policy).unwrap_err();
+        assert!(matches!(err, OptError::IrConformance(_)), "{err}");
+        assert!(err.to_string().contains("mis-fused"));
+    }
+
+    #[test]
+    fn stripped_steps_refuse_with_short_runs() {
+        let side = 8;
+        let raw = s3_schedule(side);
+        let opt = optimize(&raw, TargetOrder::Snake, side).unwrap();
+        // Step 3 survivors: column 0 (odd parities) — stride 2·side runs
+        // that the canonical MIN_RUN=4 would scatter at this density.
+        let refused = &opt.schedule.compiled_plans()[3];
+        assert!(
+            refused.run_segments() > 0,
+            "survivor columns must re-fuse into stride runs, not scatter"
+        );
+    }
+}

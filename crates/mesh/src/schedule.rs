@@ -95,6 +95,43 @@ impl CycleSchedule {
         Ok(CycleSchedule { plans, compiled })
     }
 
+    /// Builds a schedule from plans and *pre-built* compiled lowerings,
+    /// bounds-checking the plans but taking the compiled forms as given.
+    ///
+    /// This is the constructor for schedules whose IR was produced by
+    /// something other than [`CompiledPlan::compile`] — the schedule
+    /// optimizer re-fuses stripped steps with
+    /// [`CompiledPlan::compile_with_min_run`]. Callers are responsible for
+    /// certifying plan/IR agreement via `crate::verify::verify_schedule_ir`
+    /// (the optimizer's certificate does exactly that); nothing here checks
+    /// that `compiled[i]` expands to `plans[i]`.
+    ///
+    /// # Errors
+    ///
+    /// [`MeshError::EmptySchedule`] for an empty plan list,
+    /// [`MeshError::ScheduleShapeMismatch`] when the plan and IR lists
+    /// disagree in length, or the first bounds violation from
+    /// [`StepPlan::check_bounds`].
+    pub fn from_parts(
+        plans: Vec<StepPlan>,
+        compiled: Vec<CompiledPlan>,
+        cells: usize,
+    ) -> Result<Self, MeshError> {
+        if plans.is_empty() {
+            return Err(MeshError::EmptySchedule);
+        }
+        if plans.len() != compiled.len() {
+            return Err(MeshError::ScheduleShapeMismatch {
+                plans: plans.len(),
+                compiled: compiled.len(),
+            });
+        }
+        for p in &plans {
+            p.check_bounds(cells)?;
+        }
+        Ok(CycleSchedule { plans, compiled })
+    }
+
     /// Number of steps in one cycle.
     #[inline]
     pub fn cycle_len(&self) -> usize {

@@ -2,10 +2,16 @@
 //! determinism (same seed ⇒ identical trace and final grid), scalar vs
 //! compiled-kernel differential equality under faults, recovery after
 //! transient damage, and watchdog termination under permanent faults.
+//!
+//! The suite runs under the *static* convergence budget: every policy is
+//! derived from the `absint` fixpoint bound of the schedule under test
+//! ([`ResilientPolicy::from_static_bound`]), several times tighter than
+//! the Θ(N) `for_side` default it replaced —
+//! `static_bound_policy_is_tighter_than_theta` pins the gap.
 
 use meshsort_mesh::fault::{self, FaultEvent, FaultSpec};
 use meshsort_mesh::{
-    CycleSchedule, FaultPlan, Grid, ResilientPolicy, StepPlan, StuckWire, TargetOrder,
+    absint, CycleSchedule, FaultPlan, Grid, ResilientPolicy, StepPlan, StuckWire, TargetOrder,
 };
 
 /// Odd-even transposition over the flat data of a `side × side` grid, as
@@ -36,8 +42,36 @@ fn scrambled_grid(side: usize, seed: u64) -> Grid<u32> {
     Grid::from_rows(side, vals).unwrap()
 }
 
-fn policy(side: usize) -> ResilientPolicy {
-    ResilientPolicy::for_side(side)
+/// The statically proven convergence bound of `s`: the `absint` fixpoint
+/// step after which every input is sorted.
+fn static_bound(s: &CycleSchedule, side: usize) -> u64 {
+    let summary = absint::analyze_schedule(s, TargetOrder::RowMajor, side);
+    summary.converged_step.expect("line-schedule convergence is provable")
+}
+
+/// Resilient policy sized from the static bound of the schedule under
+/// test — the budget the runners actually use, not the Θ(N) default.
+fn policy(s: &CycleSchedule, side: usize) -> ResilientPolicy {
+    ResilientPolicy::from_static_bound(static_bound(s, side), s.cycle_len())
+}
+
+#[test]
+fn static_bound_policy_is_tighter_than_theta() {
+    // The static-bound policy must beat the Θ(N) `for_side` budget on
+    // every axis while still admitting the worst fault-free run.
+    for side in [4, 6, 8, 10] {
+        let s = line_schedule(side);
+        let pol = policy(&s, side);
+        let theta = ResilientPolicy::for_side(side);
+        assert!(pol.step_budget < theta.step_budget, "side {side}");
+        assert!(pol.stall_window < theta.stall_window, "side {side}");
+        assert!(pol.recovery_cycles < theta.recovery_cycles, "side {side}");
+        // The fault-free run finishes inside the stall window, so the
+        // tighter watchdog never misfires on a healthy machine.
+        let mut g = scrambled_grid(side, 1);
+        let out = s.run_until_sorted_kernel(&mut g, TargetOrder::RowMajor, pol.stall_window);
+        assert!(out.sorted, "side {side}: fault-free run missed the stall window");
+    }
 }
 
 #[test]
@@ -57,13 +91,13 @@ fn noop_faults_match_fault_free_run_exactly() {
             &mut scalar,
             TargetOrder::RowMajor,
             &faults,
-            &policy(side),
+            &policy(&s, side),
         );
         let rk = s.run_until_sorted_resilient_kernel(
             &mut kernel,
             TargetOrder::RowMajor,
             &faults,
-            &policy(side),
+            &policy(&s, side),
         );
         assert_eq!(rs, rk);
         assert_eq!(rs.outcome, fault::RunOutcome::Converged { steps: base.steps });
@@ -92,8 +126,8 @@ fn same_seed_identical_trace_and_final_grid() {
     assert_eq!(a.trace(&s, 1024), b.trace(&s, 1024));
     let mut ga = scrambled_grid(side, 7);
     let mut gb = ga.clone();
-    let ra = s.run_until_sorted_resilient(&mut ga, TargetOrder::RowMajor, &a, &policy(side));
-    let rb = s.run_until_sorted_resilient(&mut gb, TargetOrder::RowMajor, &b, &policy(side));
+    let ra = s.run_until_sorted_resilient(&mut ga, TargetOrder::RowMajor, &a, &policy(&s, side));
+    let rb = s.run_until_sorted_resilient(&mut gb, TargetOrder::RowMajor, &b, &policy(&s, side));
     assert_eq!(ra, rb);
     assert_eq!(ga, gb);
 }
@@ -119,13 +153,13 @@ fn scalar_and_kernel_paths_agree_under_faults() {
                 &mut ga,
                 TargetOrder::RowMajor,
                 &faults,
-                &policy(side),
+                &policy(&s, side),
             );
             let rb = s.run_until_sorted_resilient_kernel(
                 &mut gb,
                 TargetOrder::RowMajor,
                 &faults,
-                &policy(side),
+                &policy(&s, side),
             );
             assert_eq!(ra, rb, "seed={seed} gseed={gseed}");
             assert_eq!(ga, gb, "seed={seed} gseed={gseed}");
@@ -150,7 +184,7 @@ fn recovery_scrubs_transient_damage_to_fault_free_result() {
         &mut damaged,
         TargetOrder::RowMajor,
         &faults,
-        &policy(side),
+        &policy(&s, side),
     );
     assert!(rep.outcome.converged(), "outcome = {:?}", rep.outcome);
     assert!(rep.dropped > 0, "fixture too tame: no fault ever fired");
@@ -173,7 +207,7 @@ fn stuck_comparator_on_zero_one_input_degrades_without_hanging() {
     let mut data = vec![0u8; side * side];
     data[0] = 1;
     let mut g = Grid::from_rows(side, data).unwrap();
-    let pol = policy(side).without_recovery();
+    let pol = policy(&s, side).without_recovery();
     let rep = s.run_until_sorted_resilient(&mut g, TargetOrder::RowMajor, &faults, &pol);
     assert!(
         matches!(
@@ -201,7 +235,7 @@ fn drop_rate_one_trips_watchdog_within_budget() {
     let faults = FaultPlan::compile(&FaultSpec::transient(5, 1.0), &s).unwrap();
     let mut g = scrambled_grid(side, 11);
     let before = g.clone();
-    let pol = policy(side).without_recovery();
+    let pol = policy(&s, side).without_recovery();
     let rep = s.run_until_sorted_resilient(&mut g, TargetOrder::RowMajor, &faults, &pol);
     match rep.outcome {
         fault::RunOutcome::Degraded { residual_inversions, .. } => {
@@ -224,7 +258,7 @@ fn stall_rate_one_executes_nothing() {
     spec.stall_rate = 1.0;
     let faults = FaultPlan::compile(&spec, &s).unwrap();
     let mut g = scrambled_grid(side, 2);
-    let pol = policy(side).without_recovery();
+    let pol = policy(&s, side).without_recovery();
     let rep = s.run_until_sorted_resilient(&mut g, TargetOrder::RowMajor, &faults, &pol);
     assert_eq!(rep.stalled_steps, rep.steps);
     assert_eq!((rep.swaps, rep.comparisons, rep.dropped), (0, 0, 0));
@@ -237,7 +271,8 @@ fn already_sorted_grid_is_zero_steps_even_under_faults() {
     let s = line_schedule(side);
     let faults = FaultPlan::compile(&FaultSpec::transient(1, 0.9), &s).unwrap();
     let mut g = Grid::from_rows(side, (0..(side * side) as u32).collect()).unwrap();
-    let rep = s.run_until_sorted_resilient(&mut g, TargetOrder::RowMajor, &faults, &policy(side));
+    let rep =
+        s.run_until_sorted_resilient(&mut g, TargetOrder::RowMajor, &faults, &policy(&s, side));
     assert_eq!(rep.outcome, fault::RunOutcome::Converged { steps: 0 });
     assert_eq!(rep.steps, 0);
 }

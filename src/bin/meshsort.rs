@@ -20,6 +20,7 @@ fn main() {
     let mut algorithm = None;
     let mut trace = false;
     let mut quick = false;
+    let mut optimized = false;
     let mut theorem = 3u32;
     let mut gamma = 0.25f64;
     let mut delta = 0.05f64;
@@ -69,6 +70,7 @@ fn main() {
             }
             "--trace" => trace = true,
             "--quick" => quick = true,
+            "--optimized" => optimized = true,
             "--theorem" => {
                 i += 1;
                 theorem = args
@@ -121,7 +123,7 @@ fn main() {
         "min-walk" => Ok(cli::cmd_min_walk(side, seed)),
         "schedule" => {
             let alg = algorithm.unwrap_or_else(|| bad("schedule needs --algorithm"));
-            cli::cmd_schedule(alg, side.min(12))
+            cli::cmd_schedule(alg, side.min(12), optimized)
         }
         "analyze" => cli::cmd_analyze(&sides),
         "chaos" => cli::cmd_chaos(&sides, seeds, &rates),

@@ -8,7 +8,7 @@ use meshsort_core::{runner, AlgorithmId};
 use meshsort_exact::thresholds::ConcentrationTheorem;
 use meshsort_mesh::fault::RunOutcome;
 use meshsort_mesh::viz::render_plan;
-use meshsort_mesh::{FaultSpec, ResilientPolicy};
+use meshsort_mesh::FaultSpec;
 use meshsort_workloads::permutation::random_permutation_grid;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -136,12 +136,43 @@ pub fn cmd_min_walk(side: usize, seed: u64) -> String {
 /// `meshsort schedule`: render one algorithm's cycle.
 ///
 /// The schedule is passed through the `meshcheck` structural pass before
-/// rendering, so a malformed schedule is reported instead of drawn.
-pub fn cmd_schedule(algorithm: AlgorithmId, side: usize) -> Result<String, String> {
+/// rendering, so a malformed schedule is reported instead of drawn. With
+/// `optimized`, the dead-wire-stripped plan the runners execute is drawn
+/// instead, after its equivalence certificate
+/// ([`meshsort_mesh::opt::certify`]) is re-checked, and the certificate
+/// summary (stripped wires, dead fraction, static convergence bound) is
+/// appended.
+pub fn cmd_schedule(
+    algorithm: AlgorithmId,
+    side: usize,
+    optimized: bool,
+) -> Result<String, String> {
     let schedule = algorithm.schedule(side).map_err(|e| e.to_string())?;
     let policy = algorithm.schedule_policy(side);
     meshsort_mesh::verify::verify_schedule_structural(&schedule, &policy)
         .map_err(|e| format!("schedule failed structural verification: {e}"))?;
+    if optimized {
+        let plan = meshsort_core::optimized_for(algorithm, side).map_err(|e| e.to_string())?;
+        meshsort_mesh::opt::certify(&schedule, &plan, &policy)
+            .map_err(|e| format!("optimized plan failed certification: {e}"))?;
+        let mut out = format!("{algorithm} optimized cycle on side {side}:\n");
+        for (i, step) in plan.schedule.plans().iter().enumerate() {
+            writeln!(out, "--- step 4i+{} ({} comparators) ---", i + 1, step.len()).unwrap();
+            out.push_str(&render_plan(step, side));
+        }
+        writeln!(
+            out,
+            "certificate: OK — {} of {} comparators/cycle stripped as provably dead \
+             ({:.1}%), static convergence bound {} steps (default budget {})",
+            plan.stripped.len(),
+            plan.raw_comparators_per_cycle(),
+            100.0 * plan.dead_fraction(),
+            plan.static_bound,
+            meshsort_mesh::fault::default_step_budget(side)
+        )
+        .unwrap();
+        return Ok(out);
+    }
     let mut out = format!("{algorithm} cycle on side {side}:\n");
     for (i, plan) in schedule.plans().iter().enumerate() {
         writeln!(out, "--- step 4i+{} ({} comparators) ---", i + 1, plan.len()).unwrap();
@@ -187,7 +218,11 @@ pub fn cmd_analyze(sides: &[usize]) -> Result<String, String> {
 /// `meshsort chaos`: resilient runs under injected transient faults.
 ///
 /// Sweeps every algorithm over the requested sides, rates, and seed
-/// count with the default [`ResilientPolicy`] (recovery scrubbing on).
+/// count with recovery scrubbing on. Each (algorithm, side) runs under
+/// its *static* budget ([`runner::resilient_policy_for`]): the watchdog
+/// and step budget derive from the proven convergence bound where the
+/// fixpoint is affordable, falling back to the Θ(N)
+/// [`meshsort_mesh::ResilientPolicy::for_side`] default above that.
 /// Rate-0 runs are differentially checked against the fault-free engine:
 /// any step-count mismatch, non-convergence, or integrity violation is a
 /// hard error, because it indicts the runner, not the faults.
@@ -202,21 +237,29 @@ pub fn cmd_chaos(sides: &[usize], seeds: u64, rates: &[f64]) -> Result<String, S
         return Err("chaos needs at least one rate".to_string());
     }
     let mut out = String::from(
-        "chaos: resilient runs under transient comparator misfires (recovery scrubbing on)\n",
+        "chaos: resilient runs under transient comparator misfires \
+         (recovery scrubbing on, static convergence budgets where proven)\n",
     );
     writeln!(
         out,
-        "{:<6} {:<22} {:>6} {:>10} {:>11} {:>12} {:>11}",
-        "side", "algorithm", "rate", "converged", "mean steps", "dropped/run", "recoveries"
+        "{:<6} {:<22} {:>6} {:>8} {:>10} {:>11} {:>12} {:>11}",
+        "side",
+        "algorithm",
+        "rate",
+        "budget",
+        "converged",
+        "mean steps",
+        "dropped/run",
+        "recoveries"
     )
     .unwrap();
     for &side in sides {
-        let policy = ResilientPolicy::for_side(side);
         for alg in AlgorithmId::ALL {
             if !alg.supports_side(side) {
                 writeln!(out, "{side:<6} {:<22} {:>6}", alg.name(), "n/a").unwrap();
                 continue;
             }
+            let policy = runner::resilient_policy_for(alg, side);
             for &rate in rates {
                 let mut converged = 0u64;
                 let mut steps_sum = 0u64;
@@ -280,8 +323,10 @@ pub fn cmd_chaos(sides: &[usize], seeds: u64, rates: &[f64]) -> Result<String, S
                 };
                 writeln!(
                     out,
-                    "{side:<6} {:<22} {rate:>6} {:>10} {mean_steps:>11} {:>12.1} {recoveries:>11}",
+                    "{side:<6} {:<22} {rate:>6} {:>8} {:>10} {mean_steps:>11} {:>12.1} \
+                     {recoveries:>11}",
                     alg.name(),
+                    policy.step_budget,
                     format!("{converged}/{seeds}"),
                     dropped as f64 / seeds as f64
                 )
@@ -360,7 +405,7 @@ pub fn usage() -> &'static str {
        meshsort sort --algorithm <r1|r2|s1|s2|s3> [--side N] [--seed S] [--trace]\n\
        meshsort race [--side N] [--seed S]\n\
        meshsort min-walk [--side N] [--seed S]\n\
-       meshsort schedule --algorithm <id> [--side N]\n\
+       meshsort schedule --algorithm <id> [--side N] [--optimized]\n\
        meshsort analyze [--sides N1,N2,...]\n\
        meshsort chaos [--sides N1,N2,...] [--seeds K] [--rates P1,P2,...] [--out PATH]\n\
        meshsort bench [--quick] [--out PATH]\n\
@@ -421,11 +466,23 @@ mod tests {
 
     #[test]
     fn schedule_renders() {
-        let out = cmd_schedule(AlgorithmId::RowMajorRowFirst, 4).unwrap();
+        let out = cmd_schedule(AlgorithmId::RowMajorRowFirst, 4, false).unwrap();
         assert!(out.contains("step 4i+1"));
         assert!(out.contains("o<>o"));
         assert!(out.contains('@'), "wrap wires missing: {out}");
-        assert!(cmd_schedule(AlgorithmId::RowMajorRowFirst, 3).is_err());
+        assert!(cmd_schedule(AlgorithmId::RowMajorRowFirst, 3, false).is_err());
+    }
+
+    #[test]
+    fn schedule_optimized_renders_certificate() {
+        let out = cmd_schedule(AlgorithmId::SnakePhaseAligned, 4, true).unwrap();
+        assert!(out.contains("optimized cycle"), "{out}");
+        assert!(out.contains("certificate: OK"), "{out}");
+        assert!(out.contains("3 of 24 comparators/cycle stripped"), "{out}");
+        assert!(out.contains("static convergence bound 31 steps"), "{out}");
+        // A fully live schedule renders an identity certificate.
+        let out = cmd_schedule(AlgorithmId::SnakeAlternating, 4, true).unwrap();
+        assert!(out.contains("0 of 24 comparators/cycle stripped"), "{out}");
     }
 
     #[test]
