@@ -80,7 +80,7 @@ use meshsort_zeroone::symbolic::{self, LaneGrid, SAMPLED_MAX_SIDE, SYMBOLIC_MAX_
 ///
 /// The symbolic pass is *not* the only batching surface: arbitrary-valued
 /// grids batch through the real-payload SoA lockstep engine
-/// (`meshsort_mesh::batch`, entered via `meshsort_core::sort_batch` —
+/// (`meshsort_mesh::batch`, entered via `meshsort_core::SortJob::run_batch` —
 /// DESIGN.md §12), which is what the Monte-Carlo experiments run on. The
 /// 0-1 engines here are certification tools, not the throughput path.
 pub const ZERO_ONE_MAX_SIDE: usize = 4;

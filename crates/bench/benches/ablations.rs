@@ -18,7 +18,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use meshsort_bench::{bench_grid, q_ones_f64, r1_coarse_check, r1_rebuild_per_step};
-use meshsort_core::{runner, AlgorithmId};
+use meshsort_core::{runner, AlgorithmId, SortJob};
 use meshsort_stats::{run_trials, RunningStats, SeedSequence};
 use std::hint::black_box;
 
@@ -32,10 +32,7 @@ fn ablation_plan_as_data(c: &mut Criterion) {
             seed += 1;
             let mut grid = bench_grid(side, seed);
             black_box(
-                runner::sort_to_completion(AlgorithmId::RowMajorRowFirst, &mut grid)
-                    .unwrap()
-                    .outcome
-                    .steps,
+                SortJob::new(AlgorithmId::RowMajorRowFirst, side).run(&mut grid).unwrap().steps,
             )
         });
     });
@@ -60,10 +57,7 @@ fn ablation_sortedness_strategy(c: &mut Criterion) {
             seed += 1;
             let mut grid = bench_grid(side, seed);
             black_box(
-                runner::sort_to_completion(AlgorithmId::RowMajorRowFirst, &mut grid)
-                    .unwrap()
-                    .outcome
-                    .steps,
+                SortJob::new(AlgorithmId::RowMajorRowFirst, side).run(&mut grid).unwrap().steps,
             )
         });
     });
@@ -94,10 +88,10 @@ fn ablation_parallel_mc(c: &mut Criterion) {
                     move |_i, rng, acc: &mut RunningStats| {
                         let mut grid =
                             meshsort_workloads::permutation::random_permutation_grid(side, rng);
-                        let run =
-                            runner::sort_to_completion(AlgorithmId::SnakeAlternating, &mut grid)
-                                .unwrap();
-                        acc.push(run.outcome.steps as f64);
+                        let run = SortJob::new(AlgorithmId::SnakeAlternating, side)
+                            .run(&mut grid)
+                            .unwrap();
+                        acc.push(run.steps as f64);
                     },
                     |a, b| a.merge(&b),
                 );

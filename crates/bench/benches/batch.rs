@@ -3,14 +3,14 @@
 //!
 //! `batch_throughput` sweeps batch size B ∈ {64, 1024, 4096} at sides
 //! 8 and 16 — the regime the Monte-Carlo experiments live in — timing
-//! the serial kernel loop against `sort_batch_with` on one worker (the
+//! the serial kernel loop against [`SortJob::run_batch`] on one worker (the
 //! engine itself, no thread-level parallelism; `meshsort bench` records
 //! the aggregate side). `plan_cache` measures a cache hit against a
 //! from-scratch schedule compile for the same `(algorithm, side)` key.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use meshsort_bench::bench_grid;
-use meshsort_core::{runner, schedule_for, sort_batch_with, AlgorithmId, DEFAULT_SHARD_WIDTH};
+use meshsort_core::{runner, schedule_for, AlgorithmId, Budget, SortJob, DEFAULT_SHARD_WIDTH};
 use meshsort_mesh::Grid;
 use std::hint::black_box;
 
@@ -22,6 +22,10 @@ fn bench_batch_throughput(c: &mut Criterion) {
     for side in [8usize, 16] {
         let schedule = schedule_for(alg, side).unwrap();
         let cap = runner::default_step_cap(side);
+        let batch_job = SortJob::new(alg, side)
+            .budget(Budget::Steps(cap))
+            .threads(1)
+            .shard_width(DEFAULT_SHARD_WIDTH);
         for grids_n in [64usize, 1024, 4096] {
             g.throughput(Throughput::Elements(grids_n as u64));
             g.bench_with_input(
@@ -57,12 +61,7 @@ fn bench_batch_throughput(c: &mut Criterion) {
                                 .map(|i| bench_grid(side, seed * grids_n as u64 + i as u64))
                                 .collect::<Vec<Grid<u32>>>()
                         },
-                        |mut grids| {
-                            black_box(
-                                sort_batch_with(alg, &mut grids, cap, 1, DEFAULT_SHARD_WIDTH)
-                                    .unwrap(),
-                            )
-                        },
+                        |mut grids| black_box(batch_job.run_batch(&mut grids).unwrap()),
                         criterion::BatchSize::LargeInput,
                     );
                 },

@@ -6,7 +6,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use meshsort_bench::bench_grid;
-use meshsort_core::{runner, AlgorithmId};
+use meshsort_core::{AlgorithmId, SortJob};
 use std::hint::black_box;
 
 fn bench_sort_scaling(c: &mut Criterion) {
@@ -24,7 +24,7 @@ fn bench_sort_scaling(c: &mut Criterion) {
                     b.iter(|| {
                         seed += 1;
                         let mut grid = bench_grid(side, seed);
-                        black_box(runner::sort_to_completion(alg, &mut grid).unwrap().outcome.steps)
+                        black_box(SortJob::new(alg, side).run(&mut grid).unwrap().steps)
                     });
                 },
             );

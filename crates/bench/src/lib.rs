@@ -107,7 +107,7 @@ pub fn r1_expected_z1_f64(n: u64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use meshsort_core::runner;
+    use meshsort_core::{runner, SortJob};
 
     #[test]
     fn rebuild_engine_matches_compiled() {
@@ -117,8 +117,8 @@ mod tests {
             let mut b = a.clone();
             let cap = runner::default_step_cap(side);
             let steps_rebuild = r1_rebuild_per_step(&mut a, cap);
-            let run = runner::sort_to_completion(AlgorithmId::RowMajorRowFirst, &mut b).unwrap();
-            assert_eq!(steps_rebuild, run.outcome.steps, "seed {seed}");
+            let run = SortJob::new(AlgorithmId::RowMajorRowFirst, side).run(&mut b).unwrap();
+            assert_eq!(steps_rebuild, run.steps, "seed {seed}");
             assert_eq!(a, b);
         }
     }
@@ -131,8 +131,8 @@ mod tests {
             let mut b = a.clone();
             let cap = runner::default_step_cap(side);
             let coarse = r1_coarse_check(&mut a, cap);
-            let run = runner::sort_to_completion(AlgorithmId::RowMajorRowFirst, &mut b).unwrap();
-            assert_eq!(coarse, run.outcome.steps, "seed {seed}");
+            let run = SortJob::new(AlgorithmId::RowMajorRowFirst, side).run(&mut b).unwrap();
+            assert_eq!(coarse, run.steps, "seed {seed}");
         }
     }
 

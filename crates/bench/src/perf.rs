@@ -13,14 +13,14 @@
 //! repetitions, damping scheduler and frequency noise. The per-engine
 //! rows are timed single-threaded so they measure each engine itself;
 //! the headline throughput section times both the single-thread lockstep
-//! engine and the full `meshsort_core::sort_batch` aggregate (lockstep ×
+//! engine and the full `SortJob::run_batch` aggregate (lockstep ×
 //! `MESHSORT_THREADS` workers) against the serial per-grid kernel loop —
 //! the aggregate number is what the acceptance floor gates on.
 
 use crate::bench_grid;
 use meshsort_core::{
-    optimized_for, runner, schedule_for, sort_batch, sort_batch_with, static_bound_for,
-    AlgorithmId, DEFAULT_SHARD_WIDTH,
+    optimized_for, runner, schedule_for, static_bound_for, AlgorithmId, Budget, SortJob,
+    DEFAULT_SHARD_WIDTH,
 };
 use meshsort_mesh::Grid;
 use meshsort_stats::parallel;
@@ -99,7 +99,7 @@ pub struct BatchThroughput {
     pub speedup: f64,
     /// Single-thread batch-engine aggregate grids per second.
     pub batch_grids_per_sec: f64,
-    /// Best-of-N seconds for `sort_batch` with `threads` workers.
+    /// Best-of-N seconds for the batch engine with `threads` workers.
     pub batch_mt_seconds: f64,
     /// Aggregate speedup: `kernel_seconds / batch_mt_seconds`. This is
     /// the number [`validate`] gates on.
@@ -295,11 +295,12 @@ pub fn run_bench(quick: bool) -> BenchReport {
                 black_box(schedule.run_until_sorted_kernel(g, order, cap));
             }
         }));
+        let batch_job = SortJob::new(algorithm, side)
+            .budget(Budget::Steps(cap))
+            .threads(1)
+            .shard_width(DEFAULT_SHARD_WIDTH);
         rows.push(time_engine("batch", side, b, reps, ghz, |grids| {
-            black_box(
-                sort_batch_with(algorithm, grids, cap, 1, DEFAULT_SHARD_WIDTH)
-                    .expect("uniform sides"),
-            );
+            black_box(batch_job.run_batch(grids).expect("uniform sides"));
         }));
     }
 
@@ -312,13 +313,16 @@ pub fn run_bench(quick: bool) -> BenchReport {
             black_box(schedule.run_until_sorted_kernel(g, order, cap));
         }
     });
+    let batch_job = SortJob::new(algorithm, t_side)
+        .budget(Budget::Steps(cap))
+        .threads(1)
+        .shard_width(DEFAULT_SHARD_WIDTH);
     let batch = time_engine("batch", t_side, t_grids, reps, ghz, |grids| {
-        black_box(
-            sort_batch_with(algorithm, grids, cap, 1, DEFAULT_SHARD_WIDTH).expect("uniform sides"),
-        );
+        black_box(batch_job.run_batch(grids).expect("uniform sides"));
     });
+    let batch_mt_job = SortJob::new(algorithm, t_side).budget(Budget::Static);
     let batch_mt = time_engine("batch-mt", t_side, t_grids, reps, ghz, |grids| {
-        black_box(sort_batch(algorithm, grids).expect("uniform sides"));
+        black_box(batch_mt_job.run_batch(grids).expect("uniform sides"));
     });
     let throughput = BatchThroughput {
         side: t_side,

@@ -1,21 +1,25 @@
 //! Batched sorting: many independent grids through one shared plan.
 //!
-//! The thin algorithm-level entry point over
-//! [`meshsort_mesh::batch::run_batch_until_sorted`]: it resolves the shared
-//! compiled schedule from the [`crate::cache`], shards the batch into
-//! fixed-width sub-batches, and fans the shards out across worker threads
-//! via `meshsort_stats::parallel::map_chunks` — the same `MESHSORT_THREADS`
-//! plumbing the Monte-Carlo drivers use. Each shard executes the SoA
-//! lockstep engine; per-grid outcomes are faithful to
-//! [`crate::runner::sort_to_completion`] grid by grid regardless of batch
+//! The canonical implementation lives in [`crate::SortJob::run_batch`]:
+//! it resolves the shared compiled schedule from the [`crate::cache`],
+//! shards the batch into fixed-width sub-batches, and fans the shards out
+//! across worker threads via `meshsort_stats::parallel::map_chunks` — the
+//! same `MESHSORT_THREADS` plumbing the Monte-Carlo drivers use. Each
+//! shard executes the SoA lockstep engine; per-grid outcomes are faithful
+//! to a standalone [`crate::SortJob::run`] regardless of batch
 //! composition, shard width, or thread count (`mesh/tests/batch_props.rs`
 //! pins this differentially).
+//!
+//! [`sort_batch`] / [`sort_batch_with`] are **deprecated shims** over the
+//! job API, kept for existing callers; this module's lasting exports are
+//! the tuning constants [`DEFAULT_SHARD_WIDTH`] and [`LOCKSTEP_MAX_CELLS`].
 
 use crate::algorithm::AlgorithmId;
-use crate::cache;
+use crate::job::{Budget, SortJob};
 use crate::runner::{static_step_bound, SortRun};
-use meshsort_mesh::{batch, Grid, KernelValue, MeshError};
+use meshsort_mesh::{Grid, KernelValue, MeshError};
 use meshsort_stats::parallel;
+use std::hash::Hash;
 
 /// Default shard width for [`sort_batch`]: wide enough that the lockstep
 /// inner loops stay vector-friendly and per-step overhead amortizes
@@ -50,11 +54,13 @@ pub const LOCKSTEP_MAX_CELLS: usize = 1024;
 /// [`MeshError::UnsupportedSide`] when the algorithm is not defined for the
 /// batch's side; [`MeshError::MixedBatchSides`] when the grids do not all
 /// share one side.
-pub fn sort_batch<T: KernelValue + Send>(
+#[deprecated(note = "use SortJob::new(algorithm, side).budget(Budget::Static).run_batch(grids)")]
+pub fn sort_batch<T: KernelValue + Hash + Send>(
     algorithm: AlgorithmId,
     grids: &mut [Grid<T>],
 ) -> Result<Vec<SortRun>, MeshError> {
     let cap = static_step_bound(algorithm, grids.first().map_or(1, Grid::side));
+    #[allow(deprecated)]
     sort_batch_with(algorithm, grids, cap, parallel::default_threads(), DEFAULT_SHARD_WIDTH)
 }
 
@@ -75,40 +81,32 @@ pub fn sort_batch<T: KernelValue + Send>(
 /// # Panics
 ///
 /// Panics if `shard_width` is zero.
-pub fn sort_batch_with<T: KernelValue + Send>(
+#[deprecated(
+    note = "use SortJob::new(algorithm, side).budget(Budget::Steps(cap)).threads(..).shard_width(..).run_batch(grids)"
+)]
+pub fn sort_batch_with<T: KernelValue + Hash + Send>(
     algorithm: AlgorithmId,
     grids: &mut [Grid<T>],
     cap: u64,
     threads: usize,
     shard_width: usize,
 ) -> Result<Vec<SortRun>, MeshError> {
+    assert!(shard_width > 0, "shard_width must be non-zero");
     let Some(first) = grids.first() else {
         return Ok(Vec::new());
     };
     let side = first.side();
-    if let Some(odd) = grids.iter().find(|g| g.side() != side) {
-        return Err(MeshError::MixedBatchSides { expected: side, found: odd.side() });
-    }
-    let schedule = cache::schedule_for(algorithm, side)?;
-    let order = algorithm.order();
-    let shards = parallel::map_chunks(grids, shard_width, threads, |_, shard| {
-        if side * side > LOCKSTEP_MAX_CELLS {
-            Ok(shard
-                .iter_mut()
-                .map(|g| schedule.run_until_sorted_kernel(g, order, cap))
-                .collect::<Vec<_>>())
-        } else {
-            batch::run_batch_until_sorted(&schedule, shard, order, cap)
-        }
-    });
-    let mut runs = Vec::new();
-    for shard in shards {
-        runs.extend(shard?.into_iter().map(|o| SortRun { algorithm, side, outcome: o.into() }));
-    }
-    Ok(runs)
+    let runs = SortJob::new(algorithm, side)
+        .budget(Budget::Steps(cap))
+        .threads(threads)
+        .shard_width(shard_width)
+        .run_batch(grids)
+        .map_err(crate::error::demote_to_mesh)?;
+    Ok(runs.iter().map(|r| SortRun { algorithm, side, outcome: r.into() }).collect())
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims stay pinned by their original tests
 mod tests {
     use super::*;
     use crate::runner::{default_step_cap, sort_to_completion, sort_with_cap};

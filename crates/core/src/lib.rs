@@ -21,14 +21,14 @@
 //! empirically against this implementation.
 //!
 //! ```
-//! use meshsort_core::{AlgorithmId, runner};
+//! use meshsort_core::{AlgorithmId, SortJob};
 //! use meshsort_mesh::Grid;
 //!
 //! // Sort a 4×4 permutation with the first row-major algorithm.
 //! let data: Vec<u32> = (0..16).rev().collect();
 //! let mut grid = Grid::from_rows(4, data).unwrap();
-//! let run = runner::sort_to_completion(AlgorithmId::RowMajorRowFirst, &mut grid).unwrap();
-//! assert!(run.outcome.sorted);
+//! let run = SortJob::new(AlgorithmId::RowMajorRowFirst, 4).run(&mut grid).unwrap();
+//! assert!(run.sorted());
 //! assert!(grid.is_sorted(meshsort_mesh::TargetOrder::RowMajor));
 //! ```
 
@@ -38,7 +38,9 @@
 pub mod algorithm;
 pub mod batch;
 pub mod cache;
+pub mod error;
 pub mod instrument;
+pub mod job;
 pub mod min_tracker;
 pub mod phases;
 pub mod row_major;
@@ -47,9 +49,12 @@ pub mod snake;
 pub mod variants;
 
 pub use algorithm::AlgorithmId;
-pub use batch::{sort_batch, sort_batch_with, DEFAULT_SHARD_WIDTH, LOCKSTEP_MAX_CELLS};
+#[allow(deprecated)] // legacy surface: re-exported so downstream deprecation is gradual
+pub use batch::{sort_batch, sort_batch_with};
+pub use batch::{DEFAULT_SHARD_WIDTH, LOCKSTEP_MAX_CELLS};
 pub use cache::{optimized_for, schedule_for, static_bound_for};
-pub use runner::{
-    fault_plan_for, resilient_policy_for, sort_resilient, sort_to_completion,
-    sort_to_completion_optimized, static_step_bound, ResilientRun, SortRun,
-};
+pub use error::Error;
+pub use job::{Budget, Convergence, Engine, FaultStats, RunOutcome, SortJob};
+pub use runner::{fault_plan_for, resilient_policy_for, static_step_bound, ResilientRun, SortRun};
+#[allow(deprecated)] // legacy surface: re-exported so downstream deprecation is gradual
+pub use runner::{sort_resilient, sort_to_completion, sort_to_completion_optimized};

@@ -2,14 +2,23 @@
 //!
 //! Every entry point resolves its compiled schedule through the shared
 //! [`crate::cache`], so repeated sorts of the same `(algorithm, side)` —
-//! the shape of every Monte-Carlo sweep — never recompile a plan. For
-//! many-grid workloads prefer [`crate::batch::sort_batch`], which steps
-//! whole batches in lockstep through the same shared plans.
+//! the shape of every Monte-Carlo sweep — never recompile a plan.
+//!
+//! The single-run drivers here (`sort_to_completion` and friends) are
+//! **deprecated shims** over [`crate::SortJob`], kept so existing callers
+//! and the differential suites keep compiling; `tests/job_equivalence.rs`
+//! proves each shim bit-identical to its job. New code should build a
+//! [`crate::SortJob`] directly. The cap/bound/policy helpers
+//! ([`default_step_cap`], [`static_step_bound`], [`resilient_policy_for`],
+//! [`fault_plan_for`], [`run_exact_steps`]) remain first-class.
 
 use crate::algorithm::AlgorithmId;
 use crate::cache;
+use crate::job::{Budget, SortJob};
 use meshsort_mesh::fault::{self, derive_seed};
-use meshsort_mesh::{FaultPlan, FaultSpec, Grid, KernelValue, MeshError, ResilientPolicy};
+use meshsort_mesh::{
+    FaultPlan, FaultSpec, Grid, KernelValue, MeshError, ResilientPolicy, ResilientReport,
+};
 use serde::{Deserialize, Serialize};
 use std::hash::Hash;
 
@@ -88,6 +97,17 @@ impl From<meshsort_mesh::schedule::RunOutcome> for RunStats {
     }
 }
 
+impl From<&crate::job::RunOutcome> for RunStats {
+    fn from(run: &crate::job::RunOutcome) -> Self {
+        RunStats {
+            steps: run.steps,
+            swaps: run.swaps,
+            comparisons: run.comparisons,
+            sorted: run.sorted(),
+        }
+    }
+}
+
 impl RunStats {
     /// Classifies a legacy (fault-free) run against the grid it produced,
     /// lifting the bare `sorted` flag into the resilient
@@ -149,6 +169,9 @@ pub fn fault_plan_for(
 /// # Errors
 ///
 /// [`MeshError::UnsupportedSide`] as for [`sort_to_completion`].
+#[deprecated(
+    note = "use SortJob::new(algorithm, grid.side()).fault_plan(..).resilient_policy(..).run(grid)"
+)]
 pub fn sort_resilient<T: KernelValue + Hash>(
     algorithm: AlgorithmId,
     grid: &mut Grid<T>,
@@ -156,10 +179,26 @@ pub fn sort_resilient<T: KernelValue + Hash>(
     policy: &ResilientPolicy,
 ) -> Result<ResilientRun, MeshError> {
     let side = grid.side();
-    let schedule = cache::schedule_for(algorithm, side)?;
-    let report =
-        schedule.run_until_sorted_resilient_kernel(grid, algorithm.order(), faults, policy);
-    Ok(ResilientRun { algorithm, side, report })
+    let run = SortJob::new(algorithm, side)
+        .fault_plan(faults.clone())
+        .resilient_policy(*policy)
+        .run(grid)
+        .map_err(crate::error::demote_to_mesh)?;
+    let f = run.faults.expect("resilient runs always report fault stats");
+    Ok(ResilientRun {
+        algorithm,
+        side,
+        report: ResilientReport {
+            outcome: run.convergence,
+            steps: run.steps,
+            swaps: run.swaps,
+            comparisons: run.comparisons,
+            dropped: f.dropped,
+            stalled_steps: f.stalled_steps,
+            recovery_attempts: f.recovery_attempts,
+            recovery_steps: f.recovery_steps,
+        },
+    })
 }
 
 /// Sorts `grid` in place with `algorithm`, running until the grid reaches
@@ -176,11 +215,14 @@ pub fn sort_resilient<T: KernelValue + Hash>(
 ///
 /// [`MeshError::UnsupportedSide`] when the algorithm is not defined for
 /// the grid's side (row-major algorithms on odd sides).
-pub fn sort_to_completion<T: KernelValue>(
+#[deprecated(note = "use SortJob::new(algorithm, grid.side()).run(grid)")]
+pub fn sort_to_completion<T: KernelValue + Hash>(
     algorithm: AlgorithmId,
     grid: &mut Grid<T>,
 ) -> Result<SortRun, MeshError> {
-    sort_with_cap(algorithm, grid, default_step_cap(grid.side()))
+    let side = grid.side();
+    let run = SortJob::new(algorithm, side).run(grid).map_err(crate::error::demote_to_mesh)?;
+    Ok(SortRun { algorithm, side, outcome: (&run).into() })
 }
 
 /// Like [`sort_to_completion`] with an explicit step cap.
@@ -188,15 +230,20 @@ pub fn sort_to_completion<T: KernelValue>(
 /// # Errors
 ///
 /// [`MeshError::UnsupportedSide`] as for [`sort_to_completion`].
-pub fn sort_with_cap<T: KernelValue>(
+#[deprecated(
+    note = "use SortJob::new(algorithm, grid.side()).budget(Budget::Steps(cap)).run(grid)"
+)]
+pub fn sort_with_cap<T: KernelValue + Hash>(
     algorithm: AlgorithmId,
     grid: &mut Grid<T>,
     cap: u64,
 ) -> Result<SortRun, MeshError> {
     let side = grid.side();
-    let schedule = cache::schedule_for(algorithm, side)?;
-    let outcome = schedule.run_until_sorted_kernel(grid, algorithm.order(), cap);
-    Ok(SortRun { algorithm, side, outcome: outcome.into() })
+    let run = SortJob::new(algorithm, side)
+        .budget(Budget::Steps(cap))
+        .run(grid)
+        .map_err(crate::error::demote_to_mesh)?;
+    Ok(SortRun { algorithm, side, outcome: (&run).into() })
 }
 
 /// [`sort_to_completion`] through the certified dead-wire-stripped plan
@@ -211,15 +258,20 @@ pub fn sort_with_cap<T: KernelValue>(
 /// # Errors
 ///
 /// [`MeshError::UnsupportedSide`] as for [`sort_to_completion`].
-pub fn sort_to_completion_optimized<T: KernelValue>(
+#[deprecated(
+    note = "use SortJob::new(algorithm, grid.side()).optimized(true).budget(Budget::Static).run(grid)"
+)]
+pub fn sort_to_completion_optimized<T: KernelValue + Hash>(
     algorithm: AlgorithmId,
     grid: &mut Grid<T>,
 ) -> Result<SortRun, MeshError> {
     let side = grid.side();
-    let plan = cache::optimized_for(algorithm, side)?;
-    let cap = static_step_bound(algorithm, side).min(plan.static_bound);
-    let outcome = plan.schedule.run_until_sorted_kernel(grid, algorithm.order(), cap);
-    Ok(SortRun { algorithm, side, outcome: outcome.into() })
+    let run = SortJob::new(algorithm, side)
+        .optimized(true)
+        .budget(Budget::Static)
+        .run(grid)
+        .map_err(crate::error::demote_to_mesh)?;
+    Ok(SortRun { algorithm, side, outcome: (&run).into() })
 }
 
 /// Runs `algorithm` for exactly `steps` steps from the cycle start,
@@ -240,6 +292,7 @@ pub fn run_exact_steps<T: KernelValue>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims stay pinned by their original tests
 mod tests {
     use super::*;
     use meshsort_mesh::TargetOrder;

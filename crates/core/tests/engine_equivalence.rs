@@ -5,7 +5,7 @@
 //! input class the experiments use — random permutations, 0-1 matrices,
 //! adversarial (reversed / anti-sorted) layouts, and already-sorted grids.
 
-use meshsort_core::{runner, AlgorithmId};
+use meshsort_core::{runner, AlgorithmId, SortJob};
 use meshsort_mesh::grid::sorted_permutation_grid;
 use meshsort_mesh::trace::SwapCounter;
 use meshsort_mesh::{Grid, KernelValue};
@@ -17,7 +17,7 @@ use rand::SeedableRng;
 /// Returns the common outcome's step count for extra assertions.
 fn assert_all_paths_agree<T>(alg: AlgorithmId, grid: &Grid<T>) -> u64
 where
-    T: KernelValue + std::fmt::Debug,
+    T: KernelValue + std::fmt::Debug + std::hash::Hash,
 {
     let side = grid.side();
     let schedule = alg.schedule(side).expect("side supported by algorithm");
@@ -45,10 +45,10 @@ where
 
     // The public driver must match the engine paths too.
     let mut driver = grid.clone();
-    let run = runner::sort_to_completion(alg, &mut driver).expect("side supported");
-    assert_eq!(run.outcome.steps, out_ref.steps, "{alg} side {side}: driver steps diverged");
-    assert_eq!(run.outcome.swaps, out_ref.swaps);
-    assert_eq!(run.outcome.comparisons, out_ref.comparisons);
+    let run = SortJob::new(alg, side).run(&mut driver).expect("side supported");
+    assert_eq!(run.steps, out_ref.steps, "{alg} side {side}: driver steps diverged");
+    assert_eq!(run.swaps, out_ref.swaps);
+    assert_eq!(run.comparisons, out_ref.comparisons);
     assert_eq!(&reference, &driver);
 
     out_ref.steps

@@ -8,10 +8,7 @@
 //! 0-1 lanes (the seventh analyze pass); this suite spot-checks the
 //! same claim on random permutation grids end to end.
 
-use meshsort_core::{
-    optimized_for, schedule_for, sort_batch, sort_to_completion, sort_to_completion_optimized,
-    static_step_bound, AlgorithmId,
-};
+use meshsort_core::{optimized_for, schedule_for, static_step_bound, AlgorithmId, Budget, SortJob};
 use meshsort_mesh::Grid;
 
 fn scrambled(side: usize, salt: u32) -> Grid<u32> {
@@ -32,14 +29,18 @@ fn optimized_runner_matches_raw_bit_for_bit() {
             for salt in 0..4u32 {
                 let mut raw_grid = scrambled(side, salt);
                 let mut opt_grid = raw_grid.clone();
-                let raw = sort_to_completion(a, &mut raw_grid).unwrap();
-                let opt = sort_to_completion_optimized(a, &mut opt_grid).unwrap();
+                let raw = SortJob::new(a, side).run(&mut raw_grid).unwrap();
+                let opt = SortJob::new(a, side)
+                    .optimized(true)
+                    .budget(Budget::Static)
+                    .run(&mut opt_grid)
+                    .unwrap();
                 assert_eq!(raw_grid, opt_grid, "{a} side {side} salt {salt}: final grids");
-                assert_eq!(raw.outcome.steps, opt.outcome.steps, "{a} side {side} salt {salt}");
-                assert_eq!(raw.outcome.swaps, opt.outcome.swaps, "{a} side {side} salt {salt}");
-                assert!(opt.outcome.sorted, "{a} side {side} salt {salt}");
+                assert_eq!(raw.steps, opt.steps, "{a} side {side} salt {salt}");
+                assert_eq!(raw.swaps, opt.swaps, "{a} side {side} salt {salt}");
+                assert!(opt.sorted(), "{a} side {side} salt {salt}");
                 assert!(
-                    opt.outcome.comparisons <= raw.outcome.comparisons,
+                    opt.comparisons <= raw.comparisons,
                     "{a} side {side} salt {salt}: the optimized plan must never compare more"
                 );
             }
@@ -73,12 +74,12 @@ fn batch_engine_matches_optimized_per_grid_runs() {
     for a in AlgorithmId::ALL {
         let mut grids: Vec<Grid<u32>> = (20..28u32).map(|salt| scrambled(side, salt)).collect();
         let mut solo = grids.clone();
-        let runs = sort_batch(a, &mut grids).unwrap();
+        let runs = SortJob::new(a, side).budget(Budget::Static).run_batch(&mut grids).unwrap();
         for (i, g) in solo.iter_mut().enumerate() {
-            let run = sort_to_completion_optimized(a, g).unwrap();
+            let run = SortJob::new(a, side).optimized(true).budget(Budget::Static).run(g).unwrap();
             assert_eq!(&grids[i], g, "{a}: grid {i} final state");
-            assert_eq!(runs[i].outcome.steps, run.outcome.steps, "{a}: grid {i}");
-            assert_eq!(runs[i].outcome.swaps, run.outcome.swaps, "{a}: grid {i}");
+            assert_eq!(runs[i].steps, run.steps, "{a}: grid {i}");
+            assert_eq!(runs[i].swaps, run.swaps, "{a}: grid {i}");
         }
     }
 }

@@ -5,7 +5,7 @@
 
 use crate::config::Config;
 use crate::report::{fnum, ExperimentReport, Verdict};
-use meshsort_core::{runner, AlgorithmId};
+use meshsort_core::{AlgorithmId, SortJob};
 use meshsort_stats::tail::TailEstimator;
 use meshsort_stats::{run_trials, SeedSequence};
 use meshsort_workloads::permutation::random_permutation_grid;
@@ -35,8 +35,8 @@ fn tails_for(
         || TailEstimator::for_gammas(gammas, n_cells),
         move |_i, rng, acc: &mut TailEstimator| {
             let mut grid = random_permutation_grid(side, rng);
-            let run = runner::sort_to_completion(algorithm, &mut grid).expect("side supported");
-            acc.push(run.outcome.steps as f64);
+            let run = SortJob::new(algorithm, side).run(&mut grid).expect("side supported");
+            acc.push(run.steps as f64);
         },
         |a, b| a.merge(&b),
     )

@@ -4,7 +4,7 @@
 
 use crate::config::Config;
 use crate::report::{fnum, ExperimentReport, Verdict};
-use meshsort_core::{runner, AlgorithmId};
+use meshsort_core::{AlgorithmId, SortJob};
 use meshsort_workloads::adversarial::{smallest_in_one_column, zero_column};
 
 /// Runs the experiment.
@@ -20,35 +20,35 @@ pub fn run(cfg: &Config) -> ExperimentReport {
             let bound = meshsort_exact::paper::corollary1_worst_case(side as u64);
             // The permutation adversary (smallest √N values in column 1).
             let mut grid = smallest_in_one_column(side, 0);
-            let run = runner::sort_to_completion(algorithm, &mut grid).expect("even side");
-            assert!(run.outcome.sorted);
-            let verdict = if run.outcome.steps >= bound { Verdict::Pass } else { Verdict::Fail };
+            let run = SortJob::new(algorithm, side).run(&mut grid).expect("even side");
+            assert!(run.sorted());
+            let verdict = if run.steps >= bound { Verdict::Pass } else { Verdict::Fail };
             report.push_row(
                 vec![
                     algorithm.to_string(),
                     "permutation".to_string(),
                     side.to_string(),
                     n_cells.to_string(),
-                    run.outcome.steps.to_string(),
+                    run.steps.to_string(),
                     bound.to_string(),
-                    fnum(run.outcome.steps as f64 / n_cells as f64),
+                    fnum(run.steps as f64 / n_cells as f64),
                 ],
                 verdict,
             );
             // The 0-1 adversary from the proof (α = √N zeros in one column).
             let mut grid = zero_column(side, 0);
-            let run = runner::sort_to_completion(algorithm, &mut grid).expect("even side");
-            assert!(run.outcome.sorted);
-            let verdict = if run.outcome.steps >= bound { Verdict::Pass } else { Verdict::Fail };
+            let run = SortJob::new(algorithm, side).run(&mut grid).expect("even side");
+            assert!(run.sorted());
+            let verdict = if run.steps >= bound { Verdict::Pass } else { Verdict::Fail };
             report.push_row(
                 vec![
                     algorithm.to_string(),
                     "0-1 column".to_string(),
                     side.to_string(),
                     n_cells.to_string(),
-                    run.outcome.steps.to_string(),
+                    run.steps.to_string(),
                     bound.to_string(),
-                    fnum(run.outcome.steps as f64 / n_cells as f64),
+                    fnum(run.steps as f64 / n_cells as f64),
                 ],
                 verdict,
             );
@@ -73,9 +73,9 @@ mod tests {
         // The adversary should not wildly exceed the bound either — the
         // worst case is Θ(N) with constant ≈ 2.
         let mut grid = zero_column(8, 0);
-        let run = runner::sort_to_completion(AlgorithmId::RowMajorRowFirst, &mut grid).unwrap();
+        let run = SortJob::new(AlgorithmId::RowMajorRowFirst, 8).run(&mut grid).unwrap();
         let bound = meshsort_exact::paper::corollary1_worst_case(8);
-        assert!(run.outcome.steps >= bound);
-        assert!(run.outcome.steps <= 3 * bound, "{}", run.outcome.steps);
+        assert!(run.steps >= bound);
+        assert!(run.steps <= 3 * bound, "{}", run.steps);
     }
 }

@@ -10,7 +10,7 @@ use crate::report::{fnum, ExperimentReport, Verdict};
 use meshsort_core::variants::{
     probe_convergence, row_first_no_wrap_schedule, wrap_is_necessary_witness, Convergence,
 };
-use meshsort_core::{runner, AlgorithmId};
+use meshsort_core::{AlgorithmId, SortJob};
 use meshsort_mesh::TargetOrder;
 use meshsort_stats::run_trials;
 use meshsort_workloads::permutation::random_permutation_grid;
@@ -42,8 +42,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
         let witness_stuck = matches!(witness_result, Convergence::StuckUnsorted(_));
         // And the wrap-equipped algorithm must rescue the same input.
         let mut rescued = wrap_is_necessary_witness(side);
-        let rescue =
-            runner::sort_to_completion(AlgorithmId::RowMajorRowFirst, &mut rescued).unwrap();
+        let rescue = SortJob::new(AlgorithmId::RowMajorRowFirst, side).run(&mut rescued).unwrap();
 
         // Random permutations through the no-wrap cycle.
         let trials = cfg.trials((400_000 / (side * side * side)).max(16) as u64);
@@ -72,7 +71,7 @@ pub fn run(cfg: &Config) -> ExperimentReport {
                 a.cap_exceeded += b.cap_exceeded;
             },
         );
-        let verdict = if witness_stuck && rescue.outcome.sorted && agg.cap_exceeded == 0 {
+        let verdict = if witness_stuck && rescue.sorted() && agg.cap_exceeded == 0 {
             // The claim: the witness sticks; generically, most inputs stick.
             if agg.stuck >= agg.sorted {
                 Verdict::Pass

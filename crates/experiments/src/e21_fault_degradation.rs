@@ -12,8 +12,7 @@
 
 use crate::config::Config;
 use crate::report::{fnum, ExperimentReport, Verdict};
-use meshsort_core::runner::{fault_plan_for, sort_resilient, sort_to_completion};
-use meshsort_core::AlgorithmId;
+use meshsort_core::{AlgorithmId, SortJob};
 use meshsort_mesh::fault::RunOutcome;
 use meshsort_mesh::{FaultSpec, ResilientPolicy};
 use meshsort_stats::run_trials;
@@ -79,24 +78,26 @@ fn degradation(
         move |i, rng, acc: &mut DegradationStats| {
             let mut grid = random_permutation_grid(side, rng);
             let spec = FaultSpec::transient(seeds.subseed(i).wrapping_add(1), rate);
-            let faults = fault_plan_for(algorithm, side, &spec).expect("valid spec and side");
             let baseline_steps = if rate == 0.0 {
                 let mut clone = grid.clone();
-                Some(sort_to_completion(algorithm, &mut clone).expect("supported side"))
+                Some(SortJob::new(algorithm, side).run(&mut clone).expect("supported side"))
             } else {
                 None
             };
-            let run =
-                sort_resilient(algorithm, &mut grid, &faults, &policy).expect("supported side");
+            let run = SortJob::new(algorithm, side)
+                .fault_spec(spec)
+                .resilient_policy(policy)
+                .run(&mut grid)
+                .expect("supported side");
             acc.runs += 1;
-            match run.report.outcome {
+            match run.convergence {
                 RunOutcome::Converged { steps } => {
                     acc.converged += 1;
                     acc.steps_sum += steps as f64;
                     if let Some(base) = baseline_steps {
-                        if steps != base.outcome.steps
-                            || run.report.swaps != base.outcome.swaps
-                            || run.report.comparisons != base.outcome.comparisons
+                        if steps != base.steps
+                            || run.swaps != base.swaps
+                            || run.comparisons != base.comparisons
                         {
                             acc.identity_mismatches += 1;
                         }
@@ -111,7 +112,7 @@ fn degradation(
                 }
                 RunOutcome::IntegrityViolation { .. } => acc.integrity_violations += 1,
             }
-            if baseline_steps.is_some() && !run.report.outcome.converged() {
+            if baseline_steps.is_some() && !run.convergence.converged() {
                 acc.identity_mismatches += 1;
             }
         },

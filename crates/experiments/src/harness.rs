@@ -1,6 +1,6 @@
 //! Shared Monte-Carlo measurement drivers used by the experiments.
 
-use meshsort_core::{runner, sort_batch_with, AlgorithmId};
+use meshsort_core::{runner, AlgorithmId, Budget, SortJob};
 use meshsort_mesh::Grid;
 use meshsort_stats::{run_trials, RunningStats, SeedSequence};
 use meshsort_workloads::permutation::random_permutation_grid;
@@ -15,13 +15,12 @@ const STEPS_BATCH_WIDTH: u64 = 64;
 /// permutations of a `side × side` mesh.
 ///
 /// Trials run through the batched lockstep engine
-/// ([`meshsort_core::sort_batch_with`]), `STEPS_BATCH_WIDTH` grids per
-/// batch. Each trial still draws its grid from its own
-/// [`SeedSequence::rng_for`] stream and each per-trial step count is
-/// bit-identical to a standalone [`runner::sort_to_completion`] run, so
-/// results match the unbatched driver for any thread count; batches are
-/// sorted serially inside their worker — parallelism lives only in the
-/// [`run_trials`] layer.
+/// ([`SortJob::run_batch`]), `STEPS_BATCH_WIDTH` grids per batch. Each
+/// trial still draws its grid from its own [`SeedSequence::rng_for`]
+/// stream and each per-trial step count is bit-identical to a standalone
+/// [`SortJob::run`], so results match the unbatched driver for any thread
+/// count; batches are sorted serially inside their worker — parallelism
+/// lives only in the [`run_trials`] layer.
 pub fn steps_on_random_permutations(
     algorithm: AlgorithmId,
     side: usize,
@@ -41,11 +40,15 @@ pub fn steps_on_random_permutations(
             let mut grids: Vec<Grid<u32>> =
                 (lo..hi).map(|i| random_permutation_grid(side, &mut seeds.rng_for(i))).collect();
             let width = grids.len().max(1);
-            let runs = sort_batch_with(algorithm, &mut grids, cap, 1, width)
+            let runs = SortJob::new(algorithm, side)
+                .budget(Budget::Steps(cap))
+                .threads(1)
+                .shard_width(width)
+                .run_batch(&mut grids)
                 .expect("algorithm supports this side");
             for run in runs {
-                assert!(run.outcome.sorted, "{algorithm} failed to sort within the cap");
-                acc.push(run.outcome.steps as f64);
+                assert!(run.sorted(), "{algorithm} failed to sort within the cap");
+                acc.push(run.steps as f64);
             }
         },
         |a, b| a.merge(&b),

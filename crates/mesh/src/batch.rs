@@ -59,7 +59,7 @@
 //! tails do not pay full-batch bandwidth.
 //!
 //! Sharding a batch across cores is layered above this module (see
-//! `meshsort_core::sort_batch`, which shards through the
+//! `meshsort_core::SortJob::run_batch`, which shards through the
 //! `MESHSORT_THREADS` plumbing of `meshsort-stats`); the engine here is
 //! deliberately single-threaded and deterministic.
 

@@ -10,7 +10,7 @@
 //! Randomness is a hand-rolled LCG (no proptest, no `rand`) so the suite
 //! runs identically in every environment.
 
-use meshsort_core::{runner, schedule_for, sort_batch_with, AlgorithmId};
+use meshsort_core::{optimized_for, runner, schedule_for, AlgorithmId, Budget, SortJob};
 use meshsort_mesh::schedule::RunOutcome;
 use meshsort_mesh::{run_batch_until_sorted, Grid, TargetOrder};
 
@@ -130,14 +130,17 @@ fn adversarial_batches_bit_identical_all_five() {
 }
 
 #[test]
-fn single_grid_batches_match_sort_to_completion() {
+fn single_grid_batches_match_solo_jobs() {
     for algorithm in AlgorithmId::ALL {
         for side in supported_sides(algorithm) {
             let mut solo = permutation_grid(side, 7);
             let mut batch = vec![solo.clone()];
-            let runs = sort_batch_with(algorithm, &mut batch, runner::default_step_cap(side), 1, 1)
+            let runs = SortJob::new(algorithm, side)
+                .threads(1)
+                .shard_width(1)
+                .run_batch(&mut batch)
                 .unwrap();
-            let expect = runner::sort_to_completion(algorithm, &mut solo).unwrap();
+            let expect = SortJob::new(algorithm, side).run(&mut solo).unwrap();
             assert_eq!(runs.len(), 1);
             assert_eq!(runs[0], expect, "{algorithm} side {side}");
             assert_eq!(batch[0], solo, "{algorithm} side {side}");
@@ -154,18 +157,19 @@ fn ragged_batches_invariant_under_shard_width_and_threads() {
     let cap = runner::default_step_cap(side);
     let baseline: Vec<Grid<u32>> = (0..29).map(|i| permutation_grid(side, i)).collect();
 
+    let job = SortJob::new(algorithm, side).budget(Budget::Steps(cap));
     let mut expect = baseline.clone();
-    let expect_runs = sort_batch_with(algorithm, &mut expect, cap, 1, 29).unwrap();
+    let expect_runs = job.clone().threads(1).shard_width(29).run_batch(&mut expect).unwrap();
     for (i, g) in expect.iter().enumerate() {
         let mut solo = baseline[i].clone();
-        let solo_run = runner::sort_to_completion(algorithm, &mut solo).unwrap();
+        let solo_run = job.run(&mut solo).unwrap();
         assert_eq!(expect_runs[i], solo_run, "grid {i}");
         assert_eq!(*g, solo, "grid {i}");
     }
 
     for (threads, width) in [(1, 4), (2, 5), (4, 3), (3, 8), (16, 1), (2, 1000)] {
         let mut grids = baseline.clone();
-        let runs = sort_batch_with(algorithm, &mut grids, cap, threads, width).unwrap();
+        let runs = job.clone().threads(threads).shard_width(width).run_batch(&mut grids).unwrap();
         assert_eq!(runs, expect_runs, "threads={threads} width={width}");
         assert_eq!(grids, expect, "threads={threads} width={width}");
     }
@@ -178,6 +182,78 @@ fn capped_batches_report_faithful_partial_counters() {
         for cap in [0, 1, 5] {
             let grids: Vec<Grid<u32>> = (0..6).map(|i| permutation_grid(side, i + 3)).collect();
             assert_batch_faithful(algorithm, side, &grids, cap);
+        }
+    }
+}
+
+#[test]
+fn optimized_plans_execute_directly_in_the_lockstep_engine() {
+    // The batch engine takes any `CycleSchedule`, so a certified
+    // dead-wire-stripped plan runs through the same SoA lockstep path as
+    // the raw schedule. Certificate obligations guarantee stripped wires
+    // never swap: final grids, steps, and swaps must be bit-identical,
+    // with comparisons strictly reduced wherever wires were stripped.
+    for algorithm in AlgorithmId::ALL {
+        for side in supported_sides(algorithm) {
+            let raw = schedule_for(algorithm, side).unwrap();
+            let plan = optimized_for(algorithm, side).unwrap();
+            let order = algorithm.order();
+            let cap = runner::default_step_cap(side);
+            let grids: Vec<Grid<u32>> = (0..7)
+                .map(|i| permutation_grid(side, i * 11 + 1))
+                .chain([reversed_grid(side)])
+                .collect();
+
+            let mut raw_batch = grids.clone();
+            let raw_out = run_batch_until_sorted(&raw, &mut raw_batch, order, cap).unwrap();
+            let mut opt_batch = grids.clone();
+            let opt_out =
+                run_batch_until_sorted(&plan.schedule, &mut opt_batch, order, cap).unwrap();
+
+            assert_eq!(raw_batch, opt_batch, "{algorithm} side {side}: final grids");
+            let mut reduced = false;
+            for (i, (r, o)) in raw_out.iter().zip(&opt_out).enumerate() {
+                assert_eq!(r.steps, o.steps, "{algorithm} side {side}: steps, grid {i}");
+                assert_eq!(r.swaps, o.swaps, "{algorithm} side {side}: swaps, grid {i}");
+                assert_eq!(r.sorted, o.sorted, "{algorithm} side {side}: sorted, grid {i}");
+                assert!(
+                    o.comparisons <= r.comparisons,
+                    "{algorithm} side {side}: optimized plan must never compare more, grid {i}"
+                );
+                reduced |= o.comparisons < r.comparisons;
+            }
+            assert_eq!(
+                reduced,
+                !plan.stripped.is_empty(),
+                "{algorithm} side {side}: comparator reduction iff wires were stripped"
+            );
+        }
+    }
+}
+
+#[test]
+fn optimized_batch_jobs_match_raw_batch_jobs() {
+    // Same property one level up: `SortJob::run_batch` with
+    // `.optimized(true)` feeds the stripped plan straight into the
+    // lockstep engine (no per-grid fallback), so server batches get the
+    // comparator-reduction win with unchanged results.
+    for algorithm in AlgorithmId::ALL {
+        for side in supported_sides(algorithm) {
+            let grids: Vec<Grid<u32>> = (0..5).map(|i| permutation_grid(side, i * 7 + 2)).collect();
+            let mut raw_batch = grids.clone();
+            let raw_runs = SortJob::new(algorithm, side).run_batch(&mut raw_batch).unwrap();
+            let mut opt_batch = grids.clone();
+            let opt_runs =
+                SortJob::new(algorithm, side).optimized(true).run_batch(&mut opt_batch).unwrap();
+            assert_eq!(raw_batch, opt_batch, "{algorithm} side {side}: final grids");
+            for (i, (r, o)) in raw_runs.iter().zip(&opt_runs).enumerate() {
+                assert_eq!(r.steps, o.steps, "{algorithm} side {side}: steps, grid {i}");
+                assert_eq!(r.swaps, o.swaps, "{algorithm} side {side}: swaps, grid {i}");
+                assert_eq!(
+                    r.convergence, o.convergence,
+                    "{algorithm} side {side}: convergence, grid {i}"
+                );
+            }
         }
     }
 }

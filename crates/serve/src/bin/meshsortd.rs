@@ -1,0 +1,93 @@
+//! `meshsortd` — the mesh-sorting service daemon.
+//!
+//! ```text
+//! meshsortd [--addr HOST:PORT] [--queue-capacity N] [--chaos-capacity N]
+//!           [--max-batch N] [--log-interval-secs S]
+//! ```
+//!
+//! Prints `meshsortd listening on <addr>` once the socket is bound
+//! (port 0 picks a free port, so harnesses can parse the line), then
+//! serves until drained. Drain triggers: a `DRAIN` frame from any
+//! client, or EOF on stdin — the workspace forbids `unsafe`, so POSIX
+//! signal handlers are off the table; process supervisors should close
+//! the daemon's stdin (or send the frame) instead of relying on
+//! SIGTERM. Exits 0 after a clean drain.
+
+use meshsort_serve::server::{ServerConfig, ServerHandle};
+use std::io::Read;
+use std::time::Duration;
+
+fn main() {
+    let mut addr = "127.0.0.1:7465".to_string();
+    let mut config =
+        ServerConfig { log_interval: Some(Duration::from_secs(10)), ..Default::default() };
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("meshsortd: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value("--addr"),
+            "--queue-capacity" => config.queue_capacity = parse(&value("--queue-capacity")),
+            "--chaos-capacity" => config.chaos_capacity = parse(&value("--chaos-capacity")),
+            "--max-batch" => config.max_batch = parse(&value("--max-batch")),
+            "--log-interval-secs" => {
+                let secs: u64 = parse(&value("--log-interval-secs"));
+                config.log_interval =
+                    if secs == 0 { None } else { Some(Duration::from_secs(secs)) };
+            }
+            "--help" | "-h" => {
+                println!(
+                    "meshsortd [--addr HOST:PORT] [--queue-capacity N] [--chaos-capacity N] [--max-batch N] [--log-interval-secs S]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("meshsortd: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let handle = match ServerHandle::bind(addr.as_str(), config) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("meshsortd: bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("meshsortd listening on {}", handle.local_addr());
+
+    // Stdin EOF doubles as the drain signal for supervisors that cannot
+    // speak the protocol. The watcher is a plain detached thread: when
+    // a DRAIN frame lands first, `wait()` returns and main exiting
+    // takes the watcher down with the process.
+    let trigger = handle.drain_trigger();
+    std::thread::spawn(move || {
+        let mut sink = [0u8; 256];
+        let mut stdin = std::io::stdin();
+        loop {
+            match stdin.read(&mut sink) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+        }
+        eprintln!("meshsortd: stdin closed, draining");
+        trigger();
+    });
+
+    let metrics = handle.metrics();
+    handle.wait();
+    eprintln!("meshsortd: drained clean ({})", metrics.log_line());
+}
+
+fn parse<T: std::str::FromStr>(s: &str) -> T {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("meshsortd: bad numeric value {s}");
+        std::process::exit(2);
+    })
+}

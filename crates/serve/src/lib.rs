@@ -1,0 +1,32 @@
+//! # meshsort-serve — `meshsortd`, a sorting/certification service
+//!
+//! This crate turns the batched [`meshsort_core::SortJob`] engine into a
+//! long-running network service. Clients speak a length-prefixed binary
+//! protocol ([`wire`]) over TCP; the server ([`server`]) admits requests
+//! into bounded queues with explicit backpressure, coalesces compatible
+//! sort requests into single batched runs against the process-wide plan
+//! caches, and exposes structured per-route metrics ([`metrics`]) over
+//! its `STATS` route. An open-loop load generator ([`loadgen`]) measures
+//! the whole thing from the outside.
+//!
+//! The paper connection: Savari's analysis says each of the five
+//! algorithms needs Θ(N) steps per random N-cell grid, so a service
+//! sorting many independent grids is embarrassingly batchable — the
+//! marginal cost of a grid in a coalesced batch is far below a solo run
+//! (see `BENCH_meshsort.json`). `meshsortd` is the systems-shaped proof
+//! of that claim: one schedule compilation amortized over every request
+//! the process ever serves, measured under a latency histogram.
+//!
+//! Service architecture details live in DESIGN.md §14.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loadgen;
+pub mod metrics;
+pub mod server;
+pub mod wire;
+
+pub use metrics::{LatencyHistogram, Metrics, Route};
+pub use server::{ServerConfig, ServerHandle, CODE_INTERNAL};
+pub use wire::{Request, Response, WireError};

@@ -1,0 +1,453 @@
+//! Open-loop load generator for `meshsortd`.
+//!
+//! Open-loop means arrivals follow a fixed schedule — request `j` is
+//! due at `j/rate` seconds after start, regardless of how fast the
+//! server answers — so a slow server accumulates queueing delay instead
+//! of silently throttling the offered load (the coordinated-omission
+//! trap closed-loop generators fall into). Requests round-robin across
+//! `connections` sockets, each with a paced writer thread and a reader
+//! thread that matches responses to send timestamps by `req_id`.
+//!
+//! The run ends with a `STATS` probe (for the server-side plan-cache
+//! hit rate) and, when asked, a `DRAIN` frame so one loadgen invocation
+//! can exercise the server's full lifecycle. Results go to a JSON
+//! report via [`meshsort_stats::write_atomic`], and
+//! [`merge_serve_section`] splices a `"serve"` section into the
+//! repo-level `BENCH_meshsort.json` without a JSON parser dependency.
+
+use crate::wire::{self, Request, Response, SortRequest};
+use meshsort_core::{AlgorithmId, Budget};
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Load-generation knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Server address, e.g. `127.0.0.1:7465`.
+    pub addr: String,
+    /// Concurrent client connections.
+    pub connections: usize,
+    /// Offered load in requests per second (open-loop schedule).
+    pub rate: f64,
+    /// Total requests to send.
+    pub requests: u64,
+    /// Mesh side of every generated grid.
+    pub side: usize,
+    /// Ask the server for optimized (dead-wire-stripped) plans.
+    pub optimized: bool,
+    /// Root seed for the per-request permutation grids.
+    pub seed: u64,
+    /// Where to write the JSON report (`None` = stdout only).
+    pub report_path: Option<PathBuf>,
+    /// `BENCH_meshsort.json` to splice a `"serve"` section into.
+    pub bench_json: Option<PathBuf>,
+    /// Send `DRAIN` after the run, shutting the server down.
+    pub drain: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7465".to_string(),
+            connections: 4,
+            rate: 2000.0,
+            requests: 10_000,
+            side: 8,
+            optimized: true,
+            seed: 0x6D65_7368,
+            report_path: None,
+            bench_json: None,
+            drain: false,
+        }
+    }
+}
+
+/// What a loadgen run measured.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Requests sent.
+    pub requests: u64,
+    /// Grids the server reported fully sorted.
+    pub completed: u64,
+    /// Error responses (any non-zero status).
+    pub errors: u64,
+    /// Responses that failed wire decoding client-side.
+    pub protocol_errors: u64,
+    /// Wall-clock seconds from first send to last response.
+    pub elapsed_secs: f64,
+    /// Completed grids per second.
+    pub throughput: f64,
+    /// Median round-trip latency, milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile round-trip latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean round-trip latency, milliseconds.
+    pub mean_ms: f64,
+    /// Completions per algorithm, `AlgorithmId::ALL` order.
+    pub per_algorithm: [u64; 5],
+    /// Server-reported plan-cache hit rate at the end of the run.
+    pub plan_cache_hit_rate: f64,
+}
+
+impl LoadgenReport {
+    /// The report as one JSON object (no serializer dependency).
+    pub fn to_json(&self) -> String {
+        let per_algorithm = AlgorithmId::ALL
+            .iter()
+            .zip(&self.per_algorithm)
+            .map(|(a, n)| format!("\"{}\": {n}", a.name()))
+            .collect::<Vec<_>>()
+            .join(", ");
+        format!(
+            "{{\"requests\": {}, \"completed\": {}, \"errors\": {}, \"protocol_errors\": {}, \"elapsed_secs\": {:.3}, \"throughput_grids_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"plan_cache_hit_rate\": {:.4}, \"per_algorithm\": {{{}}}}}",
+            self.requests,
+            self.completed,
+            self.errors,
+            self.protocol_errors,
+            self.elapsed_secs,
+            self.throughput,
+            self.p50_ms,
+            self.p99_ms,
+            self.mean_ms,
+            self.plan_cache_hit_rate,
+            per_algorithm,
+        )
+    }
+}
+
+#[derive(Debug, Default)]
+struct Tally {
+    latencies_ms: Vec<f64>,
+    completed: u64,
+    errors: u64,
+    protocol_errors: u64,
+    per_algorithm: [u64; 5],
+}
+
+/// Minimal splitmix-style generator for request grids.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 ^ (self.0 >> 29)
+    }
+}
+
+/// A pseudo-random permutation of `0..side²` for request `index`.
+#[allow(clippy::cast_possible_truncation)]
+fn permutation_cells(side: usize, seed: u64, index: u64) -> Vec<u32> {
+    let cells = side * side;
+    let mut v: Vec<u32> = (0..cells as u32).collect();
+    let mut rng = Lcg(seed ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    for i in (1..cells).rev() {
+        let j = (rng.next() % (i as u64 + 1)) as usize;
+        v.swap(i, j);
+    }
+    v
+}
+
+/// Algorithms in the request mix for `side` — all five when the side is
+/// even, the three snakes when it is odd.
+fn mix_for(side: usize) -> Vec<AlgorithmId> {
+    AlgorithmId::ALL.into_iter().filter(|a| a.supports_side(side)).collect()
+}
+
+/// Runs the load and collects the report.
+///
+/// # Errors
+///
+/// Connection or socket failures; the server disappearing mid-run
+/// surfaces as `UnexpectedEof`.
+///
+/// # Panics
+///
+/// When `connections == 0`, `rate <= 0`, or the side supports no
+/// algorithm.
+pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
+    assert!(config.connections > 0, "loadgen needs at least one connection");
+    assert!(config.rate > 0.0, "loadgen rate must be positive");
+    let mix = mix_for(config.side);
+    assert!(!mix.is_empty(), "no algorithm supports side {}", config.side);
+
+    let tally = Arc::new(Mutex::new(Tally::default()));
+    let start = Instant::now();
+    let mut workers = Vec::new();
+    for conn in 0..config.connections {
+        let stream = TcpStream::connect(&config.addr)?;
+        stream.set_nodelay(true)?;
+        workers.push(spawn_connection(conn, stream, config, &mix, &tally, start));
+    }
+    for (writer, reader) in workers {
+        writer.join().map_err(|_| worker_panic())??;
+        reader.join().map_err(|_| worker_panic())??;
+    }
+    let elapsed_secs = start.elapsed().as_secs_f64();
+
+    // One last connection: pull the server's own metrics, then drain if
+    // this run owns the server lifecycle.
+    let mut probe = TcpStream::connect(&config.addr)?;
+    wire::write_frame(&mut probe, &wire::encode_request(u64::MAX, &Request::Stats))?;
+    let stats_json = match read_response(&mut probe)? {
+        Response::Stats { json } => json,
+        other => return Err(io::Error::other(format!("unexpected STATS reply: {other:?}"))),
+    };
+    if config.drain {
+        wire::write_frame(&mut probe, &wire::encode_request(u64::MAX, &Request::Drain))?;
+        let _ = read_response(&mut probe)?;
+    }
+
+    let tally = Arc::try_unwrap(tally).expect("workers joined").into_inner().expect("tally lock");
+    let mut latencies = tally.latencies_ms;
+    latencies.sort_by(f64::total_cmp);
+    #[allow(clippy::cast_precision_loss)]
+    let mean_ms = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<f64>() / latencies.len() as f64
+    };
+    #[allow(clippy::cast_precision_loss)]
+    let throughput = if elapsed_secs > 0.0 { tally.completed as f64 / elapsed_secs } else { 0.0 };
+    Ok(LoadgenReport {
+        requests: config.requests,
+        completed: tally.completed,
+        errors: tally.errors,
+        protocol_errors: tally.protocol_errors,
+        elapsed_secs,
+        throughput,
+        p50_ms: meshsort_stats::histogram::quantile(&latencies, 0.50),
+        p99_ms: meshsort_stats::histogram::quantile(&latencies, 0.99),
+        mean_ms,
+        per_algorithm: tally.per_algorithm,
+        plan_cache_hit_rate: extract_f64(&stats_json, "plan_cache_hit_rate").unwrap_or(-1.0),
+    })
+}
+
+type Worker = (thread::JoinHandle<io::Result<()>>, thread::JoinHandle<io::Result<()>>);
+
+fn spawn_connection(
+    conn: usize,
+    stream: TcpStream,
+    config: &LoadgenConfig,
+    mix: &[AlgorithmId],
+    tally: &Arc<Mutex<Tally>>,
+    start: Instant,
+) -> Worker {
+    let pending: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+    let my_requests: Vec<u64> =
+        (conn as u64..config.requests).step_by(config.connections).collect();
+    let count = my_requests.len();
+
+    let writer = {
+        let mut stream = stream.try_clone().expect("clone stream for writer");
+        let pending = Arc::clone(&pending);
+        let mix = mix.to_vec();
+        let (rate, side, seed, optimized) =
+            (config.rate, config.side, config.seed, config.optimized);
+        thread::spawn(move || -> io::Result<()> {
+            for j in my_requests {
+                #[allow(clippy::cast_precision_loss)]
+                let due = Duration::from_secs_f64(j as f64 / rate);
+                let now = start.elapsed();
+                if due > now {
+                    thread::sleep(due - now);
+                }
+                let algorithm = mix[(j % mix.len() as u64) as usize];
+                let request = Request::Sort(SortRequest {
+                    algorithm,
+                    #[allow(clippy::cast_possible_truncation)]
+                    side: side as u16,
+                    optimized,
+                    echo_grid: false,
+                    budget: Budget::Default,
+                    cells: permutation_cells(side, seed, j),
+                });
+                pending.lock().expect("pending lock").insert(j, Instant::now());
+                wire::write_frame(&mut stream, &wire::encode_request(j, &request))?;
+            }
+            Ok(())
+        })
+    };
+
+    let reader = {
+        let mut stream = stream;
+        let pending = Arc::clone(&pending);
+        let tally = Arc::clone(tally);
+        let mix_len = mix.len() as u64;
+        thread::spawn(move || -> io::Result<()> {
+            for _ in 0..count {
+                let frame = match wire::read_frame(&mut stream) {
+                    Ok(Some(frame)) => frame,
+                    Ok(None) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed mid-run",
+                        ))
+                    }
+                    Err(e) => {
+                        tally.lock().expect("tally lock").protocol_errors += 1;
+                        return Err(e);
+                    }
+                };
+                let sent = pending.lock().expect("pending lock").remove(&frame.req_id);
+                let latency_ms = sent.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e3);
+                let mut t = tally.lock().expect("tally lock");
+                match wire::decode_response(&frame) {
+                    Ok(Response::Sort(s)) if s.convergence == 0 => {
+                        t.completed += 1;
+                        t.per_algorithm[(frame.req_id % mix_len) as usize] += 1;
+                        t.latencies_ms.push(latency_ms);
+                    }
+                    Ok(_) => {
+                        t.errors += 1;
+                        t.latencies_ms.push(latency_ms);
+                    }
+                    Err(_) => t.protocol_errors += 1,
+                }
+            }
+            Ok(())
+        })
+    };
+    (writer, reader)
+}
+
+fn read_response(stream: &mut TcpStream) -> io::Result<Response> {
+    match wire::read_frame(stream)? {
+        Some(frame) => wire::decode_response(&frame)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+        None => Err(io::Error::new(io::ErrorKind::UnexpectedEof, "server closed")),
+    }
+}
+
+fn worker_panic() -> io::Error {
+    io::Error::other("loadgen worker panicked")
+}
+
+/// Pulls a bare numeric value for `key` out of flat JSON text.
+fn extract_f64(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end =
+        rest.find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit()).unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Splices `section` in as the `"serve"` key of `existing` (a JSON
+/// object), replacing any previous `"serve"` section. Text-level: the
+/// only assumption is that `existing` is a brace-balanced object.
+pub fn merge_serve_section(existing: &str, section: &str) -> String {
+    let body = strip_serve_key(existing);
+    let trimmed = body.trim_end();
+    let without_close = trimmed.strip_suffix('}').unwrap_or(trimmed).trim_end();
+    let needs_comma = !without_close.trim_end().ends_with(['{', ',']);
+    let comma = if needs_comma { "," } else { "" };
+    format!("{without_close}{comma}\n  \"serve\": {section}\n}}\n")
+}
+
+/// Removes an existing `"serve": { ... }` entry (balanced-brace scan)
+/// so a re-run replaces rather than duplicates it.
+fn strip_serve_key(json: &str) -> String {
+    let Some(key_at) = json.find("\"serve\":") else {
+        return json.to_string();
+    };
+    let Some(open_rel) = json[key_at..].find('{') else {
+        return json.to_string();
+    };
+    let open = key_at + open_rel;
+    let mut depth = 0usize;
+    let mut close = None;
+    for (i, b) in json.bytes().enumerate().skip(open) {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    close = Some(i);
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let Some(close) = close else {
+        return json.to_string();
+    };
+    // Swallow the trailing comma (or the leading one when "serve" is the
+    // last key) so the remainder stays valid JSON.
+    let mut end = close + 1;
+    let tail = json[end..].trim_start();
+    if tail.starts_with(',') {
+        end += json[end..].find(',').expect("comma present") + 1;
+        let mut start = key_at;
+        while start > 0 && json.as_bytes()[start - 1].is_ascii_whitespace() {
+            start -= 1;
+        }
+        return format!("{}{}", &json[..start], &json[end..]);
+    }
+    let mut start = key_at;
+    while start > 0 && json.as_bytes()[start - 1].is_ascii_whitespace() {
+        start -= 1;
+    }
+    if start > 0 && json.as_bytes()[start - 1] == b',' {
+        start -= 1;
+    }
+    format!("{}{}", &json[..start], &json[end..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permutations_are_permutations() {
+        for j in [0u64, 1, 999] {
+            let mut cells = permutation_cells(8, 42, j);
+            cells.sort_unstable();
+            assert_eq!(cells, (0..64).collect::<Vec<u32>>());
+        }
+        assert_ne!(permutation_cells(8, 42, 0), permutation_cells(8, 42, 1));
+    }
+
+    #[test]
+    fn mix_respects_side_support() {
+        assert_eq!(mix_for(8).len(), 5, "even sides run all five");
+        assert_eq!(mix_for(9).len(), 3, "odd sides run the snakes");
+    }
+
+    #[test]
+    fn extract_f64_reads_flat_json() {
+        let json = "{\"a\": 1, \"plan_cache_hit_rate\": 0.9871, \"b\": {}}";
+        assert_eq!(extract_f64(json, "plan_cache_hit_rate"), Some(0.9871));
+        assert_eq!(extract_f64(json, "missing"), None);
+    }
+
+    #[test]
+    fn merge_inserts_serve_section() {
+        let merged = merge_serve_section("{\n  \"rows\": [1, 2]\n}\n", "{\"x\": 1}");
+        assert!(merged.contains("\"serve\": {\"x\": 1}"), "{merged}");
+        assert!(merged.contains("\"rows\": [1, 2],"), "{merged}");
+        assert!(merged.trim_end().ends_with('}'), "{merged}");
+    }
+
+    #[test]
+    fn merge_replaces_existing_serve_section() {
+        let first = merge_serve_section("{\n  \"rows\": [1]\n}\n", "{\"x\": {\"y\": 1}}");
+        let second = merge_serve_section(&first, "{\"x\": 2}");
+        assert_eq!(second.matches("\"serve\"").count(), 1, "{second}");
+        assert!(second.contains("\"serve\": {\"x\": 2}"), "{second}");
+        assert!(!second.contains("\"y\": 1"), "{second}");
+    }
+
+    #[test]
+    fn merge_handles_empty_object() {
+        let merged = merge_serve_section("{}\n", "{\"x\": 1}");
+        assert!(merged.starts_with("{\n  \"serve\""), "{merged}");
+        assert!(!merged.contains(",\n  \"serve\""), "{merged}");
+    }
+}

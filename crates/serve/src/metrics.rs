@@ -1,0 +1,405 @@
+//! Structured per-route service metrics.
+//!
+//! Every request that reaches the server is attributed to a [`Route`];
+//! completion latency lands in a log-bucketed histogram (power-of-√2
+//! buckets over microseconds) so p50/p99 stay cheap to compute under
+//! load — the whole snapshot path is lock-per-route, no allocation per
+//! request. Queue depth, batch occupancy, and plan-cache hit rate come
+//! from the batcher. [`Metrics::snapshot_json`] renders the whole thing
+//! as one JSON object (hand-rolled: the serve crate takes no serde
+//! dependency) for the `STATS` route, and [`Metrics::log_line`] gives
+//! the periodic one-line operator summary.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Latency histogram bucket count: bucket `i` covers
+/// `[√2^i, √2^(i+1))` microseconds, spanning 1 µs to ~16 s.
+const BUCKETS: usize = 48;
+
+/// A log-bucketed latency histogram over microseconds.
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum_us: u64,
+    max_us: u64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { buckets: [0; BUCKETS], count: 0, sum_us: 0, max_us: 0 }
+    }
+
+    fn bucket_of(us: u64) -> usize {
+        if us <= 1 {
+            return 0;
+        }
+        // ⌊2·log2(us)⌋ indexes √2-spaced buckets.
+        let idx = (2 * (63 - us.leading_zeros()) as usize)
+            + usize::from(us & (us - 1).wrapping_shr(1) > (1u64 << (63 - us.leading_zeros())) / 2);
+        idx.min(BUCKETS - 1)
+    }
+
+    /// Records one latency observation.
+    pub fn record(&mut self, us: u64) {
+        self.buckets[Self::bucket_of(us)] += 1;
+        self.count += 1;
+        self.sum_us += us;
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.sum_us as f64 / self.count as f64
+        }
+    }
+
+    /// Approximate quantile in microseconds: the upper edge of the
+    /// bucket holding the q-th observation. Within a factor of √2 of the
+    /// true value, which is all an operator dashboard needs.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_sign_loss,
+            clippy::cast_possible_truncation
+        )]
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                #[allow(clippy::cast_precision_loss)]
+                let edge = 2f64.powf((i as f64 + 1.0) / 2.0);
+                #[allow(clippy::cast_precision_loss)]
+                return edge.min(self.max_us as f64);
+            }
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.max_us as f64
+        }
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The routes the server serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// Batched sorting.
+    Sort,
+    /// Static plan facts.
+    Analyze,
+    /// Resilient runs under faults.
+    Chaos,
+    /// Metrics snapshot.
+    Stats,
+    /// Liveness probe.
+    Ping,
+}
+
+impl Route {
+    /// All routes, snapshot order.
+    pub const ALL: [Route; 5] =
+        [Route::Sort, Route::Analyze, Route::Chaos, Route::Stats, Route::Ping];
+
+    /// Snapshot/JSON key for the route.
+    pub fn name(self) -> &'static str {
+        match self {
+            Route::Sort => "sort",
+            Route::Analyze => "analyze",
+            Route::Chaos => "chaos",
+            Route::Stats => "stats",
+            Route::Ping => "ping",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Route::Sort => 0,
+            Route::Analyze => 1,
+            Route::Chaos => 2,
+            Route::Stats => 3,
+            Route::Ping => 4,
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RouteStats {
+    completed: u64,
+    errors: u64,
+    latency: LatencyHistogram,
+}
+
+#[derive(Debug, Default)]
+struct BatchStats {
+    batches: u64,
+    grids: u64,
+    max_occupancy: u64,
+    occupancy_sum: u64,
+    plan_hits: u64,
+    plan_misses: u64,
+}
+
+/// Shared service metrics. Cheap to clone behind an `Arc`; every method
+/// takes `&self`.
+#[derive(Debug)]
+pub struct Metrics {
+    started: Instant,
+    routes: [Mutex<RouteStats>; 5],
+    batch: Mutex<BatchStats>,
+    /// Current sort-queue depth (requests admitted, not yet completed).
+    queue_depth: AtomicUsize,
+    /// Requests rejected with `QueueFull`.
+    rejected: AtomicU64,
+    /// Frames that failed wire decoding.
+    protocol_errors: AtomicU64,
+    /// Connections accepted over the lifetime.
+    connections: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh metrics anchored at "now".
+    pub fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            routes: std::array::from_fn(|_| Mutex::new(RouteStats::default())),
+            batch: Mutex::new(BatchStats::default()),
+            queue_depth: AtomicUsize::new(0),
+            rejected: AtomicU64::new(0),
+            protocol_errors: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a completed request on `route` with its latency.
+    pub fn record(&self, route: Route, latency_us: u64, ok: bool) {
+        let mut stats = self.routes[route.index()].lock().expect("metrics lock");
+        if ok {
+            stats.completed += 1;
+        } else {
+            stats.errors += 1;
+        }
+        stats.latency.record(latency_us);
+    }
+
+    /// Records one executed batch: how many grids it coalesced and
+    /// whether its plan key was already warm in the cache.
+    pub fn record_batch(&self, occupancy: usize, plan_hit: bool) {
+        let mut b = self.batch.lock().expect("metrics lock");
+        b.batches += 1;
+        b.grids += occupancy as u64;
+        b.occupancy_sum += occupancy as u64;
+        b.max_occupancy = b.max_occupancy.max(occupancy as u64);
+        if plan_hit {
+            b.plan_hits += 1;
+        } else {
+            b.plan_misses += 1;
+        }
+    }
+
+    /// Adjusts the sort-queue depth gauge.
+    pub fn queue_enter(&self) {
+        self.queue_depth.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// See [`Metrics::queue_enter`].
+    pub fn queue_exit(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current sort-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth.load(Ordering::Relaxed)
+    }
+
+    /// Counts one `QueueFull` rejection.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one malformed frame.
+    pub fn record_protocol_error(&self) {
+        self.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one accepted connection.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total completed requests across routes.
+    pub fn total_completed(&self) -> u64 {
+        Route::ALL
+            .iter()
+            .map(|r| self.routes[r.index()].lock().expect("metrics lock").completed)
+            .sum()
+    }
+
+    /// Plan-cache hit rate over executed batches, in `[0, 1]`
+    /// (1.0 when no batch has run yet).
+    pub fn plan_cache_hit_rate(&self) -> f64 {
+        let b = self.batch.lock().expect("metrics lock");
+        let total = b.plan_hits + b.plan_misses;
+        if total == 0 {
+            return 1.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            b.plan_hits as f64 / total as f64
+        }
+    }
+
+    /// The whole snapshot as one JSON object.
+    pub fn snapshot_json(&self) -> String {
+        let mut routes = String::new();
+        for route in Route::ALL {
+            let s = self.routes[route.index()].lock().expect("metrics lock");
+            if !routes.is_empty() {
+                routes.push_str(", ");
+            }
+            routes.push_str(&format!(
+                "\"{}\": {{\"completed\": {}, \"errors\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"mean_us\": {:.1}}}",
+                route.name(),
+                s.completed,
+                s.errors,
+                s.latency.quantile_us(0.50),
+                s.latency.quantile_us(0.99),
+                s.latency.mean_us(),
+            ));
+        }
+        let b = self.batch.lock().expect("metrics lock");
+        #[allow(clippy::cast_precision_loss)]
+        let mean_occupancy =
+            if b.batches == 0 { 0.0 } else { b.occupancy_sum as f64 / b.batches as f64 };
+        let hit_rate = {
+            let total = b.plan_hits + b.plan_misses;
+            if total == 0 {
+                1.0
+            } else {
+                #[allow(clippy::cast_precision_loss)]
+                {
+                    b.plan_hits as f64 / total as f64
+                }
+            }
+        };
+        format!(
+            "{{\"uptime_secs\": {:.1}, \"connections\": {}, \"queue_depth\": {}, \"rejected\": {}, \"protocol_errors\": {}, \"routes\": {{{}}}, \"batches\": {{\"count\": {}, \"grids\": {}, \"mean_occupancy\": {:.2}, \"max_occupancy\": {}, \"plan_cache_hits\": {}, \"plan_cache_misses\": {}, \"plan_cache_hit_rate\": {:.4}}}}}",
+            self.started.elapsed().as_secs_f64(),
+            self.connections.load(Ordering::Relaxed),
+            self.queue_depth(),
+            self.rejected.load(Ordering::Relaxed),
+            self.protocol_errors.load(Ordering::Relaxed),
+            routes,
+            b.batches,
+            b.grids,
+            mean_occupancy,
+            b.max_occupancy,
+            b.plan_hits,
+            b.plan_misses,
+            hit_rate,
+        )
+    }
+
+    /// One-line operator summary for the periodic log.
+    pub fn log_line(&self) -> String {
+        let sort = self.routes[Route::Sort.index()].lock().expect("metrics lock");
+        let b = self.batch.lock().expect("metrics lock");
+        #[allow(clippy::cast_precision_loss)]
+        let mean_occupancy =
+            if b.batches == 0 { 0.0 } else { b.occupancy_sum as f64 / b.batches as f64 };
+        format!(
+            "meshsortd: sorted={} errors={} p50={:.0}us p99={:.0}us depth={} batches={} occ={:.1} rejected={} proto_err={}",
+            sort.completed,
+            sort.errors,
+            sort.latency.quantile_us(0.50),
+            sort.latency.quantile_us(0.99),
+            self.queue_depth(),
+            b.batches,
+            mean_occupancy,
+            self.rejected.load(Ordering::Relaxed),
+            self.protocol_errors.load(Ordering::Relaxed),
+        )
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_in_latency() {
+        let mut last = 0;
+        for us in [1u64, 2, 3, 5, 8, 16, 100, 1000, 10_000, 1_000_000] {
+            let b = LatencyHistogram::bucket_of(us);
+            assert!(b >= last, "bucket({us}) = {b} < {last}");
+            last = b;
+        }
+        assert!(LatencyHistogram::bucket_of(u64::MAX) < BUCKETS);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_observations() {
+        let mut h = LatencyHistogram::new();
+        for us in 1..=1000u64 {
+            h.record(us);
+        }
+        let p50 = h.quantile_us(0.50);
+        let p99 = h.quantile_us(0.99);
+        assert!(p50 >= 250.0 && p50 <= 1000.0, "p50 = {p50}");
+        assert!(p99 >= p50 && p99 <= 1000.0, "p99 = {p99}");
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn snapshot_reports_hit_rate_and_routes() {
+        let m = Metrics::new();
+        m.record(Route::Sort, 120, true);
+        m.record(Route::Sort, 480, true);
+        m.record(Route::Chaos, 90, false);
+        m.record_batch(8, false);
+        m.record_batch(8, true);
+        m.record_batch(4, true);
+        let json = m.snapshot_json();
+        assert!(json.contains("\"sort\": {\"completed\": 2"), "{json}");
+        assert!(json.contains("\"plan_cache_hit_rate\": 0.6667"), "{json}");
+        assert!(json.contains("\"grids\": 20"), "{json}");
+        assert!((m.plan_cache_hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(m.total_completed(), 2);
+    }
+
+    #[test]
+    fn empty_metrics_report_perfect_hit_rate() {
+        let m = Metrics::new();
+        assert!((m.plan_cache_hit_rate() - 1.0).abs() < f64::EPSILON);
+        assert_eq!(m.queue_depth(), 0);
+        assert!(m.log_line().contains("sorted=0"));
+    }
+}

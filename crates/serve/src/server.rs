@@ -1,0 +1,536 @@
+//! The `meshsortd` server: accept loop, bounded queues, coalescing
+//! batcher, and graceful drain.
+//!
+//! Threading model (pure `std`, no async runtime):
+//!
+//! - The **accept loop** polls a non-blocking listener and spawns one
+//!   handler thread per connection. Handlers use blocking reads, so
+//!   frames never desynchronize; drain interrupts idle handlers by
+//!   shutting down the read half of every registered stream.
+//! - Each **handler** decodes frames and dispatches. `SORT` and `CHAOS`
+//!   are admitted into bounded [`std::sync::mpsc::sync_channel`] queues
+//!   via `try_send` — a full queue rejects immediately with
+//!   `QueueFull` (code 503), never buffers unboundedly — then the
+//!   handler blocks on a per-request reply channel. `ANALYZE`, `STATS`,
+//!   and `PING` are answered inline; `DRAIN` begins graceful shutdown.
+//! - The **batcher** drains the sort queue greedily (up to
+//!   `max_batch`), groups compatible requests by
+//!   `(algorithm, side, optimized, budget)`, and runs each group
+//!   through one [`SortJob::run_batch`] call against the process-wide
+//!   plan caches — no request ever recompiles a schedule. The **chaos
+//!   worker** runs resilient jobs one at a time off its own queue.
+//!
+//! Drain (the `DRAIN` frame, or [`ServerHandle::request_drain`], which
+//! the binary wires to stdin EOF): stop accepting, unblock idle
+//! handlers, let in-flight requests finish, then the queues close and
+//! every worker exits. [`ServerHandle::wait`] joins the whole tree.
+
+use crate::metrics::{Metrics, Route};
+use crate::wire::{self, ChaosRequest, Request, Response, SortRequest, SortResponse};
+use meshsort_core::{optimized_for, static_bound_for, AlgorithmId, Budget, Error, SortJob};
+use meshsort_mesh::{FaultSpec, Grid};
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Status code for internal failures (a worker vanished mid-request);
+/// distinct from every [`Error::code`] and [`wire::WireError::code`].
+pub const CODE_INTERNAL: u16 = 500;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Sort-queue capacity; `try_send` beyond it rejects with 503.
+    pub queue_capacity: usize,
+    /// Chaos-queue capacity.
+    pub chaos_capacity: usize,
+    /// Most grids one batcher pass coalesces.
+    pub max_batch: usize,
+    /// Period of the one-line operator log on stderr (`None` = silent).
+    pub log_interval: Option<Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { queue_capacity: 1024, chaos_capacity: 64, max_batch: 64, log_interval: None }
+    }
+}
+
+struct SortWork {
+    req: SortRequest,
+    reply: SyncSender<Response>,
+}
+
+struct ChaosWork {
+    req: ChaosRequest,
+    reply: SyncSender<Response>,
+}
+
+/// The admission side of both bounded queues, plus their configured
+/// capacities so `QueueFull` rejections report the real limit.
+#[derive(Clone)]
+struct Queues {
+    sort_tx: SyncSender<SortWork>,
+    sort_capacity: usize,
+    chaos_tx: SyncSender<ChaosWork>,
+    chaos_capacity: usize,
+}
+
+/// Drain coordination: the flag workers poll plus the registry of live
+/// streams whose read halves get shut down to unblock idle handlers.
+struct DrainControl {
+    flag: AtomicBool,
+    streams: Mutex<HashMap<usize, TcpStream>>,
+    next_id: AtomicUsize,
+}
+
+impl DrainControl {
+    fn new() -> Self {
+        DrainControl {
+            flag: AtomicBool::new(false),
+            streams: Mutex::new(HashMap::new()),
+            next_id: AtomicUsize::new(0),
+        }
+    }
+
+    fn register(&self, stream: &TcpStream) -> usize {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if let Ok(clone) = stream.try_clone() {
+            self.streams.lock().expect("drain lock").insert(id, clone);
+        }
+        id
+    }
+
+    fn unregister(&self, id: usize) {
+        self.streams.lock().expect("drain lock").remove(&id);
+    }
+
+    fn begin(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+        for stream in self.streams.lock().expect("drain lock").values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+    }
+
+    fn draining(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
+
+/// A running server. Dropping the handle does NOT stop the server; call
+/// [`ServerHandle::request_drain`] then [`ServerHandle::wait`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    drain: Arc<DrainControl>,
+    metrics: Arc<Metrics>,
+    main: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from bind/configure.
+    pub fn bind<A: ToSocketAddrs>(addr: A, config: ServerConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(Metrics::new());
+        let drain = Arc::new(DrainControl::new());
+
+        let (sort_tx, sort_rx) = mpsc::sync_channel::<SortWork>(config.queue_capacity);
+        let (chaos_tx, chaos_rx) = mpsc::sync_channel::<ChaosWork>(config.chaos_capacity);
+        let queues = Queues {
+            sort_tx,
+            sort_capacity: config.queue_capacity,
+            chaos_tx,
+            chaos_capacity: config.chaos_capacity,
+        };
+
+        let batcher = {
+            let metrics = Arc::clone(&metrics);
+            let max_batch = config.max_batch.max(1);
+            thread::spawn(move || batcher_loop(&sort_rx, &metrics, max_batch))
+        };
+        let chaos_worker = thread::spawn(move || chaos_loop(&chaos_rx));
+        let logger = config.log_interval.map(|interval| {
+            let metrics = Arc::clone(&metrics);
+            let drain = Arc::clone(&drain);
+            thread::spawn(move || log_loop(&metrics, &drain, interval))
+        });
+
+        let main = {
+            let metrics = Arc::clone(&metrics);
+            let drain = Arc::clone(&drain);
+            thread::spawn(move || {
+                accept_loop(&listener, &queues, &metrics, &drain);
+                // The accept loop has exited and joined every handler.
+                // Dropping the original senders disconnects the queues,
+                // so each worker finishes whatever was already admitted
+                // and then its `recv` errors out.
+                drop(queues);
+                let _ = batcher.join();
+                let _ = chaos_worker.join();
+                if let Some(logger) = logger {
+                    let _ = logger.join();
+                }
+            })
+        };
+
+        Ok(ServerHandle { addr, drain, metrics, main: Some(main) })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Shared metrics.
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Begins graceful drain: stop accepting, finish in-flight and
+    /// queued work, then every thread exits.
+    pub fn request_drain(&self) {
+        self.drain.begin();
+    }
+
+    /// Whether drain has begun.
+    pub fn is_draining(&self) -> bool {
+        self.drain.draining()
+    }
+
+    /// A detached callable that begins drain — hand it to a watcher
+    /// thread while the main thread keeps the handle for [`wait`].
+    ///
+    /// [`wait`]: ServerHandle::wait
+    pub fn drain_trigger(&self) -> impl Fn() + Send + 'static {
+        let drain = Arc::clone(&self.drain);
+        move || drain.begin()
+    }
+
+    /// Blocks until the server has fully drained and every thread has
+    /// exited.
+    pub fn wait(mut self) {
+        if let Some(main) = self.main.take() {
+            let _ = main.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    queues: &Queues,
+    metrics: &Arc<Metrics>,
+    drain: &Arc<DrainControl>,
+) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    while !drain.draining() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                metrics.record_connection();
+                let queues = queues.clone();
+                let metrics = Arc::clone(metrics);
+                let drain = Arc::clone(drain);
+                handlers.push(thread::spawn(move || {
+                    handle_connection(stream, &queues, &metrics, &drain);
+                }));
+                // Reap finished handlers so a long-lived server does not
+                // accumulate one parked JoinHandle per past connection.
+                handlers.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+    for handler in handlers {
+        let _ = handler.join();
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    queues: &Queues,
+    metrics: &Arc<Metrics>,
+    drain: &Arc<DrainControl>,
+) {
+    let _ = stream.set_nodelay(true);
+    let id = drain.register(&stream);
+    loop {
+        let frame = match wire::read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => break,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // Malformed length prefix or header: the stream can no
+                // longer be re-framed, so answer once and hang up.
+                metrics.record_protocol_error();
+                let resp = Response::Error { code: 905, message: e.to_string() };
+                let _ = wire::write_frame(
+                    &mut stream,
+                    &wire::encode_response(wire::KIND_ERROR, 0, &resp),
+                );
+                break;
+            }
+            Err(_) => break,
+        };
+        let keep_going = dispatch(&mut stream, &frame, queues, metrics, drain);
+        if !keep_going || drain.draining() {
+            break;
+        }
+    }
+    drain.unregister(id);
+}
+
+/// Handles one decoded frame; returns `false` when the connection should
+/// close.
+fn dispatch(
+    stream: &mut TcpStream,
+    frame: &wire::Frame,
+    queues: &Queues,
+    metrics: &Arc<Metrics>,
+    drain: &Arc<DrainControl>,
+) -> bool {
+    let started = Instant::now();
+    let request = match wire::decode_request(frame) {
+        Ok(request) => request,
+        Err(e) => {
+            // The frame itself was well-delimited, only its payload was
+            // bad: reject it and keep the connection.
+            metrics.record_protocol_error();
+            let resp = Response::Error { code: e.code(), message: e.to_string() };
+            return write_response(stream, frame.kind, frame.req_id, &resp);
+        }
+    };
+    match request {
+        Request::Ping => {
+            let ok = write_response(stream, frame.kind, frame.req_id, &Response::Pong);
+            metrics.record(Route::Ping, elapsed_us(started), true);
+            ok
+        }
+        Request::Stats => {
+            let resp = Response::Stats { json: metrics.snapshot_json() };
+            let ok = write_response(stream, frame.kind, frame.req_id, &resp);
+            metrics.record(Route::Stats, elapsed_us(started), true);
+            ok
+        }
+        Request::Analyze { algorithm, side } => {
+            let resp = analyze(algorithm, usize::from(side));
+            let is_ok = !matches!(resp, Response::Error { .. });
+            let ok = write_response(stream, frame.kind, frame.req_id, &resp);
+            metrics.record(Route::Analyze, elapsed_us(started), is_ok);
+            ok
+        }
+        Request::Drain => {
+            // Flag first, respond second: a client that has read the
+            // `Draining` ack must observe the server as draining.
+            drain.begin();
+            let _ = write_response(stream, frame.kind, frame.req_id, &Response::Draining);
+            false
+        }
+        Request::Sort(req) => {
+            let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+            let resp = match queues.sort_tx.try_send(SortWork { req, reply: reply_tx }) {
+                Ok(()) => {
+                    metrics.queue_enter();
+                    let resp = reply_rx.recv().unwrap_or_else(|_| internal_error());
+                    metrics.queue_exit();
+                    resp
+                }
+                Err(TrySendError::Full(_)) => {
+                    metrics.record_rejected();
+                    let err = Error::QueueFull { capacity: queues.sort_capacity };
+                    Response::Error { code: err.code(), message: err.to_string() }
+                }
+                Err(TrySendError::Disconnected(_)) => internal_error(),
+            };
+            let is_ok = !matches!(resp, Response::Error { .. });
+            let ok = write_response(stream, frame.kind, frame.req_id, &resp);
+            metrics.record(Route::Sort, elapsed_us(started), is_ok);
+            ok
+        }
+        Request::Chaos(req) => {
+            let (reply_tx, reply_rx) = mpsc::sync_channel(1);
+            let resp = match queues.chaos_tx.try_send(ChaosWork { req, reply: reply_tx }) {
+                Ok(()) => reply_rx.recv().unwrap_or_else(|_| internal_error()),
+                Err(TrySendError::Full(_)) => {
+                    metrics.record_rejected();
+                    let err = Error::QueueFull { capacity: queues.chaos_capacity };
+                    Response::Error { code: err.code(), message: err.to_string() }
+                }
+                Err(TrySendError::Disconnected(_)) => internal_error(),
+            };
+            let is_ok = !matches!(resp, Response::Error { .. });
+            let ok = write_response(stream, frame.kind, frame.req_id, &resp);
+            metrics.record(Route::Chaos, elapsed_us(started), is_ok);
+            ok
+        }
+    }
+}
+
+fn internal_error() -> Response {
+    Response::Error { code: CODE_INTERNAL, message: "service shutting down".to_string() }
+}
+
+fn write_response(stream: &mut TcpStream, kind: u8, req_id: u64, resp: &Response) -> bool {
+    wire::write_frame(stream, &wire::encode_response(kind, req_id, resp)).is_ok()
+}
+
+#[allow(clippy::cast_possible_truncation)]
+fn elapsed_us(started: Instant) -> u64 {
+    started.elapsed().as_micros() as u64
+}
+
+fn analyze(algorithm: AlgorithmId, side: usize) -> Response {
+    match optimized_for(algorithm, side) {
+        Ok(plan) => Response::Analyze(wire::AnalyzeResponse {
+            comparators_per_cycle: plan.comparators_per_cycle(),
+            raw_comparators_per_cycle: plan.raw_comparators_per_cycle(),
+            stripped: plan.stripped.len() as u64,
+            static_bound: static_bound_for(algorithm, side).unwrap_or(0),
+        }),
+        Err(e) => {
+            let err = Error::from(e);
+            Response::Error { code: err.code(), message: err.to_string() }
+        }
+    }
+}
+
+/// One batcher pass: drain greedily, group by plan compatibility, run
+/// each group through a single batched job.
+fn batcher_loop(rx: &Receiver<SortWork>, metrics: &Arc<Metrics>, max_batch: usize) {
+    let mut warm: HashSet<(AlgorithmId, u16, bool)> = HashSet::new();
+    while let Ok(first) = rx.recv() {
+        let mut works = vec![first];
+        while works.len() < max_batch {
+            match rx.try_recv() {
+                Ok(work) => works.push(work),
+                Err(_) => break,
+            }
+        }
+        type GroupKey = (AlgorithmId, u16, bool, Budget);
+        let mut groups: Vec<(GroupKey, Vec<SortWork>)> = Vec::new();
+        for work in works {
+            let key = (work.req.algorithm, work.req.side, work.req.optimized, work.req.budget);
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, group)) => group.push(work),
+                None => groups.push((key, vec![work])),
+            }
+        }
+        for ((algorithm, side, optimized, budget), group) in groups {
+            run_sort_group(algorithm, side, optimized, budget, group, &mut warm, metrics);
+        }
+    }
+}
+
+fn run_sort_group(
+    algorithm: AlgorithmId,
+    side: u16,
+    optimized: bool,
+    budget: Budget,
+    group: Vec<SortWork>,
+    warm: &mut HashSet<(AlgorithmId, u16, bool)>,
+    metrics: &Arc<Metrics>,
+) {
+    let hit = !warm.insert((algorithm, side, optimized));
+    metrics.record_batch(group.len(), hit);
+
+    let mut grids: Vec<Grid<u32>> = Vec::with_capacity(group.len());
+    let mut admitted: Vec<SortWork> = Vec::with_capacity(group.len());
+    for mut work in group {
+        match Grid::from_rows(usize::from(side), std::mem::take(&mut work.req.cells)) {
+            Ok(grid) => {
+                grids.push(grid);
+                admitted.push(work);
+            }
+            Err(e) => {
+                let err = Error::from(e);
+                let resp = Response::Error { code: err.code(), message: err.to_string() };
+                let _ = work.reply.send(resp);
+            }
+        }
+    }
+    if admitted.is_empty() {
+        return;
+    }
+
+    let job = SortJob::new(algorithm, usize::from(side)).optimized(optimized).budget(budget);
+    match job.run_batch(&mut grids) {
+        Ok(runs) => {
+            for ((run, grid), work) in runs.iter().zip(&grids).zip(&admitted) {
+                let resp = Response::Sort(SortResponse {
+                    convergence: wire::convergence_label(&run.convergence),
+                    steps: run.steps,
+                    swaps: run.swaps,
+                    comparisons: run.comparisons,
+                    budget: run.budget,
+                    residual: wire::convergence_residual(&run.convergence),
+                    grid: work.req.echo_grid.then(|| grid.as_slice().to_vec()),
+                });
+                let _ = work.reply.send(resp);
+            }
+        }
+        Err(e) => {
+            let resp = Response::Error { code: e.code(), message: e.to_string() };
+            for work in &admitted {
+                let _ = work.reply.send(resp.clone());
+            }
+        }
+    }
+}
+
+fn chaos_loop(rx: &Receiver<ChaosWork>) {
+    while let Ok(work) = rx.recv() {
+        let resp = run_chaos(&work.req);
+        let _ = work.reply.send(resp);
+    }
+}
+
+fn run_chaos(req: &ChaosRequest) -> Response {
+    let side = usize::from(req.side);
+    let mut grid = match Grid::from_rows(side, req.cells.clone()) {
+        Ok(grid) => grid,
+        Err(e) => {
+            let err = Error::from(e);
+            return Response::Error { code: err.code(), message: err.to_string() };
+        }
+    };
+    let spec = FaultSpec::transient(req.seed, f64::from(req.drop_rate_ppm) / 1e6);
+    let job = SortJob::new(req.algorithm, side).fault_spec(spec);
+    match job.run(&mut grid) {
+        Ok(run) => {
+            let faults = run.faults.expect("resilient runs always report fault stats");
+            Response::Chaos(wire::ChaosResponse {
+                convergence: wire::convergence_label(&run.convergence),
+                steps: run.steps,
+                swaps: run.swaps,
+                comparisons: run.comparisons,
+                dropped: faults.dropped,
+                stalled_steps: faults.stalled_steps,
+                recovery_attempts: faults.recovery_attempts,
+                recovery_steps: faults.recovery_steps,
+            })
+        }
+        Err(e) => Response::Error { code: e.code(), message: e.to_string() },
+    }
+}
+
+fn log_loop(metrics: &Arc<Metrics>, drain: &Arc<DrainControl>, interval: Duration) {
+    let mut last = Instant::now();
+    while !drain.draining() {
+        thread::sleep(Duration::from_millis(100));
+        if last.elapsed() >= interval {
+            eprintln!("{}", metrics.log_line());
+            last = Instant::now();
+        }
+    }
+    eprintln!("{}", metrics.log_line());
+}

@@ -1,0 +1,747 @@
+//! The `meshsortd` wire protocol: a length-prefixed binary serialization
+//! of the [`meshsort_core::SortJob`] request surface.
+//!
+//! Every frame is
+//!
+//! ```text
+//! [len: u32 LE] [magic: u16 = the bytes "MS"] [version: u8 = 1]
+//! [kind: u8] [req_id: u64 LE] [payload: len - 12 bytes]
+//! ```
+//!
+//! where `len` counts everything after the length prefix. All integers
+//! are little-endian. Frames above [`MAX_FRAME`] are rejected before the
+//! payload is read, so a malicious length prefix cannot balloon memory.
+//!
+//! Requests (`kind < 0x80`): `SORT` carries a serialized job — algorithm,
+//! side, engine-relevant flags, budget, and the grid cells; `ANALYZE` and
+//! `CHAOS` carry `(algorithm, side)` plus route-specific knobs; `STATS`,
+//! `PING`, and `DRAIN` are empty. Responses echo the request kind with
+//! the high bit set and lead with a `status: u16` — `0` for success,
+//! otherwise a stable [`meshsort_core::Error::code`] / [`WireError::code`]
+//! discriminant followed by a UTF-8 message.
+//!
+//! Decoding is strict: bad magic, an unknown version or kind, truncated
+//! payloads, and trailing bytes are all distinct [`WireError`]s
+//! (`tests/wire_props.rs` pins each rejection), because a service that
+//! guesses at malformed input serves garbage with confidence.
+
+use meshsort_core::{AlgorithmId, Budget};
+
+/// Frame magic: the bytes `"MS"` as they appear on the wire.
+pub const MAGIC: u16 = u16::from_le_bytes(*b"MS");
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Hard cap on a frame's declared length (bytes after the prefix): a
+/// side-1024 grid of `u32`s plus headroom.
+pub const MAX_FRAME: u32 = 8 * 1024 * 1024;
+/// Bytes of header after the length prefix (magic + version + kind +
+/// req_id).
+pub const HEADER_LEN: usize = 12;
+
+/// Request frame kinds.
+pub const KIND_SORT: u8 = 0x01;
+/// Analyze-route request kind.
+pub const KIND_ANALYZE: u8 = 0x02;
+/// Chaos-route request kind.
+pub const KIND_CHAOS: u8 = 0x03;
+/// Metrics snapshot request kind.
+pub const KIND_STATS: u8 = 0x04;
+/// Liveness probe request kind.
+pub const KIND_PING: u8 = 0x05;
+/// Graceful-drain request kind.
+pub const KIND_DRAIN: u8 = 0x06;
+/// Response kinds echo the request kind with the high bit set; an error
+/// response uses the same scheme (status != 0 distinguishes it).
+pub const KIND_RESPONSE_BIT: u8 = 0x80;
+/// Response kind for errors that cannot echo a request kind (the stream
+/// itself was unframeable).
+pub const KIND_ERROR: u8 = 0xFF;
+
+/// Everything that can go wrong while decoding a frame. Each variant has
+/// a stable wire code in the `900` band (the service-protocol band,
+/// above [`meshsort_core::Error::code`]'s families).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The frame does not start with [`MAGIC`].
+    BadMagic(u16),
+    /// The frame speaks a version this build does not.
+    BadVersion(u8),
+    /// The kind byte names no known request/response.
+    UnknownKind(u8),
+    /// The payload ended before the field being read.
+    Truncated {
+        /// Bytes the decoder needed.
+        needed: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// The payload has bytes left after the last field.
+    TrailingBytes {
+        /// Number of surplus bytes.
+        extra: usize,
+    },
+    /// The declared frame length exceeds [`MAX_FRAME`] (or is shorter
+    /// than the header).
+    BadLength(u32),
+    /// A field decoded but its value is out of domain (unknown
+    /// algorithm, bad convergence label, non-UTF-8 message, …).
+    BadField(&'static str),
+}
+
+impl WireError {
+    /// Stable wire discriminant (900 band).
+    pub fn code(&self) -> u16 {
+        match self {
+            WireError::BadMagic(_) => 900,
+            WireError::BadVersion(_) => 901,
+            WireError::UnknownKind(_) => 902,
+            WireError::Truncated { .. } => 903,
+            WireError::TrailingBytes { .. } => 904,
+            WireError::BadLength(_) => 905,
+            WireError::BadField(_) => 906,
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::BadMagic(m) => write!(f, "bad frame magic {m:#06x}"),
+            WireError::BadVersion(v) => write!(f, "unsupported protocol version {v}"),
+            WireError::UnknownKind(k) => write!(f, "unknown frame kind {k:#04x}"),
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "frame has {extra} trailing bytes after the last field")
+            }
+            WireError::BadLength(len) => write!(f, "frame length {len} out of bounds"),
+            WireError::BadField(what) => write!(f, "bad field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// One decoded frame header plus its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// Frame kind byte.
+    pub kind: u8,
+    /// Client-chosen request correlation id, echoed in the response.
+    pub req_id: u64,
+    /// The payload bytes after the header.
+    pub payload: Vec<u8>,
+}
+
+/// A sort request: the wire form of a [`meshsort_core::SortJob`] plus the
+/// grid to sort.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortRequest {
+    /// Which algorithm to run.
+    pub algorithm: AlgorithmId,
+    /// Mesh side.
+    pub side: u16,
+    /// Run the certified dead-wire-stripped plan.
+    pub optimized: bool,
+    /// Echo the sorted grid back in the response (costs bandwidth; off
+    /// for throughput measurement).
+    pub echo_grid: bool,
+    /// Step budget.
+    pub budget: Budget,
+    /// Row-major flat cells, `side²` of them.
+    pub cells: Vec<u32>,
+}
+
+/// A chaos request: one resilient run under transient faults.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosRequest {
+    /// Which algorithm to run.
+    pub algorithm: AlgorithmId,
+    /// Mesh side.
+    pub side: u16,
+    /// Fault-stream seed.
+    pub seed: u64,
+    /// Transient drop rate in parts per million.
+    pub drop_rate_ppm: u32,
+    /// Row-major flat cells, `side²` of them.
+    pub cells: Vec<u32>,
+}
+
+/// Every request the server understands.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Sort a grid through the batcher.
+    Sort(SortRequest),
+    /// Static facts about a plan: comparator counts, stripped wires,
+    /// certified bound.
+    Analyze {
+        /// Which algorithm.
+        algorithm: AlgorithmId,
+        /// Mesh side.
+        side: u16,
+    },
+    /// One resilient run under transient faults.
+    Chaos(ChaosRequest),
+    /// Metrics snapshot (JSON payload in the response).
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Begin graceful drain: stop accepting, finish queued work, exit.
+    Drain,
+}
+
+/// Sort-route response body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SortResponse {
+    /// Convergence label: 0 converged, 1 degraded, 2 budget-exhausted,
+    /// 3 integrity-violation.
+    pub convergence: u8,
+    /// Steps executed.
+    pub steps: u64,
+    /// Exchanges performed.
+    pub swaps: u64,
+    /// Comparator evaluations.
+    pub comparisons: u64,
+    /// Step budget the run was granted.
+    pub budget: u64,
+    /// Residual inversions for non-converged runs (0 otherwise).
+    pub residual: u64,
+    /// The sorted grid, when the request asked for an echo.
+    pub grid: Option<Vec<u32>>,
+}
+
+/// Analyze-route response body: static facts about the cached plans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalyzeResponse {
+    /// Comparators per cycle in the optimized plan.
+    pub comparators_per_cycle: u64,
+    /// Comparators per cycle in the raw plan.
+    pub raw_comparators_per_cycle: u64,
+    /// Dead wires stripped per cycle.
+    pub stripped: u64,
+    /// Certified static convergence bound (0 when unavailable).
+    pub static_bound: u64,
+}
+
+/// Chaos-route response body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosResponse {
+    /// Convergence label (same encoding as [`SortResponse`]).
+    pub convergence: u8,
+    /// Main-run steps.
+    pub steps: u64,
+    /// Exchanges, scrubbing included.
+    pub swaps: u64,
+    /// Comparator evaluations, scrubbing included.
+    pub comparisons: u64,
+    /// Comparators suppressed by faults.
+    pub dropped: u64,
+    /// Whole steps lost to stalls.
+    pub stalled_steps: u64,
+    /// Recovery scrub attempts.
+    pub recovery_attempts: u64,
+    /// Steps spent scrubbing.
+    pub recovery_steps: u64,
+}
+
+/// Every response the server sends. `Error` carries the stable
+/// discriminant ([`meshsort_core::Error::code`] or [`WireError::code`])
+/// and a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Sort result.
+    Sort(SortResponse),
+    /// Analyze result.
+    Analyze(AnalyzeResponse),
+    /// Chaos result.
+    Chaos(ChaosResponse),
+    /// Metrics snapshot, JSON text.
+    Stats {
+        /// The snapshot, one JSON object.
+        json: String,
+    },
+    /// Liveness acknowledgement.
+    Pong,
+    /// Drain acknowledged; the server finishes queued work and exits.
+    Draining,
+    /// The request failed.
+    Error {
+        /// Stable discriminant.
+        code: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Primitive readers/writers
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.pos + n > self.buf.len() {
+            return Err(WireError::Truncated { needed: self.pos + n, got: self.buf.len() });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2 bytes")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn cells(&mut self, count: usize) -> Result<Vec<u32>, WireError> {
+        let raw = self.take(count * 4)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect())
+    }
+
+    fn finish(&self) -> Result<(), WireError> {
+        if self.pos == self.buf.len() {
+            Ok(())
+        } else {
+            Err(WireError::TrailingBytes { extra: self.buf.len() - self.pos })
+        }
+    }
+}
+
+fn push_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_cells(buf: &mut Vec<u8>, cells: &[u32]) {
+    for &c in cells {
+        push_u32(buf, c);
+    }
+}
+
+/// Wire code of an algorithm: its index in [`AlgorithmId::ALL`].
+pub fn algorithm_code(algorithm: AlgorithmId) -> u8 {
+    AlgorithmId::ALL.iter().position(|&a| a == algorithm).expect("algorithm in ALL") as u8
+}
+
+/// Decodes an algorithm wire code.
+pub fn algorithm_from_code(code: u8) -> Result<AlgorithmId, WireError> {
+    AlgorithmId::ALL.get(code as usize).copied().ok_or(WireError::BadField("algorithm"))
+}
+
+/// Wire label of a convergence outcome: 0 converged, 1 degraded,
+/// 2 budget-exhausted, 3 integrity-violation.
+pub fn convergence_label(convergence: &meshsort_core::Convergence) -> u8 {
+    use meshsort_core::Convergence as C;
+    match convergence {
+        C::Converged { .. } => 0,
+        C::Degraded { .. } => 1,
+        C::BudgetExhausted { .. } => 2,
+        C::IntegrityViolation { .. } => 3,
+    }
+}
+
+/// Residual-inversion detail of a non-converged outcome (0 otherwise).
+pub fn convergence_residual(convergence: &meshsort_core::Convergence) -> u64 {
+    use meshsort_core::Convergence as C;
+    match convergence {
+        C::Degraded { residual_inversions, .. }
+        | C::BudgetExhausted { residual_inversions, .. } => *residual_inversions,
+        C::Converged { .. } | C::IntegrityViolation { .. } => 0,
+    }
+}
+
+fn push_budget(buf: &mut Vec<u8>, budget: Budget) {
+    match budget {
+        Budget::Default => buf.push(0),
+        Budget::Static => buf.push(1),
+        Budget::Steps(steps) => {
+            buf.push(2);
+            push_u64(buf, steps);
+        }
+    }
+}
+
+fn read_budget(r: &mut Reader<'_>) -> Result<Budget, WireError> {
+    match r.u8()? {
+        0 => Ok(Budget::Default),
+        1 => Ok(Budget::Static),
+        2 => Ok(Budget::Steps(r.u64()?)),
+        _ => Err(WireError::BadField("budget")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Frame layer
+// ---------------------------------------------------------------------------
+
+/// Encodes a complete frame (length prefix included).
+pub fn encode_frame(kind: u8, req_id: u64, payload: &[u8]) -> Vec<u8> {
+    let len = (HEADER_LEN + payload.len()) as u32;
+    let mut buf = Vec::with_capacity(4 + len as usize);
+    push_u32(&mut buf, len);
+    push_u16(&mut buf, MAGIC);
+    buf.push(VERSION);
+    buf.push(kind);
+    push_u64(&mut buf, req_id);
+    buf.extend_from_slice(payload);
+    buf
+}
+
+/// Decodes the bytes after the length prefix into a [`Frame`]. The
+/// caller has already read exactly `len` bytes; this validates magic,
+/// version, and known-kind.
+pub fn decode_frame(body: &[u8]) -> Result<Frame, WireError> {
+    let mut r = Reader::new(body);
+    let magic = r.u16()?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic(magic));
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(WireError::BadVersion(version));
+    }
+    let kind = r.u8()?;
+    let known_request = (KIND_SORT..=KIND_DRAIN).contains(&kind);
+    let known_response =
+        (KIND_RESPONSE_BIT | KIND_SORT..=KIND_RESPONSE_BIT | KIND_DRAIN).contains(&kind);
+    if !known_request && !known_response && kind != KIND_ERROR {
+        return Err(WireError::UnknownKind(kind));
+    }
+    let req_id = r.u64()?;
+    Ok(Frame { kind, req_id, payload: body[r.pos..].to_vec() })
+}
+
+/// Validates a frame's declared length before its body is read.
+pub fn check_frame_len(len: u32) -> Result<usize, WireError> {
+    if len < HEADER_LEN as u32 || len > MAX_FRAME {
+        return Err(WireError::BadLength(len));
+    }
+    Ok(len as usize)
+}
+
+// ---------------------------------------------------------------------------
+// Request encode/decode
+// ---------------------------------------------------------------------------
+
+/// Encodes a request as a complete frame.
+pub fn encode_request(req_id: u64, request: &Request) -> Vec<u8> {
+    let mut p = Vec::new();
+    let kind = match request {
+        Request::Sort(s) => {
+            p.push(algorithm_code(s.algorithm));
+            push_u16(&mut p, s.side);
+            p.push(u8::from(s.optimized) | (u8::from(s.echo_grid) << 1));
+            push_budget(&mut p, s.budget);
+            push_u32(&mut p, s.cells.len() as u32);
+            push_cells(&mut p, &s.cells);
+            KIND_SORT
+        }
+        Request::Analyze { algorithm, side } => {
+            p.push(algorithm_code(*algorithm));
+            push_u16(&mut p, *side);
+            KIND_ANALYZE
+        }
+        Request::Chaos(c) => {
+            p.push(algorithm_code(c.algorithm));
+            push_u16(&mut p, c.side);
+            push_u64(&mut p, c.seed);
+            push_u32(&mut p, c.drop_rate_ppm);
+            push_u32(&mut p, c.cells.len() as u32);
+            push_cells(&mut p, &c.cells);
+            KIND_CHAOS
+        }
+        Request::Stats => KIND_STATS,
+        Request::Ping => KIND_PING,
+        Request::Drain => KIND_DRAIN,
+    };
+    encode_frame(kind, req_id, &p)
+}
+
+/// Decodes a request frame's payload by kind.
+pub fn decode_request(frame: &Frame) -> Result<Request, WireError> {
+    let mut r = Reader::new(&frame.payload);
+    let request = match frame.kind {
+        KIND_SORT => {
+            let algorithm = algorithm_from_code(r.u8()?)?;
+            let side = r.u16()?;
+            let flags = r.u8()?;
+            let budget = read_budget(&mut r)?;
+            let count = r.u32()? as usize;
+            if count != usize::from(side) * usize::from(side) {
+                return Err(WireError::BadField("cell count != side²"));
+            }
+            let cells = r.cells(count)?;
+            Request::Sort(SortRequest {
+                algorithm,
+                side,
+                optimized: flags & 1 != 0,
+                echo_grid: flags & 2 != 0,
+                budget,
+                cells,
+            })
+        }
+        KIND_ANALYZE => {
+            Request::Analyze { algorithm: algorithm_from_code(r.u8()?)?, side: r.u16()? }
+        }
+        KIND_CHAOS => {
+            let algorithm = algorithm_from_code(r.u8()?)?;
+            let side = r.u16()?;
+            let seed = r.u64()?;
+            let drop_rate_ppm = r.u32()?;
+            let count = r.u32()? as usize;
+            if count != usize::from(side) * usize::from(side) {
+                return Err(WireError::BadField("cell count != side²"));
+            }
+            let cells = r.cells(count)?;
+            Request::Chaos(ChaosRequest { algorithm, side, seed, drop_rate_ppm, cells })
+        }
+        KIND_STATS => Request::Stats,
+        KIND_PING => Request::Ping,
+        KIND_DRAIN => Request::Drain,
+        other => return Err(WireError::UnknownKind(other)),
+    };
+    r.finish()?;
+    Ok(request)
+}
+
+// ---------------------------------------------------------------------------
+// Response encode/decode
+// ---------------------------------------------------------------------------
+
+/// Encodes a response as a complete frame. `request_kind` is the request
+/// this answers (the response kind echoes it with the high bit set);
+/// errors reuse the same kind with a non-zero status.
+pub fn encode_response(request_kind: u8, req_id: u64, response: &Response) -> Vec<u8> {
+    let mut p = Vec::new();
+    match response {
+        Response::Error { code, message } => {
+            push_u16(&mut p, *code);
+            p.extend_from_slice(message.as_bytes());
+        }
+        ok => {
+            push_u16(&mut p, 0);
+            match ok {
+                Response::Sort(s) => {
+                    p.push(s.convergence);
+                    push_u64(&mut p, s.steps);
+                    push_u64(&mut p, s.swaps);
+                    push_u64(&mut p, s.comparisons);
+                    push_u64(&mut p, s.budget);
+                    push_u64(&mut p, s.residual);
+                    match &s.grid {
+                        Some(cells) => {
+                            push_u32(&mut p, cells.len() as u32);
+                            push_cells(&mut p, cells);
+                        }
+                        None => push_u32(&mut p, 0),
+                    }
+                }
+                Response::Analyze(a) => {
+                    push_u64(&mut p, a.comparators_per_cycle);
+                    push_u64(&mut p, a.raw_comparators_per_cycle);
+                    push_u64(&mut p, a.stripped);
+                    push_u64(&mut p, a.static_bound);
+                }
+                Response::Chaos(c) => {
+                    p.push(c.convergence);
+                    push_u64(&mut p, c.steps);
+                    push_u64(&mut p, c.swaps);
+                    push_u64(&mut p, c.comparisons);
+                    push_u64(&mut p, c.dropped);
+                    push_u64(&mut p, c.stalled_steps);
+                    push_u64(&mut p, c.recovery_attempts);
+                    push_u64(&mut p, c.recovery_steps);
+                }
+                Response::Stats { json } => p.extend_from_slice(json.as_bytes()),
+                Response::Pong | Response::Draining => {}
+                Response::Error { .. } => unreachable!("handled above"),
+            }
+        }
+    }
+    encode_frame(request_kind | KIND_RESPONSE_BIT, req_id, &p)
+}
+
+/// Decodes a response frame's payload. The frame kind tells which body
+/// to expect; a non-zero status decodes as [`Response::Error`].
+pub fn decode_response(frame: &Frame) -> Result<Response, WireError> {
+    if frame.kind & KIND_RESPONSE_BIT == 0 {
+        return Err(WireError::UnknownKind(frame.kind));
+    }
+    let mut r = Reader::new(&frame.payload);
+    let status = r.u16()?;
+    if status != 0 {
+        let message = String::from_utf8(frame.payload[r.pos..].to_vec())
+            .map_err(|_| WireError::BadField("error message not UTF-8"))?;
+        return Ok(Response::Error { code: status, message });
+    }
+    let response = match frame.kind & !KIND_RESPONSE_BIT {
+        KIND_SORT => {
+            let convergence = r.u8()?;
+            if convergence > 3 {
+                return Err(WireError::BadField("convergence label"));
+            }
+            let steps = r.u64()?;
+            let swaps = r.u64()?;
+            let comparisons = r.u64()?;
+            let budget = r.u64()?;
+            let residual = r.u64()?;
+            let count = r.u32()? as usize;
+            let grid = if count == 0 { None } else { Some(r.cells(count)?) };
+            Response::Sort(SortResponse {
+                convergence,
+                steps,
+                swaps,
+                comparisons,
+                budget,
+                residual,
+                grid,
+            })
+        }
+        KIND_ANALYZE => Response::Analyze(AnalyzeResponse {
+            comparators_per_cycle: r.u64()?,
+            raw_comparators_per_cycle: r.u64()?,
+            stripped: r.u64()?,
+            static_bound: r.u64()?,
+        }),
+        KIND_CHAOS => {
+            let convergence = r.u8()?;
+            if convergence > 3 {
+                return Err(WireError::BadField("convergence label"));
+            }
+            Response::Chaos(ChaosResponse {
+                convergence,
+                steps: r.u64()?,
+                swaps: r.u64()?,
+                comparisons: r.u64()?,
+                dropped: r.u64()?,
+                stalled_steps: r.u64()?,
+                recovery_attempts: r.u64()?,
+                recovery_steps: r.u64()?,
+            })
+        }
+        KIND_STATS => {
+            let json = String::from_utf8(frame.payload[r.pos..].to_vec())
+                .map_err(|_| WireError::BadField("stats not UTF-8"))?;
+            return Ok(Response::Stats { json });
+        }
+        KIND_PING => Response::Pong,
+        KIND_DRAIN => Response::Draining,
+        other => return Err(WireError::UnknownKind(other | KIND_RESPONSE_BIT)),
+    };
+    r.finish()?;
+    Ok(response)
+}
+
+// ---------------------------------------------------------------------------
+// Blocking stream I/O
+// ---------------------------------------------------------------------------
+
+/// Reads one frame from a blocking reader. Returns `Ok(None)` on clean
+/// EOF at a frame boundary; a length/decoding violation is an
+/// `InvalidData` error wrapping the [`WireError`] string.
+pub fn read_frame<R: std::io::Read>(reader: &mut R) -> std::io::Result<Option<Frame>> {
+    let mut len_buf = [0u8; 4];
+    match reader.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    let len = check_frame_len(len).map_err(invalid)?;
+    let mut body = vec![0u8; len];
+    reader.read_exact(&mut body)?;
+    decode_frame(&body).map(Some).map_err(invalid)
+}
+
+/// Writes a pre-encoded frame to a blocking writer.
+pub fn write_frame<W: std::io::Write>(writer: &mut W, frame: &[u8]) -> std::io::Result<()> {
+    writer.write_all(frame)?;
+    writer.flush()
+}
+
+fn invalid(e: WireError) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_codes_round_trip() {
+        for a in AlgorithmId::ALL {
+            assert_eq!(algorithm_from_code(algorithm_code(a)).unwrap(), a);
+        }
+        assert_eq!(algorithm_from_code(5), Err(WireError::BadField("algorithm")));
+    }
+
+    #[test]
+    fn frame_round_trip() {
+        let frame = encode_frame(KIND_PING, 42, &[]);
+        let decoded = decode_frame(&frame[4..]).unwrap();
+        assert_eq!(decoded, Frame { kind: KIND_PING, req_id: 42, payload: Vec::new() });
+    }
+
+    #[test]
+    fn bad_magic_version_kind_rejected() {
+        let mut frame = encode_frame(KIND_PING, 1, &[]);
+        frame[4] = 0xAA; // corrupt magic low byte
+        assert!(matches!(decode_frame(&frame[4..]), Err(WireError::BadMagic(_))));
+
+        let mut frame = encode_frame(KIND_PING, 1, &[]);
+        frame[6] = 9; // version
+        assert_eq!(decode_frame(&frame[4..]), Err(WireError::BadVersion(9)));
+
+        let mut frame = encode_frame(KIND_PING, 1, &[]);
+        frame[7] = 0x7F; // kind
+        assert_eq!(decode_frame(&frame[4..]), Err(WireError::UnknownKind(0x7F)));
+    }
+
+    #[test]
+    fn oversize_and_undersize_lengths_rejected() {
+        assert_eq!(check_frame_len(MAX_FRAME + 1), Err(WireError::BadLength(MAX_FRAME + 1)));
+        assert_eq!(check_frame_len(3), Err(WireError::BadLength(3)));
+        assert_eq!(check_frame_len(HEADER_LEN as u32), Ok(HEADER_LEN));
+    }
+
+    #[test]
+    fn error_codes_are_stable() {
+        assert_eq!(WireError::BadMagic(0).code(), 900);
+        assert_eq!(WireError::BadVersion(0).code(), 901);
+        assert_eq!(WireError::UnknownKind(0).code(), 902);
+        assert_eq!(WireError::Truncated { needed: 1, got: 0 }.code(), 903);
+        assert_eq!(WireError::TrailingBytes { extra: 1 }.code(), 904);
+        assert_eq!(WireError::BadLength(0).code(), 905);
+        assert_eq!(WireError::BadField("x").code(), 906);
+    }
+}

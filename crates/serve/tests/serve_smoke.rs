@@ -1,0 +1,268 @@
+//! In-process smoke tests for the full `meshsortd` service: real TCP
+//! sockets, real threads, the real batcher — only the process boundary
+//! is elided (the binary is the same `ServerHandle` plus flag parsing).
+
+use meshsort_core::{AlgorithmId, Budget};
+use meshsort_mesh::Grid;
+use meshsort_serve::server::{ServerConfig, ServerHandle};
+use meshsort_serve::wire::{self, ChaosRequest, Request, Response, SortRequest};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn start(config: ServerConfig) -> ServerHandle {
+    ServerHandle::bind("127.0.0.1:0", config).expect("bind on a free port")
+}
+
+fn connect(handle: &ServerHandle) -> TcpStream {
+    let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream.set_nodelay(true).expect("nodelay");
+    stream
+}
+
+fn call(stream: &mut TcpStream, req_id: u64, request: &Request) -> Response {
+    wire::write_frame(stream, &wire::encode_request(req_id, request)).expect("send");
+    let frame = wire::read_frame(stream).expect("read").expect("response frame");
+    assert_eq!(frame.req_id, req_id, "responses echo the request id");
+    wire::decode_response(&frame).expect("decode response")
+}
+
+fn sort_request(algorithm: AlgorithmId, side: usize, echo: bool) -> Request {
+    let cells: Vec<u32> = (0..(side * side) as u32).rev().collect();
+    Request::Sort(SortRequest {
+        algorithm,
+        side: side as u16,
+        optimized: true,
+        echo_grid: echo,
+        budget: Budget::Default,
+        cells,
+    })
+}
+
+#[test]
+fn ping_stats_analyze_round_trip() {
+    let handle = start(ServerConfig::default());
+    let mut conn = connect(&handle);
+
+    assert_eq!(call(&mut conn, 1, &Request::Ping), Response::Pong);
+
+    match call(
+        &mut conn,
+        2,
+        &Request::Analyze { algorithm: AlgorithmId::SnakePhaseAligned, side: 8 },
+    ) {
+        Response::Analyze(a) => {
+            assert_eq!(a.stripped, 21, "S3 side 8 strips 21 dead wires");
+            assert_eq!(a.static_bound, 127, "pinned by the dataflow fixpoint");
+            assert_eq!(a.raw_comparators_per_cycle - a.comparators_per_cycle, a.stripped);
+        }
+        other => panic!("expected Analyze, got {other:?}"),
+    }
+
+    // Unsupported side: a stable error code (105), connection survives.
+    match call(
+        &mut conn,
+        3,
+        &Request::Analyze { algorithm: AlgorithmId::RowMajorRowFirst, side: 5 },
+    ) {
+        Response::Error { code, .. } => assert_eq!(code, 105, "UnsupportedSide discriminant"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+
+    match call(&mut conn, 4, &Request::Stats) {
+        Response::Stats { json } => {
+            assert!(json.contains("\"queue_depth\""), "{json}");
+            assert!(json.contains("\"plan_cache_hit_rate\""), "{json}");
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+
+    handle.request_drain();
+    handle.wait();
+}
+
+#[test]
+fn sorts_all_five_algorithms_with_verified_echo() {
+    let handle = start(ServerConfig::default());
+    let mut conn = connect(&handle);
+
+    for (i, algorithm) in AlgorithmId::ALL.into_iter().enumerate() {
+        let side = 8;
+        match call(&mut conn, i as u64, &sort_request(algorithm, side, true)) {
+            Response::Sort(s) => {
+                assert_eq!(s.convergence, 0, "{algorithm}: reversed grid must sort");
+                assert!(s.steps > 0 && s.swaps > 0, "{algorithm}");
+                assert_eq!(s.residual, 0, "{algorithm}");
+                let cells = s.grid.expect("echo requested");
+                let grid = Grid::from_rows(side, cells).expect("echoed grid is well-formed");
+                assert!(
+                    grid.is_sorted(algorithm.order()),
+                    "{algorithm}: echoed grid must be sorted in the algorithm's order"
+                );
+            }
+            other => panic!("{algorithm}: expected Sort, got {other:?}"),
+        }
+    }
+
+    // Second pass over the same keys: every plan is warm, so the
+    // server-side hit rate climbs and nothing recompiles.
+    for (i, algorithm) in AlgorithmId::ALL.into_iter().enumerate() {
+        match call(&mut conn, 100 + i as u64, &sort_request(algorithm, 8, false)) {
+            Response::Sort(s) => assert_eq!(s.convergence, 0),
+            other => panic!("expected Sort, got {other:?}"),
+        }
+    }
+    match call(&mut conn, 999, &Request::Stats) {
+        Response::Stats { json } => {
+            assert!(json.contains("\"completed\": 10"), "ten sorts served: {json}");
+            assert!(json.contains("\"plan_cache_misses\": 5"), "one cold miss per key: {json}");
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+
+    handle.request_drain();
+    handle.wait();
+}
+
+#[test]
+fn chaos_route_reports_fault_accounting() {
+    let handle = start(ServerConfig::default());
+    let mut conn = connect(&handle);
+
+    let request = Request::Chaos(ChaosRequest {
+        algorithm: AlgorithmId::SnakeAlternating,
+        side: 8,
+        seed: 42,
+        drop_rate_ppm: 50_000, // 5% transient drops
+        cells: (0..64u32).rev().collect(),
+    });
+    match call(&mut conn, 1, &request) {
+        Response::Chaos(c) => {
+            assert_eq!(c.convergence, 0, "5% drops must not defeat an 8×8 sort");
+            assert!(c.dropped > 0, "a 5% fault stream must hit at least one comparator");
+            assert!(c.steps > 0);
+        }
+        other => panic!("expected Chaos, got {other:?}"),
+    }
+
+    handle.request_drain();
+    handle.wait();
+}
+
+#[test]
+fn malformed_frames_get_error_responses_and_are_counted() {
+    let handle = start(ServerConfig::default());
+
+    // Bad payload on a well-formed frame: error response, connection
+    // survives for the next request.
+    let mut conn = connect(&handle);
+    let mut bad_alg = wire::encode_request(
+        1,
+        &Request::Analyze { algorithm: AlgorithmId::SnakeAlternating, side: 8 },
+    );
+    bad_alg[wire::HEADER_LEN + 4] = 77; // corrupt the algorithm byte
+    wire::write_frame(&mut conn, &bad_alg).expect("send");
+    let frame = wire::read_frame(&mut conn).expect("read").expect("frame");
+    match wire::decode_response(&frame).expect("decode") {
+        Response::Error { code, .. } => assert_eq!(code, 906, "BadField discriminant"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    assert_eq!(call(&mut conn, 2, &Request::Ping), Response::Pong, "connection survives");
+
+    // Garbage length prefix: one error frame, then the server hangs up.
+    let mut garbage = connect(&handle);
+    garbage.write_all(&[0xFF; 64]).expect("send garbage");
+    garbage.flush().expect("flush");
+    let frame = wire::read_frame(&mut garbage).expect("read").expect("error frame");
+    match wire::decode_response(&frame).expect("decode") {
+        Response::Error { code, .. } => assert_eq!(code, 905, "BadLength discriminant"),
+        other => panic!("expected Error, got {other:?}"),
+    }
+    // The server hangs up after an unframeable stream. Closing with
+    // unread bytes in its receive buffer makes the kernel send RST, so
+    // the client sees either clean EOF or a connection reset.
+    match wire::read_frame(&mut garbage) {
+        Ok(None) => {}
+        Ok(Some(frame)) => panic!("expected hang-up, got another frame: {frame:?}"),
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset, "{e}"),
+    }
+
+    match call(&mut conn, 3, &Request::Stats) {
+        Response::Stats { json } => {
+            assert!(json.contains("\"protocol_errors\": 2"), "{json}");
+        }
+        other => panic!("expected Stats, got {other:?}"),
+    }
+
+    handle.request_drain();
+    handle.wait();
+}
+
+#[test]
+fn full_chaos_queue_rejects_with_503() {
+    // A rendezvous chaos queue (capacity 0) admits work only while the
+    // worker is parked in recv. Occupy the worker with a slow resilient
+    // run, then a second request must bounce with QueueFull.
+    let handle = start(ServerConfig { chaos_capacity: 0, ..Default::default() });
+    // Side 160 reversed + 10% drops: schedule compilation plus an O(N²)
+    // resilient run keeps the worker busy well past the admission sleep
+    // below, even on a fast idle core.
+    let slow = Request::Chaos(ChaosRequest {
+        algorithm: AlgorithmId::SnakeAlternating,
+        side: 160,
+        seed: 7,
+        drop_rate_ppm: 100_000,
+        cells: (0..(160 * 160) as u32).rev().collect(),
+    });
+    let handle_addr = handle.local_addr();
+    let slow_conn = std::thread::spawn(move || {
+        let mut conn = TcpStream::connect(handle_addr).expect("connect");
+        wire::write_frame(&mut conn, &wire::encode_request(1, &slow)).expect("send");
+        let frame = wire::read_frame(&mut conn).expect("read").expect("frame");
+        wire::decode_response(&frame).expect("decode")
+    });
+    std::thread::sleep(Duration::from_millis(100)); // let the slow run start
+
+    let mut conn = connect(&handle);
+    let quick = Request::Chaos(ChaosRequest {
+        algorithm: AlgorithmId::SnakeAlternating,
+        side: 4,
+        seed: 8,
+        drop_rate_ppm: 0,
+        cells: (0..16u32).rev().collect(),
+    });
+    match call(&mut conn, 2, &quick) {
+        Response::Error { code, message } => {
+            assert_eq!(code, 503, "QueueFull discriminant: {message}");
+        }
+        other => panic!("expected QueueFull, got {other:?}"),
+    }
+
+    assert!(
+        matches!(slow_conn.join().expect("slow worker"), Response::Chaos(_)),
+        "the admitted slow run still completes"
+    );
+    handle.request_drain();
+    handle.wait();
+}
+
+#[test]
+fn drain_answers_in_flight_then_stops_accepting() {
+    let handle = start(ServerConfig::default());
+    let mut conn = connect(&handle);
+
+    match call(&mut conn, 1, &sort_request(AlgorithmId::SnakeStaggeredCols, 8, false)) {
+        Response::Sort(s) => assert_eq!(s.convergence, 0),
+        other => panic!("expected Sort, got {other:?}"),
+    }
+    assert_eq!(call(&mut conn, 2, &Request::Drain), Response::Draining);
+    assert!(handle.is_draining());
+    let addr = handle.local_addr();
+    handle.wait();
+
+    // The listener is gone: the drained port refuses new connections.
+    assert!(
+        TcpStream::connect_timeout(&addr, Duration::from_millis(100)).is_err(),
+        "a drained server must not accept"
+    );
+}

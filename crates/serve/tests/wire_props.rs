@@ -1,0 +1,281 @@
+//! Golden wire-protocol tests: byte-exact frames for every request and
+//! response kind, round-trip identity, and rejection of every class of
+//! malformed frame. The golden bytes pin the protocol — if one of these
+//! assertions moves, the protocol version must bump.
+
+use meshsort_core::{AlgorithmId, Budget};
+use meshsort_serve::wire::{
+    check_frame_len, decode_frame, decode_request, decode_response, encode_frame, encode_request,
+    encode_response, read_frame, AnalyzeResponse, ChaosRequest, ChaosResponse, Frame, Request,
+    Response, SortRequest, SortResponse, WireError, HEADER_LEN, KIND_PING, KIND_RESPONSE_BIT,
+    KIND_SORT, MAGIC, MAX_FRAME, VERSION,
+};
+
+fn round_trip_request(request: &Request) -> Request {
+    let bytes = encode_request(7, request);
+    let frame = decode_frame(&bytes[4..]).expect("frame decodes");
+    assert_eq!(frame.req_id, 7);
+    decode_request(&frame).expect("request decodes")
+}
+
+fn round_trip_response(kind: u8, response: &Response) -> Response {
+    let bytes = encode_response(kind, 9, response);
+    let frame = decode_frame(&bytes[4..]).expect("frame decodes");
+    assert_eq!(frame.kind, kind | KIND_RESPONSE_BIT);
+    assert_eq!(frame.req_id, 9);
+    decode_response(&frame).expect("response decodes")
+}
+
+#[test]
+fn golden_ping_frame_bytes() {
+    // 12-byte header: len=12, magic "MS" LE, version 1, kind 5, req_id 2.
+    let bytes = encode_request(2, &Request::Ping);
+    assert_eq!(
+        bytes,
+        [12, 0, 0, 0, b'M', b'S', 1, 5, 2, 0, 0, 0, 0, 0, 0, 0],
+        "the ping frame is the protocol's smallest golden vector"
+    );
+}
+
+#[test]
+fn golden_sort_frame_bytes() {
+    let request = Request::Sort(SortRequest {
+        algorithm: AlgorithmId::RowMajorRowFirst,
+        side: 2,
+        optimized: true,
+        echo_grid: false,
+        budget: Budget::Steps(7),
+        cells: vec![3, 2, 1, 0],
+    });
+    let bytes = encode_request(1, &request);
+    let expected: Vec<u8> = [
+        // len = 12 header + 1 alg + 2 side + 1 flags + 9 budget + 4 count + 16 cells = 45
+        vec![45, 0, 0, 0],
+        vec![b'M', b'S', VERSION, KIND_SORT],
+        vec![1, 0, 0, 0, 0, 0, 0, 0],
+        vec![0],                         // algorithm r1 = index 0
+        vec![2, 0],                      // side
+        vec![1],                         // flags: optimized, no echo
+        vec![2, 7, 0, 0, 0, 0, 0, 0, 0], // budget tag 2 (Steps) + u64
+        vec![4, 0, 0, 0],                // cell count
+        vec![3, 0, 0, 0, 2, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0],
+    ]
+    .concat();
+    assert_eq!(bytes, expected);
+}
+
+#[test]
+fn every_request_kind_round_trips() {
+    let requests = [
+        Request::Sort(SortRequest {
+            algorithm: AlgorithmId::SnakePhaseAligned,
+            side: 4,
+            optimized: false,
+            echo_grid: true,
+            budget: Budget::Static,
+            cells: (0..16).rev().collect(),
+        }),
+        Request::Analyze { algorithm: AlgorithmId::SnakeAlternating, side: 8 },
+        Request::Chaos(ChaosRequest {
+            algorithm: AlgorithmId::RowMajorColFirst,
+            side: 4,
+            seed: 0xDEAD_BEEF,
+            drop_rate_ppm: 25_000,
+            cells: (0..16).collect(),
+        }),
+        Request::Stats,
+        Request::Ping,
+        Request::Drain,
+    ];
+    for request in requests {
+        assert_eq!(round_trip_request(&request), request, "{request:?}");
+    }
+}
+
+#[test]
+fn every_response_kind_round_trips() {
+    let cases: Vec<(u8, Response)> = vec![
+        (
+            0x01,
+            Response::Sort(SortResponse {
+                convergence: 0,
+                steps: 120,
+                swaps: 55,
+                comparisons: 9000,
+                budget: 127,
+                residual: 0,
+                grid: Some((0..16).collect()),
+            }),
+        ),
+        (
+            0x01,
+            Response::Sort(SortResponse {
+                convergence: 2,
+                steps: 5,
+                swaps: 1,
+                comparisons: 40,
+                budget: 5,
+                residual: 17,
+                grid: None,
+            }),
+        ),
+        (
+            0x02,
+            Response::Analyze(AnalyzeResponse {
+                comparators_per_cycle: 91,
+                raw_comparators_per_cycle: 112,
+                stripped: 21,
+                static_bound: 127,
+            }),
+        ),
+        (
+            0x03,
+            Response::Chaos(ChaosResponse {
+                convergence: 0,
+                steps: 300,
+                swaps: 80,
+                comparisons: 20_000,
+                dropped: 12,
+                stalled_steps: 3,
+                recovery_attempts: 1,
+                recovery_steps: 127,
+            }),
+        ),
+        (0x04, Response::Stats { json: "{\"queue_depth\": 0}".to_string() }),
+        (0x05, Response::Pong),
+        (0x06, Response::Draining),
+        (0x01, Response::Error { code: 503, message: "queue full (capacity 1024)".to_string() }),
+    ];
+    for (kind, response) in cases {
+        assert_eq!(round_trip_response(kind, &response), response, "{response:?}");
+    }
+}
+
+#[test]
+fn truncated_payload_is_rejected_not_misread() {
+    let bytes =
+        encode_request(1, &Request::Analyze { algorithm: AlgorithmId::SnakeAlternating, side: 8 });
+    // Drop the last byte of the payload: the side field is cut short.
+    let frame = decode_frame(&bytes[4..bytes.len() - 1]).expect("header still intact");
+    assert!(
+        matches!(decode_request(&frame), Err(WireError::Truncated { .. })),
+        "short payloads must not decode"
+    );
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let mut bytes = encode_request(1, &Request::Ping);
+    bytes.push(0xEE);
+    bytes[0] += 1; // keep the declared length honest
+    let frame = decode_frame(&bytes[4..]).expect("header intact");
+    assert_eq!(decode_request(&frame), Err(WireError::TrailingBytes { extra: 1 }));
+}
+
+#[test]
+fn cell_count_must_match_side() {
+    let mut request = SortRequest {
+        algorithm: AlgorithmId::SnakeAlternating,
+        side: 4,
+        optimized: false,
+        echo_grid: false,
+        budget: Budget::Default,
+        cells: (0..16).collect(),
+    };
+    request.cells.pop();
+    let bytes = encode_request(1, &Request::Sort(request));
+    let frame = decode_frame(&bytes[4..]).expect("header intact");
+    assert!(
+        matches!(decode_request(&frame), Err(WireError::BadField(_) | WireError::Truncated { .. })),
+        "a 15-cell side-4 grid must not decode"
+    );
+}
+
+#[test]
+fn unknown_algorithm_and_budget_tags_are_rejected() {
+    let good =
+        encode_request(1, &Request::Analyze { algorithm: AlgorithmId::SnakeAlternating, side: 8 });
+    let mut bad = good.clone();
+    bad[HEADER_LEN + 4] = 99; // the algorithm byte, first of the payload
+    let frame = decode_frame(&bad[4..]).expect("header intact");
+    assert_eq!(decode_request(&frame), Err(WireError::BadField("algorithm")));
+
+    let sort = encode_request(
+        1,
+        &Request::Sort(SortRequest {
+            algorithm: AlgorithmId::SnakeAlternating,
+            side: 2,
+            optimized: false,
+            echo_grid: false,
+            budget: Budget::Default,
+            cells: vec![0, 1, 2, 3],
+        }),
+    );
+    let mut bad = sort.clone();
+    bad[HEADER_LEN + 4 + 4] = 9; // the budget tag after alg+side+flags
+    let frame = decode_frame(&bad[4..]).expect("header intact");
+    assert_eq!(decode_request(&frame), Err(WireError::BadField("budget")));
+}
+
+#[test]
+fn read_frame_rejects_poison_lengths_before_allocating() {
+    // A length prefix above MAX_FRAME must fail without reading further.
+    let mut poisoned = Vec::new();
+    poisoned.extend_from_slice(&(MAX_FRAME + 1).to_le_bytes());
+    poisoned.extend_from_slice(&[0u8; 16]);
+    let err = read_frame(&mut poisoned.as_slice()).expect_err("oversize rejected");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    // Shorter than the header: equally dead.
+    assert_eq!(check_frame_len(HEADER_LEN as u32 - 1), Err(WireError::BadLength(11)));
+}
+
+#[test]
+fn read_frame_handles_clean_eof_and_mid_frame_eof() {
+    // Clean EOF at a frame boundary is None, not an error.
+    assert!(read_frame(&mut (&[] as &[u8])).expect("clean EOF").is_none());
+
+    // EOF in the middle of a declared frame is an error.
+    let bytes = encode_request(1, &Request::Ping);
+    let err = read_frame(&mut &bytes[..bytes.len() - 2]).expect_err("mid-frame EOF");
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof);
+}
+
+#[test]
+fn corrupt_header_fields_are_rejected() {
+    let bytes = encode_frame(KIND_PING, 3, &[]);
+    let body = &bytes[4..];
+
+    let mut bad_magic = body.to_vec();
+    bad_magic[0] ^= 0xFF;
+    assert!(matches!(decode_frame(&bad_magic), Err(WireError::BadMagic(_))));
+
+    let mut bad_version = body.to_vec();
+    bad_version[2] = VERSION + 1;
+    assert_eq!(decode_frame(&bad_version), Err(WireError::BadVersion(VERSION + 1)));
+
+    let mut bad_kind = body.to_vec();
+    bad_kind[3] = 0x3F;
+    assert_eq!(decode_frame(&bad_kind), Err(WireError::UnknownKind(0x3F)));
+
+    // Sanity: the original decodes, and MAGIC is the documented "MS".
+    assert_eq!(decode_frame(body), Ok(Frame { kind: KIND_PING, req_id: 3, payload: Vec::new() }));
+    assert_eq!(MAGIC, u16::from_le_bytes([b'M', b'S']));
+}
+
+#[test]
+fn bad_convergence_label_in_response_is_rejected() {
+    let response = Response::Sort(SortResponse {
+        convergence: 0,
+        steps: 1,
+        swaps: 1,
+        comparisons: 1,
+        budget: 1,
+        residual: 0,
+        grid: None,
+    });
+    let mut bytes = encode_response(KIND_SORT, 1, &response);
+    bytes[HEADER_LEN + 4 + 2] = 4; // the convergence byte after the status
+    let frame = decode_frame(&bytes[4..]).expect("header intact");
+    assert_eq!(decode_response(&frame), Err(WireError::BadField("convergence label")));
+}

@@ -7,7 +7,6 @@
 //! cargo run --release --example average_vs_diameter [trials]
 //! ```
 
-use meshsort::core::{runner, AlgorithmId};
 use meshsort::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -17,7 +16,7 @@ fn mean_steps(alg: AlgorithmId, side: usize, trials: u64, seed: u64) -> f64 {
     let mut total = 0u64;
     for _ in 0..trials {
         let mut grid = random_permutation_grid(side, &mut rng);
-        total += runner::sort_to_completion(alg, &mut grid).unwrap().outcome.steps;
+        total += SortJob::new(alg, side).run(&mut grid).unwrap().steps;
     }
     total as f64 / trials as f64
 }

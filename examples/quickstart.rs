@@ -31,15 +31,15 @@ fn main() {
             continue;
         }
         let mut grid = input.clone();
-        let run = sort_to_completion(alg, &mut grid).expect("side supported");
-        assert!(run.outcome.sorted, "{alg} failed to sort");
+        let run = SortJob::new(alg, side).run(&mut grid).expect("side supported");
+        assert!(run.sorted(), "{alg} failed to sort");
         assert!(grid.is_sorted(alg.order()));
         println!(
             "{:<22} {:>10} {:>10} {:>8.3}",
             alg.name(),
-            run.outcome.steps,
-            run.outcome.swaps,
-            run.outcome.steps as f64 / n as f64
+            run.steps,
+            run.swaps,
+            run.steps as f64 / n as f64
         );
     }
 

@@ -7,7 +7,7 @@
 //! cargo run --release --example worst_case [side]
 //! ```
 
-use meshsort::core::{runner, AlgorithmId};
+use meshsort::core::{AlgorithmId, SortJob};
 use meshsort::exact::paper::corollary1_worst_case;
 use meshsort::mesh::TargetOrder;
 use meshsort::workloads::adversarial::smallest_in_one_column;
@@ -24,15 +24,15 @@ fn main() {
 
     for alg in AlgorithmId::ROW_MAJOR {
         let mut grid = smallest_in_one_column(side, 0);
-        let run = runner::sort_to_completion(alg, &mut grid).expect("even side");
-        assert!(run.outcome.sorted);
+        let run = SortJob::new(alg, side).run(&mut grid).expect("even side");
+        assert!(run.sorted());
         assert!(grid.is_sorted(TargetOrder::RowMajor));
         println!(
             "{:<22} {:>8} steps  ({:.2}x the bound, {:.2} steps per cell)",
             alg.name(),
-            run.outcome.steps,
-            run.outcome.steps as f64 / bound as f64,
-            run.outcome.steps as f64 / n as f64
+            run.steps,
+            run.steps as f64 / bound as f64,
+            run.steps as f64 / n as f64
         );
     }
 
@@ -43,10 +43,7 @@ fn main() {
     let mut total = 0u64;
     for _ in 0..trials {
         let mut grid = meshsort::workloads::permutation::random_permutation_grid(side, &mut rng);
-        total += runner::sort_to_completion(AlgorithmId::RowMajorRowFirst, &mut grid)
-            .unwrap()
-            .outcome
-            .steps;
+        total += SortJob::new(AlgorithmId::RowMajorRowFirst, side).run(&mut grid).unwrap().steps;
     }
     println!(
         "\nfor scale: {} random permutations averaged {:.0} steps — the paper's point is that\nthis average is itself Θ(N), only a small constant below the adversary",

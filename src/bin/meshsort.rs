@@ -14,6 +14,7 @@ fn main() {
 
     // Flag parsing: --key value pairs after the subcommand.
     let mut side = 16usize;
+    let mut side_set = false;
     let mut sides: Vec<usize> = vec![4, 5, 8];
     let mut seed = 1993u64;
     let mut n_param = 4u64;
@@ -27,6 +28,13 @@ fn main() {
     let mut seeds = 8u64;
     let mut rates: Vec<f64> = vec![0.0, 0.01, 0.05];
     let mut out_path: Option<String> = None;
+    let mut addr = "127.0.0.1:7465".to_string();
+    let mut connections = 4usize;
+    let mut rate = 2000.0f64;
+    let mut requests = 10_000u64;
+    let mut report: Option<String> = None;
+    let mut bench_json: Option<String> = None;
+    let mut drain = false;
     let mut i = 1;
     let bad = |msg: &str| -> ! {
         eprintln!("error: {msg}\n");
@@ -39,6 +47,7 @@ fn main() {
                 i += 1;
                 side =
                     args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| bad("bad --side"));
+                side_set = true;
             }
             "--sides" => {
                 i += 1;
@@ -109,6 +118,43 @@ fn main() {
                 i += 1;
                 out_path = Some(args.get(i).unwrap_or_else(|| bad("missing --out")).clone());
             }
+            "--addr" => {
+                i += 1;
+                addr = args.get(i).unwrap_or_else(|| bad("missing --addr")).clone();
+            }
+            "--connections" => {
+                i += 1;
+                connections = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&c: &usize| c > 0)
+                    .unwrap_or_else(|| bad("bad --connections"));
+            }
+            "--rate" => {
+                i += 1;
+                rate = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&r: &f64| r > 0.0)
+                    .unwrap_or_else(|| bad("bad --rate"));
+            }
+            "--requests" => {
+                i += 1;
+                requests = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| bad("bad --requests"));
+            }
+            "--report" => {
+                i += 1;
+                report = Some(args.get(i).unwrap_or_else(|| bad("missing --report")).clone());
+            }
+            "--bench-json" => {
+                i += 1;
+                bench_json =
+                    Some(args.get(i).unwrap_or_else(|| bad("missing --bench-json")).clone());
+            }
+            "--drain" => drain = true,
             other => bad(&format!("unknown flag {other}")),
         }
         i += 1;
@@ -128,6 +174,23 @@ fn main() {
         "analyze" => cli::cmd_analyze(&sides),
         "chaos" => cli::cmd_chaos(&sides, seeds, &rates),
         "bench" => cli::cmd_bench(quick),
+        "loadgen" => {
+            let config = meshsort_serve::loadgen::LoadgenConfig {
+                addr,
+                connections,
+                rate,
+                requests,
+                // The loadgen default is the paper's benchmark side 8,
+                // not the 16 the offline subcommands default to.
+                side: if side_set { side } else { 8 },
+                seed,
+                report_path: report.map(std::path::PathBuf::from),
+                bench_json: bench_json.map(std::path::PathBuf::from),
+                drain,
+                ..Default::default()
+            };
+            cli::cmd_loadgen(&config)
+        }
         "witness" => cli::cmd_witness(theorem, gamma, delta),
         "formulas" => Ok(cli::cmd_formulas(n_param)),
         "help" | "--help" | "-h" => {

@@ -4,9 +4,8 @@
 
 use meshsort_core::instrument::run_instrumented;
 use meshsort_core::min_tracker::track_min;
-use meshsort_core::{runner, AlgorithmId};
+use meshsort_core::{runner, AlgorithmId, Convergence, SortJob};
 use meshsort_exact::thresholds::ConcentrationTheorem;
-use meshsort_mesh::fault::RunOutcome;
 use meshsort_mesh::viz::render_plan;
 use meshsort_mesh::FaultSpec;
 use meshsort_workloads::permutation::random_permutation_grid;
@@ -72,13 +71,13 @@ pub fn cmd_sort(
         )
         .unwrap();
     } else {
-        let run = runner::sort_to_completion(algorithm, &mut grid).map_err(|e| e.to_string())?;
+        let run = SortJob::new(algorithm, side).run(&mut grid).map_err(|e| e.to_string())?;
         writeln!(
             out,
             "{algorithm}: sorted {n} values in {} steps ({} swaps, {:.3} steps/cell)",
-            run.outcome.steps,
-            run.outcome.swaps,
-            run.outcome.steps as f64 / n as f64
+            run.steps,
+            run.swaps,
+            run.steps as f64 / n as f64
         )
         .unwrap();
     }
@@ -98,15 +97,9 @@ pub fn cmd_race(side: usize, seed: u64) -> String {
             continue;
         }
         let mut grid = input.clone();
-        let run = runner::sort_to_completion(alg, &mut grid).expect("side checked");
-        writeln!(
-            out,
-            "{:<22} {:>9} {:>9.3}",
-            alg.name(),
-            run.outcome.steps,
-            run.outcome.steps as f64 / n as f64
-        )
-        .unwrap();
+        let run = SortJob::new(alg, side).run(&mut grid).expect("side checked");
+        writeln!(out, "{:<22} {:>9} {:>9.3}", alg.name(), run.steps, run.steps as f64 / n as f64)
+            .unwrap();
     }
     let mut grid = input.clone();
     let shear = meshsort_baselines::shearsort_until_sorted(&mut grid);
@@ -269,37 +262,36 @@ pub fn cmd_chaos(sides: &[usize], seeds: u64, rates: &[f64]) -> Result<String, S
                     let mut rng = StdRng::seed_from_u64(s);
                     let mut grid = random_permutation_grid(side, &mut rng);
                     let spec = FaultSpec::transient(s.wrapping_add(1), rate);
-                    let faults =
-                        runner::fault_plan_for(alg, side, &spec).map_err(|e| e.to_string())?;
                     let baseline = if rate == 0.0 {
                         let mut clone = grid.clone();
-                        Some(
-                            runner::sort_to_completion(alg, &mut clone)
-                                .map_err(|e| e.to_string())?,
-                        )
+                        Some(SortJob::new(alg, side).run(&mut clone).map_err(|e| e.to_string())?)
                     } else {
                         None
                     };
-                    let run = runner::sort_resilient(alg, &mut grid, &faults, &policy)
+                    let run = SortJob::new(alg, side)
+                        .fault_spec(spec)
+                        .resilient_policy(policy)
+                        .run(&mut grid)
                         .map_err(|e| e.to_string())?;
-                    dropped += run.report.dropped;
-                    recoveries += run.report.recovery_attempts;
-                    match run.report.outcome {
-                        RunOutcome::Converged { steps } => {
+                    let faults = run.faults.expect("resilient runs report fault stats");
+                    dropped += faults.dropped;
+                    recoveries += faults.recovery_attempts;
+                    match run.convergence {
+                        Convergence::Converged { steps } => {
                             converged += 1;
-                            steps_sum += run.report.total_steps();
+                            steps_sum += run.steps + faults.recovery_steps;
                             if let Some(base) = &baseline {
-                                if steps != base.outcome.steps {
+                                if steps != base.steps {
                                     return Err(format!(
                                         "rate-0 mismatch: {} side {side} seed {s}: resilient \
                                          {steps} steps vs engine {}",
                                         alg.name(),
-                                        base.outcome.steps
+                                        base.steps
                                     ));
                                 }
                             }
                         }
-                        RunOutcome::IntegrityViolation { .. } => {
+                        Convergence::IntegrityViolation { .. } => {
                             return Err(format!(
                                 "integrity violation (value multiset changed): {} side {side} \
                                  rate {rate} seed {s}",
@@ -310,7 +302,7 @@ pub fn cmd_chaos(sides: &[usize], seeds: u64, rates: &[f64]) -> Result<String, S
                             return Err(format!(
                                 "rate-0 run failed to converge: {} side {side} seed {s} ({})",
                                 alg.name(),
-                                run.report.outcome.label()
+                                run.convergence.label()
                             ));
                         }
                         _ => {}
@@ -351,6 +343,60 @@ pub fn cmd_bench(quick: bool) -> Result<String, String> {
     let floor = perf::required_floor(quick, report.throughput.threads);
     perf::validate(&report, floor)?;
     Ok(report.to_json())
+}
+
+/// `meshsort loadgen`: open-loop load against a running `meshsortd`.
+///
+/// Drives the generator in [`meshsort_serve::loadgen`] — request `j` is
+/// due at `j/rate` seconds after start regardless of how fast the
+/// server answers, so queueing delay shows up in the latency quantiles
+/// instead of silently throttling the offered load. Writes the JSON
+/// report to `config.report_path` when set, and splices it into
+/// `BENCH_meshsort.json` as the `"serve"` section when
+/// `config.bench_json` points at one.
+pub fn cmd_loadgen(config: &meshsort_serve::loadgen::LoadgenConfig) -> Result<String, String> {
+    let report = meshsort_serve::loadgen::run(config)
+        .map_err(|e| format!("loadgen against {}: {e}", config.addr))?;
+    let json = report.to_json();
+    if let Some(path) = &config.report_path {
+        meshsort_stats::write_atomic(path, &json)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    if let Some(path) = &config.bench_json {
+        let existing = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let merged = meshsort_serve::loadgen::merge_serve_section(&existing, &json);
+        meshsort_stats::write_atomic(path, &merged)
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    let mut out = format!(
+        "loadgen: {} requests at {:.0}/s over {} connections to {} (side {}, optimized {})\n",
+        config.requests,
+        config.rate,
+        config.connections,
+        config.addr,
+        config.side,
+        config.optimized
+    );
+    writeln!(
+        out,
+        "  completed {} ({} errors, {} protocol errors) in {:.2}s — {:.0} sorted grids/s",
+        report.completed,
+        report.errors,
+        report.protocol_errors,
+        report.elapsed_secs,
+        report.throughput
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "  latency p50 {:.3} ms, p99 {:.3} ms, mean {:.3} ms",
+        report.p50_ms, report.p99_ms, report.mean_ms
+    )
+    .unwrap();
+    writeln!(out, "  server plan-cache hit rate {:.4}", report.plan_cache_hit_rate).unwrap();
+    writeln!(out, "  {json}").unwrap();
+    Ok(out)
 }
 
 /// `meshsort witness`: N₀ witnesses for the concentration theorems.
@@ -409,6 +455,8 @@ pub fn usage() -> &'static str {
        meshsort analyze [--sides N1,N2,...]\n\
        meshsort chaos [--sides N1,N2,...] [--seeds K] [--rates P1,P2,...] [--out PATH]\n\
        meshsort bench [--quick] [--out PATH]\n\
+       meshsort loadgen [--addr HOST:PORT] [--connections C] [--rate R] [--requests N]\n\
+      \x20                [--side N] [--seed S] [--report PATH] [--bench-json PATH] [--drain]\n\
        meshsort witness --theorem <3|5|8> --gamma G --delta D\n\
        meshsort formulas [--n N]\n"
 }
@@ -537,6 +585,27 @@ mod tests {
         assert!(json.contains("\"schema\": \"meshsort-bench-v1\""), "{json}");
         assert!(json.contains("\"batch_throughput\""), "{json}");
         assert!(json.contains("\"engine\": \"batch\""), "{json}");
+    }
+
+    #[test]
+    fn loadgen_drives_a_live_server() {
+        use meshsort_serve::server::{ServerConfig, ServerHandle};
+        let handle =
+            ServerHandle::bind("127.0.0.1:0", ServerConfig::default()).expect("bind free port");
+        let config = meshsort_serve::loadgen::LoadgenConfig {
+            addr: handle.local_addr().to_string(),
+            connections: 2,
+            rate: 5000.0,
+            requests: 40,
+            side: 4,
+            drain: true,
+            ..Default::default()
+        };
+        let out = cmd_loadgen(&config).unwrap();
+        assert!(out.contains("completed 40 (0 errors, 0 protocol errors)"), "{out}");
+        assert!(out.contains("plan-cache hit rate"), "{out}");
+        assert!(out.contains("\"p99_ms\""), "{out}");
+        handle.wait();
     }
 
     #[test]

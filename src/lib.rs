@@ -18,12 +18,12 @@
 //! let mut grid = Grid::from_rows(8, (0..64u32).rev().collect()).unwrap();
 //!
 //! // Sort it with the first row-major algorithm (wrap-around wires).
-//! let run = sort_to_completion(AlgorithmId::RowMajorRowFirst, &mut grid).unwrap();
-//! assert!(run.outcome.sorted);
+//! let run = SortJob::new(AlgorithmId::RowMajorRowFirst, 8).run(&mut grid).unwrap();
+//! assert!(run.sorted());
 //! assert!(grid.is_sorted(TargetOrder::RowMajor));
 //!
 //! // The paper's headline: Θ(N) steps even on average.
-//! assert!(run.outcome.steps as usize > 8); // far above the √N diameter scale
+//! assert!(run.steps as usize > 8); // far above the √N diameter scale
 //! ```
 //!
 //! ## Crate map
@@ -40,6 +40,7 @@
 //! | [`baselines`] | Shearsort |
 //! | [`experiments`] | the E01–E15 harness (see DESIGN.md §4) |
 //! | [`analyze`] | `meshcheck`: static schedule certification (structure, kernel IR, 0-1) |
+//! | [`serve`] | `meshsortd`: the sorting/certification service and its load generator |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,6 +52,7 @@ pub use meshsort_exact as exact;
 pub use meshsort_experiments as experiments;
 pub use meshsort_linear as linear;
 pub use meshsort_mesh as mesh;
+pub use meshsort_serve as serve;
 pub use meshsort_stats as stats;
 pub use meshsort_workloads as workloads;
 pub use meshsort_zeroone as zeroone;
@@ -60,8 +62,10 @@ pub mod cli;
 
 /// The most common imports, one `use` away.
 pub mod prelude {
-    pub use meshsort_core::runner::{sort_to_completion, sort_with_cap, SortRun};
-    pub use meshsort_core::AlgorithmId;
+    pub use meshsort_core::runner::SortRun;
+    #[allow(deprecated)] // legacy shims stay importable while downstream migrates
+    pub use meshsort_core::runner::{sort_to_completion, sort_with_cap};
+    pub use meshsort_core::{AlgorithmId, Budget, Engine, RunOutcome, SortJob};
     pub use meshsort_mesh::{Grid, Pos, TargetOrder};
     pub use meshsort_workloads::permutation::random_permutation_grid;
     pub use meshsort_workloads::zero_one::random_balanced_zero_one_grid;
@@ -74,8 +78,8 @@ mod tests {
     #[test]
     fn umbrella_reexports_work() {
         let mut g = Grid::from_rows(4, (0..16u32).rev().collect()).unwrap();
-        let run = sort_to_completion(AlgorithmId::SnakeAlternating, &mut g).unwrap();
-        assert!(run.outcome.sorted);
+        let run = SortJob::new(AlgorithmId::SnakeAlternating, 4).run(&mut g).unwrap();
+        assert!(run.sorted());
         assert!(g.is_sorted(TargetOrder::Snake));
         assert_eq!(Pos::new(0, 0).flat(4), 0);
     }

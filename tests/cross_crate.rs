@@ -3,7 +3,6 @@
 //! Shearsort baseline against the bubble sorts, and the experiment
 //! registry end-to-end.
 
-use meshsort::core::{runner, AlgorithmId};
 use meshsort::mesh::{apply_plan, TargetOrder};
 use meshsort::prelude::*;
 use meshsort::workloads::zero_one::reduce_to_zero_one;
@@ -67,13 +66,13 @@ fn zero_one_reduction_lower_bounds_permutation_steps() {
                 let perm = random_permutation_grid(side, &mut rng);
                 let mut reduced = reduce_to_zero_one(&perm);
                 let mut full = perm.clone();
-                let r_reduced = runner::sort_to_completion(alg, &mut reduced).unwrap();
-                let r_full = runner::sort_to_completion(alg, &mut full).unwrap();
+                let r_reduced = SortJob::new(alg, side).run(&mut reduced).unwrap();
+                let r_full = SortJob::new(alg, side).run(&mut full).unwrap();
                 assert!(
-                    r_reduced.outcome.steps <= r_full.outcome.steps,
+                    r_reduced.steps <= r_full.steps,
                     "{alg} side {side}: 0-1 image took {} > {}",
-                    r_reduced.outcome.steps,
-                    r_full.outcome.steps
+                    r_reduced.steps,
+                    r_full.steps
                 );
             }
         }
@@ -112,7 +111,7 @@ fn all_snake_sorters_agree_on_final_arrangement() {
 
     for alg in AlgorithmId::SNAKE {
         let mut grid = input.clone();
-        runner::sort_to_completion(alg, &mut grid).unwrap();
+        SortJob::new(alg, side).run(&mut grid).unwrap();
         assert_eq!(grid, expected, "{alg}");
     }
     let mut grid = input.clone();

@@ -26,8 +26,8 @@ fn parallel_monte_carlo_is_thread_count_invariant() {
             RunningStats::new,
             |_i, rng, acc: &mut RunningStats| {
                 let mut grid = random_permutation_grid(8, rng);
-                let run = sort_to_completion(AlgorithmId::SnakeStaggeredCols, &mut grid).unwrap();
-                acc.push(run.outcome.steps as f64);
+                let run = SortJob::new(AlgorithmId::SnakeStaggeredCols, 8).run(&mut grid).unwrap();
+                acc.push(run.steps as f64);
             },
             |a, b| a.merge(&b),
         )
@@ -72,10 +72,10 @@ fn algorithm_runs_are_pure_functions_of_input() {
         let input = random_permutation_grid(side, &mut rand::rngs::StdRng::seed_from_u64(0xF00D));
         let mut a = input.clone();
         let mut b = input.clone();
-        let ra = sort_to_completion(alg, &mut a).unwrap();
-        let rb = sort_to_completion(alg, &mut b).unwrap();
-        assert_eq!(ra.outcome.steps, rb.outcome.steps, "{alg}");
-        assert_eq!(ra.outcome.comparisons, rb.outcome.comparisons, "{alg}");
+        let ra = SortJob::new(alg, side).run(&mut a).unwrap();
+        let rb = SortJob::new(alg, side).run(&mut b).unwrap();
+        assert_eq!(ra.steps, rb.steps, "{alg}");
+        assert_eq!(ra.comparisons, rb.comparisons, "{alg}");
         assert_eq!(a, b, "{alg}");
     }
 }

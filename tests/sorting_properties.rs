@@ -33,8 +33,8 @@ proptest! {
             .prop_flat_map(|s| (Just(s), arb_permutation(s)))
     ) {
         let mut grid = Grid::from_rows(side, data).unwrap();
-        let run = sort_to_completion(AlgorithmId::RowMajorRowFirst, &mut grid).unwrap();
-        prop_assert!(run.outcome.sorted);
+        let run = SortJob::new(AlgorithmId::RowMajorRowFirst, side).run(&mut grid).unwrap();
+        prop_assert!(run.sorted());
         prop_assert!(grid.is_sorted(TargetOrder::RowMajor));
         prop_assert_eq!(grid.into_vec(), (0..(side * side) as u32).collect::<Vec<_>>());
     }
@@ -45,8 +45,8 @@ proptest! {
             .prop_flat_map(|s| (Just(s), arb_permutation(s)))
     ) {
         let mut grid = Grid::from_rows(side, data).unwrap();
-        let run = sort_to_completion(AlgorithmId::RowMajorColFirst, &mut grid).unwrap();
-        prop_assert!(run.outcome.sorted);
+        let run = SortJob::new(AlgorithmId::RowMajorColFirst, side).run(&mut grid).unwrap();
+        prop_assert!(run.sorted());
         prop_assert!(grid.is_sorted(TargetOrder::RowMajor));
     }
 
@@ -59,8 +59,8 @@ proptest! {
         use rand::SeedableRng;
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut grid = random_permutation_grid(side, &mut rng);
-        let run = sort_to_completion(alg, &mut grid).unwrap();
-        prop_assert!(run.outcome.sorted, "{alg} side {side}");
+        let run = SortJob::new(alg, side).run(&mut grid).unwrap();
+        prop_assert!(run.sorted(), "{alg} side {side}");
         prop_assert!(grid.is_sorted(TargetOrder::Snake));
     }
 
@@ -78,8 +78,8 @@ proptest! {
             }
             let mut grid = Grid::from_rows(side, data.clone()).unwrap();
             let before_zeros = data.iter().filter(|&&v| v == 0).count();
-            let run = sort_to_completion(alg, &mut grid).unwrap();
-            prop_assert!(run.outcome.sorted, "{alg}");
+            let run = SortJob::new(alg, side).run(&mut grid).unwrap();
+            prop_assert!(run.sorted(), "{alg}");
             let after_zeros = grid.as_slice().iter().filter(|&&v| v == 0).count();
             prop_assert_eq!(before_zeros, after_zeros, "{alg} lost zeros");
         }
@@ -97,14 +97,14 @@ proptest! {
                 continue;
             }
             let mut grid = random_permutation_grid(side, &mut rng);
-            let run = sort_to_completion(alg, &mut grid).unwrap();
-            prop_assert!(run.outcome.sorted);
+            let run = SortJob::new(alg, side).run(&mut grid).unwrap();
+            prop_assert!(run.sorted());
             // Far below the safety cap: worst case is Θ(N) with a small
             // constant (~2 for the row-major, ~2 for S3).
             prop_assert!(
-                run.outcome.steps <= 4 * (side * side) as u64 + 16,
+                run.steps <= 4 * (side * side) as u64 + 16,
                 "{}: {} steps on side {}",
-                alg, run.outcome.steps, side
+                alg, run.steps, side
             );
         }
     }
@@ -138,10 +138,10 @@ proptest! {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
             let mut a = random_permutation_grid(side, &mut rng);
             let mut b = a.clone();
-            let ra = sort_to_completion(alg, &mut a).unwrap();
-            let rb = sort_to_completion(alg, &mut b).unwrap();
-            prop_assert_eq!(ra.outcome.steps, rb.outcome.steps);
-            prop_assert_eq!(ra.outcome.swaps, rb.outcome.swaps);
+            let ra = SortJob::new(alg, side).run(&mut a).unwrap();
+            let rb = SortJob::new(alg, side).run(&mut b).unwrap();
+            prop_assert_eq!(ra.steps, rb.steps);
+            prop_assert_eq!(ra.swaps, rb.swaps);
             prop_assert_eq!(a, b);
         }
     }
