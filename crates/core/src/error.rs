@@ -12,7 +12,8 @@
 //! * `200–299` — static verification errors ([`VerifyError`])
 //! * `300–399` — optimizer/certification errors ([`OptError`])
 //! * `400–499` — job-level contract violations ([`Error::InvalidJob`])
-//! * `500–599` — service-level overload ([`Error::QueueFull`])
+//! * `500–599` — service-level conditions: overload ([`Error::QueueFull`]
+//!   = 503) and deadline shedding ([`Error::DeadlineExceeded`] = 504)
 //!
 //! Within each band the code is `base + declaration index` of the
 //! wrapped enum's variant; new variants append, existing codes are
@@ -42,6 +43,15 @@ pub enum Error {
     QueueFull {
         /// The queue's bound at the time of rejection.
         capacity: usize,
+    },
+    /// The request carried a deadline and the service could not start it
+    /// in time; it was shed before any work was wasted on it. Retrying
+    /// is pointless unless the client grants a fresh deadline.
+    DeadlineExceeded {
+        /// The deadline the request carried, in milliseconds.
+        deadline_ms: u64,
+        /// How long the request had already waited when it was shed.
+        waited_ms: u64,
     },
 }
 
@@ -92,6 +102,7 @@ impl Error {
             }
             Error::InvalidJob { .. } => 400,
             Error::QueueFull { .. } => 503,
+            Error::DeadlineExceeded { .. } => 504,
         }
     }
 
@@ -104,6 +115,7 @@ impl Error {
             Error::Optimizer(_) => "optimizer",
             Error::InvalidJob { .. } => "invalid-job",
             Error::QueueFull { .. } => "queue-full",
+            Error::DeadlineExceeded { .. } => "deadline",
         }
     }
 }
@@ -118,6 +130,13 @@ impl fmt::Display for Error {
             Error::QueueFull { capacity } => {
                 write!(f, "service queue full (capacity {capacity}); retry with backoff")
             }
+            Error::DeadlineExceeded { deadline_ms, waited_ms } => {
+                write!(
+                    f,
+                    "deadline exceeded: {deadline_ms} ms budget, waited {waited_ms} ms before \
+                     execution could start"
+                )
+            }
         }
     }
 }
@@ -128,7 +147,9 @@ impl std::error::Error for Error {
             Error::Mesh(e) => Some(e),
             Error::Verify(e) => Some(e),
             Error::Optimizer(e) => Some(e),
-            Error::InvalidJob { .. } | Error::QueueFull { .. } => None,
+            Error::InvalidJob { .. } | Error::QueueFull { .. } | Error::DeadlineExceeded { .. } => {
+                None
+            }
         }
     }
 }
@@ -197,6 +218,7 @@ mod tests {
         );
         assert_eq!(Error::InvalidJob { reason: String::new() }.code(), 400);
         assert_eq!(Error::QueueFull { capacity: 64 }.code(), 503);
+        assert_eq!(Error::DeadlineExceeded { deadline_ms: 10, waited_ms: 12 }.code(), 504);
     }
 
     #[test]
@@ -243,5 +265,10 @@ mod tests {
         let j = Error::InvalidJob { reason: "side 0".into() };
         assert!(j.to_string().contains("side 0"));
         assert_eq!(j.family(), "invalid-job");
+        let d = Error::DeadlineExceeded { deadline_ms: 50, waited_ms: 80 };
+        assert!(d.to_string().contains("50 ms budget"));
+        assert!(d.to_string().contains("waited 80 ms"));
+        assert_eq!(d.family(), "deadline");
+        assert!(std::error::Error::source(&d).is_none());
     }
 }

@@ -138,7 +138,7 @@ pub struct ResilientRun {
     /// Mesh side.
     pub side: usize,
     /// The engine-level resilient report (classified outcome included).
-    pub report: meshsort_mesh::ResilientReport,
+    pub report: ResilientReport,
 }
 
 /// Compiles `spec` into a [`FaultPlan`] for `(algorithm, side)`, deriving

@@ -47,6 +47,7 @@ pub mod e18_min_walk_others;
 pub mod e19_m_statistic;
 pub mod e20_column_ablation;
 pub mod e21_fault_degradation;
+pub mod e22_service_degradation;
 
 pub use config::Config;
 pub use registry::{all_experiments, run_by_id, run_isolated};

@@ -23,7 +23,7 @@ const DEFAULT_TXT: &str = "artifacts/experiments_full.txt";
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <all|list|e01..e21> [--quick] [--seed N] [--threads N] \
+        "usage: experiments <all|list|e01..e22> [--quick] [--seed N] [--threads N] \
          [--json PATH] [--txt PATH]\n\
          `all` defaults to --json {DEFAULT_JSON} --txt {DEFAULT_TXT}"
     );

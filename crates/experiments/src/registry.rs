@@ -90,6 +90,11 @@ pub fn all_experiments() -> Vec<Experiment> {
             title: "Extension: fault-injection degradation",
             run: crate::e21_fault_degradation::run,
         },
+        Experiment {
+            id: "e22",
+            title: "Extension: service degradation under network chaos",
+            run: crate::e22_service_degradation::run,
+        },
     ]
 }
 
@@ -125,11 +130,11 @@ mod tests {
     #[test]
     fn fifteen_experiments_with_unique_ids() {
         let all = all_experiments();
-        assert_eq!(all.len(), 21);
+        assert_eq!(all.len(), 22);
         let mut ids: Vec<&str> = all.iter().map(|e| e.id).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 21);
+        assert_eq!(ids.len(), 22);
     }
 
     fn panicking_experiment(_cfg: &Config) -> ExperimentReport {

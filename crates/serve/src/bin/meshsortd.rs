@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! meshsortd [--addr HOST:PORT] [--queue-capacity N] [--chaos-capacity N]
-//!           [--max-batch N] [--log-interval-secs S]
+//!           [--max-batch N] [--log-interval-secs S] [--read-timeout-ms MS]
+//!           [--fail-req-id ID]
 //! ```
 //!
 //! Prints `meshsortd listening on <addr>` once the socket is bound
@@ -40,9 +41,13 @@ fn main() {
                 config.log_interval =
                     if secs == 0 { None } else { Some(Duration::from_secs(secs)) };
             }
+            "--read-timeout-ms" => {
+                config.read_timeout = Duration::from_millis(parse(&value("--read-timeout-ms")));
+            }
+            "--fail-req-id" => config.fail_req_id = Some(parse(&value("--fail-req-id"))),
             "--help" | "-h" => {
                 println!(
-                    "meshsortd [--addr HOST:PORT] [--queue-capacity N] [--chaos-capacity N] [--max-batch N] [--log-interval-secs S]"
+                    "meshsortd [--addr HOST:PORT] [--queue-capacity N] [--chaos-capacity N] [--max-batch N] [--log-interval-secs S] [--read-timeout-ms MS] [--fail-req-id ID]"
                 );
                 return;
             }

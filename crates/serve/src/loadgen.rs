@@ -1,4 +1,5 @@
-//! Open-loop load generator for `meshsortd`.
+//! Open-loop load generator for `meshsortd`, with client-side
+//! resilience.
 //!
 //! Open-loop means arrivals follow a fixed schedule — request `j` is
 //! due at `j/rate` seconds after start, regardless of how fast the
@@ -8,22 +9,43 @@
 //! `connections` sockets, each with a paced writer thread and a reader
 //! thread that matches responses to send timestamps by `req_id`.
 //!
-//! The run ends with a `STATS` probe (for the server-side plan-cache
-//! hit rate) and, when asked, a `DRAIN` frame so one loadgen invocation
-//! can exercise the server's full lifecycle. Results go to a JSON
-//! report via [`meshsort_stats::write_atomic`], and
-//! [`merge_serve_section`] splices a `"serve"` section into the
-//! repo-level `BENCH_meshsort.json` without a JSON parser dependency.
+//! Resilience: every request can carry a server-enforced deadline
+//! ([`LoadgenConfig::deadline_ms`]); `QueueFull` (503) rejections,
+//! transport failures, and undecodable responses are collected into a
+//! failed set and **redriven** after the paced phase with bounded
+//! retries under deterministic decorrelated-jitter backoff
+//! ([`crate::resilience::Backoff`]), reconnecting as needed. Duplicate
+//! responses (a chaos proxy can replay frames) are de-duplicated by
+//! `req_id` and counted. The report accounts for every request exactly
+//! once: `completed + errors + gave_up == requests` on a clean run.
+//!
+//! The run ends with a best-effort `STATS` probe (for the server-side
+//! plan-cache hit rate) and, when asked, a `DRAIN` frame — itself
+//! retried, because under network chaos the drain handshake can be the
+//! casualty — so one loadgen invocation can exercise the server's full
+//! lifecycle. Results go to a JSON report via
+//! `meshsort_stats::write_atomic`, and [`merge_serve_section`]
+//! splices a `"serve"` section into the repo-level
+//! `BENCH_meshsort.json` without a JSON parser dependency.
 
+use crate::resilience::{self, Backoff};
 use crate::wire::{self, Request, Response, SortRequest};
 use meshsort_core::{AlgorithmId, Budget};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io;
-use std::net::TcpStream;
+use std::net::{Shutdown, TcpStream};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
+
+/// Seed salt separating retry-backoff jitter from grid generation.
+const RETRY_SALT: u64 = 0x5245_5452_5900; // "RETRY"
+
+/// Wire code of `meshsort_core::Error::QueueFull` — the one rejection
+/// that is retryable by construction (overload is transient).
+const CODE_QUEUE_FULL: u16 = 503;
 
 /// Load-generation knobs.
 #[derive(Debug, Clone)]
@@ -40,8 +62,24 @@ pub struct LoadgenConfig {
     pub side: usize,
     /// Ask the server for optimized (dead-wire-stripped) plans.
     pub optimized: bool,
-    /// Root seed for the per-request permutation grids.
+    /// Root seed for the per-request permutation grids (and, salted,
+    /// for retry jitter).
     pub seed: u64,
+    /// Per-request deadline in milliseconds, measured by the server
+    /// from receipt; `0` = no deadline. Each retry attempt gets a fresh
+    /// budget.
+    pub deadline_ms: u32,
+    /// Attempts per failed request in the redrive phase (0 disables
+    /// retries: failures count as `gave_up` immediately).
+    pub max_attempts: u32,
+    /// Backoff floor, milliseconds.
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling, milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Client-side read stall bound: a connection with outstanding
+    /// requests and no response for this long is declared stalled and
+    /// its requests redriven.
+    pub client_timeout: Duration,
     /// Where to write the JSON report (`None` = stdout only).
     pub report_path: Option<PathBuf>,
     /// `BENCH_meshsort.json` to splice a `"serve"` section into.
@@ -60,6 +98,11 @@ impl Default for LoadgenConfig {
             side: 8,
             optimized: true,
             seed: 0x6D65_7368,
+            deadline_ms: 0,
+            max_attempts: 4,
+            backoff_base_ms: 5,
+            backoff_cap_ms: 500,
+            client_timeout: Duration::from_secs(5),
             report_path: None,
             bench_json: None,
             drain: false,
@@ -68,16 +111,26 @@ impl Default for LoadgenConfig {
 }
 
 /// What a loadgen run measured.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct LoadgenReport {
     /// Requests sent.
     pub requests: u64,
     /// Grids the server reported fully sorted.
     pub completed: u64,
-    /// Error responses (any non-zero status).
+    /// Terminal error responses (typed, non-retryable).
     pub errors: u64,
     /// Responses that failed wire decoding client-side.
     pub protocol_errors: u64,
+    /// Re-send attempts made during the redrive phase.
+    pub retries: u64,
+    /// Connections (re-)established during the redrive phase.
+    pub reconnects: u64,
+    /// Requests abandoned after exhausting every retry attempt.
+    pub gave_up: u64,
+    /// Duplicate responses discarded (matched by `req_id`).
+    pub duplicates: u64,
+    /// Terminal errors by wire error code.
+    pub errors_by_code: BTreeMap<u16, u64>,
     /// Wall-clock seconds from first send to last response.
     pub elapsed_secs: f64,
     /// Completed grids per second.
@@ -90,11 +143,18 @@ pub struct LoadgenReport {
     pub mean_ms: f64,
     /// Completions per algorithm, `AlgorithmId::ALL` order.
     pub per_algorithm: [u64; 5],
-    /// Server-reported plan-cache hit rate at the end of the run.
+    /// Server-reported plan-cache hit rate at the end of the run
+    /// (`-1.0` when the best-effort STATS probe failed).
     pub plan_cache_hit_rate: f64,
 }
 
 impl LoadgenReport {
+    /// Every request lands in exactly one of these buckets; on a fully
+    /// accounted run this equals [`LoadgenReport::requests`].
+    pub fn accounted(&self) -> u64 {
+        self.completed + self.errors + self.gave_up
+    }
+
     /// The report as one JSON object (no serializer dependency).
     pub fn to_json(&self) -> String {
         let per_algorithm = AlgorithmId::ALL
@@ -103,12 +163,24 @@ impl LoadgenReport {
             .map(|(a, n)| format!("\"{}\": {n}", a.name()))
             .collect::<Vec<_>>()
             .join(", ");
+        let errors_by_code = self
+            .errors_by_code
+            .iter()
+            .map(|(code, n)| format!("\"{code}\": {n}"))
+            .collect::<Vec<_>>()
+            .join(", ");
         format!(
-            "{{\"requests\": {}, \"completed\": {}, \"errors\": {}, \"protocol_errors\": {}, \"elapsed_secs\": {:.3}, \"throughput_grids_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"plan_cache_hit_rate\": {:.4}, \"per_algorithm\": {{{}}}}}",
+            "{{\"requests\": {}, \"completed\": {}, \"errors\": {}, \"protocol_errors\": {}, \"retries\": {}, \"reconnects\": {}, \"gave_up\": {}, \"duplicates\": {}, \"accounted\": {}, \"errors_by_code\": {{{}}}, \"elapsed_secs\": {:.3}, \"throughput_grids_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"mean_ms\": {:.3}, \"plan_cache_hit_rate\": {:.4}, \"per_algorithm\": {{{}}}}}",
             self.requests,
             self.completed,
             self.errors,
             self.protocol_errors,
+            self.retries,
+            self.reconnects,
+            self.gave_up,
+            self.duplicates,
+            self.accounted(),
+            errors_by_code,
             self.elapsed_secs,
             self.throughput,
             self.p50_ms,
@@ -126,7 +198,32 @@ struct Tally {
     completed: u64,
     errors: u64,
     protocol_errors: u64,
+    duplicates: u64,
+    errors_by_code: BTreeMap<u16, u64>,
     per_algorithm: [u64; 5],
+}
+
+impl Tally {
+    fn record_completed(&mut self, req_id: u64, mix_len: u64, latency_ms: f64) {
+        self.completed += 1;
+        #[allow(clippy::cast_possible_truncation)]
+        let slot = (req_id % mix_len) as usize;
+        self.per_algorithm[slot] += 1;
+        self.latencies_ms.push(latency_ms);
+    }
+
+    fn record_terminal(&mut self, code: u16, latency_ms: f64) {
+        self.errors += 1;
+        *self.errors_by_code.entry(code).or_insert(0) += 1;
+        self.latencies_ms.push(latency_ms);
+    }
+}
+
+/// A request awaiting redrive, with attempts already burned.
+#[derive(Debug, Clone, Copy)]
+struct FailedReq {
+    index: u64,
+    attempts: u32,
 }
 
 /// Minimal splitmix-style generator for request grids.
@@ -158,12 +255,29 @@ fn mix_for(side: usize) -> Vec<AlgorithmId> {
     AlgorithmId::ALL.into_iter().filter(|a| a.supports_side(side)).collect()
 }
 
+/// The sort request for schedule index `j`.
+fn build_request(config: &LoadgenConfig, mix: &[AlgorithmId], j: u64) -> Request {
+    #[allow(clippy::cast_possible_truncation)]
+    let algorithm = mix[(j % mix.len() as u64) as usize];
+    Request::Sort(SortRequest {
+        algorithm,
+        #[allow(clippy::cast_possible_truncation)]
+        side: config.side as u16,
+        optimized: config.optimized,
+        echo_grid: false,
+        budget: Budget::Default,
+        deadline_ms: config.deadline_ms,
+        cells: permutation_cells(config.side, config.seed, j),
+    })
+}
+
 /// Runs the load and collects the report.
 ///
 /// # Errors
 ///
-/// Connection or socket failures; the server disappearing mid-run
-/// surfaces as `UnexpectedEof`.
+/// Failure to establish the initial connections; everything after that
+/// (mid-run disconnects, stalls, rejections) is absorbed into the retry
+/// machinery and reported as counts rather than an `Err`.
 ///
 /// # Panics
 ///
@@ -176,33 +290,49 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
     assert!(!mix.is_empty(), "no algorithm supports side {}", config.side);
 
     let tally = Arc::new(Mutex::new(Tally::default()));
+    let failed: Arc<Mutex<Vec<FailedReq>>> = Arc::new(Mutex::new(Vec::new()));
     let start = Instant::now();
     let mut workers = Vec::new();
+    let mut pendings = Vec::new();
     for conn in 0..config.connections {
         let stream = TcpStream::connect(&config.addr)?;
         stream.set_nodelay(true)?;
-        workers.push(spawn_connection(conn, stream, config, &mix, &tally, start));
+        let pending: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
+        pendings.push(Arc::clone(&pending));
+        workers
+            .push(spawn_connection(conn, stream, config, &mix, &tally, &failed, &pending, start));
     }
     for (writer, reader) in workers {
-        writer.join().map_err(|_| worker_panic())??;
-        reader.join().map_err(|_| worker_panic())??;
+        writer.join().map_err(|e| worker_panic(&*e))?;
+        reader.join().map_err(|e| worker_panic(&*e))?;
     }
+    // Anything still pending after both threads exited fell through a
+    // stall/reset and was answered by nobody: redrive it.
+    {
+        let mut f = resilience::lock_unpoisoned(&failed);
+        for pending in pendings {
+            for (&index, _) in resilience::lock_unpoisoned(&pending).iter() {
+                f.push(FailedReq { index, attempts: 0 });
+            }
+        }
+        // Deterministic redrive order regardless of thread interleaving.
+        f.sort_by_key(|r| r.index);
+        f.dedup_by_key(|r| r.index);
+    }
+
+    let failed = Arc::try_unwrap(failed).expect("workers joined").into_inner().unwrap_or_default();
+    let redrive = redrive(config, &mix, failed, &tally);
     let elapsed_secs = start.elapsed().as_secs_f64();
 
-    // One last connection: pull the server's own metrics, then drain if
-    // this run owns the server lifecycle.
-    let mut probe = TcpStream::connect(&config.addr)?;
-    wire::write_frame(&mut probe, &wire::encode_request(u64::MAX, &Request::Stats))?;
-    let stats_json = match read_response(&mut probe)? {
-        Response::Stats { json } => json,
-        other => return Err(io::Error::other(format!("unexpected STATS reply: {other:?}"))),
-    };
+    let stats_json = fetch_stats(config);
     if config.drain {
-        wire::write_frame(&mut probe, &wire::encode_request(u64::MAX, &Request::Drain))?;
-        let _ = read_response(&mut probe)?;
+        drain_server(config);
     }
 
-    let tally = Arc::try_unwrap(tally).expect("workers joined").into_inner().expect("tally lock");
+    let tally = Arc::try_unwrap(tally)
+        .expect("workers joined")
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut latencies = tally.latencies_ms;
     latencies.sort_by(f64::total_cmp);
     #[allow(clippy::cast_precision_loss)]
@@ -218,102 +348,320 @@ pub fn run(config: &LoadgenConfig) -> io::Result<LoadgenReport> {
         completed: tally.completed,
         errors: tally.errors,
         protocol_errors: tally.protocol_errors,
+        retries: redrive.retries,
+        reconnects: redrive.reconnects,
+        gave_up: redrive.gave_up,
+        duplicates: tally.duplicates,
+        errors_by_code: tally.errors_by_code,
         elapsed_secs,
         throughput,
         p50_ms: meshsort_stats::histogram::quantile(&latencies, 0.50),
         p99_ms: meshsort_stats::histogram::quantile(&latencies, 0.99),
         mean_ms,
         per_algorithm: tally.per_algorithm,
-        plan_cache_hit_rate: extract_f64(&stats_json, "plan_cache_hit_rate").unwrap_or(-1.0),
+        plan_cache_hit_rate: stats_json
+            .as_deref()
+            .and_then(|json| extract_f64(json, "plan_cache_hit_rate"))
+            .unwrap_or(-1.0),
     })
 }
 
-type Worker = (thread::JoinHandle<io::Result<()>>, thread::JoinHandle<io::Result<()>>);
+type Worker = (thread::JoinHandle<()>, thread::JoinHandle<()>);
 
+#[allow(clippy::too_many_arguments)]
 fn spawn_connection(
     conn: usize,
     stream: TcpStream,
     config: &LoadgenConfig,
     mix: &[AlgorithmId],
     tally: &Arc<Mutex<Tally>>,
+    failed: &Arc<Mutex<Vec<FailedReq>>>,
+    pending: &Arc<Mutex<HashMap<u64, Instant>>>,
     start: Instant,
 ) -> Worker {
-    let pending: Arc<Mutex<HashMap<u64, Instant>>> = Arc::new(Mutex::new(HashMap::new()));
     let my_requests: Vec<u64> =
         (conn as u64..config.requests).step_by(config.connections).collect();
-    let count = my_requests.len();
+    let writer_done = Arc::new(AtomicBool::new(false));
 
     let writer = {
         let mut stream = stream.try_clone().expect("clone stream for writer");
-        let pending = Arc::clone(&pending);
+        let pending = Arc::clone(pending);
+        let failed = Arc::clone(failed);
+        let writer_done = Arc::clone(&writer_done);
+        let config = config.clone();
         let mix = mix.to_vec();
-        let (rate, side, seed, optimized) =
-            (config.rate, config.side, config.seed, config.optimized);
-        thread::spawn(move || -> io::Result<()> {
-            for j in my_requests {
+        thread::spawn(move || {
+            for (k, &j) in my_requests.iter().enumerate() {
                 #[allow(clippy::cast_precision_loss)]
-                let due = Duration::from_secs_f64(j as f64 / rate);
+                let due = Duration::from_secs_f64(j as f64 / config.rate);
                 let now = start.elapsed();
                 if due > now {
                     thread::sleep(due - now);
                 }
-                let algorithm = mix[(j % mix.len() as u64) as usize];
-                let request = Request::Sort(SortRequest {
-                    algorithm,
-                    #[allow(clippy::cast_possible_truncation)]
-                    side: side as u16,
-                    optimized,
-                    echo_grid: false,
-                    budget: Budget::Default,
-                    cells: permutation_cells(side, seed, j),
-                });
-                pending.lock().expect("pending lock").insert(j, Instant::now());
-                wire::write_frame(&mut stream, &wire::encode_request(j, &request))?;
+                let request = build_request(&config, &mix, j);
+                resilience::lock_unpoisoned(&pending).insert(j, Instant::now());
+                if wire::write_frame(&mut stream, &wire::encode_request(j, &request)).is_err() {
+                    // `j` sits in `pending` and is swept after join; the
+                    // never-sent tail goes straight to the failed set.
+                    resilience::lock_unpoisoned(&failed).extend(
+                        my_requests[k + 1..].iter().map(|&index| FailedReq { index, attempts: 0 }),
+                    );
+                    break;
+                }
             }
-            Ok(())
+            writer_done.store(true, Ordering::SeqCst);
         })
     };
 
     let reader = {
-        let mut stream = stream;
-        let pending = Arc::clone(&pending);
+        let stream = stream;
+        let pending = Arc::clone(pending);
         let tally = Arc::clone(tally);
+        let failed = Arc::clone(failed);
+        let writer_done = Arc::clone(&writer_done);
+        let client_timeout = config.client_timeout;
         let mix_len = mix.len() as u64;
-        thread::spawn(move || -> io::Result<()> {
-            for _ in 0..count {
-                let frame = match wire::read_frame(&mut stream) {
-                    Ok(Some(frame)) => frame,
-                    Ok(None) => {
-                        return Err(io::Error::new(
-                            io::ErrorKind::UnexpectedEof,
-                            "server closed mid-run",
-                        ))
-                    }
-                    Err(e) => {
-                        tally.lock().expect("tally lock").protocol_errors += 1;
-                        return Err(e);
-                    }
-                };
-                let sent = pending.lock().expect("pending lock").remove(&frame.req_id);
-                let latency_ms = sent.map_or(0.0, |t| t.elapsed().as_secs_f64() * 1e3);
-                let mut t = tally.lock().expect("tally lock");
-                match wire::decode_response(&frame) {
-                    Ok(Response::Sort(s)) if s.convergence == 0 => {
-                        t.completed += 1;
-                        t.per_algorithm[(frame.req_id % mix_len) as usize] += 1;
-                        t.latencies_ms.push(latency_ms);
-                    }
-                    Ok(_) => {
-                        t.errors += 1;
-                        t.latencies_ms.push(latency_ms);
-                    }
-                    Err(_) => t.protocol_errors += 1,
-                }
-            }
-            Ok(())
+        thread::spawn(move || {
+            read_loop(stream, &pending, &tally, &failed, &writer_done, client_timeout, mix_len);
         })
     };
     (writer, reader)
+}
+
+/// Reader half of a paced connection: drains responses until everything
+/// sent is answered, or declares the connection dead (EOF, stall,
+/// decode desync) and leaves the unanswered set for the redrive sweep.
+fn read_loop(
+    mut stream: TcpStream,
+    pending: &Mutex<HashMap<u64, Instant>>,
+    tally: &Mutex<Tally>,
+    failed: &Mutex<Vec<FailedReq>>,
+    writer_done: &AtomicBool,
+    client_timeout: Duration,
+    mix_len: u64,
+) {
+    let _ = stream.set_read_timeout(Some(client_timeout));
+    loop {
+        if writer_done.load(Ordering::SeqCst) && resilience::lock_unpoisoned(pending).is_empty() {
+            return;
+        }
+        let frame = match wire::read_frame(&mut stream) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => {
+                // Clean EOF with work outstanding: reset path. Stop the
+                // writer's half too so it fails fast.
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            Err(ref e) if resilience::is_timeout(e) => {
+                if writer_done.load(Ordering::SeqCst)
+                    && resilience::lock_unpoisoned(pending).is_empty()
+                {
+                    return;
+                }
+                if resilience::lock_unpoisoned(pending).is_empty() {
+                    continue; // idle between arrivals, keep waiting
+                }
+                // Outstanding requests and silence for the whole stall
+                // bound: declare the connection dead.
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+            Err(_) => {
+                resilience::lock_unpoisoned(tally).protocol_errors += 1;
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        };
+        let sent = resilience::lock_unpoisoned(pending).remove(&frame.req_id);
+        let Some(sent) = sent else {
+            resilience::lock_unpoisoned(tally).duplicates += 1;
+            continue;
+        };
+        let latency_ms = sent.elapsed().as_secs_f64() * 1e3;
+        match wire::decode_response(&frame) {
+            Ok(Response::Sort(s)) if s.convergence == 0 => {
+                resilience::lock_unpoisoned(tally).record_completed(
+                    frame.req_id,
+                    mix_len,
+                    latency_ms,
+                );
+            }
+            Ok(Response::Error { code, .. }) if code == CODE_QUEUE_FULL => {
+                resilience::lock_unpoisoned(failed)
+                    .push(FailedReq { index: frame.req_id, attempts: 1 });
+            }
+            Ok(Response::Error { code, .. }) => {
+                resilience::lock_unpoisoned(tally).record_terminal(code, latency_ms);
+            }
+            Ok(_) => {
+                resilience::lock_unpoisoned(tally)
+                    .record_terminal(crate::server::CODE_INTERNAL, latency_ms);
+            }
+            Err(_) => {
+                let mut t = resilience::lock_unpoisoned(tally);
+                t.protocol_errors += 1;
+                drop(t);
+                resilience::lock_unpoisoned(failed)
+                    .push(FailedReq { index: frame.req_id, attempts: 1 });
+            }
+        }
+    }
+}
+
+#[derive(Debug, Default)]
+struct RedriveStats {
+    retries: u64,
+    reconnects: u64,
+    gave_up: u64,
+}
+
+/// One redrive attempt's outcome.
+enum Once {
+    Completed(f64),
+    Terminal(u16, f64),
+    Retryable,
+    Transport,
+}
+
+/// Sequentially redrives the failed set with deterministic
+/// decorrelated-jitter backoff, reconnecting on transport failure.
+fn redrive(
+    config: &LoadgenConfig,
+    mix: &[AlgorithmId],
+    failed: Vec<FailedReq>,
+    tally: &Mutex<Tally>,
+) -> RedriveStats {
+    let mut stats = RedriveStats::default();
+    if failed.is_empty() {
+        return stats;
+    }
+    let backoff = Backoff {
+        base_ms: config.backoff_base_ms,
+        cap_ms: config.backoff_cap_ms,
+        seed: config.seed ^ RETRY_SALT,
+    };
+    let mix_len = mix.len() as u64;
+    let mut conn: Option<TcpStream> = None;
+    for req in failed {
+        let mut attempt = req.attempts;
+        let mut prev_delay = config.backoff_base_ms;
+        let mut settled = false;
+        while attempt < config.max_attempts {
+            let delay = backoff.delay_ms(prev_delay, (req.index << 4) | u64::from(attempt));
+            thread::sleep(Duration::from_millis(delay));
+            prev_delay = delay;
+            attempt += 1;
+            stats.retries += 1;
+            if conn.is_none() {
+                match TcpStream::connect(&config.addr) {
+                    Ok(stream) => {
+                        let _ = stream.set_nodelay(true);
+                        let _ = stream.set_read_timeout(Some(config.client_timeout));
+                        stats.reconnects += 1;
+                        conn = Some(stream);
+                    }
+                    Err(_) => continue,
+                }
+            }
+            let stream = conn.as_mut().expect("connection just ensured");
+            match try_once(stream, config, mix, req.index, tally) {
+                Once::Completed(latency_ms) => {
+                    resilience::lock_unpoisoned(tally)
+                        .record_completed(req.index, mix_len, latency_ms);
+                    settled = true;
+                }
+                Once::Terminal(code, latency_ms) => {
+                    resilience::lock_unpoisoned(tally).record_terminal(code, latency_ms);
+                    settled = true;
+                }
+                Once::Retryable => continue,
+                Once::Transport => {
+                    conn = None;
+                    continue;
+                }
+            }
+            break;
+        }
+        if !settled {
+            stats.gave_up += 1;
+        }
+    }
+    stats
+}
+
+/// One synchronous request/response exchange on the redrive connection.
+fn try_once(
+    stream: &mut TcpStream,
+    config: &LoadgenConfig,
+    mix: &[AlgorithmId],
+    index: u64,
+    tally: &Mutex<Tally>,
+) -> Once {
+    let request = build_request(config, mix, index);
+    let sent = Instant::now();
+    if wire::write_frame(stream, &wire::encode_request(index, &request)).is_err() {
+        return Once::Transport;
+    }
+    loop {
+        let Ok(Some(frame)) = wire::read_frame(stream) else { return Once::Transport };
+        if frame.req_id != index {
+            // A late or duplicated frame from a previous life of this
+            // connection; discard and keep reading.
+            resilience::lock_unpoisoned(tally).duplicates += 1;
+            continue;
+        }
+        let latency_ms = sent.elapsed().as_secs_f64() * 1e3;
+        return match wire::decode_response(&frame) {
+            Ok(Response::Sort(s)) if s.convergence == 0 => Once::Completed(latency_ms),
+            Ok(Response::Error { code, .. }) if code == CODE_QUEUE_FULL => Once::Retryable,
+            Ok(Response::Error { code, .. }) => Once::Terminal(code, latency_ms),
+            Ok(_) => Once::Terminal(crate::server::CODE_INTERNAL, latency_ms),
+            Err(_) => {
+                resilience::lock_unpoisoned(tally).protocol_errors += 1;
+                Once::Transport
+            }
+        };
+    }
+}
+
+/// Best-effort STATS probe; `None` when the server never answered.
+fn fetch_stats(config: &LoadgenConfig) -> Option<String> {
+    for _ in 0..3 {
+        if let Ok(mut probe) = TcpStream::connect(&config.addr) {
+            let _ = probe.set_read_timeout(Some(config.client_timeout));
+            if wire::write_frame(&mut probe, &wire::encode_request(u64::MAX, &Request::Stats))
+                .is_ok()
+            {
+                if let Ok(Response::Stats { json }) = read_response(&mut probe) {
+                    return Some(json);
+                }
+            }
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
+    None
+}
+
+/// Sends DRAIN until the server acknowledges it or stops listening
+/// (either way, it is going down).
+fn drain_server(config: &LoadgenConfig) {
+    for _ in 0..10 {
+        match TcpStream::connect(&config.addr) {
+            Ok(mut probe) => {
+                let _ = probe.set_read_timeout(Some(config.client_timeout));
+                if wire::write_frame(&mut probe, &wire::encode_request(u64::MAX, &Request::Drain))
+                    .is_ok()
+                    && matches!(read_response(&mut probe), Ok(Response::Draining))
+                {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => return,
+            Err(_) => {}
+        }
+        thread::sleep(Duration::from_millis(50));
+    }
 }
 
 fn read_response(stream: &mut TcpStream) -> io::Result<Response> {
@@ -324,8 +672,10 @@ fn read_response(stream: &mut TcpStream) -> io::Result<Response> {
     }
 }
 
-fn worker_panic() -> io::Error {
-    io::Error::other("loadgen worker panicked")
+/// Converts a worker thread's panic payload into an `io::Error` that
+/// carries the actual panic message instead of an opaque label.
+fn worker_panic(payload: &(dyn std::any::Any + Send)) -> io::Error {
+    io::Error::other(format!("loadgen worker panicked: {}", resilience::panic_message(payload)))
 }
 
 /// Pulls a bare numeric value for `key` out of flat JSON text.
@@ -425,6 +775,48 @@ mod tests {
         let json = "{\"a\": 1, \"plan_cache_hit_rate\": 0.9871, \"b\": {}}";
         assert_eq!(extract_f64(json, "plan_cache_hit_rate"), Some(0.9871));
         assert_eq!(extract_f64(json, "missing"), None);
+    }
+
+    #[test]
+    fn report_json_carries_resilience_accounting() {
+        let report = LoadgenReport {
+            requests: 10,
+            completed: 7,
+            errors: 2,
+            protocol_errors: 0,
+            retries: 5,
+            reconnects: 1,
+            gave_up: 1,
+            duplicates: 3,
+            errors_by_code: BTreeMap::from([(503, 1), (504, 1)]),
+            elapsed_secs: 1.0,
+            throughput: 7.0,
+            p50_ms: 1.0,
+            p99_ms: 2.0,
+            mean_ms: 1.2,
+            per_algorithm: [2, 2, 1, 1, 1],
+            plan_cache_hit_rate: 0.5,
+        };
+        assert_eq!(report.accounted(), 10, "completed + errors + gave_up");
+        let json = report.to_json();
+        assert!(json.contains("\"retries\": 5"), "{json}");
+        assert!(json.contains("\"gave_up\": 1"), "{json}");
+        assert!(json.contains("\"accounted\": 10"), "{json}");
+        assert!(json.contains("\"errors_by_code\": {\"503\": 1, \"504\": 1}"), "{json}");
+    }
+
+    #[test]
+    fn worker_panic_surfaces_the_payload() {
+        let caught = std::panic::catch_unwind(|| panic!("pending lock poisoned at j=17"))
+            .expect_err("must panic");
+        let err = worker_panic(&*caught);
+        assert!(err.to_string().contains("pending lock poisoned at j=17"), "payload lost: {err}");
+        let caught = std::panic::catch_unwind(|| {
+            let detail = String::from("formatted failure 42");
+            panic!("{detail}")
+        })
+        .expect_err("must panic");
+        assert!(worker_panic(&*caught).to_string().contains("formatted failure 42"));
     }
 
     #[test]

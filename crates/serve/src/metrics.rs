@@ -10,9 +10,10 @@
 //! dependency) for the `STATS` route, and [`Metrics::log_line`] gives
 //! the periodic one-line operator summary.
 
+use crate::resilience::lock_unpoisoned;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Latency histogram bucket count: bucket `i` covers
 /// `[√2^i, √2^(i+1))` microseconds, spanning 1 µs to ~16 s.
@@ -177,6 +178,15 @@ pub struct Metrics {
     protocol_errors: AtomicU64,
     /// Connections accepted over the lifetime.
     connections: AtomicU64,
+    /// Batch-engine panics caught and converted to error responses.
+    panics_quarantined: AtomicU64,
+    /// Requests shed because their deadline expired while queued.
+    deadline_shed: AtomicU64,
+    /// Connections dropped because the peer stalled mid-frame.
+    stalled_disconnects: AtomicU64,
+    /// Measured drain latency (drain signal → full worker-tree join),
+    /// microseconds; 0 until a drain completes.
+    drain_latency_us: AtomicU64,
 }
 
 impl Metrics {
@@ -190,12 +200,16 @@ impl Metrics {
             rejected: AtomicU64::new(0),
             protocol_errors: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            panics_quarantined: AtomicU64::new(0),
+            deadline_shed: AtomicU64::new(0),
+            stalled_disconnects: AtomicU64::new(0),
+            drain_latency_us: AtomicU64::new(0),
         }
     }
 
     /// Records a completed request on `route` with its latency.
     pub fn record(&self, route: Route, latency_us: u64, ok: bool) {
-        let mut stats = self.routes[route.index()].lock().expect("metrics lock");
+        let mut stats = lock_unpoisoned(&self.routes[route.index()]);
         if ok {
             stats.completed += 1;
         } else {
@@ -207,7 +221,7 @@ impl Metrics {
     /// Records one executed batch: how many grids it coalesced and
     /// whether its plan key was already warm in the cache.
     pub fn record_batch(&self, occupancy: usize, plan_hit: bool) {
-        let mut b = self.batch.lock().expect("metrics lock");
+        let mut b = lock_unpoisoned(&self.batch);
         b.batches += 1;
         b.grids += occupancy as u64;
         b.occupancy_sum += occupancy as u64;
@@ -249,18 +263,57 @@ impl Metrics {
         self.connections.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Counts one quarantined batch-engine panic.
+    pub fn record_panic_quarantined(&self) {
+        self.panics_quarantined.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Quarantined panics so far.
+    pub fn panics_quarantined(&self) -> u64 {
+        self.panics_quarantined.load(Ordering::Relaxed)
+    }
+
+    /// Counts one request shed past its deadline.
+    pub fn record_deadline_shed(&self) {
+        self.deadline_shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Deadline-shed requests so far.
+    pub fn deadline_shed(&self) -> u64 {
+        self.deadline_shed.load(Ordering::Relaxed)
+    }
+
+    /// Counts one stalled-peer disconnect.
+    pub fn record_stalled_disconnect(&self) {
+        self.stalled_disconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Stalled-peer disconnects so far.
+    pub fn stalled_disconnects(&self) -> u64 {
+        self.stalled_disconnects.load(Ordering::Relaxed)
+    }
+
+    /// Records the measured drain latency once the worker tree joined.
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn record_drain_latency(&self, latency: Duration) {
+        self.drain_latency_us.store(latency.as_micros() as u64, Ordering::Relaxed);
+    }
+
+    /// Measured drain latency in microseconds (0 until a drain
+    /// completes).
+    pub fn drain_latency_us(&self) -> u64 {
+        self.drain_latency_us.load(Ordering::Relaxed)
+    }
+
     /// Total completed requests across routes.
     pub fn total_completed(&self) -> u64 {
-        Route::ALL
-            .iter()
-            .map(|r| self.routes[r.index()].lock().expect("metrics lock").completed)
-            .sum()
+        Route::ALL.iter().map(|r| lock_unpoisoned(&self.routes[r.index()]).completed).sum()
     }
 
     /// Plan-cache hit rate over executed batches, in `[0, 1]`
     /// (1.0 when no batch has run yet).
     pub fn plan_cache_hit_rate(&self) -> f64 {
-        let b = self.batch.lock().expect("metrics lock");
+        let b = lock_unpoisoned(&self.batch);
         let total = b.plan_hits + b.plan_misses;
         if total == 0 {
             return 1.0;
@@ -275,7 +328,7 @@ impl Metrics {
     pub fn snapshot_json(&self) -> String {
         let mut routes = String::new();
         for route in Route::ALL {
-            let s = self.routes[route.index()].lock().expect("metrics lock");
+            let s = lock_unpoisoned(&self.routes[route.index()]);
             if !routes.is_empty() {
                 routes.push_str(", ");
             }
@@ -289,7 +342,7 @@ impl Metrics {
                 s.latency.mean_us(),
             ));
         }
-        let b = self.batch.lock().expect("metrics lock");
+        let b = lock_unpoisoned(&self.batch);
         #[allow(clippy::cast_precision_loss)]
         let mean_occupancy =
             if b.batches == 0 { 0.0 } else { b.occupancy_sum as f64 / b.batches as f64 };
@@ -305,12 +358,16 @@ impl Metrics {
             }
         };
         format!(
-            "{{\"uptime_secs\": {:.1}, \"connections\": {}, \"queue_depth\": {}, \"rejected\": {}, \"protocol_errors\": {}, \"routes\": {{{}}}, \"batches\": {{\"count\": {}, \"grids\": {}, \"mean_occupancy\": {:.2}, \"max_occupancy\": {}, \"plan_cache_hits\": {}, \"plan_cache_misses\": {}, \"plan_cache_hit_rate\": {:.4}}}}}",
+            "{{\"uptime_secs\": {:.1}, \"connections\": {}, \"queue_depth\": {}, \"rejected\": {}, \"protocol_errors\": {}, \"panics_quarantined\": {}, \"deadline_shed\": {}, \"stalled_disconnects\": {}, \"drain_latency_us\": {}, \"routes\": {{{}}}, \"batches\": {{\"count\": {}, \"grids\": {}, \"mean_occupancy\": {:.2}, \"max_occupancy\": {}, \"plan_cache_hits\": {}, \"plan_cache_misses\": {}, \"plan_cache_hit_rate\": {:.4}}}}}",
             self.started.elapsed().as_secs_f64(),
             self.connections.load(Ordering::Relaxed),
             self.queue_depth(),
             self.rejected.load(Ordering::Relaxed),
             self.protocol_errors.load(Ordering::Relaxed),
+            self.panics_quarantined(),
+            self.deadline_shed(),
+            self.stalled_disconnects(),
+            self.drain_latency_us(),
             routes,
             b.batches,
             b.grids,
@@ -324,13 +381,13 @@ impl Metrics {
 
     /// One-line operator summary for the periodic log.
     pub fn log_line(&self) -> String {
-        let sort = self.routes[Route::Sort.index()].lock().expect("metrics lock");
-        let b = self.batch.lock().expect("metrics lock");
+        let sort = lock_unpoisoned(&self.routes[Route::Sort.index()]);
+        let b = lock_unpoisoned(&self.batch);
         #[allow(clippy::cast_precision_loss)]
         let mean_occupancy =
             if b.batches == 0 { 0.0 } else { b.occupancy_sum as f64 / b.batches as f64 };
         format!(
-            "meshsortd: sorted={} errors={} p50={:.0}us p99={:.0}us depth={} batches={} occ={:.1} rejected={} proto_err={}",
+            "meshsortd: sorted={} errors={} p50={:.0}us p99={:.0}us depth={} batches={} occ={:.1} rejected={} proto_err={} shed={} panics={} stalled={}",
             sort.completed,
             sort.errors,
             sort.latency.quantile_us(0.50),
@@ -340,6 +397,9 @@ impl Metrics {
             mean_occupancy,
             self.rejected.load(Ordering::Relaxed),
             self.protocol_errors.load(Ordering::Relaxed),
+            self.deadline_shed(),
+            self.panics_quarantined(),
+            self.stalled_disconnects(),
         )
     }
 }
@@ -393,6 +453,27 @@ mod tests {
         assert!(json.contains("\"grids\": 20"), "{json}");
         assert!((m.plan_cache_hit_rate() - 2.0 / 3.0).abs() < 1e-9);
         assert_eq!(m.total_completed(), 2);
+    }
+
+    #[test]
+    fn resilience_counters_flow_into_snapshot_and_log_line() {
+        let m = Metrics::new();
+        m.record_panic_quarantined();
+        m.record_deadline_shed();
+        m.record_deadline_shed();
+        m.record_stalled_disconnect();
+        m.record_drain_latency(Duration::from_micros(1234));
+        assert_eq!(m.panics_quarantined(), 1);
+        assert_eq!(m.deadline_shed(), 2);
+        assert_eq!(m.stalled_disconnects(), 1);
+        assert_eq!(m.drain_latency_us(), 1234);
+        let json = m.snapshot_json();
+        assert!(json.contains("\"panics_quarantined\": 1"), "{json}");
+        assert!(json.contains("\"deadline_shed\": 2"), "{json}");
+        assert!(json.contains("\"stalled_disconnects\": 1"), "{json}");
+        assert!(json.contains("\"drain_latency_us\": 1234"), "{json}");
+        let line = m.log_line();
+        assert!(line.contains("shed=2") && line.contains("panics=1"), "{line}");
     }
 
     #[test]

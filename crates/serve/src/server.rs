@@ -24,23 +24,38 @@
 //! the binary wires to stdin EOF): stop accepting, unblock idle
 //! handlers, let in-flight requests finish, then the queues close and
 //! every worker exits. [`ServerHandle::wait`] joins the whole tree.
+//! The drain signal travels through a condvar-backed
+//! [`resilience::ShutdownGate`], so nothing sleep-polls: accept loop,
+//! logger, and handlers all wake within one gate tick, and the measured
+//! signal→join latency lands in the metrics.
+//!
+//! Resilience (see `resilience.rs`): every handler socket carries
+//! read/write timeouts, peers that stall mid-frame are disconnected,
+//! requests whose `deadline_ms` expired while queued are shed with code
+//! 504 before any engine work, and each batch-engine call runs under
+//! `catch_unwind` — a poison request produces an ERROR frame (code
+//! [`CODE_PANIC`]) and a `panics_quarantined` tick, not a dead batcher.
 
 use crate::metrics::{Metrics, Route};
+use crate::resilience::{self, Deadline, FrameOutcome, ShutdownGate};
 use crate::wire::{self, ChaosRequest, Request, Response, SortRequest, SortResponse};
 use meshsort_core::{optimized_for, static_bound_for, AlgorithmId, Budget, Error, SortJob};
 use meshsort_mesh::{FaultSpec, Grid};
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::io;
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 /// Status code for internal failures (a worker vanished mid-request);
 /// distinct from every [`Error::code`] and [`wire::WireError::code`].
 pub const CODE_INTERNAL: u16 = 500;
+
+/// Status code for a request whose batch-engine call panicked and was
+/// quarantined; the message carries the panic payload.
+pub const CODE_PANIC: u16 = 501;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -53,21 +68,48 @@ pub struct ServerConfig {
     pub max_batch: usize,
     /// Period of the one-line operator log on stderr (`None` = silent).
     pub log_interval: Option<Duration>,
+    /// Socket read-timeout tick: a peer that starts a frame and then
+    /// sends nothing for a full tick is disconnected as stalled. Idle
+    /// peers (no frame started) are unaffected unless `idle_timeout`
+    /// says otherwise.
+    pub read_timeout: Duration,
+    /// Socket write timeout: a peer that will not drain its responses
+    /// for this long is disconnected instead of pinning the handler.
+    pub write_timeout: Duration,
+    /// Disconnect peers idle (between frames) this long; `None` keeps
+    /// idle connections open indefinitely.
+    pub idle_timeout: Option<Duration>,
+    /// Deterministic fail point: panic the batch engine on the request
+    /// with this id. Integration tests use it to prove panic quarantine
+    /// on a live server; production leaves it `None`.
+    pub fail_req_id: Option<u64>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { queue_capacity: 1024, chaos_capacity: 64, max_batch: 64, log_interval: None }
+        ServerConfig {
+            queue_capacity: 1024,
+            chaos_capacity: 64,
+            max_batch: 64,
+            log_interval: None,
+            read_timeout: Duration::from_secs(2),
+            write_timeout: Duration::from_secs(10),
+            idle_timeout: None,
+            fail_req_id: None,
+        }
     }
 }
 
 struct SortWork {
     req: SortRequest,
+    req_id: u64,
+    deadline: Deadline,
     reply: SyncSender<Response>,
 }
 
 struct ChaosWork {
     req: ChaosRequest,
+    deadline: Deadline,
     reply: SyncSender<Response>,
 }
 
@@ -81,52 +123,11 @@ struct Queues {
     chaos_capacity: usize,
 }
 
-/// Drain coordination: the flag workers poll plus the registry of live
-/// streams whose read halves get shut down to unblock idle handlers.
-struct DrainControl {
-    flag: AtomicBool,
-    streams: Mutex<HashMap<usize, TcpStream>>,
-    next_id: AtomicUsize,
-}
-
-impl DrainControl {
-    fn new() -> Self {
-        DrainControl {
-            flag: AtomicBool::new(false),
-            streams: Mutex::new(HashMap::new()),
-            next_id: AtomicUsize::new(0),
-        }
-    }
-
-    fn register(&self, stream: &TcpStream) -> usize {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        if let Ok(clone) = stream.try_clone() {
-            self.streams.lock().expect("drain lock").insert(id, clone);
-        }
-        id
-    }
-
-    fn unregister(&self, id: usize) {
-        self.streams.lock().expect("drain lock").remove(&id);
-    }
-
-    fn begin(&self) {
-        self.flag.store(true, Ordering::SeqCst);
-        for stream in self.streams.lock().expect("drain lock").values() {
-            let _ = stream.shutdown(Shutdown::Read);
-        }
-    }
-
-    fn draining(&self) -> bool {
-        self.flag.load(Ordering::SeqCst)
-    }
-}
-
 /// A running server. Dropping the handle does NOT stop the server; call
 /// [`ServerHandle::request_drain`] then [`ServerHandle::wait`].
 pub struct ServerHandle {
     addr: SocketAddr,
-    drain: Arc<DrainControl>,
+    drain: Arc<ShutdownGate>,
     metrics: Arc<Metrics>,
     main: Option<JoinHandle<()>>,
 }
@@ -142,7 +143,7 @@ impl ServerHandle {
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
         let metrics = Arc::new(Metrics::new());
-        let drain = Arc::new(DrainControl::new());
+        let drain = Arc::new(ShutdownGate::new());
 
         let (sort_tx, sort_rx) = mpsc::sync_channel::<SortWork>(config.queue_capacity);
         let (chaos_tx, chaos_rx) = mpsc::sync_channel::<ChaosWork>(config.chaos_capacity);
@@ -156,9 +157,13 @@ impl ServerHandle {
         let batcher = {
             let metrics = Arc::clone(&metrics);
             let max_batch = config.max_batch.max(1);
-            thread::spawn(move || batcher_loop(&sort_rx, &metrics, max_batch))
+            let fail_req_id = config.fail_req_id;
+            thread::spawn(move || batcher_loop(&sort_rx, &metrics, max_batch, fail_req_id))
         };
-        let chaos_worker = thread::spawn(move || chaos_loop(&chaos_rx));
+        let chaos_worker = {
+            let metrics = Arc::clone(&metrics);
+            thread::spawn(move || chaos_loop(&chaos_rx, &metrics))
+        };
         let logger = config.log_interval.map(|interval| {
             let metrics = Arc::clone(&metrics);
             let drain = Arc::clone(&drain);
@@ -169,7 +174,7 @@ impl ServerHandle {
             let metrics = Arc::clone(&metrics);
             let drain = Arc::clone(&drain);
             thread::spawn(move || {
-                accept_loop(&listener, &queues, &metrics, &drain);
+                accept_loop(&listener, &queues, &metrics, &drain, &config);
                 // The accept loop has exited and joined every handler.
                 // Dropping the original senders disconnects the queues,
                 // so each worker finishes whatever was already admitted
@@ -179,6 +184,11 @@ impl ServerHandle {
                 let _ = chaos_worker.join();
                 if let Some(logger) = logger {
                     let _ = logger.join();
+                }
+                // The whole worker tree is down: this is the measured
+                // drain latency (signal → last join).
+                if let Some(elapsed) = drain.began_elapsed() {
+                    metrics.record_drain_latency(elapsed);
                 }
             })
         };
@@ -204,7 +214,7 @@ impl ServerHandle {
 
     /// Whether drain has begun.
     pub fn is_draining(&self) -> bool {
-        self.drain.draining()
+        self.drain.is_signaled()
     }
 
     /// A detached callable that begins drain — hand it to a watcher
@@ -229,25 +239,34 @@ fn accept_loop(
     listener: &TcpListener,
     queues: &Queues,
     metrics: &Arc<Metrics>,
-    drain: &Arc<DrainControl>,
+    drain: &Arc<ShutdownGate>,
+    config: &ServerConfig,
 ) {
     let mut handlers: Vec<JoinHandle<()>> = Vec::new();
-    while !drain.draining() {
+    loop {
         match listener.accept() {
             Ok((stream, _)) => {
                 metrics.record_connection();
                 let queues = queues.clone();
                 let metrics = Arc::clone(metrics);
-                let drain = Arc::clone(drain);
+                let conn_drain = Arc::clone(drain);
+                let config = config.clone();
                 handlers.push(thread::spawn(move || {
-                    handle_connection(stream, &queues, &metrics, &drain);
+                    handle_connection(stream, &queues, &metrics, &conn_drain, &config);
                 }));
                 // Reap finished handlers so a long-lived server does not
                 // accumulate one parked JoinHandle per past connection.
                 handlers.retain(|h| !h.is_finished());
+                if drain.is_signaled() {
+                    break;
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                thread::sleep(Duration::from_millis(5));
+                // Condvar-bounded: a drain signal wakes this immediately
+                // instead of waiting out a sleep.
+                if drain.wait_timeout(Duration::from_millis(5)) {
+                    break;
+                }
             }
             Err(_) => break,
         }
@@ -261,19 +280,34 @@ fn handle_connection(
     mut stream: TcpStream,
     queues: &Queues,
     metrics: &Arc<Metrics>,
-    drain: &Arc<DrainControl>,
+    drain: &Arc<ShutdownGate>,
+    config: &ServerConfig,
 ) {
     let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
     let id = drain.register(&stream);
     loop {
-        let frame = match wire::read_frame(&mut stream) {
-            Ok(Some(frame)) => frame,
-            Ok(None) => break,
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                // Malformed length prefix or header: the stream can no
-                // longer be re-framed, so answer once and hang up.
+        let outcome = resilience::read_frame_gated(
+            &mut stream,
+            drain,
+            config.read_timeout,
+            config.idle_timeout,
+        );
+        let frame = match outcome {
+            Ok(FrameOutcome::Frame(frame)) => frame,
+            Ok(FrameOutcome::Eof | FrameOutcome::Shutdown | FrameOutcome::IdleExpired) => break,
+            Ok(FrameOutcome::Stalled) => {
+                // Mid-frame silence for a full read-timeout tick: drop
+                // the peer instead of pinning this thread forever.
+                metrics.record_stalled_disconnect();
+                break;
+            }
+            Ok(FrameOutcome::Malformed(e)) => {
+                // The stream can no longer be re-framed: answer once
+                // with the typed wire error, then hang up.
                 metrics.record_protocol_error();
-                let resp = Response::Error { code: 905, message: e.to_string() };
+                let resp = Response::Error { code: e.code(), message: e.to_string() };
                 let _ = wire::write_frame(
                     &mut stream,
                     &wire::encode_response(wire::KIND_ERROR, 0, &resp),
@@ -283,7 +317,7 @@ fn handle_connection(
             Err(_) => break,
         };
         let keep_going = dispatch(&mut stream, &frame, queues, metrics, drain);
-        if !keep_going || drain.draining() {
+        if !keep_going || drain.is_signaled() {
             break;
         }
     }
@@ -297,7 +331,7 @@ fn dispatch(
     frame: &wire::Frame,
     queues: &Queues,
     metrics: &Arc<Metrics>,
-    drain: &Arc<DrainControl>,
+    drain: &Arc<ShutdownGate>,
 ) -> bool {
     let started = Instant::now();
     let request = match wire::decode_request(frame) {
@@ -338,7 +372,13 @@ fn dispatch(
         }
         Request::Sort(req) => {
             let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-            let resp = match queues.sort_tx.try_send(SortWork { req, reply: reply_tx }) {
+            let work = SortWork {
+                deadline: Deadline::from_wire(req.deadline_ms),
+                req,
+                req_id: frame.req_id,
+                reply: reply_tx,
+            };
+            let resp = match queues.sort_tx.try_send(work) {
                 Ok(()) => {
                     metrics.queue_enter();
                     let resp = reply_rx.recv().unwrap_or_else(|_| internal_error());
@@ -359,7 +399,9 @@ fn dispatch(
         }
         Request::Chaos(req) => {
             let (reply_tx, reply_rx) = mpsc::sync_channel(1);
-            let resp = match queues.chaos_tx.try_send(ChaosWork { req, reply: reply_tx }) {
+            let work =
+                ChaosWork { deadline: Deadline::from_wire(req.deadline_ms), req, reply: reply_tx };
+            let resp = match queues.chaos_tx.try_send(work) {
                 Ok(()) => reply_rx.recv().unwrap_or_else(|_| internal_error()),
                 Err(TrySendError::Full(_)) => {
                     metrics.record_rejected();
@@ -404,9 +446,15 @@ fn analyze(algorithm: AlgorithmId, side: usize) -> Response {
     }
 }
 
-/// One batcher pass: drain greedily, group by plan compatibility, run
-/// each group through a single batched job.
-fn batcher_loop(rx: &Receiver<SortWork>, metrics: &Arc<Metrics>, max_batch: usize) {
+/// One batcher pass: drain greedily, shed work already past its
+/// deadline, group the rest by plan compatibility, run each group
+/// through a single batched job.
+fn batcher_loop(
+    rx: &Receiver<SortWork>,
+    metrics: &Arc<Metrics>,
+    max_batch: usize,
+    fail_req_id: Option<u64>,
+) {
     let mut warm: HashSet<(AlgorithmId, u16, bool)> = HashSet::new();
     while let Ok(first) = rx.recv() {
         let mut works = vec![first];
@@ -416,6 +464,16 @@ fn batcher_loop(rx: &Receiver<SortWork>, metrics: &Arc<Metrics>, max_batch: usiz
                 Err(_) => break,
             }
         }
+        // Deadline admission: anything that expired while queued is shed
+        // before it costs a single comparator evaluation.
+        works.retain(|work| {
+            if !work.deadline.expired() {
+                return true;
+            }
+            metrics.record_deadline_shed();
+            let _ = work.reply.send(deadline_error(&work.deadline));
+            false
+        });
         type GroupKey = (AlgorithmId, u16, bool, Budget);
         let mut groups: Vec<(GroupKey, Vec<SortWork>)> = Vec::new();
         for work in works {
@@ -426,11 +484,29 @@ fn batcher_loop(rx: &Receiver<SortWork>, metrics: &Arc<Metrics>, max_batch: usiz
             }
         }
         for ((algorithm, side, optimized, budget), group) in groups {
-            run_sort_group(algorithm, side, optimized, budget, group, &mut warm, metrics);
+            run_sort_group(
+                algorithm,
+                side,
+                optimized,
+                budget,
+                group,
+                &mut warm,
+                metrics,
+                fail_req_id,
+            );
         }
     }
 }
 
+fn deadline_error(deadline: &Deadline) -> Response {
+    let err = Error::DeadlineExceeded {
+        deadline_ms: deadline.budget_ms(),
+        waited_ms: deadline.waited_ms(),
+    };
+    Response::Error { code: err.code(), message: err.to_string() }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_sort_group(
     algorithm: AlgorithmId,
     side: u16,
@@ -439,6 +515,7 @@ fn run_sort_group(
     group: Vec<SortWork>,
     warm: &mut HashSet<(AlgorithmId, u16, bool)>,
     metrics: &Arc<Metrics>,
+    fail_req_id: Option<u64>,
 ) {
     let hit = !warm.insert((algorithm, side, optimized));
     metrics.record_batch(group.len(), hit);
@@ -463,8 +540,19 @@ fn run_sort_group(
     }
 
     let job = SortJob::new(algorithm, usize::from(side)).optimized(optimized).budget(budget);
-    match job.run_batch(&mut grids) {
-        Ok(runs) => {
+    // Panic quarantine: a poison request must produce an error frame and
+    // a metric, not a dead batcher. The grids the closure half-updated
+    // are discarded with the batch on the panic path.
+    let outcome = resilience::quarantined(|| {
+        if let Some(poison) = fail_req_id {
+            if admitted.iter().any(|work| work.req_id == poison) {
+                panic!("injected batcher fail point at req {poison}");
+            }
+        }
+        job.run_batch(&mut grids)
+    });
+    match outcome {
+        Ok(Ok(runs)) => {
             for ((run, grid), work) in runs.iter().zip(&grids).zip(&admitted) {
                 let resp = Response::Sort(SortResponse {
                     convergence: wire::convergence_label(&run.convergence),
@@ -478,8 +566,18 @@ fn run_sort_group(
                 let _ = work.reply.send(resp);
             }
         }
-        Err(e) => {
+        Ok(Err(e)) => {
             let resp = Response::Error { code: e.code(), message: e.to_string() };
+            for work in &admitted {
+                let _ = work.reply.send(resp.clone());
+            }
+        }
+        Err(panic_msg) => {
+            metrics.record_panic_quarantined();
+            let resp = Response::Error {
+                code: CODE_PANIC,
+                message: format!("batch quarantined after engine panic: {panic_msg}"),
+            };
             for work in &admitted {
                 let _ = work.reply.send(resp.clone());
             }
@@ -487,9 +585,20 @@ fn run_sort_group(
     }
 }
 
-fn chaos_loop(rx: &Receiver<ChaosWork>) {
+fn chaos_loop(rx: &Receiver<ChaosWork>, metrics: &Arc<Metrics>) {
     while let Ok(work) = rx.recv() {
-        let resp = run_chaos(&work.req);
+        if work.deadline.expired() {
+            metrics.record_deadline_shed();
+            let _ = work.reply.send(deadline_error(&work.deadline));
+            continue;
+        }
+        let resp = resilience::quarantined(|| run_chaos(&work.req)).unwrap_or_else(|panic_msg| {
+            metrics.record_panic_quarantined();
+            Response::Error {
+                code: CODE_PANIC,
+                message: format!("chaos run quarantined after engine panic: {panic_msg}"),
+            }
+        });
         let _ = work.reply.send(resp);
     }
 }
@@ -523,14 +632,12 @@ fn run_chaos(req: &ChaosRequest) -> Response {
     }
 }
 
-fn log_loop(metrics: &Arc<Metrics>, drain: &Arc<DrainControl>, interval: Duration) {
-    let mut last = Instant::now();
-    while !drain.draining() {
-        thread::sleep(Duration::from_millis(100));
-        if last.elapsed() >= interval {
-            eprintln!("{}", metrics.log_line());
-            last = Instant::now();
-        }
+fn log_loop(metrics: &Arc<Metrics>, drain: &Arc<ShutdownGate>, interval: Duration) {
+    // The gate doubles as the timer: a full interval elapses (log a
+    // line) or the drain signal arrives (final line, exit) — no
+    // fixed-period polling in between.
+    while !drain.wait_timeout(interval) {
+        eprintln!("{}", metrics.log_line());
     }
     eprintln!("{}", metrics.log_line());
 }

@@ -4,7 +4,7 @@
 //! Every frame is
 //!
 //! ```text
-//! [len: u32 LE] [magic: u16 = the bytes "MS"] [version: u8 = 1]
+//! [len: u32 LE] [magic: u16 = the bytes "MS"] [version: u8 = 2]
 //! [kind: u8] [req_id: u64 LE] [payload: len - 12 bytes]
 //! ```
 //!
@@ -13,12 +13,18 @@
 //! payload is read, so a malicious length prefix cannot balloon memory.
 //!
 //! Requests (`kind < 0x80`): `SORT` carries a serialized job — algorithm,
-//! side, engine-relevant flags, budget, and the grid cells; `ANALYZE` and
-//! `CHAOS` carry `(algorithm, side)` plus route-specific knobs; `STATS`,
-//! `PING`, and `DRAIN` are empty. Responses echo the request kind with
-//! the high bit set and lead with a `status: u16` — `0` for success,
-//! otherwise a stable [`meshsort_core::Error::code`] / [`WireError::code`]
-//! discriminant followed by a UTF-8 message.
+//! side, engine-relevant flags, budget, a deadline, and the grid cells;
+//! `ANALYZE` and `CHAOS` carry `(algorithm, side)` plus route-specific
+//! knobs; `STATS`, `PING`, and `DRAIN` are empty. Responses echo the
+//! request kind with the high bit set and lead with a `status: u16` —
+//! `0` for success, otherwise a stable [`meshsort_core::Error::code`] /
+//! [`WireError::code`] discriminant followed by a UTF-8 message.
+//!
+//! Version history: v1 had no deadline field; v2 adds `deadline_ms: u32`
+//! to `SORT` and `CHAOS` payloads (after the budget / fault knobs,
+//! before the cell count; `0` = no deadline). Decoding accepts both —
+//! a v1 frame simply carries no deadline — so old clients keep working
+//! against a v2 server.
 //!
 //! Decoding is strict: bad magic, an unknown version or kind, truncated
 //! payloads, and trailing bytes are all distinct [`WireError`]s
@@ -29,8 +35,11 @@ use meshsort_core::{AlgorithmId, Budget};
 
 /// Frame magic: the bytes `"MS"` as they appear on the wire.
 pub const MAGIC: u16 = u16::from_le_bytes(*b"MS");
-/// Protocol version this build speaks.
-pub const VERSION: u8 = 1;
+/// Protocol version this build emits.
+pub const VERSION: u8 = 2;
+/// The previous protocol version, still accepted on decode: identical to
+/// v2 except `SORT`/`CHAOS` payloads carry no `deadline_ms` field.
+pub const VERSION_V1: u8 = 1;
 /// Hard cap on a frame's declared length (bytes after the prefix): a
 /// side-1024 grid of `u32`s plus headroom.
 pub const MAX_FRAME: u32 = 8 * 1024 * 1024;
@@ -126,6 +135,9 @@ impl std::error::Error for WireError {}
 /// One decoded frame header plus its payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
+    /// Protocol version the frame was encoded with ([`VERSION_V1`] or
+    /// [`VERSION`]); version-gated payload fields decode accordingly.
+    pub version: u8,
     /// Frame kind byte.
     pub kind: u8,
     /// Client-chosen request correlation id, echoed in the response.
@@ -149,6 +161,10 @@ pub struct SortRequest {
     pub echo_grid: bool,
     /// Step budget.
     pub budget: Budget,
+    /// Per-request deadline in milliseconds, measured from server
+    /// receipt (`0` = none). Requests still queued past their deadline
+    /// are shed with `DeadlineExceeded` (code 504) instead of run.
+    pub deadline_ms: u32,
     /// Row-major flat cells, `side²` of them.
     pub cells: Vec<u32>,
 }
@@ -164,6 +180,9 @@ pub struct ChaosRequest {
     pub seed: u64,
     /// Transient drop rate in parts per million.
     pub drop_rate_ppm: u32,
+    /// Per-request deadline in milliseconds, measured from server
+    /// receipt (`0` = none).
+    pub deadline_ms: u32,
     /// Row-major flat cells, `side²` of them.
     pub cells: Vec<u32>,
 }
@@ -404,13 +423,20 @@ fn read_budget(r: &mut Reader<'_>) -> Result<Budget, WireError> {
 // Frame layer
 // ---------------------------------------------------------------------------
 
-/// Encodes a complete frame (length prefix included).
+/// Encodes a complete frame (length prefix included) at [`VERSION`].
 pub fn encode_frame(kind: u8, req_id: u64, payload: &[u8]) -> Vec<u8> {
+    encode_frame_versioned(VERSION, kind, req_id, payload)
+}
+
+/// Encodes a complete frame at an explicit protocol version. Back-compat
+/// tests (and clients pinned to v1) use this; everything else goes
+/// through [`encode_frame`].
+pub fn encode_frame_versioned(version: u8, kind: u8, req_id: u64, payload: &[u8]) -> Vec<u8> {
     let len = (HEADER_LEN + payload.len()) as u32;
     let mut buf = Vec::with_capacity(4 + len as usize);
     push_u32(&mut buf, len);
     push_u16(&mut buf, MAGIC);
-    buf.push(VERSION);
+    buf.push(version);
     buf.push(kind);
     push_u64(&mut buf, req_id);
     buf.extend_from_slice(payload);
@@ -419,7 +445,7 @@ pub fn encode_frame(kind: u8, req_id: u64, payload: &[u8]) -> Vec<u8> {
 
 /// Decodes the bytes after the length prefix into a [`Frame`]. The
 /// caller has already read exactly `len` bytes; this validates magic,
-/// version, and known-kind.
+/// version (v1 and v2 both decode), and known-kind.
 pub fn decode_frame(body: &[u8]) -> Result<Frame, WireError> {
     let mut r = Reader::new(body);
     let magic = r.u16()?;
@@ -427,7 +453,7 @@ pub fn decode_frame(body: &[u8]) -> Result<Frame, WireError> {
         return Err(WireError::BadMagic(magic));
     }
     let version = r.u8()?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V1 {
         return Err(WireError::BadVersion(version));
     }
     let kind = r.u8()?;
@@ -438,7 +464,7 @@ pub fn decode_frame(body: &[u8]) -> Result<Frame, WireError> {
         return Err(WireError::UnknownKind(kind));
     }
     let req_id = r.u64()?;
-    Ok(Frame { kind, req_id, payload: body[r.pos..].to_vec() })
+    Ok(Frame { version, kind, req_id, payload: body[r.pos..].to_vec() })
 }
 
 /// Validates a frame's declared length before its body is read.
@@ -453,8 +479,15 @@ pub fn check_frame_len(len: u32) -> Result<usize, WireError> {
 // Request encode/decode
 // ---------------------------------------------------------------------------
 
-/// Encodes a request as a complete frame.
+/// Encodes a request as a complete frame at [`VERSION`].
 pub fn encode_request(req_id: u64, request: &Request) -> Vec<u8> {
+    encode_request_versioned(VERSION, req_id, request)
+}
+
+/// Encodes a request at an explicit protocol version. A v1 frame drops
+/// the `deadline_ms` field (v1 had none); a v2 server decodes it with
+/// deadline `0`.
+pub fn encode_request_versioned(version: u8, req_id: u64, request: &Request) -> Vec<u8> {
     let mut p = Vec::new();
     let kind = match request {
         Request::Sort(s) => {
@@ -462,6 +495,9 @@ pub fn encode_request(req_id: u64, request: &Request) -> Vec<u8> {
             push_u16(&mut p, s.side);
             p.push(u8::from(s.optimized) | (u8::from(s.echo_grid) << 1));
             push_budget(&mut p, s.budget);
+            if version >= VERSION {
+                push_u32(&mut p, s.deadline_ms);
+            }
             push_u32(&mut p, s.cells.len() as u32);
             push_cells(&mut p, &s.cells);
             KIND_SORT
@@ -476,6 +512,9 @@ pub fn encode_request(req_id: u64, request: &Request) -> Vec<u8> {
             push_u16(&mut p, c.side);
             push_u64(&mut p, c.seed);
             push_u32(&mut p, c.drop_rate_ppm);
+            if version >= VERSION {
+                push_u32(&mut p, c.deadline_ms);
+            }
             push_u32(&mut p, c.cells.len() as u32);
             push_cells(&mut p, &c.cells);
             KIND_CHAOS
@@ -484,7 +523,7 @@ pub fn encode_request(req_id: u64, request: &Request) -> Vec<u8> {
         Request::Ping => KIND_PING,
         Request::Drain => KIND_DRAIN,
     };
-    encode_frame(kind, req_id, &p)
+    encode_frame_versioned(version, kind, req_id, &p)
 }
 
 /// Decodes a request frame's payload by kind.
@@ -496,6 +535,7 @@ pub fn decode_request(frame: &Frame) -> Result<Request, WireError> {
             let side = r.u16()?;
             let flags = r.u8()?;
             let budget = read_budget(&mut r)?;
+            let deadline_ms = if frame.version >= VERSION { r.u32()? } else { 0 };
             let count = r.u32()? as usize;
             if count != usize::from(side) * usize::from(side) {
                 return Err(WireError::BadField("cell count != side²"));
@@ -507,6 +547,7 @@ pub fn decode_request(frame: &Frame) -> Result<Request, WireError> {
                 optimized: flags & 1 != 0,
                 echo_grid: flags & 2 != 0,
                 budget,
+                deadline_ms,
                 cells,
             })
         }
@@ -518,12 +559,20 @@ pub fn decode_request(frame: &Frame) -> Result<Request, WireError> {
             let side = r.u16()?;
             let seed = r.u64()?;
             let drop_rate_ppm = r.u32()?;
+            let deadline_ms = if frame.version >= VERSION { r.u32()? } else { 0 };
             let count = r.u32()? as usize;
             if count != usize::from(side) * usize::from(side) {
                 return Err(WireError::BadField("cell count != side²"));
             }
             let cells = r.cells(count)?;
-            Request::Chaos(ChaosRequest { algorithm, side, seed, drop_rate_ppm, cells })
+            Request::Chaos(ChaosRequest {
+                algorithm,
+                side,
+                seed,
+                drop_rate_ppm,
+                deadline_ms,
+                cells,
+            })
         }
         KIND_STATS => Request::Stats,
         KIND_PING => Request::Ping,
@@ -709,7 +758,33 @@ mod tests {
     fn frame_round_trip() {
         let frame = encode_frame(KIND_PING, 42, &[]);
         let decoded = decode_frame(&frame[4..]).unwrap();
-        assert_eq!(decoded, Frame { kind: KIND_PING, req_id: 42, payload: Vec::new() });
+        assert_eq!(
+            decoded,
+            Frame { version: VERSION, kind: KIND_PING, req_id: 42, payload: Vec::new() }
+        );
+    }
+
+    #[test]
+    fn v1_frames_still_decode_with_no_deadline() {
+        let request = Request::Sort(SortRequest {
+            algorithm: AlgorithmId::SnakeAlternating,
+            side: 2,
+            optimized: true,
+            echo_grid: false,
+            budget: Budget::Default,
+            deadline_ms: 750, // dropped on the v1 wire
+            cells: vec![3, 2, 1, 0],
+        });
+        let bytes = encode_request_versioned(VERSION_V1, 5, &request);
+        let frame = decode_frame(&bytes[4..]).expect("v1 frame decodes");
+        assert_eq!(frame.version, VERSION_V1);
+        match decode_request(&frame).expect("v1 request decodes") {
+            Request::Sort(s) => {
+                assert_eq!(s.deadline_ms, 0, "v1 carries no deadline");
+                assert_eq!(s.cells, vec![3, 2, 1, 0]);
+            }
+            other => panic!("expected Sort, got {other:?}"),
+        }
     }
 
     #[test]

@@ -35,6 +35,7 @@ fn sort_request(algorithm: AlgorithmId, side: usize, echo: bool) -> Request {
         optimized: true,
         echo_grid: echo,
         budget: Budget::Default,
+        deadline_ms: 0,
         cells,
     })
 }
@@ -134,6 +135,7 @@ fn chaos_route_reports_fault_accounting() {
         side: 8,
         seed: 42,
         drop_rate_ppm: 50_000, // 5% transient drops
+        deadline_ms: 0,
         cells: (0..64u32).rev().collect(),
     });
     match call(&mut conn, 1, &request) {
@@ -212,6 +214,7 @@ fn full_chaos_queue_rejects_with_503() {
         side: 160,
         seed: 7,
         drop_rate_ppm: 100_000,
+        deadline_ms: 0,
         cells: (0..(160 * 160) as u32).rev().collect(),
     });
     let handle_addr = handle.local_addr();
@@ -229,6 +232,7 @@ fn full_chaos_queue_rejects_with_503() {
         side: 4,
         seed: 8,
         drop_rate_ppm: 0,
+        deadline_ms: 0,
         cells: (0..16u32).rev().collect(),
     });
     match call(&mut conn, 2, &quick) {
@@ -244,6 +248,140 @@ fn full_chaos_queue_rejects_with_503() {
     );
     handle.request_drain();
     handle.wait();
+}
+
+#[test]
+fn stalled_client_is_disconnected_by_the_read_timeout() {
+    let handle =
+        start(ServerConfig { read_timeout: Duration::from_millis(100), ..Default::default() });
+    let metrics = handle.metrics();
+
+    // Send half a valid ping frame, then go silent: the server must not
+    // pin a handler thread on the missing bytes forever.
+    let mut stalled = connect(&handle);
+    let ping = wire::encode_request(1, &Request::Ping);
+    stalled.write_all(&ping[..6]).expect("send partial frame");
+    stalled.flush().expect("flush");
+
+    // The handler gives up after one silent read-timeout tick and hangs
+    // up; the stalled client observes EOF or a reset.
+    stalled.set_read_timeout(Some(Duration::from_secs(5))).expect("client read timeout");
+    match wire::read_frame(&mut stalled) {
+        Ok(None) => {}
+        Ok(Some(frame)) => panic!("expected disconnect, got {frame:?}"),
+        Err(e) => assert!(
+            matches!(
+                e.kind(),
+                std::io::ErrorKind::ConnectionReset | std::io::ErrorKind::UnexpectedEof
+            ),
+            "expected reset/EOF, got {e}"
+        ),
+    }
+    assert_eq!(metrics.stalled_disconnects(), 1, "the stall is counted");
+
+    // A well-behaved client on the same server is unaffected.
+    let mut conn = connect(&handle);
+    assert_eq!(call(&mut conn, 2, &Request::Ping), Response::Pong);
+
+    handle.request_drain();
+    handle.wait();
+}
+
+#[test]
+fn expired_deadlines_are_shed_with_504() {
+    let handle = start(ServerConfig::default());
+    let metrics = handle.metrics();
+
+    // Occupy the batcher with a big uncached sort, so anything arriving
+    // behind it waits longer than a 1 ms deadline allows.
+    let addr = handle.local_addr();
+    let slow = std::thread::spawn(move || {
+        let mut conn = TcpStream::connect(addr).expect("connect");
+        let side = 128usize;
+        let request = Request::Sort(SortRequest {
+            algorithm: AlgorithmId::SnakeAlternating,
+            side: side as u16,
+            optimized: true,
+            echo_grid: false,
+            budget: Budget::Default,
+            deadline_ms: 0,
+            cells: (0..(side * side) as u32).rev().collect(),
+        });
+        wire::write_frame(&mut conn, &wire::encode_request(1, &request)).expect("send");
+        let frame = wire::read_frame(&mut conn).expect("read").expect("frame");
+        wire::decode_response(&frame).expect("decode")
+    });
+    std::thread::sleep(Duration::from_millis(100)); // let the slow sort start
+
+    let mut conn = connect(&handle);
+    let hurried = Request::Sort(SortRequest {
+        algorithm: AlgorithmId::SnakeAlternating,
+        side: 4,
+        optimized: true,
+        echo_grid: false,
+        budget: Budget::Default,
+        deadline_ms: 1,
+        cells: (0..16u32).rev().collect(),
+    });
+    match call(&mut conn, 2, &hurried) {
+        Response::Error { code, message } => {
+            assert_eq!(code, 504, "DeadlineExceeded discriminant: {message}");
+            assert!(message.contains("deadline exceeded"), "{message}");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    assert_eq!(metrics.deadline_shed(), 1);
+
+    assert!(
+        matches!(slow.join().expect("slow sort"), Response::Sort(_)),
+        "the in-flight sort is unaffected by the shed behind it"
+    );
+    handle.request_drain();
+    handle.wait();
+}
+
+#[test]
+fn injected_engine_panic_is_quarantined_not_fatal() {
+    // fail_req_id is the server's deterministic fail point: the batch
+    // containing that req_id panics inside the engine call.
+    let handle = start(ServerConfig { fail_req_id: Some(7), ..Default::default() });
+    let metrics = handle.metrics();
+    let mut conn = connect(&handle);
+
+    match call(&mut conn, 7, &sort_request(AlgorithmId::RowMajorRowFirst, 8, false)) {
+        Response::Error { code, message } => {
+            assert_eq!(code, 501, "panic quarantine code");
+            assert!(message.contains("quarantined"), "{message}");
+            assert!(message.contains("req 7"), "the payload survives: {message}");
+        }
+        other => panic!("expected quarantine Error, got {other:?}"),
+    }
+    assert_eq!(metrics.panics_quarantined(), 1);
+
+    // The batcher thread survived the panic: the very next sort on the
+    // same connection completes normally.
+    match call(&mut conn, 8, &sort_request(AlgorithmId::RowMajorRowFirst, 8, false)) {
+        Response::Sort(s) => assert_eq!(s.convergence, 0, "batcher alive after quarantine"),
+        other => panic!("expected Sort after quarantine, got {other:?}"),
+    }
+
+    handle.request_drain();
+    handle.wait();
+}
+
+#[test]
+fn drain_latency_is_measured() {
+    let handle = start(ServerConfig::default());
+    let metrics = handle.metrics();
+    let mut conn = connect(&handle);
+    assert_eq!(call(&mut conn, 1, &Request::Ping), Response::Pong);
+
+    handle.request_drain();
+    handle.wait();
+    assert!(
+        metrics.drain_latency_us() > 0,
+        "signal→join latency must land in the metrics after wait()"
+    );
 }
 
 #[test]

@@ -28,11 +28,11 @@ fn round_trip_response(kind: u8, response: &Response) -> Response {
 
 #[test]
 fn golden_ping_frame_bytes() {
-    // 12-byte header: len=12, magic "MS" LE, version 1, kind 5, req_id 2.
+    // 12-byte header: len=12, magic "MS" LE, version 2, kind 5, req_id 2.
     let bytes = encode_request(2, &Request::Ping);
     assert_eq!(
         bytes,
-        [12, 0, 0, 0, b'M', b'S', 1, 5, 2, 0, 0, 0, 0, 0, 0, 0],
+        [12, 0, 0, 0, b'M', b'S', 2, 5, 2, 0, 0, 0, 0, 0, 0, 0],
         "the ping frame is the protocol's smallest golden vector"
     );
 }
@@ -45,18 +45,21 @@ fn golden_sort_frame_bytes() {
         optimized: true,
         echo_grid: false,
         budget: Budget::Steps(7),
+        deadline_ms: 250,
         cells: vec![3, 2, 1, 0],
     });
     let bytes = encode_request(1, &request);
     let expected: Vec<u8> = [
-        // len = 12 header + 1 alg + 2 side + 1 flags + 9 budget + 4 count + 16 cells = 45
-        vec![45, 0, 0, 0],
+        // len = 12 header + 1 alg + 2 side + 1 flags + 9 budget
+        //     + 4 deadline + 4 count + 16 cells = 49
+        vec![49, 0, 0, 0],
         vec![b'M', b'S', VERSION, KIND_SORT],
         vec![1, 0, 0, 0, 0, 0, 0, 0],
         vec![0],                         // algorithm r1 = index 0
         vec![2, 0],                      // side
         vec![1],                         // flags: optimized, no echo
         vec![2, 7, 0, 0, 0, 0, 0, 0, 0], // budget tag 2 (Steps) + u64
+        vec![250, 0, 0, 0],              // deadline_ms (v2)
         vec![4, 0, 0, 0],                // cell count
         vec![3, 0, 0, 0, 2, 0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0],
     ]
@@ -73,6 +76,7 @@ fn every_request_kind_round_trips() {
             optimized: false,
             echo_grid: true,
             budget: Budget::Static,
+            deadline_ms: 1_500,
             cells: (0..16).rev().collect(),
         }),
         Request::Analyze { algorithm: AlgorithmId::SnakeAlternating, side: 8 },
@@ -81,6 +85,7 @@ fn every_request_kind_round_trips() {
             side: 4,
             seed: 0xDEAD_BEEF,
             drop_rate_ppm: 25_000,
+            deadline_ms: 0,
             cells: (0..16).collect(),
         }),
         Request::Stats,
@@ -180,6 +185,7 @@ fn cell_count_must_match_side() {
         optimized: false,
         echo_grid: false,
         budget: Budget::Default,
+        deadline_ms: 0,
         cells: (0..16).collect(),
     };
     request.cells.pop();
@@ -208,6 +214,7 @@ fn unknown_algorithm_and_budget_tags_are_rejected() {
             optimized: false,
             echo_grid: false,
             budget: Budget::Default,
+            deadline_ms: 0,
             cells: vec![0, 1, 2, 3],
         }),
     );
@@ -259,8 +266,130 @@ fn corrupt_header_fields_are_rejected() {
     assert_eq!(decode_frame(&bad_kind), Err(WireError::UnknownKind(0x3F)));
 
     // Sanity: the original decodes, and MAGIC is the documented "MS".
-    assert_eq!(decode_frame(body), Ok(Frame { kind: KIND_PING, req_id: 3, payload: Vec::new() }));
+    assert_eq!(
+        decode_frame(body),
+        Ok(Frame { version: VERSION, kind: KIND_PING, req_id: 3, payload: Vec::new() })
+    );
     assert_eq!(MAGIC, u16::from_le_bytes([b'M', b'S']));
+}
+
+/// Every well-formed frame, truncated at every possible byte boundary,
+/// must yield a typed [`WireError`] (or a clean too-short header
+/// verdict) — never a panic, never a hang, never a bogus decode. This
+/// is the corpus the chaos proxy's Truncate fault draws from.
+#[test]
+fn every_frame_truncation_is_rejected_with_a_typed_error() {
+    let frames: Vec<Vec<u8>> = vec![
+        encode_request(1, &Request::Ping),
+        encode_request(2, &Request::Stats),
+        encode_request(3, &Request::Drain),
+        encode_request(4, &Request::Analyze { algorithm: AlgorithmId::SnakeAlternating, side: 8 }),
+        encode_request(
+            5,
+            &Request::Sort(SortRequest {
+                algorithm: AlgorithmId::RowMajorRowFirst,
+                side: 4,
+                optimized: true,
+                echo_grid: false,
+                budget: Budget::Steps(64),
+                deadline_ms: 100,
+                cells: (0..16).collect(),
+            }),
+        ),
+        encode_request(
+            6,
+            &Request::Chaos(ChaosRequest {
+                algorithm: AlgorithmId::SnakeAlternating,
+                side: 4,
+                seed: 99,
+                drop_rate_ppm: 10_000,
+                deadline_ms: 25,
+                cells: (0..16).collect(),
+            }),
+        ),
+        encode_response(KIND_PING, 7, &Response::Pong),
+        encode_response(
+            KIND_SORT,
+            8,
+            &Response::Sort(SortResponse {
+                convergence: 0,
+                steps: 10,
+                swaps: 4,
+                comparisons: 99,
+                budget: 127,
+                residual: 0,
+                grid: Some((0..16).collect()),
+            }),
+        ),
+        encode_response(KIND_SORT, 9, &Response::Error { code: 503, message: "full".into() }),
+    ];
+    for bytes in &frames {
+        // Truncation in the length prefix or header: the frame body is
+        // too short to even be a header.
+        for cut in 4..HEADER_LEN.min(bytes.len()) {
+            let body = &bytes[4..cut];
+            assert!(
+                decode_frame(body).is_err(),
+                "a {}-byte body must not decode (frame {bytes:?})",
+                body.len()
+            );
+        }
+        // Truncation anywhere in the payload: header decodes if the
+        // declared length is honest, then the payload read must fail
+        // typed. We re-declare the length to match the cut so the frame
+        // layer sees a self-consistent (but short) frame.
+        for cut in HEADER_LEN + 4..bytes.len() {
+            let mut short = bytes[..cut].to_vec();
+            #[allow(clippy::cast_possible_truncation)]
+            let declared = (cut - 4) as u32;
+            short[..4].copy_from_slice(&declared.to_le_bytes());
+            let frame = decode_frame(&short[4..]).expect("honest short header decodes");
+            if frame.kind & KIND_RESPONSE_BIT == 0 {
+                let verdict = decode_request(&frame).err();
+                assert!(
+                    matches!(
+                        verdict,
+                        Some(
+                            WireError::Truncated { .. }
+                                | WireError::TrailingBytes { .. }
+                                | WireError::BadField(_)
+                        )
+                    ),
+                    "cut at {cut}/{} must fail typed, got {verdict:?}",
+                    bytes.len()
+                );
+            } else {
+                match decode_response(&frame) {
+                    Err(
+                        WireError::Truncated { .. }
+                        | WireError::TrailingBytes { .. }
+                        | WireError::BadField(_),
+                    ) => {}
+                    // An error response's message is the self-delimiting
+                    // payload tail: truncating it decodes to a shorter
+                    // message, which is harmless by construction.
+                    Ok(Response::Error { .. }) => {}
+                    other => panic!("cut at {cut}/{}: unexpected {other:?}", bytes.len()),
+                }
+            }
+        }
+        // read_frame on the raw truncated bytes: clean EOF while still
+        // inside the length prefix (read_frame's documented idle-EOF
+        // semantics), UnexpectedEof anywhere after — never a hang, never
+        // a partial success.
+        for cut in 0..bytes.len() {
+            let short = &bytes[..cut];
+            match read_frame(&mut &short[..]) {
+                Ok(None) if cut < 4 => {}
+                Err(e) if cut >= 4 => assert_eq!(
+                    e.kind(),
+                    std::io::ErrorKind::UnexpectedEof,
+                    "cut at {cut} should be EOF-kind"
+                ),
+                other => panic!("cut at {cut}: unexpected {other:?}"),
+            }
+        }
+    }
 }
 
 #[test]

@@ -35,6 +35,18 @@ fn main() {
     let mut report: Option<String> = None;
     let mut bench_json: Option<String> = None;
     let mut drain = false;
+    let mut deadline_ms = 0u32;
+    let mut retries: Option<u32> = None;
+    let mut backoff_base_ms: Option<u64> = None;
+    let mut backoff_cap_ms: Option<u64> = None;
+    let mut listen = "127.0.0.1:7464".to_string();
+    let mut upstream = "127.0.0.1:7465".to_string();
+    let mut fault_rate: Option<f64> = None;
+    let mut reset_rate: Option<f64> = None;
+    let mut truncate_rate: Option<f64> = None;
+    let mut dup_rate: Option<f64> = None;
+    let mut delay_rate: Option<f64> = None;
+    let mut max_delay_ms: Option<u64> = None;
     let mut i = 1;
     let bad = |msg: &str| -> ! {
         eprintln!("error: {msg}\n");
@@ -155,6 +167,93 @@ fn main() {
                     Some(args.get(i).unwrap_or_else(|| bad("missing --bench-json")).clone());
             }
             "--drain" => drain = true,
+            "--deadline-ms" => {
+                i += 1;
+                deadline_ms = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| bad("bad --deadline-ms"));
+            }
+            "--retries" => {
+                i += 1;
+                retries = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| bad("bad --retries")),
+                );
+            }
+            "--backoff-base-ms" => {
+                i += 1;
+                backoff_base_ms = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| bad("bad --backoff-base-ms")),
+                );
+            }
+            "--backoff-cap-ms" => {
+                i += 1;
+                backoff_cap_ms = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| bad("bad --backoff-cap-ms")),
+                );
+            }
+            "--listen" => {
+                i += 1;
+                listen = args.get(i).unwrap_or_else(|| bad("missing --listen")).clone();
+            }
+            "--upstream" => {
+                i += 1;
+                upstream = args.get(i).unwrap_or_else(|| bad("missing --upstream")).clone();
+            }
+            "--fault-rate" => {
+                i += 1;
+                fault_rate = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| bad("bad --fault-rate")),
+                );
+            }
+            "--reset-rate" => {
+                i += 1;
+                reset_rate = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| bad("bad --reset-rate")),
+                );
+            }
+            "--truncate-rate" => {
+                i += 1;
+                truncate_rate = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| bad("bad --truncate-rate")),
+                );
+            }
+            "--dup-rate" => {
+                i += 1;
+                dup_rate = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| bad("bad --dup-rate")),
+                );
+            }
+            "--delay-rate" => {
+                i += 1;
+                delay_rate = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| bad("bad --delay-rate")),
+                );
+            }
+            "--max-delay-ms" => {
+                i += 1;
+                max_delay_ms = Some(
+                    args.get(i)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| bad("bad --max-delay-ms")),
+                );
+            }
             other => bad(&format!("unknown flag {other}")),
         }
         i += 1;
@@ -175,6 +274,7 @@ fn main() {
         "chaos" => cli::cmd_chaos(&sides, seeds, &rates),
         "bench" => cli::cmd_bench(quick),
         "loadgen" => {
+            let defaults = meshsort_serve::loadgen::LoadgenConfig::default();
             let config = meshsort_serve::loadgen::LoadgenConfig {
                 addr,
                 connections,
@@ -184,12 +284,65 @@ fn main() {
                 // not the 16 the offline subcommands default to.
                 side: if side_set { side } else { 8 },
                 seed,
+                deadline_ms,
+                max_attempts: retries.unwrap_or(defaults.max_attempts),
+                backoff_base_ms: backoff_base_ms.unwrap_or(defaults.backoff_base_ms),
+                backoff_cap_ms: backoff_cap_ms.unwrap_or(defaults.backoff_cap_ms),
                 report_path: report.map(std::path::PathBuf::from),
                 bench_json: bench_json.map(std::path::PathBuf::from),
                 drain,
-                ..Default::default()
+                ..defaults
             };
             cli::cmd_loadgen(&config)
+        }
+        "chaosproxy" => {
+            use meshsort_serve::chaos::ChaosSpec;
+            let mut spec = match fault_rate {
+                Some(r) => ChaosSpec::uniform(seed, r),
+                None => ChaosSpec::none(seed),
+            };
+            if let Some(r) = reset_rate {
+                spec.reset_rate = r;
+            }
+            if let Some(r) = truncate_rate {
+                spec.truncate_rate = r;
+            }
+            if let Some(r) = dup_rate {
+                spec.dup_rate = r;
+            }
+            if let Some(r) = delay_rate {
+                spec.delay_rate = r;
+                if spec.max_delay_ms == 0 {
+                    spec.max_delay_ms = 20;
+                }
+            }
+            if let Some(ms) = max_delay_ms {
+                spec.max_delay_ms = ms;
+            }
+            match cli::cmd_chaosproxy(&listen, &upstream, spec) {
+                Ok((banner, handle)) => {
+                    print!("{banner}");
+                    // Mirror meshsortd: stdin EOF is the shutdown signal
+                    // for supervisors that cannot speak the protocol.
+                    let stopper = handle.stopper();
+                    std::thread::spawn(move || {
+                        let mut sink = [0u8; 256];
+                        let mut stdin = std::io::stdin();
+                        loop {
+                            use std::io::Read as _;
+                            match stdin.read(&mut sink) {
+                                Ok(0) | Err(_) => break,
+                                Ok(_) => {}
+                            }
+                        }
+                        eprintln!("chaosproxy: stdin closed, stopping");
+                        stopper();
+                    });
+                    eprintln!("chaosproxy: stopped ({})", handle.wait_with_summary());
+                    return;
+                }
+                Err(msg) => Err(msg),
+            }
         }
         "witness" => cli::cmd_witness(theorem, gamma, delta),
         "formulas" => Ok(cli::cmd_formulas(n_param)),

@@ -394,9 +394,63 @@ pub fn cmd_loadgen(config: &meshsort_serve::loadgen::LoadgenConfig) -> Result<St
         report.p50_ms, report.p99_ms, report.mean_ms
     )
     .unwrap();
+    writeln!(
+        out,
+        "  resilience: {} retries, {} reconnects, {} gave up, {} duplicates — accounted {}/{}",
+        report.retries,
+        report.reconnects,
+        report.gave_up,
+        report.duplicates,
+        report.accounted(),
+        report.requests
+    )
+    .unwrap();
     writeln!(out, "  server plan-cache hit rate {:.4}", report.plan_cache_hit_rate).unwrap();
     writeln!(out, "  {json}").unwrap();
     Ok(out)
+}
+
+/// `meshsort chaosproxy`: a deterministic network-chaos proxy in front
+/// of a running `meshsortd`.
+///
+/// Binds `listen`, forwards every framed byte to `upstream`, and injects
+/// faults (connection resets, truncated frames, duplicated frames,
+/// bounded delays) decided purely by hashing `(seed, connection,
+/// direction, frame index)` — the same splitmix64 construction the mesh
+/// fault injector uses — so a given seed replays a bit-identical fault
+/// trace over the same traffic shape. Returns the banner line and the
+/// live [`meshsort_serve::chaos::ChaosProxyHandle`]; the binary prints
+/// the banner, then stops the proxy on stdin EOF.
+pub fn cmd_chaosproxy(
+    listen: &str,
+    upstream: &str,
+    spec: meshsort_serve::chaos::ChaosSpec,
+) -> Result<(String, meshsort_serve::chaos::ChaosProxyHandle), String> {
+    use std::net::ToSocketAddrs;
+    spec.validate()?;
+    let upstream_addr = upstream
+        .to_socket_addrs()
+        .map_err(|e| format!("cannot resolve upstream {upstream}: {e}"))?
+        .next()
+        .ok_or_else(|| format!("upstream {upstream} resolves to no address"))?;
+    let handle = meshsort_serve::chaos::ChaosProxyHandle::bind(
+        listen,
+        meshsort_serve::chaos::ChaosProxyConfig { upstream: upstream_addr, spec },
+    )
+    .map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let banner = format!(
+        "chaosproxy listening on {} -> {} (seed {}, rates: reset {} truncate {} dup {} \
+         delay {}, max delay {} ms)\n",
+        handle.local_addr(),
+        upstream_addr,
+        spec.seed,
+        spec.reset_rate,
+        spec.truncate_rate,
+        spec.dup_rate,
+        spec.delay_rate,
+        spec.max_delay_ms
+    );
+    Ok((banner, handle))
 }
 
 /// `meshsort witness`: N₀ witnesses for the concentration theorems.
@@ -456,7 +510,12 @@ pub fn usage() -> &'static str {
        meshsort chaos [--sides N1,N2,...] [--seeds K] [--rates P1,P2,...] [--out PATH]\n\
        meshsort bench [--quick] [--out PATH]\n\
        meshsort loadgen [--addr HOST:PORT] [--connections C] [--rate R] [--requests N]\n\
-      \x20                [--side N] [--seed S] [--report PATH] [--bench-json PATH] [--drain]\n\
+      \x20                [--side N] [--seed S] [--deadline-ms D] [--retries K]\n\
+      \x20                [--backoff-base-ms B] [--backoff-cap-ms C]\n\
+      \x20                [--report PATH] [--bench-json PATH] [--drain]\n\
+       meshsort chaosproxy [--listen HOST:PORT] [--upstream HOST:PORT] [--seed S]\n\
+      \x20                   [--fault-rate R] [--reset-rate R] [--truncate-rate R]\n\
+      \x20                   [--dup-rate R] [--delay-rate R] [--max-delay-ms M]\n\
        meshsort witness --theorem <3|5|8> --gamma G --delta D\n\
        meshsort formulas [--n N]\n"
 }
@@ -603,9 +662,43 @@ mod tests {
         };
         let out = cmd_loadgen(&config).unwrap();
         assert!(out.contains("completed 40 (0 errors, 0 protocol errors)"), "{out}");
+        assert!(out.contains("accounted 40/40"), "{out}");
         assert!(out.contains("plan-cache hit rate"), "{out}");
         assert!(out.contains("\"p99_ms\""), "{out}");
         handle.wait();
+    }
+
+    #[test]
+    fn chaosproxy_fronts_a_live_server() {
+        use meshsort_serve::chaos::ChaosSpec;
+        use meshsort_serve::server::{ServerConfig, ServerHandle};
+        use meshsort_serve::wire::{self, Request, Response};
+        let server =
+            ServerHandle::bind("127.0.0.1:0", ServerConfig::default()).expect("bind server");
+        let (banner, proxy) =
+            cmd_chaosproxy("127.0.0.1:0", &server.local_addr().to_string(), ChaosSpec::none(1993))
+                .unwrap();
+        assert!(banner.starts_with("chaosproxy listening on "), "{banner}");
+        assert!(banner.contains("seed 1993"), "{banner}");
+
+        let mut conn = std::net::TcpStream::connect(proxy.local_addr()).expect("connect via proxy");
+        wire::write_frame(&mut conn, &wire::encode_request(1, &Request::Ping)).expect("send");
+        let frame = wire::read_frame(&mut conn).expect("read").expect("frame");
+        assert_eq!(wire::decode_response(&frame).expect("decode"), Response::Pong);
+        drop(conn);
+
+        proxy.stop();
+        proxy.wait();
+        server.request_drain();
+        server.wait();
+    }
+
+    #[test]
+    fn chaosproxy_rejects_bad_specs_and_upstreams() {
+        use meshsort_serve::chaos::ChaosSpec;
+        let bad_spec = ChaosSpec { reset_rate: 1.5, ..ChaosSpec::none(1) };
+        assert!(cmd_chaosproxy("127.0.0.1:0", "127.0.0.1:1", bad_spec).is_err());
+        assert!(cmd_chaosproxy("127.0.0.1:0", "not an address", ChaosSpec::none(1)).is_err());
     }
 
     #[test]
