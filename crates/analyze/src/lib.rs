@@ -3,7 +3,7 @@
 //! The five algorithms of Savari (SPAA 1993) are fixed comparator
 //! networks: once a [`meshsort_mesh::CycleSchedule`] is compiled for a
 //! side, everything the runtime differential tests probe empirically can
-//! be certified once, statically. This crate assembles the seven
+//! be certified once, statically. This crate assembles the eight
 //! `meshcheck` passes into a machine-readable report consumed by the
 //! `meshsort analyze` CLI subcommand and the CI `analyze` gate:
 //!
@@ -24,24 +24,32 @@
 //!    the rows-sorted invariant once provable (sides ≥
 //!    [`ROWS_PERSISTENCE_MIN_SIDE`]), and certify the sorted state as a
 //!    swap-free fixed point.
-//! 4. **0-1 certification** — for sides ≤ [`ZERO_ONE_MAX_SIDE`], *every*
+//! 4. **Lifted dataflow** ([`meshsort_mesh::absint::lift`]) — the
+//!    periodicity-lifting certificate is derived for the algorithm's
+//!    schedule *family* (period correctness, windowed fixpoints, bound
+//!    lifting), re-verified from scratch, and cross-checked against the
+//!    exact fixpoint on every side where both are affordable: equality
+//!    for exact-model fits and sides inside the window, domination for
+//!    envelope fits; the certificate's dead-wire set must equal the
+//!    first-cycle scan at every side.
+//! 5. **0-1 certification** — for sides ≤ [`ZERO_ONE_MAX_SIDE`], *every*
 //!    0-1 placement (all weights, a superset of the paper's balanced
 //!    `α = ⌈N/2⌉` space, reusing the mask enumeration of
 //!    `meshsort-zeroone`) is run to convergence on the scalar engine. By
 //!    the 0-1 principle — the lens Savari's §2–§3 analysis itself rests
 //!    on — this certifies the full cycle sorts arbitrary inputs on those
 //!    meshes.
-//! 5. **Symbolic 0-1 certification** ([`meshsort_zeroone::symbolic`]) —
+//! 6. **Symbolic 0-1 certification** ([`meshsort_zeroone::symbolic`]) —
 //!    the bit-parallel engine packs 64 placements per `u64`, extending
 //!    exhaustive certification to side
 //!    [`meshsort_zeroone::symbolic::SYMBOLIC_MAX_SIDE`] (`2^25`
 //!    placements) and running seeded random sampling at sides 6–16.
-//! 6. **Fault model** — a fault-free [`meshsort_mesh::FaultPlan`] must be
+//! 7. **Fault model** — a fault-free [`meshsort_mesh::FaultPlan`] must be
 //!    a behavioural no-op (the resilient kernel runner reproduces the
 //!    plain engine's steps, swaps, comparisons, and final grid exactly),
 //!    and a faulty plan must be bit-identically replayable: compiling the
 //!    same spec twice yields the same plan, trace, report, and grid.
-//! 7. **Optimizer equivalence** ([`meshsort_mesh::opt`]) — the dead-wire
+//! 8. **Optimizer equivalence** ([`meshsort_mesh::opt`]) — the dead-wire
 //!    stripped, re-fused plan the runners execute must carry a valid
 //!    machine-checked certificate ([`meshsort_mesh::opt::certify`]:
 //!    comparator accounting, deadness proofs, structural and IR
@@ -52,7 +60,8 @@
 //!    convergence step within the claimed static bound.
 //!
 //! Skipped passes (row-major algorithms on odd sides, 0-1 enumeration on
-//! large meshes) are reported as `skipped`, never as failures.
+//! large meshes, exact fixpoints and concrete replays above their
+//! affordable sides) are reported as `skipped`, never as failures.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -93,13 +102,23 @@ pub const ZERO_ONE_MAX_SIDE: usize = 4;
 /// the invariant is reported but not enforced there.
 pub const ROWS_PERSISTENCE_MIN_SIDE: usize = 3;
 
+/// Largest side the fault-model pass runs its concrete resilient
+/// replays at: a run costs `O(steps · cells)` with `steps ~ 2·side²`, so
+/// side 64 (~0.1 s per algorithm) is the last side the pass stays cheap.
+pub const FAULT_MODEL_MAX_SIDE: usize = 64;
+
+/// Largest side the optimizer-equivalence pass replays 0-1 lane batches
+/// at. Above it the machine-checked certificate (obligations 1–9) is
+/// still required — only the dynamic lane replay is skipped.
+pub const OPTIMIZER_REPLAY_MAX_SIDE: usize = 32;
+
 /// 64-lane batches drawn by the sampled symbolic pass (4 096 placements).
 const SYMBOLIC_SAMPLE_BATCHES: u64 = 64;
 
 /// Fixed seed for the sampled symbolic pass: CI runs are reproducible.
 const SYMBOLIC_SAMPLE_SEED: u64 = 0x6d65_7368_636b_3031;
 
-/// Runs all seven passes for every algorithm in paper order at every
+/// Runs all eight passes for every algorithm in paper order at every
 /// requested side.
 pub fn analyze(sides: &[usize]) -> AnalysisReport {
     let mut entries = Vec::with_capacity(sides.len() * AlgorithmId::ALL.len());
@@ -111,7 +130,7 @@ pub fn analyze(sides: &[usize]) -> AnalysisReport {
     AnalysisReport { sides: sides.to_vec(), entries }
 }
 
-/// Runs all seven passes for one (algorithm, side) pair.
+/// Runs all eight passes for one (algorithm, side) pair.
 ///
 /// An unsupported side (row-major algorithms on an odd side) yields a
 /// report whose passes are all [`PassOutcome::Skipped`].
@@ -127,6 +146,7 @@ pub fn analyze_algorithm(algorithm: AlgorithmId, side: usize) -> AlgorithmReport
                 structural: PassOutcome::Skipped { reason: reason.clone() },
                 ir: PassOutcome::Skipped { reason: reason.clone() },
                 dataflow: PassOutcome::Skipped { reason: reason.clone() },
+                dataflow_lifted: PassOutcome::Skipped { reason: reason.clone() },
                 zero_one: PassOutcome::Skipped { reason: reason.clone() },
                 zero_one_symbolic: PassOutcome::Skipped { reason: reason.clone() },
                 fault: PassOutcome::Skipped { reason: reason.clone() },
@@ -141,6 +161,7 @@ pub fn analyze_algorithm(algorithm: AlgorithmId, side: usize) -> AlgorithmReport
             structural: structural_pass(algorithm, side, &schedule),
             ir: ir_pass(&schedule),
             dataflow: dataflow_pass(algorithm, side, &schedule),
+            dataflow_lifted: dataflow_lifted_pass(algorithm, side, &schedule),
             zero_one: zero_one_pass(algorithm, side, &schedule),
             zero_one_symbolic: zero_one_symbolic_pass(algorithm, side),
             fault: fault_pass(algorithm, side, &schedule),
@@ -191,9 +212,22 @@ fn ir_pass(schedule: &CycleSchedule) -> PassOutcome {
 ///   unreachable phases), or the proven bound exceeds the step budget,
 /// * the rows-sorted invariant regresses after being established
 ///   (enforced for sides ≥ [`ROWS_PERSISTENCE_MIN_SIDE`]).
+///
+/// Above [`opt::exact_bound_max_side`] the exact fixpoint is
+/// unaffordable and the pass reports skipped — the `dataflow_lifted`
+/// pass carries certification there.
 pub fn dataflow_pass(algorithm: AlgorithmId, side: usize, schedule: &CycleSchedule) -> PassOutcome {
+    let exact_max = opt::exact_bound_max_side();
+    if side > exact_max {
+        return PassOutcome::Skipped {
+            reason: format!(
+                "exact dataflow fixpoint limited to side <= {exact_max}; the dataflow_lifted \
+                 pass certifies this side by periodicity lifting"
+            ),
+        };
+    }
     let order = algorithm.order();
-    if let Err(live) = absint::verify_sorted_fixed_point(schedule, order, side) {
+    if let Err(live) = absint::verify_sorted_fixed_point_ranked(schedule, order, side) {
         let c = live.comparator;
         return PassOutcome::Failed {
             diagnostic: format!(
@@ -202,7 +236,7 @@ pub fn dataflow_pass(algorithm: AlgorithmId, side: usize, schedule: &CycleSchedu
             ),
         };
     }
-    let summary = absint::analyze_schedule(schedule, order, side);
+    let summary = absint::analyze_schedule_worklist(schedule, order, side);
     for dead in &summary.dead_first_cycle {
         if !algorithm.expected_dead_wire(side, dead.step, dead.comparator) {
             let c = dead.comparator;
@@ -261,6 +295,106 @@ pub fn dataflow_pass(algorithm: AlgorithmId, side: usize, schedule: &CycleSchedu
             summary.dead_first_cycle.len(),
             summary.rows_sorted_step.unwrap_or(0)
         ),
+    }
+}
+
+/// Lifted-dataflow pass: periodicity lifting certified end to end.
+///
+/// Public (like [`dataflow_pass`]) so the mutation suite can aim it at
+/// corrupted schedule families and forged certificates; fails when
+///
+/// * the lifting itself fails on a canonical family (broken period,
+///   unprovable window, non-monotone or budget-busting fit),
+/// * the emitted [`meshsort_mesh::absint::lift::LiftCertificate`] does
+///   not re-verify from scratch (obligations 7–9),
+/// * the lifted bound disagrees with the exact fixpoint where both are
+///   affordable — strict equality for sides inside the lifting window
+///   and for [`LiftModel::Exact`] fits, domination for
+///   [`LiftModel::Envelope`] fits,
+/// * the certificate's dead-wire set differs from the first-cycle scan
+///   of the compiled schedule (affordable at every side).
+///
+/// [`LiftModel::Exact`]: meshsort_mesh::absint::lift::LiftModel::Exact
+/// [`LiftModel::Envelope`]: meshsort_mesh::absint::lift::LiftModel::Envelope
+pub fn dataflow_lifted_pass(
+    algorithm: AlgorithmId,
+    side: usize,
+    schedule: &CycleSchedule,
+) -> PassOutcome {
+    use meshsort_mesh::absint::lift;
+    if !(lift::LIFT_WINDOW_MIN_SIDE..=lift::LIFT_MAX_SIDE).contains(&side) {
+        return PassOutcome::Skipped {
+            reason: format!(
+                "periodicity lifting covers sides {}-{} (below, boundary transients break the \
+                 asymptotic form the window fits)",
+                lift::LIFT_WINDOW_MIN_SIDE,
+                lift::LIFT_MAX_SIDE
+            ),
+        };
+    }
+    let family = |s: usize| algorithm.schedule(s);
+    let order = algorithm.order();
+    let cert = match lift::lift_schedule(&family, order, side) {
+        Ok(cert) => cert,
+        Err(err) => return PassOutcome::Failed { diagnostic: format!("lifting failed: {err}") },
+    };
+    if let Err(err) = lift::verify_certificate(&family, order, &cert) {
+        return PassOutcome::Failed { diagnostic: format!("certificate rejected: {err}") };
+    }
+    let scan = opt::first_cycle_dead_wires(schedule, side * side);
+    if cert.dead_wires != scan {
+        return PassOutcome::Failed {
+            diagnostic: format!(
+                "certificate dead-wire set ({}) differs from the first-cycle scan ({})",
+                cert.dead_wires.len(),
+                scan.len()
+            ),
+        };
+    }
+    let model = cert.model.label();
+    if side <= opt::exact_bound_max_side() {
+        let Some(exact) = meshsort_core::static_bound_for(algorithm, side) else {
+            return PassOutcome::Failed {
+                diagnostic: "exact fixpoint unprovable where lifting succeeded".into(),
+            };
+        };
+        let exact_model = cert.model == lift::LiftModel::Exact || side <= lift::LIFT_WINDOW_MAX_SIDE;
+        if exact_model && cert.bound != exact {
+            return PassOutcome::Failed {
+                diagnostic: format!(
+                    "lifted bound {} != exact fixpoint bound {exact} ({model} model)",
+                    cert.bound
+                ),
+            };
+        }
+        if cert.bound < exact {
+            return PassOutcome::Failed {
+                diagnostic: format!(
+                    "lifted bound {} falls below the exact fixpoint bound {exact} — unsound",
+                    cert.bound
+                ),
+            };
+        }
+        PassOutcome::Passed {
+            detail: format!(
+                "lifted bound {} ({model}) {} the exact fixpoint bound {exact}; {} dead wires \
+                 match the first-cycle scan; certificate verified",
+                cert.bound,
+                if cert.bound == exact { "equals" } else { "dominates" },
+                cert.dead_wires.len()
+            ),
+        }
+    } else {
+        PassOutcome::Passed {
+            detail: format!(
+                "lifted bound {} ({model}) certified from a {}-sample window (exact fixpoint \
+                 unaffordable above side {}); {} dead wires match the first-cycle scan",
+                cert.bound,
+                cert.window.len(),
+                opt::exact_bound_max_side(),
+                cert.dead_wires.len()
+            ),
+        }
     }
 }
 
@@ -351,6 +485,13 @@ fn zero_one_pass(algorithm: AlgorithmId, side: usize, schedule: &CycleSchedule) 
 /// Fault-model pass: the fault-free plan is a behavioural no-op and a
 /// faulty plan replays bit-identically.
 fn fault_pass(algorithm: AlgorithmId, side: usize, schedule: &CycleSchedule) -> PassOutcome {
+    if side > FAULT_MODEL_MAX_SIDE {
+        return PassOutcome::Skipped {
+            reason: format!(
+                "concrete fault-model replays limited to side <= {FAULT_MODEL_MAX_SIDE}"
+            ),
+        };
+    }
     let order = algorithm.order();
     let cap = runner::default_step_cap(side);
     let policy = ResilientPolicy::for_side(side);
@@ -440,7 +581,7 @@ pub fn optimizer_pass(
     side: usize,
     schedule: &CycleSchedule,
 ) -> PassOutcome {
-    match opt::optimize(schedule, algorithm.order(), side) {
+    match opt::optimize_with_family(&|s| algorithm.schedule(s), algorithm.order(), side) {
         Ok(optimized) => optimizer_equivalence_pass(algorithm, side, schedule, &optimized),
         Err(err) => PassOutcome::Failed { diagnostic: err.to_string() },
     }
@@ -459,7 +600,9 @@ pub fn optimizer_pass(
 /// * a 0-1 placement behaves differently on the two schedules
 ///   (divergent final lanes, step counts, swap counts, or sortedness) —
 ///   exhaustive over all `2^(side²)` placements at sides ≤
-///   [`SYMBOLIC_MAX_SIDE`], seeded 64-lane sampling above;
+///   [`SYMBOLIC_MAX_SIDE`], seeded 64-lane sampling above (replay gated
+///   to sides ≤ [`OPTIMIZER_REPLAY_MAX_SIDE`]; the certificate is
+///   required everywhere);
 /// * any lane converges later than the claimed static bound.
 pub fn optimizer_equivalence_pass(
     algorithm: AlgorithmId,
@@ -468,8 +611,24 @@ pub fn optimizer_equivalence_pass(
     optimized: &OptimizedPlan,
 ) -> PassOutcome {
     let policy = algorithm.schedule_policy(side);
-    if let Err(err) = opt::certify(raw, optimized, &policy) {
+    if let Err(err) =
+        opt::certify_with_family(raw, optimized, &policy, &|s| algorithm.schedule(s))
+    {
         return PassOutcome::Failed { diagnostic: err.to_string() };
+    }
+    if side > OPTIMIZER_REPLAY_MAX_SIDE {
+        return PassOutcome::Passed {
+            detail: format!(
+                "certificate valid: {} dead comparators stripped, static bound {}{}; 0-1 lane \
+                 replay skipped above side {OPTIMIZER_REPLAY_MAX_SIDE}",
+                optimized.stripped.len(),
+                optimized.static_bound,
+                match &optimized.lift {
+                    Some(cert) => format!(" (lifted, {} model)", cert.model.label()),
+                    None => String::new(),
+                }
+            ),
+        };
     }
     let order = algorithm.order();
     let cells = side * side;

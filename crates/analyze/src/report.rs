@@ -62,7 +62,7 @@ impl fmt::Display for PassOutcome {
     }
 }
 
-/// The seven `meshcheck` passes for one algorithm at one side.
+/// The eight `meshcheck` passes for one algorithm at one side.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AlgorithmReport {
     /// Which of the five algorithms was analysed.
@@ -87,6 +87,12 @@ pub struct AlgorithmReport {
     /// within the step budget, finds exactly the predicted dead
     /// comparators, and checks the phase-invariant catalog.
     pub dataflow: PassOutcome,
+    /// Lifted-dataflow pass: the periodicity-lifting certificate
+    /// (`meshsort_mesh::absint::lift`) is derived and re-verified, and
+    /// cross-checked against the exact fixpoint on every side where both
+    /// are affordable (equality for exact-model fits, domination for
+    /// envelope fits).
+    pub dataflow_lifted: PassOutcome,
     /// 0-1 certification pass: every 0-1 placement converges to the
     /// target order within the step cap (scalar engine).
     pub zero_one: PassOutcome,
@@ -110,11 +116,12 @@ impl AlgorithmReport {
     }
 
     /// The passes as `(name, outcome)` pairs, in report order.
-    pub fn passes(&self) -> [(&'static str, &PassOutcome); 7] {
+    pub fn passes(&self) -> [(&'static str, &PassOutcome); 8] {
         [
             ("structural", &self.structural),
             ("ir_conformance", &self.ir),
             ("dataflow", &self.dataflow),
+            ("dataflow_lifted", &self.dataflow_lifted),
             ("zero_one", &self.zero_one),
             ("zero_one_symbolic", &self.zero_one_symbolic),
             ("fault_model", &self.fault),
@@ -234,6 +241,7 @@ mod tests {
                 PassOutcome::Failed { diagnostic: "step 1: IR missing comparator".into() }
             },
             dataflow: PassOutcome::Passed { detail: "converges by step 23".into() },
+            dataflow_lifted: PassOutcome::Passed { detail: "lifted bound equals exact".into() },
             zero_one: PassOutcome::Skipped { reason: "side > 4".into() },
             zero_one_symbolic: PassOutcome::Passed { detail: "2^16 placements".into() },
             fault: PassOutcome::Passed { detail: "no-op + bit-identical replay".into() },
@@ -283,6 +291,7 @@ mod tests {
         assert!(json.contains("\"structural\": {\"status\": \"passed\""));
         assert!(json.contains("\"ir_conformance\""));
         assert!(json.contains("\"dataflow\": {\"status\": \"passed\""));
+        assert!(json.contains("\"dataflow_lifted\": {\"status\": \"passed\""));
         assert!(json.contains("\"zero_one\": {\"status\": \"skipped\""));
         assert!(json.contains("\"zero_one_symbolic\": {\"status\": \"passed\""));
         assert!(json.contains("\"fault_model\": {\"status\": \"passed\""));

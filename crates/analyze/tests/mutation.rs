@@ -481,7 +481,8 @@ fn optimizer_live_wire_wrongly_stripped_caught() {
     let schedule = CycleSchedule::from_parts(plans, compiled, side * side).unwrap();
     let mut stripped = optimized.stripped.clone();
     stripped.push(DeadWire { step: 0, comparator: victim });
-    let corrupted = OptimizedPlan { schedule, stripped, static_bound: optimized.static_bound };
+    let corrupted =
+        OptimizedPlan { schedule, stripped, static_bound: optimized.static_bound, lift: None };
     match optimizer_equivalence_pass(a, side, &raw, &corrupted) {
         PassOutcome::Failed { diagnostic } => {
             assert!(diagnostic.contains("is live"), "{diagnostic}");
@@ -507,6 +508,7 @@ fn optimizer_mis_fused_stride_run_caught() {
         schedule,
         stripped: optimized.stripped.clone(),
         static_bound: optimized.static_bound,
+        lift: None,
     };
     match optimizer_equivalence_pass(a, side, &raw, &corrupted) {
         PassOutcome::Failed { diagnostic } => {
@@ -529,6 +531,104 @@ fn optimizer_inflated_static_bound_caught() {
         }
         other => panic!("expected inflated-bound rejection, got {other}"),
     }
+}
+
+/// Picks a step-0 comparator whose cells sit at least two periods from
+/// every boundary, so both of its ±(2,0)/(0,2) translates are in-bounds
+/// and — by the pristine schedule's periodicity — present in the step.
+fn interior_comparator(schedule: &CycleSchedule, side: usize) -> Comparator {
+    let interior = |cell: u32| {
+        let (r, c) = (cell as usize / side, cell as usize % side);
+        (4..side - 4).contains(&r) && (4..side - 4).contains(&c)
+    };
+    schedule.plans()[0]
+        .comparators()
+        .iter()
+        .copied()
+        .find(|c| interior(c.keep_min) && interior(c.keep_max))
+        .expect("step 0 has an interior comparator at side 12")
+}
+
+#[test]
+fn broken_period_schedule_rejected_by_lifting() {
+    // Removing one interior comparator keeps the schedule structurally
+    // legal (steps may be sparse) but breaks translation invariance: its
+    // surviving translate, shifted back by one period, now lands on
+    // nothing. The period check must name the violation rather than
+    // silently fitting a window to a non-periodic family.
+    use meshsort_mesh::absint::lift;
+    let side = 12;
+    for a in AlgorithmId::ALL {
+        let pristine = a.schedule(side).unwrap();
+        let victim = interior_comparator(&pristine, side);
+        let mut plans = pristine.plans().to_vec();
+        let survivors: Vec<Comparator> =
+            plans[0].comparators().iter().copied().filter(|c| *c != victim).collect();
+        plans[0] = StepPlan::new(survivors).unwrap();
+        let mutated = CycleSchedule::new(plans, side * side).unwrap();
+        let family =
+            |s: usize| if s == side { Ok(mutated.clone()) } else { a.schedule(s) };
+        match lift::lift_schedule(&family, a.order(), side) {
+            Err(lift::LiftError::PeriodBroken { side: s, step, .. }) => {
+                assert_eq!((s, step), (side, 0), "{a}");
+            }
+            other => panic!("{a}: expected PeriodBroken, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn forged_lift_bound_caught() {
+    // A certificate whose bound is one step below the model's value is
+    // unsound if accepted: a run could legally take the extra step. The
+    // re-verifier must evaluate the fit itself, never trust the field.
+    use meshsort_mesh::absint::lift;
+    let a = AlgorithmId::SnakePhaseAligned;
+    let family = |s: usize| a.schedule(s);
+    let mut cert = lift::lift_schedule(&family, a.order(), 32).unwrap();
+    assert_eq!(cert.bound, 2047, "S3's lifted closed form 2s^2 - 1 at side 32");
+    cert.bound -= 1;
+    let err = lift::verify_certificate(&family, a.order(), &cert)
+        .expect_err("forged bound must be rejected");
+    assert!(
+        matches!(err, lift::LiftError::BoundMismatch { claimed: 2046, evaluated: 2047 }),
+        "expected BoundMismatch, got {err:?}"
+    );
+    assert!(err.to_string().contains("lifted bound forged"), "{err}");
+}
+
+#[test]
+fn forged_window_dead_set_caught() {
+    // Dropping a boundary wire from one window sample would let a
+    // corrupted certificate under-report dead wires at the small sides
+    // the fit extrapolates from. The window recomputation must notice
+    // the sample no longer matches its proven dead-wire set.
+    use meshsort_mesh::absint::lift;
+    let a = AlgorithmId::SnakePhaseAligned;
+    let family = |s: usize| a.schedule(s);
+    let mut cert = lift::lift_schedule(&family, a.order(), 16).unwrap();
+    let sample = cert
+        .window
+        .iter_mut()
+        .find(|w| !w.dead.is_empty())
+        .expect("S3's window has dead wires from side 4 up");
+    let window_side = sample.side;
+    sample.dead.pop();
+    let err = lift::verify_certificate(&family, a.order(), &cert)
+        .expect_err("forged window dead set must be rejected");
+    assert!(
+        matches!(
+            err,
+            lift::LiftError::WindowDeadMismatch { window_side: ws, missing: 1, extra: 0 }
+                if ws == window_side
+        ),
+        "expected WindowDeadMismatch at side {window_side}, got {err:?}"
+    );
+    assert!(
+        err.to_string()
+            .contains(&format!("window dead-wire set forged at side {window_side}")),
+        "{err}"
+    );
 }
 
 #[test]

@@ -22,7 +22,8 @@ use meshsort_core::{
     optimized_for, runner, schedule_for, static_bound_for, AlgorithmId, Budget, SortJob,
     DEFAULT_SHARD_WIDTH,
 };
-use meshsort_mesh::Grid;
+use meshsort_mesh::absint::{self, lift};
+use meshsort_mesh::{opt as mesh_opt, Grid};
 use meshsort_stats::parallel;
 use std::fmt::Write as _;
 use std::hint::black_box;
@@ -141,6 +142,31 @@ pub struct OptimizedRow {
     pub speedup: f64,
 }
 
+/// Static-analysis cost at one side (S3): wall-clock for the dense
+/// dataflow fixpoint, the sparse worklist fixpoint, and the full
+/// periodicity lift-and-verify round trip. A `None` means that engine is
+/// gated off at the side (dense/worklist above the exact-bound cutoff) —
+/// which is itself the datum: the trajectory records where exact
+/// analysis stops being affordable and lifting takes over. The certified
+/// bound and its model are recorded so the row also pins *what* the
+/// analysis proved, not just how fast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnalysisRow {
+    /// Mesh side analyzed.
+    pub side: usize,
+    /// Seconds for the dense cycle-boundary fixpoint, where affordable.
+    pub dense_seconds: Option<f64>,
+    /// Seconds for the sparse worklist fixpoint, where affordable.
+    pub worklist_seconds: Option<f64>,
+    /// Seconds for `lift_schedule` + `verify_certificate` end to end.
+    pub lifted_seconds: Option<f64>,
+    /// The convergence bound the production path certifies at this side.
+    pub bound: u64,
+    /// How the bound was proven: `fixpoint` (exact), or the lift model
+    /// (`exact` / `envelope`).
+    pub model: &'static str,
+}
+
 /// A complete perf report, serializable to the committed JSON schema.
 #[derive(Debug, Clone, PartialEq)]
 pub struct BenchReport {
@@ -154,6 +180,8 @@ pub struct BenchReport {
     pub throughput: BatchThroughput,
     /// Raw vs optimized-plan S3 kernel rows, one per side.
     pub optimized: Vec<OptimizedRow>,
+    /// Static-analysis cost rows, one per side.
+    pub analysis: Vec<AnalysisRow>,
 }
 
 impl BenchReport {
@@ -213,6 +241,26 @@ impl BenchReport {
                 r.raw_seconds,
                 r.opt_seconds,
                 r.speedup
+            )
+            .unwrap();
+        }
+        s.push_str("  ],\n  \"analysis_cost\": [\n");
+        let opt_secs = |v: Option<f64>| match v {
+            Some(x) => format!("{x:.6}"),
+            None => "null".to_string(),
+        };
+        for (i, r) in self.analysis.iter().enumerate() {
+            let sep = if i + 1 == self.analysis.len() { "" } else { "," };
+            writeln!(
+                s,
+                "    {{\"side\": {}, \"dense_seconds\": {}, \"worklist_seconds\": {}, \
+                 \"lifted_seconds\": {}, \"bound\": {}, \"model\": \"{}\"}}{sep}",
+                r.side,
+                opt_secs(r.dense_seconds),
+                opt_secs(r.worklist_seconds),
+                opt_secs(r.lifted_seconds),
+                r.bound,
+                r.model
             )
             .unwrap();
         }
@@ -341,7 +389,7 @@ pub fn run_bench(quick: bool) -> BenchReport {
     // every side), fixed-step kernel runs; see [`OptimizedRow`].
     let s3 = AlgorithmId::SnakePhaseAligned;
     let opt_matrix: &[(usize, usize)] =
-        if quick { &[(8, 512)] } else { &[(8, 2048), (16, 256), (64, 16)] };
+        if quick { &[(8, 512)] } else { &[(8, 2048), (16, 256), (64, 16), (128, 4)] };
     let mut optimized = Vec::new();
     for &(side, b) in opt_matrix {
         let raw = schedule_for(s3, side).expect("s3 supports every side");
@@ -370,7 +418,46 @@ pub fn run_bench(quick: bool) -> BenchReport {
         });
     }
 
-    BenchReport { quick, ghz_estimate: ghz, rows, throughput, optimized }
+    // Static-analysis cost (DESIGN.md §16): how long certifying S3's
+    // convergence bound takes per analysis engine, and where each engine
+    // is gated off. The fixpoints are deterministic, so one measurement
+    // per cell suffices — no best-of-N.
+    let analysis_sides: &[usize] = if quick { &[16] } else { &[16, 32, 64, 128, 256] };
+    let exact_cutoff = mesh_opt::exact_bound_max_side();
+    let s3_order = s3.order();
+    let mut analysis = Vec::new();
+    for &side in analysis_sides {
+        let schedule = schedule_for(s3, side).expect("s3 supports every side");
+        let (mut dense_seconds, mut worklist_seconds) = (None, None);
+        if side <= exact_cutoff {
+            let start = Instant::now();
+            black_box(absint::analyze_schedule(&schedule, s3_order, side));
+            dense_seconds = Some(start.elapsed().as_secs_f64());
+            let start = Instant::now();
+            black_box(absint::analyze_schedule_worklist(&schedule, s3_order, side));
+            worklist_seconds = Some(start.elapsed().as_secs_f64());
+        }
+        let family = |s: usize| s3.schedule(s);
+        let start = Instant::now();
+        let cert = lift::lift_schedule(&family, s3_order, side).expect("s3 lifts at every side");
+        lift::verify_certificate(&family, s3_order, &cert).expect("fresh certificate verifies");
+        let lifted_seconds = Some(start.elapsed().as_secs_f64());
+        let (bound, model) = if side <= exact_cutoff {
+            (static_bound_for(s3, side).expect("exact fixpoint proves s3"), "fixpoint")
+        } else {
+            (cert.bound, cert.model.label())
+        };
+        analysis.push(AnalysisRow {
+            side,
+            dense_seconds,
+            worklist_seconds,
+            lifted_seconds,
+            bound,
+            model,
+        });
+    }
+
+    BenchReport { quick, ghz_estimate: ghz, rows, throughput, optimized, analysis }
 }
 
 /// Rejects malformed or regressed reports: every number must be finite
@@ -443,6 +530,15 @@ pub fn validate(report: &BenchReport, speedup_floor: f64) -> Result<(), String> 
             ));
         }
     }
+    for r in &report.analysis {
+        let sane = |v: Option<f64>| v.is_none_or(|x| x.is_finite() && x > 0.0);
+        if !(sane(r.dense_seconds) && sane(r.worklist_seconds) && sane(r.lifted_seconds))
+            || r.bound == 0
+            || r.side == 0
+        {
+            return Err(format!("malformed analysis-cost row: {r:?}"));
+        }
+    }
     Ok(())
 }
 
@@ -485,6 +581,24 @@ mod tests {
                 opt_seconds: 0.011,
                 speedup: 1.09,
             }],
+            analysis: vec![
+                AnalysisRow {
+                    side: 16,
+                    dense_seconds: Some(0.031),
+                    worklist_seconds: Some(0.008),
+                    lifted_seconds: Some(0.02),
+                    bound: 511,
+                    model: "fixpoint",
+                },
+                AnalysisRow {
+                    side: 256,
+                    dense_seconds: None,
+                    worklist_seconds: None,
+                    lifted_seconds: Some(0.4),
+                    bound: 131071,
+                    model: "exact",
+                },
+            ],
         }
     }
 
@@ -517,6 +631,17 @@ mod tests {
             .unwrap_err()
             .contains("malformed optimized-plan row"));
 
+        let mut analysis = synthetic();
+        analysis.analysis[0].worklist_seconds = Some(f64::NAN);
+        assert!(validate(&analysis, QUICK_SPEEDUP_FLOOR)
+            .unwrap_err()
+            .contains("malformed analysis-cost row"));
+        let mut unbounded = synthetic();
+        unbounded.analysis[1].bound = 0;
+        assert!(validate(&unbounded, QUICK_SPEEDUP_FLOOR)
+            .unwrap_err()
+            .contains("malformed analysis-cost row"));
+
         // A full run where the optimized plan lost must be rejected; the
         // same numbers pass on a quick run.
         let mut lost = synthetic();
@@ -537,6 +662,12 @@ mod tests {
         assert!(json.contains("\"optimized_plan\": ["));
         assert!(json.contains("\"raw_comparators_per_cycle\": 112"));
         assert!(json.contains("\"work_reduction\": 0.1875"));
+        assert!(json.contains("\"analysis_cost\": ["));
+        assert!(json.contains("\"worklist_seconds\": 0.008000"));
+        assert!(json.contains(
+            "\"dense_seconds\": null, \"worklist_seconds\": null, \"lifted_seconds\": 0.400000, \
+             \"bound\": 131071, \"model\": \"exact\""
+        ));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(json.ends_with("}\n"));
     }

@@ -15,6 +15,7 @@
 //! process touches, a few kilobytes each.
 
 use crate::algorithm::AlgorithmId;
+use meshsort_mesh::absint::lift;
 use meshsort_mesh::{opt, CycleSchedule, MeshError, OptimizedPlan};
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -79,9 +80,12 @@ pub fn optimized_for(algorithm: AlgorithmId, side: usize) -> Result<Arc<Optimize
     match map.entry((algorithm, side)) {
         Entry::Occupied(e) => Ok(Arc::clone(e.get())),
         Entry::Vacant(v) => {
-            let raw = algorithm.schedule(side)?;
-            let optimized = opt::optimize(&raw, algorithm.order(), side)
-                .expect("canonical schedules optimize: convergence certified by the dataflow pass");
+            algorithm.schedule(side)?;
+            let optimized =
+                opt::optimize_with_family(&|s| algorithm.schedule(s), algorithm.order(), side)
+                    .expect(
+                        "canonical schedules optimize: convergence certified by the dataflow pass",
+                    );
             Ok(Arc::clone(v.insert(Arc::new(optimized))))
         }
     }
@@ -93,12 +97,17 @@ pub fn optimized_for(algorithm: AlgorithmId, side: usize) -> Result<Arc<Optimize
 /// on first use. Optimized runs are step-for-step identical to raw runs,
 /// so the same bound caps both.
 ///
+/// Up to [`opt::exact_bound_max_side`] the bound is the exact worklist
+/// fixpoint; above it, up to
+/// [`meshsort_mesh::absint::lift::LIFT_MAX_SIDE`], it is the lifted bound
+/// of a periodicity certificate re-verified here before being cached —
+/// no lifted bound ships unproven.
+///
 /// `None` when the algorithm does not support the side, when the side
-/// exceeds [`opt::OPT_EXACT_BOUND_MAX_SIDE`] (the fixpoint is
-/// unaffordable there), or when convergence is unprovable; callers fall
-/// back to the Θ(N) budget.
+/// exceeds the liftable range, or when convergence is unprovable (and
+/// lifting unavailable); callers fall back to the Θ(N) budget.
 pub fn static_bound_for(algorithm: AlgorithmId, side: usize) -> Option<u64> {
-    if side > opt::OPT_EXACT_BOUND_MAX_SIDE || !algorithm.supports_side(side) {
+    if side > lift::LIFT_MAX_SIDE || !algorithm.supports_side(side) {
         return None;
     }
     let cache = BOUND_CACHE.get_or_init(|| Mutex::new(HashMap::new()));
@@ -106,10 +115,20 @@ pub fn static_bound_for(algorithm: AlgorithmId, side: usize) -> Option<u64> {
     match map.entry((algorithm, side)) {
         Entry::Occupied(e) => Some(*e.get()),
         Entry::Vacant(v) => {
-            let schedule = algorithm.schedule(side).ok()?;
-            let summary =
-                meshsort_mesh::absint::analyze_schedule(&schedule, algorithm.order(), side);
-            let bound = summary.converged_step?;
+            let bound = if side <= opt::exact_bound_max_side() {
+                let schedule = algorithm.schedule(side).ok()?;
+                let summary = meshsort_mesh::absint::analyze_schedule_worklist(
+                    &schedule,
+                    algorithm.order(),
+                    side,
+                );
+                summary.converged_step?
+            } else {
+                let family = |s: usize| algorithm.schedule(s);
+                let cert = lift::lift_schedule(&family, algorithm.order(), side).ok()?;
+                lift::verify_certificate(&family, algorithm.order(), &cert).ok()?;
+                cert.bound
+            };
             Some(*v.insert(bound))
         }
     }
@@ -153,9 +172,21 @@ mod tests {
         let bound = static_bound_for(AlgorithmId::SnakePhaseAligned, 8).unwrap();
         assert_eq!(bound, 127, "pinned by the dataflow fixpoint");
         assert_eq!(static_bound_for(AlgorithmId::SnakePhaseAligned, 8), Some(bound));
-        // Above the fixpoint gate and on unsupported sides: no bound.
-        assert_eq!(static_bound_for(AlgorithmId::SnakePhaseAligned, 32), None);
+        // Above the liftable range and on unsupported sides: no bound.
+        assert_eq!(static_bound_for(AlgorithmId::SnakePhaseAligned, 512), None);
         assert_eq!(static_bound_for(AlgorithmId::RowMajorRowFirst, 5), None);
+    }
+
+    #[test]
+    fn static_bound_lifts_above_the_exact_gate() {
+        // Side 64 sits above the exact-fixpoint cutoff: the bound comes
+        // from a verified periodicity certificate. S3's lifted quadratic
+        // is exact: 2·64² − 1.
+        let bound = static_bound_for(AlgorithmId::SnakePhaseAligned, 64).unwrap();
+        assert_eq!(bound, 8191, "pinned by the lifted closed form 2s^2 - 1");
+        let plan = optimized_for(AlgorithmId::SnakePhaseAligned, 64).unwrap();
+        let cert = plan.lift.as_ref().expect("bound above the gate must carry a certificate");
+        assert_eq!(cert.bound, plan.static_bound);
     }
 
     #[test]

@@ -98,6 +98,8 @@ impl Error {
                     OptError::SortedNotFixedPoint { .. } => 6,
                     OptError::BoundMismatch { .. } => 7,
                     OptError::BoundExceedsBudget { .. } => 8,
+                    OptError::Lift(_) => 9,
+                    OptError::LiftUnverifiable => 10,
                 }
             }
             Error::InvalidJob { .. } => 400,

@@ -36,13 +36,13 @@ pub fn default_step_cap(side: usize) -> u64 {
 }
 
 /// The tightest sound step cap known for `(algorithm, side)`: the
-/// statically proven convergence bound of the schedule's dataflow
-/// fixpoint (process-cached via [`cache::static_bound_for`]) when
-/// available — roughly 4–5× tighter than [`default_step_cap`] for the
-/// canonical schedules — falling back to the Θ(N) budget for unsupported
-/// sides and for sides above
-/// [`meshsort_mesh::opt::OPT_EXACT_BOUND_MAX_SIDE`], where the fixpoint
-/// is unaffordable.
+/// statically proven convergence bound — the exact dataflow fixpoint up
+/// to [`meshsort_mesh::opt::exact_bound_max_side`], a verified
+/// periodicity-lifted bound above it through side 256 (process-cached
+/// via [`cache::static_bound_for`] either way) — roughly 3.5–5× tighter
+/// than [`default_step_cap`] for the canonical schedules, falling back
+/// to the Θ(N) budget for unsupported sides and beyond the liftable
+/// range.
 ///
 /// Every input provably sorts within the returned cap, so using it as a
 /// retirement horizon (the batch engine) or budget rail changes no
@@ -434,9 +434,15 @@ mod tests {
                 assert!(bound > 0, "{a} side {side}");
                 assert!(bound < default_step_cap(side), "{a} side {side}: {bound}");
             }
-            // Above the exact-fixpoint gate the Θ(N) budget is the cap.
-            if a.supports_side(32) {
-                assert_eq!(static_step_bound(a, 32), default_step_cap(32), "{a}");
+            // Above the exact-fixpoint gate the lifted bound still beats
+            // the Θ(N) budget — the whole point of periodicity lifting.
+            if a.supports_side(64) {
+                let lifted = static_step_bound(a, 64);
+                assert!(lifted < default_step_cap(64), "{a}: {lifted}");
+            }
+            // Beyond the liftable range the Θ(N) budget is the cap.
+            if a.supports_side(512) {
+                assert_eq!(static_step_bound(a, 512), default_step_cap(512), "{a}");
             }
         }
         // Unsupported sides also fall back rather than erroring.
@@ -454,10 +460,13 @@ mod tests {
             // A whole number of cycles, so the watchdog checks line up.
             assert_eq!(policy.stall_window % 4, 0, "{a}");
         }
-        // Above the gate: the Θ(N) policy, unchanged.
+        // Above the exact gate the lifted bound still tightens the
+        // policy; beyond the liftable range the Θ(N) policy is unchanged.
+        let lifted = resilient_policy_for(AlgorithmId::SnakeAlternating, 64);
+        assert!(lifted.step_budget < ResilientPolicy::for_side(64).step_budget);
         assert_eq!(
-            resilient_policy_for(AlgorithmId::SnakeAlternating, 32),
-            ResilientPolicy::for_side(32)
+            resilient_policy_for(AlgorithmId::SnakeAlternating, 512),
+            ResilientPolicy::for_side(512)
         );
     }
 

@@ -1,0 +1,99 @@
+//! Differential tests for the scalable dataflow engines (DESIGN.md §16):
+//! every fast path must be **bit-identical** to the dense reference it
+//! replaces, on every canonical schedule at every side where both are
+//! affordable. The worklist engine, the sparse dead-wire scan, and the
+//! rank-based sorted-fixpoint check are all pure optimizations — any
+//! divergence, down to milestone steps and wire order, is a bug.
+
+use meshsort_core::AlgorithmId;
+use meshsort_mesh::absint::{self, lift};
+use meshsort_mesh::{opt, Comparator, CycleSchedule, StepPlan};
+
+/// Every `(algorithm, side)` pair with `side` drawn from `sides` that the
+/// algorithm supports.
+fn subjects(sides: impl IntoIterator<Item = usize>) -> Vec<(AlgorithmId, usize)> {
+    let mut out = Vec::new();
+    for side in sides {
+        for a in AlgorithmId::ALL {
+            if a.supports_side(side) {
+                out.push((a, side));
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn worklist_summary_is_bit_identical_to_dense() {
+    // The whole DataflowSummary — bound, fixpoint cycle count, fact
+    // count, dead wires, every sortedness milestone, and the missing
+    // chain links — must agree field for field.
+    for (a, side) in subjects(4..=16) {
+        let schedule = a.schedule(side).unwrap();
+        let dense = absint::analyze_schedule(&schedule, a.order(), side);
+        let worklist = absint::analyze_schedule_worklist(&schedule, a.order(), side);
+        assert_eq!(dense, worklist, "{a} side {side}");
+    }
+}
+
+#[test]
+fn sparse_dead_wire_scan_matches_dense() {
+    // Below OPT_DENSE_MAX_CELLS, `opt::first_cycle_dead_wires` runs the
+    // dense bit-matrix scan; the sparse walk must reproduce its output
+    // exactly, including wire order.
+    for (a, side) in subjects([4, 5, 8, 16, 32]) {
+        let cells = side * side;
+        assert!(cells <= opt::OPT_DENSE_MAX_CELLS, "side {side} must exercise the dense path");
+        let schedule = a.schedule(side).unwrap();
+        let dense = opt::first_cycle_dead_wires(&schedule, cells);
+        let sparse = absint::first_cycle_dead_wires_sparse(&schedule, cells);
+        assert_eq!(dense, sparse, "{a} side {side}");
+    }
+}
+
+#[test]
+fn ranked_sorted_fixpoint_matches_dense() {
+    // Pristine schedules: both verifiers accept. With any one comparator
+    // flipped, both must reject with the identical first offender.
+    for (a, side) in subjects([4, 5, 6, 8]) {
+        let schedule = a.schedule(side).unwrap();
+        let order = a.order();
+        assert_eq!(
+            absint::verify_sorted_fixed_point(&schedule, order, side),
+            absint::verify_sorted_fixed_point_ranked(&schedule, order, side),
+            "{a} side {side} pristine"
+        );
+        for step in 0..schedule.cycle_len() {
+            let mut plans = schedule.plans().to_vec();
+            let mut comparators = plans[step].comparators().to_vec();
+            let c = comparators[0];
+            comparators[0] = Comparator::new(c.keep_max, c.keep_min);
+            plans[step] = StepPlan::new(comparators).unwrap();
+            let mutated = CycleSchedule::new(plans, side * side).unwrap();
+            let dense = absint::verify_sorted_fixed_point(&mutated, order, side);
+            let ranked = absint::verify_sorted_fixed_point_ranked(&mutated, order, side);
+            assert!(dense.is_err(), "{a} side {side} step {step}: flip must be caught");
+            assert_eq!(dense, ranked, "{a} side {side} step {step}");
+        }
+    }
+}
+
+#[test]
+fn lifted_bound_equals_exact_on_window_sides() {
+    // On sides the exact fixpoint still covers, a verified certificate
+    // must agree with it exactly — same bound, same dead-wire set. This
+    // is the ground-truth anchor for the extrapolated sides above 32.
+    for (a, side) in subjects(8..=16) {
+        let order = a.order();
+        let family = |s: usize| a.schedule(s);
+        let cert = lift::lift_schedule(&family, order, side)
+            .unwrap_or_else(|e| panic!("{a} side {side}: {e}"));
+        lift::verify_certificate(&family, order, &cert)
+            .unwrap_or_else(|e| panic!("{a} side {side}: {e}"));
+        let schedule = a.schedule(side).unwrap();
+        let summary = absint::analyze_schedule_worklist(&schedule, order, side);
+        let exact = summary.converged_step.expect("canonical schedules converge");
+        assert_eq!(cert.bound, exact, "{a} side {side}: lifted bound must equal the fixpoint");
+        assert_eq!(cert.dead_wires, summary.dead_first_cycle, "{a} side {side}");
+    }
+}

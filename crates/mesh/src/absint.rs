@@ -69,6 +69,9 @@
 use crate::order::TargetOrder;
 use crate::plan::{Comparator, StepPlan};
 use crate::schedule::CycleSchedule;
+use std::collections::HashMap;
+
+pub mod lift;
 
 /// Pairwise ordering facts over the cells of a mesh: bit `(x, y)` is set
 /// when `value(x) ≤ value(y)` holds for every 0-1 input at the current
@@ -373,6 +376,601 @@ fn observe(
     }
 }
 
+/// Runs the dataflow fixpoint with the sparse worklist propagator —
+/// bit-identical to [`analyze_schedule`] (the differential suite pins
+/// `DataflowSummary` equality for all five algorithms), but scaling far
+/// past the dense engine's side-16 wall.
+///
+/// The dense engine re-sweeps the whole `N × N` fact matrix — two clones
+/// and `O(cells · comparators)` column probes — on every step, even when a
+/// step moves no facts at all (the overwhelming majority once the analysis
+/// nears its fixpoint). The worklist engine instead keeps the union state
+/// `U` *and its transpose* `TU` resident, so both sweep orientations are
+/// word-parallel row operations, and re-fires a comparator's phase only
+/// when a fact touching one of its rows has changed:
+///
+/// * **No-op detection** — a source sweep `(rᵢ, rⱼ) ← (rᵢ∪rⱼ, rᵢ∩rⱼ)` is
+///   the identity exactly when `rⱼ ⊆ rᵢ`, and a target sweep
+///   `(tᵢ, tⱼ) ← (tᵢ∩tⱼ, tᵢ∪tⱼ)` exactly when `tᵢ ⊆ tⱼ`. Skipping a
+///   proven no-op is *exact*, not an approximation, which is what keeps
+///   the engine bit-identical to the dense one.
+/// * **Per-cell dirty tracking** — every row of `U`/`TU` carries the tick
+///   of its last change, and every `(step, comparator, phase)` records the
+///   tick at which it was last verified a no-op. While neither input row
+///   has changed since, the subset re-check is skipped outright: a
+///   quiescent comparator costs one comparison per step.
+/// * **Delta-driven transfer** — the two phase-order branches of
+///   [`OrderFacts::apply_step`] are evaluated through copy-on-write row
+///   overlays over `U`/`TU`; cross-orientation effects and the final
+///   branch union are propagated by iterating the XOR deltas bit-by-set-bit
+///   (rows iterated by population, never by width).
+///
+/// # Panics
+///
+/// As [`analyze_schedule`]: when the schedule was not compiled for
+/// `side * side` cells.
+pub fn analyze_schedule_worklist(
+    schedule: &CycleSchedule,
+    order: TargetOrder,
+    side: usize,
+) -> DataflowSummary {
+    let cells = side * side;
+    for plan in schedule.plans() {
+        plan.check_bounds(cells).expect("schedule compiled for side * side cells");
+    }
+    let mut engine = Worklist::new(cells, schedule);
+    let mut summary = DataflowSummary {
+        side,
+        cycles_to_fixpoint: 0,
+        facts_at_fixpoint: 0,
+        dead_first_cycle: Vec::new(),
+        converged_step: None,
+        rows_sorted_step: None,
+        rows_regressed_step: None,
+        cols_sorted_step: None,
+        cols_regressed_step: None,
+        missing_chain_links: Vec::new(),
+    };
+    let mut step_count = 0u64;
+    observe(&mut summary, &engine.u, order, side, step_count);
+    let mut observed_current = true;
+    let max_cycles = (cells * cells + 1) as u64;
+    for cycle in 0..max_cycles {
+        for (step, plan) in schedule.plans().iter().enumerate() {
+            if cycle == 0 {
+                for &comparator in plan.comparators() {
+                    if engine.u.le(comparator.keep_min as usize, comparator.keep_max as usize) {
+                        summary.dead_first_cycle.push(DeadWire { step, comparator });
+                    }
+                }
+            }
+            let changed = engine.apply_step(step, plan);
+            step_count += 1;
+            // The dense engine observes after every step; when no fact
+            // moved the observation is determined by the previous one, so
+            // re-evaluating it cannot update the summary.
+            if changed || !observed_current {
+                observe(&mut summary, &engine.u, order, side, step_count);
+                observed_current = true;
+            }
+        }
+        summary.cycles_to_fixpoint = cycle + 1;
+        if engine.cycle_boundary_stable() {
+            break;
+        }
+    }
+    summary.facts_at_fixpoint = engine.u.count();
+    summary.missing_chain_links = engine.u.missing_chain_links(order, side);
+    summary
+}
+
+/// `true` when bitset row `a` is contained in row `b`.
+#[inline]
+fn row_subset(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b.iter()).all(|(x, y)| x & !y == 0)
+}
+
+/// Copy-on-write row overlay over a base bit matrix, with generation
+/// stamps so clearing between uses is O(rows touched).
+struct Overlay {
+    rows: Vec<u64>,
+    stamp: Vec<u64>,
+    touched: Vec<u32>,
+    gen: u64,
+}
+
+impl Overlay {
+    fn new(cells: usize, words: usize) -> Overlay {
+        Overlay { rows: vec![0; cells * words], stamp: vec![0; cells], touched: Vec::new(), gen: 0 }
+    }
+
+    fn begin(&mut self) {
+        self.gen += 1;
+        self.touched.clear();
+    }
+
+    #[inline]
+    fn has(&self, r: usize) -> bool {
+        self.stamp[r] == self.gen
+    }
+
+    /// Row `r` as seen through the overlay (`base` when untouched).
+    #[inline]
+    fn row<'a>(&'a self, r: usize, base: &'a [u64], words: usize) -> &'a [u64] {
+        if self.has(r) {
+            &self.rows[r * words..(r + 1) * words]
+        } else {
+            &base[r * words..(r + 1) * words]
+        }
+    }
+
+    /// Materializes row `r` in the overlay (copied from `base` on first
+    /// touch) and returns its mutable storage.
+    fn row_mut(&mut self, r: usize, base: &[u64], words: usize) -> &mut [u64] {
+        if !self.has(r) {
+            self.stamp[r] = self.gen;
+            self.touched.push(r as u32);
+            self.rows[r * words..(r + 1) * words]
+                .copy_from_slice(&base[r * words..(r + 1) * words]);
+        }
+        &mut self.rows[r * words..(r + 1) * words]
+    }
+}
+
+/// The worklist engine's resident state: union facts, their transpose,
+/// per-row change epochs, per-(step, comparator, phase) no-op ticks, and
+/// the per-step branch overlays.
+struct Worklist {
+    words: usize,
+    /// Union facts `U` (row `x` holds `le(x, ·)`).
+    u: OrderFacts,
+    /// Transpose of `U` (row `y` holds `le(·, y)`), kept in sync so the
+    /// target sweep is row-oriented too.
+    tu: Vec<u64>,
+    /// Tick of the last change to each `U` row.
+    epoch_u: Vec<u64>,
+    /// Tick of the last change to each `TU` row.
+    epoch_tu: Vec<u64>,
+    tick: u64,
+    /// `noop[step][comparator][phase]`: tick at which the phase was last
+    /// verified a no-op on un-overlaid inputs. Phases: 0 = branch-A source
+    /// (on `U`), 1 = branch-A target (on `TU`), 2 = branch-B target (on
+    /// `TU`), 3 = branch-B source (on `U`).
+    noop: Vec<Vec<[u64; 4]>>,
+    /// Branch-A M-orientation overlay (source-phase results).
+    ova: Overlay,
+    /// Branch-A T-orientation overlay (synced deltas + target-phase results).
+    ota: Overlay,
+    /// Branch-B T-orientation overlay (target-phase results).
+    otb: Overlay,
+    /// Branch-B M-orientation overlay (synced deltas + source-phase results).
+    ovb: Overlay,
+    /// Scratch copies of a comparator's two input rows (fire paths read
+    /// and write the same overlay).
+    buf_i: Vec<u64>,
+    buf_j: Vec<u64>,
+    /// Pre-change copies of `U` rows first dirtied in the current cycle —
+    /// exactly the dense engine's cycle-boundary snapshot, sparsely.
+    boundary: HashMap<usize, Vec<u64>>,
+}
+
+impl Worklist {
+    fn new(cells: usize, schedule: &CycleSchedule) -> Worklist {
+        let u = OrderFacts::unconstrained(cells);
+        let words = u.words;
+        let mut tu = vec![0; cells * words];
+        for x in 0..cells {
+            tu[x * words + x / 64] |= 1 << (x % 64);
+        }
+        Worklist {
+            words,
+            u,
+            tu,
+            epoch_u: vec![1; cells],
+            epoch_tu: vec![1; cells],
+            tick: 1,
+            noop: schedule.plans().iter().map(|p| vec![[0u64; 4]; p.len()]).collect(),
+            ova: Overlay::new(cells, words),
+            ota: Overlay::new(cells, words),
+            otb: Overlay::new(cells, words),
+            ovb: Overlay::new(cells, words),
+            buf_i: vec![0; words],
+            buf_j: vec![0; words],
+            boundary: HashMap::new(),
+        }
+    }
+
+    /// `true` when no net fact change happened since the last call —
+    /// the worklist form of the dense engine's `facts == boundary` test.
+    fn cycle_boundary_stable(&mut self) -> bool {
+        let words = self.words;
+        let stable = self
+            .boundary
+            .iter()
+            .all(|(&x, old)| self.u.bits[x * words..(x + 1) * words] == old[..]);
+        self.boundary.clear();
+        stable
+    }
+
+    /// Applies one step through both phase-order branches and unions the
+    /// results into `U`/`TU`. Returns `true` when any fact changed.
+    fn apply_step(&mut self, step: usize, plan: &StepPlan) -> bool {
+        let words = self.words;
+        self.tick += 1;
+        let t_check = self.tick;
+        let comparators = plan.comparators();
+
+        // Branch A, phase 1: source sweep against pure `U`.
+        self.ova.begin();
+        for (ci, c) in comparators.iter().enumerate() {
+            let (i, j) = (c.keep_min as usize, c.keep_max as usize);
+            let slot = &mut self.noop[step][ci][0];
+            if self.epoch_u[i] <= *slot && self.epoch_u[j] <= *slot {
+                continue;
+            }
+            let ri = &self.u.bits[i * words..(i + 1) * words];
+            let rj = &self.u.bits[j * words..(j + 1) * words];
+            if row_subset(rj, ri) {
+                *slot = t_check;
+                continue;
+            }
+            self.buf_i.copy_from_slice(ri);
+            self.buf_j.copy_from_slice(rj);
+            let out_i = self.ova.row_mut(i, &self.u.bits, words);
+            for k in 0..words {
+                out_i[k] = self.buf_i[k] | self.buf_j[k];
+            }
+            let out_j = self.ova.row_mut(j, &self.u.bits, words);
+            for k in 0..words {
+                out_j[k] = self.buf_i[k] & self.buf_j[k];
+            }
+        }
+
+        // Project branch A's row deltas onto its T-view overlay.
+        self.ota.begin();
+        for ti in 0..self.ova.touched.len() {
+            let r = self.ova.touched[ti] as usize;
+            for k in 0..words {
+                let mut delta = self.ova.rows[r * words + k] ^ self.u.bits[r * words + k];
+                while delta != 0 {
+                    let col = k * 64 + delta.trailing_zeros() as usize;
+                    delta &= delta - 1;
+                    let trow = self.ota.row_mut(col, &self.tu, words);
+                    trow[r / 64] ^= 1 << (r % 64);
+                }
+            }
+        }
+
+        // Branch A, phase 2: target sweep on the (possibly patched) T-view.
+        for (ci, c) in comparators.iter().enumerate() {
+            let (i, j) = (c.keep_min as usize, c.keep_max as usize);
+            let pure = !self.ota.has(i) && !self.ota.has(j);
+            if pure {
+                let slot = &mut self.noop[step][ci][1];
+                if self.epoch_tu[i] <= *slot && self.epoch_tu[j] <= *slot {
+                    continue;
+                }
+                let ti = &self.tu[i * words..(i + 1) * words];
+                let tj = &self.tu[j * words..(j + 1) * words];
+                if row_subset(ti, tj) {
+                    *slot = t_check;
+                    continue;
+                }
+            } else if row_subset(
+                self.ota.row(i, &self.tu, words),
+                self.ota.row(j, &self.tu, words),
+            ) {
+                continue; // exact no-op on overlaid inputs; cache not updated
+            }
+            self.buf_i.copy_from_slice(self.ota.row(i, &self.tu, words));
+            self.buf_j.copy_from_slice(self.ota.row(j, &self.tu, words));
+            let out_i = self.ota.row_mut(i, &self.tu, words);
+            for k in 0..words {
+                out_i[k] = self.buf_i[k] & self.buf_j[k];
+            }
+            let out_j = self.ota.row_mut(j, &self.tu, words);
+            for k in 0..words {
+                out_j[k] = self.buf_i[k] | self.buf_j[k];
+            }
+        }
+
+        // Branch B, phase 1: target sweep against pure `TU`.
+        self.otb.begin();
+        for (ci, c) in comparators.iter().enumerate() {
+            let (i, j) = (c.keep_min as usize, c.keep_max as usize);
+            let slot = &mut self.noop[step][ci][2];
+            if self.epoch_tu[i] <= *slot && self.epoch_tu[j] <= *slot {
+                continue;
+            }
+            let ti = &self.tu[i * words..(i + 1) * words];
+            let tj = &self.tu[j * words..(j + 1) * words];
+            if row_subset(ti, tj) {
+                *slot = t_check;
+                continue;
+            }
+            self.buf_i.copy_from_slice(ti);
+            self.buf_j.copy_from_slice(tj);
+            let out_i = self.otb.row_mut(i, &self.tu, words);
+            for k in 0..words {
+                out_i[k] = self.buf_i[k] & self.buf_j[k];
+            }
+            let out_j = self.otb.row_mut(j, &self.tu, words);
+            for k in 0..words {
+                out_j[k] = self.buf_i[k] | self.buf_j[k];
+            }
+        }
+
+        // Project branch B's T-row deltas onto its M-view overlay.
+        self.ovb.begin();
+        for ti in 0..self.otb.touched.len() {
+            let col = self.otb.touched[ti] as usize;
+            for k in 0..words {
+                let mut delta = self.otb.rows[col * words + k] ^ self.tu[col * words + k];
+                while delta != 0 {
+                    let x = k * 64 + delta.trailing_zeros() as usize;
+                    delta &= delta - 1;
+                    let row = self.ovb.row_mut(x, &self.u.bits, words);
+                    row[col / 64] ^= 1 << (col % 64);
+                }
+            }
+        }
+
+        // Branch B, phase 2: source sweep on the (possibly patched) M-view.
+        for (ci, c) in comparators.iter().enumerate() {
+            let (i, j) = (c.keep_min as usize, c.keep_max as usize);
+            let pure = !self.ovb.has(i) && !self.ovb.has(j);
+            if pure {
+                let slot = &mut self.noop[step][ci][3];
+                if self.epoch_u[i] <= *slot && self.epoch_u[j] <= *slot {
+                    continue;
+                }
+                let ri = &self.u.bits[i * words..(i + 1) * words];
+                let rj = &self.u.bits[j * words..(j + 1) * words];
+                if row_subset(rj, ri) {
+                    *slot = t_check;
+                    continue;
+                }
+            } else if row_subset(
+                self.ovb.row(j, &self.u.bits, words),
+                self.ovb.row(i, &self.u.bits, words),
+            ) {
+                continue;
+            }
+            self.buf_i.copy_from_slice(self.ovb.row(i, &self.u.bits, words));
+            self.buf_j.copy_from_slice(self.ovb.row(j, &self.u.bits, words));
+            let out_i = self.ovb.row_mut(i, &self.u.bits, words);
+            for k in 0..words {
+                out_i[k] = self.buf_i[k] | self.buf_j[k];
+            }
+            let out_j = self.ovb.row_mut(j, &self.u.bits, words);
+            for k in 0..words {
+                out_j[k] = self.buf_i[k] & self.buf_j[k];
+            }
+        }
+
+        // Union both branches into `U` and patch `TU` by delta. Branch A's
+        // authoritative state lives in its T-view; fold it back into
+        // per-row flip masks first (reusing branch A's M overlay, whose
+        // phase-1 contents are already subsumed by the T-view).
+        self.ova.begin();
+        for ti in 0..self.ota.touched.len() {
+            let col = self.ota.touched[ti] as usize;
+            for k in 0..words {
+                let mut delta = self.ota.rows[col * words + k] ^ self.tu[col * words + k];
+                while delta != 0 {
+                    let x = k * 64 + delta.trailing_zeros() as usize;
+                    delta &= delta - 1;
+                    if !self.ova.has(x) {
+                        self.ova.stamp[x] = self.ova.gen;
+                        self.ova.touched.push(x as u32);
+                        self.ova.rows[x * words..(x + 1) * words].fill(0);
+                    }
+                    self.ova.rows[x * words + col / 64] ^= 1 << (col % 64);
+                }
+            }
+        }
+
+        self.tick += 1;
+        let t_write = self.tick;
+        let mut changed = false;
+        let candidate_count = self.ova.touched.len() + self.ovb.touched.len();
+        let mut candidates: Vec<u32> = Vec::with_capacity(candidate_count);
+        candidates.extend_from_slice(&self.ova.touched);
+        candidates.extend(self.ovb.touched.iter().filter(|&&x| !self.ova.has(x as usize)));
+        for &xr in &candidates {
+            let x = xr as usize;
+            let base = &self.u.bits[x * words..(x + 1) * words];
+            let flips = self.ova.has(x);
+            let b_row = self.ovb.row(x, &self.u.bits, words);
+            for k in 0..words {
+                let a = base[k] ^ if flips { self.ova.rows[x * words + k] } else { 0 };
+                self.buf_i[k] = a | b_row[k];
+            }
+            if self.buf_i[..] == self.u.bits[x * words..(x + 1) * words] {
+                continue;
+            }
+            self.boundary
+                .entry(x)
+                .or_insert_with(|| self.u.bits[x * words..(x + 1) * words].to_vec());
+            for k in 0..words {
+                let mut delta = self.buf_i[k] ^ self.u.bits[x * words + k];
+                self.u.bits[x * words + k] = self.buf_i[k];
+                while delta != 0 {
+                    let col = k * 64 + delta.trailing_zeros() as usize;
+                    delta &= delta - 1;
+                    self.tu[col * words + x / 64] ^= 1 << (x % 64);
+                    self.epoch_tu[col] = t_write;
+                }
+            }
+            self.epoch_u[x] = t_write;
+            changed = true;
+        }
+        changed
+    }
+}
+
+/// Pairwise ordering facts in a sparse per-cell representation: each
+/// cell's fact set as a sorted index list, mirrored in both orientations.
+///
+/// The dense [`OrderFacts`] matrix is `cells²` *bits* regardless of how
+/// few facts hold — 512 MiB at side 256 — while the first cycle of a
+/// schedule (all the dead-wire scan ever needs) establishes only a
+/// handful of facts per cell. This form replays
+/// [`OrderFacts::apply_step`]'s exact two-branch union semantics in
+/// `O(facts)` per step; `meshsort-mesh`'s differential tests pin it
+/// bit-identical to the dense scan on every algorithm at sides 4–16.
+#[derive(Debug, Clone)]
+pub struct SparseOrderFacts {
+    rows: Vec<Vec<u32>>,
+    cols: Vec<Vec<u32>>,
+}
+
+/// Merge-union of two sorted index lists.
+fn sorted_union(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().max(b.len()));
+    let (mut x, mut y) = (0, 0);
+    while x < a.len() && y < b.len() {
+        match a[x].cmp(&b[y]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[x]);
+                x += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[y]);
+                y += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[x]);
+                x += 1;
+                y += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[x..]);
+    out.extend_from_slice(&b[y..]);
+    out
+}
+
+/// Merge-intersection of two sorted index lists.
+fn sorted_intersect(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut x, mut y) = (0, 0);
+    while x < a.len() && y < b.len() {
+        match a[x].cmp(&b[y]) {
+            std::cmp::Ordering::Less => x += 1,
+            std::cmp::Ordering::Greater => y += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[x]);
+                x += 1;
+                y += 1;
+            }
+        }
+    }
+    out
+}
+
+impl SparseOrderFacts {
+    /// The unconstrained seed: reflexive facts only.
+    pub fn unconstrained(cells: usize) -> SparseOrderFacts {
+        SparseOrderFacts {
+            rows: (0..cells as u32).map(|x| vec![x]).collect(),
+            cols: (0..cells as u32).map(|y| vec![y]).collect(),
+        }
+    }
+
+    /// `true` when `value(x) ≤ value(y)` is proven.
+    pub fn le(&self, x: usize, y: usize) -> bool {
+        self.rows[x].binary_search(&(y as u32)).is_ok()
+    }
+
+    /// Total proven facts (including reflexive ones).
+    pub fn count(&self) -> u64 {
+        self.rows.iter().map(|r| r.len() as u64).sum()
+    }
+
+    fn rebuild_cols(&mut self) {
+        for c in &mut self.cols {
+            c.clear();
+        }
+        for (x, row) in self.rows.iter().enumerate() {
+            for &y in row {
+                self.cols[y as usize].push(x as u32);
+            }
+        }
+    }
+
+    fn rebuild_rows(&mut self) {
+        for r in &mut self.rows {
+            r.clear();
+        }
+        for (y, col) in self.cols.iter().enumerate() {
+            for &x in col {
+                self.rows[x as usize].push(y as u32);
+            }
+        }
+    }
+
+    /// Source sweep on the row orientation (leaves `cols` stale).
+    fn source_sweep(&mut self, plan: &StepPlan) {
+        for c in plan.comparators() {
+            let (i, j) = (c.keep_min as usize, c.keep_max as usize);
+            let union = sorted_union(&self.rows[i], &self.rows[j]);
+            let inter = sorted_intersect(&self.rows[i], &self.rows[j]);
+            self.rows[i] = union;
+            self.rows[j] = inter;
+        }
+    }
+
+    /// Target sweep on the column orientation (leaves `rows` stale).
+    fn target_sweep(&mut self, plan: &StepPlan) {
+        for c in plan.comparators() {
+            let (i, j) = (c.keep_min as usize, c.keep_max as usize);
+            let inter = sorted_intersect(&self.cols[i], &self.cols[j]);
+            let union = sorted_union(&self.cols[i], &self.cols[j]);
+            self.cols[i] = inter;
+            self.cols[j] = union;
+        }
+    }
+
+    /// Applies one synchronous step — the exact sparse mirror of
+    /// [`OrderFacts::apply_step`]: both sweep nestings from the same
+    /// pre-state, unioned.
+    pub fn apply_step(&mut self, plan: &StepPlan) {
+        let mut by_source = self.clone();
+        by_source.source_sweep(plan);
+        by_source.rebuild_cols();
+        by_source.target_sweep(plan);
+        by_source.rebuild_rows();
+        let mut by_target = self.clone();
+        by_target.target_sweep(plan);
+        by_target.rebuild_rows();
+        by_target.source_sweep(plan);
+        for (x, row) in self.rows.iter_mut().enumerate() {
+            *row = sorted_union(&by_source.rows[x], &by_target.rows[x]);
+        }
+        self.rebuild_cols();
+    }
+}
+
+/// The first-cycle dead-wire scan of `opt::first_cycle_dead_wires`, on
+/// sparse facts: identical output (the dense and sparse lattices agree on
+/// every `le` query along the scan), but memory scales with proven facts
+/// instead of `cells²` bits — a side-256 scan fits where the dense matrix
+/// would need 512 MiB.
+pub fn first_cycle_dead_wires_sparse(schedule: &CycleSchedule, cells: usize) -> Vec<DeadWire> {
+    let mut facts = SparseOrderFacts::unconstrained(cells);
+    let mut dead = Vec::new();
+    for (step, plan) in schedule.plans().iter().enumerate() {
+        for &comparator in plan.comparators() {
+            if facts.le(comparator.keep_min as usize, comparator.keep_max as usize) {
+                dead.push(DeadWire { step, comparator });
+            }
+        }
+        facts.apply_step(plan);
+    }
+    dead
+}
+
 /// A comparator that can still swap when the grid is already sorted.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SortedLiveWire {
@@ -408,6 +1006,38 @@ pub fn verify_sorted_fixed_point(
         facts.missing_chain_links(order, side).is_empty(),
         "a cycle of dead wires must preserve the sorted chain"
     );
+    Ok(())
+}
+
+/// [`verify_sorted_fixed_point`] in `O(comparators)` time and `O(cells)`
+/// memory — the form the certifier uses above the dense engine's
+/// affordable sides (the dense seed matrix alone is 512 MiB at side 256).
+///
+/// Equivalence: on the sorted grid cell `x` holds exactly rank `x`'s
+/// value, so a wire swaps iff `rank(keep_min) > rank(keep_max)`. In the
+/// fact domain, a dead wire leaves the sorted relation invariant under
+/// both sweeps (`rⱼ ⊆ rᵢ` and `tᵢ ⊆ tⱼ` hold, making each phase the
+/// identity), so up to the first live wire the dense walk probes the
+/// *unchanged* sorted relation — which proves `le(keep_min, keep_max)`
+/// iff `rank(keep_min) ≤ rank(keep_max)`. Both walks therefore report the
+/// identical first offender (pinned by a differential test).
+///
+/// # Errors
+///
+/// The first wire (schedule order) that could swap on a sorted grid.
+pub fn verify_sorted_fixed_point_ranked(
+    schedule: &CycleSchedule,
+    order: TargetOrder,
+    side: usize,
+) -> Result<(), SortedLiveWire> {
+    let rank = order.flat_to_rank_table(side);
+    for (step, plan) in schedule.plans().iter().enumerate() {
+        for &comparator in plan.comparators() {
+            if rank[comparator.keep_min as usize] > rank[comparator.keep_max as usize] {
+                return Err(SortedLiveWire { step, comparator });
+            }
+        }
+    }
     Ok(())
 }
 

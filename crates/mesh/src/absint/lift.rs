@@ -1,0 +1,628 @@
+//! Periodicity lifting: certified static bounds beyond the exact-fixpoint
+//! wall.
+//!
+//! The dataflow fixpoint re-derives the paper's convergence facts
+//! per-(algorithm, side), but even the worklist engine pays
+//! `Ω(cells²)` bits of state — side 256 is out of reach. What rescues the
+//! analysis is structure the schedules were *built* with: all five are
+//! spatially periodic comparator networks with row/column period `(2, 2)`
+//! (1-D odd/even phases along rows, parity-staggered column phases), so
+//! the network a cell sees is determined by its position modulo the
+//! period plus its distance to the boundary. This module exploits that in
+//! three machine-checked moves:
+//!
+//! 1. **Period correctness** — prove the *target-side* schedule is
+//!    translation-invariant: every comparator, translated by one period
+//!    along either axis, either leaves the grid (boundary wires are
+//!    vacuous) or lands on a comparator of the same step with the same
+//!    `keep_min`/`keep_max` roles.
+//! 2. **Windowed fixpoints** — run the exact fixpoint on a window of
+//!    small sides ([`LIFT_WINDOW_MIN_SIDE`]`..=`[`LIFT_WINDOW_MAX_SIDE`],
+//!    parity-matched to the target) where it costs milliseconds, and
+//!    record each side's proven bound and first-cycle dead-wire set.
+//! 3. **Bound lifting** — fit the window bounds with an exact-rational
+//!    quadratic in the side (the paper's own growth order). Two models
+//!    are admissible and explicit in the certificate: [`LiftModel::Exact`]
+//!    when one quadratic reproduces *every* window value exactly
+//!    (row-major/row-first `2s²−2s−1`, row-major/col-first `2s²−2s`,
+//!    snake/phase-aligned `2s²−1`), and [`LiftModel::Envelope`] when the
+//!    window sequence is not quasi-polynomial (snake/alternating and
+//!    snake/staggered-cols): a tangent quadratic whose leading
+//!    coefficient is the window's *maximum* second difference, anchored
+//!    at the two largest window sides — by discrete convexity it
+//!    dominates every window point, and it stays far below the Θ(N)
+//!    budget it replaces.
+//!
+//! The resulting [`LiftCertificate`] carries everything needed to
+//! re-verify the claim from scratch ([`verify_certificate`] — re-run by
+//! `opt::certify` as obligations 7–9). Sides 2 and 3 are excluded from
+//! the window on purpose: boundary transients break the asymptotic form
+//! there (S3's side-2 bound is 5 where `2s²−1` predicts 7) — see
+//! DESIGN.md §16 for the soundness discussion, including why an
+//! [`LiftModel::Envelope`] bound is an *upper* bound claim and how the
+//! runtime's sortedness verification backstops it.
+
+use super::{first_cycle_dead_wires_sparse, DeadWire};
+use crate::error::MeshError;
+use crate::fault::default_step_budget;
+use crate::order::TargetOrder;
+use crate::schedule::CycleSchedule;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Smallest side admitted into the fit/verification window. Sides 2–3 are
+/// boundary transients: their bounds sit off the asymptotic form every
+/// algorithm settles into from side 4 on.
+pub const LIFT_WINDOW_MIN_SIDE: usize = 4;
+
+/// Largest side of the bounded window the exact fixpoint is run on.
+pub const LIFT_WINDOW_MAX_SIDE: usize = 16;
+
+/// Largest side a lifted bound is certified for.
+pub const LIFT_MAX_SIDE: usize = 256;
+
+/// The row/column translation period all five schedules share.
+pub const LIFT_PERIOD: (usize, usize) = (2, 2);
+
+/// A schedule *family*: the per-side constructor whose instances the
+/// lifting argument relates (e.g. `AlgorithmId::schedule`). The `mesh`
+/// crate has no notion of the five named algorithms, so consumers pass
+/// the constructor down.
+pub type ScheduleFamily<'a> = dyn Fn(usize) -> Result<CycleSchedule, MeshError> + 'a;
+
+/// How the window bounds were lifted to the target side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiftModel {
+    /// One quadratic reproduces every window bound exactly; the lifted
+    /// bound is claimed to *be* the fixpoint bound at the target side.
+    Exact,
+    /// The window sequence is not quasi-polynomial; the quadratic is a
+    /// certified upper envelope (max window second difference as leading
+    /// term, tangent at the two largest window sides) and the lifted
+    /// bound is claimed as an upper bound only.
+    Envelope,
+}
+
+impl LiftModel {
+    /// Short label used in analyze-pass details and bench rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            LiftModel::Exact => "exact",
+            LiftModel::Envelope => "envelope",
+        }
+    }
+}
+
+/// A quadratic in the side with exact rational coefficients
+/// `(num_a·s² + num_b·s + num_c) / den`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuadraticFit {
+    /// Numerator of the `s²` coefficient.
+    pub num_a: i128,
+    /// Numerator of the `s` coefficient.
+    pub num_b: i128,
+    /// Numerator of the constant term.
+    pub num_c: i128,
+    /// Common denominator (8: second differences over a stride-2 side
+    /// chain are `8a`, so eighths are exact).
+    pub den: i128,
+}
+
+impl QuadraticFit {
+    /// `den · fit(side)` — the scaled value all obligations compare in,
+    /// avoiding rounding entirely.
+    pub fn eval_scaled(&self, side: usize) -> i128 {
+        let s = side as i128;
+        self.num_a * s * s + self.num_b * s + self.num_c
+    }
+
+    /// `fit(side)` when it is a nonnegative integer; `None` otherwise.
+    pub fn eval_exact(&self, side: usize) -> Option<u64> {
+        let v = self.eval_scaled(side);
+        if v < 0 || v % self.den != 0 {
+            return None;
+        }
+        u64::try_from(v / self.den).ok()
+    }
+
+    /// `⌈fit(side)⌉` for nonnegative values; `None` when negative.
+    pub fn eval_ceil(&self, side: usize) -> Option<u64> {
+        let v = self.eval_scaled(side);
+        if v < 0 {
+            return None;
+        }
+        u64::try_from((v + self.den - 1) / self.den).ok()
+    }
+}
+
+/// One window side's exact fixpoint results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowSample {
+    /// The window side.
+    pub side: usize,
+    /// The fixpoint's proven convergence bound at this side.
+    pub bound: u64,
+    /// First-cycle dead wires at this side.
+    pub dead: Vec<DeadWire>,
+}
+
+/// A machine-checked claim that `bound` caps the convergence of the
+/// family's schedule at `side`, produced by [`lift_schedule`] and
+/// re-verified from scratch by [`verify_certificate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LiftCertificate {
+    /// The target side the bound is claimed for.
+    pub side: usize,
+    /// The row/column translation period the schedule was proven
+    /// invariant under (always [`LIFT_PERIOD`]).
+    pub period: (usize, usize),
+    /// Whether the fit reproduces the window exactly or only dominates it.
+    pub model: LiftModel,
+    /// The lifting quadratic.
+    pub fit: QuadraticFit,
+    /// The parity-matched window samples the fit was derived from.
+    pub window: Vec<WindowSample>,
+    /// The lifted static bound at `side`.
+    pub bound: u64,
+    /// The exact first-cycle dead-wire set at `side` (computed sparsely;
+    /// deadness needs only cycle 0, never the full fixpoint).
+    pub dead_wires: Vec<DeadWire>,
+}
+
+/// A violated lifting obligation. Every variant renders a distinct
+/// diagnostic; the mutation suite corrupts certificates and schedules to
+/// prove each one fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LiftError {
+    /// Constructing a family member failed.
+    Mesh(MeshError),
+    /// The target side is outside `[`[`LIFT_WINDOW_MIN_SIDE`]`,
+    /// `[`LIFT_MAX_SIDE`]`]`.
+    UnsupportedSide {
+        /// The offending side.
+        side: usize,
+    },
+    /// A comparator translated by one period lands in-bounds but on no
+    /// comparator of its step: the schedule is not translation-invariant.
+    PeriodBroken {
+        /// Side at which the violation was found.
+        side: usize,
+        /// Cycle step (0-indexed) of the comparator.
+        step: usize,
+        /// The comparator whose translate is missing.
+        comparator: crate::plan::Comparator,
+        /// The violating `(row, col)` translation.
+        translation: (isize, isize),
+    },
+    /// The certificate's period field is not the proven one.
+    PeriodMismatch {
+        /// The period the certificate claims.
+        claimed: (usize, usize),
+    },
+    /// A window side's fixpoint cannot prove convergence at all.
+    WindowUnprovable {
+        /// The window side.
+        window_side: usize,
+        /// Unproven target-order chain links at its fixpoint.
+        missing: usize,
+    },
+    /// The certificate's window does not list the canonical window sides.
+    WindowShapeMismatch {
+        /// Number of samples expected.
+        expected: usize,
+        /// Number of samples recorded.
+        got: usize,
+    },
+    /// A recorded window bound disagrees with the recomputed fixpoint.
+    WindowBoundMismatch {
+        /// The window side.
+        window_side: usize,
+        /// The bound the certificate records.
+        claimed: u64,
+        /// The bound the fixpoint proves.
+        proven: u64,
+    },
+    /// A recorded window dead-wire set disagrees with the recomputed one
+    /// — e.g. a boundary wire dropped from the window.
+    WindowDeadMismatch {
+        /// The window side.
+        window_side: usize,
+        /// Recomputed dead wires missing from the certificate.
+        missing: usize,
+        /// Certificate dead wires the recomputation does not prove.
+        extra: usize,
+    },
+    /// An [`LiftModel::Exact`] fit fails to reproduce a window bound.
+    FitMismatch {
+        /// The window side.
+        window_side: usize,
+        /// The fit's value there (`None`: not an integer).
+        fitted: Option<u64>,
+        /// The exact bound there.
+        exact: u64,
+    },
+    /// An [`LiftModel::Envelope`] fit falls below a window bound.
+    NotDominating {
+        /// The window side.
+        window_side: usize,
+        /// `den ·` the fit's value there.
+        fitted_scaled: i128,
+        /// The exact bound there.
+        exact: u64,
+    },
+    /// The fit is not monotone nondecreasing on the claimed side range.
+    NotMonotone {
+        /// First side at which the fit decreases (or goes negative).
+        side: usize,
+    },
+    /// The certificate's bound is not the model's value at the target.
+    BoundMismatch {
+        /// The bound the certificate claims.
+        claimed: u64,
+        /// The bound the model evaluates to.
+        evaluated: u64,
+    },
+    /// The recorded target-side dead-wire set disagrees with the
+    /// recomputed one.
+    TargetDeadMismatch {
+        /// Recomputed dead wires missing from the certificate.
+        missing: usize,
+        /// Certificate dead wires the recomputation does not prove.
+        extra: usize,
+    },
+    /// The lifted bound exceeds the Θ(N) budget it is meant to replace.
+    ExceedsBudget {
+        /// The lifted bound.
+        bound: u64,
+        /// The Θ(N) budget ([`default_step_budget`]).
+        budget: u64,
+    },
+}
+
+impl fmt::Display for LiftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LiftError::Mesh(e) => write!(f, "lift family construction failed: {e}"),
+            LiftError::UnsupportedSide { side } => write!(
+                f,
+                "side {side} outside the liftable range \
+                 [{LIFT_WINDOW_MIN_SIDE}, {LIFT_MAX_SIDE}]"
+            ),
+            LiftError::PeriodBroken { side, step, comparator, translation } => write!(
+                f,
+                "period broken at side {side}: comparator ({}, {}) of step {step} translated by \
+                 ({}, {}) lands in-bounds but on no comparator of the step",
+                comparator.keep_min, comparator.keep_max, translation.0, translation.1
+            ),
+            LiftError::PeriodMismatch { claimed } => write!(
+                f,
+                "certificate claims period ({}, {}) but the proven period is ({}, {})",
+                claimed.0, claimed.1, LIFT_PERIOD.0, LIFT_PERIOD.1
+            ),
+            LiftError::WindowUnprovable { window_side, missing } => write!(
+                f,
+                "window side {window_side} cannot prove convergence: {missing} chain links \
+                 unproven at the fixpoint"
+            ),
+            LiftError::WindowShapeMismatch { expected, got } => write!(
+                f,
+                "certificate window has {got} samples where the canonical window has {expected}"
+            ),
+            LiftError::WindowBoundMismatch { window_side, claimed, proven } => write!(
+                f,
+                "window bound forged at side {window_side}: certificate records {claimed} but \
+                 the fixpoint proves {proven}"
+            ),
+            LiftError::WindowDeadMismatch { window_side, missing, extra } => write!(
+                f,
+                "window dead-wire set forged at side {window_side}: {missing} proven dead wires \
+                 missing from the certificate, {extra} unproven extras recorded"
+            ),
+            LiftError::FitMismatch { window_side, fitted, exact } => write!(
+                f,
+                "exact fit fails at window side {window_side}: fit gives {fitted:?} but the \
+                 fixpoint proves {exact}"
+            ),
+            LiftError::NotDominating { window_side, fitted_scaled, exact } => write!(
+                f,
+                "envelope fit falls below the window at side {window_side}: scaled fit \
+                 {fitted_scaled} < scaled exact bound {}",
+                *exact as i128 * 8
+            ),
+            LiftError::NotMonotone { side } => {
+                write!(f, "lifted bound not monotone nondecreasing at side {side}")
+            }
+            LiftError::BoundMismatch { claimed, evaluated } => write!(
+                f,
+                "lifted bound forged: certificate claims {claimed} but the model evaluates to \
+                 {evaluated}"
+            ),
+            LiftError::TargetDeadMismatch { missing, extra } => write!(
+                f,
+                "target dead-wire set forged: {missing} proven dead wires missing, {extra} \
+                 unproven extras recorded"
+            ),
+            LiftError::ExceedsBudget { bound, budget } => write!(
+                f,
+                "lifted bound {bound} exceeds the default step budget {budget} it replaces"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LiftError {}
+
+impl From<MeshError> for LiftError {
+    fn from(e: MeshError) -> Self {
+        LiftError::Mesh(e)
+    }
+}
+
+/// Proves `schedule` is translation-invariant under [`LIFT_PERIOD`]:
+/// every comparator shifted by ±one period along either axis, when both
+/// endpoints stay on the grid, must appear in the same step with the same
+/// orientation. Boundary-crossing translates are vacuously fine — that is
+/// precisely how wrap wires and row/column ends stay admissible.
+///
+/// # Errors
+///
+/// [`LiftError::PeriodBroken`] naming the first violating translate.
+pub fn check_period(schedule: &CycleSchedule, side: usize) -> Result<(), LiftError> {
+    let (pr, pc) = (LIFT_PERIOD.0 as isize, LIFT_PERIOD.1 as isize);
+    let translations: [(isize, isize); 4] = [(pr, 0), (-pr, 0), (0, pc), (0, -pc)];
+    let shift = |cell: u32, dr: isize, dc: isize| -> Option<u32> {
+        let (r, c) = ((cell as usize / side) as isize, (cell as usize % side) as isize);
+        let (nr, nc) = (r + dr, c + dc);
+        if nr < 0 || nc < 0 || nr >= side as isize || nc >= side as isize {
+            return None;
+        }
+        Some((nr * side as isize + nc) as u32)
+    };
+    for (step, plan) in schedule.plans().iter().enumerate() {
+        let wires: HashSet<(u32, u32)> =
+            plan.comparators().iter().map(|c| (c.keep_min, c.keep_max)).collect();
+        for &comparator in plan.comparators() {
+            for &(dr, dc) in &translations {
+                let (Some(a), Some(b)) =
+                    (shift(comparator.keep_min, dr, dc), shift(comparator.keep_max, dr, dc))
+                else {
+                    continue;
+                };
+                if !wires.contains(&(a, b)) {
+                    return Err(LiftError::PeriodBroken {
+                        side,
+                        step,
+                        comparator,
+                        translation: (dr, dc),
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The canonical window sides for a target of `side`'s parity.
+fn window_sides(side: usize) -> Vec<usize> {
+    (LIFT_WINDOW_MIN_SIDE..=LIFT_WINDOW_MAX_SIDE).filter(|w| w % 2 == side % 2).collect()
+}
+
+/// Computes the window samples: per parity-matched window side, the
+/// period check, the exact fixpoint bound, and the first-cycle dead set.
+fn compute_window(
+    family: &ScheduleFamily,
+    order: TargetOrder,
+    side: usize,
+) -> Result<Vec<WindowSample>, LiftError> {
+    let mut samples = Vec::new();
+    for w in window_sides(side) {
+        let schedule = family(w)?;
+        check_period(&schedule, w)?;
+        let summary = super::analyze_schedule_worklist(&schedule, order, w);
+        let bound = summary.converged_step.ok_or(LiftError::WindowUnprovable {
+            window_side: w,
+            missing: summary.missing_chain_links.len(),
+        })?;
+        samples.push(WindowSample { side: w, bound, dead: summary.dead_first_cycle });
+    }
+    Ok(samples)
+}
+
+/// Fits the window bounds: [`LiftModel::Exact`] when one quadratic
+/// reproduces every sample, else the [`LiftModel::Envelope`] tangent
+/// majorant. Returns the model with its fit.
+fn fit_window(samples: &[WindowSample]) -> (LiftModel, QuadraticFit) {
+    let n = samples.len();
+    debug_assert!(n >= 3, "window always holds ≥ 6 parity-matched sides");
+    let (s0, f0) = (samples[n - 3].side as i128, samples[n - 3].bound as i128);
+    let (s1, f1) = (samples[n - 2].side as i128, samples[n - 2].bound as i128);
+    let (s2, f2) = (samples[n - 1].side as i128, samples[n - 1].bound as i128);
+    debug_assert!(s1 - s0 == 2 && s2 - s1 == 2, "window sides form a stride-2 chain");
+    // Interpolating quadratic through the three largest samples, in
+    // eighths: second difference over a stride-2 chain is 8a.
+    let exact_a = f2 - 2 * f1 + f0;
+    let fit_through = |a: i128| {
+        let b = 4 * (f2 - f1) - a * (s1 + s2);
+        let c = 8 * f2 - a * s2 * s2 - b * s2;
+        QuadraticFit { num_a: a, num_b: b, num_c: c, den: 8 }
+    };
+    let exact_fit = fit_through(exact_a);
+    if samples.iter().all(|s| exact_fit.eval_scaled(s.side) == s.bound as i128 * 8) {
+        return (LiftModel::Exact, exact_fit);
+    }
+    // Envelope: leading coefficient from the window's maximum second
+    // difference, tangent at the two largest sides. By discrete convexity
+    // (the majorant's second difference dominates every window second
+    // difference, and the majorant touches the chain at its two largest
+    // nodes) it dominates every window sample.
+    let max_delta = samples
+        .windows(3)
+        .map(|t| t[2].bound as i128 - 2 * t[1].bound as i128 + t[0].bound as i128)
+        .max()
+        .unwrap_or(exact_a);
+    (LiftModel::Envelope, fit_through(max_delta))
+}
+
+/// Checks the fit obligations shared by [`lift_schedule`] and
+/// [`verify_certificate`]: window reproduction/domination, monotonicity
+/// over the claimed range, and the model's value at the target side.
+fn check_fit(
+    model: LiftModel,
+    fit: &QuadraticFit,
+    samples: &[WindowSample],
+    side: usize,
+) -> Result<u64, LiftError> {
+    for s in samples {
+        match model {
+            LiftModel::Exact => {
+                if fit.eval_scaled(s.side) != s.bound as i128 * 8 {
+                    return Err(LiftError::FitMismatch {
+                        window_side: s.side,
+                        fitted: fit.eval_exact(s.side),
+                        exact: s.bound,
+                    });
+                }
+            }
+            LiftModel::Envelope => {
+                let scaled = fit.eval_scaled(s.side);
+                if scaled < s.bound as i128 * 8 {
+                    return Err(LiftError::NotDominating {
+                        window_side: s.side,
+                        fitted_scaled: scaled,
+                        exact: s.bound,
+                    });
+                }
+            }
+        }
+    }
+    // Monotone nondecreasing along the parity chain up to LIFT_MAX_SIDE.
+    let top = samples.last().expect("window non-empty").side;
+    let mut prev = fit.eval_scaled(top);
+    let mut s = top;
+    while s + 2 <= LIFT_MAX_SIDE {
+        s += 2;
+        let next = fit.eval_scaled(s);
+        if next < prev || next < 0 {
+            return Err(LiftError::NotMonotone { side: s });
+        }
+        prev = next;
+    }
+    // The model's bound at the target side. Within the window the exact
+    // sample is authoritative (keeps lifted ≡ exact on all sides ≤ 16);
+    // above it the fit extrapolates.
+    if let Some(sample) = samples.iter().find(|s| s.side == side) {
+        return Ok(sample.bound);
+    }
+    match model {
+        LiftModel::Exact => fit.eval_exact(side).ok_or(LiftError::NotMonotone { side }),
+        LiftModel::Envelope => fit.eval_ceil(side).ok_or(LiftError::NotMonotone { side }),
+    }
+}
+
+/// Lifts the family's windowed fixpoints to a certified static bound and
+/// dead-wire set at `side`.
+///
+/// # Errors
+///
+/// Any violated obligation as a [`LiftError`]; see the variant docs. For
+/// the five canonical families every side in
+/// `[`[`LIFT_WINDOW_MIN_SIDE`]`, `[`LIFT_MAX_SIDE`]`]` lifts.
+pub fn lift_schedule(
+    family: &ScheduleFamily,
+    order: TargetOrder,
+    side: usize,
+) -> Result<LiftCertificate, LiftError> {
+    if !(LIFT_WINDOW_MIN_SIDE..=LIFT_MAX_SIDE).contains(&side) {
+        return Err(LiftError::UnsupportedSide { side });
+    }
+    let schedule = family(side)?;
+    check_period(&schedule, side)?;
+    let window = compute_window(family, order, side)?;
+    let (model, fit) = fit_window(&window);
+    let bound = check_fit(model, &fit, &window, side)?;
+    let budget = default_step_budget(side);
+    if bound > budget {
+        return Err(LiftError::ExceedsBudget { bound, budget });
+    }
+    let dead_wires = first_cycle_dead_wires_sparse(&schedule, side * side);
+    Ok(LiftCertificate { side, period: LIFT_PERIOD, model, fit, window, bound, dead_wires })
+}
+
+/// Re-verifies a [`LiftCertificate`] from scratch against the family it
+/// claims to describe. This is the certifier's side of the bargain — run
+/// by `opt::certify` as obligations 7–9:
+///
+/// 7. **Period correctness** — the target-side schedule (and every window
+///    schedule) is translation-invariant under the claimed period.
+/// 8. **Boundary-fact closure** — the recorded window is the canonical
+///    one and every sample's bound *and* dead-wire set match a fresh
+///    fixpoint run; the recorded target dead set matches a fresh sparse
+///    first-cycle scan. Dropping a boundary wire from a window sample is
+///    caught here.
+/// 9. **Bound monotonicity under lifting** — the fit reproduces
+///    (respectively dominates) the window per its model, is monotone
+///    nondecreasing through [`LIFT_MAX_SIDE`], evaluates to exactly the
+///    recorded bound at the target side, and stays within the Θ(N)
+///    budget.
+///
+/// # Errors
+///
+/// The first violated obligation as a [`LiftError`].
+pub fn verify_certificate(
+    family: &ScheduleFamily,
+    order: TargetOrder,
+    cert: &LiftCertificate,
+) -> Result<(), LiftError> {
+    let side = cert.side;
+    if !(LIFT_WINDOW_MIN_SIDE..=LIFT_MAX_SIDE).contains(&side) {
+        return Err(LiftError::UnsupportedSide { side });
+    }
+    if cert.period != LIFT_PERIOD {
+        return Err(LiftError::PeriodMismatch { claimed: cert.period });
+    }
+    // Obligation 7: period correctness at the target side (the window
+    // schedules are re-checked inside compute_window).
+    let schedule = family(side)?;
+    check_period(&schedule, side)?;
+    // Obligation 8: the window is canonical and honest.
+    let proven = compute_window(family, order, side)?;
+    if proven.len() != cert.window.len()
+        || proven.iter().zip(cert.window.iter()).any(|(p, c)| p.side != c.side)
+    {
+        return Err(LiftError::WindowShapeMismatch {
+            expected: proven.len(),
+            got: cert.window.len(),
+        });
+    }
+    for (p, c) in proven.iter().zip(cert.window.iter()) {
+        if p.bound != c.bound {
+            return Err(LiftError::WindowBoundMismatch {
+                window_side: p.side,
+                claimed: c.bound,
+                proven: p.bound,
+            });
+        }
+        if p.dead != c.dead {
+            let missing = p.dead.iter().filter(|d| !c.dead.contains(d)).count();
+            let extra = c.dead.iter().filter(|d| !p.dead.contains(d)).count();
+            return Err(LiftError::WindowDeadMismatch { window_side: p.side, missing, extra });
+        }
+    }
+    let target_dead = first_cycle_dead_wires_sparse(&schedule, side * side);
+    if target_dead != cert.dead_wires {
+        let missing = target_dead.iter().filter(|d| !cert.dead_wires.contains(d)).count();
+        let extra = cert.dead_wires.iter().filter(|d| !target_dead.contains(d)).count();
+        return Err(LiftError::TargetDeadMismatch { missing, extra });
+    }
+    // Obligation 9: the fit's claims, re-checked against the proven
+    // window, and the recorded bound re-evaluated.
+    let evaluated = check_fit(cert.model, &cert.fit, &proven, side)?;
+    if evaluated != cert.bound {
+        return Err(LiftError::BoundMismatch { claimed: cert.bound, evaluated });
+    }
+    let budget = default_step_budget(side);
+    if cert.bound > budget {
+        return Err(LiftError::ExceedsBudget { bound: cert.bound, budget });
+    }
+    Ok(())
+}

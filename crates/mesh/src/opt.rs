@@ -38,8 +38,12 @@
 //! fixed point, and the claimed bound), and the `optimizer_equivalence`
 //! pass of `meshsort-analyze` additionally replays exhaustive/sampled 0-1
 //! placements through both schedules demanding bit-identical behaviour.
+//!
+//! [`DataflowSummary::dead_first_cycle`]: absint::DataflowSummary::dead_first_cycle
+//! [`DataflowSummary::converged_step`]: absint::DataflowSummary::converged_step
 
-use crate::absint::{self, DataflowSummary, DeadWire};
+use crate::absint::lift::{self, LiftCertificate, LiftError, ScheduleFamily};
+use crate::absint::{self, DeadWire};
 use crate::error::MeshError;
 use crate::fault::default_step_budget;
 use crate::kernel::CompiledPlan;
@@ -55,22 +59,59 @@ use std::fmt;
 /// `⌈side/2⌉`-long columns at stride `2·side` — so pairs are worth fusing.
 pub const OPT_MIN_RUN: usize = 2;
 
-/// Largest side at which the optimizer proves the exact static
+/// Default largest side at which the optimizer proves the exact static
 /// convergence bound by running the dataflow fixpoint on the optimized
-/// schedule. The fixpoint costs `O(cells² · comparators)` bit-ops per
-/// cycle over `Θ(cells)` cycles — fractions of a second through side 16,
-/// prohibitive at 64 — so above this side [`optimize`] falls back to the
-/// sound Θ(N) budget ([`default_step_budget`]) and [`certify`] checks the
-/// claim against exactly that fallback. Dead-wire elimination is *not*
-/// gated: it needs only cycle 0 of the analysis (~¼ s at side 64).
-pub const OPT_EXACT_BOUND_MAX_SIDE: usize = 16;
+/// schedule. The worklist engine
+/// ([`absint::analyze_schedule_worklist`]) pushed the affordable
+/// crossover from 16 to 32 (~1–2 s per schedule there); above it,
+/// [`optimize_with_family`] lifts a certified bound by periodicity
+/// ([`absint::lift`]) and plain [`optimize`] falls back to the sound Θ(N)
+/// budget ([`default_step_budget`]). Dead-wire elimination is *not*
+/// gated: it needs only cycle 0 of the analysis, computed sparsely above
+/// [`OPT_DENSE_MAX_CELLS`]. Tunable per-process via the
+/// `MESHSORT_EXACT_BOUND_MAX_SIDE` env var — see
+/// [`exact_bound_max_side`].
+pub const OPT_EXACT_BOUND_MAX_SIDE: usize = 32;
+
+/// Clamp range for the `MESHSORT_EXACT_BOUND_MAX_SIDE` override: below 4
+/// the exact engine costs nothing to keep, above 64 a single fixpoint
+/// run blows through any CI budget.
+pub const OPT_EXACT_BOUND_SIDE_CLAMP: (usize, usize) = (4, 64);
+
+/// The effective exact-fixpoint cutoff: [`OPT_EXACT_BOUND_MAX_SIDE`]
+/// unless the `MESHSORT_EXACT_BOUND_MAX_SIDE` env var overrides it
+/// (parsed as a side, clamped to [`OPT_EXACT_BOUND_SIDE_CLAMP`];
+/// unparsable values fall back to the default). CI and bench use the
+/// override to probe the dense/worklist/lifted crossover without
+/// rebuilding.
+pub fn exact_bound_max_side() -> usize {
+    let (lo, hi) = OPT_EXACT_BOUND_SIDE_CLAMP;
+    match std::env::var("MESHSORT_EXACT_BOUND_MAX_SIDE") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(side) => side.clamp(lo, hi),
+            Err(_) => OPT_EXACT_BOUND_MAX_SIDE,
+        },
+        Err(_) => OPT_EXACT_BOUND_MAX_SIDE,
+    }
+}
+
+/// Largest cell count analysed on the dense [`absint::OrderFacts`]
+/// matrix (`cells²` bits — 2 MiB at side 64, 512 MiB at side 256).
+/// Above it, first-cycle scans run on [`absint::SparseOrderFacts`],
+/// which is proven to agree on every `le` query along the scan.
+pub const OPT_DENSE_MAX_CELLS: usize = 4096;
 
 /// The provably dead wires of one cycle, by the cheap first-cycle scan:
 /// facts start unconstrained, and a wire whose `le(keep_min, keep_max)`
 /// fact already holds when it executes is dead — on every later cycle
 /// too, by monotonicity of the cycle-boundary facts. Equals
 /// [`DataflowSummary::dead_first_cycle`] without paying for the fixpoint.
+///
+/// [`DataflowSummary::dead_first_cycle`]: absint::DataflowSummary::dead_first_cycle
 pub fn first_cycle_dead_wires(schedule: &CycleSchedule, cells: usize) -> Vec<DeadWire> {
+    if cells > OPT_DENSE_MAX_CELLS {
+        return absint::first_cycle_dead_wires_sparse(schedule, cells);
+    }
     let mut facts = absint::OrderFacts::unconstrained(cells);
     let mut dead = Vec::new();
     for (step, plan) in schedule.plans().iter().enumerate() {
@@ -98,8 +139,19 @@ pub struct OptimizedPlan {
     pub stripped: Vec<DeadWire>,
     /// First step at which the dataflow fixpoint of the *optimized*
     /// schedule proves every input sorted; a sound cap for any run
-    /// starting at cycle step 0.
+    /// starting at cycle step 0. Above the exact cutoff this is the
+    /// lifted bound of [`OptimizedPlan::lift`] when lifting succeeded —
+    /// proven for the *raw* schedule, and sound for the optimized one
+    /// because stripping dead wires leaves every concrete trajectory
+    /// bit-identical — else the Θ(N) fallback.
     pub static_bound: u64,
+    /// The lifting certificate backing [`OptimizedPlan::static_bound`]
+    /// when the bound was lifted by periodicity rather than proven by the
+    /// exact fixpoint ([`optimize_with_family`] above
+    /// [`exact_bound_max_side`]). `None` below the cutoff (the exact
+    /// fixpoint is authoritative) and when lifting was unavailable (the
+    /// Θ(N) fallback needs no certificate).
+    pub lift: Option<LiftCertificate>,
 }
 
 impl OptimizedPlan {
@@ -195,6 +247,13 @@ pub enum OptError {
         /// The Θ(N) budget ([`default_step_budget`]).
         budget: u64,
     },
+    /// A lifting obligation (7–9: period correctness, boundary-fact
+    /// closure, bound monotonicity under lifting) failed.
+    Lift(LiftError),
+    /// The plan carries a lifted bound but [`certify`] has no schedule
+    /// family to re-verify the certificate against — lifted claims fail
+    /// closed; use [`certify_with_family`].
+    LiftUnverifiable,
 }
 
 impl fmt::Display for OptError {
@@ -235,6 +294,12 @@ impl fmt::Display for OptError {
                 f,
                 "static bound {bound} exceeds the default step budget {budget} it replaces"
             ),
+            OptError::Lift(e) => write!(f, "lifting obligation violated: {e}"),
+            OptError::LiftUnverifiable => write!(
+                f,
+                "plan carries a lifted bound but no schedule family was provided to re-verify \
+                 its certificate; use certify_with_family"
+            ),
         }
     }
 }
@@ -257,7 +322,7 @@ impl From<MeshError> for OptError {
 /// # Errors
 ///
 /// [`OptError::UnprovableConvergence`] when the optimized schedule's
-/// fixpoint (run at sides ≤ [`OPT_EXACT_BOUND_MAX_SIDE`]) cannot prove
+/// fixpoint (run at sides ≤ [`exact_bound_max_side`]) cannot prove
 /// the target order — no static bound exists, so no optimized plan is
 /// produced. [`OptError::Mesh`] is propagated from plan reconstruction
 /// (unreachable for subsets of valid plans).
@@ -292,15 +357,48 @@ pub fn optimize(
         plans.push(stripped_plan);
     }
     let schedule = CycleSchedule::from_parts(plans, compiled, cells)?;
-    let static_bound = if side <= OPT_EXACT_BOUND_MAX_SIDE {
-        let summary: DataflowSummary = absint::analyze_schedule(&schedule, order, side);
+    let static_bound = if side <= exact_bound_max_side() {
+        let summary = absint::analyze_schedule_worklist(&schedule, order, side);
         summary
             .converged_step
             .ok_or(OptError::UnprovableConvergence { missing: summary.missing_chain_links.len() })?
     } else {
         default_step_budget(side)
     };
-    Ok(OptimizedPlan { schedule, stripped, static_bound })
+    Ok(OptimizedPlan { schedule, stripped, static_bound, lift: None })
+}
+
+/// [`optimize`], parameterized by the schedule *family* the raw schedule
+/// belongs to, so bounds above [`exact_bound_max_side`] can be lifted by
+/// periodicity ([`lift::lift_schedule`]) instead of falling back to the
+/// Θ(N) budget. The lifted bound is proven for the raw schedule; it caps
+/// the optimized one because dead-wire stripping leaves every concrete
+/// trajectory bit-identical. When lifting fails (non-periodic family,
+/// unprovable window) the plan soundly falls back to the Θ(N) budget with
+/// [`OptimizedPlan::lift`]` = None` — lifting is an upgrade, never a
+/// requirement.
+///
+/// # Errors
+///
+/// As [`optimize`].
+///
+/// # Panics
+///
+/// As [`optimize`].
+pub fn optimize_with_family(
+    family: &ScheduleFamily,
+    order: TargetOrder,
+    side: usize,
+) -> Result<OptimizedPlan, OptError> {
+    let raw = family(side)?;
+    let mut plan = optimize(&raw, order, side)?;
+    if side > exact_bound_max_side() {
+        if let Ok(cert) = lift::lift_schedule(family, order, side) {
+            plan.static_bound = cert.bound;
+            plan.lift = Some(cert);
+        }
+    }
+    Ok(plan)
 }
 
 /// Machine-checks an [`OptimizedPlan`] against the raw schedule it claims
@@ -321,12 +419,16 @@ pub fn optimize(
 ///    expands to exactly its step plan ([`verify_schedule_ir`]); this is
 ///    what catches a mis-fused stride run.
 /// 5. **Sorted fixed point** — the sorted state still cannot swap
-///    ([`absint::verify_sorted_fixed_point`]).
+///    ([`absint::verify_sorted_fixed_point_ranked`], the rank-based form
+///    proven identical to the dense seed — affordable at every side).
 /// 6. **Bound** — the dataflow fixpoint of the optimized schedule proves
 ///    convergence exactly at the claimed [`OptimizedPlan::static_bound`],
 ///    and that bound does not exceed [`default_step_budget`]. Above
-///    [`OPT_EXACT_BOUND_MAX_SIDE`] the fixpoint is unaffordable and the
-///    only admissible claim is the Θ(N) fallback itself.
+///    [`exact_bound_max_side`] the fixpoint is unaffordable; the
+///    admissible claims are a verified lifting certificate
+///    ([`certify_with_family`], obligations 7–9) or the Θ(N) fallback
+///    itself. A plan carrying a lifted bound fails this entry point with
+///    [`OptError::LiftUnverifiable`] — no lifted bound ships unproven.
 ///
 /// Behavioural 0-1 identity (raw and optimized runs bit-identical) is the
 /// seventh analyze pass's additional dynamic check; obligations 1+2 imply
@@ -339,6 +441,34 @@ pub fn certify(
     raw: &CycleSchedule,
     optimized: &OptimizedPlan,
     policy: &SchedulePolicy,
+) -> Result<(), OptError> {
+    certify_core(raw, optimized, policy, None)
+}
+
+/// [`certify`], plus the lifting obligations for plans whose bound was
+/// lifted by periodicity: the [`LiftCertificate`] is re-verified from
+/// scratch against `family` ([`lift::verify_certificate`] — period
+/// correctness, boundary-fact closure, bound monotonicity under lifting,
+/// numbered 7–9) and the plan's bound must equal the certificate's.
+///
+/// # Errors
+///
+/// The first violated obligation, as a distinct [`OptError`] variant;
+/// lifting violations arrive as [`OptError::Lift`].
+pub fn certify_with_family(
+    raw: &CycleSchedule,
+    optimized: &OptimizedPlan,
+    policy: &SchedulePolicy,
+    family: &ScheduleFamily,
+) -> Result<(), OptError> {
+    certify_core(raw, optimized, policy, Some(family))
+}
+
+fn certify_core(
+    raw: &CycleSchedule,
+    optimized: &OptimizedPlan,
+    policy: &SchedulePolicy,
+    family: Option<&ScheduleFamily>,
 ) -> Result<(), OptError> {
     let side = policy.side();
     let order = policy.order();
@@ -374,16 +504,31 @@ pub fn certify(
     }
 
     // Obligation 2: every stripped wire is provably dead on the raw
-    // schedule's first cycle.
-    let mut facts = absint::OrderFacts::unconstrained(side * side);
-    for (step, plan) in raw.plans().iter().enumerate() {
-        for dead in optimized.stripped.iter().filter(|d| d.step == step) {
-            let c = dead.comparator;
-            if !facts.le(c.keep_min as usize, c.keep_max as usize) {
-                return Err(OptError::StrippedWireLive { step, comparator: c });
+    // schedule's first cycle. Sparse facts above the dense-matrix cell
+    // cap — the lattices agree on every `le` query along the scan.
+    let cells = side * side;
+    if cells > OPT_DENSE_MAX_CELLS {
+        let mut facts = absint::SparseOrderFacts::unconstrained(cells);
+        for (step, plan) in raw.plans().iter().enumerate() {
+            for dead in optimized.stripped.iter().filter(|d| d.step == step) {
+                let c = dead.comparator;
+                if !facts.le(c.keep_min as usize, c.keep_max as usize) {
+                    return Err(OptError::StrippedWireLive { step, comparator: c });
+                }
             }
+            facts.apply_step(plan);
         }
-        facts.apply_step(plan);
+    } else {
+        let mut facts = absint::OrderFacts::unconstrained(cells);
+        for (step, plan) in raw.plans().iter().enumerate() {
+            for dead in optimized.stripped.iter().filter(|d| d.step == step) {
+                let c = dead.comparator;
+                if !facts.le(c.keep_min as usize, c.keep_max as usize) {
+                    return Err(OptError::StrippedWireLive { step, comparator: c });
+                }
+            }
+            facts.apply_step(plan);
+        }
     }
 
     // Obligations 3 + 4: structural and IR conformance of the optimized
@@ -391,19 +536,27 @@ pub fn certify(
     verify_schedule_structural(&optimized.schedule, policy).map_err(OptError::Structural)?;
     verify_schedule_ir(&optimized.schedule).map_err(OptError::IrConformance)?;
 
-    // Obligation 5: sorted state remains a fixed point.
-    absint::verify_sorted_fixed_point(&optimized.schedule, order, side)
+    // Obligation 5: sorted state remains a fixed point (rank-based form,
+    // proven identical to the dense seed and affordable at every side).
+    absint::verify_sorted_fixed_point_ranked(&optimized.schedule, order, side)
         .map_err(|w| OptError::SortedNotFixedPoint { step: w.step, comparator: w.comparator })?;
 
-    // Obligation 6: the claimed bound is the proven one and fits the
-    // budget it replaces. Above the exact-fixpoint side the only sound
-    // claim is the Θ(N) fallback itself.
+    // Obligation 6 (and 7–9 when lifted): the claimed bound is the proven
+    // one and fits the budget it replaces. Above the exact-fixpoint side
+    // the admissible claims are a re-verified lifting certificate or the
+    // Θ(N) fallback itself; an unverifiable lifted claim fails closed.
     let budget = default_step_budget(side);
-    let proven = if side <= OPT_EXACT_BOUND_MAX_SIDE {
-        let summary = absint::analyze_schedule(&optimized.schedule, order, side);
+    let proven = if side <= exact_bound_max_side() {
+        let summary = absint::analyze_schedule_worklist(&optimized.schedule, order, side);
         summary
             .converged_step
             .ok_or(OptError::UnprovableConvergence { missing: summary.missing_chain_links.len() })?
+    } else if let Some(cert) = &optimized.lift {
+        let Some(family) = family else {
+            return Err(OptError::LiftUnverifiable);
+        };
+        lift::verify_certificate(family, order, cert).map_err(OptError::Lift)?;
+        cert.bound
     } else {
         budget
     };
@@ -554,7 +707,8 @@ mod tests {
         let schedule = CycleSchedule::from_parts(plans, compiled, side * side).unwrap();
         let mut stripped = opt.stripped.clone();
         stripped.push(DeadWire { step: 0, comparator: victim });
-        let corrupted = OptimizedPlan { schedule, stripped, static_bound: opt.static_bound };
+        let corrupted =
+            OptimizedPlan { schedule, stripped, static_bound: opt.static_bound, lift: None };
         let policy = crate::verify::SchedulePolicy::mesh_only(side, order, raw.cycle_len());
         let err = certify(&raw, &corrupted, &policy).unwrap_err();
         assert!(matches!(err, OptError::StrippedWireLive { step: 0, .. }), "{err}");

@@ -598,9 +598,11 @@ mod tests {
         assert!(out.contains("\"tool\": \"meshcheck\""), "{out}");
         assert!(out.contains("\"all_passed\": true"), "{out}");
         assert!(out.contains("snake/phase-aligned"));
-        // All six passes are reported, including the two static-analysis
-        // passes added by the dataflow analyzer.
+        // All eight passes are reported, including the static-analysis
+        // passes added by the dataflow analyzer and the lifting pass
+        // (skipped below its side-4 window floor).
         assert!(out.contains("\"dataflow\": {\"status\": \"passed\""), "{out}");
+        assert!(out.contains("\"dataflow_lifted\": {\"status\": \"skipped\""), "{out}");
         assert!(out.contains("\"zero_one_symbolic\": {\"status\": \"passed\""), "{out}");
         // Row-major on the odd side is skipped, not failed.
         assert!(out.contains("\"status\": \"skipped\""));
